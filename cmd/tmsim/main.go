@@ -1,0 +1,114 @@
+// Command tmsim runs one evaluation workload on the simulated
+// transactional CMP and prints its statistics report.
+//
+// Usage:
+//
+//	tmsim -workload mp3d -cpus 8 -engine lazy
+//	tmsim -workload SPECjbb2000-open -flatten
+//	tmsim -workload swim -sequential
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tmisa/internal/cache"
+	"tmisa/internal/core"
+	"tmisa/internal/tm"
+	"tmisa/internal/trace"
+	"tmisa/internal/workloads"
+)
+
+func registry() map[string]func() workloads.Workload {
+	return map[string]func() workloads.Workload{
+		"barnes":             func() workloads.Workload { return workloads.DefaultBarnes() },
+		"fmm":                func() workloads.Workload { return workloads.DefaultFMM() },
+		"moldyn":             func() workloads.Workload { return workloads.DefaultMoldyn() },
+		"mp3d":               func() workloads.Workload { return workloads.DefaultMP3D() },
+		"swim":               func() workloads.Workload { return workloads.DefaultSwim() },
+		"tomcatv":            func() workloads.Workload { return workloads.DefaultTomcatv() },
+		"water":              func() workloads.Workload { return workloads.DefaultWater() },
+		"SPECjbb2000-closed": func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBClosed) },
+		"SPECjbb2000-open":   func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBOpen) },
+		"io-transactional":   func() workloads.Workload { return workloads.DefaultIOBench(false) },
+		"io-serialized":      func() workloads.Workload { return workloads.DefaultIOBench(true) },
+	}
+}
+
+func main() {
+	var (
+		name       = flag.String("workload", "mp3d", "workload name (-list to enumerate)")
+		cpus       = flag.Int("cpus", 8, "number of simulated CPUs")
+		engine     = flag.String("engine", "lazy", "HTM engine: lazy (TCC write-buffer) or eager (undo-log)")
+		flatten    = flag.Bool("flatten", false, "flatten nested transactions (conventional HTM baseline)")
+		sequential = flag.Bool("sequential", false, "run the sequential baseline (1 CPU, no transactions)")
+		scheme     = flag.String("scheme", "associativity", "cache nesting scheme: associativity or multitrack")
+		moss       = flag.Bool("moss-hosking", false, "use Moss-Hosking open-nesting semantics (ablation)")
+		list       = flag.Bool("list", false, "list workloads and exit")
+		traceN     = flag.Int("trace", 0, "print the last N structured trace events")
+	)
+	flag.Parse()
+
+	reg := registry()
+	if *list {
+		names := make([]string, 0, len(reg))
+		for n := range reg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	mk, ok := reg[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tmsim: unknown workload %q (use -list)\n", *name)
+		os.Exit(2)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Flatten = *flatten
+	switch *engine {
+	case "lazy":
+		cfg.Engine = core.Lazy
+	case "eager":
+		cfg.Engine = core.Eager
+	default:
+		fmt.Fprintf(os.Stderr, "tmsim: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	switch *scheme {
+	case "associativity":
+		cfg.Cache.Scheme = cache.Associativity
+	case "multitrack":
+		cfg.Cache.Scheme = cache.Multitrack
+	default:
+		fmt.Fprintf(os.Stderr, "tmsim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	if *moss {
+		cfg.OpenSemantics = tm.MossHoskingOpen
+	}
+
+	w := mk()
+	if *sequential {
+		r := workloads.ExecuteSequential(w, cfg)
+		fmt.Printf("%s (sequential)\n%s", w.Name(), r)
+		return
+	}
+	var log *trace.Log
+	var attach func(m *core.Machine)
+	if *traceN > 0 {
+		log = trace.NewLog(*traceN)
+		attach = func(m *core.Machine) { m.SetTracer(log.Record) }
+	}
+	r := workloads.ExecuteTraced(w, cfg, *cpus, attach)
+	fmt.Printf("%s (%d CPUs, %s engine, flatten=%v)\n%s", w.Name(), *cpus, *engine, *flatten, r)
+	if log != nil {
+		fmt.Printf("--- last %d trace events ---\n%s", *traceN, log)
+	}
+}

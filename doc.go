@@ -1,0 +1,31 @@
+// Package tmisa is a from-scratch reproduction of "Architectural
+// Semantics for Practical Transactional Memory" (McDonald, Chung,
+// Carlstrom, Cao Minh, Chafi, Kozyrakis, Olukotun — ISCA 2006): a
+// comprehensive HTM instruction set architecture — two-phase commit,
+// commit/violation/abort handlers, and closed/open nesting with
+// independent rollback — implemented on an execution-driven simulator of
+// the paper's chip-multiprocessor platform, together with the runtime
+// conventions (conditional synchronization, transactional I/O, an
+// open-nested allocator), the evaluation workloads, and a benchmark
+// harness regenerating every table and figure of Section 7.
+//
+// Layout:
+//
+//	internal/core       the ISA (the paper's contribution) and the machine
+//	internal/sim        deterministic execution-driven engine
+//	internal/mem        simulated physical memory
+//	internal/cache      private L1/L2 with both nesting schemes
+//	internal/bus        split-transaction bus and commit token
+//	internal/tm         TCB stack, read/write-sets, versioning
+//	internal/txrt       runtime conventions (threads, condsync, tx I/O)
+//	internal/btree      B-tree substrate for the warehouse workload
+//	internal/workloads  the Section 7 workloads and measurement harness
+//	cmd/experiments     regenerate every table and figure
+//	cmd/tmsim           run one workload
+//	cmd/isatable        print Tables 1 and 2
+//	examples/           runnable API walkthroughs
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's
+// evaluation artifacts; see DESIGN.md for the index and EXPERIMENTS.md
+// for paper-vs-measured numbers.
+package tmisa

@@ -1,0 +1,106 @@
+// Bank: closed-nested transactions through a transparent library.
+//
+// A bank stores accounts in a B-tree library. Each transfer is one outer
+// transaction that calls the library's debit and credit operations; the
+// library wraps its tree accesses in closed-nested transactions
+// (Section 3's "composable software" motivation): a conflict inside the
+// tree re-executes only the tree operation, not the whole transfer, and
+// the caller needs no knowledge of the library's internals.
+//
+// The program runs the same workload twice — with full nesting and with
+// flattening (conventional HTM) — and reports the difference, plus the
+// conservation-of-money invariant.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+
+	"tmisa/internal/btree"
+	"tmisa/internal/core"
+)
+
+const (
+	accounts       = 64
+	hotAccounts    = 4 // a few busy accounts concentrate the conflicts
+	initialBalance = 1_000
+	transfersPer   = 30
+	cpus           = 8
+)
+
+// bank is the "library": accounts in a B-tree, operations closed-nested.
+type bank struct {
+	tree *btree.Tree
+}
+
+func (b *bank) adjust(p *core.Proc, account uint64, delta int64) {
+	// The library's own atomic region: closed-nested under the caller's
+	// transaction, independent rollback on tree conflicts.
+	p.Atomic(func(tx *core.Tx) {
+		bal, ok := b.tree.Search(p, account)
+		if !ok {
+			panic("bank: unknown account")
+		}
+		p.Tick(25) // interest/fee computation against the record
+		b.tree.Update(p, account, uint64(int64(bal)+delta))
+	})
+}
+
+func (b *bank) transfer(p *core.Proc, from, to uint64, amount int64) {
+	p.Atomic(func(tx *core.Tx) {
+		p.Tick(700) // validation, fraud checks, logging prep
+		b.adjust(p, from, -amount)
+		b.adjust(p, to, +amount)
+	})
+}
+
+func run(flatten bool) uint64 {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.Flatten = flatten
+	m := core.NewMachine(cfg)
+
+	b := &bank{tree: btree.New(m)}
+	loader := m.SetupProc()
+	for i := uint64(1); i <= accounts; i++ {
+		b.tree.Insert(loader, i, initialBalance)
+	}
+
+	worker := func(p *core.Proc) {
+		seed := uint64(p.ID()*2654435761 + 12345)
+		for i := 0; i < transfersPer; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			from := seed>>33%accounts + 1
+			// Most transfers credit one of the busy merchant accounts.
+			to := seed>>17%hotAccounts*(accounts/hotAccounts) + 1
+			if to == from {
+				to = to%accounts + 1
+			}
+			amount := int64(seed % 97)
+			b.transfer(p, from, to, amount)
+		}
+	}
+	bodies := make([]func(*core.Proc), cpus)
+	for i := range bodies {
+		bodies[i] = worker
+	}
+	rep := m.Run(bodies...)
+
+	// Conservation: the total across all accounts must be unchanged.
+	var total uint64
+	b.tree.Walk(func(k, v uint64) { total += v })
+	if total != accounts*initialBalance {
+		panic(fmt.Sprintf("money not conserved: %d != %d", total, accounts*initialBalance))
+	}
+	return rep.TotalCycles
+}
+
+func main() {
+	nested := run(false)
+	flat := run(true)
+	fmt.Printf("flattened (conventional HTM): %8d cycles\n", flat)
+	fmt.Printf("closed nesting:               %8d cycles\n", nested)
+	fmt.Printf("nesting speedup:              %8.2fx\n", float64(flat)/float64(nested))
+	fmt.Println("invariant: total balance conserved in both runs")
+}

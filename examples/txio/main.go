@@ -1,0 +1,72 @@
+// Txio: system calls and I/O inside transactions (Section 5).
+//
+// Output: each worker logs a record per transaction; the transactional
+// I/O library buffers the bytes privately and registers a commit handler
+// that performs the real write system call between xvalidate and xcommit,
+// so violated transactions never emit their output twice (or at all).
+//
+// Input: a reader consumes a file inside transactions; the read syscall
+// executes immediately in an open-nested transaction, and a violation/
+// abort handler compensates by seeking back, so a rolled-back transaction
+// re-reads the same bytes.
+//
+// Run with: go run ./examples/txio
+package main
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/txrt"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 4
+	m := core.NewMachine(cfg)
+
+	sys := txrt.NewIOSys()
+	tio := txrt.NewTxIO(sys)
+	logFD := sys.Open("audit.log")
+	inFD := sys.Open("input.dat")
+
+	// Pre-populate the input file via raw (untimed) syscalls.
+	setup := m.SetupProc()
+	sys.SysWrite(setup, inFD, []byte("0123456789abcdef"))
+	sys.SysSeek(setup, inFD, 0)
+
+	shared := m.AllocLine()
+	var chunks [][]byte
+
+	writer := func(p *core.Proc) {
+		for i := 0; i < 6; i++ {
+			p.Atomic(func(tx *core.Tx) {
+				v := p.Load(shared)
+				p.Tick(300)
+				p.Store(shared, v+1)
+				// Buffered transactional write: committed exactly once even
+				// if this transaction is violated and re-executed.
+				tio.Write(p, tx, logFD, []byte(fmt.Sprintf("cpu%d op%d;", p.ID(), i)))
+			})
+		}
+	}
+	reader := func(p *core.Proc) {
+		for i := 0; i < 4; i++ {
+			var data []byte
+			p.Atomic(func(tx *core.Tx) {
+				p.Load(shared) // make the reader violable
+				data = tio.Read(p, tx, inFD, 4)
+				p.Tick(200)
+			})
+			// Record outside the transaction: a violated attempt's read is
+			// compensated (lseek back) and must not be double-counted.
+			chunks = append(chunks, data)
+		}
+	}
+
+	m.Run(writer, writer, writer, reader)
+
+	fmt.Printf("audit log (%d bytes): %s\n", sys.Size(logFD), sys.Contents(logFD))
+	fmt.Printf("reader consumed: %q\n", chunks)
+	fmt.Printf("syscalls issued: %d\n", m.Report().Machine.Syscalls)
+}

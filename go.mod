@@ -1,0 +1,3 @@
+module tmisa
+
+go 1.22

@@ -1,0 +1,405 @@
+// Package btree implements a B-tree stored in the simulator's shared
+// memory and accessed through the transactional ISA. It is the substrate
+// for the SPECjbb2000-style warehouse workload: the paper parallelizes
+// warehouse operations whose customer, order, and stock tables are
+// B-trees, wrapping tree searches and updates in closed-nested
+// transactions so a conflict inside the tree does not roll back the whole
+// warehouse operation.
+//
+// Layout: each node occupies whole cache lines. Word 0 packs the leaf
+// flag and key count; keys and values/children follow. Insertion splits
+// full nodes preemptively on the way down (the classic single-pass
+// algorithm), so a parent never splits as a side effect of a child split.
+// Deletion removes keys from leaves without rebalancing (sufficient for
+// the workload's churn and common in practice for write-mostly tables);
+// an empty leaf is left in place.
+package btree
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// MaxKeys is the fanout: keys per node. A node holds up to MaxKeys keys
+// and MaxKeys+1 children.
+const MaxKeys = 7
+
+// Node word layout (all 8-byte words):
+//
+//	[0]                  meta: bit 0 = leaf, bits 8.. = count
+//	[1 .. MaxKeys]       keys
+//	[1+MaxKeys .. ]      leaf: values (MaxKeys words)
+//	                     internal: children (MaxKeys+1 words)
+const (
+	metaOff     = 0
+	keysOff     = 1
+	valsOff     = keysOff + MaxKeys
+	nodeWords   = valsOff + MaxKeys + 1
+	leafBit     = 1
+	countShift  = 8
+	maxTreeWalk = 64 // defensive bound on tree height
+)
+
+// Tree is a handle to a B-tree rooted in simulated memory. The rootCell
+// holds the root node's address so the root can be replaced atomically
+// within a transaction; brkCell is the node-arena frontier used by the
+// open-nested node allocator.
+type Tree struct {
+	m        *core.Machine
+	rootCell mem.Addr
+	brkCell  mem.Addr
+}
+
+// New allocates an empty tree (a single empty leaf) during setup.
+func New(m *core.Machine) *Tree {
+	t := &Tree{m: m, rootCell: m.AllocLine(), brkCell: m.AllocLine()}
+	root := t.allocNodeSetup()
+	m.Mem().Store(root+metaOff*8, leafBit) // empty leaf
+	m.Mem().Store(t.rootCell, uint64(root))
+	// Reserve a generous node arena: the bump allocator only reserves
+	// address space; sparse pages materialize on first touch.
+	arena := m.AllocAligned(t.nodeStride()*(1<<20), m.Config().Cache.LineSize)
+	m.Mem().Store(t.brkCell, uint64(arena))
+	return t
+}
+
+// allocNodeSetup carves a node during (untimed) setup.
+func (t *Tree) allocNodeSetup() mem.Addr {
+	return t.m.AllocAligned(nodeWords*mem.WordSize, t.m.Config().Cache.LineSize)
+}
+
+// allocNode carves a node during simulation. Node allocation goes through
+// an open-nested bump allocator cell so concurrent inserts do not
+// conflict on the allocator (the Section 5 allocator pattern); the arena
+// cell is lazily initialized from the machine allocator.
+func (t *Tree) allocNode(p *core.Proc) mem.Addr {
+	var addr mem.Addr
+	if err := p.AtomicOpen(func(open *core.Tx) {
+		cur := p.Load(t.nodeBrk())
+		p.Store(t.nodeBrk(), cur+uint64(t.nodeStride()))
+		addr = mem.Addr(cur)
+	}); err != nil {
+		panic(fmt.Sprintf("btree: node allocation aborted: %v", err))
+	}
+	return addr
+}
+
+func (t *Tree) nodeStride() int {
+	ls := t.m.Config().Cache.LineSize
+	bytes := nodeWords * mem.WordSize
+	return (bytes + ls - 1) / ls * ls
+}
+
+// nodeBrk returns the address of the node-arena frontier cell.
+func (t *Tree) nodeBrk() mem.Addr { return t.brkCell }
+
+// meta helpers operate through the proc so every access is transactional.
+
+func nodeMeta(p *core.Proc, n mem.Addr) (leaf bool, count int) {
+	m := p.Load(n + metaOff*8)
+	return m&leafBit != 0, int(m >> countShift)
+}
+
+func setNodeMeta(p *core.Proc, n mem.Addr, leaf bool, count int) {
+	v := uint64(count) << countShift
+	if leaf {
+		v |= leafBit
+	}
+	p.Store(n+metaOff*8, v)
+}
+
+func keyAt(p *core.Proc, n mem.Addr, i int) uint64 {
+	return p.Load(n + mem.Addr((keysOff+i)*8))
+}
+
+func setKeyAt(p *core.Proc, n mem.Addr, i int, k uint64) {
+	p.Store(n+mem.Addr((keysOff+i)*8), k)
+}
+
+func valAt(p *core.Proc, n mem.Addr, i int) uint64 {
+	return p.Load(n + mem.Addr((valsOff+i)*8))
+}
+
+func setValAt(p *core.Proc, n mem.Addr, i int, v uint64) {
+	p.Store(n+mem.Addr((valsOff+i)*8), v)
+}
+
+// childAt/setChildAt alias the value slots for internal nodes.
+func childAt(p *core.Proc, n mem.Addr, i int) mem.Addr {
+	return mem.Addr(valAt(p, n, i))
+}
+
+func setChildAt(p *core.Proc, n mem.Addr, i int, c mem.Addr) {
+	setValAt(p, n, i, uint64(c))
+}
+
+func (t *Tree) root(p *core.Proc) mem.Addr { return mem.Addr(p.Load(t.rootCell)) }
+
+// Tree state extension: brkCell is created lazily; declared here to keep
+// the struct definition near its usage.
+
+// Search returns the value stored under key. Run it inside a transaction.
+func (t *Tree) Search(p *core.Proc, key uint64) (uint64, bool) {
+	n := t.root(p)
+	for depth := 0; depth < maxTreeWalk; depth++ {
+		leaf, count := nodeMeta(p, n)
+		i := 0
+		for i < count && keyAt(p, n, i) < key {
+			i++
+		}
+		if leaf {
+			if i < count && keyAt(p, n, i) == key {
+				return valAt(p, n, i), true
+			}
+			return 0, false
+		}
+		if i < count && keyAt(p, n, i) == key {
+			i++ // equal keys descend right
+		}
+		n = childAt(p, n, i)
+	}
+	panic("btree: search exceeded maximum height (corrupt tree)")
+}
+
+// Update overwrites the value under an existing key; it reports whether
+// the key was found.
+func (t *Tree) Update(p *core.Proc, key, val uint64) bool {
+	n := t.root(p)
+	for depth := 0; depth < maxTreeWalk; depth++ {
+		leaf, count := nodeMeta(p, n)
+		i := 0
+		for i < count && keyAt(p, n, i) < key {
+			i++
+		}
+		if leaf {
+			if i < count && keyAt(p, n, i) == key {
+				setValAt(p, n, i, val)
+				return true
+			}
+			return false
+		}
+		if i < count && keyAt(p, n, i) == key {
+			i++
+		}
+		n = childAt(p, n, i)
+	}
+	panic("btree: update exceeded maximum height (corrupt tree)")
+}
+
+// Insert adds key→val (duplicate keys are allowed and keep insertion
+// independence; Search finds one of them). Run it inside a transaction.
+func (t *Tree) Insert(p *core.Proc, key, val uint64) {
+	root := t.root(p)
+	if _, count := nodeMeta(p, root); count == MaxKeys {
+		// Grow: new root with the old root as its single child.
+		newRoot := t.allocNode(p)
+		setNodeMeta(p, newRoot, false, 0)
+		setChildAt(p, newRoot, 0, root)
+		t.splitChild(p, newRoot, 0)
+		p.Store(t.rootCell, uint64(newRoot))
+		root = newRoot
+	}
+	t.insertNonFull(p, root, key, val)
+}
+
+func (t *Tree) insertNonFull(p *core.Proc, n mem.Addr, key, val uint64) {
+	for depth := 0; depth < maxTreeWalk; depth++ {
+		leaf, count := nodeMeta(p, n)
+		if leaf {
+			i := count
+			for i > 0 && keyAt(p, n, i-1) > key {
+				setKeyAt(p, n, i, keyAt(p, n, i-1))
+				setValAt(p, n, i, valAt(p, n, i-1))
+				i--
+			}
+			setKeyAt(p, n, i, key)
+			setValAt(p, n, i, val)
+			setNodeMeta(p, n, true, count+1)
+			return
+		}
+		i := 0
+		for i < count && keyAt(p, n, i) <= key {
+			i++
+		}
+		child := childAt(p, n, i)
+		if _, ccount := nodeMeta(p, child); ccount == MaxKeys {
+			t.splitChild(p, n, i)
+			if keyAt(p, n, i) <= key {
+				i++
+			}
+			child = childAt(p, n, i)
+		}
+		n = child
+	}
+	panic("btree: insert exceeded maximum height (corrupt tree)")
+}
+
+// splitChild splits the full child at index i of parent n (which must
+// have room), hoisting the median key.
+func (t *Tree) splitChild(p *core.Proc, n mem.Addr, i int) {
+	child := childAt(p, n, i)
+	leaf, _ := nodeMeta(p, child)
+	right := t.allocNode(p)
+	const mid = MaxKeys / 2
+
+	// Right node takes the upper keys.
+	rcount := MaxKeys - mid - 1
+	for j := 0; j < rcount; j++ {
+		setKeyAt(p, right, j, keyAt(p, child, mid+1+j))
+		setValAt(p, right, j, valAt(p, child, mid+1+j))
+	}
+	if !leaf {
+		for j := 0; j <= rcount; j++ {
+			setChildAt(p, right, j, childAt(p, child, mid+1+j))
+		}
+	}
+	setNodeMeta(p, right, leaf, rcount)
+
+	medianKey := keyAt(p, child, mid)
+	medianVal := valAt(p, child, mid)
+
+	// For leaves the median stays in the left node too? No: standard
+	// B-tree hoists it; the leaf keeps keys below the median.
+	setNodeMeta(p, child, leaf, mid)
+
+	// Shift the parent's keys/children right to open slot i.
+	_, pcount := nodeMeta(p, n)
+	for j := pcount; j > i; j-- {
+		setKeyAt(p, n, j, keyAt(p, n, j-1))
+	}
+	for j := pcount + 1; j > i+1; j-- {
+		setChildAt(p, n, j, childAt(p, n, j-1))
+	}
+	setKeyAt(p, n, i, medianKey)
+	setChildAt(p, n, i+1, right)
+	setNodeMeta(p, n, false, pcount+1)
+
+	if leaf {
+		// Hoisted leaf median must remain findable: reinsert it into the
+		// right node's front (keys in right are all > median).
+		_, rc := nodeMeta(p, right)
+		for j := rc; j > 0; j-- {
+			setKeyAt(p, right, j, keyAt(p, right, j-1))
+			setValAt(p, right, j, valAt(p, right, j-1))
+		}
+		setKeyAt(p, right, 0, medianKey)
+		setValAt(p, right, 0, medianVal)
+		setNodeMeta(p, right, true, rc+1)
+	}
+}
+
+// Delete removes one instance of key from a leaf, reporting whether it
+// was found there. Keys acting as internal separators are tombstoned by
+// value instead (value set to the provided tombstone), which the
+// workload treats as deleted.
+func (t *Tree) Delete(p *core.Proc, key uint64, tombstone uint64) bool {
+	n := t.root(p)
+	for depth := 0; depth < maxTreeWalk; depth++ {
+		leaf, count := nodeMeta(p, n)
+		i := 0
+		for i < count && keyAt(p, n, i) < key {
+			i++
+		}
+		if leaf {
+			if i < count && keyAt(p, n, i) == key {
+				for j := i; j < count-1; j++ {
+					setKeyAt(p, n, j, keyAt(p, n, j+1))
+					setValAt(p, n, j, valAt(p, n, j+1))
+				}
+				setNodeMeta(p, n, true, count-1)
+				return true
+			}
+			return false
+		}
+		if i < count && keyAt(p, n, i) == key {
+			i++ // equal separators: the real entry lives right of it
+		}
+		n = childAt(p, n, i)
+	}
+	panic("btree: delete exceeded maximum height (corrupt tree)")
+}
+
+// Walk visits every leaf key/value in order (data lives in the leaves;
+// internal separators are duplicated copies). It is a setup/verification
+// helper that reads raw memory, outside simulation timing.
+func (t *Tree) Walk(visit func(key, val uint64)) {
+	t.walkNode(mem.Addr(t.m.Mem().Load(t.rootCell)), visit, 0)
+}
+
+func (t *Tree) walkNode(n mem.Addr, visit func(key, val uint64), depth int) {
+	if depth > maxTreeWalk {
+		panic("btree: walk exceeded maximum height")
+	}
+	raw := t.m.Mem()
+	meta := raw.Load(n + metaOff*8)
+	leaf, count := meta&leafBit != 0, int(meta>>countShift)
+	if leaf {
+		for i := 0; i < count; i++ {
+			visit(raw.Load(n+mem.Addr((keysOff+i)*8)), raw.Load(n+mem.Addr((valsOff+i)*8)))
+		}
+		return
+	}
+	for i := 0; i <= count; i++ {
+		t.walkNode(mem.Addr(raw.Load(n+mem.Addr((valsOff+i)*8))), visit, depth+1)
+	}
+}
+
+// Min returns the smallest key and its value (ok=false when empty).
+func (t *Tree) Min(p *core.Proc) (key, val uint64, ok bool) {
+	n := t.root(p)
+	for depth := 0; depth < maxTreeWalk; depth++ {
+		leaf, count := nodeMeta(p, n)
+		if leaf {
+			if count == 0 {
+				return 0, 0, false
+			}
+			return keyAt(p, n, 0), valAt(p, n, 0), true
+		}
+		n = childAt(p, n, 0)
+	}
+	panic("btree: min exceeded maximum height (corrupt tree)")
+}
+
+// SearchRange visits every entry with lo <= key <= hi in ascending order,
+// stopping early if visit returns false. Run it inside a transaction; the
+// visited nodes join the read-set like any other access.
+func (t *Tree) SearchRange(p *core.Proc, lo, hi uint64, visit func(key, val uint64) bool) {
+	t.rangeNode(p, t.root(p), lo, hi, visit, 0)
+}
+
+func (t *Tree) rangeNode(p *core.Proc, n mem.Addr, lo, hi uint64, visit func(key, val uint64) bool, depth int) bool {
+	if depth > maxTreeWalk {
+		panic("btree: range exceeded maximum height (corrupt tree)")
+	}
+	leaf, count := nodeMeta(p, n)
+	if leaf {
+		for i := 0; i < count; i++ {
+			k := keyAt(p, n, i)
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return false
+			}
+			if !visit(k, valAt(p, n, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i <= count; i++ {
+		// Skip subtrees entirely below lo or above hi.
+		if i < count && keyAt(p, n, i) < lo {
+			continue
+		}
+		if i > 0 && keyAt(p, n, i-1) > hi {
+			return true
+		}
+		if !t.rangeNode(p, childAt(p, n, i), lo, hi, visit, depth+1) {
+			return false
+		}
+	}
+	return true
+}

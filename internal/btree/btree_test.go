@@ -1,0 +1,298 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tmisa/internal/core"
+)
+
+func newMachine(cpus int) *core.Machine {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.MaxCycles = 200_000_000
+	return core.NewMachine(cfg)
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(tx *core.Tx) {
+			for i := uint64(1); i <= 20; i++ {
+				tr.Insert(p, i*10, i)
+			}
+		})
+		p.Atomic(func(tx *core.Tx) {
+			for i := uint64(1); i <= 20; i++ {
+				v, ok := tr.Search(p, i*10)
+				if !ok || v != i {
+					t.Errorf("Search(%d) = %d,%v want %d", i*10, v, ok, i)
+				}
+			}
+			if _, ok := tr.Search(p, 5); ok {
+				t.Error("found a key never inserted")
+			}
+		})
+	})
+}
+
+func TestInsertManySplitsKeepOrder(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	const n = 500
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(n)
+	m.Run(func(p *core.Proc) {
+		for _, k := range keys {
+			p.Atomic(func(tx *core.Tx) {
+				tr.Insert(p, uint64(k)+1, uint64(k)*3)
+			})
+		}
+	})
+	var walked []uint64
+	tr.Walk(func(k, v uint64) {
+		walked = append(walked, k)
+		if v != (k-1)*3 {
+			t.Fatalf("key %d has value %d, want %d", k, v, (k-1)*3)
+		}
+	})
+	if len(walked) != n {
+		t.Fatalf("walked %d keys, want %d", len(walked), n)
+	}
+	if !sort.SliceIsSorted(walked, func(i, j int) bool { return walked[i] < walked[j] }) {
+		t.Fatal("walk out of order")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(tx *core.Tx) {
+			for i := uint64(0); i < 100; i++ {
+				tr.Insert(p, i, i)
+			}
+		})
+		p.Atomic(func(tx *core.Tx) {
+			if !tr.Update(p, 42, 999) {
+				t.Error("update of present key failed")
+			}
+			if tr.Update(p, 5000, 1) {
+				t.Error("update of absent key succeeded")
+			}
+			if v, _ := tr.Search(p, 42); v != 999 {
+				t.Errorf("value after update = %d", v)
+			}
+		})
+	})
+}
+
+func TestDeleteFromLeaves(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(tx *core.Tx) {
+			for i := uint64(0); i < 50; i++ {
+				tr.Insert(p, i, i+1)
+			}
+		})
+		p.Atomic(func(tx *core.Tx) {
+			deleted := 0
+			for i := uint64(0); i < 50; i += 2 {
+				if tr.Delete(p, i, 0) {
+					deleted++
+				}
+			}
+			for i := uint64(1); i < 50; i += 2 {
+				if _, ok := tr.Search(p, i); !ok {
+					t.Errorf("odd key %d lost by deletes", i)
+				}
+			}
+			if deleted == 0 {
+				t.Error("no leaf deletes succeeded")
+			}
+		})
+	})
+}
+
+// TestQuickMatchesReferenceMap: random unique-key insert/update sequences
+// must agree with a Go map.
+func TestQuickMatchesReferenceMap(t *testing.T) {
+	f := func(ops []struct {
+		Key uint8
+		Val uint16
+	}) bool {
+		m := newMachine(1)
+		tr := New(m)
+		ref := make(map[uint64]uint64)
+		ok := true
+		m.Run(func(p *core.Proc) {
+			p.Atomic(func(tx *core.Tx) {
+				for _, op := range ops {
+					k, v := uint64(op.Key)+1, uint64(op.Val)
+					if _, exists := ref[k]; exists {
+						tr.Update(p, k, v)
+					} else {
+						tr.Insert(p, k, v)
+					}
+					ref[k] = v
+				}
+				for k, v := range ref {
+					got, found := tr.Search(p, k)
+					if !found || got != v {
+						ok = false
+					}
+				}
+			})
+		})
+		if len(ref) == 0 {
+			return ok
+		}
+		// Walk agreement.
+		walked := make(map[uint64]uint64)
+		tr.Walk(func(k, v uint64) { walked[k] = v })
+		if len(walked) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if walked[k] != v {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInsertsPreserveAllKeys: disjoint key ranges inserted from
+// multiple CPUs under transactions must all be present.
+func TestConcurrentInsertsPreserveAllKeys(t *testing.T) {
+	const cpus, perCPU = 4, 40
+	m := newMachine(cpus)
+	tr := New(m)
+	worker := func(p *core.Proc) {
+		base := uint64(p.ID()*perCPU) + 1
+		for i := uint64(0); i < perCPU; i++ {
+			p.Atomic(func(tx *core.Tx) {
+				tr.Insert(p, base+i, base+i)
+			})
+		}
+	}
+	rep := m.Run(worker, worker, worker, worker)
+	count := 0
+	tr.Walk(func(k, v uint64) {
+		count++
+		if k != v {
+			t.Fatalf("key %d has value %d", k, v)
+		}
+	})
+	if count != cpus*perCPU {
+		t.Fatalf("tree has %d keys, want %d (lost inserts; %d violations)",
+			count, cpus*perCPU, rep.Machine.Violations)
+	}
+}
+
+// TestNestedTreeOpsCommitIntoParent: tree operations wrapped in
+// closed-nested transactions (the SPECjbb-closed pattern) merge correctly
+// into the outer operation.
+func TestNestedTreeOpsCommitIntoParent(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(outer *core.Tx) {
+			p.Atomic(func(inner *core.Tx) { tr.Insert(p, 1, 10) })
+			p.Atomic(func(inner *core.Tx) { tr.Insert(p, 2, 20) })
+			if v, ok := tr.Search(p, 1); !ok || v != 10 {
+				t.Error("outer cannot see nested insert")
+			}
+		})
+	})
+	if v := countKeys(tr); v != 2 {
+		t.Fatalf("keys = %d, want 2", v)
+	}
+}
+
+// TestAbortedOuterDiscardsNestedTreeWrites: a closed-nested insert dies
+// with its aborted parent.
+func TestAbortedOuterDiscardsNestedTreeWrites(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(outer *core.Tx) {
+			p.Atomic(func(inner *core.Tx) { tr.Insert(p, 7, 70) })
+			outer.Abort("discard everything")
+		})
+	})
+	if v := countKeys(tr); v != 0 {
+		t.Fatalf("keys = %d after aborted parent, want 0", v)
+	}
+}
+
+func countKeys(tr *Tree) int {
+	n := 0
+	tr.Walk(func(k, v uint64) { n++ })
+	return n
+}
+
+func TestMinAndSearchRange(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(tx *core.Tx) {
+			for i := uint64(1); i <= 100; i++ {
+				tr.Insert(p, i*3, i)
+			}
+		})
+		p.Atomic(func(tx *core.Tx) {
+			k, v, ok := tr.Min(p)
+			if !ok || k != 3 || v != 1 {
+				t.Errorf("Min = %d,%d,%v", k, v, ok)
+			}
+			var got []uint64
+			tr.SearchRange(p, 30, 60, func(k, v uint64) bool {
+				got = append(got, k)
+				return true
+			})
+			want := []uint64{30, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60}
+			if len(got) != len(want) {
+				t.Fatalf("range = %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("range[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+			// Early stop.
+			n := 0
+			tr.SearchRange(p, 0, 1<<60, func(k, v uint64) bool {
+				n++
+				return n < 5
+			})
+			if n != 5 {
+				t.Fatalf("early stop visited %d", n)
+			}
+			// Empty range.
+			tr.SearchRange(p, 1000, 2000, func(k, v uint64) bool {
+				t.Error("visited key outside data")
+				return true
+			})
+		})
+	})
+}
+
+func TestMinOnEmptyTree(t *testing.T) {
+	m := newMachine(1)
+	tr := New(m)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(tx *core.Tx) {
+			if _, _, ok := tr.Min(p); ok {
+				t.Error("Min on empty tree reported ok")
+			}
+		})
+	})
+}

@@ -1,0 +1,151 @@
+// Package bus models the interconnect of the simulated CMP: a 16-byte
+// split-transaction bus shared by all CPUs, plus the commit token that
+// serializes transaction commits in the lazy (TCC-style) HTM engine, as in
+// the paper's evaluation platform.
+//
+// The bus is an occupancy model: each transfer reserves the bus from its
+// start cycle for ceil(bytes/width)+arbitration cycles, and a requester
+// arriving while the bus is busy waits until it frees. The token is a FIFO
+// arbiter built on the engine's block/unblock mechanism.
+package bus
+
+import (
+	"fmt"
+
+	"tmisa/internal/sim"
+)
+
+// DefaultWidthBytes matches the paper: a 16-byte split-transaction bus.
+const DefaultWidthBytes = 16
+
+// DefaultArbitration is the fixed per-transfer arbitration overhead in
+// cycles.
+const DefaultArbitration = 3
+
+// Bus is the shared interconnect occupancy model.
+type Bus struct {
+	// WidthBytes is how many bytes move per cycle.
+	WidthBytes int
+	// Arbitration is the fixed cycles added to every transfer.
+	Arbitration int
+
+	free uint64 // first cycle at which the bus is idle
+
+	// BusyCycles accumulates total occupied cycles, for utilization stats.
+	BusyCycles uint64
+}
+
+// New returns a bus with the paper's parameters.
+func New() *Bus {
+	return &Bus{WidthBytes: DefaultWidthBytes, Arbitration: DefaultArbitration}
+}
+
+// Transfer schedules a transfer of n bytes requested at cycle now and
+// returns the cycle at which it completes. The caller charges
+// (done - now) as latency.
+func (b *Bus) Transfer(now uint64, n int) (done uint64) {
+	if n <= 0 {
+		return now
+	}
+	start := now
+	if b.free > start {
+		start = b.free
+	}
+	dur := uint64((n+b.WidthBytes-1)/b.WidthBytes + b.Arbitration)
+	b.free = start + dur
+	b.BusyCycles += dur
+	return start + dur
+}
+
+// FreeAt returns the first idle cycle, for tests.
+func (b *Bus) FreeAt() uint64 { return b.free }
+
+// Token serializes transaction commits: xvalidate in a lazy HTM
+// corresponds to acquiring the token (Section 6.1), and xcommit releases
+// it after the write-set has been committed. Waiters queue FIFO.
+type Token struct {
+	holder *sim.P
+	queue  []*sim.P
+}
+
+// NewToken returns an unheld token.
+func NewToken() *Token { return &Token{} }
+
+// Holder returns the CPU currently holding the token, or nil.
+func (t *Token) Holder() *sim.P { return t.holder }
+
+// QueueLen returns the number of waiting CPUs.
+func (t *Token) QueueLen() int { return len(t.queue) }
+
+// Acquire blocks p until it holds the token. It returns the number of
+// cycles spent waiting. The caller must be the currently running CPU.
+//
+// Acquire respects the wakeIsAbort escape hatch used by the HTM layer: if
+// cancelled (see Cancel) while waiting, Acquire returns with ok=false and
+// the CPU does not hold the token.
+func (t *Token) Acquire(p *sim.P) (waited uint64, ok bool) {
+	start := p.Time()
+	if t.holder == nil {
+		t.holder = p
+		return 0, true
+	}
+	t.queue = append(t.queue, p)
+	for {
+		p.Block("commit token")
+		if t.holder == p {
+			return p.Time() - start, true
+		}
+		if !t.queued(p) {
+			// Cancelled: a violation aborted this transaction while it was
+			// waiting to validate.
+			return p.Time() - start, false
+		}
+		// Spurious wake (should not happen with this arbiter, but the
+		// block protocol requires re-checking).
+	}
+}
+
+// Release hands the token to the next FIFO waiter (waking it at cycle
+// now) or frees it. The caller must hold the token.
+func (t *Token) Release(p *sim.P, now uint64) {
+	if t.holder != p {
+		panic(fmt.Sprintf("bus: CPU %d released token held by %v", p.ID, holderID(t.holder)))
+	}
+	t.holder = nil
+	if len(t.queue) > 0 {
+		next := t.queue[0]
+		t.queue = t.queue[1:]
+		t.holder = next
+		next.Unblock(now)
+	}
+}
+
+// Cancel removes p from the wait queue (it was violated while waiting to
+// validate) and wakes it at cycle now so it can roll back. Cancelling a
+// CPU that is not queued is a no-op and reports false.
+func (t *Token) Cancel(p *sim.P, now uint64) bool {
+	for i, q := range t.queue {
+		if q == p {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			p.Unblock(now)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Token) queued(p *sim.P) bool {
+	for _, q := range t.queue {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+func holderID(p *sim.P) any {
+	if p == nil {
+		return "nobody"
+	}
+	return p.ID
+}

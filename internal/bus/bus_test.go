@@ -1,0 +1,217 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tmisa/internal/sim"
+)
+
+func TestTransferLatency(t *testing.T) {
+	b := New()
+	// 64 bytes over a 16-byte bus = 4 cycles + 3 arbitration.
+	done := b.Transfer(100, 64)
+	if done != 107 {
+		t.Fatalf("done = %d, want 107", done)
+	}
+	if b.BusyCycles != 7 {
+		t.Fatalf("busy = %d, want 7", b.BusyCycles)
+	}
+}
+
+func TestTransferQueuesBehindBusyBus(t *testing.T) {
+	b := New()
+	first := b.Transfer(0, 64) // occupies [0,7)
+	if first != 7 {
+		t.Fatalf("first done = %d, want 7", first)
+	}
+	// A request at cycle 3 must wait until 7, then take 7 cycles.
+	second := b.Transfer(3, 64)
+	if second != 14 {
+		t.Fatalf("second done = %d, want 14", second)
+	}
+}
+
+func TestTransferAfterIdleGap(t *testing.T) {
+	b := New()
+	b.Transfer(0, 16)
+	done := b.Transfer(1000, 16) // bus long idle; starts immediately
+	if done != 1004 {
+		t.Fatalf("done = %d, want 1004", done)
+	}
+}
+
+func TestZeroByteTransferIsFree(t *testing.T) {
+	b := New()
+	if done := b.Transfer(42, 0); done != 42 {
+		t.Fatalf("done = %d, want 42", done)
+	}
+}
+
+func TestPartialWidthRoundsUp(t *testing.T) {
+	b := New()
+	if done := b.Transfer(0, 1); done != 4 { // 1 cycle + 3 arb
+		t.Fatalf("done = %d, want 4", done)
+	}
+}
+
+// TestTokenFIFO: three CPUs contend; the token must be granted in request
+// order and each holder must release before the next acquires.
+func TestTokenFIFO(t *testing.T) {
+	e := sim.NewEngine(3)
+	tok := NewToken()
+	var order []int
+	body := func(p *sim.P) {
+		// Stagger request times by ID so the FIFO order is known.
+		p.Advance(uint64(p.ID))
+		p.Yield()
+		if _, ok := tok.Acquire(p); !ok {
+			t.Error("unexpected cancel")
+			return
+		}
+		order = append(order, p.ID)
+		p.Advance(10)
+		p.Yield()
+		tok.Release(p, p.Time())
+	}
+	e.Run([]func(*sim.P){body, body, body})
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order = %v, want [0 1 2]", order)
+	}
+	if tok.Holder() != nil {
+		t.Fatal("token leaked")
+	}
+}
+
+// TestTokenWaitTimeAccounting: the second CPU should report it waited for
+// the first holder's critical section.
+func TestTokenWaitTimeAccounting(t *testing.T) {
+	e := sim.NewEngine(2)
+	tok := NewToken()
+	var waited uint64
+	e.Run([]func(*sim.P){
+		func(p *sim.P) {
+			p.Yield()
+			tok.Acquire(p)
+			p.Advance(50)
+			p.Yield()
+			tok.Release(p, p.Time())
+		},
+		func(p *sim.P) {
+			p.Advance(1)
+			p.Yield()
+			w, ok := tok.Acquire(p)
+			if !ok {
+				t.Error("unexpected cancel")
+			}
+			waited = w
+			p.Yield()
+			tok.Release(p, p.Time())
+		},
+	})
+	if waited == 0 {
+		t.Fatal("second CPU reported zero wait")
+	}
+}
+
+// TestTokenCancel: a queued waiter that is cancelled returns ok=false and
+// never holds the token.
+func TestTokenCancel(t *testing.T) {
+	e := sim.NewEngine(2)
+	tok := NewToken()
+	var cancelled bool
+	e.Run([]func(*sim.P){
+		func(p *sim.P) {
+			p.Yield()
+			tok.Acquire(p)
+			// Let CPU 1 queue, then cancel it (as a violation would).
+			for tok.QueueLen() == 0 {
+				p.Advance(1)
+				p.Yield()
+			}
+			tok.Cancel(e.Proc(1), p.Time())
+			p.Yield()
+			tok.Release(p, p.Time())
+		},
+		func(p *sim.P) {
+			p.Advance(1)
+			p.Yield()
+			_, ok := tok.Acquire(p)
+			cancelled = !ok
+		},
+	})
+	if !cancelled {
+		t.Fatal("cancelled waiter still acquired the token")
+	}
+	if tok.Holder() != nil {
+		t.Fatal("token leaked")
+	}
+}
+
+func TestCancelUnqueuedIsNoop(t *testing.T) {
+	e := sim.NewEngine(1)
+	tok := NewToken()
+	e.Run([]func(*sim.P){func(p *sim.P) {
+		if tok.Cancel(p, 0) {
+			t.Error("Cancel of unqueued CPU returned true")
+		}
+	}})
+}
+
+func TestReleaseByNonHolderPanics(t *testing.T) {
+	e := sim.NewEngine(2)
+	tok := NewToken()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	e.Run([]func(*sim.P){
+		func(p *sim.P) { tok.Acquire(p) },
+		func(p *sim.P) {
+			p.Advance(1)
+			p.Yield()
+			tok.Release(p, p.Time())
+		},
+	})
+}
+
+// TestQuickTransfersNeverOverlap: for any request sequence, each transfer
+// starts no earlier than the previous finished, and completion times are
+// monotone.
+func TestQuickTransfersNeverOverlap(t *testing.T) {
+	f := func(reqs []struct {
+		Gap   uint16
+		Bytes uint8
+	}) bool {
+		b := New()
+		now := uint64(0)
+		prevDone := uint64(0)
+		busy := uint64(0)
+		for _, r := range reqs {
+			now += uint64(r.Gap)
+			n := int(r.Bytes)
+			done := b.Transfer(now, n)
+			if n == 0 {
+				if done != now {
+					return false
+				}
+				continue
+			}
+			dur := uint64((n+b.WidthBytes-1)/b.WidthBytes + b.Arbitration)
+			start := done - dur
+			if start < now || start < prevDone {
+				return false // overlapped or time-travelled
+			}
+			if done < prevDone {
+				return false
+			}
+			prevDone = done
+			busy += dur
+		}
+		return b.BusyCycles == busy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tmisa/internal/mem"
+)
+
+func small(scheme Scheme) Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = scheme
+	// A tiny cache so capacity effects are testable: L1 = 4 sets x 2 ways.
+	cfg.L1Bytes = 8 * cfg.LineSize
+	cfg.L1Ways = 2
+	cfg.L2Bytes = 32 * cfg.LineSize
+	cfg.L2Ways = 4
+	return cfg
+}
+
+func TestHitMissLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	cfg := h.Config()
+
+	// Cold miss goes to memory.
+	r := h.Access(0x1000, false, 0)
+	wantMiss := uint64(cfg.L1Latency + cfg.L2Latency + cfg.MemLatency)
+	if r.Latency != wantMiss || r.BusBytes != cfg.LineSize || r.HitL1 || r.HitL2 {
+		t.Fatalf("cold miss: %+v, want latency %d", r, wantMiss)
+	}
+
+	// Second access hits L1.
+	r = h.Access(0x1000, false, 0)
+	if r.Latency != uint64(cfg.L1Latency) || !r.HitL1 || r.BusBytes != 0 {
+		t.Fatalf("L1 hit: %+v", r)
+	}
+
+	// Same line, different word: still a hit.
+	r = h.Access(0x1008, true, 0)
+	if !r.HitL1 {
+		t.Fatalf("same-line access missed: %+v", r)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	cfg := small(Associativity)
+	h := NewHierarchy(cfg)
+	// Fill one L1 set (2 ways) plus one more conflicting line to evict.
+	stride := mem.Addr(cfg.L1Bytes / cfg.L1Ways) // same-set stride
+	h.Access(0x0, false, 0)
+	h.Access(0x0+stride, false, 0)
+	h.Access(0x0+2*stride, false, 0) // evicts one of the first two from L1
+
+	// One of the first two is now L1-miss but must be an L2 hit.
+	r1 := h.Access(0x0, false, 0)
+	r2 := h.Access(0x0+stride, false, 0)
+	if !r1.HitL1 && !r1.HitL2 {
+		t.Fatalf("expected L2 hit for line 0: %+v", r1)
+	}
+	if !r2.HitL1 && !r2.HitL2 {
+		t.Fatalf("expected L2 hit for line stride: %+v", r2)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	cfg := small(Associativity)
+	h := NewHierarchy(cfg)
+	stride := mem.Addr(cfg.L1Bytes / cfg.L1Ways)
+	a, b, c := mem.Addr(0), stride, 2*stride
+	h.Access(a, false, 0)
+	h.Access(b, false, 0)
+	h.Access(a, false, 0) // a is now MRU; b is LRU
+	h.Access(c, false, 0) // evicts b
+	if r := h.Access(a, false, 0); !r.HitL1 {
+		t.Fatalf("a should have survived (MRU): %+v", r)
+	}
+	if r := h.Access(b, false, 0); r.HitL1 {
+		t.Fatalf("b should have been evicted (LRU): %+v", r)
+	}
+}
+
+func TestTransactionalMarksCountAsSpeculative(t *testing.T) {
+	for _, scheme := range []Scheme{Multitrack, Associativity} {
+		h := NewHierarchy(small(scheme))
+		h.Access(0x1000, false, 1)
+		h.Access(0x2000, true, 2)
+		if n := h.SpeculativeLines(); n == 0 {
+			t.Fatalf("%v: no speculative lines after transactional accesses", scheme)
+		}
+		h.RollbackLevel(2)
+		h.RollbackLevel(1)
+		if n := h.SpeculativeLines(); n != 0 {
+			t.Fatalf("%v: %d speculative lines survive rollback of all levels", scheme, n)
+		}
+	}
+}
+
+func TestOverflowOnSpeculativeEviction(t *testing.T) {
+	cfg := small(Associativity)
+	h := NewHierarchy(cfg)
+	stride := mem.Addr(cfg.L1Bytes / cfg.L1Ways)
+	// Fill a set with transactional lines in both L1 (2 ways) and beyond.
+	overflowed := 0
+	for i := 0; i < 8; i++ {
+		r := h.Access(mem.Addr(i)*stride, true, 1)
+		overflowed += r.Overflowed
+	}
+	if overflowed == 0 {
+		t.Fatal("no overflow recorded despite speculative working set exceeding the set")
+	}
+}
+
+func TestMultitrackCommitMergesBitsDown(t *testing.T) {
+	cfg := small(Multitrack)
+	cfg.LazyMerge = false
+	h := NewHierarchy(cfg)
+	h.Access(0x1000, true, 2) // written at level 2
+	res := h.CommitLevel(2, false)
+	if res.MergedLines == 0 {
+		t.Fatal("closed commit merged no lines")
+	}
+	if res.Latency == 0 {
+		t.Fatal("eager merge should cost cycles")
+	}
+	// Level 1 rollback must now clear the merged line.
+	h.RollbackLevel(1)
+	if n := h.SpeculativeLines(); n != 0 {
+		t.Fatalf("%d speculative lines survive; merge did not land at level 1", n)
+	}
+}
+
+func TestMultitrackLazyMergeChargesOnNextAccess(t *testing.T) {
+	cfg := small(Multitrack)
+	cfg.LazyMerge = true
+	h := NewHierarchy(cfg)
+	h.Access(0x1000, true, 2)
+	res := h.CommitLevel(2, false)
+	if res.Latency != 0 {
+		t.Fatalf("lazy merge charged %d cycles at commit, want 0", res.Latency)
+	}
+	r := h.Access(0x1000, false, 1)
+	if !r.LazyFix {
+		t.Fatal("next access did not pay the lazy-merge fix-up")
+	}
+	r = h.Access(0x1000, false, 1)
+	if r.LazyFix {
+		t.Fatal("fix-up paid twice")
+	}
+}
+
+func TestAssociativityReplicatesOnNestedWrite(t *testing.T) {
+	cfg := small(Associativity)
+	h := NewHierarchy(cfg)
+	h.Access(0x1000, true, 1) // level 1 writes the line
+	before := h.SpeculativeLines()
+	h.Access(0x1000, true, 2) // level 2 writes it too: new version
+	after := h.SpeculativeLines()
+	if after != before+1 {
+		t.Fatalf("speculative lines %d -> %d, want a replicated version", before, after)
+	}
+	// Rolling back level 2 must leave level 1's version intact.
+	h.RollbackLevel(2)
+	if h.SpeculativeLines() != before {
+		t.Fatalf("rollback of level 2 disturbed level 1's version")
+	}
+}
+
+func TestAssociativityClosedCommitMergesVersions(t *testing.T) {
+	cfg := small(Associativity)
+	cfg.LazyMerge = false
+	h := NewHierarchy(cfg)
+	h.Access(0x1000, true, 1)
+	h.Access(0x1000, true, 2)
+	res := h.CommitLevel(2, false)
+	if res.MergedLines == 0 {
+		t.Fatal("no merge recorded")
+	}
+	// Only one version should remain, at level 1.
+	if n := h.SpeculativeLines(); n != 1 {
+		t.Fatalf("%d speculative lines after merge, want 1", n)
+	}
+	h.RollbackLevel(1)
+	if h.SpeculativeLines() != 0 {
+		t.Fatal("merged line not owned by level 1")
+	}
+}
+
+func TestOpenCommitDiscardsMarks(t *testing.T) {
+	for _, scheme := range []Scheme{Multitrack, Associativity} {
+		h := NewHierarchy(small(scheme))
+		h.Access(0x1000, true, 2)
+		h.CommitLevel(2, true)
+		// Level-2 marks must be gone; rollback of level 1 is a no-op.
+		if got := h.SpeculativeLines(); got != 0 {
+			t.Fatalf("%v: %d marks survive an open commit", scheme, got)
+		}
+	}
+}
+
+func TestDeepNestingVirtualizesToMaxLevel(t *testing.T) {
+	cfg := small(Multitrack)
+	cfg.MaxLevels = 2
+	h := NewHierarchy(cfg)
+	h.Access(0x1000, true, 5) // deeper than hardware: tracked at level 2
+	h.RollbackLevel(5)        // maps to rollback of level 2
+	if h.SpeculativeLines() != 0 {
+		t.Fatal("virtualized deep level not cleared")
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	h := NewHierarchy(small(Associativity))
+	h.Access(0x1000, true, 1)
+	h.Access(0x2000, false, 1)
+	h.ClearAll()
+	if h.SpeculativeLines() != 0 {
+		t.Fatal("ClearAll left marks")
+	}
+}
+
+func TestRollbackInvalidatesWrittenVersionOnly(t *testing.T) {
+	h := NewHierarchy(small(Associativity))
+	h.Access(0x1000, false, 1) // read-only at level 1
+	h.RollbackLevel(1)
+	// A read-only line keeps its data (just loses marks): next access hits.
+	if r := h.Access(0x1000, false, 0); !r.HitL1 {
+		t.Fatalf("read-only rolled-back line was invalidated: %+v", r)
+	}
+
+	h2 := NewHierarchy(small(Associativity))
+	h2.Access(0x3000, true, 1) // written at level 1
+	h2.RollbackLevel(1)
+	// A written line's speculative data is discarded: next access misses.
+	if r := h2.Access(0x3000, false, 0); r.HitL1 {
+		t.Fatalf("speculatively written line survived rollback: %+v", r)
+	}
+}
+
+// TestQuickHitMissMatchesReferenceLRU: random access sequences through the
+// L1 must produce exactly the hit/miss pattern of a reference LRU model.
+func TestQuickHitMissMatchesReferenceLRU(t *testing.T) {
+	f := func(raw []uint16) bool {
+		cfg := small(Associativity)
+		h := NewHierarchy(cfg)
+		// Reference model: per-set LRU lists of line addresses (L1 and L2
+		// modelled together as "somewhere cached" is too loose; model L1
+		// exactly and only check L1 hits).
+		nsets := cfg.L1Bytes / cfg.LineSize / cfg.L1Ways
+		type set struct{ lines []mem.Addr }
+		ref := make([]set, nsets)
+		for _, r := range raw {
+			a := mem.Addr(r) * 32 // spans several sets and line offsets
+			line := mem.LineAddr(a, cfg.LineSize)
+			si := int(line/mem.Addr(cfg.LineSize)) % nsets
+			res := h.Access(a, false, 0)
+			refHit := false
+			for i, l := range ref[si].lines {
+				if l == line {
+					refHit = true
+					// Move to MRU position.
+					ref[si].lines = append(append(ref[si].lines[:i], ref[si].lines[i+1:]...), line)
+					break
+				}
+			}
+			if !refHit {
+				ref[si].lines = append(ref[si].lines, line)
+				if len(ref[si].lines) > cfg.L1Ways {
+					ref[si].lines = ref[si].lines[1:] // evict LRU
+				}
+			}
+			if res.HitL1 != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSchemeMarksAlwaysClearable: after arbitrary transactional
+// accesses at levels 1..3, rolling back all levels clears every mark, for
+// both schemes.
+func TestQuickSchemeMarksAlwaysClearable(t *testing.T) {
+	f := func(ops []struct {
+		A     uint16
+		Write bool
+		NL    uint8
+	}, multitrack bool) bool {
+		scheme := Associativity
+		if multitrack {
+			scheme = Multitrack
+		}
+		h := NewHierarchy(small(scheme))
+		for _, op := range ops {
+			nl := int(op.NL)%3 + 1
+			h.Access(mem.Addr(op.A)*8, op.Write, nl)
+		}
+		for nl := 3; nl >= 1; nl-- {
+			h.RollbackLevel(nl)
+		}
+		return h.SpeculativeLines() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionCounting(t *testing.T) {
+	cfg := small(Associativity)
+	h := NewHierarchy(cfg)
+	stride := mem.Addr(cfg.L1Bytes / cfg.L1Ways)
+	evicted := 0
+	for i := 0; i < 6; i++ {
+		r := h.Access(mem.Addr(i)*stride, false, 0)
+		evicted += r.Evicted
+	}
+	if evicted == 0 {
+		t.Fatal("no evictions counted despite set overflow")
+	}
+}

@@ -1,0 +1,108 @@
+// Package core implements the paper's primary contribution: the
+// comprehensive HTM instruction set architecture of Section 4, layered on
+// the simulated CMP substrate (packages sim, mem, cache, bus, tm).
+//
+// The ISA surface maps to Go as follows (Table 2):
+//
+//	xbegin / xbegin_open   Proc.Atomic / Proc.AtomicOpen (the re-execution
+//	                       loop realizes the register checkpoint restore,
+//	                       xregrestore, and xrwsetclear on rollback)
+//	xvalidate + xcommit    the two-phase commit inside Atomic; commit
+//	                       handlers registered with Tx.OnCommit run between
+//	                       the two phases
+//	xabort                 Tx.Abort (runs abort handlers, unwinds, and
+//	                       surfaces as *AbortError from Atomic)
+//	xvret / xenviolrep     the return path of violation delivery; a
+//	                       handler's Decision plays the role of software
+//	                       rewriting xvpc (Ignore = resume, Rollback =
+//	                       restore checkpoint and re-execute)
+//	imld / imst / imstid   Proc.Imld / Proc.Imst / Proc.Imstid
+//	release                Proc.Release
+//
+// Architected state (Table 1) lives in Proc (xstatus via the TCB stack,
+// xvaddr, xvcurrent, xvpending, violation-reporting enable) and in Tx (the
+// per-transaction handler stacks whose management costs are charged with
+// the paper's Section 7 constants).
+package core
+
+import (
+	"tmisa/internal/cache"
+	"tmisa/internal/tm"
+)
+
+// EngineKind selects the HTM design point (Section 2.2).
+type EngineKind int
+
+const (
+	// Lazy is the paper's evaluation platform: speculative writes in a
+	// write-buffer, lazy conflict detection at commit, commits serialized
+	// by a token on the split-transaction bus (TCC).
+	Lazy EngineKind = iota
+	// Eager is the undo-log design (UTM/LogTM style): stores update memory
+	// in place with an undo-log, conflicts are detected on each access.
+	Eager
+)
+
+func (k EngineKind) String() string {
+	if k == Lazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// Config parameterizes a Machine.
+type Config struct {
+	// CPUs is the number of simulated processors (the paper models up to 16).
+	CPUs int
+
+	// Cache configures the private hierarchies and the nesting scheme.
+	Cache cache.Config
+
+	// Engine selects lazy (write-buffer) or eager (undo-log) versioning
+	// and conflict detection.
+	Engine EngineKind
+
+	// Flatten subsumes all nested transactions into the outermost one,
+	// modelling conventional HTM systems; it is the baseline of Figure 5.
+	Flatten bool
+
+	// OpenSemantics selects the paper's open-nesting semantics or the
+	// Moss–Hosking set-trimming alternative (ablation A3).
+	OpenSemantics tm.OpenSemantics
+
+	// WordTracking switches conflict detection from cache-line to word
+	// granularity (per-word R/W bits, Section 6.3.1). It removes false
+	// sharing at the cost of larger tracking state, and it is the
+	// configuration under which the release instruction is safe (at line
+	// granularity "it is not safe to release the entire cache line",
+	// Section 4.7).
+	WordTracking bool
+
+	// Sequential turns off all transactional mechanisms: Atomic blocks run
+	// inline (commit handlers at the end, no speculation, no conflicts).
+	// The sequential baselines of the evaluation use a 1-CPU sequential
+	// machine, paying memory-system costs only.
+	Sequential bool
+
+	// BackoffBase is the per-consecutive-rollback backoff in cycles. The
+	// lazy engine defaults to zero (TCC restarts violated transactions
+	// immediately; the commit token guarantees progress). The eager
+	// engine requires a non-zero backoff for forward progress under its
+	// requester-wins conflict resolution; NewMachine enforces a default.
+	BackoffBase int
+
+	// MaxCycles bounds simulated time (0 = unlimited); exceeding it
+	// panics, catching livelock in tests.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's evaluation platform: a lazy/TCC HTM
+// with the associativity nesting scheme, three hardware nesting levels,
+// and the Section 7 cache/bus parameters.
+func DefaultConfig() Config {
+	return Config{
+		CPUs:   8,
+		Cache:  cache.DefaultConfig(),
+		Engine: Lazy,
+	}
+}

@@ -1,0 +1,872 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tmisa/internal/cache"
+	"tmisa/internal/tm"
+)
+
+// testConfig returns a small default machine configuration for tests.
+func testConfig(cpus int, engine EngineKind) Config {
+	cfg := DefaultConfig()
+	cfg.CPUs = cpus
+	cfg.Engine = engine
+	cfg.MaxCycles = 50_000_000 // livelock guard for all tests
+	return cfg
+}
+
+func bothEngines(t *testing.T, f func(t *testing.T, engine EngineKind)) {
+	t.Helper()
+	for _, e := range []EngineKind{Lazy, Eager} {
+		t.Run(e.String(), func(t *testing.T) { f(t, e) })
+	}
+}
+
+func TestAtomicCommitMakesWritesVisible(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a := m.Alloc(1)
+		m.Run(func(p *Proc) {
+			if err := p.Atomic(func(tx *Tx) {
+				p.Store(a, 42)
+			}); err != nil {
+				t.Errorf("commit failed: %v", err)
+			}
+		})
+		if got := m.Mem().Load(a); got != 42 {
+			t.Fatalf("memory = %d, want 42", got)
+		}
+	})
+}
+
+func TestLazyIsolationUntilCommit(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	a := m.Alloc(1)
+	var observed uint64
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Store(a, 99)
+				p.Tick(1000) // hold the speculative write
+			})
+		},
+		func(p *Proc) {
+			p.Tick(500)
+			observed = p.Load(a) // non-transactional read mid-transaction
+		},
+	)
+	if observed != 0 {
+		t.Fatalf("observed speculative value %d before commit", observed)
+	}
+	if got := m.Mem().Load(a); got != 99 {
+		t.Fatalf("final memory = %d, want 99", got)
+	}
+}
+
+func TestTransactionReadsItsOwnWrites(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a := m.Alloc(1)
+		var got uint64
+		m.Run(func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Store(a, 7)
+				got = p.Load(a)
+			})
+		})
+		if got != 7 {
+			t.Fatalf("read own write = %d, want 7", got)
+		}
+	})
+}
+
+func TestNestedReadsSeeAncestorWrites(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a := m.Alloc(1)
+		var got uint64
+		m.Run(func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Store(a, 5)
+				p.Atomic(func(inner *Tx) {
+					got = p.Load(a)
+				})
+			})
+		})
+		if got != 5 {
+			t.Fatalf("child read = %d, want ancestor's 5", got)
+		}
+	})
+}
+
+// TestConflictingIncrementsAreAtomic is the fundamental conflict test:
+// concurrent read-modify-writes must serialize and lose no updates.
+func TestConflictingIncrementsAreAtomic(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		const cpus, iters = 4, 25
+		m := NewMachine(testConfig(cpus, engine))
+		ctr := m.AllocLine()
+		worker := func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				p.Atomic(func(tx *Tx) {
+					v := p.Load(ctr)
+					p.Tick(5)
+					p.Store(ctr, v+1)
+				})
+			}
+		}
+		bodies := make([]func(*Proc), cpus)
+		for i := range bodies {
+			bodies[i] = worker
+		}
+		rep := m.Run(bodies...)
+		if got := m.Mem().Load(ctr); got != cpus*iters {
+			t.Fatalf("counter = %d, want %d (lost updates)", got, cpus*iters)
+		}
+		if rep.Machine.Violations == 0 {
+			t.Fatal("expected conflicts between concurrent increments")
+		}
+		if rep.Machine.TxCommits != cpus*iters {
+			t.Fatalf("commits = %d, want %d", rep.Machine.TxCommits, cpus*iters)
+		}
+	})
+}
+
+// TestClosedNestingIndependentRollback: a conflict that hits only the
+// inner transaction must re-execute only the inner transaction.
+func TestClosedNestingIndependentRollback(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(2, engine))
+		private := m.AllocLine()
+		shared := m.AllocLine()
+		outerRuns, innerRuns := 0, 0
+		m.Run(
+			func(p *Proc) {
+				p.Atomic(func(tx *Tx) {
+					outerRuns++
+					p.Load(private)
+					p.Atomic(func(inner *Tx) {
+						innerRuns++
+						v := p.Load(shared)
+						p.Tick(3000) // window for CPU 1's store to land
+						p.Store(shared, v+1)
+					})
+				})
+			},
+			func(p *Proc) {
+				p.Tick(1200)
+				p.Store(shared, 100) // strong-atomicity store violates the inner level only
+			},
+		)
+		if outerRuns != 1 {
+			t.Fatalf("outer ran %d times, want 1 (flattening behaviour)", outerRuns)
+		}
+		if innerRuns < 2 {
+			t.Fatalf("inner ran %d times, want >= 2 (it was violated)", innerRuns)
+		}
+		if got := m.Mem().Load(shared); got != 101 {
+			t.Fatalf("shared = %d, want 101", got)
+		}
+	})
+}
+
+// TestFlattenRollsBackWholeNest: same scenario as above under Flatten —
+// the violation must re-execute the outer transaction too.
+func TestFlattenRollsBackWholeNest(t *testing.T) {
+	cfg := testConfig(2, Lazy)
+	cfg.Flatten = true
+	m := NewMachine(cfg)
+	private := m.AllocLine()
+	shared := m.AllocLine()
+	outerRuns, innerRuns := 0, 0
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				outerRuns++
+				p.Load(private)
+				p.Atomic(func(inner *Tx) {
+					innerRuns++
+					v := p.Load(shared)
+					p.Tick(3000)
+					p.Store(shared, v+1)
+				})
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1200)
+			p.Store(shared, 100)
+		},
+	)
+	if outerRuns < 2 {
+		t.Fatalf("outer ran %d times, want >= 2 under flattening", outerRuns)
+	}
+	if innerRuns != outerRuns {
+		t.Fatalf("inner ran %d times, outer %d: flattening must tie them", innerRuns, outerRuns)
+	}
+	if got := m.Mem().Load(shared); got != 101 {
+		t.Fatalf("shared = %d, want 101", got)
+	}
+}
+
+// TestOpenNestedCommitIsImmediateAndSurvivesParentAbort (Section 4.5).
+func TestOpenNestedCommitIsImmediateAndSurvivesParentAbort(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a := m.Alloc(1)
+		var err error
+		m.Run(func(p *Proc) {
+			err = p.Atomic(func(tx *Tx) {
+				p.AtomicOpen(func(open *Tx) {
+					p.Store(a, 77)
+				})
+				tx.Abort("parent gives up")
+			})
+		})
+		var abortErr *AbortError
+		if !errors.As(err, &abortErr) {
+			t.Fatalf("err = %v, want AbortError", err)
+		}
+		if got := m.Mem().Load(a); got != 77 {
+			t.Fatalf("open-nested write = %d, want 77 (must survive parent abort)", got)
+		}
+	})
+}
+
+// TestOpenCommitUpdatesParentBufferedData: after an open child commits a
+// word the parent wrote, the parent reads (and later commits) the child's
+// value (program order: the child's store is younger).
+func TestOpenCommitUpdatesParentBufferedData(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	a := m.Alloc(1)
+	var mid uint64
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			p.Store(a, 1)
+			p.AtomicOpen(func(open *Tx) {
+				p.Store(a, 2)
+			})
+			mid = p.Load(a)
+		})
+	})
+	if mid != 2 {
+		t.Fatalf("parent read %d after open commit, want 2", mid)
+	}
+	if got := m.Mem().Load(a); got != 2 {
+		t.Fatalf("final = %d, want 2", got)
+	}
+}
+
+// TestCommitHandlersRunInOrderBetweenValidateAndCommit (Section 4.2).
+func TestCommitHandlersRunInOrder(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	a := m.Alloc(1)
+	var order []int
+	var memAtHandler uint64
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			p.Store(a, 9)
+			tx.OnCommit(func(p *Proc) {
+				order = append(order, 1)
+				// Between xvalidate and xcommit the write-buffer has not
+				// reached shared memory yet (lazy engine).
+				memAtHandler = p.m.mem.Load(a)
+			})
+			tx.OnCommit(func(p *Proc) { order = append(order, 2) })
+		})
+	})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("commit handler order = %v, want [1 2]", order)
+	}
+	if memAtHandler != 0 {
+		t.Fatalf("memory already %d during commit handler, want 0 (pre-commit)", memAtHandler)
+	}
+	if m.Mem().Load(a) != 9 {
+		t.Fatal("commit lost")
+	}
+}
+
+// TestCommitHandlersDiscardedOnRollback: a violated transaction must not
+// run its commit handlers for the failed attempt.
+func TestCommitHandlersDiscardedOnRollback(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	runs := 0
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Load(shared)
+				tx.OnCommit(func(p *Proc) { runs++ })
+				p.Tick(3000)
+				p.Store(shared, 1)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(shared, 2)
+		},
+	)
+	if runs != 1 {
+		t.Fatalf("commit handler ran %d times, want exactly 1 (only the committing attempt)", runs)
+	}
+}
+
+// TestAbortRunsHandlersLIFOAndRollsBack (Section 4.4).
+func TestAbortRunsHandlersLIFOAndRollsBack(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a := m.Alloc(1)
+		m.Mem().Store(a, 10)
+		var order []int
+		var reason any
+		var err error
+		m.Run(func(p *Proc) {
+			err = p.Atomic(func(tx *Tx) {
+				p.Store(a, 20)
+				tx.OnAbort(func(p *Proc, r any) { order = append(order, 1); reason = r })
+				tx.OnAbort(func(p *Proc, r any) { order = append(order, 2) })
+				tx.Abort("bad state")
+			})
+		})
+		var ae *AbortError
+		if !errors.As(err, &ae) || ae.Reason != "bad state" {
+			t.Fatalf("err = %v, want AbortError(bad state)", err)
+		}
+		if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+			t.Fatalf("abort handler order = %v, want LIFO [2 1]", order)
+		}
+		if reason != "bad state" {
+			t.Fatalf("handler reason = %v", reason)
+		}
+		if got := m.Mem().Load(a); got != 10 {
+			t.Fatalf("memory = %d, want 10 (store rolled back)", got)
+		}
+	})
+}
+
+// TestNestedAbortOnlyKillsInner: Tx.Abort aborts the current transaction;
+// the parent observes the error and continues.
+func TestNestedAbortOnlyKillsInner(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a, b := m.AllocLine(), m.AllocLine()
+		m.Run(func(p *Proc) {
+			err := p.Atomic(func(tx *Tx) {
+				p.Store(a, 1)
+				innerErr := p.Atomic(func(inner *Tx) {
+					p.Store(b, 2)
+					inner.Abort("inner only")
+				})
+				if innerErr == nil {
+					t.Error("inner abort not reported")
+				}
+			})
+			if err != nil {
+				t.Errorf("outer aborted too: %v", err)
+			}
+		})
+		if m.Mem().Load(a) != 1 {
+			t.Fatal("outer write lost")
+		}
+		if m.Mem().Load(b) != 0 {
+			t.Fatal("aborted inner write leaked")
+		}
+	})
+}
+
+// TestViolationHandlerIgnoreContinuesTransaction (Section 4.3: software
+// can rewrite xvpc to continue).
+func TestViolationHandlerIgnoreContinuesTransaction(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	handlerRan := false
+	var rollbacks uint64
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				tx.OnViolation(func(p *Proc, v Violation) Decision {
+					handlerRan = true
+					return Ignore
+				})
+				p.Load(shared)
+				p.Tick(3000)
+			})
+			rollbacks = p.Counters().Rollbacks
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Atomic(func(tx *Tx) { p.Store(shared, 5) })
+		},
+	)
+	if !handlerRan {
+		t.Fatal("violation handler never ran")
+	}
+	if rollbacks != 0 {
+		t.Fatalf("rollbacks = %d, want 0 (handler ignored the violation)", rollbacks)
+	}
+}
+
+// TestViolationHandlerReceivesAddr: xvaddr identifies the conflicting line.
+func TestViolationHandlerReceivesAddr(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	var gotAddr uint64
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				tx.OnViolation(func(p *Proc, v Violation) Decision {
+					gotAddr = uint64(v.Addr)
+					return Ignore
+				})
+				p.Load(shared)
+				p.Tick(3000)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Atomic(func(tx *Tx) { p.Store(shared, 5) })
+		},
+	)
+	if gotAddr != uint64(shared) {
+		t.Fatalf("xvaddr = %#x, want line %#x", gotAddr, shared)
+	}
+}
+
+// TestViolationCompensationHandlersRunOnRollback: handlers of discarded
+// levels run, innermost first.
+func TestViolationCompensationHandlersRunOnRollback(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	var order []string
+	done := false
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				if !done {
+					tx.OnViolation(func(p *Proc, v Violation) Decision {
+						order = append(order, "outer")
+						return Rollback
+					})
+				}
+				p.Load(shared) // outer-level conflict
+				p.Atomic(func(inner *Tx) {
+					if !done {
+						inner.OnViolation(func(p *Proc, v Violation) Decision {
+							order = append(order, "inner")
+							return Rollback
+						})
+					}
+					p.Load(shared) // inner-level conflict too
+					p.Tick(3000)
+				})
+				done = true
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(shared, 1)
+		},
+	)
+	if len(order) < 2 || order[0] != "inner" || order[1] != "outer" {
+		t.Fatalf("handler order = %v, want inner before outer", order)
+	}
+}
+
+func TestImmediateOpsBypassConflictDetection(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	var rollbacks uint64
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Imld(shared) // not in the read-set
+				p.Tick(3000)
+			})
+			rollbacks = p.Counters().Rollbacks
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Atomic(func(tx *Tx) { p.Store(shared, 5) })
+		},
+	)
+	if rollbacks != 0 {
+		t.Fatalf("imld joined the read-set: %d rollbacks", rollbacks)
+	}
+}
+
+func TestImstRollsBackImstidDoesNot(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a, b := m.Alloc(1), m.Alloc(1)
+		m.Mem().Store(a, 1)
+		m.Mem().Store(b, 1)
+		m.Run(func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Imst(a, 50)   // undo info kept
+				p.Imstid(b, 50) // no undo info
+				tx.Abort(nil)
+			})
+		})
+		if got := m.Mem().Load(a); got != 1 {
+			t.Fatalf("imst value = %d after rollback, want restored 1", got)
+		}
+		if got := m.Mem().Load(b); got != 50 {
+			t.Fatalf("imstid value = %d after rollback, want surviving 50", got)
+		}
+	})
+}
+
+func TestReleaseRemovesConflictExposure(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	var rollbacks uint64
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Load(shared)
+				p.Release(shared)
+				p.Tick(3000)
+			})
+			rollbacks = p.Counters().Rollbacks
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Atomic(func(tx *Tx) { p.Store(shared, 5) })
+		},
+	)
+	if rollbacks != 0 {
+		t.Fatalf("released line still caused %d rollbacks", rollbacks)
+	}
+}
+
+// TestStrongAtomicityNonTxStoreViolates: uncommitted transactions see
+// conflicts even from non-transactional code.
+func TestStrongAtomicityNonTxStoreViolates(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(2, engine))
+		shared := m.AllocLine()
+		var rollbacks uint64
+		m.Run(
+			func(p *Proc) {
+				p.Atomic(func(tx *Tx) {
+					p.Load(shared)
+					p.Tick(3000)
+				})
+				rollbacks = p.Counters().Rollbacks
+			},
+			func(p *Proc) {
+				p.Tick(1000)
+				p.Store(shared, 1) // non-transactional
+			},
+		)
+		if rollbacks == 0 {
+			t.Fatal("non-transactional store did not violate the reader")
+		}
+	})
+}
+
+// TestSection7OverheadConstants pins the paper's measured software-
+// convention costs.
+func TestSection7OverheadConstants(t *testing.T) {
+	if CostXBegin != 6 {
+		t.Errorf("transaction start = %d instructions, paper says 6", CostXBegin)
+	}
+	if CostValidate+CostCommit != 10 {
+		t.Errorf("handler-free commit = %d instructions, paper says 10", CostValidate+CostCommit)
+	}
+	if CostRollback != 6 {
+		t.Errorf("handler-free rollback = %d instructions, paper says 6", CostRollback)
+	}
+	if CostRegisterHandler != 9 {
+		t.Errorf("handler registration = %d instructions, paper says 9", CostRegisterHandler)
+	}
+}
+
+// TestEmptyTransactionInstructionCount: an empty transaction costs exactly
+// xbegin (6) + xvalidate (4) + xcommit (6) instructions.
+func TestEmptyTransactionInstructionCount(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	var insns uint64
+	m.Run(func(p *Proc) {
+		before := p.Counters().Instructions
+		p.Atomic(func(tx *Tx) {})
+		insns = p.Counters().Instructions - before
+	})
+	if insns != CostXBegin+CostValidate+CostCommit {
+		t.Fatalf("empty transaction = %d instructions, want %d", insns, CostXBegin+CostValidate+CostCommit)
+	}
+}
+
+// TestSequentialMode: Atomic blocks run inline with commit handlers, no
+// transactional bookkeeping.
+func TestSequentialMode(t *testing.T) {
+	cfg := testConfig(1, Lazy)
+	cfg.Sequential = true
+	m := NewMachine(cfg)
+	a := m.Alloc(1)
+	handlerRan := false
+	rep := m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			p.Store(a, 3)
+			tx.OnCommit(func(p *Proc) { handlerRan = true })
+		})
+		err := p.Atomic(func(tx *Tx) { tx.Abort("nope") })
+		if err == nil {
+			t.Error("sequential abort lost")
+		}
+	})
+	if !handlerRan {
+		t.Fatal("sequential commit handler skipped")
+	}
+	if rep.Machine.TxBegins != 0 {
+		t.Fatalf("sequential mode created %d transactions", rep.Machine.TxBegins)
+	}
+	if m.Mem().Load(a) != 3 {
+		t.Fatal("sequential store lost")
+	}
+}
+
+// TestCommitHandlerCanOpenNest: the transactional-I/O pattern — a commit
+// handler performing its syscall inside an open-nested transaction — must
+// not self-deadlock on the commit token.
+func TestCommitHandlerCanOpenNest(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	a, b := m.AllocLine(), m.AllocLine()
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Store(a, 1)
+				tx.OnCommit(func(p *Proc) {
+					p.AtomicOpen(func(open *Tx) { p.Store(b, 2) })
+				})
+			})
+		},
+		func(p *Proc) {
+			// Competing committer to exercise token arbitration.
+			for i := 0; i < 5; i++ {
+				p.Atomic(func(tx *Tx) { p.Store(b, p.Load(b)+1) })
+			}
+		},
+	)
+	if m.Mem().Load(a) != 1 {
+		t.Fatal("commit lost")
+	}
+}
+
+// TestMossHoskingAnomaly (ablation A3): under Moss–Hosking semantics an
+// open-nested commit trims the parent's read-set, so a later conflicting
+// commit is missed; under the paper's semantics it is caught.
+func TestMossHoskingAnomaly(t *testing.T) {
+	run := func(sem tm.OpenSemantics) uint64 {
+		cfg := testConfig(2, Lazy)
+		cfg.OpenSemantics = sem
+		m := NewMachine(cfg)
+		shared := m.AllocLine()
+		var rollbacks uint64
+		m.Run(
+			func(p *Proc) {
+				p.Atomic(func(tx *Tx) {
+					p.Load(shared) // parent reads the line
+					p.AtomicOpen(func(open *Tx) {
+						p.Store(shared, 42) // open child writes the same line
+					})
+					p.Tick(4000) // window for CPU 1's conflicting commit
+				})
+				rollbacks = p.Counters().Rollbacks
+			},
+			func(p *Proc) {
+				p.Tick(1500)
+				p.Atomic(func(tx *Tx) { p.Store(shared, 7) })
+			},
+		)
+		return rollbacks
+	}
+	if r := run(tm.PaperOpen); r == 0 {
+		t.Fatal("paper semantics: the conflicting commit must violate the parent")
+	}
+	if r := run(tm.MossHoskingOpen); r != 0 {
+		t.Fatalf("Moss–Hosking semantics: read-set was trimmed, yet %d rollbacks occurred", r)
+	}
+}
+
+// TestMachineDeterminism: identical configurations produce identical
+// cycle counts and event totals.
+func TestMachineDeterminism(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		run := func() (uint64, uint64, uint64) {
+			m := NewMachine(testConfig(4, engine))
+			ctr := m.AllocLine()
+			worker := func(p *Proc) {
+				for i := 0; i < 10; i++ {
+					p.Atomic(func(tx *Tx) {
+						v := p.Load(ctr)
+						p.Tick(3 + p.ID())
+						p.Store(ctr, v+1)
+					})
+				}
+			}
+			rep := m.Run(worker, worker, worker, worker)
+			return rep.TotalCycles, rep.Machine.Violations, rep.Machine.Rollbacks
+		}
+		c1, v1, r1 := run()
+		c2, v2, r2 := run()
+		if c1 != c2 || v1 != v2 || r1 != r2 {
+			t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", c1, v1, r1, c2, v2, r2)
+		}
+	})
+}
+
+// TestRunPanicsOnOpenTransaction: a program returning mid-transaction is
+// a bug the machine must catch.
+func TestRunPanicsOnOpenTransaction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewMachine(testConfig(1, Lazy))
+	m.Run(func(p *Proc) {
+		p.xbegin(false) // bypass Atomic: leave the transaction open
+	})
+}
+
+// TestMachineSingleUse: Run twice is rejected.
+func TestMachineSingleUse(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	m.Run(func(p *Proc) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on second Run")
+		}
+	}()
+	m.Run(func(p *Proc) {})
+}
+
+// TestWastedCyclesAccounted: rollbacks record discarded work.
+func TestWastedCyclesAccounted(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	rep := m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Load(shared)
+				p.Tick(3000)
+				p.Store(shared, 1)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(shared, 2)
+		},
+	)
+	if rep.Machine.Rollbacks == 0 {
+		t.Fatal("no rollback happened; test needs the conflict")
+	}
+	if rep.Machine.WastedCycles == 0 {
+		t.Fatal("rollback recorded no wasted cycles")
+	}
+}
+
+// TestOpenNestingAtTopLevelBehavesLikeOutermost.
+func TestOpenNestingAtTopLevel(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	a := m.Alloc(1)
+	m.Run(func(p *Proc) {
+		if err := p.AtomicOpen(func(tx *Tx) { p.Store(a, 4) }); err != nil {
+			t.Errorf("open top-level commit failed: %v", err)
+		}
+	})
+	if m.Mem().Load(a) != 4 {
+		t.Fatal("write lost")
+	}
+}
+
+// TestEagerValidatedStallsRequester: a requester conflicting with a
+// validated transaction stalls rather than violating it.
+func TestEagerValidatedStallsRequester(t *testing.T) {
+	m := NewMachine(testConfig(2, Eager))
+	shared := m.AllocLine()
+	var stall uint64
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Store(shared, 1)
+				// A slow commit handler keeps the transaction validated.
+				tx.OnCommit(func(p *Proc) { p.Tick(2000) })
+			})
+		},
+		func(p *Proc) {
+			p.Tick(500)
+			// Lands while CPU 0 is validated in its commit window.
+			p.Atomic(func(tx *Tx) { p.Store(shared, 2) })
+			stall = p.Counters().StallCycles
+		},
+	)
+	if stall == 0 {
+		t.Skip("timing did not produce a validated-window conflict; covered by workload tests")
+	}
+	if m.Mem().Load(shared) != 2 {
+		t.Fatalf("final = %d, want 2 (CPU 1 commits last)", m.Mem().Load(shared))
+	}
+}
+
+// TestDeepNestingCommits: nesting beyond the hardware levels virtualizes
+// and still commits correctly.
+func TestDeepNestingCommits(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		cfg := testConfig(1, engine)
+		cfg.Cache.MaxLevels = 2
+		m := NewMachine(cfg)
+		a := m.Alloc(1)
+		m.Run(func(p *Proc) {
+			var rec func(depth int)
+			rec = func(depth int) {
+				p.Atomic(func(tx *Tx) {
+					p.Store(a, p.Load(a)+1)
+					if depth < 6 {
+						rec(depth + 1)
+					}
+				})
+			}
+			rec(1)
+		})
+		if got := m.Mem().Load(a); got != 6 {
+			t.Fatalf("a = %d, want 6", got)
+		}
+	})
+}
+
+// TestBackoffGrowsWithConsecutiveRollbacks is observable through forward
+// progress under heavy symmetric contention.
+func TestForwardProgressUnderHeavyContention(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		const cpus = 8
+		m := NewMachine(testConfig(cpus, engine))
+		ctr := m.AllocLine()
+		worker := func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Atomic(func(tx *Tx) {
+					p.Store(ctr, p.Load(ctr)+1)
+				})
+			}
+		}
+		bodies := make([]func(*Proc), cpus)
+		for i := range bodies {
+			bodies[i] = worker
+		}
+		m.Run(bodies...)
+		if got := m.Mem().Load(ctr); got != cpus*5 {
+			t.Fatalf("counter = %d, want %d", got, cpus*5)
+		}
+	})
+}
+
+// TestCacheConfigDefaultsApplied: zero cache config falls back to the
+// paper's platform.
+func TestCacheConfigDefaultsApplied(t *testing.T) {
+	m := NewMachine(Config{CPUs: 1})
+	if m.Config().Cache.L1Bytes != cache.DefaultConfig().L1Bytes {
+		t.Fatal("default cache config not applied")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+// Instruction-count costs of the ISA's software conventions, from the
+// paper's Section 7 measurements of its hand-tuned assembly:
+//
+//	"Starting a transaction requires 6 instructions for TCB allocation. A
+//	 commit without any handlers requires 10 instructions, while a rollback
+//	 without handlers requires 6 instructions. Registering a handler
+//	 without arguments takes 9 instructions."
+//
+// The 10-instruction handler-free commit splits across the two phases:
+// xvalidate plus the empty commit-handler-stack walk costs 4 instructions
+// and xcommit costs 6. Every simulated instruction costs one cycle
+// (CPI = 1), matching the paper's processor model.
+const (
+	// CostXBegin is the TCB allocation and register checkpoint at xbegin.
+	CostXBegin = 6
+	// CostValidate covers xvalidate and the check for an empty
+	// commit-handler stack.
+	CostValidate = 4
+	// CostCommit covers xcommit and TCB deallocation.
+	CostCommit = 6
+	// CostRollback covers xrwsetclear + xregrestore for a rollback with no
+	// registered handlers.
+	CostRollback = 6
+	// CostRegisterHandler is pushing a handler without arguments onto its
+	// stack (per Tx.OnCommit / Tx.OnViolation / Tx.OnAbort call).
+	CostRegisterHandler = 9
+	// CostHandlerArg is the extra cost per handler argument word; our Go
+	// closures capture their arguments, so we charge a flat estimate of
+	// two words per registration inside CostRegisterHandler's callers
+	// when they use arguments explicitly.
+	CostHandlerArg = 1
+	// CostHandlerDispatch is the stack-walk overhead per handler invoked
+	// (loading the handler PC and arguments and the indirect jump).
+	CostHandlerDispatch = 4
+	// CostVRet is the xvret instruction sequence returning from a
+	// violation or abort handler.
+	CostVRet = 2
+	// CostAbort is the xabort instruction itself (handler dispatch and
+	// rollback costs are charged separately).
+	CostAbort = 2
+	// CostOpenUndoSearch is the per-entry cost of the "expensive search
+	// through the undo-log" when an open-nested commit overwrites data
+	// also written by an ancestor (Section 6.3.1).
+	CostOpenUndoSearch = 4
+)

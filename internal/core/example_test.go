@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+)
+
+// ExampleProc_Atomic shows the basic transactional increment on the
+// simulated CMP: violated attempts roll back and re-execute, so the
+// counter is exact.
+func ExampleProc_Atomic() {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 4
+	m := core.NewMachine(cfg)
+	counter := m.AllocLine()
+
+	worker := func(p *core.Proc) {
+		for i := 0; i < 25; i++ {
+			p.Atomic(func(tx *core.Tx) {
+				v := p.Load(counter)
+				p.Tick(8)
+				p.Store(counter, v+1)
+			})
+		}
+	}
+	m.Run(worker, worker, worker, worker)
+	fmt.Println(m.Mem().Load(counter))
+	// Output: 100
+}
+
+// ExampleProc_AtomicOpen shows an open-nested commit surviving its
+// parent's abort (Section 4.5): the order ID stays allocated even though
+// the enclosing transaction rolled back.
+func ExampleProc_AtomicOpen() {
+	m := core.NewMachine(core.Config{CPUs: 1})
+	idCounter := m.AllocLine()
+
+	m.Run(func(p *core.Proc) {
+		err := p.Atomic(func(tx *core.Tx) {
+			p.AtomicOpen(func(open *core.Tx) {
+				p.Store(idCounter, p.Load(idCounter)+1)
+			})
+			tx.Abort("parent changes its mind")
+		})
+		fmt.Println("parent err:", err != nil)
+	})
+	fmt.Println("ids consumed:", m.Mem().Load(idCounter))
+	// Output:
+	// parent err: true
+	// ids consumed: 1
+}
+
+// ExampleTx_OnCommit shows the two-phase commit: handlers run between
+// xvalidate and xcommit, before the write-buffer reaches shared memory.
+func ExampleTx_OnCommit() {
+	m := core.NewMachine(core.Config{CPUs: 1})
+	a := m.AllocLine()
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(tx *core.Tx) {
+			p.Store(a, 7)
+			tx.OnCommit(func(p *core.Proc) {
+				fmt.Println("validated; memory still:", m.Mem().Load(a))
+			})
+		})
+	})
+	fmt.Println("committed; memory now:", m.Mem().Load(a))
+	// Output:
+	// validated; memory still: 0
+	// committed; memory now: 7
+}

@@ -1,0 +1,562 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tmisa/internal/tm"
+	"tmisa/internal/trace"
+)
+
+// Tests for the handler machinery and violation-delivery details beyond
+// the basics in core_test.go.
+
+// TestHandlerMergeOnClosedCommit: commit/violation/abort handlers of a
+// closed-nested transaction transfer to the parent (Section 4.6: "merges
+// its commit, violation, and abort handlers with those of its parent").
+func TestHandlerMergeOnClosedCommit(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	var order []string
+	m.Run(func(p *Proc) {
+		p.Atomic(func(outer *Tx) {
+			outer.OnCommit(func(*Proc) { order = append(order, "outer") })
+			p.Atomic(func(inner *Tx) {
+				inner.OnCommit(func(*Proc) { order = append(order, "inner") })
+			})
+			// The inner commit handler must now be owned by the outer
+			// transaction and run at ITS commit, after the outer's own
+			// (registration order preserved across the merge).
+		})
+	})
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v, want [outer inner]", order)
+	}
+}
+
+// TestMergedViolationHandlersRunOnParentRollback: an inherited violation
+// handler fires when the parent later rolls back.
+func TestMergedViolationHandlersRunOnParentRollback(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	ran := 0
+	first := true
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(outer *Tx) {
+				p.Load(shared)
+				if first {
+					p.Atomic(func(inner *Tx) {
+						inner.OnViolation(func(*Proc, Violation) Decision {
+							ran++
+							return Rollback
+						})
+					}) // inner commits; handler merges into outer
+				}
+				first = false
+				p.Tick(3000)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(shared, 1)
+		},
+	)
+	if ran == 0 {
+		t.Fatal("merged violation handler never ran on the parent's rollback")
+	}
+}
+
+// TestOpenCommitDiscardsViolationAndAbortHandlers (Section 4.6: "On an
+// open-nested commit, we execute commit handlers immediately and discard
+// violation and abort handlers").
+func TestOpenCommitDiscardsViolationAndAbortHandlers(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	var openViolationRan, openCommitRan bool
+	first := true
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(outer *Tx) {
+				p.Load(shared)
+				if first {
+					first = false
+					p.AtomicOpen(func(open *Tx) {
+						open.OnCommit(func(*Proc) { openCommitRan = true })
+						open.OnViolation(func(*Proc, Violation) Decision {
+							openViolationRan = true
+							return Rollback
+						})
+					})
+				}
+				p.Tick(3000) // outer gets violated here
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(shared, 1)
+		},
+	)
+	if !openCommitRan {
+		t.Fatal("open transaction's commit handler did not run at its commit")
+	}
+	if openViolationRan {
+		t.Fatal("open transaction's violation handler survived its commit and ran on the parent's rollback")
+	}
+}
+
+// TestOpenCompensationPattern: the Section 4.5 convention — to undo an
+// open-nested commit when the parent aborts, register the compensation on
+// the PARENT.
+func TestOpenCompensationPattern(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	a := m.Alloc(1)
+	m.Run(func(p *Proc) {
+		err := p.Atomic(func(outer *Tx) {
+			p.AtomicOpen(func(open *Tx) { p.Store(a, 5) })
+			outer.OnAbort(func(p *Proc, reason any) {
+				// Compensation: undo the open-committed update.
+				p.AtomicOpen(func(open *Tx) { p.Store(a, 0) })
+			})
+			outer.Abort("undo everything")
+		})
+		if err == nil {
+			t.Error("abort lost")
+		}
+	})
+	if got := m.Mem().Load(a); got != 0 {
+		t.Fatalf("a = %d, want 0 (compensation must have undone the open commit)", got)
+	}
+}
+
+// TestViolationMaskReportsAffectedLevels: a conflict on a line in both
+// the outer and inner read-sets must carry both level bits (Section 4.6).
+func TestViolationMaskReportsAffectedLevels(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	var mask uint32
+	done := false
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(outer *Tx) {
+				if done {
+					return
+				}
+				outer.OnViolation(func(_ *Proc, v Violation) Decision {
+					mask = v.Mask
+					done = true
+					return Rollback
+				})
+				p.Load(shared) // level 1
+				p.Atomic(func(inner *Tx) {
+					p.Load(shared) // level 2
+					p.Tick(3000)
+				})
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(shared, 9)
+		},
+	)
+	if mask&0b01 == 0 || mask&0b10 == 0 {
+		t.Fatalf("mask = %03b, want both level bits set", mask)
+	}
+}
+
+// TestDecisionWalkFindsAncestorHandler: a violation delivered while a
+// handler-less nested transaction runs is decided by the nearest enclosing
+// level with handlers (the xvhcode stack-walk convention).
+func TestDecisionWalkFindsAncestorHandler(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	decided := false
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(outer *Tx) {
+				outer.OnViolation(func(*Proc, Violation) Decision {
+					decided = true
+					return Ignore
+				})
+				p.Load(shared)
+				p.Atomic(func(inner *Tx) { // no handlers at this level
+					p.Tick(3000)
+				})
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Atomic(func(tx *Tx) { p.Store(shared, 1) })
+		},
+	)
+	if !decided {
+		t.Fatal("ancestor handler never consulted for the nested transaction's violation window")
+	}
+}
+
+// TestAbortInsideNestedRunsOnlyItsHandlers: xabort dispatches the current
+// level's abort handlers, not the ancestors'.
+func TestAbortInsideNestedRunsOnlyItsHandlers(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	var ran []string
+	m.Run(func(p *Proc) {
+		p.Atomic(func(outer *Tx) {
+			outer.OnAbort(func(*Proc, any) { ran = append(ran, "outer") })
+			p.Atomic(func(inner *Tx) {
+				inner.OnAbort(func(*Proc, any) { ran = append(ran, "inner") })
+				inner.Abort("inner only")
+			})
+		})
+	})
+	if len(ran) != 1 || ran[0] != "inner" {
+		t.Fatalf("ran = %v, want [inner]", ran)
+	}
+}
+
+// TestTxUseAfterEndPanics: stale Tx handles are programming errors.
+func TestTxUseAfterEndPanics(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	var stale *Tx
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on stale Tx use")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) { stale = tx })
+		stale.OnCommit(func(*Proc) {})
+	})
+}
+
+// TestAbortAfterValidatePanics: commit handlers cannot abort.
+func TestAbortAfterValidatePanics(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			tx.OnCommit(func(p *Proc) { tx.Abort("too late") })
+		})
+	})
+}
+
+// TestViolationHandlerCanOpenNest: the Figure 3 pattern — handlers access
+// shared state through open-nested transactions.
+func TestViolationHandlerCanOpenNest(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	sideEffect := m.AllocLine()
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				tx.OnViolation(func(p *Proc, v Violation) Decision {
+					p.AtomicOpen(func(open *Tx) {
+						p.Store(sideEffect, p.Load(sideEffect)+1)
+					})
+					return Ignore
+				})
+				p.Load(shared)
+				p.Tick(3000)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Atomic(func(tx *Tx) { p.Store(shared, 1) })
+		},
+	)
+	if got := m.Mem().Load(sideEffect); got == 0 {
+		t.Fatal("handler's open-nested side effect lost")
+	}
+}
+
+// TestIgnoreDeliveredPerQueuedConflict: multiple distinct conflicting
+// lines re-invoke the handler once each (the xvpending protocol).
+func TestIgnoreDeliveredPerQueuedConflict(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	a, b := m.AllocLine(), m.AllocLine()
+	var addrs []uint64
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				tx.OnViolation(func(_ *Proc, v Violation) Decision {
+					addrs = append(addrs, uint64(v.Addr))
+					return Ignore
+				})
+				p.Load(a)
+				p.Load(b)
+				p.Tick(4000)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Atomic(func(tx *Tx) { // one commit touching both lines
+				p.Store(a, 1)
+				p.Store(b, 2)
+			})
+		},
+	)
+	if len(addrs) != 2 {
+		t.Fatalf("handler invoked %d times (%v), want once per conflicting line", len(addrs), addrs)
+	}
+	if addrs[0] == addrs[1] {
+		t.Fatalf("same xvaddr delivered twice: %v", addrs)
+	}
+}
+
+// TestSequentialAbortHandlersRun: sequential-mode aborts still dispatch
+// abort handlers (LIFO).
+func TestSequentialAbortHandlersRun(t *testing.T) {
+	cfg := testConfig(1, Lazy)
+	cfg.Sequential = true
+	m := NewMachine(cfg)
+	var ran []int
+	m.Run(func(p *Proc) {
+		err := p.Atomic(func(tx *Tx) {
+			tx.OnAbort(func(*Proc, any) { ran = append(ran, 1) })
+			tx.OnAbort(func(*Proc, any) { ran = append(ran, 2) })
+			tx.Abort("seq")
+		})
+		var ae *AbortError
+		if !errors.As(err, &ae) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if len(ran) != 2 || ran[0] != 2 || ran[1] != 1 {
+		t.Fatalf("ran = %v, want LIFO [2 1]", ran)
+	}
+}
+
+// TestFlattenSubsumesOpenNesting: the conventional-HTM baseline flattens
+// open-nested transactions too, so their writes no longer commit early.
+func TestFlattenSubsumesOpenNesting(t *testing.T) {
+	cfg := testConfig(1, Lazy)
+	cfg.Flatten = true
+	m := NewMachine(cfg)
+	a := m.Alloc(1)
+	m.Run(func(p *Proc) {
+		err := p.Atomic(func(tx *Tx) {
+			p.AtomicOpen(func(open *Tx) { p.Store(a, 7) })
+			tx.Abort("whole thing dies")
+		})
+		if err == nil {
+			t.Error("abort lost")
+		}
+	})
+	if got := m.Mem().Load(a); got != 0 {
+		t.Fatalf("a = %d: flattened open-nested write escaped the abort", got)
+	}
+}
+
+// TestStatusTransitions: xstatus moves active -> validated -> committed.
+func TestStatusTransitions(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	var during, inHandler tm.Status
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			during = txLevelStatus(tx)
+			tx.OnCommit(func(*Proc) { inHandler = txLevelStatus(tx) })
+		})
+	})
+	if during != tm.Active {
+		t.Fatalf("status during body = %v, want active", during)
+	}
+	if inHandler != tm.Validated {
+		t.Fatalf("status in commit handler = %v, want validated (between the two phases)", inHandler)
+	}
+}
+
+// txLevelStatus peeks the level status (white-box helper).
+func txLevelStatus(tx *Tx) tm.Status { return tx.level.Status }
+
+// TestReadSetFootprintVisible: Tx exposes its footprint for diagnostics.
+func TestReadSetFootprintVisible(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	a, b := m.AllocLine(), m.AllocLine()
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			p.Load(a)
+			p.Load(b)
+			p.Store(a, 1)
+			if tx.ReadSetSize() != 2 {
+				t.Errorf("read-set = %d lines, want 2", tx.ReadSetSize())
+			}
+			if tx.WriteSetSize() != 1 {
+				t.Errorf("write-set = %d lines, want 1", tx.WriteSetSize())
+			}
+			if tx.NL() != 1 || tx.Open() {
+				t.Error("NL/Open wrong")
+			}
+		})
+	})
+}
+
+// TestImldDoesNotSeeSpeculativeState: immediate loads bypass the
+// write-buffer by contract.
+func TestImldDoesNotSeeSpeculativeState(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	a := m.Alloc(1)
+	m.Mem().Store(a, 1)
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			p.Store(a, 2) // buffered
+			if got := p.Imld(a); got != 1 {
+				t.Errorf("imld = %d, want pre-transaction 1 (bypasses the write-buffer)", got)
+			}
+			if got := p.Load(a); got != 2 {
+				t.Errorf("load = %d, want speculative 2", got)
+			}
+		})
+	})
+}
+
+// TestEagerImldSeesInPlaceValue: with in-place versioning the immediate
+// load naturally observes the speculative value (documented asymmetry).
+func TestEagerImldSeesInPlaceValue(t *testing.T) {
+	m := NewMachine(testConfig(1, Eager))
+	a := m.Alloc(1)
+	m.Mem().Store(a, 1)
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			p.Store(a, 2)
+			if got := p.Imld(a); got != 2 {
+				t.Errorf("eager imld = %d, want in-place 2", got)
+			}
+		})
+	})
+}
+
+// TestSerializeToCommitOutsideTxnIsNoop.
+func TestSerializeToCommitOutsideTxnIsNoop(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	m.Run(func(p *Proc) {
+		p.SerializeToCommit() // must not deadlock or panic
+		p.Atomic(func(tx *Tx) {
+			p.SerializeToCommit() // acquire early…
+			p.Tick(10)
+		}) // …and release at commit
+		p.Atomic(func(tx *Tx) { p.Tick(1) }) // token must be free again
+	})
+}
+
+// TestNonTxAccessesOutsideAnyTransaction exercise the plain paths.
+func TestNonTxAccessesOutsideAnyTransaction(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		m := NewMachine(testConfig(1, engine))
+		a := m.Alloc(1)
+		m.Run(func(p *Proc) {
+			p.Store(a, 3)
+			if p.Load(a) != 3 {
+				t.Error("plain store/load broken")
+			}
+			p.Imst(a, 4)
+			if p.Imld(a) != 4 {
+				t.Error("plain imst/imld broken")
+			}
+			p.Release(a) // no-op outside txn
+		})
+	})
+}
+
+// TestTracerRecordsLifecycle: the structured tracer observes begins,
+// commits, violations, rollbacks, aborts, and handler runs.
+func TestTracerRecordsLifecycle(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	log := trace.NewLog(256)
+	m.SetTracer(log.Record)
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				tx.OnCommit(func(*Proc) {})
+				p.Load(shared)
+				p.Atomic(func(inner *Tx) { p.Tick(5) })
+				p.Tick(3000)
+			})
+			p.Atomic(func(tx *Tx) { tx.Abort("traced") })
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(shared, 1)
+		},
+	)
+	for _, k := range []trace.Kind{trace.Begin, trace.Commit, trace.ClosedCommit,
+		trace.Violation, trace.Rollback, trace.Abort, trace.Handler} {
+		if log.Count(k) == 0 {
+			t.Errorf("no %v events recorded", k)
+		}
+	}
+	// Events must be cycle-monotone per CPU.
+	for cpu, evs := range log.PerCPU() {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Cycle < evs[i-1].Cycle {
+				t.Fatalf("cpu %d events out of order: %v after %v", cpu, evs[i], evs[i-1])
+			}
+		}
+	}
+}
+
+// TestViolatedWhileTokenQueuedRollsBack: a transaction cancelled out of
+// the commit queue must roll back and re-execute rather than validate
+// ("the conflict algorithm must guarantee that a validated transaction is
+// never violated by an active one").
+func TestViolatedWhileTokenQueuedRollsBack(t *testing.T) {
+	m := NewMachine(testConfig(2, Lazy))
+	shared := m.AllocLine()
+	attempts := 0
+	m.Run(
+		func(p *Proc) {
+			// Holds the token for a long time via a slow commit handler.
+			// The handler ticks in small chunks: Tick(n) is an atomic
+			// compute block, so chunking is what creates the concurrency
+			// window other CPUs can act in.
+			p.Atomic(func(tx *Tx) {
+				tx.OnCommit(func(p *Proc) {
+					for i := 0; i < 80; i++ {
+						p.Tick(50)
+					}
+				})
+				p.Store(shared, 1)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(200)
+			p.Atomic(func(tx *Tx) {
+				attempts++
+				p.Load(shared) // conflicts with CPU 0's pending commit
+				p.Tick(100)
+				// Reaches xvalidate while CPU 0 holds the token; CPU 0's
+				// commit broadcast then cancels us out of the queue.
+			})
+		},
+	)
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want a queue-cancel retry", attempts)
+	}
+	if got := m.Mem().Load(shared); got != 1 {
+		t.Fatalf("shared = %d", got)
+	}
+}
+
+// TestDeterminismWithTracer: attaching a tracer must not perturb timing.
+func TestDeterminismWithTracer(t *testing.T) {
+	run := func(withTracer bool) uint64 {
+		m := NewMachine(testConfig(4, Lazy))
+		if withTracer {
+			log := trace.NewLog(64)
+			m.SetTracer(log.Record)
+		}
+		ctr := m.AllocLine()
+		worker := func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Atomic(func(tx *Tx) { p.Store(ctr, p.Load(ctr)+1) })
+			}
+		}
+		rep := m.Run(worker, worker, worker, worker)
+		return rep.TotalCycles
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("tracer changed timing: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tmisa/internal/mem"
+	"tmisa/internal/tm"
+	"tmisa/internal/trace"
+)
+
+// unwindKind distinguishes the two non-commit exits of a transaction.
+type unwindKind int
+
+const (
+	// unwindRollback re-executes from the target level's checkpoint.
+	unwindRollback unwindKind = iota
+	// unwindAbort surfaces as *AbortError from the target level's Atomic.
+	unwindAbort
+)
+
+// unwind is the longjmp realizing xregrestore: it propagates (as a panic)
+// from the point of violation or abort to the xbegin frame of the target
+// nesting level, rolling back every level it crosses.
+type unwind struct {
+	kind   unwindKind
+	target int
+	reason any
+}
+
+// Atomic executes body as a transaction: xbegin, body, xvalidate, commit
+// handlers, xcommit. Nested calls create closed-nested transactions with
+// independent rollback (or are flattened under Config.Flatten). It
+// returns nil on commit or *AbortError if body called Tx.Abort.
+//
+// On a violation that rolls this level back, body re-executes from
+// scratch: body must be written like transaction code (no externally
+// visible side effects outside simulated memory and handler
+// registrations, which the rollback machinery undoes).
+func (p *Proc) Atomic(body func(*Tx)) error { return p.atomic(false, body) }
+
+// AtomicOpen executes body as an open-nested transaction (xbegin_open):
+// its commit publishes to shared memory immediately and independently of
+// any enclosing transaction (Section 4.5).
+func (p *Proc) AtomicOpen(body func(*Tx)) error { return p.atomic(true, body) }
+
+func (p *Proc) atomic(open bool, body func(*Tx)) error {
+	if p.seqMode {
+		return p.seqAtomic(body)
+	}
+	if p.m.cfg.Flatten && p.stack.Depth() > 0 {
+		// Conventional HTM baseline: inner transactions are subsumed into
+		// the outermost one; xbegin/xcommit degenerate to nesting-count
+		// updates (one instruction each).
+		p.step(1)
+		body(p.txs[len(p.txs)-1])
+		p.step(1)
+		return nil
+	}
+	for {
+		tx := p.xbegin(open)
+		outcome, reason := p.runLevel(tx, body)
+		switch outcome {
+		case outcomeCommitted:
+			p.consecRollbacks = 0
+			return nil
+		case outcomeAborted:
+			return &AbortError{Reason: reason}
+		case outcomeRollback:
+			p.consecRollbacks++
+			p.backoffStall(p.m.cfg.BackoffBase * p.consecRollbacks)
+		}
+	}
+}
+
+// seqAtomic is the sequential-baseline semantics: no speculation, no
+// conflicts; commit handlers still run at the end (so transactional I/O
+// code works unchanged), violation handlers never fire, and Abort
+// surfaces as an error after its abort handlers.
+func (p *Proc) seqAtomic(body func(*Tx)) (err error) {
+	tx := &Tx{p: p, level: tm.NewLevel(p.stack.Depth()+1, false, p.sp.Time())}
+	defer func() {
+		r := recover()
+		if r == nil {
+			for _, h := range tx.commitHs {
+				h(p)
+			}
+			tx.done = true
+			return
+		}
+		if u, ok := r.(*unwind); ok && u.kind == unwindAbort {
+			tx.done = true
+			err = &AbortError{Reason: u.reason}
+			return
+		}
+		panic(r)
+	}()
+	body(tx)
+	return nil
+}
+
+type levelOutcome int
+
+const (
+	outcomeCommitted levelOutcome = iota
+	outcomeRollback
+	outcomeAborted
+)
+
+// runLevel executes one attempt of one nesting level and converts unwind
+// panics crossing this frame into rollbacks of this level.
+func (p *Proc) runLevel(tx *Tx, body func(*Tx)) (outcome levelOutcome, reason any) {
+	myNL := tx.level.NL
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		u, ok := r.(*unwind)
+		if !ok {
+			panic(r)
+		}
+		p.rollbackLevel(tx)
+		if u.target < myNL {
+			panic(u) // an ancestor is also rolling back
+		}
+		if u.kind == unwindAbort {
+			outcome, reason = outcomeAborted, u.reason
+		} else {
+			outcome = outcomeRollback
+		}
+	}()
+	body(tx)
+	p.xvalidate(tx)
+	if tx.level.Open || tx.level.NL == 1 {
+		// Commit handlers run between xvalidate and xcommit only when
+		// this level commits to shared memory; a closed-nested commit
+		// instead merges its handlers into the parent (Section 4.6).
+		p.runCommitHandlers(tx)
+	}
+	p.xcommit(tx)
+	return outcomeCommitted, nil
+}
+
+// xbegin allocates the TCB frame (6 instructions) and checkpoints the
+// registers (realized by the enclosing re-execution loop).
+func (p *Proc) xbegin(open bool) *Tx {
+	p.step(CostXBegin)
+	p.emit(trace.Begin, p.stack.Depth()+1, open, 0, "")
+	lvl := p.stack.Push(open, p.sp.Time())
+	tx := &Tx{p: p, level: lvl}
+	p.txs = append(p.txs, tx)
+	p.c.TxBegins++
+	return tx
+}
+
+// xvalidate verifies atomicity for levels that commit to shared memory:
+// in the lazy engine it acquires the commit token (Section 6.1) and
+// confirms no conflict hit this level; in the eager engine ownership was
+// acquired access-by-access, so only the conflict check remains. For
+// closed-nested levels it is a no-op. After xvalidate completes, the
+// transaction can no longer be rolled back by a prior memory access.
+func (p *Proc) xvalidate(tx *Tx) {
+	p.step(CostValidate)
+	lvl := tx.level
+	if !lvl.Open && lvl.NL > 1 {
+		lvl.Status = tm.Validated // closed nesting: xvalidate is a no-op
+		return
+	}
+	bit := uint32(1) << (lvl.NL - 1)
+	for {
+		if p.m.cfg.Engine == Lazy {
+			if p.tokenDepth > 0 {
+				p.tokenDepth++
+			} else {
+				waited, ok := p.m.token.Acquire(p.sp)
+				p.c.TokenWaitCycle += waited
+				if !ok {
+					// Cancelled: a conflict arrived while we queued for
+					// the token. Re-arbitrate; the conflict-bit check
+					// below decides whether this level lost.
+					continue
+				}
+				p.tokenDepth = 1
+			}
+		}
+		if p.violMask()&bit != 0 {
+			// A conflict hit this level before validation completed: the
+			// conflict algorithm guarantees a validated transaction is
+			// never violated by an active one, so this level loses. Give
+			// the token back and roll back for re-execution (conflicts
+			// against other levels stay queued for normal delivery).
+			p.releaseToken()
+			if lvl.NL == 1 {
+				p.c.OuterRollbacks++
+			} else {
+				p.c.InnerRollbacks++
+			}
+			if DebugRollback != nil {
+				DebugRollback(p.id, 0, p.violMask(), lvl.NL)
+			}
+			panic(&unwind{kind: unwindRollback, target: lvl.NL})
+		}
+		break
+	}
+	lvl.Status = tm.Validated
+}
+
+// runCommitHandlers walks the commit-handler stack in registration order
+// between the two commit phases (Section 4.2).
+func (p *Proc) runCommitHandlers(tx *Tx) {
+	for _, h := range tx.commitHs {
+		p.chargeInsn(CostHandlerDispatch)
+		p.c.CommitHandlers++
+		p.emit(trace.Handler, tx.level.NL, tx.level.Open, 0, "commit")
+		h(p)
+	}
+}
+
+// xcommit makes the transaction's writes visible: a closed-nested commit
+// merges into the parent (no update escapes to memory); an open-nested or
+// outermost commit publishes the write-buffer, broadcasts the write-set
+// for lazy conflict detection, applies the open-nesting semantics to
+// ancestors, and releases the commit token.
+func (p *Proc) xcommit(tx *Tx) {
+	p.chargeInsn(CostCommit)
+	lvl := tx.level
+
+	if !lvl.Open && lvl.NL > 1 {
+		// Closed-nested commit: merge speculative state and sets into the
+		// parent (Figure 1, steps 1-2).
+		parent := p.stack.At(lvl.NL - 1)
+		merged := tm.MergeClosedInto(parent, lvl)
+		p.c.MergedLines += uint64(merged)
+		cres := p.hier.CommitLevel(lvl.NL, false)
+		p.sp.Advance(cres.Latency)
+		ptx := p.txs[lvl.NL-2]
+		ptx.commitHs = append(ptx.commitHs, tx.commitHs...)
+		ptx.violHs = append(ptx.violHs, tx.violHs...)
+		ptx.abortHs = append(ptx.abortHs, tx.abortHs...)
+		p.shiftViolBitDown(lvl.NL)
+		p.emit(trace.ClosedCommit, lvl.NL, false, 0, "")
+		lvl.Status = tm.Committed
+		p.c.ClosedCommits++
+		p.c.TxCommits++
+		p.popLevel(tx)
+		return
+	}
+
+	// Open-nested or outermost commit: publish to shared memory
+	// (Figure 1, steps 3-4).
+	if p.m.cfg.Engine == Lazy {
+		for _, w := range sortedWords(lvl.WBuf) {
+			p.m.mem.Store(w, lvl.WBuf[w])
+		}
+		// Broadcast the write-set over the bus; every other processor
+		// snoops it against its read-/write-sets (lazy conflict
+		// detection).
+		if n := len(lvl.WriteSet); n > 0 {
+			granule := p.m.cfg.Cache.LineSize
+			if p.m.cfg.WordTracking {
+				granule = mem.WordSize
+			}
+			bytes := n * granule
+			done := p.m.bus.Transfer(p.sp.Time(), bytes)
+			p.c.BusCycles += done - p.sp.Time()
+			p.sp.Advance(done - p.sp.Time())
+		}
+		p.violateOthers(sortedLines(lvl.WriteSet), nil)
+	}
+	if lvl.Open {
+		committed := func(w mem.Addr) uint64 {
+			if p.m.cfg.Engine == Lazy {
+				return lvl.WBuf[w]
+			}
+			return p.m.mem.Load(w) // eager: the write already landed
+		}
+		rewrites := tm.ApplyOpenCommitToAncestors(&p.stack, lvl, p.m.cfg.OpenSemantics, committed)
+		if rewrites > 0 {
+			p.chargeInsn(rewrites * CostOpenUndoSearch)
+		}
+		p.c.OpenCommits++
+	}
+	p.hier.CommitLevel(lvl.NL, true)
+	if p.m.cfg.Engine == Eager {
+		p.wakeStallWaiters()
+	}
+	if lvl.NL == 1 {
+		// The outermost commit drains any serialization acquired early
+		// (SerializeToCommit) in addition to its own validate hold.
+		for p.tokenDepth > 0 {
+			p.releaseToken()
+		}
+	} else {
+		p.releaseToken()
+	}
+	p.emit(trace.Commit, lvl.NL, lvl.Open, 0, "")
+	lvl.Status = tm.Committed
+	p.c.TxCommits++
+	p.popLevel(tx)
+}
+
+// SerializeToCommit models HTM systems that revert to serial execution at
+// an I/O point: the transaction acquires the commit token immediately and
+// holds it until its outermost commit, excluding every other commit in the
+// machine. The transactional-I/O evaluation uses it as the conventional
+// baseline the paper's commit-handler scheme is compared against. It is a
+// no-op in the eager engine (whose commits are local) and outside
+// transactions.
+func (p *Proc) SerializeToCommit() {
+	if p.m.cfg.Engine != Lazy || p.seqMode || p.stack.Depth() == 0 {
+		return
+	}
+	p.step(1)
+	for p.tokenDepth == 0 {
+		waited, ok := p.m.token.Acquire(p.sp)
+		p.c.TokenWaitCycle += waited
+		if ok {
+			p.tokenDepth = 1
+			return
+		}
+		// Cancelled by a violation while queued: take it (this normally
+		// unwinds and the transaction retries).
+		p.deliver()
+	}
+}
+
+// rollbackLevel discards one level: restore the undo-log (FILO), flush
+// the write-buffer, gang-clear the cache marks, and deallocate the TCB
+// (xrwsetclear + xregrestore, 6 instructions without handlers).
+func (p *Proc) rollbackLevel(tx *Tx) {
+	lvl := p.stack.Top()
+	if lvl != tx.level {
+		panic(fmt.Sprintf("core: CPU %d rollback of non-top level %d (top %d)", p.id, tx.level.NL, lvl.NL))
+	}
+	p.chargeInsn(CostRollback)
+	for i := len(lvl.Undo) - 1; i >= 0; i-- {
+		p.m.mem.Store(lvl.Undo[i].Addr, lvl.Undo[i].Old)
+	}
+	p.hier.RollbackLevel(lvl.NL)
+	lvl.Status = tm.Aborted
+	if lvl.NL == 1 {
+		// Release any serialization the doomed transaction held.
+		for p.tokenDepth > 0 {
+			p.releaseToken()
+		}
+	}
+	p.c.Rollbacks++
+	p.c.WastedCycles += p.sp.Time() - lvl.StartCycle
+	p.emit(trace.Rollback, lvl.NL, lvl.Open, 0, "")
+	p.popLevel(tx)
+}
+
+// popLevel removes the top TCB frame and retires its violation bits (a
+// committed level's conflicts die with it — commit won the race; an
+// aborted level's were cleared by its xrwsetclear).
+func (p *Proc) popLevel(tx *Tx) {
+	p.stripViolBit(tx.level.NL)
+	p.stack.Pop()
+	p.txs = p.txs[:len(p.txs)-1]
+	tx.done = true
+	if p.stack.Depth() == 0 {
+		p.violQ = nil
+	}
+}
+
+// releaseToken undoes one level of (reentrant) token holding.
+func (p *Proc) releaseToken() {
+	if p.m.cfg.Engine != Lazy || p.tokenDepth == 0 {
+		return
+	}
+	p.tokenDepth--
+	if p.tokenDepth == 0 {
+		p.m.token.Release(p.sp, p.sp.Time())
+	}
+}
+
+// chargeInsn charges instructions without an engine yield (used inside
+// multi-step ISA operations whose effects must be atomic in sim time).
+func (p *Proc) chargeInsn(n int) {
+	p.c.Instructions += uint64(n)
+	p.sp.Advance(uint64(n))
+}
+
+func sortedLines(set map[mem.Addr]struct{}) []mem.Addr {
+	out := make([]mem.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedWords(m map[mem.Addr]uint64) []mem.Addr {
+	out := make([]mem.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"tmisa/internal/bus"
+	"tmisa/internal/cache"
+	"tmisa/internal/mem"
+	"tmisa/internal/sim"
+	"tmisa/internal/stats"
+	"tmisa/internal/trace"
+)
+
+// Machine is a simulated transactional chip-multiprocessor: CPUs with
+// private cache hierarchies, a shared split-transaction bus with the
+// commit token, shared memory, and the HTM engine configured by Config.
+//
+// Construct one per run; a Machine is single-use. Shared data structures
+// are laid out in simulated memory before Run via Mem and Alloc.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	mem   *mem.Memory
+	bus   *bus.Bus
+	token *bus.Token
+	procs []*Proc
+
+	report stats.Report
+	ran    bool
+
+	tracer func(trace.Event)
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) *Machine {
+	if cfg.CPUs <= 0 {
+		panic("core: Config.CPUs must be positive")
+	}
+	if cfg.Cache.LineSize == 0 {
+		cfg.Cache = cache.DefaultConfig()
+	}
+	if cfg.Engine == Eager && cfg.BackoffBase == 0 {
+		// Requester-wins eager conflict resolution can livelock two
+		// symmetric transactions without backoff.
+		cfg.BackoffBase = 40
+	}
+	m := &Machine{
+		cfg:   cfg,
+		eng:   sim.NewEngine(cfg.CPUs),
+		mem:   mem.New(),
+		bus:   bus.New(),
+		token: bus.NewToken(),
+	}
+	m.eng.MaxCycles = cfg.MaxCycles
+	for i := 0; i < cfg.CPUs; i++ {
+		m.procs = append(m.procs, newProc(m, i))
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mem exposes the simulated physical memory for pre-run initialization
+// and post-run verification. Using it during Run bypasses the timing
+// model and conflict detection; simulation code must use Proc accessors.
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// Alloc reserves n words of simulated memory (pre-run setup helper).
+func (m *Machine) Alloc(nwords int) mem.Addr { return m.mem.AllocWords(nwords) }
+
+// AllocAligned reserves n bytes at the given alignment. Allocating
+// conflict-prone variables on distinct cache lines (align = line size)
+// avoids false sharing, just as a real runtime would.
+func (m *Machine) AllocAligned(nbytes, align int) mem.Addr { return m.mem.Alloc(nbytes, align) }
+
+// AllocLine reserves one cache line and returns its (line-aligned) base,
+// for shared words that must not false-share.
+func (m *Machine) AllocLine() mem.Addr {
+	return m.mem.Alloc(m.cfg.Cache.LineSize, m.cfg.Cache.LineSize)
+}
+
+// Proc returns CPU i's processor handle.
+func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
+
+// SetupProc returns an untimed pseudo-processor for pre-run
+// initialization: its memory operations apply directly to memory with no
+// timing, conflicts, or engine interaction, and Atomic blocks run inline.
+// Use it to drive simulated data structures (for example pre-populating a
+// B-tree) from Setup code; never use it during Run.
+func (m *Machine) SetupProc() *Proc {
+	return &Proc{
+		m:          m,
+		sp:         sim.NewEngine(1).Proc(0),
+		id:         -1,
+		hier:       cache.NewHierarchy(m.cfg.Cache),
+		violReport: true,
+		seqMode:    true,
+		untimed:    true,
+	}
+}
+
+// NumProcs returns the CPU count.
+func (m *Machine) NumProcs() int { return len(m.procs) }
+
+// Run executes one program per CPU to completion (missing/nil entries
+// leave that CPU idle) and finalizes the report. It panics on simulated
+// deadlock, on a program leaving a transaction open, and on livelock when
+// MaxCycles is set.
+func (m *Machine) Run(programs ...func(*Proc)) *stats.Report {
+	if m.ran {
+		panic("core: Machine.Run called twice; machines are single-use")
+	}
+	m.ran = true
+	bodies := make([]func(*sim.P), len(m.procs))
+	for i := range m.procs {
+		if i >= len(programs) || programs[i] == nil {
+			continue
+		}
+		p, program := m.procs[i], programs[i]
+		bodies[i] = func(sp *sim.P) {
+			program(p)
+			if d := p.stack.Depth(); d != 0 {
+				panic(fmt.Sprintf("core: CPU %d program returned inside a transaction (depth %d)", p.id, d))
+			}
+		}
+	}
+	m.eng.Run(bodies)
+	m.finalize()
+	return &m.report
+}
+
+func (m *Machine) finalize() {
+	m.report.PerCPU = make([]stats.Counters, len(m.procs))
+	for i, p := range m.procs {
+		p.c.Cycles = p.sp.Time()
+		m.report.PerCPU[i] = p.c
+		if p.sp.Time() > m.report.TotalCycles {
+			m.report.TotalCycles = p.sp.Time()
+		}
+	}
+	m.report.Aggregate()
+}
+
+// Report returns the finalized statistics (valid after Run).
+func (m *Machine) Report() *stats.Report { return &m.report }
+
+// SetTracer attaches a structured-event sink (typically a *trace.Log's
+// Record method); pass nil to detach. Set it before Run.
+func (m *Machine) SetTracer(f func(trace.Event)) { m.tracer = f }
+
+// raiseViolation is the conflict-detection back end: it merges the
+// conflict records into the victim's queue (the xvcurrent/xvpending and
+// xvaddr state) and kicks the victim out of any wait state so it observes
+// the violation.
+func (m *Machine) raiseViolation(victim *Proc, recs []violRec, now uint64) {
+	if len(recs) == 0 {
+		return
+	}
+	victim.c.Violations++
+	for _, r := range recs {
+		victim.enqueueViolation(r)
+	}
+	// A victim waiting to validate loses its place in line (the conflict
+	// algorithm guarantees a validated transaction is never violated by an
+	// active one, so the victim must abort rather than validate).
+	m.token.Cancel(victim.sp, now)
+	// A victim stalled on a validated transaction (eager engine) is woken
+	// to observe the violation.
+	victim.unstall(now)
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+
+	"tmisa/internal/cache"
+	"tmisa/internal/mem"
+	"tmisa/internal/sim"
+	"tmisa/internal/stats"
+	"tmisa/internal/tm"
+	"tmisa/internal/trace"
+)
+
+// Proc is one simulated CPU as seen by programs: the memory instructions
+// (transactional and immediate), the transaction-defining instructions
+// (Atomic/AtomicOpen wrapping xbegin..xcommit), and the architected HTM
+// state of Table 1.
+type Proc struct {
+	m    *Machine
+	sp   *sim.P
+	id   int
+	hier *cache.Hierarchy
+	c    stats.Counters
+
+	// stack is the TCB stack (xtcbptr_base/xtcbptr_top); txs parallels it
+	// with the software-visible handler state of each TCB frame.
+	stack tm.Stack
+	txs   []*Tx
+
+	// Violation state (Table 1): violQ holds the undelivered conflicts
+	// (realizing xvaddr plus the xvcurrent/xvpending bitmasks — see
+	// violRec); violReport is the reporting-enable flag toggled by
+	// violation dispatch and xenviolrep.
+	violQ      []violRec
+	violReport bool
+
+	// tokenDepth makes the commit token reentrant for open-nested commits
+	// performed while the outermost transaction already validated.
+	tokenDepth int
+
+	// consecRollbacks drives the contention-management backoff.
+	consecRollbacks int
+
+	// stalled marks the CPU blocked on a validated conflicting transaction
+	// (eager engine); stallWaiters are CPUs blocked on *this* CPU's commit.
+	stalled      bool
+	stallWaiters []*Proc
+
+	// seqMode suppresses all transactional bookkeeping; the sequential
+	// baselines use it so they pay memory-system costs only.
+	seqMode bool
+	// untimed additionally suppresses all timing and engine interaction:
+	// setup code uses it to drive simulated data structures (for example
+	// pre-populating B-trees) before the machine runs.
+	untimed bool
+}
+
+// debugViolate is a test hook observing broadcast checks.
+var debugViolate func(committer, victim int, lines []mem.Addr, recs []violRec)
+
+func newProc(m *Machine, id int) *Proc {
+	return &Proc{
+		m:          m,
+		sp:         m.eng.Proc(id),
+		id:         id,
+		hier:       cache.NewHierarchy(m.cfg.Cache),
+		violReport: true,
+		seqMode:    m.cfg.Sequential,
+	}
+}
+
+// ID returns the CPU number.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the CPU's local cycle count.
+func (p *Proc) Now() uint64 { return p.sp.Time() }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Counters exposes this CPU's statistics (read-only use expected).
+func (p *Proc) Counters() *stats.Counters { return &p.c }
+
+// InTx reports whether the CPU is inside a transaction.
+func (p *Proc) InTx() bool { return p.stack.Depth() > 0 }
+
+// NestingLevel returns the current nesting depth (xstatus.NL).
+func (p *Proc) NestingLevel() int { return p.stack.Depth() }
+
+// step is the per-instruction boundary: it yields to the engine (so all
+// shared-state effects are globally time-ordered), takes any pending
+// violation (the "user-level exception" of Section 4.3), and charges n
+// instructions at CPI = 1.
+func (p *Proc) step(n int) {
+	if p.untimed {
+		return
+	}
+	p.sp.Yield()
+	p.deliver()
+	p.c.Instructions += uint64(n)
+	p.sp.Advance(uint64(n))
+}
+
+// Tick charges n instructions of non-memory computation. One Tick is a
+// single simulation step: an atomic compute block that other CPUs cannot
+// interleave with (its effects-at-grant-time land before the advance).
+// Model interruptible computation by ticking in smaller chunks.
+func (p *Proc) Tick(n int) {
+	if n <= 0 {
+		return
+	}
+	p.step(n)
+}
+
+// TickCycles advances local time by n cycles without retiring
+// instructions (device occupancy, queueing delays).
+func (p *Proc) TickCycles(n uint64) {
+	if n == 0 || p.untimed {
+		return
+	}
+	p.sp.Yield()
+	p.deliver()
+	p.sp.Advance(n)
+}
+
+// access runs one reference through the private hierarchy and the shared
+// bus and charges its latency. nl is the hardware nesting level (0 for
+// non-transactional and immediate accesses).
+func (p *Proc) access(a mem.Addr, write bool, nl int) {
+	if p.untimed {
+		return
+	}
+	res := p.hier.Access(a, write, nl)
+	lat := res.Latency
+	if res.BusBytes > 0 {
+		done := p.m.bus.Transfer(p.sp.Time()+lat, res.BusBytes)
+		busLat := done - p.sp.Time()
+		p.c.BusCycles += done - (p.sp.Time() + lat)
+		lat = busLat
+	}
+	p.sp.Advance(lat)
+	switch {
+	case res.HitL1:
+		p.c.L1Hits++
+	case res.HitL2:
+		p.c.L2Hits++
+	default:
+		p.c.Misses++
+	}
+	p.c.Overflow += uint64(res.Overflowed)
+	p.c.Evicts += uint64(res.Evicted)
+	if res.LazyFix {
+		p.c.LazyMergeHits++
+	}
+}
+
+// line returns the conflict-detection granule of an address: a cache
+// line, or a word under Config.WordTracking.
+func (p *Proc) line(a mem.Addr) mem.Addr {
+	if p.m.cfg.WordTracking {
+		return mem.WordAlign(a)
+	}
+	return p.hier.LineAddr(a)
+}
+
+// Load performs a transactional load: the line joins the current
+// transaction's read-set, and (lazy engine) the value reflects this nest's
+// speculative writes. Outside a transaction it is an ordinary load.
+func (p *Proc) Load(a mem.Addr) uint64 {
+	p.step(1)
+	p.c.Loads++
+	word := mem.WordAlign(a)
+	lvl := p.stack.Top()
+	if p.seqMode || lvl == nil {
+		if !p.seqMode && p.m.cfg.Engine == Eager {
+			// Strong atomicity: with in-place speculative data, a
+			// non-transactional load must not observe an uncommitted
+			// write. The coherence protocol stalls the load until the
+			// writer commits or aborts (killing the writer from a plain
+			// read would let pollers livelock writers).
+			p.eagerResolve(p.line(a), false, false)
+		}
+		p.access(a, false, 0)
+		return p.m.mem.Load(word)
+	}
+	line := p.line(a)
+	if p.m.cfg.Engine == Eager {
+		p.eagerResolve(line, false, true)
+	}
+	p.access(a, false, lvl.NL)
+	lvl.RecordRead(line)
+	if p.m.cfg.Engine == Lazy {
+		if v, ok := p.stack.LookupSpec(word); ok {
+			return v
+		}
+	}
+	return p.m.mem.Load(word)
+}
+
+// Store performs a transactional store: buffered in the write-buffer
+// (lazy) or written in place with an undo-log record (eager), with the
+// line joining the write-set. Outside a transaction it is an ordinary
+// store that still violates conflicting transactions (strong atomicity).
+func (p *Proc) Store(a mem.Addr, v uint64) {
+	p.step(1)
+	p.c.Stores++
+	word := mem.WordAlign(a)
+	lvl := p.stack.Top()
+	if p.seqMode || lvl == nil {
+		p.access(a, true, 0)
+		p.m.mem.Store(word, v)
+		if !p.seqMode {
+			// Strong atomicity: violate every transaction speculating on
+			// this line, in both engines.
+			p.violateOthers([]mem.Addr{p.line(a)}, nil)
+		}
+		return
+	}
+	line := p.line(a)
+	if p.m.cfg.Engine == Eager {
+		p.eagerResolve(line, true, true)
+	}
+	p.access(a, true, lvl.NL)
+	lvl.RecordWrite(line)
+	switch p.m.cfg.Engine {
+	case Lazy:
+		lvl.BufferWrite(word, v)
+	case Eager:
+		lvl.LogUndo(word, p.m.mem.Load(word))
+		p.m.mem.Store(word, v)
+	}
+}
+
+// LoadF and StoreF are float convenience wrappers over Load/Store.
+func (p *Proc) LoadF(a mem.Addr) float64     { return mem.B2F(p.Load(a)) }
+func (p *Proc) StoreF(a mem.Addr, f float64) { p.Store(a, mem.F2B(f)) }
+
+// Imld is the immediate load (Table 2): a normal cached access that does
+// not join the read-set and does not see speculative write-buffer state.
+// Use it only for data the software can prove thread-private or read-only.
+func (p *Proc) Imld(a mem.Addr) uint64 {
+	p.step(1)
+	p.c.ImmediateOps++
+	p.access(a, false, 0)
+	return p.m.mem.Load(mem.WordAlign(a))
+}
+
+// Imst is the immediate store: it updates memory immediately without
+// joining the write-set, but keeps undo information so the store is still
+// rolled back with the transaction.
+func (p *Proc) Imst(a mem.Addr, v uint64) {
+	p.step(1)
+	p.c.ImmediateOps++
+	p.access(a, true, 0)
+	word := mem.WordAlign(a)
+	if lvl := p.stack.Top(); lvl != nil && !p.seqMode {
+		lvl.LogUndo(word, p.m.mem.Load(word))
+	}
+	p.m.mem.Store(word, v)
+}
+
+// Imstid is the idempotent immediate store: no write-set membership and no
+// undo information; the store survives rollback.
+func (p *Proc) Imstid(a mem.Addr, v uint64) {
+	p.step(1)
+	p.c.ImmediateOps++
+	p.access(a, true, 0)
+	p.m.mem.Store(mem.WordAlign(a), v)
+}
+
+// Release removes a's line from the current transaction's read-set (the
+// early-release instruction). It is a no-op outside a transaction.
+func (p *Proc) Release(a mem.Addr) {
+	p.step(1)
+	if lvl := p.stack.Top(); lvl != nil {
+		lvl.Release(p.line(a))
+	}
+}
+
+// Park blocks this CPU until another CPU calls UnparkProc on it; the
+// software thread layer uses it for idle dispatch loops and waiting
+// threads. Parking inside a transaction is a programming error.
+func (p *Proc) Park(reason string) {
+	if p.InTx() {
+		panic(fmt.Sprintf("core: CPU %d parked inside a transaction", p.id))
+	}
+	p.sp.Block(reason)
+	p.deliver()
+}
+
+// UnparkProc wakes a parked CPU at the caller's current time. It reports
+// whether the CPU was actually blocked (a false result means the wake was
+// stale or raced with another waker).
+func (p *Proc) UnparkProc(q *Proc) bool {
+	if q.sp.State() == sim.Waiting {
+		q.sp.Unblock(p.sp.Time())
+		return true
+	}
+	return false
+}
+
+// Parked reports whether q's CPU is blocked.
+func (p *Proc) Parked() bool { return p.sp.State() == sim.Waiting }
+
+// violateOthers raises violations on every other processor whose
+// read-/write-sets intersect lines. except, when non-nil, is skipped
+// (used for the committer itself). The line slice must be in a
+// deterministic order; callers sort it.
+func (p *Proc) violateOthers(lines []mem.Addr, except *Proc) {
+	if len(lines) == 0 {
+		return
+	}
+	now := p.sp.Time()
+	for _, q := range p.m.procs {
+		if q == p || q == except {
+			continue
+		}
+		var recs []violRec
+		for _, l := range lines {
+			if mask := q.stack.ConflictsWithLine(l, false); mask != 0 {
+				recs = append(recs, violRec{addr: l, mask: mask})
+			}
+		}
+		if debugViolate != nil {
+			debugViolate(p.id, q.id, lines, recs)
+		}
+		if len(recs) > 0 {
+			p.m.raiseViolation(q, recs, now)
+		}
+	}
+}
+
+// eagerResolve implements eager conflict detection for one access: a load
+// conflicts with other processors' speculative writers; a store conflicts
+// with their readers and writers. With kill set, active victims are
+// violated (requester wins); without it (non-transactional reads under
+// strong atomicity) the requester only waits. Validated victims can never
+// be violated (Section 6.1), so the requester stalls until they commit.
+func (p *Proc) eagerResolve(line mem.Addr, isWrite, kill bool) {
+	for {
+		anyConflict := false
+		stalledOn := (*Proc)(nil)
+		for _, q := range p.m.procs {
+			if q == p {
+				continue
+			}
+			mask := q.stack.ConflictsWithLine(line, !isWrite)
+			if mask == 0 {
+				continue
+			}
+			anyConflict = true
+			if q.hasValidatedLevel(mask) {
+				stalledOn = q
+				break
+			}
+			if kill {
+				p.m.raiseViolation(q, []violRec{{addr: line, mask: mask}}, p.sp.Time())
+			}
+		}
+		if !anyConflict {
+			return
+		}
+		if stalledOn != nil {
+			start := p.sp.Time()
+			stalledOn.stallWaiters = append(stalledOn.stallWaiters, p)
+			p.stalled = true
+			p.sp.Block("stalled on validated transaction")
+			p.stalled = false
+			p.c.StallCycles += p.sp.Time() - start
+		} else {
+			// The victims are doomed but have not rolled back yet; with
+			// in-place speculative data we must not touch the line until
+			// their undo-log restores it. Spin a cycle at a time (this is
+			// the coherence-protocol NACK window of eager HTMs).
+			p.c.StallCycles++
+			p.sp.Advance(1)
+			p.sp.Yield()
+		}
+		p.deliver() // we may have been violated while stalled
+	}
+}
+
+// hasValidatedLevel reports whether any level selected by mask is
+// validated.
+func (p *Proc) hasValidatedLevel(mask uint32) bool {
+	for _, l := range p.stack.Levels {
+		if mask&(1<<(l.NL-1)) != 0 && l.Status == tm.Validated {
+			return true
+		}
+	}
+	return false
+}
+
+// unstall wakes this CPU if it is stalled (used when it gets violated so
+// it can roll back instead of waiting forever).
+func (p *Proc) unstall(now uint64) {
+	if p.stalled && p.sp.State() == sim.Waiting {
+		p.sp.Unblock(now)
+	}
+}
+
+// wakeStallWaiters releases every CPU stalled on this CPU's commit.
+func (p *Proc) wakeStallWaiters() {
+	now := p.sp.Time()
+	for _, q := range p.stallWaiters {
+		if q.sp.State() == sim.Waiting {
+			q.sp.Unblock(now)
+		}
+	}
+	p.stallWaiters = p.stallWaiters[:0]
+}
+
+// emit records a structured trace event when a tracer is attached.
+func (p *Proc) emit(k trace.Kind, level int, open bool, addr mem.Addr, note string) {
+	if p.m.tracer == nil || p.untimed {
+		return
+	}
+	p.m.tracer(trace.Event{
+		Cycle: p.sp.Time(), CPU: p.id, Kind: k,
+		Level: level, Open: open, Addr: addr, Note: note,
+	})
+}
+
+// backoffStall advances time without retiring instructions (contention
+// management between a rollback and its re-execution).
+func (p *Proc) backoffStall(cycles int) {
+	if cycles <= 0 {
+		return
+	}
+	p.sp.Yield()
+	p.sp.Advance(uint64(cycles))
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tmisa/internal/mem"
+)
+
+// The serializability harness: CPUs run randomized transactions over a
+// small shared array. Each transaction reads a set of cells, computes a
+// non-commutative mixing function, writes a set of cells, and appends its
+// identity to a shared commit log (a cursor plus per-slot entries) within
+// the same transaction. Afterwards the committed schedule is replayed
+// sequentially in Go; since the log order IS the commit order, the replay
+// must reproduce the exact final memory image. Any atomicity, isolation,
+// or ordering bug in the HTM shows up as a mismatch.
+
+type serTxn struct {
+	id     int
+	reads  []int
+	writes []int
+	salt   uint64
+}
+
+// mixFn is deliberately non-commutative and non-associative.
+func mixFn(vals []uint64, salt uint64) uint64 {
+	h := salt
+	for _, v := range vals {
+		h = h*6364136223846793005 + v ^ (h >> 29)
+	}
+	return h
+}
+
+func genSerTxns(cpu, n, cells int) []serTxn {
+	r := newTestRNG(uint64(cpu)*95279 + 1)
+	txns := make([]serTxn, n)
+	for i := range txns {
+		t := serTxn{id: cpu*1000 + i, salt: r.next()}
+		for k := 0; k < 1+int(r.next()%3); k++ {
+			t.reads = append(t.reads, int(r.next()%uint64(cells)))
+		}
+		for k := 0; k < 1+int(r.next()%2); k++ {
+			t.writes = append(t.writes, int(r.next()%uint64(cells)))
+		}
+		txns[i] = t
+	}
+	return txns
+}
+
+type testRNG uint64
+
+func newTestRNG(seed uint64) testRNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return testRNG(seed)
+}
+
+func (r *testRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = testRNG(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+func runSerializability(t *testing.T, engine EngineKind, cpus, txnsPer, cells int) {
+	t.Helper()
+	runSerializabilityCfg(t, testConfig(cpus, engine), cpus, txnsPer, cells)
+}
+
+func runSerializabilityCfg(t *testing.T, cfg Config, cpus, txnsPer, cells int) {
+	t.Helper()
+	m := NewMachine(cfg)
+	lineSize := cfg.Cache.LineSize
+
+	cellAddr := make([]mem.Addr, cells)
+	for i := range cellAddr {
+		cellAddr[i] = m.AllocLine()
+		m.Mem().Store(cellAddr[i], uint64(i)*17+3)
+	}
+	logCursor := m.AllocLine()
+	logBase := m.AllocAligned(cpus*txnsPer*lineSize, lineSize)
+	logSlot := func(i uint64) mem.Addr { return logBase + mem.Addr(int(i)*lineSize) }
+
+	allTxns := make([][]serTxn, cpus)
+	for c := 0; c < cpus; c++ {
+		allTxns[c] = genSerTxns(c, txnsPer, cells)
+	}
+
+	bodies := make([]func(*Proc), cpus)
+	for c := 0; c < cpus; c++ {
+		c := c
+		bodies[c] = func(p *Proc) {
+			for _, txn := range allTxns[c] {
+				txn := txn
+				p.Atomic(func(tx *Tx) {
+					vals := make([]uint64, 0, len(txn.reads))
+					for _, cell := range txn.reads {
+						vals = append(vals, p.Load(cellAddr[cell]))
+					}
+					p.Tick(17)
+					out := mixFn(vals, txn.salt)
+					for i, cell := range txn.writes {
+						p.Store(cellAddr[cell], out+uint64(i))
+					}
+					cur := p.Load(logCursor)
+					p.Store(logSlot(cur), uint64(txn.id)+1)
+					p.Store(logCursor, cur+1)
+				})
+			}
+		}
+	}
+	m.Run(bodies...)
+
+	// Replay the committed schedule sequentially.
+	byID := make(map[int]serTxn)
+	for _, ts := range allTxns {
+		for _, txn := range ts {
+			byID[txn.id] = txn
+		}
+	}
+	shadow := make([]uint64, cells)
+	for i := range shadow {
+		shadow[i] = uint64(i)*17 + 3
+	}
+	total := uint64(cpus * txnsPer)
+	if got := m.Mem().Load(logCursor); got != total {
+		t.Fatalf("log cursor = %d, want %d (lost or duplicated commits)", got, total)
+	}
+	seen := make(map[int]bool)
+	for i := uint64(0); i < total; i++ {
+		raw := m.Mem().Load(logSlot(i))
+		if raw == 0 {
+			t.Fatalf("log slot %d empty", i)
+		}
+		id := int(raw) - 1
+		if seen[id] {
+			t.Fatalf("transaction %d committed twice", id)
+		}
+		seen[id] = true
+		txn, ok := byID[id]
+		if !ok {
+			t.Fatalf("log slot %d holds unknown transaction %d", i, id)
+		}
+		vals := make([]uint64, 0, len(txn.reads))
+		for _, cell := range txn.reads {
+			vals = append(vals, shadow[cell])
+		}
+		out := mixFn(vals, txn.salt)
+		for k, cell := range txn.writes {
+			shadow[cell] = out + uint64(k)
+		}
+	}
+	for i, want := range shadow {
+		if got := m.Mem().Load(cellAddr[i]); got != want {
+			t.Fatalf("cell %d = %d, want %d: final state does not match the serial replay of the commit order",
+				i, got, want)
+		}
+	}
+}
+
+// TestSerializabilityLazy checks the fundamental correctness property of
+// the lazy engine across several contention levels.
+func TestSerializabilityLazy(t *testing.T) {
+	for _, tc := range []struct{ cpus, txns, cells int }{
+		{2, 20, 2},  // extreme contention
+		{4, 15, 4},  // heavy
+		{8, 10, 16}, // moderate
+		{8, 10, 64}, // light
+	} {
+		t.Run(fmt.Sprintf("cpus=%d_cells=%d", tc.cpus, tc.cells), func(t *testing.T) {
+			runSerializability(t, Lazy, tc.cpus, tc.txns, tc.cells)
+		})
+	}
+}
+
+// TestSerializabilityEager checks the same property for the eager engine.
+func TestSerializabilityEager(t *testing.T) {
+	for _, tc := range []struct{ cpus, txns, cells int }{
+		{2, 15, 2},
+		{4, 10, 8},
+	} {
+		t.Run(fmt.Sprintf("cpus=%d_cells=%d", tc.cpus, tc.cells), func(t *testing.T) {
+			runSerializability(t, Eager, tc.cpus, tc.txns, tc.cells)
+		})
+	}
+}
+
+// TestSerializabilityWithNesting repeats the harness with every write
+// wrapped in a closed-nested transaction and the log append in another:
+// nesting must not change the committed semantics.
+func TestSerializabilityWithNesting(t *testing.T) {
+	const cpus, txnsPer, cells = 4, 12, 6
+	cfg := testConfig(cpus, Lazy)
+	m := NewMachine(cfg)
+	lineSize := cfg.Cache.LineSize
+
+	cellAddr := make([]mem.Addr, cells)
+	for i := range cellAddr {
+		cellAddr[i] = m.AllocLine()
+		m.Mem().Store(cellAddr[i], uint64(i)+1)
+	}
+	logCursor := m.AllocLine()
+	logBase := m.AllocAligned(cpus*txnsPer*lineSize, lineSize)
+	logSlot := func(i uint64) mem.Addr { return logBase + mem.Addr(int(i)*lineSize) }
+
+	allTxns := make([][]serTxn, cpus)
+	for c := 0; c < cpus; c++ {
+		allTxns[c] = genSerTxns(c+100, txnsPer, cells)
+	}
+	bodies := make([]func(*Proc), cpus)
+	for c := 0; c < cpus; c++ {
+		c := c
+		bodies[c] = func(p *Proc) {
+			for _, txn := range allTxns[c] {
+				txn := txn
+				p.Atomic(func(tx *Tx) {
+					vals := make([]uint64, 0, len(txn.reads))
+					for _, cell := range txn.reads {
+						vals = append(vals, p.Load(cellAddr[cell]))
+					}
+					out := mixFn(vals, txn.salt)
+					p.Atomic(func(inner *Tx) { // nested writes
+						for i, cell := range txn.writes {
+							p.Store(cellAddr[cell], out+uint64(i))
+						}
+					})
+					p.Atomic(func(inner *Tx) { // nested log append
+						cur := p.Load(logCursor)
+						p.Store(logSlot(cur), uint64(txn.id)+1)
+						p.Store(logCursor, cur+1)
+					})
+				})
+			}
+		}
+	}
+	m.Run(bodies...)
+
+	shadow := make([]uint64, cells)
+	for i := range shadow {
+		shadow[i] = uint64(i) + 1
+	}
+	byID := make(map[int]serTxn)
+	for _, ts := range allTxns {
+		for _, txn := range ts {
+			byID[txn.id] = txn
+		}
+	}
+	total := uint64(cpus * txnsPer)
+	if got := m.Mem().Load(logCursor); got != total {
+		t.Fatalf("log cursor = %d, want %d", got, total)
+	}
+	for i := uint64(0); i < total; i++ {
+		id := int(m.Mem().Load(logSlot(i))) - 1
+		txn := byID[id]
+		vals := make([]uint64, 0, len(txn.reads))
+		for _, cell := range txn.reads {
+			vals = append(vals, shadow[cell])
+		}
+		out := mixFn(vals, txn.salt)
+		for k, cell := range txn.writes {
+			shadow[cell] = out + uint64(k)
+		}
+	}
+	for i, want := range shadow {
+		if got := m.Mem().Load(cellAddr[i]); got != want {
+			t.Fatalf("cell %d = %d, want %d under nesting", i, got, want)
+		}
+	}
+}

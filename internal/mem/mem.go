@@ -1,0 +1,124 @@
+// Package mem provides the simulated physical memory for the HTM
+// chip-multiprocessor simulator: a sparse, word-addressable memory, a bump
+// allocator, and address arithmetic helpers shared by the cache and
+// transactional-memory layers.
+//
+// Addresses are byte addresses. All data is accessed in aligned 8-byte
+// words; the transactional layers detect conflicts at cache-line
+// granularity (see LineMask and related helpers).
+package mem
+
+import "math"
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// WordSize is the size in bytes of one memory word. All loads and stores
+// operate on aligned words of this size.
+const WordSize = 8
+
+// pageShift selects 4 KiB pages for the sparse backing store.
+const (
+	pageShift = 12
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / WordSize
+	pageMask  = pageBytes - 1
+)
+
+// WordAlign rounds a down to a word boundary.
+func WordAlign(a Addr) Addr { return a &^ (WordSize - 1) }
+
+// IsWordAligned reports whether a is word aligned.
+func IsWordAligned(a Addr) bool { return a&(WordSize-1) == 0 }
+
+// LineAddr returns the address of the cache line containing a, for the
+// given line size (which must be a power of two).
+func LineAddr(a Addr, lineSize int) Addr { return a &^ Addr(lineSize-1) }
+
+// page is one fixed-size chunk of backing store.
+type page struct {
+	words [pageWords]uint64
+}
+
+// Memory is the simulated physical memory. It is sparse: pages are
+// allocated on first touch. The zero value is not usable; call New.
+//
+// Memory performs no synchronization of its own. The simulation engine
+// guarantees that exactly one simulated CPU executes at a time, so all
+// accesses are serialized by construction.
+type Memory struct {
+	pages map[Addr]*page
+
+	// brk is the bump-allocation frontier used by Alloc.
+	brk Addr
+}
+
+// New returns an empty memory whose allocator starts at a fixed base
+// address, leaving low addresses unused so that address 0 can serve as a
+// sentinel "null" in simulated data structures.
+func New() *Memory {
+	return &Memory{
+		pages: make(map[Addr]*page),
+		brk:   0x1_0000,
+	}
+}
+
+func (m *Memory) pageFor(a Addr, create bool) *page {
+	idx := a >> pageShift
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// Load returns the word stored at the aligned address a. Untouched memory
+// reads as zero.
+func (m *Memory) Load(a Addr) uint64 {
+	a = WordAlign(a)
+	p := m.pageFor(a, false)
+	if p == nil {
+		return 0
+	}
+	return p.words[(a&pageMask)/WordSize]
+}
+
+// Store writes the word v at the aligned address a.
+func (m *Memory) Store(a Addr, v uint64) {
+	a = WordAlign(a)
+	p := m.pageFor(a, true)
+	p.words[(a&pageMask)/WordSize] = v
+}
+
+// Alloc reserves n bytes with the given alignment (a power of two, at
+// least WordSize) and returns the base address. The memory returned is
+// zeroed (all simulated memory reads as zero until written).
+func (m *Memory) Alloc(n int, align int) Addr {
+	if align < WordSize {
+		align = WordSize
+	}
+	if align&(align-1) != 0 {
+		panic("mem: Alloc alignment must be a power of two")
+	}
+	base := (m.brk + Addr(align-1)) &^ Addr(align-1)
+	m.brk = base + Addr(n)
+	return base
+}
+
+// AllocWords reserves n words and returns the base address.
+func (m *Memory) AllocWords(n int) Addr { return m.Alloc(n*WordSize, WordSize) }
+
+// Brk returns the current allocation frontier. It is useful in tests and
+// in the open-nested allocator, which models the brk system call.
+func (m *Memory) Brk() Addr { return m.brk }
+
+// Footprint returns the number of resident simulated pages.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// F2B converts a float64 to its word representation for storage in
+// simulated memory.
+func F2B(f float64) uint64 { return math.Float64bits(f) }
+
+// B2F converts a stored word back to a float64.
+func B2F(b uint64) float64 { return math.Float64frombits(b) }

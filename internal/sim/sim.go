@@ -1,0 +1,235 @@
+// Package sim implements the deterministic execution-driven simulation
+// engine underneath the HTM chip-multiprocessor model.
+//
+// Each simulated CPU is a goroutine that executes real Go code (the
+// workload) against the simulated machine. The engine runs exactly one CPU
+// goroutine at a time, always the one with the smallest local time (ties
+// broken by CPU id), so every run is bit-reproducible and all simulator
+// state is mutated race-free without locks.
+//
+// Protocol: a CPU goroutine calls Yield before every operation that touches
+// shared simulator state (memory, caches, the bus, other CPUs' violation
+// masks). Yield hands control back to the engine, which re-grants the CPU
+// when it is again the earliest runner. After Yield returns, the CPU
+// performs the operation's effects at its current local time and charges
+// the operation's latency with Advance. Pure compute is charged with
+// Advance alone (CPI = 1 in the paper's model, so one instruction = one
+// cycle).
+//
+// Blocking (waiting for the commit token, a parked software thread, a
+// stalled conflicting access) uses Block/Unblock: a blocked CPU is skipped
+// by the scheduler until another CPU unblocks it at a given wake time.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is the scheduling state of a simulated CPU.
+type State int
+
+const (
+	// Ready means the CPU can be granted when its time is the minimum.
+	Ready State = iota
+	// Waiting means the CPU is blocked until another CPU unblocks it.
+	Waiting
+	// Halted means the CPU's program has returned.
+	Halted
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Waiting:
+		return "waiting"
+	case Halted:
+		return "halted"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// P is one simulated CPU as seen by the engine: an id, a local clock, and
+// the rendezvous channel used to grant it execution.
+type P struct {
+	// ID is the CPU number, stable for the life of the engine.
+	ID int
+
+	eng   *Engine
+	time  uint64
+	state State
+	grant chan struct{}
+	// waitReason documents why the CPU is blocked, for deadlock reports.
+	waitReason string
+	// started records whether a body was attached by Run.
+	started bool
+}
+
+// Engine is the deterministic scheduler for a fixed set of CPUs.
+type Engine struct {
+	procs []*P
+	// now is the local time of the currently granted CPU; between grants it
+	// is the time of the last grant.
+	now  uint64
+	step chan stepMsg
+	// MaxCycles, when non-zero, bounds simulated time; exceeding it panics,
+	// which catches livelock bugs in tests. Zero means unlimited.
+	MaxCycles uint64
+	running   bool
+}
+
+// stepMsg is sent by a CPU goroutine each time it returns control.
+type stepMsg struct {
+	id    int
+	panic any // non-nil if the body panicked; re-raised by the engine
+}
+
+// NewEngine creates an engine with n CPUs, all at time zero.
+func NewEngine(n int) *Engine {
+	e := &Engine{step: make(chan stepMsg)}
+	for i := 0; i < n; i++ {
+		e.procs = append(e.procs, &P{ID: i, eng: e, grant: make(chan struct{})})
+	}
+	return e
+}
+
+// NumProcs returns the number of CPUs.
+func (e *Engine) NumProcs() int { return len(e.procs) }
+
+// Proc returns CPU i.
+func (e *Engine) Proc(i int) *P { return e.procs[i] }
+
+// Now returns the engine's current time: the local time of the most
+// recently granted CPU.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Time returns the CPU's local clock: the cycle at which its next
+// operation will execute.
+func (p *P) Time() uint64 { return p.time }
+
+// State returns the scheduling state, for tests and deadlock diagnostics.
+func (p *P) State() State { return p.state }
+
+// Advance charges n cycles of latency to the CPU's local clock.
+func (p *P) Advance(n uint64) { p.time += n }
+
+// Yield returns control to the engine and blocks until the CPU is again
+// the earliest ready runner. Call it before every operation that touches
+// shared simulator state.
+func (p *P) Yield() {
+	p.eng.step <- stepMsg{id: p.ID}
+	<-p.grant
+}
+
+// Block marks the CPU as waiting (with a human-readable reason for
+// deadlock reports) and yields. It returns only after another CPU calls
+// Unblock on it. Callers must re-check their wait condition on return:
+// wakeups follow the unblocker's protocol, not the engine's.
+func (p *P) Block(reason string) {
+	p.state = Waiting
+	p.waitReason = reason
+	p.eng.step <- stepMsg{id: p.ID}
+	<-p.grant
+}
+
+// Unblock makes a waiting CPU ready again, no earlier than cycle at.
+// It must be called by the currently running CPU (or before Run starts).
+func (p *P) Unblock(at uint64) {
+	if p.state != Waiting {
+		panic(fmt.Sprintf("sim: Unblock of CPU %d in state %v", p.ID, p.state))
+	}
+	p.state = Ready
+	p.waitReason = ""
+	if p.time < at {
+		p.time = at
+	}
+}
+
+// Run executes one body per CPU until every CPU halts. bodies may be
+// shorter than the number of CPUs; the extras halt immediately. Run panics
+// if the CPUs deadlock (all non-halted CPUs are waiting) or if a body
+// panics (the panic is re-raised with CPU context), or if MaxCycles is
+// exceeded.
+func (e *Engine) Run(bodies []func(*P)) {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	live := 0
+	for i, p := range e.procs {
+		var body func(*P)
+		if i < len(bodies) {
+			body = bodies[i]
+		}
+		if body == nil || p.started {
+			p.state = Halted
+			continue
+		}
+		p.started = true
+		live++
+		go func(p *P, body func(*P)) {
+			<-p.grant
+			defer func() {
+				p.state = Halted
+				msg := stepMsg{id: p.ID}
+				if r := recover(); r != nil {
+					msg.panic = fmt.Errorf("sim: CPU %d panicked at cycle %d: %v", p.ID, p.time, r)
+				}
+				e.step <- msg
+			}()
+			body(p)
+		}(p, body)
+	}
+
+	for live > 0 {
+		next := e.pickNext()
+		if next == nil {
+			panic("sim: deadlock: " + e.describeWaiters())
+		}
+		e.now = next.time
+		if e.MaxCycles != 0 && e.now > e.MaxCycles {
+			panic(fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
+		}
+		next.grant <- struct{}{}
+		msg := <-e.step
+		if msg.panic != nil {
+			panic(msg.panic)
+		}
+		if e.procs[msg.id].state == Halted {
+			live--
+		}
+	}
+}
+
+// pickNext returns the ready CPU with the smallest (time, id), or nil.
+func (e *Engine) pickNext() *P {
+	var best *P
+	for _, p := range e.procs {
+		if p.state != Ready || !p.started {
+			continue
+		}
+		if best == nil || p.time < best.time {
+			best = p
+		}
+	}
+	return best
+}
+
+// describeWaiters formats the blocked CPUs for the deadlock panic.
+func (e *Engine) describeWaiters() string {
+	var parts []string
+	for _, p := range e.procs {
+		if p.state == Waiting {
+			parts = append(parts, fmt.Sprintf("CPU %d waiting on %q since t<=%d", p.ID, p.waitReason, p.time))
+		}
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "no waiting CPUs (engine bug)"
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestSingleCPURunsToCompletion checks the trivial case: one CPU, pure
+// compute, halts with the right local time.
+func TestSingleCPURunsToCompletion(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Run([]func(*P){func(p *P) {
+		p.Advance(42)
+		ran = true
+	}})
+	if !ran {
+		t.Fatal("body did not run")
+	}
+	if got := e.Proc(0).Time(); got != 42 {
+		t.Fatalf("time = %d, want 42", got)
+	}
+	if e.Proc(0).State() != Halted {
+		t.Fatalf("state = %v, want halted", e.Proc(0).State())
+	}
+}
+
+// TestInterleavingIsTimeOrdered verifies that CPUs are granted strictly in
+// (time, id) order: the shared trace must come out sorted by the time at
+// which each op executed.
+func TestInterleavingIsTimeOrdered(t *testing.T) {
+	e := NewEngine(3)
+	type ev struct {
+		cpu  int
+		time uint64
+	}
+	var trace []ev
+	// CPU i performs ops with latency i+1, so they interleave nontrivially.
+	mk := func(id int) func(*P) {
+		return func(p *P) {
+			for k := 0; k < 5; k++ {
+				p.Yield()
+				trace = append(trace, ev{p.ID, p.Time()})
+				p.Advance(uint64(id + 1))
+			}
+		}
+	}
+	e.Run([]func(*P){mk(0), mk(1), mk(2)})
+	if len(trace) != 15 {
+		t.Fatalf("trace has %d events, want 15", len(trace))
+	}
+	for i := 1; i < len(trace); i++ {
+		a, b := trace[i-1], trace[i]
+		if b.time < a.time || (b.time == a.time && b.cpu < a.cpu) {
+			t.Fatalf("event %d (%+v) out of order after %+v", i, b, a)
+		}
+	}
+}
+
+// TestDeterminism runs the same nontrivial program twice and requires
+// identical traces.
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(4)
+		var trace []string
+		shared := uint64(0)
+		mk := func(id int) func(*P) {
+			return func(p *P) {
+				for k := 0; k < 20; k++ {
+					p.Yield()
+					shared = shared*31 + uint64(p.ID)
+					trace = append(trace, fmt.Sprintf("%d@%d:%d", p.ID, p.Time(), shared))
+					p.Advance(uint64((id*7+k)%5 + 1))
+				}
+			}
+		}
+		e.Run([]func(*P){mk(0), mk(1), mk(2), mk(3)})
+		return trace
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatal("two identical runs produced different traces")
+	}
+}
+
+// TestBlockUnblock checks the block/unblock handshake: a blocked CPU does
+// not run until released, and wakes no earlier than the release time.
+func TestBlockUnblock(t *testing.T) {
+	e := NewEngine(2)
+	var wokeAt uint64
+	waiter := func(p *P) {
+		p.Yield()
+		p.Block("test-token")
+		wokeAt = p.Time()
+	}
+	releaser := func(p *P) {
+		p.Advance(100)
+		p.Yield()
+		e.Proc(0).Unblock(p.Time())
+	}
+	e.Run([]func(*P){waiter, releaser})
+	if wokeAt != 100 {
+		t.Fatalf("waiter woke at %d, want 100", wokeAt)
+	}
+}
+
+// TestUnblockDoesNotRewindClock verifies Unblock never moves a CPU's time
+// backward.
+func TestUnblockDoesNotRewindClock(t *testing.T) {
+	e := NewEngine(2)
+	var wokeAt uint64
+	waiter := func(p *P) {
+		p.Advance(500) // the waiter is already far in the future
+		p.Block("test")
+		wokeAt = p.Time()
+	}
+	releaser := func(p *P) {
+		for e.Proc(0).State() != Waiting {
+			p.Advance(1)
+			p.Yield()
+		}
+		e.Proc(0).Unblock(p.Time()) // release time is far earlier than 500
+	}
+	e.Run([]func(*P){waiter, releaser})
+	if wokeAt != 500 {
+		t.Fatalf("waiter woke at %d, want 500 (no rewind)", wokeAt)
+	}
+}
+
+// TestDeadlockDetection: two CPUs block forever; the engine must panic
+// with a diagnostic naming both.
+func TestDeadlockDetection(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "lockA") {
+			t.Fatalf("unhelpful deadlock message: %q", msg)
+		}
+	}()
+	e := NewEngine(2)
+	e.Run([]func(*P){
+		func(p *P) { p.Block("lockA") },
+		func(p *P) { p.Block("lockB") },
+	})
+}
+
+// TestBodyPanicIsReportedWithContext: a panicking body must surface as an
+// engine panic that names the CPU.
+func TestBodyPanicIsReportedWithContext(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "CPU 1") || !strings.Contains(msg, "boom") {
+			t.Fatalf("panic lacks context: %q", msg)
+		}
+	}()
+	e := NewEngine(2)
+	e.Run([]func(*P){
+		func(p *P) { p.Advance(1) },
+		func(p *P) { panic("boom") },
+	})
+}
+
+// TestMaxCyclesGuard catches livelocks.
+func TestMaxCyclesGuard(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "MaxCycles") {
+			t.Fatalf("expected MaxCycles panic, got %v", r)
+		}
+	}()
+	e := NewEngine(1)
+	e.MaxCycles = 1000
+	e.Run([]func(*P){func(p *P) {
+		for {
+			p.Yield()
+			p.Advance(1)
+		}
+	}})
+}
+
+// TestFewerBodiesThanCPUs: extra CPUs halt immediately.
+func TestFewerBodiesThanCPUs(t *testing.T) {
+	e := NewEngine(4)
+	n := 0
+	e.Run([]func(*P){func(p *P) { n++ }})
+	if n != 1 {
+		t.Fatalf("ran %d bodies, want 1", n)
+	}
+	for i := 1; i < 4; i++ {
+		if e.Proc(i).State() != Halted {
+			t.Fatalf("CPU %d not halted", i)
+		}
+	}
+}
+
+// TestNilBodyHalts: nil entries in the body slice are tolerated.
+func TestNilBodyHalts(t *testing.T) {
+	e := NewEngine(2)
+	n := 0
+	e.Run([]func(*P){nil, func(p *P) { n++ }})
+	if n != 1 {
+		t.Fatalf("ran %d bodies, want 1", n)
+	}
+}
+
+// TestSameTimeTieBreaksByID: when several CPUs are ready at the same
+// cycle, the lower id must always run first.
+func TestSameTimeTieBreaksByID(t *testing.T) {
+	e := NewEngine(3)
+	var order []int
+	body := func(p *P) {
+		p.Yield()
+		order = append(order, p.ID)
+	}
+	e.Run([]func(*P){body, body, body})
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("grant order %v, want [0 1 2]", order)
+		}
+	}
+}
+
+// TestEngineNowTracksGrants: Now reflects the granted CPU's time.
+func TestEngineNowTracksGrants(t *testing.T) {
+	e := NewEngine(1)
+	e.Run([]func(*P){func(p *P) {
+		p.Advance(7)
+		p.Yield()
+		if e.Now() != 7 {
+			t.Errorf("Now() = %d, want 7", e.Now())
+		}
+	}})
+}
+
+// TestRunReentryPanics: nested Run is a bug.
+func TestRunReentryPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected panic on re-entry")
+		}
+	}()
+	e.Run([]func(*P){func(p *P) {
+		e.Run([]func(*P){func(*P) {}})
+	}})
+}
+
+// TestQuickGrantOrderIsGloballyTimeSorted: for random per-op latencies,
+// the sequence of (time, cpu) at each op is nondecreasing in time with
+// id tiebreak — the engine's fundamental invariant.
+func TestQuickGrantOrderIsGloballyTimeSorted(t *testing.T) {
+	f := func(lat [3][]uint8) bool {
+		e := NewEngine(3)
+		type ev struct {
+			time uint64
+			cpu  int
+		}
+		var traceEv []ev
+		mk := func(id int) func(*P) {
+			return func(p *P) {
+				for _, l := range lat[id] {
+					p.Yield()
+					traceEv = append(traceEv, ev{p.Time(), p.ID})
+					p.Advance(uint64(l%17) + 1)
+				}
+			}
+		}
+		e.Run([]func(*P){mk(0), mk(1), mk(2)})
+		for i := 1; i < len(traceEv); i++ {
+			a, b := traceEv[i-1], traceEv[i]
+			if b.time < a.time || (b.time == a.time && b.cpu < a.cpu) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

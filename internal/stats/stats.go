@@ -1,0 +1,235 @@
+// Package stats collects the cycle and event counters the evaluation
+// harness reports: commits, violations, wasted work, bus and token
+// occupancy, cache behaviour, and handler activity.
+//
+// One Counters value exists per simulated CPU plus one machine-wide
+// aggregate; the engine layer owns them and the report code formats them.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters accumulates the per-CPU event counts of one simulation run.
+// All fields are plain integers: the simulation engine serializes all
+// updates, so no synchronization is required.
+type Counters struct {
+	// Instructions is the number of simulated instructions, charged at
+	// CPI = 1 like the paper's model.
+	Instructions uint64
+	// Cycles is the number of cycles this CPU was active (its local time
+	// at halt).
+	Cycles uint64
+
+	Loads  uint64
+	Stores uint64
+	// ImmediateOps counts imld/imst/imstid accesses that bypassed
+	// read-/write-set tracking.
+	ImmediateOps uint64
+
+	L1Hits   uint64
+	L2Hits   uint64
+	Misses   uint64
+	Evicts   uint64
+	Overflow uint64 // transactional lines spilled to the virtualized overflow table
+
+	// Transaction outcome counts.
+	TxBegins       uint64
+	TxCommits      uint64
+	OpenCommits    uint64
+	ClosedCommits  uint64
+	Violations     uint64 // violations received (xvcurrent bits raised)
+	Rollbacks      uint64 // rollbacks actually performed (one per discarded level)
+	OuterRollbacks uint64 // unwinds that reached the outermost level
+	InnerRollbacks uint64 // unwinds contained in a nested level
+	UserAborts     uint64 // explicit xabort
+	WastedCycles   uint64 // cycles discarded by rollbacks
+	TokenWaitCycle uint64 // cycles spent waiting for the commit token
+	StallCycles    uint64 // cycles stalled on a validated conflicting transaction (eager mode)
+	BusCycles      uint64 // bus cycles consumed by this CPU's transfers
+
+	// Handler activity.
+	CommitHandlers    uint64
+	ViolationHandlers uint64
+	AbortHandlers     uint64
+
+	// Merge accounting for the nesting schemes.
+	MergedLines   uint64 // lines merged into the parent at closed commits
+	LazyMergeHits uint64 // accesses that paid the +1 cycle lazy-merge fix-up
+
+	// I/O accounting.
+	Syscalls uint64
+	IOBytes  uint64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.Instructions += other.Instructions
+	if other.Cycles > c.Cycles {
+		c.Cycles = other.Cycles // machine time is the max of CPU times
+	}
+	c.Loads += other.Loads
+	c.Stores += other.Stores
+	c.ImmediateOps += other.ImmediateOps
+	c.L1Hits += other.L1Hits
+	c.L2Hits += other.L2Hits
+	c.Misses += other.Misses
+	c.Evicts += other.Evicts
+	c.Overflow += other.Overflow
+	c.TxBegins += other.TxBegins
+	c.TxCommits += other.TxCommits
+	c.OpenCommits += other.OpenCommits
+	c.ClosedCommits += other.ClosedCommits
+	c.Violations += other.Violations
+	c.Rollbacks += other.Rollbacks
+	c.OuterRollbacks += other.OuterRollbacks
+	c.InnerRollbacks += other.InnerRollbacks
+	c.UserAborts += other.UserAborts
+	c.WastedCycles += other.WastedCycles
+	c.TokenWaitCycle += other.TokenWaitCycle
+	c.StallCycles += other.StallCycles
+	c.BusCycles += other.BusCycles
+	c.CommitHandlers += other.CommitHandlers
+	c.ViolationHandlers += other.ViolationHandlers
+	c.AbortHandlers += other.AbortHandlers
+	c.MergedLines += other.MergedLines
+	c.LazyMergeHits += other.LazyMergeHits
+	c.Syscalls += other.Syscalls
+	c.IOBytes += other.IOBytes
+}
+
+// Report is the result of a complete run: the machine-wide aggregate plus
+// the wall-clock (cycle) time of the run, which is what speedups are
+// computed from.
+type Report struct {
+	// TotalCycles is the cycle at which the last CPU halted: the run's
+	// simulated wall-clock time.
+	TotalCycles uint64
+	// PerCPU holds one Counters per simulated CPU.
+	PerCPU []Counters
+	// Machine is the aggregate of PerCPU.
+	Machine Counters
+}
+
+// Aggregate recomputes Machine from PerCPU.
+func (r *Report) Aggregate() {
+	r.Machine = Counters{}
+	for i := range r.PerCPU {
+		r.Machine.Add(&r.PerCPU[i])
+	}
+}
+
+// Speedup returns how many times faster this run was than the baseline.
+func Speedup(baseline, this *Report) float64 {
+	if this.TotalCycles == 0 {
+		return 0
+	}
+	return float64(baseline.TotalCycles) / float64(this.TotalCycles)
+}
+
+// String renders a human-readable summary table.
+func (r *Report) String() string {
+	var b strings.Builder
+	m := &r.Machine
+	fmt.Fprintf(&b, "cycles=%d instructions=%d loads=%d stores=%d\n",
+		r.TotalCycles, m.Instructions, m.Loads, m.Stores)
+	fmt.Fprintf(&b, "tx: begins=%d commits=%d (closed=%d open=%d) violations=%d rollbacks=%d aborts=%d wasted=%d\n",
+		m.TxBegins, m.TxCommits, m.ClosedCommits, m.OpenCommits, m.Violations, m.Rollbacks, m.UserAborts, m.WastedCycles)
+	fmt.Fprintf(&b, "mem: L1=%d L2=%d miss=%d overflow=%d bus=%d tokenWait=%d stall=%d\n",
+		m.L1Hits, m.L2Hits, m.Misses, m.Overflow, m.BusCycles, m.TokenWaitCycle, m.StallCycles)
+	fmt.Fprintf(&b, "handlers: commit=%d violation=%d abort=%d merges=%d lazyFix=%d syscalls=%d iobytes=%d\n",
+		m.CommitHandlers, m.ViolationHandlers, m.AbortHandlers, m.MergedLines, m.LazyMergeHits, m.Syscalls, m.IOBytes)
+	return b.String()
+}
+
+// Series is an ordered set of (label, value) pairs used by the experiment
+// harness to print figure data (for example CPUs → speedup curves).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(label string, v float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, v)
+}
+
+// String formats the series as aligned columns.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	w := 0
+	for _, l := range s.Labels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	for i := range s.Labels {
+		fmt.Fprintf(&b, "  %-*s  %8.3f\n", w, s.Labels[i], s.Values[i])
+	}
+	return b.String()
+}
+
+// Table collects named rows of named columns, used to print figure/table
+// reproductions in a stable order.
+type Table struct {
+	Name    string
+	Columns []string
+	rows    map[string][]float64
+	order   []string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns, rows: make(map[string][]float64)}
+}
+
+// Set stores the values for a row, creating it on first use.
+func (t *Table) Set(row string, values ...float64) {
+	if _, ok := t.rows[row]; !ok {
+		t.order = append(t.order, row)
+	}
+	t.rows[row] = values
+}
+
+// Get returns the values of a row.
+func (t *Table) Get(row string) []float64 { return t.rows[row] }
+
+// Rows returns the row labels in insertion order.
+func (t *Table) Rows() []string { return append([]string(nil), t.order...) }
+
+// SortedRows returns the row labels sorted lexicographically.
+func (t *Table) SortedRows() []string {
+	rows := t.Rows()
+	sort.Strings(rows)
+	return rows
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Name)
+	w := len("workload")
+	for _, r := range t.order {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s", w, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "  %12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.order {
+		fmt.Fprintf(&b, "  %-*s", w, r)
+		for _, v := range t.rows[r] {
+			fmt.Fprintf(&b, "  %12.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

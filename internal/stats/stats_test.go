@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersAddSums(t *testing.T) {
+	a := Counters{Instructions: 10, Loads: 3, TxCommits: 2, Violations: 1, BusCycles: 7, Cycles: 100}
+	b := Counters{Instructions: 5, Loads: 2, TxCommits: 1, Violations: 4, BusCycles: 3, Cycles: 250}
+	a.Add(&b)
+	if a.Instructions != 15 || a.Loads != 5 || a.TxCommits != 3 || a.Violations != 5 || a.BusCycles != 10 {
+		t.Fatalf("bad sums: %+v", a)
+	}
+	// Cycles is machine time: the max, not the sum.
+	if a.Cycles != 250 {
+		t.Fatalf("Cycles = %d, want max 250", a.Cycles)
+	}
+}
+
+func TestCountersAddCyclesKeepsMax(t *testing.T) {
+	a := Counters{Cycles: 300}
+	b := Counters{Cycles: 100}
+	a.Add(&b)
+	if a.Cycles != 300 {
+		t.Fatalf("Cycles = %d, want 300", a.Cycles)
+	}
+}
+
+func TestReportAggregate(t *testing.T) {
+	r := Report{PerCPU: []Counters{
+		{Instructions: 4, Cycles: 10, Rollbacks: 1},
+		{Instructions: 6, Cycles: 20, Rollbacks: 2},
+	}}
+	r.Aggregate()
+	if r.Machine.Instructions != 10 || r.Machine.Rollbacks != 3 || r.Machine.Cycles != 20 {
+		t.Fatalf("aggregate wrong: %+v", r.Machine)
+	}
+	// Aggregate must be idempotent.
+	r.Aggregate()
+	if r.Machine.Instructions != 10 {
+		t.Fatal("Aggregate not idempotent")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Report{TotalCycles: 1000}
+	fast := &Report{TotalCycles: 250}
+	if got := Speedup(base, fast); got != 4.0 {
+		t.Fatalf("speedup = %v, want 4", got)
+	}
+	if got := Speedup(base, &Report{}); got != 0 {
+		t.Fatalf("zero-cycle speedup = %v, want 0 sentinel", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{TotalCycles: 42, PerCPU: []Counters{{Instructions: 7, TxCommits: 1}}}
+	r.Aggregate()
+	s := r.String()
+	for _, want := range []string{"cycles=42", "instructions=7", "commits=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "test"}
+	s.Add("a", 1.5)
+	s.Add("bb", 2.25)
+	if len(s.Labels) != 2 || s.Values[1] != 2.25 {
+		t.Fatalf("series wrong: %+v", s)
+	}
+	out := s.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "2.250") {
+		t.Fatalf("series string %q", out)
+	}
+}
+
+func TestTableOrderAndAccess(t *testing.T) {
+	tbl := NewTable("t", "c1", "c2")
+	tbl.Set("zrow", 1, 2)
+	tbl.Set("arow", 3, 4)
+	tbl.Set("zrow", 5, 6) // update in place, no duplicate row
+	if rows := tbl.Rows(); len(rows) != 2 || rows[0] != "zrow" || rows[1] != "arow" {
+		t.Fatalf("insertion order wrong: %v", rows)
+	}
+	if rows := tbl.SortedRows(); rows[0] != "arow" {
+		t.Fatalf("sorted order wrong: %v", rows)
+	}
+	if v := tbl.Get("zrow"); v[0] != 5 || v[1] != 6 {
+		t.Fatalf("Get = %v", v)
+	}
+	out := tbl.String()
+	for _, want := range []string{"c1", "c2", "zrow", "arow", "5.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table %q missing %q", out, want)
+		}
+	}
+}

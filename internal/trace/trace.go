@@ -1,0 +1,166 @@
+// Package trace records structured simulation events — transaction
+// begins, commits, rollbacks, aborts, violations, and handler runs — for
+// debugging transactional behaviour and for the tmsim -trace flag.
+//
+// A Log attaches to a core.Machine via Machine.SetTracer; recording is
+// bounded (a ring of the most recent events) so tracing long runs is
+// safe. The simulation engine serializes all event emission, so Log needs
+// no locking.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tmisa/internal/mem"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// Begin is xbegin/xbegin_open.
+	Begin Kind = iota
+	// Commit is a commit that published to shared memory (outermost or
+	// open-nested).
+	Commit
+	// ClosedCommit is a closed-nested merge into the parent.
+	ClosedCommit
+	// Rollback is a violation- or validate-triggered rollback of one level.
+	Rollback
+	// Abort is an explicit xabort.
+	Abort
+	// Violation is the delivery of a conflict to a victim.
+	Violation
+	// Handler is a software handler invocation (commit/violation/abort).
+	Handler
+)
+
+var kindNames = [...]string{"begin", "commit", "closed-commit", "rollback", "abort", "violation", "handler"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Cycle is the CPU's local time at emission.
+	Cycle uint64
+	// CPU is the emitting processor.
+	CPU int
+	// Kind classifies the event.
+	Kind Kind
+	// Level is the 1-based nesting level involved (0 when not applicable).
+	Level int
+	// Open marks open-nested begins/commits.
+	Open bool
+	// Addr is the conflicting line for violations (zero otherwise).
+	Addr mem.Addr
+	// Note carries extra context ("commit-handler", an abort reason, …).
+	Note string
+}
+
+// String renders one event compactly.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%8d] cpu%-2d %-13s", e.Cycle, e.CPU, e.Kind)
+	if e.Level > 0 {
+		fmt.Fprintf(&b, " nl=%d", e.Level)
+	}
+	if e.Open {
+		b.WriteString(" open")
+	}
+	if e.Addr != 0 {
+		fmt.Fprintf(&b, " addr=%#x", uint64(e.Addr))
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " (%s)", e.Note)
+	}
+	return b.String()
+}
+
+// Log is a bounded ring of events.
+type Log struct {
+	cap    int
+	events []Event
+	next   int
+	total  uint64
+	counts map[Kind]uint64
+}
+
+// NewLog returns a log keeping the most recent capacity events
+// (capacity <= 0 selects a default of 4096).
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Log{cap: capacity, counts: make(map[Kind]uint64)}
+}
+
+// Record appends an event (evicting the oldest beyond capacity).
+func (l *Log) Record(e Event) {
+	l.total++
+	l.counts[e.Kind]++
+	if len(l.events) < l.cap {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.next] = e
+	l.next = (l.next + 1) % l.cap
+}
+
+// Total returns how many events were recorded over the log's lifetime
+// (including evicted ones).
+func (l *Log) Total() uint64 { return l.total }
+
+// Count returns the lifetime count of one kind.
+func (l *Log) Count(k Kind) uint64 { return l.counts[k] }
+
+// Events returns the retained events, oldest first.
+func (l *Log) Events() []Event {
+	if len(l.events) < l.cap {
+		return append([]Event(nil), l.events...)
+	}
+	out := make([]Event, 0, l.cap)
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// Tail returns the most recent n retained events, oldest first.
+func (l *Log) Tail(n int) []Event {
+	ev := l.Events()
+	if n >= len(ev) {
+		return ev
+	}
+	return ev[len(ev)-n:]
+}
+
+// String renders the retained events, one per line, with a summary.
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "-- %d events total", l.total)
+	for k := Begin; k <= Handler; k++ {
+		if c := l.counts[k]; c > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, c)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// PerCPU splits the retained events by processor.
+func (l *Log) PerCPU() map[int][]Event {
+	out := make(map[int][]Event)
+	for _, e := range l.Events() {
+		out[e.CPU] = append(out[e.CPU], e)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Cycle: uint64(i), CPU: i % 2, Kind: Begin, Level: 1})
+	}
+	ev := l.Events()
+	if len(ev) != 5 || ev[0].Cycle != 0 || ev[4].Cycle != 4 {
+		t.Fatalf("events wrong: %v", ev)
+	}
+	if l.Total() != 5 || l.Count(Begin) != 5 {
+		t.Fatalf("counts wrong: total=%d begin=%d", l.Total(), l.Count(Begin))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 7; i++ {
+		l.Record(Event{Cycle: uint64(i), Kind: Commit})
+	}
+	ev := l.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d, want 3", len(ev))
+	}
+	if ev[0].Cycle != 4 || ev[2].Cycle != 6 {
+		t.Fatalf("ring order wrong: %v", ev)
+	}
+	if l.Total() != 7 {
+		t.Fatalf("total = %d, want 7 (evicted still counted)", l.Total())
+	}
+}
+
+func TestTail(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 6; i++ {
+		l.Record(Event{Cycle: uint64(i)})
+	}
+	tail := l.Tail(2)
+	if len(tail) != 2 || tail[0].Cycle != 4 || tail[1].Cycle != 5 {
+		t.Fatalf("tail wrong: %v", tail)
+	}
+	if got := l.Tail(100); len(got) != 6 {
+		t.Fatalf("oversized tail = %d events", len(got))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 42, CPU: 3, Kind: Violation, Level: 2, Addr: 0x1000, Note: "hot"}
+	s := e.String()
+	for _, want := range []string{"42", "cpu3", "violation", "nl=2", "0x1000", "hot"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+	open := Event{Kind: Begin, Level: 1, Open: true}
+	if !strings.Contains(open.String(), "open") {
+		t.Fatal("open marker missing")
+	}
+}
+
+func TestLogStringSummary(t *testing.T) {
+	l := NewLog(4)
+	l.Record(Event{Kind: Begin})
+	l.Record(Event{Kind: Commit})
+	l.Record(Event{Kind: Rollback})
+	s := l.String()
+	for _, want := range []string{"begin=1", "commit=1", "rollback=1", "3 events"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPerCPU(t *testing.T) {
+	l := NewLog(10)
+	l.Record(Event{CPU: 0, Kind: Begin})
+	l.Record(Event{CPU: 1, Kind: Begin})
+	l.Record(Event{CPU: 0, Kind: Commit})
+	per := l.PerCPU()
+	if len(per[0]) != 2 || len(per[1]) != 1 {
+		t.Fatalf("per-cpu split wrong: %v", per)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 5000; i++ {
+		l.Record(Event{Cycle: uint64(i)})
+	}
+	if got := len(l.Events()); got != 4096 {
+		t.Fatalf("default capacity retained %d, want 4096", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{Begin: "begin", Commit: "commit", ClosedCommit: "closed-commit",
+		Rollback: "rollback", Abort: "abort", Violation: "violation", Handler: "handler"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package txrt
+
+import (
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// TxAllocator is the Section 5 memory-allocator example: allocation
+// executes as an open-nested transaction (so the allocator's metadata —
+// the brk frontier and free lists — never creates conflicts with the user
+// transaction that triggered it), and for unmanaged languages a violation
+// handler registered on the user transaction frees the memory if that
+// transaction rolls back.
+type TxAllocator struct {
+	// brk is the allocation frontier, in simulated shared memory: the
+	// analogue of the brk system call's kernel state.
+	brk mem.Addr
+	// freeHead is the head of an intrusive free list of fixed-size blocks
+	// (simplified segregated storage: one size class).
+	freeHead mem.Addr
+	// BlockWords is the allocation granule.
+	BlockWords int
+}
+
+// NewTxAllocator carves an arena out of simulated memory. blockWords is
+// the fixed allocation size in words.
+func NewTxAllocator(m *core.Machine, blockWords int, arenaBlocks int) *TxAllocator {
+	a := &TxAllocator{BlockWords: blockWords}
+	lineSize := m.Config().Cache.LineSize
+	// brk word and free-list head on their own lines (hot allocator
+	// metadata must not false-share with user data).
+	brkCell := m.AllocLine()
+	headCell := m.AllocLine()
+	arena := m.AllocAligned(arenaBlocks*blockWords*mem.WordSize, lineSize)
+	m.Mem().Store(brkCell, uint64(arena))
+	m.Mem().Store(headCell, 0)
+	a.brk = brkCell
+	a.freeHead = headCell
+	return a
+}
+
+// Alloc returns a block. The allocator runs open-nested: its metadata
+// updates commit immediately, so two user transactions allocating
+// concurrently do not conflict with each other through the brk word
+// beyond the open transaction's own lifetime. If compensate is true and
+// tx is non-nil, a violation/abort handler is registered on tx that
+// returns the block to the free list should tx roll back (C/C++
+// semantics; managed languages pass compensate=false and let the
+// collector reclaim).
+func (a *TxAllocator) Alloc(p *core.Proc, tx *core.Tx, compensate bool) mem.Addr {
+	var block mem.Addr
+	err := p.AtomicOpen(func(open *core.Tx) {
+		head := mem.Addr(p.Load(a.freeHead))
+		if head != 0 {
+			next := mem.Addr(p.Load(head))
+			p.Store(a.freeHead, uint64(next))
+			block = head
+			return
+		}
+		cur := mem.Addr(p.Load(a.brk))
+		p.Store(a.brk, uint64(cur)+uint64(a.BlockWords*mem.WordSize))
+		block = cur
+	})
+	if err != nil {
+		panic("txrt: allocator open transaction aborted: " + err.Error())
+	}
+	if compensate && tx != nil {
+		tx.OnViolation(func(p *core.Proc, v core.Violation) core.Decision {
+			a.Free(p, block)
+			return core.Rollback
+		})
+		tx.OnAbort(func(p *core.Proc, reason any) { a.Free(p, block) })
+	}
+	return block
+}
+
+// Free pushes a block onto the free list, open-nested for the same
+// reason as Alloc.
+func (a *TxAllocator) Free(p *core.Proc, block mem.Addr) {
+	err := p.AtomicOpen(func(open *core.Tx) {
+		head := p.Load(a.freeHead)
+		p.Store(block, head)
+		p.Store(a.freeHead, uint64(block))
+	})
+	if err != nil {
+		panic("txrt: allocator free aborted: " + err.Error())
+	}
+}
+
+// FreeListLen walks the free list (outside simulation timing), for tests.
+func (a *TxAllocator) FreeListLen(m *core.Machine) int {
+	n := 0
+	for cur := mem.Addr(m.Mem().Load(a.freeHead)); cur != 0; cur = mem.Addr(m.Mem().Load(cur)) {
+		n++
+	}
+	return n
+}

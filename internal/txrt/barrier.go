@@ -1,0 +1,59 @@
+package txrt
+
+import (
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// Barrier is the "efficient barrier" use of conditional synchronization
+// the paper motivates (Section 3): a sense-reversing barrier where
+// arrival is a small transaction and waiting uses watch/retry, so blocked
+// threads park (freeing their CPUs) instead of spinning, and the last
+// arrival's commit wakes everyone through the scheduler's read-set.
+type Barrier struct {
+	cs *CondSync
+	ts *ThreadSys
+
+	n     int
+	count mem.Addr // arrivals in the current generation
+	gen   mem.Addr // generation number; watched by waiters
+}
+
+// NewBarrier lays out barrier state in simulated memory for n threads.
+func NewBarrier(m *core.Machine, cs *CondSync, n int) *Barrier {
+	return &Barrier{
+		cs:    cs,
+		ts:    cs.ts,
+		n:     n,
+		count: m.AllocLine(),
+		gen:   m.AllocLine(),
+	}
+}
+
+// Wait blocks the calling thread until all n threads of the current
+// generation have arrived. The last arrival advances the generation in
+// its arrival transaction; its commit violates the scheduler, whose
+// handler wakes every parked waiter.
+func (b *Barrier) Wait(t *Thread) {
+	p := t.Proc()
+	var myGen uint64
+	last := false
+	p.Atomic(func(tx *core.Tx) {
+		myGen = p.Load(b.gen)
+		c := p.Load(b.count) + 1
+		if c == uint64(b.n) {
+			p.Store(b.count, 0)
+			p.Store(b.gen, myGen+1)
+			last = true
+		} else {
+			p.Store(b.count, c)
+			last = false
+		}
+	})
+	if last {
+		return
+	}
+	b.ts.AtomicWithRetry(t, func(p *core.Proc, tx *core.Tx) {
+		b.cs.WaitUntil(p, t, tx, b.gen, func(v uint64) bool { return v != myGen })
+	})
+}

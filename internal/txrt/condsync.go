@@ -1,0 +1,371 @@
+package txrt
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// CondSync is the Atomos-style conditional-synchronization runtime of
+// Figure 3, built entirely from the ISA's three mechanisms:
+//
+//   - a dedicated scheduler thread runs inside a transaction that never
+//     commits, with a violation handler registered on the shared
+//     schedcomm word;
+//   - a waiting thread communicates its watch-set to the scheduler by
+//     writing a command queue inside an open-nested transaction and then
+//     writing schedcomm to violate the scheduler (watch);
+//   - the scheduler's handler transactionally loads each watched address,
+//     folding it into the scheduler's read-set, so any later commit that
+//     writes it violates the scheduler, whose handler then moves the
+//     watching threads back to the run queue;
+//   - retry marks the thread waiting, aborts its transaction, and yields
+//     the processor (park), to be re-executed from its checkpoint when
+//     woken.
+//
+// One refinement over the figure: watch commands carry the value the
+// waiter observed, and the scheduler wakes immediately if the address has
+// already changed by the time it processes the command. This closes the
+// window between the waiter's rollback (which drops its own read-set) and
+// the scheduler's load (which establishes the scheduler's), without any
+// extra hardware.
+type CondSync struct {
+	ts *ThreadSys
+
+	// schedcomm is the scheduler command location: writing it violates
+	// the scheduler (it sits permanently in the scheduler's read-set).
+	schedcomm mem.Addr
+	// The command queue: a ring of entries, each on its own cache line
+	// with fields (tid+1, watched addr or 0 for CANCEL, observed value).
+	headA, tailA mem.Addr
+	entries      mem.Addr
+	cap          int
+	lineSize     int
+
+	// waiting maps a watched line to the threads watching it (runtime
+	// metadata; the architected state is the scheduler's read-set).
+	waiting map[mem.Addr][]int
+
+	// draining guards against re-entering the command drain when a new
+	// schedcomm violation is delivered while a dequeue transaction is
+	// already active (the active loop picks up new entries itself).
+	draining bool
+
+	shutdown bool
+
+	// Trace, when non-nil, receives protocol events for diagnostics.
+	Trace func(ev string, tid int, addr mem.Addr, extra uint64)
+
+	// Wakes counts scheduler-initiated wakeups, for tests and stats.
+	Wakes int
+	// ImmediateWakes counts watch commands whose address had already
+	// changed when processed.
+	ImmediateWakes int
+}
+
+// condQueueCap is the command-ring capacity in entries.
+const condQueueCap = 256
+
+// NewCondSync lays out the scheduler's shared state in simulated memory.
+// Call before Machine.Run. The thread system's completion hook is chained
+// to shut the scheduler down when the last thread finishes.
+func NewCondSync(m *core.Machine, ts *ThreadSys) *CondSync {
+	lineSize := m.Config().Cache.LineSize
+	cs := &CondSync{
+		ts:        ts,
+		schedcomm: m.AllocLine(),
+		headA:     m.AllocLine(),
+		tailA:     m.AllocLine(),
+		entries:   m.AllocAligned(condQueueCap*lineSize, lineSize),
+		cap:       condQueueCap,
+		lineSize:  lineSize,
+		waiting:   make(map[mem.Addr][]int),
+	}
+	prev := ts.OnAllDone
+	ts.OnAllDone = func(p *core.Proc) {
+		if prev != nil {
+			prev(p)
+		}
+		cs.shutdown = true
+	}
+	return cs
+}
+
+func (cs *CondSync) slot(i uint64) mem.Addr {
+	return cs.entries + mem.Addr(int(i%uint64(cs.cap))*cs.lineSize)
+}
+
+// SchedulerMain is the scheduler thread: run it as the program of a
+// dedicated CPU (conventionally CPU 0). It spins inside a transaction
+// whose read-set holds schedcomm plus every watched address, processing
+// violations until every worker thread has finished.
+func (cs *CondSync) SchedulerMain(p *core.Proc) {
+	err := p.Atomic(func(tx *core.Tx) {
+		tx.OnViolation(func(p *core.Proc, v core.Violation) core.Decision {
+			cs.handle(p, v)
+			return core.Ignore
+		})
+		p.Load(cs.schedcomm) // schedcomm joins the scheduler's read-set
+		for !cs.shutdown {
+			p.Tick(schedulerPollCost) // "process run and wait queues"
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("txrt: scheduler transaction aborted: %v", err))
+	}
+}
+
+// schedulerPollCost is the instruction cost of one scheduler loop
+// iteration between violations.
+const schedulerPollCost = 24
+
+// handle is schedviohandler from Figure 3.
+func (cs *CondSync) handle(p *core.Proc, v core.Violation) {
+	if cs.Trace != nil {
+		cs.Trace("handle", -1, v.Addr, uint64(v.Mask))
+	}
+	if v.Addr == cs.schedcomm {
+		if cs.draining {
+			if cs.Trace != nil {
+				cs.Trace("drain-skip", -1, 0, 0)
+			}
+			return
+		}
+		cs.draining = true
+		cs.drainCommands(p)
+		cs.draining = false
+		return
+	}
+	// A watched address changed: wake everything watching its line and
+	// release the line from the scheduler's read-set (the release
+	// instruction's intended low-level use).
+	tids := cs.waiting[v.Addr]
+	if len(tids) == 0 {
+		if cs.Trace != nil {
+			cs.Trace("line-no-watchers", -1, v.Addr, 0)
+		}
+		return
+	}
+	delete(cs.waiting, v.Addr)
+	p.Release(v.Addr)
+	for _, tid := range tids {
+		p.Tick(4)
+		cs.Wakes++
+		if cs.Trace != nil {
+			cs.Trace("wake", tid, v.Addr, 0)
+		}
+		cs.ts.Wake(p, cs.ts.threads[tid])
+	}
+}
+
+// drainCommands processes the command ring. Each dequeue runs in an
+// open-nested transaction (independent atomicity against concurrent
+// enqueuers); the watched address itself is loaded at the scheduler's
+// outer level so it lands in the scheduler's read-set.
+func (cs *CondSync) drainCommands(p *core.Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if cs.Trace != nil {
+				cs.Trace("drain-unwound", -1, 0, 0)
+			}
+			panic(r)
+		}
+	}()
+	for {
+		var tid int
+		var watched mem.Addr
+		var observed uint64
+		empty := false
+		err := p.AtomicOpen(func(open *core.Tx) {
+			head := p.Load(cs.headA)
+			tail := p.Load(cs.tailA)
+			if head == tail {
+				if cs.Trace != nil {
+					cs.Trace("deq-empty", -1, 0, head)
+				}
+				empty = true
+				return
+			}
+			empty = false
+			s := cs.slot(head)
+			tid = int(p.Load(s)) - 1
+			watched = mem.Addr(p.Load(s + 8))
+			observed = p.Load(s + 16)
+			p.Store(cs.headA, head+1)
+			if cs.Trace != nil {
+				cs.Trace("deq-slot", tid, 0, head)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("txrt: scheduler dequeue aborted: %v", err))
+		}
+		if cs.Trace != nil {
+			cs.Trace("deq-done", tid, mem.Addr(boolToU(empty)), 0)
+		}
+		if empty {
+			return
+		}
+		if watched == 0 {
+			// CANCEL: the waiter was violated before it could park; drop
+			// its watch entries.
+			if cs.Trace != nil {
+				cs.Trace("drain-cancel", tid, 0, 0)
+			}
+			cs.cancelAll(p, tid)
+			continue
+		}
+		line := lineOf(p, watched)
+		if cs.Trace != nil {
+			cs.Trace("pre-load", tid, line, 0)
+		}
+		cur := p.Load(watched) // joins the scheduler's read-set: the watch
+		if cs.Trace != nil {
+			cs.Trace("drain-watch", tid, line, cur<<32|observed)
+		}
+		if cur != observed {
+			// The write already happened; wake immediately.
+			p.Tick(4)
+			cs.ImmediateWakes++
+			cs.Wakes++
+			if cs.Trace != nil {
+				cs.Trace("immediate-wake", tid, line, 0)
+			}
+			cs.ts.Wake(p, cs.ts.threads[tid])
+			continue
+		}
+		cs.waiting[line] = append(cs.waiting[line], tid)
+	}
+}
+
+func (cs *CondSync) cancelAll(p *core.Proc, tid int) {
+	for line, tids := range cs.waiting {
+		out := tids[:0]
+		for _, id := range tids {
+			if id != tid {
+				out = append(out, id)
+			}
+		}
+		p.Tick(2)
+		if len(out) == 0 {
+			delete(cs.waiting, line)
+			p.Release(line)
+		} else {
+			cs.waiting[line] = out
+		}
+	}
+}
+
+func boolToU(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func lineOf(p *core.Proc, a mem.Addr) mem.Addr {
+	return mem.LineAddr(a, p.Machine().Config().Cache.LineSize)
+}
+
+// DebugWaiting snapshots the waiting table for diagnostics.
+func (cs *CondSync) DebugWaiting() map[mem.Addr][]int { return cs.waiting }
+
+// DebugRing dumps the ring pointers and entries for diagnostics (raw
+// memory reads, untimed).
+func (cs *CondSync) DebugRing(m *core.Machine) string {
+	raw := m.Mem()
+	head := raw.Load(cs.headA)
+	tail := raw.Load(cs.tailA)
+	out := fmt.Sprintf("head=%d tail=%d:", head, tail)
+	for i := head; i < tail && i < head+16; i++ {
+		s := cs.slot(i)
+		out += fmt.Sprintf(" [tid=%d addr=%d obs=%d]", int64(raw.Load(s))-1, raw.Load(s+8), raw.Load(s+16))
+	}
+	return out
+}
+
+// Watch communicates (tid, addr, observed value) to the scheduler: an
+// open-nested transaction enqueues the command and writes schedcomm to
+// violate the scheduler.
+//
+// Figure 3 also registers a cancel violation handler that tells the
+// scheduler to drop the watch if the waiter is violated before parking.
+// We deliberately do not: a violation can be delivered while the watch
+// enqueue's own open transaction is still in flight, and a cancel enqueue
+// open-nested on top of it would read the doomed transaction's buffered
+// ring pointers (the nested-open aliasing hazard of handlers touching
+// state the interrupted transaction buffered at an open level). Stale
+// watch entries are harmless instead: Wake filters by thread state, so a
+// spurious wakeup costs one re-check of the waiting condition.
+func (cs *CondSync) Watch(p *core.Proc, t *Thread, tx *core.Tx, addr mem.Addr) {
+	observed := p.Load(addr) // waiter's own read-set entry + handoff value
+	if cs.Trace != nil {
+		cs.Trace("watch", t.ID, addr, observed)
+	}
+	cs.enqueue(p, t.ID, addr, observed)
+}
+
+// enqueue appends one command inside an open-nested transaction, spinning
+// (with the transaction's own retry) while the ring is full, then writes
+// schedcomm to violate the scheduler.
+func (cs *CondSync) enqueue(p *core.Proc, tid int, addr mem.Addr, observed uint64) {
+	if cs.Trace != nil {
+		cs.Trace("enqueue", tid, addr, observed)
+	}
+	for {
+		full := false
+		err := p.AtomicOpen(func(open *core.Tx) {
+			head := p.Load(cs.headA)
+			tail := p.Load(cs.tailA)
+			if tail-head >= uint64(cs.cap) {
+				full = true
+				return
+			}
+			s := cs.slot(tail)
+			p.Store(s, uint64(tid)+1)
+			p.Store(s+8, uint64(addr))
+			p.Store(s+16, observed)
+			p.Store(cs.tailA, tail+1)
+			p.Store(cs.schedcomm, p.Load(cs.schedcomm)+1)
+			if cs.Trace != nil {
+				cs.Trace("enq-slot", tid, 0, tail)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("txrt: watch enqueue aborted: %v", err))
+		}
+		if !full {
+			return
+		}
+		p.Tick(64) // ring full: back off until the scheduler drains
+	}
+}
+
+// Retry implements the retry construct: having watched the addresses of
+// interest, the thread marks itself waiting, aborts its transaction
+// (running any violation/abort compensations), and yields its processor.
+// It never returns to the caller; when the scheduler wakes the thread,
+// AtomicWithRetry re-executes the transaction body from its checkpoint.
+func (cs *CondSync) Retry(p *core.Proc, t *Thread, tx *core.Tx) {
+	if tx.NL() != 1 {
+		panic("txrt: Retry must be called from the outermost transaction")
+	}
+	if cs.Trace != nil {
+		cs.Trace("retry", t.ID, 0, 0)
+	}
+	p.Tick(4) // "move this thread from run to wait; abort and yield"
+	tx.Abort(retrySignal{})
+}
+
+// WaitUntil is the common waiting pattern: inside an AtomicWithRetry
+// body, watch addr and retry unless pred holds on its current value.
+// On return, the transaction has addr in its read-set and pred holds.
+func (cs *CondSync) WaitUntil(p *core.Proc, t *Thread, tx *core.Tx, addr mem.Addr, pred func(uint64) bool) uint64 {
+	v := p.Load(addr)
+	if pred(v) {
+		return v
+	}
+	cs.Watch(p, t, tx, addr)
+	cs.Retry(p, t, tx)
+	panic("unreachable")
+}

@@ -1,0 +1,94 @@
+package txrt
+
+import (
+	"tmisa/internal/core"
+)
+
+// Contention management and control-flow constructs built purely from the
+// ISA's violation/abort handlers — the Section 3 requirement that
+// "software control over conflicts" and constructs like X10's tryatomic
+// need no further hardware support.
+
+// tryFailed is the Abort reason TryAtomic uses internally.
+type tryFailed struct{}
+
+// TryAtomic is the X10-style tryatomic construct: it attempts body as a
+// transaction exactly once. If the attempt commits, TryAtomic returns
+// true; if it is violated (or body aborts), the transaction rolls back
+// and TryAtomic returns false without re-executing — the caller takes its
+// alternate path. Implemented entirely with a violation handler and
+// xabort, per the paper's claim that the three mechanisms suffice.
+func TryAtomic(p *core.Proc, body func(tx *core.Tx)) bool {
+	failed := false
+	err := p.Atomic(func(tx *core.Tx) {
+		if failed {
+			// The first attempt was violated; the ISA re-executed us, and
+			// we immediately abort out instead of retrying.
+			tx.Abort(tryFailed{})
+		}
+		tx.OnViolation(func(*core.Proc, core.Violation) core.Decision {
+			failed = true
+			return core.Rollback
+		})
+		body(tx)
+	})
+	if err == nil {
+		return true
+	}
+	return false
+}
+
+// BackoffManager is a violation-handler contention manager: each delivery
+// inserts an exponentially growing delay before the rollback, bounded by
+// Max, de-synchronizing transactions that keep colliding (the starvation
+// avoidance Section 3 motivates). Attach with Attach at the top of each
+// transaction body; the attempt counter resets when the transaction
+// finally commits.
+type BackoffManager struct {
+	// Base is the first delay in cycles; Max bounds the growth.
+	Base, Max int
+
+	consecutive int
+}
+
+// NewBackoffManager returns a manager with the given bounds.
+func NewBackoffManager(base, max int) *BackoffManager {
+	return &BackoffManager{Base: base, Max: max}
+}
+
+// Attach registers the manager on tx and arms the commit-time reset. Call
+// it first thing in the transaction body (re-executions re-attach to the
+// fresh Tx, as handler registrations roll back with the attempt).
+func (b *BackoffManager) Attach(tx *core.Tx) {
+	tx.OnViolation(func(p *core.Proc, v core.Violation) core.Decision {
+		delay := b.Base << b.consecutive
+		if delay > b.Max {
+			delay = b.Max
+		}
+		b.consecutive++
+		p.TickCycles(uint64(delay))
+		return core.Rollback
+	})
+	tx.OnCommit(func(*core.Proc) { b.consecutive = 0 })
+}
+
+// AtomicWithBackoff is the convenience wrapper: Atomic with a fresh
+// exponential-backoff contention manager attached.
+func AtomicWithBackoff(p *core.Proc, base, max int, body func(tx *core.Tx)) error {
+	mgr := NewBackoffManager(base, max)
+	return p.Atomic(func(tx *core.Tx) {
+		mgr.Attach(tx)
+		body(tx)
+	})
+}
+
+// OrElse is the Haskell-STM-style composition (Section 3 cites retry and
+// orelse): it tries first once; if first is violated or aborts, it runs
+// second as an ordinary transaction. The alternative runs in its own
+// transaction, so first's partial effects are fully rolled back.
+func OrElse(p *core.Proc, first, second func(tx *core.Tx)) error {
+	if TryAtomic(p, first) {
+		return nil
+	}
+	return p.Atomic(second)
+}

@@ -1,0 +1,193 @@
+package txrt
+
+import (
+	"testing"
+
+	"tmisa/internal/core"
+)
+
+// TestTryAtomicCommitsWhenUncontended.
+func TestTryAtomicCommitsWhenUncontended(t *testing.T) {
+	m := core.NewMachine(testConfig(1))
+	a := m.Alloc(1)
+	var ok bool
+	m.Run(func(p *core.Proc) {
+		ok = TryAtomic(p, func(tx *core.Tx) { p.Store(a, 7) })
+	})
+	if !ok {
+		t.Fatal("uncontended tryatomic failed")
+	}
+	if m.Mem().Load(a) != 7 {
+		t.Fatal("commit lost")
+	}
+}
+
+// TestTryAtomicTakesAlternatePathOnViolation: one attempt, no retry.
+func TestTryAtomicTakesAlternatePathOnViolation(t *testing.T) {
+	m := core.NewMachine(testConfig(2))
+	shared := m.AllocLine()
+	attempts := 0
+	var ok bool
+	m.Run(
+		func(p *core.Proc) {
+			ok = TryAtomic(p, func(tx *core.Tx) {
+				attempts++
+				p.Load(shared)
+				p.Tick(3000)
+				p.Store(shared, 1)
+			})
+		},
+		func(p *core.Proc) {
+			p.Tick(1000)
+			p.Store(shared, 2)
+		},
+	)
+	if ok {
+		t.Fatal("violated tryatomic reported success")
+	}
+	if attempts != 1 {
+		t.Fatalf("body ran %d times, want exactly 1", attempts)
+	}
+	if got := m.Mem().Load(shared); got != 2 {
+		t.Fatalf("shared = %d, want only CPU 1's write", got)
+	}
+}
+
+// TestTryAtomicAbortReturnsFalse: an explicit abort is also a failure.
+func TestTryAtomicAbortReturnsFalse(t *testing.T) {
+	m := core.NewMachine(testConfig(1))
+	var ok bool
+	m.Run(func(p *core.Proc) {
+		ok = TryAtomic(p, func(tx *core.Tx) { tx.Abort("nope") })
+	})
+	if ok {
+		t.Fatal("aborted tryatomic reported success")
+	}
+}
+
+// TestOrElseFallsBack: the alternate path runs after a violated first.
+func TestOrElseFallsBack(t *testing.T) {
+	m := core.NewMachine(testConfig(2))
+	shared := m.AllocLine()
+	alt := m.AllocLine()
+	m.Run(
+		func(p *core.Proc) {
+			err := OrElse(p,
+				func(tx *core.Tx) {
+					p.Load(shared)
+					p.Tick(3000)
+					p.Store(shared, 1)
+				},
+				func(tx *core.Tx) {
+					p.Store(alt, 1)
+				})
+			if err != nil {
+				t.Errorf("orelse failed: %v", err)
+			}
+		},
+		func(p *core.Proc) {
+			p.Tick(1000)
+			p.Store(shared, 2)
+		},
+	)
+	if m.Mem().Load(alt) != 1 {
+		t.Fatal("alternate path never committed")
+	}
+}
+
+// TestOrElseFirstWinsWhenClean.
+func TestOrElseFirstWinsWhenClean(t *testing.T) {
+	m := core.NewMachine(testConfig(1))
+	a, b := m.AllocLine(), m.AllocLine()
+	m.Run(func(p *core.Proc) {
+		OrElse(p,
+			func(tx *core.Tx) { p.Store(a, 1) },
+			func(tx *core.Tx) { p.Store(b, 1) })
+	})
+	if m.Mem().Load(a) != 1 || m.Mem().Load(b) != 0 {
+		t.Fatalf("a=%d b=%d, want first path only", m.Mem().Load(a), m.Mem().Load(b))
+	}
+}
+
+// TestBackoffManagerDelaysGrow: the violation handler inserts growing
+// delays and the transaction still commits correctly.
+func TestBackoffManagerDelaysGrow(t *testing.T) {
+	m := core.NewMachine(testConfig(4))
+	ctr := m.AllocLine()
+	worker := func(p *core.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := AtomicWithBackoff(p, 20, 2000, func(tx *core.Tx) {
+				v := p.Load(ctr)
+				p.Tick(30)
+				p.Store(ctr, v+1)
+			}); err != nil {
+				t.Errorf("backoff atomic aborted: %v", err)
+			}
+		}
+	}
+	rep := m.Run(worker, worker, worker, worker)
+	if got := m.Mem().Load(ctr); got != 40 {
+		t.Fatalf("counter = %d, want 40", got)
+	}
+	if rep.Machine.Violations == 0 {
+		t.Fatal("test needs contention to exercise the manager")
+	}
+}
+
+// TestBackoffManagerEnablesEagerWarehouseProgress: with software
+// contention management, even the requester-wins eager engine makes
+// progress on a hot counter (the Section 3 starvation argument).
+func TestBackoffManagerEnablesEagerWarehouseProgress(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Engine = core.Eager
+	cfg.BackoffBase = 1 // hardware backoff nearly off; software manages
+	m := core.NewMachine(cfg)
+	ctr := m.AllocLine()
+	worker := func(p *core.Proc) {
+		for i := 0; i < 8; i++ {
+			AtomicWithBackoff(p, 50, 5000, func(tx *core.Tx) {
+				v := p.Load(ctr)
+				p.Tick(25)
+				p.Store(ctr, v+1)
+			})
+		}
+	}
+	m.Run(worker, worker, worker, worker)
+	if got := m.Mem().Load(ctr); got != 32 {
+		t.Fatalf("counter = %d, want 32", got)
+	}
+}
+
+// TestAbortExceptionPattern: the Harris AbortException construct (cited
+// in Section 5) — error handling that exposes information about the
+// aborted transaction before its state is rolled back, captured through
+// an open-nested transaction in the abort handler.
+func TestAbortExceptionPattern(t *testing.T) {
+	m := core.NewMachine(testConfig(1))
+	work := m.AllocLine()
+	report := m.AllocLine() // survives the rollback: written open-nested
+	var err error
+	m.Run(func(p *core.Proc) {
+		err = p.Atomic(func(tx *core.Tx) {
+			tx.OnAbort(func(p *core.Proc, reason any) {
+				// The speculative state is still visible here: capture the
+				// partial result into durable memory before rollback.
+				partial := p.Load(work)
+				p.AtomicOpen(func(open *core.Tx) {
+					p.Store(report, partial)
+				})
+			})
+			p.Store(work, 1234)
+			tx.Abort("runtime exception")
+		})
+	})
+	if err == nil {
+		t.Fatal("abort lost")
+	}
+	if got := m.Mem().Load(work); got != 0 {
+		t.Fatalf("work = %d, want 0 (rolled back)", got)
+	}
+	if got := m.Mem().Load(report); got != 1234 {
+		t.Fatalf("report = %d, want the captured pre-rollback 1234", got)
+	}
+}

@@ -1,0 +1,129 @@
+package txrt
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+)
+
+// IOSys is the simulated operating-system I/O substrate: an in-memory
+// file system behind a syscall boundary with realistic costs. The paper's
+// evaluation needs it for the Section 7.2 transactional-I/O experiment;
+// file contents live at the host level (outside simulated memory) because
+// the experiment measures syscall serialization behaviour, not data-path
+// conflicts.
+type IOSys struct {
+	// SyscallCost is the fixed cycle cost of entering and leaving the
+	// kernel for one I/O system call.
+	SyscallCost int
+	// ByteCost is the additional cycle cost per 8 bytes transferred.
+	ByteCost int
+	// DeviceCost is the per-call device occupancy in cycles: the device
+	// serializes requests, so concurrent syscalls queue here (like the
+	// bus model).
+	DeviceCost int
+
+	deviceFree uint64
+
+	files  map[int]*file
+	nextFD int
+}
+
+type file struct {
+	name string
+	data []byte
+	pos  int64
+}
+
+// NewIOSys returns an I/O system with default costs.
+func NewIOSys() *IOSys {
+	return &IOSys{
+		SyscallCost: 250,
+		ByteCost:    1,
+		DeviceCost:  40,
+		files:       make(map[int]*file),
+	}
+}
+
+// Open creates (or truncates) a simulated file and returns its descriptor.
+// Call during setup; it charges nothing.
+func (io *IOSys) Open(name string) int {
+	fd := io.nextFD
+	io.nextFD++
+	io.files[fd] = &file{name: name}
+	return fd
+}
+
+// Size returns a file's current length, for test verification.
+func (io *IOSys) Size(fd int) int { return len(io.file(fd).data) }
+
+// Contents returns a copy of the file's bytes, for test verification.
+func (io *IOSys) Contents(fd int) []byte {
+	return append([]byte(nil), io.file(fd).data...)
+}
+
+// Pos returns the file position.
+func (io *IOSys) Pos(fd int) int64 { return io.file(fd).pos }
+
+func (io *IOSys) file(fd int) *file {
+	f, ok := io.files[fd]
+	if !ok {
+		panic(fmt.Sprintf("txrt: bad file descriptor %d", fd))
+	}
+	return f
+}
+
+// charge accounts one syscall of n bytes: kernel entry plus data movement
+// plus queuing on the serialized device.
+func (io *IOSys) charge(p *core.Proc, n int) {
+	p.Tick(io.SyscallCost + io.ByteCost*(n+7)/8)
+	now := p.Now()
+	start := now
+	if io.deviceFree > start {
+		start = io.deviceFree
+	}
+	io.deviceFree = start + uint64(io.DeviceCost)
+	p.Counters().Syscalls++
+	p.Counters().IOBytes += uint64(n)
+	// Queueing delay + occupancy, charged like a bus transfer.
+	p.TickCycles(io.deviceFree - now)
+}
+
+// SysWrite appends data at the file position (the write system call).
+// This is the raw syscall; transactional code reaches it through TxWrite's
+// commit handler or SerialWrite.
+func (io *IOSys) SysWrite(p *core.Proc, fd int, data []byte) {
+	io.charge(p, len(data))
+	f := io.file(fd)
+	// Writes at pos; the common append case extends the file.
+	end := f.pos + int64(len(data))
+	if int64(len(f.data)) < end {
+		f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
+	}
+	copy(f.data[f.pos:end], data)
+	f.pos = end
+}
+
+// SysRead reads up to n bytes from the file position (the read system
+// call), advancing it.
+func (io *IOSys) SysRead(p *core.Proc, fd int, n int) []byte {
+	io.charge(p, n)
+	f := io.file(fd)
+	if f.pos >= int64(len(f.data)) {
+		return nil
+	}
+	end := f.pos + int64(n)
+	if end > int64(len(f.data)) {
+		end = int64(len(f.data))
+	}
+	out := append([]byte(nil), f.data[f.pos:end]...)
+	f.pos = end
+	return out
+}
+
+// SysSeek sets the absolute file position (the lseek system call); the
+// read-compensation violation handler uses it.
+func (io *IOSys) SysSeek(p *core.Proc, fd int, pos int64) {
+	io.charge(p, 0)
+	io.file(fd).pos = pos
+}

@@ -1,0 +1,307 @@
+// Package txrt is the transactional runtime: the software conventions the
+// paper layers over the ISA (Section 5). It provides
+//
+//   - a software-thread system multiplexing many threads over the
+//     simulated CPUs, with park/unpark used by conditional
+//     synchronization;
+//   - the Atomos-style conditional-synchronization scheduler of Figure 3
+//     (watch/retry over open-nested transactions and violation handlers);
+//   - transactional I/O: buffered output finalized by commit handlers and
+//     input compensated by violation handlers, plus the serialize-on-I/O
+//     baseline;
+//   - an open-nested shared-memory allocator with abort compensation
+//     (the brk example of Section 5).
+package txrt
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+)
+
+// retrySignal is the Tx.Abort reason used by Retry to unwind a waiting
+// transaction before parking its thread.
+type retrySignal struct{}
+
+// threadEvent is what a thread goroutine reports back to its dispatcher.
+type threadEvent int
+
+const (
+	threadYielded threadEvent = iota // parked; the scheduler will requeue it
+	threadDone
+)
+
+// threadState tracks where a thread is in its lifecycle.
+type threadState int
+
+const (
+	threadRunnable threadState = iota
+	threadRunning
+	threadWaiting
+	threadFinished
+)
+
+// Thread is one software thread: a body multiplexed onto the machine's
+// CPUs by ThreadSys. Bodies receive the hosting Proc on each resume; a
+// thread may migrate between CPUs across parks.
+type Thread struct {
+	// ID is the thread's stable identifier (its index in ThreadSys).
+	ID int
+
+	body    func(p *core.Proc, t *Thread)
+	ts      *ThreadSys
+	state   threadState
+	started bool
+	proc    *core.Proc
+
+	// parked is true once the dispatcher has received the thread's yield;
+	// pendingWake records a Wake that arrived in the window between the
+	// thread marking itself waiting and actually parking (a dispatcher
+	// must never resume a thread that has not parked).
+	parked      bool
+	pendingWake bool
+
+	resume chan *core.Proc
+	yield  chan threadEvent
+}
+
+// Proc returns the CPU currently hosting the thread. Thread bodies must
+// issue all simulated operations through this (or through the Proc passed
+// to an AtomicWithRetry body), never through a Proc captured before a
+// park: the thread may migrate CPUs whenever it parks, and driving a CPU
+// that now hosts another thread corrupts the simulation.
+func (t *Thread) Proc() *core.Proc { return t.proc }
+
+// run is the thread goroutine: it participates in the simulator's
+// one-runner-at-a-time discipline by only executing between a resume
+// grant from a dispatcher and its own yield.
+func (t *Thread) run() {
+	p := <-t.resume
+	t.proc = p
+	t.body(p, t)
+	t.state = threadFinished
+	t.yield <- threadDone
+}
+
+// park suspends the thread until ThreadSys.Wake moves it back to the run
+// queue and a dispatcher resumes it. It returns the (possibly different)
+// hosting CPU.
+func (t *Thread) park() *core.Proc {
+	t.yield <- threadYielded
+	p := <-t.resume
+	t.proc = p
+	return p
+}
+
+// ThreadSys multiplexes software threads over CPUs: each participating
+// CPU runs Dispatch, which pulls runnable threads from a FIFO run queue
+// and parks (idling the CPU) when none are runnable. All state is
+// manipulated only by the currently running CPU, so no locking is needed.
+type ThreadSys struct {
+	threads []*Thread
+	runQ    []*Thread
+	idle    []*core.Proc
+	live    int
+	// OnAllDone, if set, runs (on the dispatcher observing completion)
+	// when the last thread finishes; the conditional-synchronization
+	// scheduler uses it to shut down.
+	OnAllDone func(p *core.Proc)
+
+	// Trace, when non-nil, receives scheduling events for diagnostics.
+	Trace func(ev string, tid int)
+}
+
+// NewThreadSys returns an empty thread system.
+func NewThreadSys() *ThreadSys { return &ThreadSys{} }
+
+// Spawn registers a thread; call before Machine.Run.
+func (ts *ThreadSys) Spawn(body func(p *core.Proc, t *Thread)) *Thread {
+	t := &Thread{
+		ID:     len(ts.threads),
+		body:   body,
+		ts:     ts,
+		resume: make(chan *core.Proc),
+		yield:  make(chan threadEvent),
+	}
+	ts.threads = append(ts.threads, t)
+	ts.runQ = append(ts.runQ, t)
+	ts.live++
+	return t
+}
+
+// NumLive returns the number of unfinished threads.
+func (ts *ThreadSys) NumLive() int { return ts.live }
+
+// Dispatch is the per-CPU scheduler loop: run it as (part of) a CPU's
+// program. It returns when every thread has finished.
+func (ts *ThreadSys) Dispatch(p *core.Proc) {
+	for {
+		if ts.live == 0 {
+			ts.wakeIdle(p)
+			return
+		}
+		t := ts.popRunnable()
+		if t == nil {
+			ts.idle = append(ts.idle, p)
+			p.Park("thread dispatch: no runnable threads")
+			ts.removeIdle(p)
+			continue
+		}
+		if ts.Trace != nil {
+			ts.Trace("dispatch", t.ID)
+		}
+		p.Tick(dispatchCost)
+		t.state = threadRunning
+		t.proc = p
+		t.parked = false
+		if !t.started {
+			t.started = true
+			go t.run()
+		}
+		t.resume <- p
+		switch <-t.yield {
+		case threadDone:
+			t.pendingWake = false
+			ts.live--
+			if ts.live == 0 {
+				if ts.OnAllDone != nil {
+					ts.OnAllDone(p)
+				}
+				ts.wakeIdle(p)
+				return
+			}
+		case threadYielded:
+			if ts.Trace != nil {
+				ts.Trace("parked", t.ID)
+			}
+			// The thread marked itself waiting (Retry) before yielding.
+			t.parked = true
+			if t.pendingWake {
+				// A Wake raced with the park; requeue immediately.
+				t.pendingWake = false
+				t.state = threadRunnable
+				ts.runQ = append(ts.runQ, t)
+			}
+		}
+	}
+}
+
+// dispatchCost is the instruction cost of one dispatch decision.
+const dispatchCost = 12
+
+func (ts *ThreadSys) popRunnable() *Thread {
+	if len(ts.runQ) == 0 {
+		return nil
+	}
+	t := ts.runQ[0]
+	ts.runQ = ts.runQ[1:]
+	return t
+}
+
+// Wake moves a waiting thread to the run queue and unparks an idle CPU to
+// service it. A wake that arrives while the thread is still running (for
+// example the scheduler processing a watch command before the watcher has
+// parked) is banked as a permit: the dispatcher requeues the thread the
+// moment its park completes, so the wakeup is never lost (a banked permit
+// that turns out stale just causes one harmless re-check of the waiting
+// condition). Wakes for finished threads are dropped.
+func (ts *ThreadSys) Wake(caller *core.Proc, t *Thread) {
+	switch t.state {
+	case threadFinished:
+		return
+	case threadRunning:
+		if ts.Trace != nil {
+			ts.Trace("wake-pending-running", t.ID)
+		}
+		t.pendingWake = true
+		return
+	case threadRunnable:
+		if ts.Trace != nil {
+			ts.Trace("wake-drop-runnable", t.ID)
+		}
+		return // already queued
+	}
+	if !t.parked {
+		if ts.Trace != nil {
+			ts.Trace("wake-pending-unparked", t.ID)
+		}
+		// Between marking itself waiting and parking.
+		t.pendingWake = true
+		return
+	}
+	if ts.Trace != nil {
+		ts.Trace("wake-requeue", t.ID)
+	}
+	t.state = threadRunnable
+	ts.runQ = append(ts.runQ, t)
+	for _, cpu := range ts.idle {
+		if caller.UnparkProc(cpu) {
+			break
+		}
+	}
+}
+
+func (ts *ThreadSys) wakeIdle(p *core.Proc) {
+	for _, cpu := range ts.idle {
+		if cpu != p {
+			p.UnparkProc(cpu)
+		}
+	}
+	ts.idle = nil
+}
+
+func (ts *ThreadSys) removeIdle(p *core.Proc) {
+	for i, cpu := range ts.idle {
+		if cpu == p {
+			ts.idle = append(ts.idle[:i], ts.idle[i+1:]...)
+			return
+		}
+	}
+}
+
+// AtomicWithRetry runs body as a transaction that may call Retry: on
+// retry, the transaction rolls back, the thread parks until woken, and
+// the transaction re-executes (the Atomos semantics of the retry
+// construct). Other aborts propagate as the returned error.
+func (ts *ThreadSys) AtomicWithRetry(t *Thread, body func(p *core.Proc, tx *core.Tx)) error {
+	for {
+		p := t.proc
+		err := p.Atomic(func(tx *core.Tx) { body(p, tx) })
+		if err == nil {
+			return nil
+		}
+		ae, ok := err.(*core.AbortError)
+		if !ok {
+			return err
+		}
+		if _, isRetry := ae.Reason.(retrySignal); !isRetry {
+			return err
+		}
+		// "Move this thread from run to wait" happens only now, after the
+		// transaction has fully unwound: a violation during the retry
+		// sequence rolls the transaction back for ordinary re-execution
+		// instead (the Figure 3 cancel path), and must find the thread
+		// still running.
+		ts.markWaiting(t)
+		t.park()
+	}
+}
+
+// DebugString summarizes thread states for diagnostics.
+func (ts *ThreadSys) DebugString() string {
+	out := ""
+	for _, t := range ts.threads {
+		out += fmt.Sprintf("[t%d st=%d parked=%v pw=%v] ", t.ID, t.state, t.parked, t.pendingWake)
+	}
+	out += fmt.Sprintf("runQ=%d idle=%d live=%d", len(ts.runQ), len(ts.idle), ts.live)
+	return out
+}
+
+// markWaiting flags the thread as waiting; called by Retry before the
+// abort unwinds the transaction.
+func (ts *ThreadSys) markWaiting(t *Thread) {
+	if t.state != threadRunning {
+		panic(fmt.Sprintf("txrt: thread %d retried while %v", t.ID, t.state))
+	}
+	t.state = threadWaiting
+}

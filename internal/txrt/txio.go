@@ -1,0 +1,117 @@
+package txrt
+
+import (
+	"tmisa/internal/core"
+)
+
+// TxIO is the transactional I/O library of Section 5 ("System Calls and
+// I/O"): output buffers in thread-private memory and is finalized by a
+// commit handler (so a rolled-back transaction never emits it); input
+// performs the system call immediately inside an open-nested transaction
+// and registers a violation/abort handler that restores the file position
+// if the surrounding transaction rolls back.
+//
+// For comparison, SerialWrite models what conventional HTM systems do:
+// revert to serial execution at the I/O point by taking the commit token
+// early and holding it to commit.
+type TxIO struct {
+	Sys *IOSys
+
+	// buffers holds the pending output of each active transaction
+	// attempt, keyed by the registering Tx (a rolled-back attempt's Tx is
+	// dead, so its buffer is naturally discarded with it).
+	buffers map[*core.Tx]*txBuffer
+}
+
+type txBuffer struct {
+	data map[int][]byte // fd → pending bytes
+}
+
+// NewTxIO wraps an I/O system with the transactional conventions.
+func NewTxIO(sys *IOSys) *TxIO {
+	return &TxIO{Sys: sys, buffers: make(map[*core.Tx]*txBuffer)}
+}
+
+// Write buffers data for fd in the transaction's private buffer and (on
+// first use per transaction) registers the commit handler that performs
+// the real write system call between xvalidate and xcommit. Outside a
+// transaction it degenerates to the raw syscall.
+func (t *TxIO) Write(p *core.Proc, tx *core.Tx, fd int, data []byte) {
+	if tx == nil || p.Machine().Config().Sequential {
+		t.Sys.SysWrite(p, fd, data)
+		return
+	}
+	buf := t.buffers[tx]
+	if buf == nil {
+		buf = &txBuffer{data: make(map[int][]byte)}
+		t.buffers[tx] = buf
+		tx.OnCommit(func(p *core.Proc) {
+			for _, fd := range sortedFDs(buf.data) {
+				t.Sys.SysWrite(p, fd, buf.data[fd])
+			}
+			delete(t.buffers, tx)
+		})
+	}
+	// Copying into the thread-private buffer costs one instruction per
+	// word (the library's buffering loop).
+	p.Tick(2 + (len(data)+7)/8)
+	buf.data[fd] = append(buf.data[fd], data...)
+}
+
+// Read performs the read system call immediately, inside an open-nested
+// transaction so no dependences arise through system state, and registers
+// compensation on the surrounding transaction: if it rolls back or
+// aborts, the file position is restored (the data's consumption rolls
+// back with the transaction's memory state).
+func (t *TxIO) Read(p *core.Proc, tx *core.Tx, fd int, n int) []byte {
+	if tx == nil || p.Machine().Config().Sequential {
+		return t.Sys.SysRead(p, fd, n)
+	}
+	// The compensation must be registered BEFORE the system call: a
+	// violation delivered while the read is in flight (or before this
+	// transaction attempt ends) must restore the position the attempt
+	// started from, or the rolled-back bytes would be lost.
+	prevPos := t.Sys.Pos(fd)
+	compensate := func(p *core.Proc) {
+		// lseek back so a re-execution re-reads the same bytes.
+		t.Sys.SysSeek(p, fd, prevPos)
+	}
+	tx.OnViolation(func(p *core.Proc, v core.Violation) core.Decision {
+		compensate(p)
+		return core.Rollback
+	})
+	tx.OnAbort(func(p *core.Proc, reason any) { compensate(p) })
+	var out []byte
+	if err := p.AtomicOpen(func(open *core.Tx) {
+		out = t.Sys.SysRead(p, fd, n)
+	}); err != nil {
+		return nil
+	}
+	return out
+}
+
+// SerialWrite is the conventional-HTM baseline: the transaction becomes
+// non-speculative at the I/O point (acquiring the commit token and
+// holding it to commit — every other commit in the machine waits) and
+// then performs the syscall directly.
+func (t *TxIO) SerialWrite(p *core.Proc, tx *core.Tx, fd int, data []byte) {
+	if tx == nil || p.Machine().Config().Sequential {
+		t.Sys.SysWrite(p, fd, data)
+		return
+	}
+	p.SerializeToCommit()
+	t.Sys.SysWrite(p, fd, data)
+}
+
+func sortedFDs(m map[int][]byte) []int {
+	out := make([]int, 0, len(m))
+	for fd := range m {
+		out = append(out, fd)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// Barnes is the synthetic equivalent of SPLASH barnes (Barnes-Hut N-body):
+// the force phase walks a shared tree read-only (a large read-set that is
+// never written during the phase, hence conflict-free), updates private
+// body state, and ends each body chunk by accumulating into one of a few
+// shared subtree mass-moment cells — bookkeeping updates that are the
+// only source of conflicts, split across regions, so Figure 5's barnes
+// bar is one of the smallest.
+type Barnes struct {
+	Bodies   int
+	Steps    int
+	Chunk    int
+	WalkCost int
+	Regions  int
+	TreeSize int
+
+	bodies   mem.Addr // 4 words: x, m, acc, pad
+	tree     mem.Addr // TreeSize read-only node words
+	moments  mem.Addr // Regions lines
+	lineSize int
+}
+
+// DefaultBarnes returns the evaluation's default size.
+func DefaultBarnes() *Barnes {
+	return &Barnes{Bodies: 192, Steps: 4, Chunk: 4, WalkCost: 90, Regions: 4, TreeSize: 64}
+}
+
+func (w *Barnes) Name() string { return "barnes" }
+
+func (w *Barnes) Setup(m *core.Machine, cpus int) {
+	w.lineSize = m.Config().Cache.LineSize
+	w.bodies = m.AllocAligned(w.Bodies*4*mem.WordSize, w.lineSize)
+	w.tree = m.AllocAligned(w.TreeSize*mem.WordSize, w.lineSize)
+	w.moments = m.AllocAligned(w.Regions*w.lineSize, w.lineSize)
+	raw := m.Mem()
+	for i := 0; i < w.Bodies; i++ {
+		base := w.bodies + mem.Addr(i*4*mem.WordSize)
+		raw.Store(base, uint64(i)*5+3)   // x
+		raw.Store(base+8, uint64(i)%6+1) // m
+	}
+	for i := 0; i < w.TreeSize; i++ {
+		raw.Store(w.tree+mem.Addr(i*mem.WordSize), uint64(i)*2+1)
+	}
+}
+
+// bodyForce combines a body with the tree nodes it visits.
+func bodyForce(x, m uint64, nodes []uint64, step uint64) uint64 {
+	acc := step
+	for _, n := range nodes {
+		acc += (x*n + m) % 97
+	}
+	return acc
+}
+
+func (w *Barnes) Run(p *core.Proc, cpus int) {
+	lo, hi := chunk(w.Bodies, cpus, p.ID())
+	for step := 0; step < w.Steps; step++ {
+		for c := lo; c < hi; c += w.Chunk {
+			cEnd := c + w.Chunk
+			if cEnd > hi {
+				cEnd = hi
+			}
+			p.Atomic(func(outer *core.Tx) {
+				var localMass uint64
+				region := 0
+				for i := c; i < cEnd; i++ {
+					base := w.bodies + mem.Addr(i*4*mem.WordSize)
+					x := p.Load(base)
+					mass := p.Load(base + 8)
+					// Read-only tree walk: root plus a body-dependent path.
+					var nodes []uint64
+					idx := 0
+					for d := 0; d < 5; d++ {
+						nodes = append(nodes, p.Load(w.tree+mem.Addr(idx*mem.WordSize)))
+						idx = (idx*2 + int(x%2) + 1) % w.TreeSize
+					}
+					p.Tick(w.WalkCost)
+					acc := bodyForce(x, mass, nodes, uint64(step))
+					p.Store(base+16, p.Load(base+16)+acc)
+					localMass += mass
+					region = (i / w.Chunk) % w.Regions
+				}
+				// Shared subtree moment update: the only conflicting write.
+				p.Atomic(func(inner *core.Tx) {
+					cell := w.moments + mem.Addr(region*w.lineSize)
+					p.Store(cell, p.Load(cell)+localMass)
+				})
+			})
+		}
+	}
+}
+
+func (w *Barnes) Verify(m *core.Machine) error {
+	raw := m.Mem()
+	var total uint64
+	for r := 0; r < w.Regions; r++ {
+		total += raw.Load(w.moments + mem.Addr(r*w.lineSize))
+	}
+	var want uint64
+	for i := 0; i < w.Bodies; i++ {
+		want += (uint64(i)%6 + 1) * uint64(w.Steps)
+	}
+	if total != want {
+		return fmt.Errorf("moment total = %d, want %d (lost updates)", total, want)
+	}
+	return nil
+}

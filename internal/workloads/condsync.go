@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+	"tmisa/internal/stats"
+	"tmisa/internal/txrt"
+)
+
+// CondSyncBench is the conditional-scheduling benchmark: producer/consumer
+// pairs hand items through single-slot mailboxes, synchronizing either
+// with the Atomos-style watch/retry scheduler of Figure 3 (a dedicated
+// scheduler CPU plus worker CPUs parking waiting threads) or with the
+// polling baseline (waiters spin re-reading the flag in fresh
+// transactions, burning cycles and bus bandwidth).
+type CondSyncBench struct {
+	// Pairs is the number of producer/consumer pairs.
+	Pairs int
+	// Items is the number of handoffs per pair.
+	Items int
+	// WorkCost is the instruction count to produce/consume one item.
+	WorkCost int
+	// ProducerDelay is the inter-arrival computation between produced
+	// items (outside the transaction): consumers wait roughly this long
+	// per item, which is where parked waiting beats spinning.
+	ProducerDelay int
+	// BackgroundChunks and ChunkCost define the independent background
+	// work competing for CPUs: under watch/retry, parked waiters free
+	// their CPUs for it; under polling, probe transactions burn the CPUs
+	// instead.
+	BackgroundChunks int
+	ChunkCost        int
+	// Polling selects the spin-wait baseline instead of watch/retry.
+	Polling bool
+
+	flags, vals    []mem.Addr
+	consumed       [][]uint64
+	backgroundDone int
+	ts             *txrt.ThreadSys
+	cs             *txrt.CondSync
+}
+
+// DefaultCondSyncBench returns the evaluation's default size.
+func DefaultCondSyncBench(pairs int, polling bool) *CondSyncBench {
+	return &CondSyncBench{
+		Pairs: pairs, Items: 8, WorkCost: 200,
+		ProducerDelay:    3000,
+		BackgroundChunks: 48, ChunkCost: 600,
+		Polling: polling,
+	}
+}
+
+func (w *CondSyncBench) Name() string {
+	mode := "watch-retry"
+	if w.Polling {
+		mode = "polling"
+	}
+	return fmt.Sprintf("condsync-%s-%dpairs", mode, w.Pairs)
+}
+
+func (w *CondSyncBench) Setup(m *core.Machine, cpus int) {
+	w.flags = nil
+	w.vals = nil
+	w.backgroundDone = 0
+	w.consumed = make([][]uint64, w.Pairs)
+	for i := 0; i < w.Pairs; i++ {
+		w.flags = append(w.flags, m.AllocLine())
+		w.vals = append(w.vals, m.AllocLine())
+	}
+	if w.Polling {
+		return
+	}
+	w.ts = txrt.NewThreadSys()
+	w.cs = txrt.NewCondSync(m, w.ts)
+	// Background work: many short threads so the dispatcher interleaves
+	// them with woken waiters.
+	for c := 0; c < w.BackgroundChunks; c++ {
+		w.ts.Spawn(func(p *core.Proc, th *txrt.Thread) {
+			p.Tick(w.ChunkCost)
+			w.backgroundDone++
+		})
+	}
+	for i := 0; i < w.Pairs; i++ {
+		i := i
+		w.ts.Spawn(func(p *core.Proc, th *txrt.Thread) { // consumer
+			for k := 0; k < w.Items; k++ {
+				var got uint64
+				w.ts.AtomicWithRetry(th, func(p *core.Proc, tx *core.Tx) {
+					w.cs.WaitUntil(p, th, tx, w.flags[i], func(v uint64) bool { return v != 0 })
+					p.Store(w.flags[i], 0)
+					p.Tick(w.WorkCost)
+					got = p.Load(w.vals[i]) // recorded after commit: a violated
+					// attempt must not leave Go-side effects behind
+				})
+				w.consumed[i] = append(w.consumed[i], got)
+			}
+		})
+		w.ts.Spawn(func(p *core.Proc, th *txrt.Thread) { // producer
+			for k := 0; k < w.Items; k++ {
+				// th.Proc(), not the spawn-time p: the thread may have
+				// migrated CPUs across a park.
+				th.Proc().Tick(w.ProducerDelay) // item inter-arrival computation
+				w.ts.AtomicWithRetry(th, func(p *core.Proc, tx *core.Tx) {
+					w.cs.WaitUntil(p, th, tx, w.flags[i], func(v uint64) bool { return v == 0 })
+					p.Tick(w.WorkCost)
+					p.Store(w.vals[i], uint64(i*1000+k+1))
+					p.Store(w.flags[i], 1)
+				})
+			}
+		})
+	}
+}
+
+// Run drives one CPU. For watch/retry, CPU 0 runs the scheduler and the
+// rest dispatch threads (2*Pairs threads multiplexed over cpus-1 worker
+// CPUs; waiting threads park and free their CPU). For polling, the same
+// 2*Pairs producer/consumer roles are distributed round-robin over all
+// CPUs, each CPU sweeping its roles with non-blocking attempts — the
+// conventional spin approach, which burns its CPU while a role is not
+// ready.
+func (w *CondSyncBench) Run(p *core.Proc, cpus int) {
+	if !w.Polling {
+		if p.ID() == 0 {
+			w.cs.SchedulerMain(p)
+		} else {
+			w.ts.Dispatch(p)
+		}
+		return
+	}
+	type role struct {
+		pair     int
+		consumer bool
+		done     int
+	}
+	var mine []*role
+	for r := 0; r < 2*w.Pairs; r++ {
+		if r%cpus == p.ID() {
+			mine = append(mine, &role{pair: r / 2, consumer: r%2 == 0})
+		}
+	}
+	myChunks := 0
+	for c := 0; c < w.BackgroundChunks; c++ {
+		if c%cpus == p.ID() {
+			myChunks++
+		}
+	}
+	remaining := len(mine) * w.Items
+	for remaining > 0 || myChunks > 0 {
+		// One background chunk per sweep, interleaved with the probes
+		// (the polling loop's useful work).
+		if myChunks > 0 {
+			p.Tick(w.ChunkCost)
+			myChunks--
+			w.backgroundDone++
+		}
+		progressed := false
+		for _, ro := range mine {
+			if ro.done == w.Items {
+				continue
+			}
+			if !ro.consumer && p.Load(w.flags[ro.pair]) == 0 {
+				// The slot is free: compute the next item (the same
+				// inter-arrival work the watch/retry producer performs).
+				p.Tick(w.ProducerDelay)
+			}
+			ok := false
+			var got uint64
+			taken := false
+			p.Atomic(func(tx *core.Tx) {
+				v := p.Load(w.flags[ro.pair])
+				if ro.consumer {
+					if v == 0 {
+						return // not ready; commit the read-only probe
+					}
+					p.Store(w.flags[ro.pair], 0)
+					p.Tick(w.WorkCost)
+					got = p.Load(w.vals[ro.pair])
+					taken = true
+				} else {
+					if v != 0 {
+						return
+					}
+					p.Tick(w.WorkCost)
+					p.Store(w.vals[ro.pair], uint64(ro.pair*1000+ro.done+1))
+					p.Store(w.flags[ro.pair], 1)
+				}
+				ok = true
+			})
+			if ok {
+				if taken {
+					w.consumed[ro.pair] = append(w.consumed[ro.pair], got)
+				}
+				ro.done++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed && myChunks == 0 {
+			p.Tick(30) // polling interval
+		}
+	}
+}
+
+func (w *CondSyncBench) Verify(m *core.Machine) error {
+	if w.backgroundDone != w.BackgroundChunks {
+		return fmt.Errorf("background chunks done = %d, want %d", w.backgroundDone, w.BackgroundChunks)
+	}
+	for i := 0; i < w.Pairs; i++ {
+		if len(w.consumed[i]) != w.Items {
+			return fmt.Errorf("pair %d consumed %d items, want %d", i, len(w.consumed[i]), w.Items)
+		}
+		for k, v := range w.consumed[i] {
+			if v != uint64(i*1000+k+1) {
+				return fmt.Errorf("pair %d item %d = %d, want %d (ordering violated)", i, k, v, i*1000+k+1)
+			}
+		}
+	}
+	return nil
+}
+
+// MeasureCondSyncScaling produces the Figure 7 series: handoff throughput
+// (items per kilocycle) for watch/retry and polling across pair counts on
+// a fixed CPU budget. With more threads than CPUs, parked waiters free
+// their CPUs under watch/retry, while polling burns them.
+func MeasureCondSyncScaling(pairCounts []int, cpus int, cfg core.Config) (watch, poll *stats.Series) {
+	watch = &stats.Series{Name: "watch/retry scheduler"}
+	poll = &stats.Series{Name: "polling baseline"}
+	for _, pairs := range pairCounts {
+		wr := DefaultCondSyncBench(pairs, false)
+		rep := Execute(wr, cfg, cpus)
+		watch.Add(fmt.Sprintf("%d", pairs),
+			float64(pairs*wr.Items+wr.BackgroundChunks)*1000/float64(rep.TotalCycles))
+
+		pb := DefaultCondSyncBench(pairs, true)
+		rep = Execute(pb, cfg, cpus)
+		poll.Add(fmt.Sprintf("%d", pairs),
+			float64(pairs*pb.Items+pb.BackgroundChunks)*1000/float64(rep.TotalCycles))
+	}
+	return watch, poll
+}

@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// FMM is the synthetic equivalent of SPLASH fmm (fast multipole method):
+// each chunk of target cells reads stable neighbor multipoles, performs
+// private expansion arithmetic, and folds its result into one of four
+// shared quadrant moment accumulators in a closed-nested transaction. Its
+// contention sits between barnes (8-way split) and moldyn (global lines).
+type FMM struct {
+	Cells     int
+	Steps     int
+	Chunk     int
+	ExpCost   int
+	Quadrants int
+
+	src, dst  mem.Addr
+	quadrants mem.Addr
+	bar       *barrier
+	lineSize  int
+}
+
+// DefaultFMM returns the evaluation's default size.
+func DefaultFMM() *FMM {
+	return &FMM{Cells: 128, Steps: 3, Chunk: 4, ExpCost: 100, Quadrants: 4}
+}
+
+func (w *FMM) Name() string { return "fmm" }
+
+func (w *FMM) Setup(m *core.Machine, cpus int) {
+	w.lineSize = m.Config().Cache.LineSize
+	w.bar = newBarrier(m, cpus)
+	w.src = m.AllocAligned(w.Cells*mem.WordSize, w.lineSize)
+	w.dst = m.AllocAligned(w.Cells*mem.WordSize, w.lineSize)
+	w.quadrants = m.AllocAligned(w.Quadrants*w.lineSize, w.lineSize)
+	raw := m.Mem()
+	for i := 0; i < w.Cells; i++ {
+		raw.Store(w.src+mem.Addr(i*mem.WordSize), uint64(i)*13+5)
+	}
+}
+
+// expansion is the deterministic multipole translation.
+func expansion(center, left, right, step uint64) uint64 {
+	return (center*31 + left*17 + right*7 + step) % 100003
+}
+
+func (w *FMM) Run(p *core.Proc, cpus int) {
+	src, dst := w.src, w.dst
+	for step := 0; step < w.Steps; step++ {
+		lo, hi := chunk(w.Cells, cpus, p.ID())
+		for c := lo; c < hi; c += w.Chunk {
+			cEnd := c + w.Chunk
+			if cEnd > hi {
+				cEnd = hi
+			}
+			p.Atomic(func(outer *core.Tx) {
+				var local uint64
+				quad := 0
+				for i := c; i < cEnd; i++ {
+					l, r := (i+w.Cells-1)%w.Cells, (i+1)%w.Cells
+					cv := p.Load(src + mem.Addr(i*mem.WordSize))
+					lv := p.Load(src + mem.Addr(l*mem.WordSize))
+					rv := p.Load(src + mem.Addr(r*mem.WordSize))
+					p.Tick(w.ExpCost)
+					nv := expansion(cv, lv, rv, uint64(step))
+					p.Store(dst+mem.Addr(i*mem.WordSize), nv)
+					local += nv
+					quad = i * w.Quadrants / w.Cells
+				}
+				p.Atomic(func(inner *core.Tx) {
+					cell := w.quadrants + mem.Addr(quad*w.lineSize)
+					p.Store(cell, p.Load(cell)+local)
+				})
+			})
+		}
+		w.bar.wait(p, step)
+		src, dst = dst, src
+	}
+}
+
+func (w *FMM) Verify(m *core.Machine) error {
+	// Recompute the whole run.
+	src := make([]uint64, w.Cells)
+	dst := make([]uint64, w.Cells)
+	for i := range src {
+		src[i] = uint64(i)*13 + 5
+	}
+	var want uint64
+	for step := 0; step < w.Steps; step++ {
+		for i := 0; i < w.Cells; i++ {
+			l, r := (i+w.Cells-1)%w.Cells, (i+1)%w.Cells
+			dst[i] = expansion(src[i], src[l], src[r], uint64(step))
+			want += dst[i]
+		}
+		src, dst = dst, src
+	}
+	raw := m.Mem()
+	var total uint64
+	for q := 0; q < w.Quadrants; q++ {
+		total += raw.Load(w.quadrants + mem.Addr(q*w.lineSize))
+	}
+	if total != want {
+		return fmt.Errorf("quadrant total = %d, want %d (lost updates)", total, want)
+	}
+	// The final cell array must match the recomputation.
+	final := w.src
+	if w.Steps%2 == 1 {
+		final = w.dst
+	}
+	for i := 0; i < w.Cells; i++ {
+		if got := raw.Load(final + mem.Addr(i*mem.WordSize)); got != src[i] {
+			return fmt.Errorf("cell %d = %d, want %d", i, got, src[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+// Package workloads implements the evaluation programs of Section 7: the
+// speculatively parallelized scientific kernels (barnes, fmm, moldyn,
+// mp3d, swim, tomcatv, water), the SPECjbb2000-style warehouse with its
+// flat/closed/open variants, the transactional-I/O microbenchmark, and
+// the conditional-synchronization benchmark.
+//
+// Each scientific kernel is a synthetic equivalent reproducing the
+// original application's transactional structure — large outer
+// transactions created by speculative loop parallelization, with small,
+// conflict-prone inner updates (reduction variables, particle-collision
+// cells, tree nodes) wrapped in closed-nested transactions — because that
+// structure is what Figure 5 measures: how much independent rollback of
+// the inner transactions saves over flattening. The same program runs as
+// the "flat" baseline simply by configuring the machine with
+// Config.Flatten (conventional HTM subsumption).
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+	"tmisa/internal/stats"
+)
+
+// Workload is one evaluation program.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup lays out the workload's state in simulated memory (untimed);
+	// cpus is the CPU count the run will use (for barriers and sizing).
+	Setup(m *core.Machine, cpus int)
+	// Run is the per-CPU program; cpus is the number of CPUs sharing the
+	// work (iterations are partitioned by p.ID()).
+	Run(p *core.Proc, cpus int)
+	// Verify checks the final memory image against the workload's
+	// invariants (untimed); it returns an error on corruption, which
+	// would indicate an atomicity or isolation bug in the HTM.
+	Verify(m *core.Machine) error
+}
+
+// Execute runs w on a machine built from cfg with the given CPU count and
+// returns the report. It panics if Verify fails: a workload result is
+// only meaningful on a correct execution.
+func Execute(w Workload, cfg core.Config, cpus int) *stats.Report {
+	cfg.CPUs = cpus
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 3_000_000_000
+	}
+	m := core.NewMachine(cfg)
+	w.Setup(m, cpus)
+	bodies := make([]func(*core.Proc), cpus)
+	for i := 0; i < cpus; i++ {
+		bodies[i] = func(p *core.Proc) { w.Run(p, cpus) }
+	}
+	rep := m.Run(bodies...)
+	if err := w.Verify(m); err != nil {
+		panic(fmt.Sprintf("workloads: %s failed verification (%s, flatten=%v): %v",
+			w.Name(), cfg.Engine, cfg.Flatten, err))
+	}
+	return rep
+}
+
+// ExecuteTraced is Execute with a machine-customization hook (for
+// example attaching a tracer) run between construction and Setup.
+func ExecuteTraced(w Workload, cfg core.Config, cpus int, customize func(*core.Machine)) *stats.Report {
+	cfg.CPUs = cpus
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 3_000_000_000
+	}
+	m := core.NewMachine(cfg)
+	if customize != nil {
+		customize(m)
+	}
+	w.Setup(m, cpus)
+	bodies := make([]func(*core.Proc), cpus)
+	for i := 0; i < cpus; i++ {
+		bodies[i] = func(p *core.Proc) { w.Run(p, cpus) }
+	}
+	rep := m.Run(bodies...)
+	if err := w.Verify(m); err != nil {
+		panic(fmt.Sprintf("workloads: %s failed verification (%s, flatten=%v): %v",
+			w.Name(), cfg.Engine, cfg.Flatten, err))
+	}
+	return rep
+}
+
+// ExecuteSequential runs w on one CPU with all transactional mechanisms
+// disabled: the sequential baseline the paper's per-bar annotations are
+// computed against.
+func ExecuteSequential(w Workload, cfg core.Config) *stats.Report {
+	cfg.Sequential = true
+	cfg.Flatten = false
+	return Execute(w, cfg, 1)
+}
+
+// Figure5Row holds one bar of Figure 5.
+type Figure5Row struct {
+	Name string
+	// SpeedupOverFlat is the bar height: nested cycles vs flattened
+	// cycles at the same CPU count.
+	SpeedupOverFlat float64
+	// SpeedupOverSeq is the number printed above the bar: nested version
+	// vs sequential execution on one CPU.
+	SpeedupOverSeq float64
+	// FlatOverSeq is the flattened version's speedup over sequential
+	// (reported for SPECjbb2000: 1.92 in the paper).
+	FlatOverSeq float64
+
+	Seq, Flat, Nested *stats.Report
+}
+
+// MeasureFigure5 produces one Figure 5 bar: sequential, flattened, and
+// fully nested runs of w.
+func MeasureFigure5(w Workload, cfg core.Config, cpus int) Figure5Row {
+	seq := ExecuteSequential(w, cfg)
+
+	flatCfg := cfg
+	flatCfg.Flatten = true
+	flat := Execute(w, flatCfg, cpus)
+
+	nestCfg := cfg
+	nestCfg.Flatten = false
+	nested := Execute(w, nestCfg, cpus)
+
+	return Figure5Row{
+		Name:            w.Name(),
+		SpeedupOverFlat: stats.Speedup(flat, nested),
+		SpeedupOverSeq:  stats.Speedup(seq, nested),
+		FlatOverSeq:     stats.Speedup(seq, flat),
+		Seq:             seq,
+		Flat:            flat,
+		Nested:          nested,
+	}
+}
+
+// rng is a deterministic xorshift64* generator; every CPU derives its own
+// stream from its ID so runs are reproducible.
+type rng uint64
+
+func newRNG(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return rng(seed)
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// barrier is a simple sense-free phase barrier over a shared counter:
+// arrival is a small transaction; waiting polls non-transactionally (no
+// read-set growth, so no conflicts — the paper's efficient-barrier use of
+// conditional synchronization is benchmarked separately in condsync).
+type barrier struct {
+	cell mem.Addr
+	n    int
+}
+
+func newBarrier(m *core.Machine, n int) *barrier {
+	return &barrier{cell: m.AllocLine(), n: n}
+}
+
+// wait blocks CPU p until all n CPUs have arrived at the given phase
+// (phases must be used in increasing order: 0, 1, 2, ...).
+func (b *barrier) wait(p *core.Proc, phase int) {
+	p.Atomic(func(tx *core.Tx) {
+		p.Store(b.cell, p.Load(b.cell)+1)
+	})
+	target := uint64(b.n * (phase + 1))
+	for p.Load(b.cell) < target {
+		p.Tick(20)
+	}
+}
+
+// chunk partitions n items over cpus and returns CPU id's [lo, hi).
+func chunk(n, cpus, id int) (lo, hi int) {
+	per := (n + cpus - 1) / cpus
+	lo = id * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+	"tmisa/internal/stats"
+	"tmisa/internal/txrt"
+)
+
+// IOBench is the Section 7.2 transactional-I/O microbenchmark: "each
+// thread repeatedly performs a small computation within a transaction and
+// outputs a message into a log". The transactional library buffers the
+// output in a private buffer and registers a commit handler that performs
+// the real write between xvalidate and xcommit; the conventional baseline
+// serializes the machine at the I/O point (SerializeToCommit), modelling
+// HTMs that revert to sequential execution on I/O.
+type IOBench struct {
+	// TotalOps is the fixed total number of compute+log operations.
+	TotalOps int
+	// ComputeCost is the instruction count of one computation.
+	ComputeCost int
+	// Message is the log record written per operation.
+	Message []byte
+	// Serialize selects the conventional serialize-on-I/O baseline.
+	Serialize bool
+
+	sys  *txrt.IOSys
+	tio  *txrt.TxIO
+	log  int
+	data mem0
+}
+
+// mem0 keeps a private scratch line per CPU so the transaction has real
+// transactional state alongside its I/O.
+type mem0 struct {
+	base   uint64
+	stride int
+}
+
+// DefaultIOBench returns the evaluation's default size.
+func DefaultIOBench(serialize bool) *IOBench {
+	return &IOBench{
+		TotalOps:    256,
+		ComputeCost: 2500,
+		Message:     []byte("transactional log record\n"),
+		Serialize:   serialize,
+	}
+}
+
+func (w *IOBench) Name() string {
+	if w.Serialize {
+		return "io-serialized"
+	}
+	return "io-transactional"
+}
+
+func (w *IOBench) Setup(m *core.Machine, cpus int) {
+	w.sys = txrt.NewIOSys()
+	w.tio = txrt.NewTxIO(w.sys)
+	w.log = w.sys.Open("log")
+	base := m.AllocAligned(cpus*m.Config().Cache.LineSize, m.Config().Cache.LineSize)
+	w.data = mem0{base: uint64(base), stride: m.Config().Cache.LineSize}
+}
+
+func (w *IOBench) Run(p *core.Proc, cpus int) {
+	lo, hi := chunk(w.TotalOps, cpus, p.ID())
+	scratch := mem.Addr(w.data.base + uint64(p.ID()*w.data.stride))
+	for op := lo; op < hi; op++ {
+		p.Atomic(func(tx *core.Tx) {
+			v := p.Load(scratch)
+			p.Tick(w.ComputeCost)
+			p.Store(scratch, v+1)
+			if w.Serialize {
+				w.tio.SerialWrite(p, tx, w.log, w.Message)
+			} else {
+				w.tio.Write(p, tx, w.log, w.Message)
+			}
+			// Post-I/O work inside the transaction: this is what the
+			// serializing baseline executes while excluding every other
+			// commit in the machine.
+			p.Tick(w.ComputeCost / 4)
+		})
+	}
+}
+
+func (w *IOBench) Verify(m *core.Machine) error {
+	want := w.TotalOps * len(w.Message)
+	if got := w.sys.Size(w.log); got != want {
+		return fmt.Errorf("log has %d bytes, want %d (lost or duplicated records)", got, want)
+	}
+	return nil
+}
+
+// Sys exposes the I/O subsystem for inspection in tests.
+func (w *IOBench) Sys() *txrt.IOSys { return w.sys }
+
+// MeasureIOScaling produces the Figure 6 series: speedup over one CPU for
+// the transactional and serializing schemes across CPU counts.
+func MeasureIOScaling(cpuCounts []int, cfg core.Config) (tx, serial *stats.Series) {
+	tx = &stats.Series{Name: "transactional I/O (commit handlers)"}
+	serial = &stats.Series{Name: "serialize-on-I/O baseline"}
+	var txBase, serBase uint64
+	for _, n := range cpuCounts {
+		t := Execute(DefaultIOBench(false), cfg, n)
+		s := Execute(DefaultIOBench(true), cfg, n)
+		if txBase == 0 {
+			txBase, serBase = t.TotalCycles, s.TotalCycles
+		}
+		tx.Add(fmt.Sprintf("%d", n), float64(txBase)/float64(t.TotalCycles))
+		serial.Add(fmt.Sprintf("%d", n), float64(serBase)/float64(s.TotalCycles))
+	}
+	return tx, serial
+}

@@ -1,0 +1,307 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/btree"
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// JBBMode selects the SPECjbb2000 parallelization variant of Section 7.1.
+type JBBMode int
+
+const (
+	// JBBClosed wraps every B-tree search/update in a closed-nested
+	// transaction, so tree conflicts roll back only the tree operation.
+	JBBClosed JBBMode = iota
+	// JBBOpen keeps the flat structure but generates the global order ID
+	// in an open-nested transaction: IDs must be unique, not sequential,
+	// so no compensation is needed and counter conflicts vanish.
+	JBBOpen
+)
+
+func (m JBBMode) String() string {
+	if m == JBBClosed {
+		return "closed"
+	}
+	return "open"
+}
+
+// JBB is the SPECjbb2000-style warehouse: customer tasks (new order,
+// payment, order status) over shared B-trees holding customer, order, and
+// stock information, a global order-ID counter, and per-district totals —
+// parallelized within a single warehouse with one outer transaction per
+// operation, exactly as the paper describes. Running it under
+// Config.Flatten gives the conventional flat-transaction baseline (1.92x
+// over sequential in the paper); JBBClosed and JBBOpen reproduce the
+// 2.05x and 2.22x improvements over that baseline.
+type JBB struct {
+	Mode JBBMode
+
+	Customers int
+	StockSKUs int
+	Districts int
+	// TotalOps is the fixed operation count, partitioned across CPUs.
+	TotalOps int
+	// ItemsPerOrder is how many stock lines one new order touches.
+	ItemsPerOrder int
+	// ThinkCost is the per-operation business-logic instruction count.
+	ThinkCost int
+	// PreloadOrders is the warehouse's pre-existing order history.
+	PreloadOrders int
+	// HotPct is the percentage of payments going to the HotCustomers
+	// frequent customers (TPC-C's skewed customer access).
+	HotPct int
+	// HotCustomers is the size of the frequent-customer set.
+	HotCustomers int
+
+	customers *btree.Tree
+	stock     *btree.Tree
+	orders    *btree.Tree
+	counter   mem.Addr
+	districts mem.Addr
+	lineSize  int
+	cpus      int
+}
+
+// DefaultJBB returns the evaluation's default size for the given mode.
+func DefaultJBB(mode JBBMode) *JBB {
+	return &JBB{
+		Mode:          mode,
+		Customers:     2048,
+		StockSKUs:     1024,
+		Districts:     2,
+		TotalOps:      288,
+		ItemsPerOrder: 4,
+		ThinkCost:     150,
+		PreloadOrders: 2048,
+		HotPct:        97,
+		HotCustomers:  2,
+	}
+}
+
+func (w *JBB) Name() string { return "SPECjbb2000-" + w.Mode.String() }
+
+func (w *JBB) Setup(m *core.Machine, cpus int) {
+	w.cpus = cpus
+	w.lineSize = m.Config().Cache.LineSize
+	w.customers = btree.New(m)
+	w.stock = btree.New(m)
+	w.orders = btree.New(m)
+	w.counter = m.AllocLine()
+	w.districts = m.AllocAligned(w.Districts*w.lineSize, w.lineSize)
+
+	// Populate the tables through the untimed setup processor so the tree
+	// code itself lays out the initial image.
+	loader := m.SetupProc()
+	for i := 0; i < w.Customers; i++ {
+		w.customers.Insert(loader, uint64(i)+1, 1000)
+	}
+	for i := 0; i < w.StockSKUs; i++ {
+		w.stock.Insert(loader, uint64(i)+1, 1_000_000)
+	}
+	// The warehouse starts with a history of orders, so the orders tree
+	// is deep and rightmost-spine splits are local (a fresh tree would
+	// split at the root on nearly every insert, serializing everything).
+	for i := 0; i < w.PreloadOrders; i++ {
+		w.orders.Insert(loader, uint64(i%w.Districts)<<32|uint64(i+1), 0)
+	}
+	m.Mem().Store(w.counter, uint64(w.PreloadOrders)+1)
+}
+
+// opKind classifies warehouse operations.
+type opKind int
+
+const (
+	opNewOrder opKind = iota
+	opPayment
+	opStatus
+)
+
+// opParams derives an operation's inputs deterministically from its
+// global index, so re-executions replay identical inputs and Verify can
+// recompute the expected final state.
+func (w *JBB) opParams(op int) (kind opKind, customer uint64, district int, amount uint64, items []uint64, think int) {
+	r := newRNG(uint64(op)*1099511628211 + 17)
+	switch x := r.intn(100); {
+	case x < 45:
+		kind = opNewOrder
+	case x < 90:
+		kind = opPayment
+	default:
+		kind = opStatus
+	}
+	customer = uint64(r.intn(w.Customers)) + 1
+	if kind == opPayment && r.intn(100) < w.HotPct {
+		// Frequent customers concentrate payment traffic (spread over
+		// distinct B-tree leaves).
+		customer = uint64(r.intn(w.HotCustomers))*uint64(w.Customers/w.HotCustomers) + 1
+	}
+	district = r.intn(w.Districts)
+	amount = uint64(r.intn(900)) + 100
+	if kind == opNewOrder {
+		for k := 0; k < w.ItemsPerOrder; k++ {
+			items = append(items, uint64(r.intn(w.StockSKUs))+1)
+		}
+	}
+	// Business-logic time varies per operation (data-dependent paths in
+	// the real workload); without it the processors run in lockstep and
+	// every commit mass-kills the whole commit queue.
+	think = w.ThinkCost/2 + r.intn(w.ThinkCost*2)
+	return
+}
+
+func (w *JBB) districtAddr(d int) mem.Addr { return w.districts + mem.Addr(d*w.lineSize) }
+
+// treeOp wraps a B-tree operation in a closed-nested transaction under
+// JBBClosed, or runs it inline otherwise.
+func (w *JBB) treeOp(p *core.Proc, f func()) {
+	if w.Mode == JBBClosed {
+		p.Atomic(func(tx *core.Tx) { f() })
+	} else {
+		f()
+	}
+}
+
+func (w *JBB) Run(p *core.Proc, cpus int) {
+	lo, hi := chunk(w.TotalOps, cpus, p.ID())
+	for op := lo; op < hi; op++ {
+		kind, customer, district, amount, items, think := w.opParams(op)
+		p.Atomic(func(tx *core.Tx) {
+			switch kind {
+			case opNewOrder:
+				// Business logic first: a long conflict-free prefix, as in
+				// the real workload's order assembly.
+				p.Tick(think)
+				w.customers.Search(p, customer)
+				// Reserve the order's stock in one B-tree transaction.
+				w.treeOp(p, func() {
+					for _, item := range items {
+						qty, ok := w.stock.Search(p, item)
+						if !ok {
+							panic("jbb: missing stock item")
+						}
+						w.stock.Update(p, item, qty-1)
+					}
+				})
+				// The global order ID: the open-nesting showcase.
+				var orderID uint64
+				if w.Mode == JBBOpen {
+					p.AtomicOpen(func(open *core.Tx) {
+						orderID = p.Load(w.counter)
+						p.Store(w.counter, orderID+1)
+					})
+				} else {
+					orderID = p.Load(w.counter)
+					p.Store(w.counter, orderID+1)
+				}
+				// Orders cluster by district (TPC-C keys), so the hot
+				// rightmost leaf is per district; the order row is followed
+				// by its line-item row, widening the window between ID
+				// generation and commit.
+				key := uint64(district)<<32 | orderID
+				w.treeOp(p, func() { w.orders.Insert(p, key, customer<<16|amount) })
+				// District year-to-date totals and statistics update: the
+				// hot shared line, last before commit, in its own nested
+				// transaction.
+				w.treeOp(p, func() {
+					d := w.districtAddr(district)
+					v := p.Load(d)
+					p.Tick(120)
+					p.Store(d, v+amount)
+				})
+			case opPayment:
+				p.Tick(think)
+				w.treeOp(p, func() {
+					bal, ok := w.customers.Search(p, customer)
+					if !ok {
+						panic("jbb: missing customer")
+					}
+					// Credit and discount computation against the record.
+					p.Tick(180)
+					w.customers.Update(p, customer, bal-amount)
+				})
+				// District year-to-date totals: hot line, last, nested.
+				w.treeOp(p, func() {
+					d := w.districtAddr(district)
+					v := p.Load(d)
+					p.Tick(120)
+					p.Store(d, v+amount)
+				})
+			case opStatus:
+				p.Tick(think / 2)
+				w.customers.Search(p, customer)
+				w.orders.Search(p, uint64(district)<<32|uint64(op)+1)
+			}
+		})
+	}
+}
+
+func (w *JBB) Verify(m *core.Machine) error {
+	raw := m.Mem()
+	var wantDistrict = make([]uint64, w.Districts)
+	wantBal := make(map[uint64]int64)
+	wantStock := make(map[uint64]uint64)
+	newOrders := 0
+	for op := 0; op < w.TotalOps; op++ {
+		kind, customer, district, amount, items, _ := w.opParams(op)
+		switch kind {
+		case opNewOrder:
+			newOrders++
+			wantDistrict[district] += amount
+			for _, it := range items {
+				wantStock[it]++
+			}
+		case opPayment:
+			wantDistrict[district] += amount
+			wantBal[customer] += int64(amount)
+		}
+	}
+	for d := 0; d < w.Districts; d++ {
+		if got := raw.Load(w.districtAddr(d)); got != wantDistrict[d] {
+			return fmt.Errorf("district %d total = %d, want %d", d, got, wantDistrict[d])
+		}
+	}
+	// Order IDs must be unique and the tree must hold exactly the
+	// committed new orders.
+	seen := make(map[uint64]bool)
+	count := 0
+	w.orders.Walk(func(k, v uint64) {
+		if seen[k] {
+			panic(fmt.Sprintf("jbb: duplicate order id %d", k))
+		}
+		seen[k] = true
+		count++
+	})
+	if count != newOrders+w.PreloadOrders {
+		return fmt.Errorf("orders tree has %d entries, want %d", count, newOrders+w.PreloadOrders)
+	}
+	ctr := raw.Load(w.counter)
+	base := uint64(w.PreloadOrders)
+	if w.Mode == JBBOpen {
+		// Aborted attempts may consume IDs; the counter only bounds them.
+		if ctr < base+uint64(newOrders)+1 {
+			return fmt.Errorf("counter = %d, below committed orders %d", ctr, newOrders)
+		}
+	} else if ctr != base+uint64(newOrders)+1 {
+		return fmt.Errorf("counter = %d, want %d", ctr, base+uint64(newOrders)+1)
+	}
+	// Spot-check stock and balances through the raw walker.
+	gotStock := make(map[uint64]uint64)
+	w.stock.Walk(func(k, v uint64) { gotStock[k] = v })
+	for it, n := range wantStock {
+		if got := gotStock[it]; got != 1_000_000-n {
+			return fmt.Errorf("stock %d = %d, want %d", it, got, 1_000_000-n)
+		}
+	}
+	gotBal := make(map[uint64]uint64)
+	w.customers.Walk(func(k, v uint64) { gotBal[k] = v })
+	for c, paid := range wantBal {
+		want := uint64(int64(1000) - paid)
+		if got := gotBal[c]; got != want {
+			return fmt.Errorf("customer %d balance = %d, want %d", c, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// Moldyn is the synthetic equivalent of Java Grande moldyn: molecular
+// dynamics with heavy private pair-force computation per particle chunk,
+// ending with a closed-nested update of the global virial and kinetic
+// energy accumulators plus one bin of a small shared velocity histogram.
+// Two-and-a-half contended lines per chunk give it a conflict rate
+// between water's and mp3d's.
+type Moldyn struct {
+	Particles int
+	Steps     int
+	ChunkSize int
+	PairCost  int
+	Bins      int
+
+	parts        mem.Addr // 4 words: vx, vy, local-energy, pad
+	virial, ekin mem.Addr
+	hist         mem.Addr // Bins lines
+	lineSize     int
+}
+
+// DefaultMoldyn returns the evaluation's default size.
+func DefaultMoldyn() *Moldyn {
+	return &Moldyn{Particles: 144, Steps: 4, ChunkSize: 9, PairCost: 140, Bins: 4}
+}
+
+func (w *Moldyn) Name() string { return "moldyn" }
+
+func (w *Moldyn) Setup(m *core.Machine, cpus int) {
+	w.lineSize = m.Config().Cache.LineSize
+	w.parts = m.AllocAligned(w.Particles*4*mem.WordSize, w.lineSize)
+	w.virial = m.AllocLine()
+	w.ekin = m.AllocLine()
+	w.hist = m.AllocAligned(w.Bins*w.lineSize, w.lineSize)
+	raw := m.Mem()
+	for i := 0; i < w.Particles; i++ {
+		base := w.parts + mem.Addr(i*4*mem.WordSize)
+		raw.Store(base, uint64(i)%9+1)
+		raw.Store(base+8, uint64(i)%4+1)
+	}
+}
+
+// pairForces is the deterministic per-particle step contribution.
+func pairForces(vx, vy, step uint64) (vir, ek uint64) {
+	h := vx*11400714819323198485 + vy*14029467366897019727 + step
+	return h % 512, (h >> 13) % 512
+}
+
+func (w *Moldyn) Run(p *core.Proc, cpus int) {
+	lo, hi := chunk(w.Particles, cpus, p.ID())
+	for step := 0; step < w.Steps; step++ {
+		for c := lo; c < hi; c += w.ChunkSize {
+			cEnd := c + w.ChunkSize
+			if cEnd > hi {
+				cEnd = hi
+			}
+			p.Atomic(func(outer *core.Tx) {
+				var lvir, lek, binHits uint64
+				bin := 0
+				for i := c; i < cEnd; i++ {
+					base := w.parts + mem.Addr(i*4*mem.WordSize)
+					vx := p.Load(base)
+					vy := p.Load(base + 8)
+					p.Tick(w.PairCost)
+					vir, ek := pairForces(vx, vy, uint64(step))
+					p.Store(base+16, p.Load(base+16)+ek)
+					lvir += vir
+					lek += ek
+					bin = int(vx+vy) % w.Bins
+					binHits++
+				}
+				p.Atomic(func(inner *core.Tx) {
+					p.Store(w.virial, p.Load(w.virial)+lvir)
+					p.Store(w.ekin, p.Load(w.ekin)+lek)
+					b := w.hist + mem.Addr(bin*w.lineSize)
+					p.Store(b, p.Load(b)+binHits)
+				})
+			})
+		}
+	}
+}
+
+func (w *Moldyn) Verify(m *core.Machine) error {
+	var wantVir, wantEk uint64
+	for step := 0; step < w.Steps; step++ {
+		for i := 0; i < w.Particles; i++ {
+			vir, ek := pairForces(uint64(i)%9+1, uint64(i)%4+1, uint64(step))
+			wantVir += vir
+			wantEk += ek
+		}
+	}
+	raw := m.Mem()
+	if got := raw.Load(w.virial); got != wantVir {
+		return fmt.Errorf("virial = %d, want %d", got, wantVir)
+	}
+	if got := raw.Load(w.ekin); got != wantEk {
+		return fmt.Errorf("ekin = %d, want %d", got, wantEk)
+	}
+	var histTotal uint64
+	for b := 0; b < w.Bins; b++ {
+		histTotal += raw.Load(w.hist + mem.Addr(b*w.lineSize))
+	}
+	if want := uint64(w.Particles * w.Steps); histTotal != want {
+		return fmt.Errorf("histogram total = %d, want %d (lost bin updates)", histTotal, want)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// MP3D is the synthetic equivalent of SPLASH mp3d: a particle simulation
+// whose dominant transactional behaviour is particles colliding with
+// shared space cells. Particles stream through space, so processors at
+// similar sweep progress collide in the same few cells at the same time
+// (a wavefront): conflicts land on the cell a processor is updating right
+// now, almost never on cells already behind the wavefront. Each outer
+// transaction processes a group of particles; under flattening one cell
+// conflict discards the whole group's accumulated work, while closed
+// nesting re-executes only the one collision update — which is why mp3d
+// is the paper's largest Figure 5 win (4.93x).
+type MP3D struct {
+	// Particles is the particle count (partitioned across CPUs).
+	Particles int
+	// Cells is the shared collision-cell pool size (small = hot).
+	Cells int
+	// Steps is the number of simulation sweeps.
+	Steps int
+	// Group is how many particles one outer transaction processes.
+	Group int
+	// MoveCost and CollideCost are the per-particle instruction counts of
+	// the private movement phase and the in-cell collision phase.
+	MoveCost, CollideCost int
+	// PhaseCycles is how long (in cycles) the collision wavefront dwells
+	// in one cell: the gas front advances with global simulation time, so
+	// every processor contends for the same cell while the front is there.
+	PhaseCycles uint64
+
+	particles mem.Addr // 4 words each: x, v, energy, seed
+	cells     mem.Addr // one line each: [count, momentum, energy]
+	lineSize  int
+}
+
+// DefaultMP3D returns the evaluation's default size.
+func DefaultMP3D() *MP3D {
+	return &MP3D{
+		Particles:   192,
+		Cells:       12,
+		Steps:       6,
+		Group:       8,
+		MoveCost:    300,
+		CollideCost: 200,
+		PhaseCycles: 1000,
+	}
+}
+
+func (w *MP3D) Name() string { return "mp3d" }
+
+func (w *MP3D) Setup(m *core.Machine, cpus int) {
+	w.lineSize = m.Config().Cache.LineSize
+	w.particles = m.AllocAligned(w.Particles*4*mem.WordSize, w.lineSize)
+	w.cells = m.AllocAligned(w.Cells*w.lineSize, w.lineSize)
+	raw := m.Mem()
+	for i := 0; i < w.Particles; i++ {
+		base := w.particles + mem.Addr(i*4*mem.WordSize)
+		raw.Store(base+0, uint64(i)*7+1)  // x
+		raw.Store(base+8, uint64(i)%5+1)  // v
+		raw.Store(base+16, 0)             // energy
+		raw.Store(base+24, uint64(i)+101) // collision seed
+	}
+}
+
+func (w *MP3D) cellAddr(i int) mem.Addr { return w.cells + mem.Addr(i*w.lineSize) }
+
+func (w *MP3D) Run(p *core.Proc, cpus int) {
+	lo, hi := chunk(w.Particles, cpus, p.ID())
+	for step := 0; step < w.Steps; step++ {
+		for g := lo; g < hi; g += w.Group {
+			gEnd := g + w.Group
+			if gEnd > hi {
+				gEnd = hi
+			}
+			p.Atomic(func(outer *core.Tx) {
+				var vsum uint64
+				// Private movement phase for the whole group: the bulk of
+				// the transaction's work touches only this CPU's
+				// particles.
+				for i := g; i < gEnd; i++ {
+					base := w.particles + mem.Addr(i*4*mem.WordSize)
+					x := p.Load(base)
+					v := p.Load(base + 8)
+					p.Tick(w.MoveCost)
+					p.Store(base, x+v)
+					p.Store(base+16, p.Load(base+16)+v*v)
+					vsum += v
+				}
+				// The group's collisions fold into one cell update at the
+				// end. The wavefront cell advances with global simulation
+				// time, so every processor contends for the same cell
+				// while the front dwells there: under flattening a
+				// conflict here discards the whole group's movement work.
+				idx := int((p.Now() / w.PhaseCycles) % uint64(w.Cells))
+				cell := w.cellAddr(idx)
+				n := uint64(gEnd - g)
+				p.Atomic(func(inner *core.Tx) {
+					cnt := p.Load(cell)
+					mom := p.Load(cell + 8)
+					p.Tick(w.CollideCost)
+					p.Store(cell, cnt+n)
+					p.Store(cell+8, mom+vsum)
+				})
+			})
+		}
+	}
+}
+
+func (w *MP3D) Verify(m *core.Machine) error {
+	raw := m.Mem()
+	var count uint64
+	for i := 0; i < w.Cells; i++ {
+		count += raw.Load(w.cellAddr(i))
+	}
+	want := uint64(w.Particles * w.Steps)
+	if count != want {
+		return fmt.Errorf("collision count = %d, want %d (lost cell updates)", count, want)
+	}
+	for i := 0; i < w.Particles; i++ {
+		base := w.particles + mem.Addr(i*4*mem.WordSize)
+		// Each particle moved Steps times at constant velocity.
+		wantX := uint64(i)*7 + 1 + uint64(w.Steps)*(uint64(i)%5+1)
+		if got := raw.Load(base); got != wantX {
+			return fmt.Errorf("particle %d position = %d, want %d", i, got, wantX)
+		}
+	}
+	return nil
+}

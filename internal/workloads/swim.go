@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// Swim is the synthetic equivalent of SPEC CPU2000 swim: a shallow-water
+// stencil over a grid, speculatively parallelized by row blocks. The
+// stencil itself reads the previous step's grid and writes a disjoint
+// block of the next grid (no cross-CPU conflicts), but every block ends
+// by folding its local convergence statistics into three global
+// reduction variables — the classic reduction-at-the-end-of-a-large-
+// transaction pattern the paper nests.
+type Swim struct {
+	// N is the grid edge (N x N cells).
+	N int
+	// Steps is the number of relaxation sweeps.
+	Steps int
+	// CellCost is the per-cell stencil instruction count.
+	CellCost int
+
+	gridA, gridB       mem.Addr
+	redU, redV, redCnt mem.Addr
+	bar                *barrier
+	lineSize           int
+	cpusSetup          int
+}
+
+// DefaultSwim returns the evaluation's default size.
+func DefaultSwim() *Swim {
+	return &Swim{N: 28, Steps: 3, CellCost: 10}
+}
+
+func (w *Swim) Name() string { return "swim" }
+
+func (w *Swim) Setup(m *core.Machine, cpus int) {
+	w.cpusSetup = cpus
+	w.bar = newBarrier(m, cpus)
+	w.lineSize = m.Config().Cache.LineSize
+	w.gridA = m.AllocAligned(w.N*w.N*mem.WordSize, w.lineSize)
+	w.gridB = m.AllocAligned(w.N*w.N*mem.WordSize, w.lineSize)
+	w.redU = m.AllocLine()
+	w.redV = m.AllocLine()
+	w.redCnt = m.AllocLine()
+	raw := m.Mem()
+	for i := 0; i < w.N*w.N; i++ {
+		raw.Store(w.gridA+mem.Addr(i*mem.WordSize), mem.F2B(float64(i%17)*0.25))
+	}
+}
+
+func (w *Swim) cell(grid mem.Addr, r, c int) mem.Addr {
+	return grid + mem.Addr((r*w.N+c)*mem.WordSize)
+}
+
+// stencilValue is the shared stencil kernel, used both by Run (through
+// the simulator) and Verify (directly).
+func stencilValue(center, up, down, left, right float64) float64 {
+	return 0.2*(up+down+left+right) + 0.2*center + 0.01
+}
+
+func (w *Swim) Run(p *core.Proc, cpus int) {
+	src, dst := w.gridA, w.gridB
+	for step := 0; step < w.Steps; step++ {
+		lo, hi := chunk(w.N-2, cpus, p.ID())
+		lo, hi = lo+1, hi+1 // interior rows only
+		p.Atomic(func(outer *core.Tx) {
+			localU, localV, cells := 0.0, 0.0, uint64(0)
+			for r := lo; r < hi; r++ {
+				for c := 1; c < w.N-1; c++ {
+					center := mem.B2F(p.Load(w.cell(src, r, c)))
+					up := mem.B2F(p.Load(w.cell(src, r-1, c)))
+					down := mem.B2F(p.Load(w.cell(src, r+1, c)))
+					left := mem.B2F(p.Load(w.cell(src, r, c-1)))
+					right := mem.B2F(p.Load(w.cell(src, r, c+1)))
+					p.Tick(w.CellCost)
+					nv := stencilValue(center, up, down, left, right)
+					p.Store(w.cell(dst, r, c), mem.F2B(nv))
+					localU += nv
+					localV += math.Abs(nv - center)
+					cells++
+				}
+			}
+			// The global reduction: a small closed-nested transaction at
+			// the end of the large block transaction.
+			p.Atomic(func(inner *core.Tx) {
+				p.StoreF(w.redU, p.LoadF(w.redU)+localU)
+				p.StoreF(w.redV, p.LoadF(w.redV)+localV)
+				p.Store(w.redCnt, p.Load(w.redCnt)+cells)
+			})
+		})
+		w.bar.wait(p, step)
+		src, dst = dst, src
+	}
+}
+
+func (w *Swim) Verify(m *core.Machine) error {
+	// Recompute the whole run directly against raw memory semantics.
+	n := w.N
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%17) * 0.25
+	}
+	b := make([]float64, n*n)
+	var wantU, wantV float64
+	var wantCnt uint64
+	for step := 0; step < w.Steps; step++ {
+		for r := 1; r < n-1; r++ {
+			for c := 1; c < n-1; c++ {
+				nv := stencilValue(a[r*n+c], a[(r-1)*n+c], a[(r+1)*n+c], a[r*n+c-1], a[r*n+c+1])
+				b[r*n+c] = nv
+				wantU += nv
+				wantV += math.Abs(nv - a[r*n+c])
+				wantCnt++
+			}
+		}
+		a, b = b, a
+	}
+	raw := m.Mem()
+	if got := raw.Load(w.redCnt); got != wantCnt {
+		return fmt.Errorf("reduction count = %d, want %d (lost reduction updates)", got, wantCnt)
+	}
+	gotU := mem.B2F(raw.Load(w.redU))
+	gotV := mem.B2F(raw.Load(w.redV))
+	if math.Abs(gotU-wantU) > 1e-6*math.Abs(wantU)+1e-9 {
+		return fmt.Errorf("redU = %g, want %g", gotU, wantU)
+	}
+	if math.Abs(gotV-wantV) > 1e-6*math.Abs(wantV)+1e-9 {
+		return fmt.Errorf("redV = %g, want %g", gotV, wantV)
+	}
+	// Spot-check the final grid (the grid holding the last step's output).
+	final := w.gridA
+	if w.Steps%2 == 1 {
+		final = w.gridB
+	}
+	for _, idx := range []int{n + 1, 2*n + 3, (n-2)*n + (n - 2)} {
+		got := mem.B2F(raw.Load(final + mem.Addr(idx*mem.WordSize)))
+		if math.Abs(got-a[idx]) > 1e-9 {
+			return fmt.Errorf("grid[%d] = %g, want %g", idx, got, a[idx])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// Tomcatv is the synthetic equivalent of SPEC CPU2000 tomcatv: a vectorized
+// mesh-generation relaxation over two coordinate arrays, speculatively
+// parallelized by row blocks. Each block transaction relaxes its rows of
+// both arrays and folds two convergence statistics — the residual sum and
+// the maximum correction — into global variables in a closed-nested
+// transaction. The max-correction update writes only when the local
+// maximum exceeds the global one, so its conflict rate is lower than
+// swim's unconditional sums.
+type Tomcatv struct {
+	N        int // mesh edge
+	Steps    int
+	CellCost int
+
+	xA, xB, yA, yB mem.Addr
+	resSum         mem.Addr // residual sum (fixed-point integer)
+	resMax         mem.Addr // max correction (fixed-point integer)
+	bar            *barrier
+}
+
+// DefaultTomcatv returns the evaluation's default size.
+func DefaultTomcatv() *Tomcatv {
+	return &Tomcatv{N: 26, Steps: 3, CellCost: 12}
+}
+
+func (w *Tomcatv) Name() string { return "tomcatv" }
+
+// fxScale converts the float corrections to fixed-point so the reduction
+// is exact integer arithmetic (order-independent).
+const fxScale = 1 << 20
+
+func (w *Tomcatv) Setup(m *core.Machine, cpus int) {
+	ls := m.Config().Cache.LineSize
+	w.bar = newBarrier(m, cpus)
+	n := w.N * w.N * mem.WordSize
+	w.xA = m.AllocAligned(n, ls)
+	w.xB = m.AllocAligned(n, ls)
+	w.yA = m.AllocAligned(n, ls)
+	w.yB = m.AllocAligned(n, ls)
+	w.resSum = m.AllocLine()
+	w.resMax = m.AllocLine()
+	raw := m.Mem()
+	for i := 0; i < w.N*w.N; i++ {
+		raw.Store(w.xA+mem.Addr(i*mem.WordSize), mem.F2B(float64(i%13)*0.5))
+		raw.Store(w.yA+mem.Addr(i*mem.WordSize), mem.F2B(float64(i%7)*0.75))
+	}
+}
+
+func (w *Tomcatv) at(base mem.Addr, r, c int) mem.Addr {
+	return base + mem.Addr((r*w.N+c)*mem.WordSize)
+}
+
+// relax is the shared kernel.
+func relax(center, up, down float64) (nv float64, corr float64) {
+	nv = 0.25*(up+down) + 0.5*center
+	corr = math.Abs(nv - center)
+	return nv, corr
+}
+
+func (w *Tomcatv) Run(p *core.Proc, cpus int) {
+	xs, xd, ys, yd := w.xA, w.xB, w.yA, w.yB
+	for step := 0; step < w.Steps; step++ {
+		lo, hi := chunk(w.N-2, cpus, p.ID())
+		lo, hi = lo+1, hi+1
+		p.Atomic(func(outer *core.Tx) {
+			localSum := uint64(0)
+			localMax := uint64(0)
+			for r := lo; r < hi; r++ {
+				for c := 0; c < w.N; c++ {
+					xc := mem.B2F(p.Load(w.at(xs, r, c)))
+					xu := mem.B2F(p.Load(w.at(xs, r-1, c)))
+					xdn := mem.B2F(p.Load(w.at(xs, r+1, c)))
+					yc := mem.B2F(p.Load(w.at(ys, r, c)))
+					yu := mem.B2F(p.Load(w.at(ys, r-1, c)))
+					ydn := mem.B2F(p.Load(w.at(ys, r+1, c)))
+					p.Tick(w.CellCost)
+					nx, cx := relax(xc, xu, xdn)
+					ny, cy := relax(yc, yu, ydn)
+					p.Store(w.at(xd, r, c), mem.F2B(nx))
+					p.Store(w.at(yd, r, c), mem.F2B(ny))
+					localSum += uint64((cx + cy) * fxScale)
+					if fx := uint64(cx * fxScale); fx > localMax {
+						localMax = fx
+					}
+					if fy := uint64(cy * fxScale); fy > localMax {
+						localMax = fy
+					}
+				}
+			}
+			// Residual reduction: closed-nested, at the end of the block.
+			p.Atomic(func(inner *core.Tx) {
+				p.Store(w.resSum, p.Load(w.resSum)+localSum)
+				if p.Load(w.resMax) < localMax {
+					p.Store(w.resMax, localMax)
+				}
+			})
+		})
+		w.bar.wait(p, step)
+		xs, xd = xd, xs
+		ys, yd = yd, ys
+	}
+}
+
+func (w *Tomcatv) Verify(m *core.Machine) error {
+	n := w.N
+	x := make([]float64, n*n)
+	y := make([]float64, n*n)
+	for i := range x {
+		x[i] = float64(i%13) * 0.5
+		y[i] = float64(i%7) * 0.75
+	}
+	xb := make([]float64, n*n)
+	yb := make([]float64, n*n)
+	var wantSum, wantMax uint64
+	for step := 0; step < w.Steps; step++ {
+		for r := 1; r < n-1; r++ {
+			for c := 0; c < n; c++ {
+				nx, cx := relax(x[r*n+c], x[(r-1)*n+c], x[(r+1)*n+c])
+				ny, cy := relax(y[r*n+c], y[(r-1)*n+c], y[(r+1)*n+c])
+				xb[r*n+c], yb[r*n+c] = nx, ny
+				wantSum += uint64((cx + cy) * fxScale)
+				if fx := uint64(cx * fxScale); fx > wantMax {
+					wantMax = fx
+				}
+				if fy := uint64(cy * fxScale); fy > wantMax {
+					wantMax = fy
+				}
+			}
+		}
+		x, xb = xb, x
+		y, yb = yb, y
+	}
+	raw := m.Mem()
+	if got := raw.Load(w.resSum); got != wantSum {
+		return fmt.Errorf("residual sum = %d, want %d (lost reductions)", got, wantSum)
+	}
+	if got := raw.Load(w.resMax); got != wantMax {
+		return fmt.Errorf("residual max = %d, want %d", got, wantMax)
+	}
+	return nil
+}

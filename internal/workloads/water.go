@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// Water is the synthetic equivalent of SPLASH water-nsquared: molecules
+// with private intra-molecular computation and an inter-molecular
+// potential-energy accumulation into two global reduction variables
+// (inter-atomic and reaction-field potentials) at the end of each
+// molecule chunk — the reduction-in-a-large-transaction pattern, at a
+// lower conflict rate than swim because chunks are longer.
+type Water struct {
+	Molecules int
+	Steps     int
+	ChunkSize int
+	MolCost   int // per-molecule intra-molecular instruction count
+
+	mols       mem.Addr // 4 words per molecule: ox, oy, energy, pad
+	potA, potR mem.Addr
+}
+
+// DefaultWater returns the evaluation's default size.
+func DefaultWater() *Water {
+	return &Water{Molecules: 128, Steps: 4, ChunkSize: 10, MolCost: 110}
+}
+
+func (w *Water) Name() string { return "water" }
+
+func (w *Water) Setup(m *core.Machine, cpus int) {
+	ls := m.Config().Cache.LineSize
+	w.mols = m.AllocAligned(w.Molecules*4*mem.WordSize, ls)
+	w.potA = m.AllocLine()
+	w.potR = m.AllocLine()
+	raw := m.Mem()
+	for i := 0; i < w.Molecules; i++ {
+		base := w.mols + mem.Addr(i*4*mem.WordSize)
+		raw.Store(base, uint64(i)*3+1)
+		raw.Store(base+8, uint64(i)%11+2)
+	}
+}
+
+// molContribution is the deterministic per-molecule, per-step potential
+// contribution (integer so reductions are order-independent).
+func molContribution(ox, oy, step uint64) (pa, pr uint64) {
+	h := ox*2654435761 + oy*40503 + step*97
+	return h % 1000, h % 777
+}
+
+func (w *Water) Run(p *core.Proc, cpus int) {
+	lo, hi := chunk(w.Molecules, cpus, p.ID())
+	for step := 0; step < w.Steps; step++ {
+		for c := lo; c < hi; c += w.ChunkSize {
+			cEnd := c + w.ChunkSize
+			if cEnd > hi {
+				cEnd = hi
+			}
+			p.Atomic(func(outer *core.Tx) {
+				var la, lr uint64
+				for i := c; i < cEnd; i++ {
+					base := w.mols + mem.Addr(i*4*mem.WordSize)
+					ox := p.Load(base)
+					oy := p.Load(base + 8)
+					// Intra-molecular force computation (private).
+					p.Tick(w.MolCost)
+					pa, pr := molContribution(ox, oy, uint64(step))
+					p.Store(base+16, p.Load(base+16)+pa)
+					la += pa
+					lr += pr
+				}
+				// Global potential reduction (closed-nested, at the end):
+				// the reaction-field correction is computed against the
+				// current global values, so it runs inside the inner
+				// transaction.
+				p.Atomic(func(inner *core.Tx) {
+					pa := p.Load(w.potA)
+					pr := p.Load(w.potR)
+					p.Tick(10)
+					p.Store(w.potA, pa+la)
+					p.Store(w.potR, pr+lr)
+				})
+			})
+		}
+	}
+}
+
+func (w *Water) Verify(m *core.Machine) error {
+	var wantA, wantR uint64
+	for step := 0; step < w.Steps; step++ {
+		for i := 0; i < w.Molecules; i++ {
+			ox := uint64(i)*3 + 1
+			oy := uint64(i)%11 + 2
+			pa, pr := molContribution(ox, oy, uint64(step))
+			wantA += pa
+			wantR += pr
+		}
+	}
+	raw := m.Mem()
+	if got := raw.Load(w.potA); got != wantA {
+		return fmt.Errorf("potA = %d, want %d (lost reductions)", got, wantA)
+	}
+	if got := raw.Load(w.potR); got != wantR {
+		return fmt.Errorf("potR = %d, want %d (lost reductions)", got, wantR)
+	}
+	return nil
+}
