@@ -22,10 +22,26 @@ import (
 	"tmisa/internal/workloads"
 )
 
+// withOracle mirrors the -oracle flag: attach the serializability and
+// strong-atomicity checker to every workload run. condsync and the
+// opensem litmus are excepted — both are deliberately non-serializable
+// (the scheduler communicates through released reads and ignored
+// violations; the litmus demonstrates an atomicity anomaly).
+var withOracle bool
+
+// baseConfig is the paper's default platform plus the -oracle flag.
+func baseConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Oracle = withOracle
+	return cfg
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, overheads, figure5, io, condsync, schemes, engines, opensem, depth, granularity)")
 	cpus := flag.Int("cpus", 8, "CPU count for figure5-style experiments")
+	oracle := flag.Bool("oracle", false, "oracle-check every workload run (panics on a violation; condsync/opensem excepted)")
 	flag.Parse()
+	withOracle = *oracle
 
 	run := map[string]func(int){
 		"overheads":   overheads,
@@ -97,7 +113,7 @@ func figure5(cpus int) {
 		fmt.Sprintf("Figure 5: nesting vs flattening, %d CPUs (annotation = nested over sequential)", cpus),
 		"overFlat", "overSeq", "flatOverSeq")
 	for _, w := range scientific() {
-		row := workloads.MeasureFigure5(w, core.DefaultConfig(), cpus)
+		row := workloads.MeasureFigure5(w, baseConfig(), cpus)
 		table.Set(row.Name, row.SpeedupOverFlat, row.SpeedupOverSeq, row.FlatOverSeq)
 	}
 	fmt.Print(table)
@@ -108,7 +124,7 @@ func figure5(cpus int) {
 // ioScaling reproduces the Section 7.2 transactional-I/O scalability
 // series (Figure 6 analogue).
 func ioScaling(int) {
-	tx, serial := workloads.MeasureIOScaling([]int{1, 2, 4, 8, 16}, core.DefaultConfig())
+	tx, serial := workloads.MeasureIOScaling([]int{1, 2, 4, 8, 16}, baseConfig())
 	fmt.Println("Transactional I/O scalability (speedup over 1 CPU) by CPU count:")
 	fmt.Print(tx)
 	fmt.Print(serial)
@@ -132,11 +148,11 @@ func schemes(cpus int) {
 		func() workloads.Workload { return workloads.DefaultMP3D() },
 		func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBClosed) },
 	} {
-		cfgA := core.DefaultConfig()
+		cfgA := baseConfig()
 		cfgA.Cache.Scheme = cache.Associativity
 		repA := workloads.Execute(mk(), cfgA, cpus)
 
-		cfgM := core.DefaultConfig()
+		cfgM := baseConfig()
 		cfgM.Cache.Scheme = cache.Multitrack
 		repM := workloads.Execute(mk(), cfgM, cpus)
 
@@ -154,10 +170,10 @@ func schemes(cpus int) {
 func engines(cpus int) {
 	table := stats.NewTable("Engine ablation (cycles, nested runs)", "lazy", "eager", "eager/lazy")
 	for _, w := range scientific()[:7] {
-		lazyCfg := core.DefaultConfig()
+		lazyCfg := baseConfig()
 		repL := workloads.Execute(cloneWorkload(w), lazyCfg, cpus)
 
-		eagerCfg := core.DefaultConfig()
+		eagerCfg := baseConfig()
 		eagerCfg.Engine = core.Eager
 		repE := workloads.Execute(cloneWorkload(w), eagerCfg, cpus)
 
@@ -232,7 +248,7 @@ func depth(int) {
 	fmt.Println("Nesting-depth sweep (mp3d-style kernel nested to depth D, cycles):")
 	s := &stats.Series{Name: "depth -> cycles (3 hardware levels, deeper levels virtualized)"}
 	for d := 1; d <= 8; d++ {
-		cfg := core.DefaultConfig()
+		cfg := baseConfig()
 		cfg.CPUs = 4
 		m := core.NewMachine(cfg)
 		ctr := m.AllocLine()
@@ -267,10 +283,10 @@ func granularity(cpus int) {
 		func() workloads.Workload { return workloads.DefaultMP3D() },
 		func() workloads.Workload { return workloads.DefaultMoldyn() },
 	} {
-		lineCfg := core.DefaultConfig()
+		lineCfg := baseConfig()
 		repLine := workloads.Execute(mk(), lineCfg, cpus)
 
-		wordCfg := core.DefaultConfig()
+		wordCfg := baseConfig()
 		wordCfg.WordTracking = true
 		repWord := workloads.Execute(mk(), wordCfg, cpus)
 
@@ -290,10 +306,10 @@ func scaling(int) {
 		func() workloads.Workload { return workloads.DefaultMP3D() },
 		func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBOpen) },
 	} {
-		seq := workloads.ExecuteSequential(mk(), core.DefaultConfig())
+		seq := workloads.ExecuteSequential(mk(), baseConfig())
 		s := &stats.Series{Name: mk().Name() + ": nested speedup over sequential by CPU count"}
 		for _, cpus := range []int{1, 2, 4, 8, 16} {
-			rep := workloads.Execute(mk(), core.DefaultConfig(), cpus)
+			rep := workloads.Execute(mk(), baseConfig(), cpus)
 			s.Add(fmt.Sprintf("%d", cpus), float64(seq.TotalCycles)/float64(rep.TotalCycles))
 		}
 		fmt.Print(s)

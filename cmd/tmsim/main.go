@@ -48,6 +48,7 @@ func main() {
 		moss       = flag.Bool("moss-hosking", false, "use Moss-Hosking open-nesting semantics (ablation)")
 		list       = flag.Bool("list", false, "list workloads and exit")
 		traceN     = flag.Int("trace", 0, "print the last N structured trace events")
+		oracleOn   = flag.Bool("oracle", false, "check the run with the serializability/strong-atomicity oracle")
 	)
 	flag.Parse()
 
@@ -94,20 +95,31 @@ func main() {
 		cfg.OpenSemantics = tm.MossHoskingOpen
 	}
 
+	cfg.Oracle = *oracleOn
+
 	w := mk()
 	if *sequential {
+		// Execute checks the oracle internally (panics on a violation).
 		r := workloads.ExecuteSequential(w, cfg)
 		fmt.Printf("%s (sequential)\n%s", w.Name(), r)
 		return
 	}
 	var log *trace.Log
-	var attach func(m *core.Machine)
+	var mach *core.Machine
+	attach := func(m *core.Machine) { mach = m }
 	if *traceN > 0 {
 		log = trace.NewLog(*traceN)
-		attach = func(m *core.Machine) { m.SetTracer(log.Record) }
+		attach = func(m *core.Machine) {
+			mach = m
+			m.SetTracer(log.Record)
+		}
 	}
 	r := workloads.ExecuteTraced(w, cfg, *cpus, attach)
 	fmt.Printf("%s (%d CPUs, %s engine, flatten=%v)\n%s", w.Name(), *cpus, *engine, *flatten, r)
+	if *oracleOn {
+		// ExecuteTraced already panicked if the oracle rejected the run.
+		fmt.Printf("oracle: clean (%d events checked)\n", mach.OracleEvents())
+	}
 	if log != nil {
 		fmt.Printf("--- last %d trace events ---\n%s", *traceN, log)
 	}

@@ -94,6 +94,14 @@ type Config struct {
 	// MaxCycles bounds simulated time (0 = unlimited); exceeding it
 	// panics, catching livelock in tests.
 	MaxCycles uint64
+
+	// Oracle attaches the dynamic serializability and strong-atomicity
+	// checker (package oracle) to the run: every memory access and
+	// transaction lifecycle event is streamed to it, and
+	// Machine.CheckOracle returns the verdict after Run. Off by default —
+	// the event stream costs real time and memory on long runs, and with
+	// the flag off no events are built at all.
+	Oracle bool
 }
 
 // DefaultConfig returns the paper's evaluation platform: a lazy/TCC HTM

@@ -165,6 +165,7 @@ func (p *Proc) xvalidate(tx *Tx) {
 	lvl := tx.level
 	if !lvl.Open && lvl.NL > 1 {
 		lvl.Status = tm.Validated // closed nesting: xvalidate is a no-op
+		p.emit(trace.Validate, lvl.NL, lvl.Open, 0, "")
 		return
 	}
 	bit := uint32(1) << (lvl.NL - 1)
@@ -204,6 +205,7 @@ func (p *Proc) xvalidate(tx *Tx) {
 		break
 	}
 	lvl.Status = tm.Validated
+	p.emit(trace.Validate, lvl.NL, lvl.Open, 0, "")
 }
 
 // runCommitHandlers walks the commit-handler stack in registration order

@@ -6,6 +6,7 @@ import (
 	"tmisa/internal/bus"
 	"tmisa/internal/cache"
 	"tmisa/internal/mem"
+	"tmisa/internal/oracle"
 	"tmisa/internal/sim"
 	"tmisa/internal/stats"
 	"tmisa/internal/trace"
@@ -29,6 +30,7 @@ type Machine struct {
 	ran    bool
 
 	tracer func(trace.Event)
+	oracle *oracle.Checker
 }
 
 // NewMachine builds a machine from cfg.
@@ -52,6 +54,13 @@ func NewMachine(cfg Config) *Machine {
 		token: bus.NewToken(),
 	}
 	m.eng.MaxCycles = cfg.MaxCycles
+	if cfg.Oracle {
+		m.oracle = oracle.New(oracle.Config{
+			Lazy:         cfg.Engine == Lazy,
+			LineSize:     cfg.Cache.LineSize,
+			WordTracking: cfg.WordTracking,
+		})
+	}
 	for i := 0; i < cfg.CPUs; i++ {
 		m.procs = append(m.procs, newProc(m, i))
 	}
@@ -148,6 +157,27 @@ func (m *Machine) Report() *stats.Report { return &m.report }
 // SetTracer attaches a structured-event sink (typically a *trace.Log's
 // Record method); pass nil to detach. Set it before Run.
 func (m *Machine) SetTracer(f func(trace.Event)) { m.tracer = f }
+
+// CheckOracle runs the oracle's end-of-run checks — committed-transaction
+// dependency-graph acyclicity, serial replay of the committed reads, and
+// the final-memory sweep — against the machine's memory image. Call it
+// after Run; it returns nil when Config.Oracle is off or the history is
+// clean, and the first violation otherwise.
+func (m *Machine) CheckOracle() error {
+	if m.oracle == nil {
+		return nil
+	}
+	return m.oracle.Finish(m.mem)
+}
+
+// OracleEvents returns how many events the oracle consumed (0 when off),
+// letting tests assert the instrumentation actually fired.
+func (m *Machine) OracleEvents() uint64 {
+	if m.oracle == nil {
+		return 0
+	}
+	return m.oracle.Events()
+}
 
 // raiseViolation is the conflict-detection back end: it merges the
 // conflict records into the victim's queue (the xvcurrent/xvpending and

@@ -58,6 +58,15 @@ type Proc struct {
 // debugViolate is a test hook observing broadcast checks.
 var debugViolate func(committer, victim int, lines []mem.Addr, recs []violRec)
 
+// BugCompatNonTxStore re-enables the pre-fix behaviour of the eager
+// engine's non-transactional store — write memory first, violate the
+// conflicting transactions after — under which a doomed victim's undo-log
+// rollback restores the line and silently clobbers the committed store (a
+// lost update), and a validated victim is never waited for at all.
+// Regression tests set it to demonstrate the oracle catches the bug; it
+// must never be set otherwise.
+var BugCompatNonTxStore bool
+
 func newProc(m *Machine, id int) *Proc {
 	return &Proc{
 		m:          m,
@@ -181,7 +190,9 @@ func (p *Proc) Load(a mem.Addr) uint64 {
 			p.eagerResolve(p.line(a), false, false)
 		}
 		p.access(a, false, 0)
-		return p.m.mem.Load(word)
+		v := p.m.mem.Load(word)
+		p.emitMem(trace.NtLoad, 0, word, v)
+		return v
 	}
 	line := p.line(a)
 	if p.m.cfg.Engine == Eager {
@@ -191,10 +202,13 @@ func (p *Proc) Load(a mem.Addr) uint64 {
 	lvl.RecordRead(line)
 	if p.m.cfg.Engine == Lazy {
 		if v, ok := p.stack.LookupSpec(word); ok {
+			p.emitMem(trace.TxLoad, lvl.NL, word, v)
 			return v
 		}
 	}
-	return p.m.mem.Load(word)
+	v := p.m.mem.Load(word)
+	p.emitMem(trace.TxLoad, lvl.NL, word, v)
+	return v
 }
 
 // Store performs a transactional store: buffered in the write-buffer
@@ -207,11 +221,23 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 	word := mem.WordAlign(a)
 	lvl := p.stack.Top()
 	if p.seqMode || lvl == nil {
+		if !p.seqMode && p.m.cfg.Engine == Eager && !BugCompatNonTxStore {
+			// Strong atomicity, eager engine: with in-place speculative
+			// data the store must win the line like any other eager write
+			// — violate active speculators and wait out validated or
+			// doomed ones — *before* touching memory. Writing first and
+			// violating after would let a doomed victim's undo-log restore
+			// clobber this committed store (a lost update), and could
+			// never displace a validated victim at all.
+			p.eagerResolve(p.line(a), true, true)
+		}
 		p.access(a, true, 0)
 		p.m.mem.Store(word, v)
-		if !p.seqMode {
-			// Strong atomicity: violate every transaction speculating on
-			// this line, in both engines.
+		p.emitMem(trace.NtStore, 0, word, v)
+		if !p.seqMode && (p.m.cfg.Engine == Lazy || BugCompatNonTxStore) {
+			// Strong atomicity, lazy engine: speculative writes live in
+			// write-buffers, so memory order is safe either way and
+			// violating after the store suffices.
 			p.violateOthers([]mem.Addr{p.line(a)}, nil)
 		}
 		return
@@ -229,6 +255,7 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 		lvl.LogUndo(word, p.m.mem.Load(word))
 		p.m.mem.Store(word, v)
 	}
+	p.emitMem(trace.TxStore, lvl.NL, word, v)
 }
 
 // LoadF and StoreF are float convenience wrappers over Load/Store.
@@ -242,7 +269,10 @@ func (p *Proc) Imld(a mem.Addr) uint64 {
 	p.step(1)
 	p.c.ImmediateOps++
 	p.access(a, false, 0)
-	return p.m.mem.Load(mem.WordAlign(a))
+	word := mem.WordAlign(a)
+	v := p.m.mem.Load(word)
+	p.emitMem(trace.ImLoad, p.stack.Depth(), word, v)
+	return v
 }
 
 // Imst is the immediate store: it updates memory immediately without
@@ -257,6 +287,7 @@ func (p *Proc) Imst(a mem.Addr, v uint64) {
 		lvl.LogUndo(word, p.m.mem.Load(word))
 	}
 	p.m.mem.Store(word, v)
+	p.emitMem(trace.ImStore, p.stack.Depth(), word, v)
 }
 
 // Imstid is the idempotent immediate store: no write-set membership and no
@@ -265,7 +296,9 @@ func (p *Proc) Imstid(a mem.Addr, v uint64) {
 	p.step(1)
 	p.c.ImmediateOps++
 	p.access(a, true, 0)
-	p.m.mem.Store(mem.WordAlign(a), v)
+	word := mem.WordAlign(a)
+	p.m.mem.Store(word, v)
+	p.emitMem(trace.ImStoreID, p.stack.Depth(), word, v)
 }
 
 // Release removes a's line from the current transaction's read-set (the
@@ -274,6 +307,7 @@ func (p *Proc) Release(a mem.Addr) {
 	p.step(1)
 	if lvl := p.stack.Top(); lvl != nil {
 		lvl.Release(p.line(a))
+		p.emitMem(trace.ReleaseEv, lvl.NL, p.line(a), 0)
 	}
 }
 
@@ -366,6 +400,10 @@ func (p *Proc) eagerResolve(line mem.Addr, isWrite, kill bool) {
 			p.stalled = true
 			p.sp.Block("stalled on validated transaction")
 			p.stalled = false
+			// De-register no matter why we woke — the stallee's commit or a
+			// violation of our own. A stale entry left behind would let that
+			// CPU's next commit yank us out of an unrelated Park later.
+			removeStallWaiter(stalledOn, p)
 			p.c.StallCycles += p.sp.Time() - start
 		} else {
 			// The victims are doomed but have not rolled back yet; with
@@ -399,26 +437,64 @@ func (p *Proc) unstall(now uint64) {
 	}
 }
 
-// wakeStallWaiters releases every CPU stalled on this CPU's commit.
+// wakeStallWaiters releases every CPU stalled on this CPU's commit. Only
+// entries still inside their stall window are woken: a waiter that was
+// violated while queued here has already been unblocked (and de-registers
+// itself when it resumes), and waking it again could interrupt an
+// unrelated Park.
 func (p *Proc) wakeStallWaiters() {
 	now := p.sp.Time()
 	for _, q := range p.stallWaiters {
-		if q.sp.State() == sim.Waiting {
+		if q.stalled && q.sp.State() == sim.Waiting {
 			q.sp.Unblock(now)
 		}
 	}
 	p.stallWaiters = p.stallWaiters[:0]
 }
 
-// emit records a structured trace event when a tracer is attached.
+// removeStallWaiter deletes w from owner's stall-waiter list (no-op when
+// absent, e.g. after the owner's commit already cleared the list).
+func removeStallWaiter(owner, w *Proc) {
+	for i, q := range owner.stallWaiters {
+		if q == w {
+			owner.stallWaiters = append(owner.stallWaiters[:i], owner.stallWaiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// emit records a structured lifecycle event for the tracer and the oracle.
 func (p *Proc) emit(k trace.Kind, level int, open bool, addr mem.Addr, note string) {
-	if p.m.tracer == nil || p.untimed {
+	if (p.m.tracer == nil && p.m.oracle == nil) || p.untimed {
 		return
 	}
-	p.m.tracer(trace.Event{
+	p.dispatch(trace.Event{
 		Cycle: p.sp.Time(), CPU: p.id, Kind: k,
 		Level: level, Open: open, Addr: addr, Note: note,
 	})
+}
+
+// emitMem records a memory event (word address plus the value moved).
+// Every call site sits in the same engine grant window as the access's
+// effect on shared state, so the global emission order equals the effect
+// order — the property the oracle's committed-state model depends on.
+func (p *Proc) emitMem(k trace.Kind, level int, addr mem.Addr, val uint64) {
+	if (p.m.tracer == nil && p.m.oracle == nil) || p.untimed {
+		return
+	}
+	p.dispatch(trace.Event{
+		Cycle: p.sp.Time(), CPU: p.id, Kind: k,
+		Level: level, Addr: addr, Val: val,
+	})
+}
+
+func (p *Proc) dispatch(e trace.Event) {
+	if p.m.tracer != nil {
+		p.m.tracer(e)
+	}
+	if p.m.oracle != nil {
+		p.m.oracle.Event(e)
+	}
 }
 
 // backoffStall advances time without retiring instructions (contention

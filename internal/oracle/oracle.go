@@ -1,0 +1,731 @@
+// Package oracle is a dynamic serializability and strong-atomicity
+// checker for the simulated HTM: it consumes the complete memory-event
+// stream of one run (transactional loads/stores tagged with nesting
+// level, immediate operations, non-transactional accesses, and the
+// begin/validate/commit/rollback markers) and decides, after the run,
+// whether the execution was correct.
+//
+// Three families of checks (the properties of Sections 4.1 and 6.1 the
+// whole evaluation rests on):
+//
+//  1. Conflict serializability: the dependency graph over committed
+//     transactions — write→write order per word, reads-from edges, and
+//     read→overwrite anti-dependencies — must be acyclic.
+//  2. Value-explainability: every committed read must have observed the
+//     value of the committed version that was current when it executed,
+//     and a serial replay of a topological order of the graph must
+//     reproduce every committed read. A lost update (a committed write
+//     silently clobbered by a rollback) surfaces here, or in the final
+//     sweep comparing the committed-state model against actual memory.
+//  3. Strong atomicity: a non-transactional read must never observe an
+//     uncommitted speculative value, and a non-transactional write must
+//     never be silently undone by a transaction's rollback.
+//
+// The checker trusts the simulation engine's global serialization: events
+// arrive in the exact order their effects applied to shared state, so the
+// checker can maintain its own committed-state memory (speculative writes
+// enter it only at commit, in both engines) and attribute every read to
+// the committed version current at that instant.
+//
+// The checker deliberately does not model two escape hatches whose whole
+// point is to break isolation: imld (never checked — software asserts the
+// data is private or read-only) and reads dropped by the release
+// instruction. Immediate stores are modeled as instant publications with
+// (imst) or without (imstid) rollback compensation.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"tmisa/internal/mem"
+	"tmisa/internal/trace"
+)
+
+// Config parameterizes a Checker for one run.
+type Config struct {
+	// Lazy is true for the write-buffer (TCC) engine, false for the
+	// eager undo-log engine. It decides how an immediate store interacts
+	// with the transaction's own pending writes to the same word.
+	Lazy bool
+	// LineSize is the cache-line size, the conflict granule the release
+	// instruction operates on.
+	LineSize int
+	// WordTracking narrows the release granule to one word.
+	WordTracking bool
+	// MaxErrors bounds how many violations are retained (0 = default 16).
+	MaxErrors int
+}
+
+// entity identifies one committed unit in the history: the initial memory
+// state (entity 0), a committed transaction, a non-transactional store, or
+// a rollback's restoration of an immediate store.
+type entity int
+
+const initialState entity = 0
+
+// pub is one committed version of a word.
+type pub struct {
+	seq int    // global event order at publication
+	who entity // committing entity
+	val uint64
+	// valKnown is false only for the synthetic initial version of a word
+	// whose first observed access was a write; a later read can never
+	// reference it.
+	valKnown bool
+}
+
+// readObs is one external read performed by a (later committed) frame:
+// the word, the value the program observed, and the index of the version
+// that was current when the read executed.
+type readObs struct {
+	word mem.Addr
+	val  uint64
+	ver  int
+	seq  int
+}
+
+// undoRec mirrors the hardware undo record the oracle keeps for imst.
+type undoRec struct {
+	word mem.Addr
+	old  uint64
+	// oldKnown is false when the committed value of the word was still
+	// unknown when the imst executed (never-read, never-written word).
+	oldKnown bool
+}
+
+// frame is one active nesting level on one CPU.
+type frame struct {
+	nl        int
+	open      bool
+	beginSeq  int
+	validated bool
+	reads     []readObs
+	writes    map[mem.Addr]uint64
+	imstUndo  []undoRec
+}
+
+// committed is one node of the dependency graph.
+type committed struct {
+	id       entity
+	cpu      int
+	beginSeq int
+	endSeq   int
+	reads    []readObs
+	writes   map[mem.Addr]uint64
+	label    string
+}
+
+// Checker consumes one run's event stream. It is not safe for concurrent
+// use; the simulation engine serializes all event emission.
+type Checker struct {
+	cfg    Config
+	seq    int
+	stacks [][]*frame // per CPU, outermost first; grown on demand
+
+	versions map[mem.Addr][]pub
+	commits  []*committed
+	nextID   entity
+
+	// txnSeq numbers outermost/open commits per CPU for error labels.
+	txnSeq []int
+
+	errs     []error
+	dropped  int
+	events   uint64
+	finished bool
+}
+
+// New returns a checker for one run.
+func New(cfg Config) *Checker {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 64
+	}
+	if cfg.MaxErrors == 0 {
+		cfg.MaxErrors = 16
+	}
+	return &Checker{
+		cfg:      cfg,
+		versions: make(map[mem.Addr][]pub),
+		nextID:   initialState + 1,
+	}
+}
+
+// granule returns the conflict-detection granule of a word address.
+func (c *Checker) granule(a mem.Addr) mem.Addr {
+	if c.cfg.WordTracking {
+		return mem.WordAlign(a)
+	}
+	return mem.LineAddr(a, c.cfg.LineSize)
+}
+
+func (c *Checker) fail(format string, args ...any) {
+	if len(c.errs) >= c.cfg.MaxErrors {
+		c.dropped++
+		return
+	}
+	c.errs = append(c.errs, fmt.Errorf(format, args...))
+}
+
+func (c *Checker) stack(cpu int) []*frame {
+	for len(c.stacks) <= cpu {
+		c.stacks = append(c.stacks, nil)
+		c.txnSeq = append(c.txnSeq, 0)
+	}
+	return c.stacks[cpu]
+}
+
+func (c *Checker) top(cpu int) *frame {
+	s := c.stack(cpu)
+	if len(s) == 0 {
+		return nil
+	}
+	return s[len(s)-1]
+}
+
+// curVersion returns the index of the current version of word, creating
+// the synthetic initial version on first touch. When a read supplies the
+// first observation of a word, the initial value is learned from it.
+func (c *Checker) curVersion(word mem.Addr, observed uint64, isRead bool) int {
+	vs := c.versions[word]
+	if len(vs) == 0 {
+		vs = append(vs, pub{seq: 0, who: initialState, val: observed, valKnown: isRead})
+		c.versions[word] = vs
+		return 0
+	}
+	if isRead && !vs[len(vs)-1].valKnown {
+		// First read of a word whose chain starts at an unknown initial
+		// value: learn it (only the initial version can be unknown, and
+		// only while it is still current).
+		vs[len(vs)-1].val = observed
+		vs[len(vs)-1].valKnown = true
+	}
+	return len(vs) - 1
+}
+
+// publish appends a committed version of word.
+func (c *Checker) publish(word mem.Addr, who entity, val uint64) {
+	c.versions[word] = append(c.versions[word], pub{seq: c.seq, who: who, val: val, valKnown: true})
+}
+
+// ownSpec looks up the CPU's own speculative value for a word, innermost
+// frame first (the lazy engine's write-buffer search; under the eager
+// engine, the same value sits in memory in place).
+func (c *Checker) ownSpec(cpu int, word mem.Addr) (uint64, bool) {
+	s := c.stack(cpu)
+	for i := len(s) - 1; i >= 0; i-- {
+		if v, ok := s[i].writes[word]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Event consumes one event. Events must arrive in the engine's global
+// serialization order (the order Machine emits them).
+func (c *Checker) Event(e trace.Event) {
+	c.seq++
+	c.events++
+	switch e.Kind {
+	case trace.Begin:
+		c.stacks[e.CPU] = append(c.stack(e.CPU), &frame{
+			nl: e.Level, open: e.Open, beginSeq: c.seq,
+			writes: make(map[mem.Addr]uint64),
+		})
+	case trace.Validate:
+		if f := c.top(e.CPU); f != nil {
+			f.validated = true
+		}
+	case trace.TxLoad:
+		c.txLoad(e)
+	case trace.TxStore:
+		if f := c.top(e.CPU); f != nil {
+			f.writes[e.Addr] = e.Val
+		} else {
+			c.fail("cpu%d: tx-store of %#x outside any transaction frame", e.CPU, uint64(e.Addr))
+		}
+	case trace.NtLoad:
+		c.ntLoad(e)
+	case trace.NtStore:
+		id := c.newEntity()
+		c.record(&committed{
+			id: id, cpu: e.CPU, beginSeq: c.seq, endSeq: c.seq,
+			writes: map[mem.Addr]uint64{e.Addr: e.Val},
+			label:  fmt.Sprintf("cpu%d non-tx store @%d", e.CPU, c.seq),
+		})
+		c.publish(e.Addr, id, e.Val)
+	case trace.ImLoad:
+		// imld is an explicit isolation escape; never checked.
+	case trace.ImStore:
+		c.imStore(e)
+	case trace.ImStoreID:
+		c.imStoreID(e)
+	case trace.ReleaseEv:
+		c.release(e)
+	case trace.ClosedCommit:
+		c.closedCommit(e)
+	case trace.Commit:
+		c.commit(e)
+	case trace.Rollback:
+		c.rollback(e)
+	case trace.Abort, trace.Violation, trace.Handler:
+		// Lifecycle noise: aborts are followed by Rollback events for the
+		// unwound levels; violations and handler runs don't move data.
+	}
+}
+
+func (c *Checker) newEntity() entity {
+	id := c.nextID
+	c.nextID++
+	return id
+}
+
+func (c *Checker) record(ct *committed) {
+	c.commits = append(c.commits, ct)
+}
+
+// txLoad records a transactional read: against the CPU's own speculative
+// state when the word is pending in its frame stack (checked immediately
+// — own-write visibility must hold even on a doomed attempt), otherwise
+// against the committed version current right now (checked when and if
+// the frame commits; rolled-back attempts are allowed transient reads).
+func (c *Checker) txLoad(e trace.Event) {
+	f := c.top(e.CPU)
+	if f == nil {
+		c.fail("cpu%d: tx-load of %#x outside any transaction frame", e.CPU, uint64(e.Addr))
+		return
+	}
+	if v, ok := c.ownSpec(e.CPU, e.Addr); ok {
+		if v != e.Val {
+			c.fail("cpu%d nl%d: transactional read of %#x observed %d, but this CPU's own speculative value is %d (own-write visibility broken)",
+				e.CPU, e.Level, uint64(e.Addr), e.Val, v)
+		}
+		f.reads = append(f.reads, readObs{word: e.Addr, val: e.Val, ver: -1, seq: c.seq})
+		return
+	}
+	ver := c.curVersion(e.Addr, e.Val, true)
+	f.reads = append(f.reads, readObs{word: e.Addr, val: e.Val, ver: ver, seq: c.seq})
+}
+
+// ntLoad checks a non-transactional read immediately: it is its own
+// committed unit, so it must observe exactly the current committed value
+// (strong atomicity: no dirty reads of speculative data, no reads of
+// values a rollback is about to resurrect). It needs no graph node: its
+// ordering constraints are already implied by the word's write→write
+// chain.
+func (c *Checker) ntLoad(e trace.Event) {
+	ver := c.curVersion(e.Addr, e.Val, true)
+	p := c.versions[e.Addr][ver]
+	if p.val != e.Val {
+		c.fail("cpu%d @%d: non-transactional read of %#x observed %d, but the committed value is %d (strong-atomicity violation: dirty or lost-update read)",
+			e.CPU, c.seq, uint64(e.Addr), e.Val, p.val)
+	}
+}
+
+// imStore models imst: an instant publication that a rollback of the
+// surrounding transaction will undo. The oracle's undo record holds the
+// committed value (the FILO composition of hardware undo logs restores
+// exactly that when every level unwinds).
+func (c *Checker) imStore(e trace.Event) {
+	word, val := e.Addr, e.Val
+	if f := c.top(e.CPU); f != nil {
+		old, known := uint64(0), false
+		if vs := c.versions[word]; len(vs) > 0 && vs[len(vs)-1].valKnown {
+			old, known = vs[len(vs)-1].val, true
+		}
+		f.imstUndo = append(f.imstUndo, undoRec{word: word, old: old, oldKnown: known})
+		if !c.cfg.Lazy {
+			// Eager engine: the store lands in the same in-place cell the
+			// transaction's own writes occupy, so it supersedes any pending
+			// transactional value for the word (commit republishes it).
+			for _, fr := range c.stack(e.CPU) {
+				if _, ok := fr.writes[word]; ok {
+					fr.writes[word] = val
+				}
+			}
+		}
+	}
+	id := c.newEntity()
+	c.record(&committed{
+		id: id, cpu: e.CPU, beginSeq: c.seq, endSeq: c.seq,
+		writes: map[mem.Addr]uint64{word: val},
+		label:  fmt.Sprintf("cpu%d imst @%d", e.CPU, c.seq),
+	})
+	c.publish(word, id, val)
+}
+
+// imStoreID models imstid: an instant publication that survives rollback.
+func (c *Checker) imStoreID(e trace.Event) {
+	id := c.newEntity()
+	c.record(&committed{
+		id: id, cpu: e.CPU, beginSeq: c.seq, endSeq: c.seq,
+		writes: map[mem.Addr]uint64{e.Addr: e.Val},
+		label:  fmt.Sprintf("cpu%d imstid @%d", e.CPU, c.seq),
+	})
+	c.publish(e.Addr, id, e.Val)
+}
+
+// release drops recorded reads of the released granule from the innermost
+// frame: the program asserted those reads need no isolation.
+func (c *Checker) release(e trace.Event) {
+	f := c.top(e.CPU)
+	if f == nil {
+		return
+	}
+	out := f.reads[:0]
+	for _, r := range f.reads {
+		if c.granule(r.word) != e.Addr {
+			out = append(out, r)
+		}
+	}
+	f.reads = out
+}
+
+// closedCommit merges the innermost frame into its parent, mirroring
+// tm.MergeClosedInto: the child's reads, writes (child value wins), and
+// imst undo records all become the parent's.
+func (c *Checker) closedCommit(e trace.Event) {
+	s := c.stack(e.CPU)
+	if len(s) < 2 {
+		c.fail("cpu%d: closed-commit at depth %d", e.CPU, len(s))
+		if len(s) == 1 {
+			c.stacks[e.CPU] = s[:0]
+		}
+		return
+	}
+	child, parent := s[len(s)-1], s[len(s)-2]
+	parent.reads = append(parent.reads, child.reads...)
+	for w, v := range child.writes {
+		parent.writes[w] = v
+	}
+	parent.imstUndo = append(parent.imstUndo, child.imstUndo...)
+	c.stacks[e.CPU] = s[:len(s)-1]
+}
+
+// commit publishes an outermost or open-nested frame: it becomes a node
+// of the dependency graph and its writes become the new committed
+// versions. An open-nested commit also refreshes ancestor frames' pending
+// values for the words it published (both engines leave the child's value
+// in place for ancestors, per tm.ApplyOpenCommitToAncestors).
+func (c *Checker) commit(e trace.Event) {
+	s := c.stack(e.CPU)
+	if len(s) == 0 {
+		c.fail("cpu%d: commit with no open frame", e.CPU)
+		return
+	}
+	f := s[len(s)-1]
+	c.stacks[e.CPU] = s[:len(s)-1]
+
+	c.txnSeq[e.CPU]++
+	id := c.newEntity()
+	ct := &committed{
+		id: id, cpu: e.CPU, beginSeq: f.beginSeq, endSeq: c.seq,
+		reads: f.reads, writes: f.writes,
+		label: fmt.Sprintf("cpu%d txn#%d [%d..%d]", e.CPU, c.txnSeq[e.CPU], f.beginSeq, c.seq),
+	}
+	c.record(ct)
+	c.checkCommittedReads(ct)
+
+	for _, w := range sortedWords(f.writes) {
+		c.publish(w, id, f.writes[w])
+	}
+	if f.open {
+		for _, anc := range c.stacks[e.CPU] {
+			for w, v := range f.writes {
+				if _, ok := anc.writes[w]; ok {
+					anc.writes[w] = v
+				}
+			}
+		}
+	}
+}
+
+// checkCommittedReads is check 2's first half: every external read of a
+// now-committed transaction must match the version that was current when
+// it executed. A mismatch means no serialization can explain the read —
+// the signature of a lost update or a dirty read that made it to commit.
+func (c *Checker) checkCommittedReads(ct *committed) {
+	for _, r := range ct.reads {
+		if r.ver < 0 {
+			continue // own speculative read, checked at read time
+		}
+		p := c.versions[r.word][r.ver]
+		if !p.valKnown || p.val == r.val {
+			continue
+		}
+		c.fail("%s: committed read of %#x @%d observed %d, but the then-current committed version (%s) holds %d — no serialization explains it",
+			ct.label, uint64(r.word), r.seq, r.val, c.describe(p.who), p.val)
+	}
+}
+
+// rollback discards the innermost frame and republishes the values its
+// imst undo records restore (in reverse, like the hardware log).
+func (c *Checker) rollback(e trace.Event) {
+	s := c.stack(e.CPU)
+	if len(s) == 0 {
+		c.fail("cpu%d: rollback with no open frame", e.CPU)
+		return
+	}
+	f := s[len(s)-1]
+	c.stacks[e.CPU] = s[:len(s)-1]
+	for i := len(f.imstUndo) - 1; i >= 0; i-- {
+		u := f.imstUndo[i]
+		if !u.oldKnown {
+			// The word had no committed value before the imst; the restore
+			// writes whatever was there, which nothing can legally read
+			// anyway. Leave the chain alone.
+			continue
+		}
+		id := c.newEntity()
+		c.record(&committed{
+			id: id, cpu: e.CPU, beginSeq: c.seq, endSeq: c.seq,
+			writes: map[mem.Addr]uint64{u.word: u.old},
+			label:  fmt.Sprintf("cpu%d rollback-restore @%d", e.CPU, c.seq),
+		})
+		c.publish(u.word, id, u.old)
+	}
+}
+
+func (c *Checker) describe(id entity) string {
+	if id == initialState {
+		return "initial state"
+	}
+	for _, ct := range c.commits {
+		if ct.id == id {
+			return ct.label
+		}
+	}
+	return fmt.Sprintf("entity %d", id)
+}
+
+// Events returns how many events the checker consumed.
+func (c *Checker) Events() uint64 { return c.events }
+
+// Errors returns the violations found so far (complete only after Finish).
+func (c *Checker) Errors() []error { return c.errs }
+
+// MemReader is the slice of mem.Memory the final sweep needs.
+type MemReader interface {
+	Load(mem.Addr) uint64
+}
+
+// Finish runs the end-of-run checks — dependency-graph acyclicity, the
+// serial replay, and the final-memory sweep — and returns the first
+// violation found anywhere in the run, or nil if the history is clean.
+// final may be nil to skip the memory sweep (unit-test histories).
+func (c *Checker) Finish(final MemReader) error {
+	if !c.finished {
+		c.finished = true
+		for cpu, s := range c.stacks {
+			if len(s) != 0 {
+				c.fail("cpu%d: run ended with %d transaction frame(s) still open", cpu, len(s))
+			}
+		}
+		order, cycle := c.topoOrder()
+		if cycle != nil {
+			c.fail("committed transactions are not conflict-serializable: dependency cycle %s", c.cycleString(cycle))
+		} else {
+			c.replay(order)
+		}
+		if final != nil {
+			c.sweep(final)
+		}
+	}
+	if len(c.errs) == 0 {
+		return nil
+	}
+	if len(c.errs) == 1 && c.dropped == 0 {
+		return c.errs[0]
+	}
+	return fmt.Errorf("%d violation(s), first: %v", len(c.errs)+c.dropped, c.errs[0])
+}
+
+// edges builds the dependency graph: WW edges along each word's version
+// chain, WR reads-from edges, and RW anti-dependency edges.
+func (c *Checker) edges() map[entity][]entity {
+	adj := make(map[entity][]entity, len(c.commits))
+	add := func(from, to entity) {
+		if from == to || from == initialState || to == initialState {
+			return
+		}
+		adj[from] = append(adj[from], to)
+	}
+	for _, vs := range c.versions {
+		for i := 1; i < len(vs); i++ {
+			add(vs[i-1].who, vs[i].who)
+		}
+	}
+	for _, ct := range c.commits {
+		for _, r := range ct.reads {
+			if r.ver < 0 {
+				continue
+			}
+			vs := c.versions[r.word]
+			add(vs[r.ver].who, ct.id) // reads-from
+			if r.ver+1 < len(vs) {
+				add(ct.id, vs[r.ver+1].who) // anti-dependency
+			}
+		}
+	}
+	return adj
+}
+
+// topoOrder returns a deterministic topological order of the committed
+// entities, or a cycle if the graph is not a DAG.
+func (c *Checker) topoOrder() (order []*committed, cycle []entity) {
+	adj := c.edges()
+	indeg := make(map[entity]int, len(c.commits))
+	byID := make(map[entity]*committed, len(c.commits))
+	for _, ct := range c.commits {
+		byID[ct.id] = ct
+		indeg[ct.id] += 0
+	}
+	for _, outs := range adj {
+		for _, to := range outs {
+			indeg[to]++
+		}
+	}
+	// Deterministic Kahn: ready set ordered by entity id (creation order).
+	var ready []entity
+	for _, ct := range c.commits {
+		if indeg[ct.id] == 0 {
+			ready = append(ready, ct.id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, byID[id])
+		inserted := false
+		for _, to := range adj[id] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+				inserted = true
+			}
+		}
+		if inserted {
+			sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		}
+	}
+	if len(order) == len(c.commits) {
+		return order, nil
+	}
+	return nil, c.findCycle(adj, indeg)
+}
+
+// findCycle extracts one cycle from the residual graph (nodes with
+// nonzero in-degree after Kahn).
+func (c *Checker) findCycle(adj map[entity][]entity, indeg map[entity]int) []entity {
+	residual := make(map[entity]bool)
+	var start entity
+	for id, d := range indeg {
+		if d > 0 {
+			residual[id] = true
+			if start == 0 || id < start {
+				start = id
+			}
+		}
+	}
+	// Walk forward inside the residual set until a node repeats.
+	seen := make(map[entity]int)
+	var path []entity
+	cur := start
+	for {
+		if at, ok := seen[cur]; ok {
+			return path[at:]
+		}
+		seen[cur] = len(path)
+		path = append(path, cur)
+		next := entity(0)
+		for _, to := range adj[cur] {
+			if residual[to] {
+				next = to
+				break
+			}
+		}
+		if next == 0 {
+			return path // defensive; should not happen in a true cycle
+		}
+		cur = next
+	}
+}
+
+func (c *Checker) cycleString(cycle []entity) string {
+	s := ""
+	for i, id := range cycle {
+		if i > 0 {
+			s += " -> "
+		}
+		s += c.describe(id)
+	}
+	if len(cycle) > 0 {
+		s += " -> " + c.describe(cycle[0])
+	}
+	return s
+}
+
+// replay is check 2's second half: execute the topological order serially
+// against a shadow memory and confirm every committed read reproduces.
+// With checks 1 and 2a passing this must succeed; a failure here means
+// the version accounting itself missed something.
+func (c *Checker) replay(order []*committed) {
+	shadow := make(map[mem.Addr]uint64, len(c.versions))
+	for w, vs := range c.versions {
+		if vs[0].who == initialState && vs[0].valKnown {
+			shadow[w] = vs[0].val
+		}
+	}
+	for _, ct := range order {
+		for _, r := range ct.reads {
+			if r.ver < 0 {
+				continue
+			}
+			want, ok := shadow[r.word]
+			if !ok {
+				continue // word with unknown initial value
+			}
+			if want != r.val {
+				c.fail("serial replay: %s read %#x as %d, but the serial order produces %d",
+					ct.label, uint64(r.word), r.val, want)
+				return
+			}
+		}
+		for w, v := range ct.writes {
+			shadow[w] = v
+		}
+	}
+}
+
+// sweep is check 3's second half: the final memory image must equal the
+// committed state for every word the run touched. A non-transactional
+// store clobbered by an undo-log rollback (the lost-update bug) leaves
+// memory behind the committed state even if nothing read the word again.
+func (c *Checker) sweep(final MemReader) {
+	words := make([]mem.Addr, 0, len(c.versions))
+	for w := range c.versions {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	for _, w := range words {
+		vs := c.versions[w]
+		last := vs[len(vs)-1]
+		if !last.valKnown {
+			continue
+		}
+		if got := final.Load(w); got != last.val {
+			c.fail("final memory sweep: word %#x holds %d, but the last committed write (%s) stored %d (lost update or rollback clobber)",
+				uint64(w), got, c.describe(last.who), last.val)
+		}
+	}
+}
+
+func sortedWords(m map[mem.Addr]uint64) []mem.Addr {
+	out := make([]mem.Addr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

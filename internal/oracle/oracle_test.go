@@ -1,0 +1,320 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"tmisa/internal/mem"
+	"tmisa/internal/trace"
+)
+
+// mapMem is a final-memory image for the sweep.
+type mapMem map[mem.Addr]uint64
+
+func (m mapMem) Load(a mem.Addr) uint64 { return m[a] }
+
+const (
+	x = mem.Addr(0x100)
+	y = mem.Addr(0x108)
+	z = mem.Addr(0x110)
+)
+
+func newChecker() *Checker {
+	return New(Config{Lazy: true, LineSize: 64})
+}
+
+func ev(cpu int, k trace.Kind, a mem.Addr, v uint64) trace.Event {
+	return trace.Event{CPU: cpu, Kind: k, Level: 1, Addr: a, Val: v}
+}
+
+func feed(c *Checker, events ...trace.Event) {
+	for _, e := range events {
+		c.Event(e)
+	}
+}
+
+// TestSerializableHistoryAccepted: T1 reads x and writes y; T2 then reads
+// T1's y and writes z. A clean serial chain must pass every check,
+// including the final-memory sweep.
+func TestSerializableHistoryAccepted(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxLoad, x, 1),
+		ev(0, trace.TxStore, y, 2),
+		ev(0, trace.Commit, 0, 0),
+		ev(1, trace.Begin, 0, 0),
+		ev(1, trace.TxLoad, y, 2),
+		ev(1, trace.TxStore, z, 3),
+		ev(1, trace.Commit, 0, 0),
+	)
+	final := mapMem{x: 1, y: 2, z: 3}
+	if err := c.Finish(final); err != nil {
+		t.Fatalf("serializable history rejected: %v", err)
+	}
+}
+
+// TestWriteSkewCycleRejected: T1 reads x then writes y; T2 reads y then
+// writes x, both reading before either commits. Every individual read
+// observes a committed value, but no serial order explains the pair —
+// the dependency graph is cyclic.
+func TestWriteSkewCycleRejected(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		// Learn the initial values so both reads are value-consistent.
+		ev(0, trace.NtLoad, x, 1),
+		ev(0, trace.NtLoad, y, 2),
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxLoad, x, 1),
+		ev(0, trace.TxStore, y, 10),
+		ev(1, trace.Begin, 0, 0),
+		ev(1, trace.TxLoad, y, 2),
+		ev(1, trace.TxStore, x, 20),
+		ev(0, trace.Commit, 0, 0),
+		ev(1, trace.Commit, 0, 0),
+	)
+	err := c.Finish(mapMem{x: 20, y: 10})
+	if err == nil {
+		t.Fatal("write-skew cycle accepted")
+	}
+	if !strings.Contains(err.Error(), "not conflict-serializable") {
+		t.Fatalf("expected a cycle report, got: %v", err)
+	}
+}
+
+// TestLostUpdateRejected replays the eager-engine bug the oracle was
+// built to catch: a transaction holds x in its undo log, a
+// non-transactional store to x commits, and the transaction's rollback
+// restores the pre-transaction value — clobbering the committed store.
+// A later non-transactional read observes the stale value.
+func TestLostUpdateRejected(t *testing.T) {
+	c := New(Config{Lazy: false, LineSize: 64})
+	feed(c,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxLoad, x, 1),
+		ev(0, trace.TxStore, x, 2),
+		ev(1, trace.NtStore, x, 9), // committed, must survive
+		ev(0, trace.Rollback, 0, 0),
+		ev(1, trace.NtLoad, x, 1), // undo log restored 1: lost update
+	)
+	err := c.Finish(mapMem{x: 1})
+	if err == nil {
+		t.Fatal("lost update accepted")
+	}
+	if !strings.Contains(err.Error(), "strong-atomicity") {
+		t.Fatalf("expected a strong-atomicity report, got: %v", err)
+	}
+}
+
+// TestLostUpdateCaughtBySweepAlone: same history but nothing ever reads x
+// again — only the final-memory sweep can see the clobber.
+func TestLostUpdateCaughtBySweepAlone(t *testing.T) {
+	c := New(Config{Lazy: false, LineSize: 64})
+	feed(c,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxLoad, x, 1),
+		ev(0, trace.TxStore, x, 2),
+		ev(1, trace.NtStore, x, 9),
+		ev(0, trace.Rollback, 0, 0),
+	)
+	err := c.Finish(mapMem{x: 1})
+	if err == nil {
+		t.Fatal("rollback clobber accepted")
+	}
+	if !strings.Contains(err.Error(), "final memory sweep") {
+		t.Fatalf("expected a sweep report, got: %v", err)
+	}
+	// The same history with the committed value intact must pass.
+	c2 := New(Config{Lazy: false, LineSize: 64})
+	feed(c2,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxLoad, x, 1),
+		ev(0, trace.TxStore, x, 2),
+		ev(1, trace.NtStore, x, 9),
+		ev(0, trace.Rollback, 0, 0),
+	)
+	if err := c2.Finish(mapMem{x: 9}); err != nil {
+		t.Fatalf("clean rollback rejected: %v", err)
+	}
+}
+
+// TestDirtyReadRejected: a non-transactional read observes another CPU's
+// uncommitted speculative value.
+func TestDirtyReadRejected(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		ev(1, trace.NtLoad, x, 1), // learn the committed value
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxStore, x, 5),
+		ev(1, trace.NtLoad, x, 5), // dirty read of speculative data
+	)
+	err := c.Finish(nil)
+	if err == nil {
+		t.Fatal("dirty read accepted")
+	}
+	if !strings.Contains(err.Error(), "strong-atomicity") {
+		t.Fatalf("expected a strong-atomicity report, got: %v", err)
+	}
+}
+
+// TestCommittedDirtyReadRejected: a transaction reads another CPU's
+// speculative value and then commits — the committed-read check must
+// flag it even though the read looked momentarily plausible.
+func TestCommittedDirtyReadRejected(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		ev(1, trace.NtLoad, x, 1),
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxStore, x, 5), // never commits before T2 reads
+		ev(1, trace.Begin, 0, 0),
+		ev(1, trace.TxLoad, x, 5), // observes cpu0's speculative value
+		ev(1, trace.Commit, 0, 0),
+		ev(0, trace.Rollback, 0, 0),
+	)
+	err := c.Finish(nil)
+	if err == nil {
+		t.Fatal("committed dirty read accepted")
+	}
+	if !strings.Contains(err.Error(), "no serialization explains") {
+		t.Fatalf("expected an unexplainable-read report, got: %v", err)
+	}
+}
+
+// TestOwnSpeculativeReadChecked: a transaction must see its own pending
+// write; observing anything else is flagged immediately.
+func TestOwnSpeculativeReadChecked(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxStore, x, 7),
+		ev(0, trace.TxLoad, x, 7),
+		ev(0, trace.Commit, 0, 0),
+	)
+	if err := c.Finish(mapMem{x: 7}); err != nil {
+		t.Fatalf("own-write visibility rejected: %v", err)
+	}
+	c2 := newChecker()
+	feed(c2,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxStore, x, 7),
+		ev(0, trace.TxLoad, x, 1), // misses its own write
+	)
+	if err := c2.Finish(nil); err == nil {
+		t.Fatal("broken own-write visibility accepted")
+	} else if !strings.Contains(err.Error(), "own-write visibility") {
+		t.Fatalf("expected an own-write report, got: %v", err)
+	}
+}
+
+// TestClosedNestingMerge: a closed child's reads and writes travel with
+// the parent; the merged transaction serializes as one unit.
+func TestClosedNestingMerge(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		trace.Event{CPU: 0, Kind: trace.Begin, Level: 1},
+		trace.Event{CPU: 0, Kind: trace.TxLoad, Level: 1, Addr: x, Val: 1},
+		trace.Event{CPU: 0, Kind: trace.Begin, Level: 2},
+		trace.Event{CPU: 0, Kind: trace.TxStore, Level: 2, Addr: y, Val: 4},
+		trace.Event{CPU: 0, Kind: trace.TxLoad, Level: 2, Addr: y, Val: 4}, // own write via parent stack
+		trace.Event{CPU: 0, Kind: trace.ClosedCommit, Level: 2},
+		trace.Event{CPU: 0, Kind: trace.Commit, Level: 1},
+	)
+	if err := c.Finish(mapMem{x: 1, y: 4}); err != nil {
+		t.Fatalf("closed-nesting history rejected: %v", err)
+	}
+}
+
+// TestOpenCommitPublishesEarly: an open-nested child's commit is visible
+// to other CPUs before the parent commits, and refreshes the parent's
+// pending view of overlapping words.
+func TestOpenCommitPublishesEarly(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		trace.Event{CPU: 0, Kind: trace.Begin, Level: 1},
+		trace.Event{CPU: 0, Kind: trace.TxStore, Level: 1, Addr: y, Val: 2},
+		trace.Event{CPU: 0, Kind: trace.Begin, Level: 2, Open: true},
+		trace.Event{CPU: 0, Kind: trace.TxStore, Level: 2, Open: true, Addr: y, Val: 9},
+		trace.Event{CPU: 0, Kind: trace.Commit, Level: 2, Open: true},
+		// Another CPU sees the open commit immediately.
+		ev(1, trace.NtLoad, y, 9),
+		// The parent now reads the open child's value as its own pending one.
+		trace.Event{CPU: 0, Kind: trace.TxLoad, Level: 1, Addr: y, Val: 9},
+		trace.Event{CPU: 0, Kind: trace.Commit, Level: 1},
+	)
+	if err := c.Finish(mapMem{y: 9}); err != nil {
+		t.Fatalf("open-nesting history rejected: %v", err)
+	}
+}
+
+// TestImstRollbackCompensation: imst publishes immediately; a rollback
+// restores the pre-imst committed value as a fresh committed write, so a
+// later read of the restored value is legal.
+func TestImstRollbackCompensation(t *testing.T) {
+	c := New(Config{Lazy: false, LineSize: 64})
+	feed(c,
+		ev(1, trace.NtLoad, x, 1),
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.ImStore, x, 5),
+		ev(1, trace.NtLoad, x, 5), // immediate visibility
+		ev(0, trace.Rollback, 0, 0),
+		ev(1, trace.NtLoad, x, 1), // compensated back
+	)
+	if err := c.Finish(mapMem{x: 1}); err != nil {
+		t.Fatalf("imst compensation history rejected: %v", err)
+	}
+}
+
+// TestImstidSurvivesRollback: imstid publishes with no compensation.
+func TestImstidSurvivesRollback(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		ev(1, trace.NtLoad, x, 1),
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.ImStoreID, x, 5),
+		ev(0, trace.Rollback, 0, 0),
+		ev(1, trace.NtLoad, x, 5),
+	)
+	if err := c.Finish(mapMem{x: 5}); err != nil {
+		t.Fatalf("imstid history rejected: %v", err)
+	}
+}
+
+// TestReleaseDropsReads: a released read no longer constrains
+// serializability — the classic "read, release, someone overwrites,
+// we commit anyway" pattern must pass.
+func TestReleaseDropsReads(t *testing.T) {
+	run := func(withRelease bool) error {
+		c := newChecker()
+		c.Event(ev(0, trace.NtLoad, x, 1))
+		c.Event(ev(0, trace.NtLoad, y, 2))
+		c.Event(ev(0, trace.Begin, 0, 0))
+		c.Event(ev(0, trace.TxLoad, x, 1))
+		c.Event(ev(0, trace.TxStore, y, 10))
+		if withRelease {
+			c.Event(ev(0, trace.ReleaseEv, mem.LineAddr(x, 64), 0))
+		}
+		// T2 overwrites x and reads T1's future write target before T1
+		// commits: with the read held, the graph is cyclic.
+		c.Event(ev(1, trace.Begin, 0, 0))
+		c.Event(ev(1, trace.TxStore, x, 20))
+		c.Event(ev(1, trace.TxLoad, y, 2))
+		c.Event(ev(1, trace.Commit, 0, 0))
+		c.Event(ev(0, trace.Commit, 0, 0))
+		return c.Finish(mapMem{x: 20, y: 10})
+	}
+	if err := run(false); err == nil {
+		t.Fatal("unreleased cyclic history accepted")
+	}
+	if err := run(true); err != nil {
+		t.Fatalf("released history rejected: %v", err)
+	}
+}
+
+// TestOpenFrameAtEnd: a run that ends with a live transaction is broken.
+func TestOpenFrameAtEnd(t *testing.T) {
+	c := newChecker()
+	feed(c, ev(0, trace.Begin, 0, 0))
+	if err := c.Finish(nil); err == nil {
+		t.Fatal("dangling transaction frame accepted")
+	}
+}

@@ -78,7 +78,18 @@ type Engine struct {
 	// which catches livelock bugs in tests. Zero means unlimited.
 	MaxCycles uint64
 	running   bool
+	// poisoned is set when the engine panics (body panic, deadlock,
+	// MaxCycles): the remaining CPU goroutines are granted one last time
+	// and unwind via a poisonedEngine panic instead of running on.
+	poisoned bool
 }
+
+// poisonedEngine is the panic value that unwinds surviving CPU goroutines
+// after the engine itself panicked; drain discards it. Application code
+// must re-raise it like any foreign panic value.
+type poisonedEngine struct{}
+
+func (poisonedEngine) String() string { return "sim: engine poisoned" }
 
 // stepMsg is sent by a CPU goroutine each time it returns control.
 type stepMsg struct {
@@ -119,8 +130,14 @@ func (p *P) Advance(n uint64) { p.time += n }
 // the earliest ready runner. Call it before every operation that touches
 // shared simulator state.
 func (p *P) Yield() {
+	if p.eng.poisoned {
+		panic(poisonedEngine{})
+	}
 	p.eng.step <- stepMsg{id: p.ID}
 	<-p.grant
+	if p.eng.poisoned {
+		panic(poisonedEngine{})
+	}
 }
 
 // Block marks the CPU as waiting (with a human-readable reason for
@@ -128,10 +145,16 @@ func (p *P) Yield() {
 // Unblock on it. Callers must re-check their wait condition on return:
 // wakeups follow the unblocker's protocol, not the engine's.
 func (p *P) Block(reason string) {
+	if p.eng.poisoned {
+		panic(poisonedEngine{})
+	}
 	p.state = Waiting
 	p.waitReason = reason
 	p.eng.step <- stepMsg{id: p.ID}
 	<-p.grant
+	if p.eng.poisoned {
+		panic(poisonedEngine{})
+	}
 }
 
 // Unblock makes a waiting CPU ready again, no earlier than cycle at.
@@ -181,6 +204,11 @@ func (e *Engine) Run(bodies []func(*P)) {
 				}
 				e.step <- msg
 			}()
+			if e.poisoned {
+				// Granted for the first time during drain: unwind without
+				// ever running the body.
+				panic(poisonedEngine{})
+			}
 			body(p)
 		}(p, body)
 	}
@@ -188,19 +216,39 @@ func (e *Engine) Run(bodies []func(*P)) {
 	for live > 0 {
 		next := e.pickNext()
 		if next == nil {
-			panic("sim: deadlock: " + e.describeWaiters())
+			// Describe the waiters before drain unwinds (and halts) them.
+			desc := e.describeWaiters()
+			e.drain()
+			panic("sim: deadlock: " + desc)
 		}
 		e.now = next.time
 		if e.MaxCycles != 0 && e.now > e.MaxCycles {
+			e.drain()
 			panic(fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
 		}
 		next.grant <- struct{}{}
 		msg := <-e.step
 		if msg.panic != nil {
+			e.drain()
 			panic(msg.panic)
 		}
 		if e.procs[msg.id].state == Halted {
 			live--
+		}
+	}
+}
+
+// drain releases every surviving CPU goroutine before the engine
+// re-raises a fatal panic (body panic, deadlock, MaxCycles). Each grant
+// makes the goroutine's next Yield/Block — or its initial dispatch —
+// panic with poisonedEngine, so it unwinds and halts instead of blocking
+// forever on a grant that would never come (a goroutine leak).
+func (e *Engine) drain() {
+	e.poisoned = true
+	for _, p := range e.procs {
+		for p.started && p.state != Halted {
+			p.grant <- struct{}{}
+			<-e.step
 		}
 	}
 }

@@ -2,9 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // TestSingleCPURunsToCompletion checks the trivial case: one CPU, pure
@@ -285,4 +287,86 @@ func TestQuickGrantOrderIsGloballyTimeSorted(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestEnginePanicDoesNotLeakGoroutines: each fatal engine panic — a body
+// panic, a deadlock, a MaxCycles livelock — used to re-raise while every
+// other CPU goroutine blocked forever on a grant that would never come.
+// The drain must unwind and halt them all.
+func TestEnginePanicDoesNotLeakGoroutines(t *testing.T) {
+	spin := func(p *P) {
+		for {
+			p.Advance(1)
+			p.Yield()
+		}
+	}
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"body panic", func() {
+			e := NewEngine(4)
+			e.Run([]func(*P){func(p *P) { panic("boom") }, spin, spin, spin})
+		}},
+		{"body panic with waiters", func() {
+			e := NewEngine(4)
+			block := func(p *P) { p.Block("held lock") }
+			e.Run([]func(*P){block, block, block, func(p *P) {
+				p.Advance(10)
+				p.Yield()
+				panic("boom")
+			}})
+		}},
+		{"deadlock", func() {
+			e := NewEngine(4)
+			block := func(p *P) { p.Block("forever") }
+			e.Run([]func(*P){block, block, block, block})
+		}},
+		{"max cycles", func() {
+			e := NewEngine(4)
+			e.MaxCycles = 100
+			e.Run([]func(*P){spin, spin, spin, spin})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("expected an engine panic")
+					}
+				}()
+				tc.run()
+			}()
+			// Drained goroutines exit just after their final handshake;
+			// give the scheduler a moment before declaring a leak.
+			for deadline := time.Now().Add(5 * time.Second); runtime.NumGoroutine() > before; {
+				if time.Now().After(deadline) {
+					t.Fatalf("leaked goroutines: %d before, %d after", before, runtime.NumGoroutine())
+				}
+				runtime.Gosched()
+			}
+		})
+	}
+}
+
+// TestDrainSkipsNeverGrantedBody: a CPU goroutine that was spawned but
+// never granted before the engine panicked must not run its body during
+// the drain.
+func TestDrainSkipsNeverGrantedBody(t *testing.T) {
+	e := NewEngine(2)
+	ran := false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected an engine panic")
+		}
+		if ran {
+			t.Fatal("drain ran a never-granted body")
+		}
+	}()
+	e.Run([]func(*P){
+		func(p *P) { panic("boom") }, // granted first (same time, lower id)
+		func(p *P) { ran = true },
+	})
 }

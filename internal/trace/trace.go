@@ -34,9 +34,32 @@ const (
 	Violation
 	// Handler is a software handler invocation (commit/violation/abort).
 	Handler
+	// Validate is xvalidate completing: the level can no longer be rolled
+	// back by a prior memory access.
+	Validate
+	// TxLoad and TxStore are transactional memory accesses (word-aligned
+	// Addr, observed/stored value in Val, nesting level in Level).
+	TxLoad
+	TxStore
+	// NtLoad and NtStore are non-transactional accesses outside any
+	// transaction (Level 0); the strong-atomicity checks hinge on them.
+	NtLoad
+	NtStore
+	// ImLoad, ImStore, and ImStoreID are the immediate instructions imld,
+	// imst, and imstid (Table 2).
+	ImLoad
+	ImStore
+	ImStoreID
+	// ReleaseEv is the release instruction: Addr holds the released
+	// conflict granule (a line, or a word under word tracking).
+	ReleaseEv
 )
 
-var kindNames = [...]string{"begin", "commit", "closed-commit", "rollback", "abort", "violation", "handler"}
+var kindNames = [...]string{
+	"begin", "commit", "closed-commit", "rollback", "abort", "violation",
+	"handler", "validate", "tx-load", "tx-store", "nt-load", "nt-store",
+	"im-load", "im-store", "im-storeid", "release",
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -57,10 +80,20 @@ type Event struct {
 	Level int
 	// Open marks open-nested begins/commits.
 	Open bool
-	// Addr is the conflicting line for violations (zero otherwise).
+	// Addr is the conflicting line for violations, and the word address
+	// for memory events (zero otherwise).
 	Addr mem.Addr
+	// Val is the value observed (loads) or stored (stores) by memory
+	// events; zero for lifecycle events.
+	Val uint64
 	// Note carries extra context ("commit-handler", an abort reason, …).
 	Note string
+}
+
+// IsMemory reports whether the event is a memory access (a kind that
+// carries a word address and a value).
+func (e Event) IsMemory() bool {
+	return e.Kind >= TxLoad && e.Kind <= ImStoreID
 }
 
 // String renders one event compactly.
@@ -75,6 +108,9 @@ func (e Event) String() string {
 	}
 	if e.Addr != 0 {
 		fmt.Fprintf(&b, " addr=%#x", uint64(e.Addr))
+	}
+	if e.IsMemory() {
+		fmt.Fprintf(&b, " val=%d", e.Val)
 	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, " (%s)", e.Note)
@@ -147,7 +183,7 @@ func (l *Log) String() string {
 		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "-- %d events total", l.total)
-	for k := Begin; k <= Handler; k++ {
+	for k := Begin; int(k) < len(kindNames); k++ {
 		if c := l.counts[k]; c > 0 {
 			fmt.Fprintf(&b, " %s=%d", k, c)
 		}

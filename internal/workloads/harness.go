@@ -43,22 +43,7 @@ type Workload interface {
 // returns the report. It panics if Verify fails: a workload result is
 // only meaningful on a correct execution.
 func Execute(w Workload, cfg core.Config, cpus int) *stats.Report {
-	cfg.CPUs = cpus
-	if cfg.MaxCycles == 0 {
-		cfg.MaxCycles = 3_000_000_000
-	}
-	m := core.NewMachine(cfg)
-	w.Setup(m, cpus)
-	bodies := make([]func(*core.Proc), cpus)
-	for i := 0; i < cpus; i++ {
-		bodies[i] = func(p *core.Proc) { w.Run(p, cpus) }
-	}
-	rep := m.Run(bodies...)
-	if err := w.Verify(m); err != nil {
-		panic(fmt.Sprintf("workloads: %s failed verification (%s, flatten=%v): %v",
-			w.Name(), cfg.Engine, cfg.Flatten, err))
-	}
-	return rep
+	return ExecuteTraced(w, cfg, cpus, nil)
 }
 
 // ExecuteTraced is Execute with a machine-customization hook (for
@@ -80,6 +65,10 @@ func ExecuteTraced(w Workload, cfg core.Config, cpus int, customize func(*core.M
 	rep := m.Run(bodies...)
 	if err := w.Verify(m); err != nil {
 		panic(fmt.Sprintf("workloads: %s failed verification (%s, flatten=%v): %v",
+			w.Name(), cfg.Engine, cfg.Flatten, err))
+	}
+	if err := m.CheckOracle(); err != nil {
+		panic(fmt.Sprintf("workloads: %s failed the serializability oracle (%s, flatten=%v): %v",
 			w.Name(), cfg.Engine, cfg.Flatten, err))
 	}
 	return rep

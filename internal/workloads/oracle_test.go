@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+
+	"tmisa/internal/core"
+)
+
+// oracleRun is one cell of the oracle matrix: a workload plus the CPU
+// count it runs at.
+type oracleRun struct {
+	w    Workload
+	cpus int
+}
+
+// oracleSuite returns the workload set for the oracle matrix. The lazy
+// engine runs the full default suite at the paper's 8 CPUs. Under
+// eager/requester-wins the full-size SPECjbb2000 warehouse thrashes
+// without software contention management (EXPERIMENTS.md, ablation A2),
+// so the eager leg runs a reduced warehouse at 2 CPUs that still
+// exercises every code path — the B-tree, the order-ID hotspot, and
+// both the closed and open variants.
+func oracleSuite(engine core.EngineKind) []oracleRun {
+	if engine == core.Lazy {
+		var rs []oracleRun
+		for _, w := range suite() {
+			rs = append(rs, oracleRun{w, 8})
+		}
+		return rs
+	}
+	rs := []oracleRun{
+		{DefaultBarnes(), 4},
+		{DefaultFMM(), 4},
+		{DefaultMoldyn(), 4},
+		{DefaultMP3D(), 4},
+		{DefaultSwim(), 4},
+		{DefaultTomcatv(), 4},
+		{DefaultWater(), 4},
+	}
+	for _, mode := range []JBBMode{JBBClosed, JBBOpen} {
+		jb := DefaultJBB(mode)
+		jb.TotalOps, jb.Customers, jb.StockSKUs = 16, 16, 8
+		rs = append(rs, oracleRun{jb, 2})
+	}
+	return rs
+}
+
+// runOracle executes w with the oracle attached and asserts the run was
+// actually observed (Execute itself panics on an oracle verdict).
+func runOracle(t *testing.T, w Workload, cfg core.Config, cpus int) {
+	t.Helper()
+	cfg.Oracle = true
+	var m *core.Machine
+	ExecuteTraced(w, cfg, cpus, func(mach *core.Machine) { m = mach })
+	if m.OracleEvents() == 0 {
+		t.Fatal("oracle saw no events: the stream is not wired up")
+	}
+}
+
+// TestOracleMatrix: every workload passes the serializability and
+// strong-atomicity oracle under both engines, flat and nested. Execute
+// panics on an oracle verdict, so completing a run is the assertion.
+func TestOracleMatrix(t *testing.T) {
+	for _, engine := range []core.EngineKind{core.Lazy, core.Eager} {
+		for _, flatten := range []bool{false, true} {
+			for _, r := range oracleSuite(engine) {
+				t.Run(fmt.Sprintf("%s/flatten=%v/%s", engine, flatten, r.w.Name()), func(t *testing.T) {
+					cfg := core.DefaultConfig()
+					cfg.Engine = engine
+					cfg.Flatten = flatten
+					runOracle(t, r.w, cfg, r.cpus)
+				})
+			}
+		}
+	}
+}
+
+// TestOracleMatrixWordTracking: word-granularity conflict detection is
+// oracle-clean on both engines (subset, matching TestWorkloadsOnWordTracking).
+func TestOracleMatrixWordTracking(t *testing.T) {
+	for _, engine := range []core.EngineKind{core.Lazy, core.Eager} {
+		for _, w := range []Workload{DefaultMP3D(), DefaultMoldyn()} {
+			t.Run(fmt.Sprintf("%s/%s", engine, w.Name()), func(t *testing.T) {
+				cfg := core.DefaultConfig()
+				cfg.Engine = engine
+				cfg.WordTracking = true
+				cpus := 8
+				if engine == core.Eager {
+					cpus = 4
+				}
+				runOracle(t, w, cfg, cpus)
+			})
+		}
+	}
+}
