@@ -199,6 +199,7 @@ func BenchmarkOpenSemantics(b *testing.B) {
 					func(p *core.Proc) {
 						p.Atomic(func(tx *core.Tx) {
 							p.Load(shared)
+							//tmlint:allow nesting -- benchmarks the raw Moss/Hosking anomaly path; no compensation wanted
 							p.AtomicOpen(func(open *core.Tx) { p.Store(shared, 42) })
 							p.Tick(4000)
 						})

@@ -222,6 +222,7 @@ func openSemantics(int) {
 			func(p *core.Proc) {
 				p.Atomic(func(tx *core.Tx) {
 					p.Load(shared)
+					//tmlint:allow nesting -- the experiment measures the Moss/Hosking anomaly itself
 					p.AtomicOpen(func(open *core.Tx) { p.Store(shared, 42) })
 					p.Tick(4000)
 				})

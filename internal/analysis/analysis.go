@@ -1,0 +1,127 @@
+// Package analysis is a self-contained, stdlib-only analogue of
+// golang.org/x/tools/go/analysis: an Analyzer is a named check with a Run
+// function over one type-checked package (a Pass), reporting positioned
+// Diagnostics. The module deliberately vendors no third-party code, so
+// this package reimplements the small slice of the x/tools surface the
+// tmlint suite needs (see internal/analysis/tmlint), keeping the same
+// shape so the analyzers could be ported to the real framework verbatim.
+//
+// Suppression: any diagnostic can be silenced with a
+//
+//	//tmlint:allow <rule> [<rule>...] -- <justification>
+//
+// comment on the reported line or the line directly above it, where
+// <rule> is the analyzer name. Report drops suppressed diagnostics
+// before they reach the caller.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in //tmlint:allow
+	// suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by cmd/tmlint.
+	Doc string
+	// Run performs the check over one package and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees (including in-package _test
+	// files when the package was loaded with tests).
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// allows maps filename → line → rule names suppressed on that line.
+	allows map[string]map[int]map[string]bool
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a //tmlint:allow comment for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.allows[position.Filename]; ok {
+		if rules, ok := lines[position.Line]; ok && (rules[p.Analyzer.Name] || rules["all"]) {
+			return
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. An analyzer error aborts the run: a
+// broken checker must not pass silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := pkg.allowIndex()
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allows:   allows,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// TypeErrors aggregates type-checking failures from loading.
+type TypeErrors []error
+
+func (e TypeErrors) Error() string {
+	if len(e) == 1 {
+		return e[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more type errors)", e[0], len(e)-1)
+}

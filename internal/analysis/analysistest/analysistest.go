@@ -1,0 +1,126 @@
+// Package analysistest runs one analyzer over a golden testdata package
+// and checks its diagnostics against expectations written in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	p.Atomic(func(tx *core.Tx) { n++ }) // want `captured variable`
+//
+// A `// want` comment holds one or more quoted or backquoted regular
+// expressions; every expectation on a line must be matched by exactly
+// one diagnostic reported on that line, and every diagnostic must match
+// an expectation. Lines suppressed with //tmlint:allow are filtered the
+// same way they are in production, so suppression behaviour is testable
+// by writing a known-bad line with an allow comment and no want.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"tmisa/internal/analysis"
+)
+
+// Loaders are shared per module root across Run calls: the expensive part
+// is type-checking the stdlib and the module's own packages from source,
+// and every golden package resolves the same imports.
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*analysis.Loader{}
+)
+
+func loaderFor(root string) (*analysis.Loader, error) {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if ld, ok := loaders[root]; ok {
+		return ld, nil
+	}
+	ld, err := analysis.NewLoader(root)
+	if err == nil {
+		loaders[root] = ld
+	}
+	return ld, err
+}
+
+// wantRe extracts the quoted/backquoted expectations of a want comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the package rooted at dir (resolving imports against the
+// enclosing module) and applies a, failing t on any mismatch between
+// diagnostics and // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	ld, err := loaderFor(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgs, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						} else {
+							pat = strings.ReplaceAll(pat, `\"`, `"`)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", w.file, w.line), w.re)
+		}
+	}
+}

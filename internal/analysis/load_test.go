@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	ld, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	return ld
+}
+
+// TestLoadCorePackage proves the module+stdlib source importer works
+// offline: tmisa/internal/core imports fmt, sort, and four module
+// packages, all of which must resolve from source.
+func TestLoadCorePackage(t *testing.T) {
+	ld := testLoader(t)
+	pkgs, err := ld.LoadDir(filepath.Join(ld.Root, "internal/core"))
+	if err != nil {
+		t.Fatalf("load internal/core: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "tmisa/internal/core" {
+		t.Errorf("path = %q, want tmisa/internal/core", pkg.Path)
+	}
+	if pkg.Types.Scope().Lookup("Proc") == nil {
+		t.Error("type Proc not found in core's scope")
+	}
+	// The unit must include the _test files (the analyzers run over them).
+	foundTest := false
+	for _, f := range pkg.Files {
+		if filepath.Base(pkg.Fset.Position(f.Pos()).Filename) == "core_test.go" {
+			foundTest = true
+		}
+	}
+	if !foundTest {
+		t.Error("core_test.go not part of the analysis unit")
+	}
+}
+
+// TestSuppressionIndex checks both placements of //tmlint:allow and that
+// Reportf honors them.
+func TestSuppressionIndex(t *testing.T) {
+	ld := testLoader(t)
+	dir := t.TempDir()
+	src := `package allowcheck
+
+//tmlint:allow ruleA -- standalone form covers the next line
+var a = 1
+var b = 2 //tmlint:allow ruleB, ruleC -- end-of-line form
+var c = 3
+`
+	if err := writeFile(filepath.Join(dir, "a.go"), src); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pkg := pkgs[0]
+	report := func(name string, pos token.Pos) bool {
+		pass := &Pass{
+			Analyzer: &Analyzer{Name: name},
+			Fset:     pkg.Fset,
+			allows:   pkg.allowIndex(),
+		}
+		pass.Reportf(pos, "x")
+		return len(pass.diags) > 0
+	}
+	varPos := func(wantName string) token.Pos {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, s := range gd.Specs {
+					vs := s.(*ast.ValueSpec)
+					if vs.Names[0].Name == wantName {
+						return vs.Pos()
+					}
+				}
+			}
+		}
+		t.Fatalf("var %s not found", wantName)
+		return token.NoPos
+	}
+	if report("ruleA", varPos("a")) {
+		t.Error("ruleA on var a should be suppressed (line-above form)")
+	}
+	if report("ruleB", varPos("b")) || report("ruleC", varPos("b")) {
+		t.Error("ruleB/ruleC on var b should be suppressed (end-of-line form)")
+	}
+	if !report("ruleA", varPos("c")) {
+		t.Error("var c must not be suppressed")
+	}
+	if !report("other", varPos("a")) {
+		t.Error("an unlisted rule must not be suppressed")
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// allowIndex scans the package's comments for //tmlint:allow directives
+// and returns filename → line → suppressed rule names. A directive
+// covers its own line (end-of-line form) and the line directly below it
+// (standalone form); the text after " -- " is a free-form justification.
+func (pkg *Package) allowIndex() map[string]map[int]map[string]bool {
+	idx := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "tmlint:allow")
+				if !ok {
+					continue
+				}
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				rules := strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == ',' || r == '\t'
+				})
+				if len(rules) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					set := lines[ln]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[ln] = set
+					}
+					for _, r := range rules {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}

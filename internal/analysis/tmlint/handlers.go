@@ -1,0 +1,69 @@
+package tmlint
+
+import (
+	"go/ast"
+
+	"tmisa/internal/analysis"
+)
+
+// Handlers enforces the handler-stack discipline of Sections 4.2-4.4:
+// commit handlers run after xvalidate, where Tx.Abort is architecturally
+// impossible (the runtime panics); handlers must be registered by the
+// body, not by other handlers, because a handler-registered handler's
+// position in the per-attempt stacks is unspecified across re-executions;
+// and an abort handler calling Tx.Abort re-enters xabort on a frame that
+// is already unwinding.
+var Handlers = &analysis.Analyzer{
+	Name: "handlers",
+	Doc: "report handler-discipline violations: Tx.Abort inside commit or abort handlers, " +
+		"and handlers registered from inside other handlers",
+	Run: runHandlers,
+}
+
+func runHandlers(pass *analysis.Pass) error {
+	c := collect(pass)
+	for lit, kind := range c.handlerLits {
+		checkHandler(c, lit, kind)
+	}
+	return nil
+}
+
+func checkHandler(c *collection, handler *ast.FuncLit, kind string) {
+	pass := c.pass
+	ast.Inspect(handler.Body, func(n ast.Node) bool {
+		// A nested handler literal gets its own checkHandler visit; its
+		// registration call is still reported here, in the outer handler.
+		if lit, ok := n.(*ast.FuncLit); ok && lit != handler {
+			if _, isHandler := c.handlerLits[lit]; isHandler {
+				return false
+			}
+			if _, isBody := c.bodyLits[lit]; isBody {
+				// An open-nested transaction inside a handler is legal
+				// (violation handlers must use them for shared state);
+				// its body is analyzed independently.
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _, ok := txMethod(pass, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case name == "Abort" && kind == "OnCommit":
+			pass.Reportf(call.Pos(),
+				"Tx.Abort inside a commit handler: commit handlers run after xvalidate, where the transaction can no longer abort (the runtime panics)")
+		case name == "Abort" && kind == "OnAbort":
+			pass.Reportf(call.Pos(),
+				"Tx.Abort inside an abort handler re-enters xabort while the frame is already unwinding")
+		case isHandlerReg(name):
+			pass.Reportf(call.Pos(),
+				"%s registered from inside an %s handler; handler stacks are per-attempt and must be built by the body itself (a handler-registered handler's dispatch position is unspecified)",
+				name, kind)
+		}
+		return true
+	})
+}

@@ -1,0 +1,113 @@
+package tmlint
+
+import (
+	"go/ast"
+
+	"tmisa/internal/analysis"
+)
+
+// Nesting reports misuse of the nesting model (Sections 4.5-4.6). Rule
+// one: an inner atomic body must use its own Tx parameter, not a
+// captured handle from an enclosing level — each nesting level is its
+// own TCB frame with independent rollback, and handlers or aborts issued
+// through the outer handle attach to the wrong level. Rule two (the
+// open-nesting footgun): an open-nested transaction lexically inside a
+// closed one publishes its writes to shared memory immediately; if the
+// enclosing transaction then rolls back or aborts, those writes stay
+// unless the enclosing body registered compensation (OnAbort/OnViolation)
+// or finalization (OnCommit) — txrt's transactional input is the model
+// citizen here.
+var Nesting = &analysis.Analyzer{
+	Name: "nesting",
+	Doc: "report nesting misuse: an enclosing transaction's handle used inside a nested atomic body, " +
+		"and open-nested writes without compensation on the enclosing transaction",
+	Run: runNesting,
+}
+
+func runNesting(pass *analysis.Pass) error {
+	c := collect(pass)
+	for _, b := range c.bodies {
+		checkOuterHandleUse(c, b)
+		if b.open {
+			checkOpenCompensation(c, b)
+		}
+	}
+	return nil
+}
+
+// checkOuterHandleUse flags uses of any ancestor body's Tx inside b.
+func checkOuterHandleUse(c *collection, b *atomicBody) {
+	pass := c.pass
+	ancs := b.ancestors()
+	if len(ancs) == 0 {
+		return
+	}
+	c.inspectBody(b, false, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, anc := range ancs {
+			if anc.tx != nil && obj == anc.tx {
+				pass.Reportf(id.Pos(),
+					"enclosing transaction's handle %q used inside a nested atomic body; each nesting level has its own Tx — use this body's parameter (handlers and aborts through %q attach to the outer level)",
+					anc.tx.Name(), anc.tx.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkOpenCompensation flags an open-nested body that stores to
+// simulated memory while its nearest closed ancestor registers no
+// handlers at all: nothing will compensate the already-published writes
+// if the ancestor rolls back.
+func checkOpenCompensation(c *collection, b *atomicBody) {
+	pass := c.pass
+	var outer *atomicBody
+	for _, anc := range b.ancestors() {
+		if !anc.open {
+			outer = anc
+			break
+		}
+	}
+	if outer == nil {
+		return
+	}
+	stores := false
+	c.inspectBody(b, false, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == corePkg && (fn.Name() == "Store" || fn.Name() == "StoreF") {
+				stores = true
+			}
+		}
+		return !stores
+	})
+	if !stores {
+		return
+	}
+	// Any handler registration on the enclosing body's own handle counts
+	// as the programmer having thought about the outer level's fate.
+	compensated := false
+	ast.Inspect(outer.lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, recv, ok := txMethod(pass, call); ok && isHandlerReg(name) {
+			if outer.tx != nil && exprObj(pass, recv) == outer.tx {
+				compensated = true
+			}
+		}
+		return !compensated
+	})
+	if !compensated {
+		pass.Reportf(b.call.Pos(),
+			"open-nested transaction writes to shared memory inside a closed transaction that registers no OnAbort/OnViolation compensation; if the enclosing transaction rolls back, the open commit's writes persist (Section 4.5)")
+	}
+}

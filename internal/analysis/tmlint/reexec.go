@@ -1,0 +1,138 @@
+package tmlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tmisa/internal/analysis"
+)
+
+// Reexec reports host-side effects inside an atomic body that are not
+// safe under re-execution. After a violation the runtime rolls the level
+// back and runs the closure again from scratch (core.Proc.atomic's retry
+// loop); simulated memory and handler registrations are undone by the
+// rollback machinery, but plain Go state is not. A read-modify-write of
+// a captured variable accumulates once per attempt, a goroutine leaks
+// per attempt, and a non-idempotent host call (clock, RNG, file system,
+// terminal output) repeats. The paper's convention (Sections 4.2 and 5)
+// is to move such effects into tx.OnCommit handlers — which run exactly
+// once, between xvalidate and xcommit — or through txrt's transactional
+// I/O. Idempotent overwrites of captured variables (x = <expr not using
+// x>) are allowed: re-execution reconverges on the same value, which is
+// how bodies conventionally return results.
+var Reexec = &analysis.Analyzer{
+	Name: "reexec",
+	Doc: "report re-execution-unsafe host effects inside an atomic body: " +
+		"captured-variable read-modify-writes, goroutine launches, and non-idempotent host API calls",
+	Run: runReexec,
+}
+
+// forbiddenPkgs lists packages whose every call is a host effect that
+// must not appear in a re-executable body.
+var forbiddenPkgs = map[string]bool{
+	"os":           true,
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"log":          true,
+	"net":          true,
+	"net/http":     true,
+	"syscall":      true,
+	"bufio":        true,
+	"io/ioutil":    true,
+}
+
+// forbiddenFuncs lists individual non-idempotent functions in otherwise
+// acceptable packages (fmt.Sprintf and friends are pure and fine).
+var forbiddenFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Sleep": true, "Since": true, "Until": true,
+		"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	},
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Scan": true, "Scanf": true, "Scanln": true, "Fscan": true, "Fscanf": true, "Fscanln": true,
+	},
+	"io": {
+		"Copy": true, "CopyN": true, "ReadAll": true, "WriteString": true, "ReadFull": true,
+	},
+}
+
+func runReexec(pass *analysis.Pass) error {
+	c := collect(pass)
+	for _, b := range c.bodies {
+		checkReexec(c, b)
+	}
+	return nil
+}
+
+func checkReexec(c *collection, b *atomicBody) {
+	pass := c.pass
+	// Handler literals are skipped: running host effects exactly once at
+	// commit is precisely what OnCommit is for, and OnAbort/OnViolation
+	// handlers are the designated compensation points.
+	c.inspectBody(b, true, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"goroutine started inside an atomic body; a violated body re-executes, launching one goroutine per attempt — start it from a tx.OnCommit handler")
+		case *ast.CallExpr:
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg, name := fn.Pkg().Path(), fn.Name()
+			if forbiddenPkgs[pkg] || (forbiddenFuncs[pkg] != nil && forbiddenFuncs[pkg][name]) {
+				pass.Reportf(n.Pos(),
+					"call to %s.%s inside an atomic body: the host effect repeats on every re-execution and survives rollback — move it to a tx.OnCommit handler or txrt's transactional I/O",
+					pkg, name)
+			}
+		case *ast.IncDecStmt:
+			reportCapturedRMW(pass, b, n.X, n.Pos())
+		case *ast.AssignStmt:
+			switch {
+			case n.Tok == token.DEFINE:
+				// New locals are per-attempt state; always safe.
+			case n.Tok == token.ASSIGN:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // tuple assignment from one call
+					}
+					obj := capturedBase(pass, b, lhs)
+					if obj != nil && usesObj(pass, n.Rhs[i], obj) {
+						pass.Reportf(n.Pos(),
+							"captured variable %q updated from its own value inside an atomic body; the update repeats on every re-execution — keep accumulators in simulated memory (p.Store) or a tx.OnCommit handler",
+							obj.Name())
+					}
+				}
+			default: // op= forms: +=, -=, |=, ...
+				for _, lhs := range n.Lhs {
+					reportCapturedRMW(pass, b, lhs, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportCapturedRMW flags a read-modify-write whose target is rooted in a
+// variable captured from outside the body.
+func reportCapturedRMW(pass *analysis.Pass, b *atomicBody, lhs ast.Expr, pos token.Pos) {
+	if obj := capturedBase(pass, b, lhs); obj != nil {
+		pass.Reportf(pos,
+			"captured variable %q mutated (read-modify-write) inside an atomic body; the update repeats on every re-execution — keep accumulators in simulated memory (p.Store) or a tx.OnCommit handler",
+			obj.Name())
+	}
+}
+
+// capturedBase resolves lhs to its base variable and returns it when the
+// variable is captured from outside the atomic body (including package
+// level); nil when it is attempt-local.
+func capturedBase(pass *analysis.Pass, b *atomicBody, lhs ast.Expr) types.Object {
+	obj := baseObj(pass, lhs)
+	if obj == nil || declaredIn(obj, b.lit) {
+		return nil
+	}
+	return obj
+}

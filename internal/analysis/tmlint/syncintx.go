@@ -1,0 +1,80 @@
+package tmlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tmisa/internal/analysis"
+)
+
+// SyncInTx reports host synchronization inside an atomic body. A
+// sync.Mutex held across a rollback stays locked forever; a channel
+// operation neither rolls back nor participates in conflict detection,
+// and can deadlock against the scheduler (a parked body never reaches
+// xvalidate, and Park inside a transaction is a runtime panic). The
+// paper's conditional-synchronization story (Section 5, Figure 3) is
+// implemented by txrt.CondSync (watch/retry) and txrt.Barrier — blocking
+// belongs there, expressed through transactions the scheduler can see.
+var SyncInTx = &analysis.Analyzer{
+	Name: "syncintx",
+	Doc: "report host synchronization inside an atomic body: sync/sync.atomic calls, " +
+		"channel operations, and select statements — use txrt.CondSync/Barrier instead",
+	Run: runSyncInTx,
+}
+
+func runSyncInTx(pass *analysis.Pass) error {
+	c := collect(pass)
+	for _, b := range c.bodies {
+		checkSync(c, b)
+	}
+	return nil
+}
+
+func checkSync(c *collection, b *atomicBody) {
+	pass := c.pass
+	// Handler literals are included: handlers run inside the transaction
+	// context too, and a mutex or channel there is just as wrong.
+	c.inspectBody(b, false, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "sync":
+					pass.Reportf(n.Pos(),
+						"sync.%s inside an atomic body: host synchronization does not roll back with the transaction (a mutex held at rollback stays locked) — use txrt.CondSync or txrt.Barrier",
+						fn.Name())
+				case "sync/atomic":
+					pass.Reportf(n.Pos(),
+						"sync/atomic.%s inside an atomic body: host atomics bypass the transaction's read-/write-sets, so conflicts on them are invisible — use simulated memory (p.Load/p.Store)",
+						fn.Name())
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+					pass.Reportf(n.Pos(),
+						"close of a channel inside an atomic body: the close is not undone by rollback and repeats on re-execution (panicking the second time)")
+				}
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside an atomic body: the send neither rolls back nor joins the write-set, and a blocked send stalls the transaction outside conflict detection — use txrt.CondSync")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(),
+					"channel receive inside an atomic body: the receive consumes a value even if the transaction rolls back — use txrt.CondSync (watch/retry)")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(),
+				"select inside an atomic body: channel synchronization is invisible to conflict detection — use txrt.CondSync (watch/retry)")
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					pass.Reportf(n.Pos(),
+						"range over a channel inside an atomic body: received values are consumed even if the transaction rolls back — use txrt.CondSync")
+				}
+			}
+		}
+		return true
+	})
+}

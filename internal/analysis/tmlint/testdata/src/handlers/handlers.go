@@ -1,0 +1,41 @@
+// Package handlers is golden-test input for the tmlint handlers rule.
+package handlers
+
+import "tmisa/internal/core"
+
+func undisciplined(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		tx.OnCommit(func(*core.Proc) {
+			tx.Abort("too late") // want `Tx.Abort inside a commit handler`
+		})
+		tx.OnCommit(func(*core.Proc) {
+			tx.OnCommit(func(*core.Proc) {}) // want `OnCommit registered from inside an OnCommit handler`
+		})
+		tx.OnAbort(func(_ *core.Proc, reason any) {
+			tx.Abort(reason) // want `Tx.Abort inside an abort handler`
+		})
+		tx.OnViolation(func(*core.Proc, core.Violation) core.Decision {
+			tx.OnAbort(func(*core.Proc, any) {}) // want `OnAbort registered from inside an OnViolation handler`
+			return core.Rollback
+		})
+	})
+}
+
+func clean(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		tx.Abort("from the body is fine")
+		tx.OnCommit(func(*core.Proc) {})
+		tx.OnAbort(func(*core.Proc, any) {})
+		tx.OnViolation(func(*core.Proc, core.Violation) core.Decision {
+			return core.Ignore // deciding the level's fate is the handler's job
+		})
+	})
+}
+
+func suppressed(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		tx.OnCommit(func(*core.Proc) {
+			tx.Abort(nil) //tmlint:allow handlers -- exercising the runtime's late-abort panic
+		})
+	})
+}

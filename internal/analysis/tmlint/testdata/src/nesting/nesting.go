@@ -1,0 +1,63 @@
+// Package nesting is golden-test input for the tmlint nesting rule.
+package nesting
+
+import (
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+func outerHandleInInner(p *core.Proc) {
+	p.Atomic(func(outer *core.Tx) {
+		p.Atomic(func(inner *core.Tx) {
+			outer.OnCommit(func(*core.Proc) {}) // want `enclosing transaction's handle "outer" used inside a nested atomic body`
+			if outer.NL() > 1 {                 // want `enclosing transaction's handle "outer" used inside a nested atomic body`
+				inner.OnAbort(func(*core.Proc, any) {})
+			}
+		})
+	})
+}
+
+func openWithoutCompensation(p *core.Proc, a mem.Addr) {
+	p.Atomic(func(tx *core.Tx) {
+		v := p.Load(a)
+		p.AtomicOpen(func(open *core.Tx) { // want `registers no OnAbort/OnViolation compensation`
+			p.Store(a, v+1)
+		})
+	})
+}
+
+func cleanCompensated(p *core.Proc, a mem.Addr) {
+	p.Atomic(func(tx *core.Tx) {
+		prev := p.Load(a)
+		tx.OnAbort(func(q *core.Proc, _ any) {
+			q.Imstid(a, prev) // compensate the published increment
+		})
+		p.AtomicOpen(func(open *core.Tx) {
+			p.Store(a, prev+1)
+		})
+	})
+}
+
+func cleanOwnHandles(p *core.Proc, a mem.Addr) {
+	p.Atomic(func(outer *core.Tx) {
+		outer.OnCommit(func(*core.Proc) {}) // outer handle at its own level: fine
+		p.Atomic(func(inner *core.Tx) {
+			inner.OnCommit(func(*core.Proc) {}) // inner handle at its level: fine
+			p.Store(a, 1)
+		})
+	})
+}
+
+func cleanTopLevelOpen(p *core.Proc, a mem.Addr) {
+	// No enclosing closed transaction: nothing can roll back around it.
+	p.AtomicOpen(func(open *core.Tx) { p.Store(a, 2) })
+}
+
+func suppressed(p *core.Proc, a mem.Addr) {
+	p.Atomic(func(tx *core.Tx) {
+		//tmlint:allow nesting -- counter increments commute; a lost ID is harmless
+		p.AtomicOpen(func(open *core.Tx) {
+			p.Store(a, p.Load(a)+1)
+		})
+	})
+}

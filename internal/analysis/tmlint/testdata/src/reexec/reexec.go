@@ -1,0 +1,51 @@
+// Package reexec is golden-test input for the tmlint reexec rule.
+package reexec
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+func leak(*core.Proc) {}
+
+func unsafeEffects(p *core.Proc, a mem.Addr) {
+	total := 0
+	var hist []uint64
+	p.Atomic(func(tx *core.Tx) {
+		total++                   // want `captured variable "total" mutated \(read-modify-write\)`
+		total += int(p.Load(a))   // want `captured variable "total" mutated \(read-modify-write\)`
+		hist = append(hist, 1)    // want `captured variable "hist" updated from its own value`
+		fmt.Println("committing") // want `call to fmt.Println inside an atomic body`
+		_ = time.Now()            // want `call to time.Now inside an atomic body`
+		_ = os.Getpid()           // want `call to os.Getpid inside an atomic body`
+		go leak(p)                // want `goroutine started inside an atomic body`
+	})
+	_, _ = total, hist
+}
+
+func clean(p *core.Proc, a mem.Addr) {
+	var result uint64
+	p.Atomic(func(tx *core.Tx) {
+		local := 0
+		local++                       // attempt-local: re-created each attempt
+		result = p.Load(a)            // idempotent overwrite: reconverges
+		s := fmt.Sprintf("%d", local) // pure: fine anywhere
+		_ = s
+		tx.OnCommit(func(*core.Proc) {
+			fmt.Println("once, at commit") // handlers run exactly once
+		})
+	})
+	_ = result
+}
+
+func suppressed(p *core.Proc) {
+	attempts := 0
+	p.Atomic(func(tx *core.Tx) {
+		attempts++ //tmlint:allow reexec -- this test counts attempts deliberately
+	})
+	_ = attempts
+}

@@ -1,0 +1,49 @@
+// Package syncintx is golden-test input for the tmlint syncintx rule.
+package syncintx
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+func hostSync(p *core.Proc, a mem.Addr, mu *sync.Mutex, ch chan uint64, n *int64) {
+	p.Atomic(func(tx *core.Tx) {
+		mu.Lock()             // want `sync.Lock inside an atomic body`
+		defer mu.Unlock()     // want `sync.Unlock inside an atomic body`
+		atomic.AddInt64(n, 1) // want `sync/atomic.AddInt64 inside an atomic body`
+		ch <- p.Load(a)       // want `channel send inside an atomic body`
+		v := <-ch             // want `channel receive inside an atomic body`
+		p.Store(a, v)
+		close(ch) // want `close of a channel inside an atomic body`
+		select {  // want `select inside an atomic body`
+		default:
+		}
+		for range ch { // want `range over a channel inside an atomic body`
+		}
+	})
+}
+
+func syncInHandler(p *core.Proc, mu *sync.Mutex) {
+	p.Atomic(func(tx *core.Tx) {
+		tx.OnCommit(func(*core.Proc) {
+			mu.Unlock() // want `sync.Unlock inside an atomic body`
+		})
+	})
+}
+
+func clean(p *core.Proc, a mem.Addr, mu *sync.Mutex) {
+	mu.Lock() // outside any transaction: host sync is fine
+	p.Atomic(func(tx *core.Tx) {
+		p.Store(a, p.Load(a)+1) // simulated memory is the transactional medium
+	})
+	mu.Unlock()
+}
+
+func suppressed(p *core.Proc, ch chan uint64) {
+	p.Atomic(func(tx *core.Tx) {
+		ch <- 1 //tmlint:allow syncintx -- harness plumbing outside the simulated machine
+	})
+}

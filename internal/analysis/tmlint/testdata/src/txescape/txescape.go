@@ -1,0 +1,49 @@
+// Package txescape is golden-test input for the tmlint txescape rule.
+package txescape
+
+import "tmisa/internal/core"
+
+type holder struct{ tx *core.Tx }
+
+var (
+	globalTx *core.Tx
+	sink     holder
+)
+
+func use(*core.Tx) {}
+
+func escapes(p *core.Proc, ch chan *core.Tx, retain map[*core.Tx]int) {
+	var leaked *core.Tx
+	p.Atomic(func(tx *core.Tx) {
+		leaked = tx                          // want `transaction handle tx stored in "leaked"`
+		globalTx = tx                        // want `stored in "globalTx"`
+		sink.tx = tx                         // want `stored outside the atomic body`
+		retain[tx] = 1                       // want `used as a map key in a store that outlives the atomic body`
+		sink = holder{tx: tx}                // want `stored in a composite literal`
+		ch <- tx                             // want `sent on a channel`
+		get := func() *core.Tx { return tx } // want `returned from a closure inside the atomic body`
+		_ = get
+		go use(tx) // want `captured by a goroutine`
+	})
+	_ = leaked
+}
+
+func clean(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		alias := tx // a body-local alias dies with the attempt
+		alias.OnCommit(func(*core.Proc) {})
+		use(tx) // handing the handle down a call chain is how txio works
+		local := holder{}
+		local.tx = tx // body-local container: dies with the attempt
+		scratch := map[*core.Tx]int{}
+		scratch[tx] = 1 // body-local map: same
+	})
+}
+
+func suppressed(p *core.Proc) {
+	var stale *core.Tx
+	p.Atomic(func(tx *core.Tx) {
+		stale = tx //tmlint:allow txescape -- the regression test needs a stale handle on purpose
+	})
+	_ = stale
+}

@@ -1,0 +1,308 @@
+// Package tmlint statically enforces the transactional-memory semantics
+// of McDonald et al. (ISCA 2006) over this module's ISA-level API: an
+// Atomic body is a closure the runtime may re-execute after a violation
+// and whose effects must be undone by rollback, so whole classes of
+// host-side misuse — leaking the *core.Tx handle, mutating captured Go
+// variables, registering handlers from handlers, open-nesting without
+// compensation, host synchronization inside a transaction — compile fine,
+// often run fine, and silently break the paper's model. The dynamic
+// oracle (internal/oracle) cannot see them; these analyzers can.
+//
+// Every diagnostic can be suppressed with a justification:
+//
+//	//tmlint:allow <rule> -- <why this site is intentionally exempt>
+//
+// on the reported line or the line above it. The rules are the analyzer
+// names: txescape, reexec, handlers, nesting, syncintx.
+package tmlint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"tmisa/internal/analysis"
+)
+
+const (
+	corePkg = "tmisa/internal/core"
+	txrtPkg = "tmisa/internal/txrt"
+)
+
+// Analyzers returns the full tmlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{TxEscape, Reexec, Handlers, Nesting, SyncInTx}
+}
+
+// atomicBody is one closure the runtime executes transactionally: the
+// literal argument of core.Proc.Atomic/AtomicOpen, txrt.TryAtomic,
+// txrt.OrElse, or txrt.ThreadSys.AtomicWithRetry.
+type atomicBody struct {
+	call      *ast.CallExpr
+	lit       *ast.FuncLit
+	tx        types.Object // the body's own *core.Tx parameter (nil if unnamed)
+	open      bool
+	construct string
+	parent    *atomicBody // innermost lexically enclosing atomic body, if any
+}
+
+// bodyArg describes where a transactional construct takes its body
+// closures: arg is the closure's argument index, txParam the index of the
+// *core.Tx parameter within the closure's parameter list.
+type bodyArg struct{ arg, txParam int }
+
+// constructs maps (package path, function name) to its body arguments.
+var constructs = map[[2]string]struct {
+	open bool
+	args []bodyArg
+}{
+	{corePkg, "Atomic"}:          {false, []bodyArg{{0, 0}}},
+	{corePkg, "AtomicOpen"}:      {true, []bodyArg{{0, 0}}},
+	{txrtPkg, "TryAtomic"}:       {false, []bodyArg{{1, 0}}},
+	{txrtPkg, "OrElse"}:          {false, []bodyArg{{1, 0}, {2, 0}}},
+	{txrtPkg, "AtomicWithRetry"}: {false, []bodyArg{{0, 1}}},
+}
+
+// collection is the per-pass view shared by all analyzers: the atomic
+// bodies, plus the handler literals (args to Tx.OnCommit/OnViolation/
+// OnAbort), inside which different rules apply.
+type collection struct {
+	pass     *analysis.Pass
+	bodies   []*atomicBody
+	bodyLits map[*ast.FuncLit]*atomicBody
+	// handlerLits maps a handler closure to the registration method name
+	// ("OnCommit", "OnViolation", "OnAbort").
+	handlerLits map[*ast.FuncLit]string
+}
+
+func collect(pass *analysis.Pass) *collection {
+	c := &collection{
+		pass:        pass,
+		bodyLits:    make(map[*ast.FuncLit]*atomicBody),
+		handlerLits: make(map[*ast.FuncLit]string),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			key := [2]string{fn.Pkg().Path(), fn.Name()}
+			if spec, ok := constructs[key]; ok {
+				for _, ba := range spec.args {
+					if ba.arg >= len(call.Args) {
+						continue
+					}
+					lit, ok := ast.Unparen(call.Args[ba.arg]).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					b := &atomicBody{
+						call:      call,
+						lit:       lit,
+						tx:        paramObj(pass, lit, ba.txParam),
+						open:      spec.open,
+						construct: fn.Name(),
+					}
+					c.bodies = append(c.bodies, b)
+					c.bodyLits[lit] = b
+				}
+			}
+			if fn.Pkg().Path() == corePkg && isHandlerReg(fn.Name()) && len(call.Args) == 1 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+					c.handlerLits[lit] = fn.Name()
+				}
+			}
+			return true
+		})
+	}
+	// Parent links: the innermost other body whose literal encloses this
+	// one. Sorting by span size makes the innermost match win.
+	sorted := append([]*atomicBody(nil), c.bodies...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].lit.End()-sorted[i].lit.Pos() < sorted[j].lit.End()-sorted[j].lit.Pos()
+	})
+	for _, b := range c.bodies {
+		for _, cand := range sorted {
+			if cand != b && cand.lit.Pos() < b.lit.Pos() && b.lit.End() < cand.lit.End() {
+				b.parent = cand
+				break
+			}
+		}
+	}
+	return c
+}
+
+// inspectBody walks b's body. Nested atomic-body literals are always
+// skipped (each is analyzed as its own body); handler literals are
+// skipped when skipHandlers is set (side effects are legal there — that
+// is what commit handlers are for).
+func (c *collection) inspectBody(b *atomicBody, skipHandlers bool, fn func(n ast.Node) bool) {
+	ast.Inspect(b.lit.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if nb, isBody := c.bodyLits[lit]; isBody && nb != b {
+				return false
+			}
+			if _, isHandler := c.handlerLits[lit]; isHandler && skipHandlers {
+				return false
+			}
+		}
+		return fn(n)
+	})
+}
+
+// ancestors returns b's enclosing atomic bodies, innermost first.
+func (b *atomicBody) ancestors() []*atomicBody {
+	var out []*atomicBody
+	for p := b.parent; p != nil; p = p.parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+func isHandlerReg(name string) bool {
+	return name == "OnCommit" || name == "OnViolation" || name == "OnAbort"
+}
+
+// calleeFunc resolves a call's callee to a *types.Func (method or
+// function), or nil for builtins, conversions, and indirect calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified function
+		}
+	}
+	return nil
+}
+
+// paramObj returns the object of the i-th parameter of lit, or nil when
+// the parameter is unnamed or absent.
+func paramObj(pass *analysis.Pass, lit *ast.FuncLit, i int) types.Object {
+	idx := 0
+	for _, field := range lit.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			if idx == i {
+				return nil // unnamed parameter
+			}
+			idx++
+			continue
+		}
+		for _, name := range names {
+			if idx == i {
+				return pass.Info.Defs[name]
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// declaredIn reports whether obj's declaration lies inside lit.
+func declaredIn(obj types.Object, lit *ast.FuncLit) bool {
+	return obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}
+
+// usesObj reports whether any identifier inside expr resolves to obj.
+func usesObj(pass *analysis.Pass, expr ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// baseObj returns the variable at the base of an lvalue chain
+// (x, x.f, x[i], *x, combinations thereof), or nil.
+func baseObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+				return v
+			}
+			if v, ok := pass.Info.Defs[e].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// methodOn reports whether call is a method call named name on a value
+// whose (possibly pointer) type is the named type pkgPath.typeName, and
+// returns the receiver expression.
+func methodOn(pass *analysis.Pass, call *ast.CallExpr, pkgPath, typeName, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath || obj.Name() != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// txMethod matches a method call on core.Tx and returns its name and
+// receiver expression.
+func txMethod(pass *analysis.Pass, call *ast.CallExpr) (string, ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	if recv, ok := methodOn(pass, call, corePkg, "Tx", sel.Sel.Name); ok {
+		return sel.Sel.Name, recv, true
+	}
+	return "", nil, false
+}
+
+// exprObj resolves an expression to the variable it names, if it is a
+// plain identifier.
+func exprObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		return pass.Info.Uses[id]
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package tmlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tmisa/internal/analysis"
+	"tmisa/internal/analysis/analysistest"
+	"tmisa/internal/analysis/tmlint"
+)
+
+func run(t *testing.T, rule string, a *analysis.Analyzer) {
+	t.Helper()
+	analysistest.Run(t, filepath.Join("testdata", "src", rule), a)
+}
+
+func TestTxEscape(t *testing.T) { run(t, "txescape", tmlint.TxEscape) }
+func TestReexec(t *testing.T)   { run(t, "reexec", tmlint.Reexec) }
+func TestHandlers(t *testing.T) { run(t, "handlers", tmlint.Handlers) }
+func TestNesting(t *testing.T)  { run(t, "nesting", tmlint.Nesting) }
+func TestSyncInTx(t *testing.T) { run(t, "syncintx", tmlint.SyncInTx) }
+
+// TestSuiteOrder pins the published analyzer set: cmd/tmlint and CI run
+// exactly these rules, and the allow-comment names must keep matching.
+func TestSuiteOrder(t *testing.T) {
+	want := []string{"txescape", "reexec", "handlers", "nesting", "syncintx"}
+	got := tmlint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package tmlint
+
+import (
+	"go/ast"
+
+	"tmisa/internal/analysis"
+)
+
+// TxEscape reports a *core.Tx body parameter escaping the atomic body it
+// belongs to. A Tx is the software face of one TCB frame: it dies with
+// its attempt (commit, abort, or rollback), and the runtime's tx.check()
+// only catches a stale use when the stale use actually executes. Storing
+// the handle in a captured variable, struct field, global, map, slice,
+// or channel — or handing it to a goroutine — makes post-mortem use
+// possible on paths no test may cover.
+var TxEscape = &analysis.Analyzer{
+	Name: "txescape",
+	Doc: "report a transaction handle (*core.Tx) escaping its atomic body: " +
+		"stored outside the body, sent on a channel, returned, or captured by a goroutine",
+	Run: runTxEscape,
+}
+
+func runTxEscape(pass *analysis.Pass) error {
+	c := collect(pass)
+	for _, b := range c.bodies {
+		if b.tx == nil {
+			continue
+		}
+		checkEscape(pass, b)
+	}
+	return nil
+}
+
+func checkEscape(pass *analysis.Pass, b *atomicBody) {
+	isTx := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == b.tx
+	}
+	// The whole literal is walked, including nested closures: an inner
+	// atomic body storing the OUTER handle is still an escape of the
+	// outer handle (its own parameter is a different object).
+	ast.Inspect(b.lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isTx(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				// Storing into anything rooted in a body-local variable is
+				// fine: the container dies with the attempt. Everything
+				// else (captured variable, global, field or element of a
+				// captured container) outlives it.
+				lhs := ast.Unparen(n.Lhs[i])
+				if base := baseObj(pass, lhs); base != nil && declaredIn(base, b.lit) {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					pass.Reportf(n.Pos(),
+						"transaction handle %s stored in %q, which outlives the atomic body; the handle dies with this attempt (tx.check() panics on later use)",
+						b.tx.Name(), id.Name)
+				} else {
+					pass.Reportf(n.Pos(),
+						"transaction handle %s stored outside the atomic body; the handle dies with this attempt (tx.check() panics on later use)",
+						b.tx.Name())
+				}
+			}
+			// The handle as a key of a captured map also retains it past
+			// the attempt (txio's buffer map is keyed this way, but it
+			// deletes the entry in its own commit handler).
+			for _, lhs := range n.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok || !isTx(idx.Index) {
+					continue
+				}
+				if base := baseObj(pass, idx.X); base != nil && declaredIn(base, b.lit) {
+					continue
+				}
+				pass.Reportf(lhs.Pos(),
+					"transaction handle %s used as a map key in a store that outlives the atomic body",
+					b.tx.Name())
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isTx(v) {
+					pass.Reportf(el.Pos(),
+						"transaction handle %s stored in a composite literal; the value outlives the atomic body",
+						b.tx.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if isTx(n.Value) {
+				pass.Reportf(n.Pos(),
+					"transaction handle %s sent on a channel; the receiver would use it after this attempt ends",
+					b.tx.Name())
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isTx(r) {
+					pass.Reportf(n.Pos(),
+						"transaction handle %s returned from a closure inside the atomic body",
+						b.tx.Name())
+				}
+			}
+		case *ast.GoStmt:
+			if usesObj(pass, n.Call, b.tx) {
+				pass.Reportf(n.Pos(),
+					"transaction handle %s captured by a goroutine; the goroutine races the attempt's commit/rollback",
+					b.tx.Name())
+			}
+		}
+		return true
+	})
+}

@@ -113,7 +113,7 @@ func TestStallWaiterSpuriousUnparkFixed(t *testing.T) {
 			}
 			attempt := 0
 			p.Atomic(func(tx *Tx) {
-				attempt++
+				attempt++ //tmlint:allow reexec -- counts attempts on purpose: the test asserts the stall->rollback path re-executed
 				if attempt == 1 {
 					p.Load(probe) // joins the read set: CPU 2's lever
 					p.Load(hot)   // stalls on CPU 1's validated window

@@ -145,10 +145,10 @@ func TestClosedNestingIndependentRollback(t *testing.T) {
 		m.Run(
 			func(p *Proc) {
 				p.Atomic(func(tx *Tx) {
-					outerRuns++
+					outerRuns++ //tmlint:allow reexec -- counts re-executions on purpose: the assertion is that there were none
 					p.Load(private)
 					p.Atomic(func(inner *Tx) {
-						innerRuns++
+						innerRuns++ //tmlint:allow reexec -- counts re-executions on purpose: independent inner rollback is the property under test
 						v := p.Load(shared)
 						p.Tick(3000) // window for CPU 1's store to land
 						p.Store(shared, v+1)
@@ -184,10 +184,10 @@ func TestFlattenRollsBackWholeNest(t *testing.T) {
 	m.Run(
 		func(p *Proc) {
 			p.Atomic(func(tx *Tx) {
-				outerRuns++
+				outerRuns++ //tmlint:allow reexec -- counts re-executions on purpose: flattening must re-run the whole outer body
 				p.Load(private)
 				p.Atomic(func(inner *Tx) {
-					innerRuns++
+					innerRuns++ //tmlint:allow reexec -- counts re-executions on purpose (flattened baseline)
 					v := p.Load(shared)
 					p.Tick(3000)
 					p.Store(shared, v+1)
@@ -218,6 +218,7 @@ func TestOpenNestedCommitIsImmediateAndSurvivesParentAbort(t *testing.T) {
 		var err error
 		m.Run(func(p *Proc) {
 			err = p.Atomic(func(tx *Tx) {
+				//tmlint:allow nesting -- the surviving uncompensated write is the semantics under test
 				p.AtomicOpen(func(open *Tx) {
 					p.Store(a, 77)
 				})
@@ -244,6 +245,7 @@ func TestOpenCommitUpdatesParentBufferedData(t *testing.T) {
 	m.Run(func(p *Proc) {
 		p.Atomic(func(tx *Tx) {
 			p.Store(a, 1)
+			//tmlint:allow nesting -- probes the raw open-commit/parent-buffer interaction; no compensation wanted
 			p.AtomicOpen(func(open *Tx) {
 				p.Store(a, 2)
 			})
@@ -668,6 +670,7 @@ func TestMossHoskingAnomaly(t *testing.T) {
 			func(p *Proc) {
 				p.Atomic(func(tx *Tx) {
 					p.Load(shared) // parent reads the line
+					//tmlint:allow nesting -- deliberately constructs the Moss/Hosking self-violation anomaly
 					p.AtomicOpen(func(open *Tx) {
 						p.Store(shared, 42) // open child writes the same line
 					})

@@ -38,6 +38,7 @@ func ExampleProc_AtomicOpen() {
 
 	m.Run(func(p *core.Proc) {
 		err := p.Atomic(func(tx *core.Tx) {
+			//tmlint:allow nesting -- the example demonstrates exactly this: the open commit survives the parent abort
 			p.AtomicOpen(func(open *core.Tx) {
 				p.Store(idCounter, p.Load(idCounter)+1)
 			})

@@ -222,7 +222,7 @@ func TestTxUseAfterEndPanics(t *testing.T) {
 		}
 	}()
 	m.Run(func(p *Proc) {
-		p.Atomic(func(tx *Tx) { stale = tx })
+		p.Atomic(func(tx *Tx) { stale = tx }) //tmlint:allow txescape -- leaks the handle on purpose; the test asserts tx.check() panics on post-commit use
 		stale.OnCommit(func(*Proc) {})
 	})
 }
@@ -237,7 +237,7 @@ func TestAbortAfterValidatePanics(t *testing.T) {
 	}()
 	m.Run(func(p *Proc) {
 		p.Atomic(func(tx *Tx) {
-			tx.OnCommit(func(p *Proc) { tx.Abort("too late") })
+			tx.OnCommit(func(p *Proc) { tx.Abort("too late") }) //tmlint:allow handlers -- the runtime panic is the behavior under test
 		})
 	})
 }
@@ -337,6 +337,7 @@ func TestFlattenSubsumesOpenNesting(t *testing.T) {
 	a := m.Alloc(1)
 	m.Run(func(p *Proc) {
 		err := p.Atomic(func(tx *Tx) {
+			//tmlint:allow nesting -- flattening subsumes the open commit; the test asserts the write does NOT escape the abort
 			p.AtomicOpen(func(open *Tx) { p.Store(a, 7) })
 			tx.Abort("whole thing dies")
 		})
@@ -523,7 +524,7 @@ func TestViolatedWhileTokenQueuedRollsBack(t *testing.T) {
 		func(p *Proc) {
 			p.Tick(200)
 			p.Atomic(func(tx *Tx) {
-				attempts++
+				attempts++     //tmlint:allow reexec -- counts attempts on purpose: the token-queue cancellation must cause a re-execution
 				p.Load(shared) // conflicts with CPU 0's pending commit
 				p.Tick(100)
 				// Reaches xvalidate while CPU 0 holds the token; CPU 0's

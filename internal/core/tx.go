@@ -79,6 +79,14 @@ func (tx *Tx) NL() int { return tx.level.NL }
 // Open reports whether this is an open-nested transaction.
 func (tx *Tx) Open() bool { return tx.level.Open }
 
+// Done reports whether the attempt this handle belonged to has ended —
+// committed, aborted, or rolled back. The handle dies with its TCB
+// frame: once Done, every mutating method (OnCommit, OnViolation,
+// OnAbort, Abort) panics through check(). The tmlint txescape rule
+// flags the stores that make a done handle reachable in the first
+// place.
+func (tx *Tx) Done() bool { return tx.done }
+
 // ReadSetSize and WriteSetSize expose footprint for diagnostics.
 func (tx *Tx) ReadSetSize() int  { return len(tx.level.ReadSet) }
 func (tx *Tx) WriteSetSize() int { return len(tx.level.WriteSet) }

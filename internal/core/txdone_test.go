@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTxDoneLifecycle pins the handle-invalidation contract: Done is
+// false for exactly the lifetime of the body and its handlers, and true
+// forever after, on both the commit and the abort path (popLevel runs
+// on every exit).
+func TestTxDoneLifecycle(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	var duringBody, duringCommitH bool
+	var committed, aborted *Tx
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			duringBody = tx.Done()
+			tx.OnCommit(func(*Proc) { duringCommitH = tx.Done() })
+			committed = tx //tmlint:allow txescape -- the test asserts on the dead handle
+		})
+		p.Atomic(func(tx *Tx) {
+			aborted = tx //tmlint:allow txescape -- same, via the abort path
+			tx.Abort("die")
+		})
+	})
+	if duringBody {
+		t.Error("Done() = true inside the atomic body")
+	}
+	if duringCommitH {
+		t.Error("Done() = true inside a commit handler (handlers run before xcommit)")
+	}
+	if committed == nil || !committed.Done() {
+		t.Error("Done() = false after commit")
+	}
+	if aborted == nil || !aborted.Done() {
+		t.Error("Done() = false after abort")
+	}
+}
+
+// TestStaleTxEveryMethodPanics: every mutating method of a done handle
+// must die in tx.check() with the documented message, post-commit and
+// post-abort alike.
+func TestStaleTxEveryMethodPanics(t *testing.T) {
+	m := NewMachine(testConfig(1, Lazy))
+	var postCommit, postAbort *Tx
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) { postCommit = tx }) //tmlint:allow txescape -- leaks the handle on purpose
+		p.Atomic(func(tx *Tx) {
+			postAbort = tx //tmlint:allow txescape -- leaks the handle on purpose
+			tx.Abort("stale")
+		})
+	})
+	for _, stale := range []struct {
+		how string
+		tx  *Tx
+	}{{"post-commit", postCommit}, {"post-abort", postAbort}} {
+		methods := []struct {
+			name string
+			call func()
+		}{
+			{"OnCommit", func() { stale.tx.OnCommit(func(*Proc) {}) }},
+			{"OnViolation", func() { stale.tx.OnViolation(func(*Proc, Violation) Decision { return Rollback }) }},
+			{"OnAbort", func() { stale.tx.OnAbort(func(*Proc, any) {}) }},
+			{"Abort", func() { stale.tx.Abort("again") }},
+		}
+		for _, m := range methods {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Errorf("%s %s on a done Tx: no panic", stale.how, m.name)
+						return
+					}
+					if msg, ok := r.(string); !ok || !strings.Contains(msg, "use of Tx after its transaction ended") {
+						t.Errorf("%s %s panic = %v, want the tx.check() message", stale.how, m.name, r)
+					}
+				}()
+				m.call()
+			}()
+		}
+	}
+}

@@ -31,7 +31,7 @@ func TestTryAtomicTakesAlternatePathOnViolation(t *testing.T) {
 	m.Run(
 		func(p *core.Proc) {
 			ok = TryAtomic(p, func(tx *core.Tx) {
-				attempts++
+				attempts++ //tmlint:allow reexec -- counts attempts on purpose: TryAtomic must not re-execute after the violation
 				p.Load(shared)
 				p.Tick(3000)
 				p.Store(shared, 1)

@@ -251,7 +251,7 @@ func TestTxReadCompensationRestoresPosition(t *testing.T) {
 			p.Atomic(func(tx *core.Tx) {
 				p.Load(shared)
 				data := tio.Read(p, tx, in, 4)
-				reads = append(reads, data)
+				reads = append(reads, data) //tmlint:allow reexec -- records every attempt on purpose: each re-execution must re-read the same bytes
 				p.Tick(3000)
 				p.Store(shared, 1)
 			})
@@ -372,7 +372,7 @@ func TestAllocatorDistinctBlocksUnderContention(t *testing.T) {
 		for k := 0; k < 10; k++ {
 			p.Atomic(func(tx *core.Tx) {
 				b := alloc.Alloc(p, tx, false)
-				seen[b] = append(seen[b], p.ID())
+				seen[b] = append(seen[b], p.ID()) //tmlint:allow reexec -- records every attempt on purpose: a block handed out twice across ANY attempts must fail
 				p.Store(b, uint64(p.ID()))
 			})
 		}
@@ -411,7 +411,7 @@ func TestAllocatorViolationCompensationFrees(t *testing.T) {
 		func(p *core.Proc) {
 			p.Atomic(func(tx *core.Tx) {
 				p.Load(shared)
-				blocks = append(blocks, alloc.Alloc(p, tx, true))
+				blocks = append(blocks, alloc.Alloc(p, tx, true)) //tmlint:allow reexec -- records every attempt on purpose: the retry must reuse the compensated block
 				p.Tick(3000)
 			})
 		},

@@ -188,6 +188,11 @@ func (w *JBB) Run(p *core.Proc, cpus int) {
 				// The global order ID: the open-nesting showcase.
 				var orderID uint64
 				if w.Mode == JBBOpen {
+					// The ID increment is commutative and a skipped ID after
+					// an outer abort is semantically harmless, so no
+					// compensation is registered (the paper's Section 4.5
+					// argument for open-nesting this exact counter).
+					//tmlint:allow nesting
 					p.AtomicOpen(func(open *core.Tx) {
 						orderID = p.Load(w.counter)
 						p.Store(w.counter, orderID+1)
