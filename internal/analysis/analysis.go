@@ -11,8 +11,9 @@
 //	//tmlint:allow <rule> [<rule>...] -- <justification>
 //
 // comment on the reported line or the line directly above it, where
-// <rule> is the analyzer name. Report drops suppressed diagnostics
-// before they reach the caller.
+// <rule> is the analyzer name and the "-- <justification>" part is
+// mandatory (a directive without one is ignored). Report drops
+// suppressed diagnostics before they reach the caller.
 package analysis
 
 import (

@@ -67,6 +67,12 @@ func TestSuppressionIndex(t *testing.T) {
 var a = 1
 var b = 2 //tmlint:allow ruleB, ruleC -- end-of-line form
 var c = 3
+
+//tmlint:allowed ruleD -- the directive name must end at a word boundary
+var d = 4
+
+//tmlint:allow ruleE
+var e = 5
 `
 	if err := writeFile(filepath.Join(dir, "a.go"), src); err != nil {
 		t.Fatal(err)
@@ -114,5 +120,14 @@ var c = 3
 	}
 	if !report("other", varPos("a")) {
 		t.Error("an unlisted rule must not be suppressed")
+	}
+	// "tmlint:allowed" is not the directive: under prefix-only matching it
+	// would suppress the bogus rules "ed" and "ruleD".
+	if !report("ed", varPos("d")) || !report("ruleD", varPos("d")) {
+		t.Error(`"tmlint:allowed" must not parse as an allow directive`)
+	}
+	// A directive with no "-- <justification>" is inert.
+	if !report("ruleE", varPos("e")) {
+		t.Error("a directive without a justification must not suppress")
 	}
 }

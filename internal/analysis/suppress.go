@@ -7,7 +7,14 @@ import (
 // allowIndex scans the package's comments for //tmlint:allow directives
 // and returns filename → line → suppressed rule names. A directive
 // covers its own line (end-of-line form) and the line directly below it
-// (standalone form); the text after " -- " is a free-form justification.
+// (standalone form). The documented form is
+//
+//	//tmlint:allow <rule> [<rule>...] -- <justification>
+//
+// and is enforced strictly: the directive name must end at a word
+// boundary (so "//tmlint:allowed ..." is not a directive), and a
+// directive with no "-- <why>" justification is inert — an exemption
+// with no recorded reason must not silently suppress a diagnostic.
 func (pkg *Package) allowIndex() map[string]map[int]map[string]bool {
 	idx := make(map[string]map[int]map[string]bool)
 	for _, f := range pkg.Files {
@@ -19,10 +26,14 @@ func (pkg *Package) allowIndex() map[string]map[int]map[string]bool {
 				if !ok {
 					continue
 				}
-				if i := strings.Index(rest, "--"); i >= 0 {
-					rest = rest[:i]
+				if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					continue // e.g. "tmlint:allowed": not this directive
 				}
-				rules := strings.FieldsFunc(rest, func(r rune) bool {
+				ruleText, why, ok := strings.Cut(rest, "--")
+				if !ok || strings.TrimSpace(why) == "" {
+					continue // no justification: the directive is inert
+				}
+				rules := strings.FieldsFunc(ruleText, func(r rune) bool {
 					return r == ' ' || r == ',' || r == '\t'
 				})
 				if len(rules) == 0 {

@@ -8,6 +8,7 @@ import (
 
 	"tmisa/internal/core"
 	"tmisa/internal/mem"
+	"tmisa/internal/txrt"
 )
 
 func leak(*core.Proc) {}
@@ -40,6 +41,29 @@ func clean(p *core.Proc, a mem.Addr) {
 		})
 	})
 	_ = result
+}
+
+// unsafeTxrt pins the constructs table for the txrt entry points: their
+// body closures sit at different argument indices than core.Proc.Atomic
+// (AtomicWithRetry's body is argument 1, after the *Thread), and a wrong
+// index silently skips the body. AtomicWithRetry bodies re-execute on
+// Retry as well as on violation, so a captured RMW is doubly unsafe there.
+func unsafeTxrt(ts *txrt.ThreadSys, th *txrt.Thread, p *core.Proc) {
+	attempts := 0
+	var log []int
+	ts.AtomicWithRetry(th, func(p *core.Proc, tx *core.Tx) {
+		attempts++           // want `captured variable "attempts" mutated \(read-modify-write\)`
+		log = append(log, 1) // want `captured variable "log" updated from its own value`
+	})
+	txrt.TryAtomic(p, func(tx *core.Tx) {
+		attempts++ // want `captured variable "attempts" mutated \(read-modify-write\)`
+	})
+	txrt.OrElse(p, func(tx *core.Tx) {
+		attempts++ // want `captured variable "attempts" mutated \(read-modify-write\)`
+	}, func(tx *core.Tx) {
+		attempts++ // want `captured variable "attempts" mutated \(read-modify-write\)`
+	})
+	_, _ = attempts, log
 }
 
 func suppressed(p *core.Proc) {

@@ -1,7 +1,10 @@
 // Package txescape is golden-test input for the tmlint txescape rule.
 package txescape
 
-import "tmisa/internal/core"
+import (
+	"tmisa/internal/core"
+	"tmisa/internal/txrt"
+)
 
 type holder struct{ tx *core.Tx }
 
@@ -28,6 +31,25 @@ func escapes(p *core.Proc, ch chan *core.Tx, retain map[*core.Tx]int) {
 	_ = leaked
 }
 
+// escapesTxrt pins the constructs table: the txrt entry points take their
+// body closures at different argument indices than core.Proc.Atomic, and
+// a wrong index silently skips the body.
+func escapesTxrt(ts *txrt.ThreadSys, th *txrt.Thread, p *core.Proc) {
+	var leaked *core.Tx
+	ts.AtomicWithRetry(th, func(p *core.Proc, tx *core.Tx) {
+		leaked = tx // want `transaction handle tx stored in "leaked"`
+	})
+	txrt.TryAtomic(p, func(tx *core.Tx) {
+		globalTx = tx // want `stored in "globalTx"`
+	})
+	txrt.OrElse(p, func(tx *core.Tx) {
+		leaked = tx // want `stored in "leaked"`
+	}, func(tx *core.Tx) {
+		sink.tx = tx // want `stored outside the atomic body`
+	})
+	_ = leaked
+}
+
 func clean(p *core.Proc) {
 	p.Atomic(func(tx *core.Tx) {
 		alias := tx // a body-local alias dies with the attempt
@@ -36,8 +58,26 @@ func clean(p *core.Proc) {
 		local := holder{}
 		local.tx = tx // body-local container: dies with the attempt
 		scratch := map[*core.Tx]int{}
-		scratch[tx] = 1 // body-local map: same
+		scratch[tx] = 1     // body-local map: same
+		s := []*core.Tx{tx} // body-local composite literals: same
+		m := map[string]*core.Tx{"t": tx}
+		h := &holder{tx: tx}
+		var d = holder{tx: tx}
+		_, _, _, _ = s, m, h, d
 	})
+}
+
+// escapingComposites are still reported: the literal's value leaves the
+// body even though the handle is wrapped in a container.
+func escapingComposites(p *core.Proc, ch chan []*core.Tx) {
+	var group []*core.Tx
+	p.Atomic(func(tx *core.Tx) {
+		group = []*core.Tx{tx}                         // want `stored in a composite literal`
+		ch <- []*core.Tx{tx}                           // want `stored in a composite literal`
+		get := func() holder { return holder{tx: tx} } // want `stored in a composite literal`
+		_ = get
+	})
+	_ = group
 }
 
 func suppressed(p *core.Proc) {

@@ -60,7 +60,7 @@ var constructs = map[[2]string]struct {
 	{corePkg, "AtomicOpen"}:      {true, []bodyArg{{0, 0}}},
 	{txrtPkg, "TryAtomic"}:       {false, []bodyArg{{1, 0}}},
 	{txrtPkg, "OrElse"}:          {false, []bodyArg{{1, 0}, {2, 0}}},
-	{txrtPkg, "AtomicWithRetry"}: {false, []bodyArg{{0, 1}}},
+	{txrtPkg, "AtomicWithRetry"}: {false, []bodyArg{{1, 1}}},
 }
 
 // collection is the per-pass view shared by all analyzers: the atomic

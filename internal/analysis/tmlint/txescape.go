@@ -2,6 +2,7 @@ package tmlint
 
 import (
 	"go/ast"
+	"go/token"
 
 	"tmisa/internal/analysis"
 )
@@ -38,8 +39,16 @@ func checkEscape(pass *analysis.Pass, b *atomicBody) {
 	}
 	// The whole literal is walked, including nested closures: an inner
 	// atomic body storing the OUTER handle is still an escape of the
-	// outer handle (its own parameter is a different object).
+	// outer handle (its own parameter is a different object). stack holds
+	// the ancestors of the node being visited, outermost first, so the
+	// CompositeLit case can see what consumes the literal's value.
+	var stack []ast.Node
 	ast.Inspect(b.lit.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		defer func() { stack = append(stack, n) }()
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
@@ -80,6 +89,14 @@ func checkEscape(pass *analysis.Pass, b *atomicBody) {
 					b.tx.Name())
 			}
 		case *ast.CompositeLit:
+			// A literal whose value lands in a body-local variable dies
+			// with the attempt, same as the AssignStmt rule above. Any
+			// other consumer (captured variable, return, send, call
+			// argument) is reported — conservatively for calls, since the
+			// callee may retain the container.
+			if !compositeEscapes(pass, b, stack, n) {
+				return true
+			}
 			for _, el := range n.Elts {
 				v := el
 				if kv, ok := el.(*ast.KeyValueExpr); ok {
@@ -114,4 +131,46 @@ func checkEscape(pass *analysis.Pass, b *atomicBody) {
 		}
 		return true
 	})
+}
+
+// compositeEscapes reports whether the value of lit — a composite literal
+// with the tx handle among its elements — can outlive the atomic body.
+// Climbing out of wrapper layers (enclosing composite literals, key-value
+// pairs, parens, &-of-literal), the value is body-local — and therefore
+// allowed, matching the AssignStmt rule — only when it initializes or is
+// assigned to a variable declared inside the body. Every other consumer
+// (captured variable, return, channel send, call argument, go statement)
+// escapes, conservatively so for calls, whose callee may retain the
+// container.
+func compositeEscapes(pass *analysis.Pass, b *atomicBody, stack []ast.Node, lit ast.Expr) bool {
+	inner := lit
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ParenExpr:
+			inner = stack[i].(ast.Expr)
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			inner = n
+		case *ast.AssignStmt:
+			for j, rhs := range n.Rhs {
+				if ast.Unparen(rhs) != ast.Unparen(inner) {
+					continue
+				}
+				if j < len(n.Lhs) {
+					if base := baseObj(pass, n.Lhs[j]); base != nil && declaredIn(base, b.lit) {
+						return false
+					}
+				}
+				return true
+			}
+			return true
+		case *ast.ValueSpec:
+			return false // a var decl inside the body: its names are body-local
+		default:
+			return true
+		}
+	}
+	return true
 }

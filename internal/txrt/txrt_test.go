@@ -161,7 +161,8 @@ func TestManyProducerConsumerPairs(t *testing.T) {
 				ts.AtomicWithRetry(th, func(p *core.Proc, tx *core.Tx) {
 					cs.WaitUntil(p, th, tx, flags[i], func(v uint64) bool { return v != 0 })
 					p.Store(flags[i], 0)
-					got[i] = append(got[i], p.Load(vals[i]))
+					v := p.Load(vals[i])
+					tx.OnCommit(func(*core.Proc) { got[i] = append(got[i], v) })
 				})
 			}
 		})

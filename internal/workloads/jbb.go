@@ -192,7 +192,7 @@ func (w *JBB) Run(p *core.Proc, cpus int) {
 					// an outer abort is semantically harmless, so no
 					// compensation is registered (the paper's Section 4.5
 					// argument for open-nesting this exact counter).
-					//tmlint:allow nesting
+					//tmlint:allow nesting -- commutative counter; a skipped ID after an outer abort is harmless
 					p.AtomicOpen(func(open *core.Tx) {
 						orderID = p.Load(w.counter)
 						p.Store(w.counter, orderID+1)
