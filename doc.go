@@ -20,9 +20,14 @@
 //	internal/txrt       runtime conventions (threads, condsync, tx I/O)
 //	internal/btree      B-tree substrate for the warehouse workload
 //	internal/workloads  the Section 7 workloads and measurement harness
+//	internal/oracle     serializability / strong-atomicity run checker
+//	internal/analysis   tmlint static analyzers
+//	internal/tmfuzz     deterministic transaction-program fuzzer
 //	cmd/experiments     regenerate every table and figure
 //	cmd/tmsim           run one workload
 //	cmd/isatable        print Tables 1 and 2
+//	cmd/tmlint          static transactional-semantics lint
+//	cmd/tmfuzz          fuzz / replay CLI (seeds, corpus, shrinking)
 //	examples/           runnable API walkthroughs
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's

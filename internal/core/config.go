@@ -26,6 +26,8 @@
 package core
 
 import (
+	"fmt"
+
 	"tmisa/internal/cache"
 	"tmisa/internal/tm"
 )
@@ -89,6 +91,13 @@ type Config struct {
 	// immediately; the commit token guarantees progress). The eager
 	// engine requires a non-zero backoff for forward progress under its
 	// requester-wins conflict resolution; NewMachine enforces a default.
+	//
+	// Caveat: the commit-token progress argument covers only flat and
+	// closed-nested lazy execution. With open nesting, two outer
+	// transactions can trade open-commit kills forever — each child's
+	// commit is "progress" that violates the other's enclosing levels —
+	// so lazy workloads that open-nest under contention should also set
+	// a backoff.
 	BackoffBase int
 
 	// MaxCycles bounds simulated time (0 = unlimited); exceeding it
@@ -102,6 +111,42 @@ type Config struct {
 	// the event stream costs real time and memory on long runs, and with
 	// the flag off no events are built at all.
 	Oracle bool
+
+	// OracleHistory makes the oracle retain the complete event history so
+	// a violation report from CheckOracle carries the full interleaving
+	// that produced it (plus this config). Unbounded memory — meant for
+	// short runs: the fuzzer (internal/tmfuzz) and focused tests, not the
+	// full workloads.
+	OracleHistory bool
+
+	// Faults is an optional deterministic fault-injection plan: synthetic
+	// violations raised at planned instruction boundaries (see FaultPlan).
+	// Nil injects nothing.
+	Faults *FaultPlan
+
+	// SchedTieBreak, when non-nil, is installed as the simulation engine's
+	// tie-break hook: it chooses which CPU runs first among those ready at
+	// the same minimal cycle (see sim.Engine.TieBreak). The scheduler's
+	// default — and the only order real workload runs should use — is
+	// lowest CPU id; the fuzzer perturbs ties from its case seed to explore
+	// more interleavings while staying perfectly replayable.
+	SchedTieBreak func(tied []int) int
+}
+
+// Describe summarizes the configuration knobs that change transactional
+// semantics or scheduling, for failure reports and reproducers.
+func (c Config) Describe() string {
+	return fmt.Sprintf(
+		"cpus=%d engine=%s flatten=%v open=%v wordtracking=%v scheme=%s maxlevels=%d backoff=%d faults=%d",
+		c.CPUs, c.Engine, c.Flatten, c.OpenSemantics, c.WordTracking,
+		c.Cache.Scheme, c.Cache.MaxLevels, c.BackoffBase, c.faultCount())
+}
+
+func (c Config) faultCount() int {
+	if c.Faults == nil {
+		return 0
+	}
+	return len(c.Faults.Violations)
 }
 
 // DefaultConfig returns the paper's evaluation platform: a lazy/TCC HTM

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tmisa/internal/mem"
+)
+
+// Tests for depth virtualization past the hardware nesting levels
+// (Section 4.4: levels beyond the line metadata's capacity spill to the
+// virtualized overflow structures) under forced conflicts, and for the
+// fault-injection plan that forces them. Before these, only workload A4
+// touched virtualized levels — and never with a conflict landing on one.
+
+// deepNest builds a depth-deep chain of closed-nested transactions. Each
+// level stores its own word on the way down; the innermost level burns
+// busywork instruction boundaries so a planned fault armed mid-run is
+// delivered at full depth.
+func deepNest(p *Proc, words []mem.Addr, lvl, depth, busywork int) {
+	p.Atomic(func(tx *Tx) {
+		p.Store(words[lvl], uint64(10+lvl))
+		if lvl < depth {
+			deepNest(p, words, lvl+1, depth, busywork)
+			return
+		}
+		for i := 0; i < busywork; i++ {
+			p.Tick(1)
+		}
+	})
+}
+
+// TestDepthVirtualizationBeyondHardwareLevels: a 6-deep nest on 3
+// hardware levels must spill to the virtualized levels, commit cleanly,
+// and leave every level's store in memory — on both engines.
+func TestDepthVirtualizationBeyondHardwareLevels(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		cfg := testConfig(1, engine)
+		cfg.Cache.MaxLevels = 3
+		cfg.Oracle = true
+		m := NewMachine(cfg)
+		words := make([]mem.Addr, 7)
+		for i := range words {
+			words[i] = m.AllocLine()
+		}
+		rep := m.Run(func(p *Proc) { deepNest(p, words, 1, 6, 0) })
+		if rep.Machine.VirtualizedBegins == 0 {
+			t.Fatal("6-deep nest on 3 hardware levels never virtualized a begin")
+		}
+		for lvl := 1; lvl <= 6; lvl++ {
+			if got := m.Mem().Load(words[lvl]); got != uint64(10+lvl) {
+				t.Errorf("word[%d] = %d, want %d", lvl, got, 10+lvl)
+			}
+		}
+		if err := m.CheckOracle(); err != nil {
+			t.Fatalf("oracle rejected the deep nest: %v", err)
+		}
+	})
+}
+
+// TestForcedViolationAtEachNestingLevel: a planned violation targeted at
+// every level of a 6-deep nest — hardware levels 1-3 and virtualized
+// levels 4-6 — must roll back, re-execute, and still commit the correct
+// values, with the oracle clean. The rollback targeting of virtualized
+// levels is exactly the path no workload conflict reaches.
+func TestForcedViolationAtEachNestingLevel(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		for target := 1; target <= 6; target++ {
+			t.Run(fmt.Sprintf("level%d", target), func(t *testing.T) {
+				cfg := testConfig(1, engine)
+				cfg.Cache.MaxLevels = 3
+				cfg.Oracle = true
+				cfg.OracleHistory = true
+				// The six begins and stores retire well under 300
+				// instructions, and the innermost busywork spans 1000 more:
+				// arming at 500 guarantees delivery at full depth, so the
+				// Level field names the exact nesting level hit.
+				cfg.Faults = &FaultPlan{Violations: []FaultViolation{
+					{CPU: 0, AtInsn: 500, Level: target},
+				}}
+				m := NewMachine(cfg)
+				words := make([]mem.Addr, 7)
+				for i := range words {
+					words[i] = m.AllocLine()
+				}
+				rep := m.Run(func(p *Proc) { deepNest(p, words, 1, 6, 1000) })
+				if rep.Machine.InjectedFaults != 1 {
+					t.Fatalf("injected %d faults, want 1", rep.Machine.InjectedFaults)
+				}
+				if rep.Machine.VirtualizedBegins == 0 {
+					t.Fatal("nest never virtualized a begin")
+				}
+				if rep.Machine.InnerRollbacks+rep.Machine.OuterRollbacks == 0 {
+					t.Fatal("forced violation caused no rollback")
+				}
+				for lvl := 1; lvl <= 6; lvl++ {
+					if got := m.Mem().Load(words[lvl]); got != uint64(10+lvl) {
+						t.Errorf("word[%d] = %d after recovery, want %d", lvl, got, 10+lvl)
+					}
+				}
+				if err := m.CheckOracle(); err != nil {
+					t.Fatalf("oracle rejected recovery from a level-%d violation: %v", target, err)
+				}
+			})
+		}
+	})
+}
+
+// TestFaultInjectionDelivery pins the plan semantics: a fault armed
+// outside any transaction is held (not dropped) until the CPU enters one,
+// it reports the synthetic FaultAddr line when no address was planned,
+// and a registered handler observes it like a real conflict.
+func TestFaultInjectionDelivery(t *testing.T) {
+	cfg := testConfig(1, Lazy)
+	// Armed immediately — but the CPU spends its first 100 instructions
+	// outside any transaction, so delivery must wait for the Atomic. A
+	// large AtInsn then puts the in-transaction delivery after the
+	// handler registration.
+	cfg.Faults = &FaultPlan{Violations: []FaultViolation{{CPU: 0, AtInsn: 150}}}
+	m := NewMachine(cfg)
+	var saw []Violation
+	attempts := 0
+	rep := m.Run(func(p *Proc) {
+		p.Tick(100) // the fault arms here, outside any transaction
+		p.Atomic(func(tx *Tx) {
+			attempts++ //tmlint:allow reexec -- counting re-executions is the assertion
+			tx.OnViolation(func(_ *Proc, v Violation) Decision {
+				saw = append(saw, v)
+				return Rollback
+			})
+			for i := 0; i < 100; i++ {
+				p.Tick(1) // crosses AtInsn=150 inside the transaction
+			}
+		})
+	})
+	if rep.Machine.InjectedFaults != 1 {
+		t.Fatalf("injected %d faults, want 1", rep.Machine.InjectedFaults)
+	}
+	if len(saw) != 1 {
+		t.Fatalf("handler saw %d violations, want 1", len(saw))
+	}
+	if saw[0].Addr != FaultAddr {
+		t.Errorf("handler saw addr %#x, want the FaultAddr sentinel %#x", uint64(saw[0].Addr), uint64(FaultAddr))
+	}
+	if attempts != 2 {
+		t.Errorf("transaction ran %d times, want 2 (violated once, then clean)", attempts)
+	}
+}
+
+// TestOracleFailureReportCarriesHistoryAndConfig: with OracleHistory set,
+// a CheckOracle violation must be self-contained — the report carries the
+// machine configuration and the full event interleaving. The failure is
+// manufactured by re-enabling the pre-fix non-transactional-store
+// behaviour (the PR 1 lost update).
+func TestOracleFailureReportCarriesHistoryAndConfig(t *testing.T) {
+	BugCompatNonTxStore = true
+	defer func() { BugCompatNonTxStore = false }()
+
+	cfg := testConfig(2, Eager)
+	cfg.Oracle = true
+	cfg.OracleHistory = true
+	m := NewMachine(cfg)
+	a := m.AllocLine()
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(tx *Tx) {
+				p.Store(a, 52)
+				for i := 0; i < 40; i++ {
+					p.Tick(100) // hold a in the undo log while CPU 1 stores
+				}
+				tx.Abort(44)
+			})
+		},
+		func(p *Proc) {
+			p.Tick(1000)
+			p.Store(a, 13) // committed; the buggy rollback clobbers it
+		},
+	)
+	err := m.CheckOracle()
+	if err == nil {
+		t.Fatal("oracle accepted the bug-compat lost update")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "config:") {
+		t.Errorf("report lacks the machine configuration:\n%s", msg)
+	}
+	if !strings.Contains(msg, "event history") {
+		t.Errorf("report lacks the event history:\n%s", msg)
+	}
+	// The interleaving itself must be in the report: both CPUs' accesses.
+	if !strings.Contains(msg, "nt-store") {
+		t.Errorf("report history lacks the conflicting non-transactional store:\n%s", msg)
+	}
+}

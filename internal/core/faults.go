@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"tmisa/internal/mem"
+)
+
+// FaultAddr is the reserved synthetic conflict line used when a planned
+// violation does not name a real address. It sits far above the bump
+// allocator's reach so it never collides with workload data (allocation
+// starts at 0x1_0000 and grows upward by bytes actually requested).
+const FaultAddr mem.Addr = 1 << 40
+
+// FaultViolation is one planned synthetic conflict: fault injection for
+// the violation-delivery machinery (Section 4.3/4.6) without needing a
+// second CPU to produce a real data race. The record is enqueued exactly
+// like a hardware-detected conflict — it merges into the victim's
+// xvcurrent/xvpending queue and is delivered at the next instruction
+// boundary with reporting enabled — so handler dispatch, rollback
+// targeting, validated-commit postponement, and depth virtualization all
+// see it as the real thing.
+type FaultViolation struct {
+	// CPU is the victim processor.
+	CPU int
+	// AtInsn arms the fault once the victim has retired at least this many
+	// instructions. It then fires at the victim's first instruction
+	// boundary inside a transaction (a fault armed outside any transaction
+	// is held, not dropped, so plans need not predict transaction entry
+	// cycles exactly). Instruction counts are deterministic, which makes
+	// the injection point — and the whole run — replayable.
+	AtInsn uint64
+	// Level is the 1-based nesting level whose conflict bit is raised.
+	// Zero, or a level deeper than the stack at delivery, targets the
+	// innermost active level.
+	Level int
+	// Addr is the conflicting line reported to handlers (xvaddr). Zero
+	// selects FaultAddr, a synthetic line no transaction's sets contain.
+	Addr mem.Addr
+}
+
+// FaultPlan is a deterministic schedule of injected faults for one run,
+// threaded through Config.Faults. The fuzzer (internal/tmfuzz) generates
+// plans from its case seed; tests use small hand-written plans to reach
+// paths — violations at a chosen nesting level, conflicts landing inside
+// handler windows, rollbacks of virtualized deep levels — that real
+// workload conflicts hit rarely or not at all.
+type FaultPlan struct {
+	Violations []FaultViolation
+}
+
+// forCPU returns the plan's violations for one CPU, ordered by arming
+// point (stable for equal AtInsn, preserving plan order).
+func (fp *FaultPlan) forCPU(cpu int) []FaultViolation {
+	if fp == nil {
+		return nil
+	}
+	var out []FaultViolation
+	for _, f := range fp.Violations {
+		if f.CPU == cpu {
+			out = append(out, f)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtInsn < out[j].AtInsn })
+	return out
+}
+
+// injectFaults fires every armed planned violation. Called at each
+// instruction boundary (step) before violation delivery, so an injected
+// conflict is observed at the same boundary, exactly like a conflict
+// raised by another CPU's commit in the same cycle window.
+func (p *Proc) injectFaults() {
+	for p.faultIdx < len(p.faults) {
+		f := p.faults[p.faultIdx]
+		if p.c.Instructions < f.AtInsn {
+			return
+		}
+		depth := p.stack.Depth()
+		if depth == 0 {
+			return // hold until the CPU enters a transaction
+		}
+		p.faultIdx++
+		nl := f.Level
+		if nl <= 0 || nl > depth {
+			nl = depth
+		}
+		addr := f.Addr
+		if addr == 0 {
+			addr = FaultAddr
+		}
+		p.c.InjectedFaults++
+		p.m.raiseViolation(p, []violRec{{addr: addr, mask: 1 << (nl - 1)}}, p.sp.Time())
+	}
+}

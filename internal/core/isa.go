@@ -62,13 +62,18 @@ func (p *Proc) atomic(open bool, body func(*Tx)) error {
 		outcome, reason := p.runLevel(tx, body)
 		switch outcome {
 		case outcomeCommitted:
-			p.consecRollbacks = 0
+			// Only an outermost commit means the CPU made global progress;
+			// an inner level committing while the enclosing transaction
+			// keeps getting killed must not defuse the escalation.
+			if p.stack.Depth() == 0 {
+				p.consecRollbacks = 0
+			}
 			return nil
 		case outcomeAborted:
 			return &AbortError{Reason: reason}
 		case outcomeRollback:
 			p.consecRollbacks++
-			p.backoffStall(p.m.cfg.BackoffBase * p.consecRollbacks)
+			p.backoffStall(p.backoffDelay())
 		}
 	}
 }
@@ -151,6 +156,11 @@ func (p *Proc) xbegin(open bool) *Tx {
 	tx := &Tx{p: p, level: lvl}
 	p.txs = append(p.txs, tx)
 	p.c.TxBegins++
+	if max := p.m.cfg.Cache.MaxLevels; max > 0 && lvl.NL > max {
+		// Depth virtualization: the cache metadata tracks this level on the
+		// deepest hardware level; package tm keeps precise membership.
+		p.c.VirtualizedBegins++
+	}
 	return tx
 }
 
@@ -271,12 +281,13 @@ func (p *Proc) xcommit(tx *Tx) {
 		p.violateOthers(sortedLines(lvl.WriteSet), nil)
 	}
 	if lvl.Open {
-		committed := func(w mem.Addr) uint64 {
-			if p.m.cfg.Engine == Lazy {
-				return lvl.WBuf[w]
-			}
-			return p.m.mem.Load(w) // eager: the write already landed
-		}
+		// Memory already holds every value this commit made permanent: the
+		// eager engine wrote in place, the lazy write-buffer drained above,
+		// and immediate stores landed instantly in both. Reading the buffer
+		// instead would miss imst words, which live only in the undo log —
+		// ancestors' undo entries for them would be patched to zero and a
+		// later enclosing rollback would wipe out the committed value.
+		committed := func(w mem.Addr) uint64 { return p.m.mem.Load(w) }
 		rewrites := tm.ApplyOpenCommitToAncestors(&p.stack, lvl, p.m.cfg.OpenSemantics, committed)
 		if rewrites > 0 {
 			p.chargeInsn(rewrites * CostOpenUndoSearch)
@@ -284,9 +295,10 @@ func (p *Proc) xcommit(tx *Tx) {
 		p.c.OpenCommits++
 	}
 	p.hier.CommitLevel(lvl.NL, true)
-	if p.m.cfg.Engine == Eager {
-		p.wakeStallWaiters()
-	}
+	// Both engines can have CPUs stalled on this commit: eager conflictors
+	// blocked on a validated owner, and (lazy) non-transactional stores
+	// waiting out the commit window.
+	p.wakeStallWaiters()
 	if lvl.NL == 1 {
 		// The outermost commit drains any serialization acquired early
 		// (SerializeToCommit) in addition to its own validate hold.

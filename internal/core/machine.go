@@ -54,11 +54,13 @@ func NewMachine(cfg Config) *Machine {
 		token: bus.NewToken(),
 	}
 	m.eng.MaxCycles = cfg.MaxCycles
+	m.eng.TieBreak = cfg.SchedTieBreak
 	if cfg.Oracle {
 		m.oracle = oracle.New(oracle.Config{
 			Lazy:         cfg.Engine == Lazy,
 			LineSize:     cfg.Cache.LineSize,
 			WordTracking: cfg.WordTracking,
+			KeepHistory:  cfg.OracleHistory,
 		})
 	}
 	for i := 0; i < cfg.CPUs; i++ {
@@ -162,12 +164,21 @@ func (m *Machine) SetTracer(f func(trace.Event)) { m.tracer = f }
 // dependency-graph acyclicity, serial replay of the committed reads, and
 // the final-memory sweep — against the machine's memory image. Call it
 // after Run; it returns nil when Config.Oracle is off or the history is
-// clean, and the first violation otherwise.
+// clean, and the first violation otherwise. With Config.OracleHistory
+// set, a violation report carries the machine configuration and the
+// complete event history, so the exact interleaving that produced it is
+// in the failure itself (the fuzzer prepends the seed and fault plan
+// needed to regenerate the run).
 func (m *Machine) CheckOracle() error {
 	if m.oracle == nil {
 		return nil
 	}
-	return m.oracle.Finish(m.mem)
+	err := m.oracle.Finish(m.mem)
+	if err != nil && m.cfg.OracleHistory {
+		return fmt.Errorf("%w\n--- config: %s\n--- event history (%d events):\n%s",
+			err, m.cfg.Describe(), len(m.oracle.History()), m.oracle.HistoryDump())
+	}
+	return err
 }
 
 // OracleEvents returns how many events the oracle consumed (0 when off),

@@ -46,6 +46,11 @@ type Proc struct {
 	stalled      bool
 	stallWaiters []*Proc
 
+	// faults holds this CPU's slice of the fault-injection plan, ordered
+	// by arming point; faultIdx is the next entry to fire.
+	faults   []FaultViolation
+	faultIdx int
+
 	// seqMode suppresses all transactional bookkeeping; the sequential
 	// baselines use it so they pay memory-system costs only.
 	seqMode bool
@@ -75,6 +80,7 @@ func newProc(m *Machine, id int) *Proc {
 		hier:       cache.NewHierarchy(m.cfg.Cache),
 		violReport: true,
 		seqMode:    m.cfg.Sequential,
+		faults:     m.cfg.Faults.forCPU(id),
 	}
 }
 
@@ -105,6 +111,9 @@ func (p *Proc) step(n int) {
 		return
 	}
 	p.sp.Yield()
+	if p.faultIdx < len(p.faults) {
+		p.injectFaults()
+	}
 	p.deliver()
 	p.c.Instructions += uint64(n)
 	p.sp.Advance(uint64(n))
@@ -231,13 +240,22 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 			// never displace a validated victim at all.
 			p.eagerResolve(p.line(a), true, true)
 		}
+		if !p.seqMode && p.m.cfg.Engine == Lazy && !BugCompatNonTxStore {
+			// Strong atomicity, lazy engine, commit window: a validated
+			// transaction can no longer be violated (Section 6.1), so a
+			// conflicting non-transactional store must wait out its commit
+			// and serialize after it. Storing first would let the commit's
+			// write-buffer drain clobber this store — the same lost update
+			// the eager engine had, through the other engine's window.
+			p.waitValidatedConflictors(p.line(a))
+		}
 		p.access(a, true, 0)
 		p.m.mem.Store(word, v)
 		p.emitMem(trace.NtStore, 0, word, v)
 		if !p.seqMode && (p.m.cfg.Engine == Lazy || BugCompatNonTxStore) {
 			// Strong atomicity, lazy engine: speculative writes live in
 			// write-buffers, so memory order is safe either way and
-			// violating after the store suffices.
+			// violating active speculators after the store suffices.
 			p.violateOthers([]mem.Addr{p.line(a)}, nil)
 		}
 		return
@@ -418,6 +436,37 @@ func (p *Proc) eagerResolve(line mem.Addr, isWrite, kill bool) {
 	}
 }
 
+// waitValidatedConflictors blocks until no other processor holds line in
+// a validated level's read- or write-set. Used by non-transactional
+// stores under the lazy engine: a validated transaction owns its commit
+// window, so the store must serialize after it. The caller is outside any
+// transaction, so no violation can redirect the wait.
+func (p *Proc) waitValidatedConflictors(line mem.Addr) {
+	for {
+		var stalledOn *Proc
+		for _, q := range p.m.procs {
+			if q == p {
+				continue
+			}
+			mask := q.stack.ConflictsWithLine(line, false)
+			if mask != 0 && q.hasValidatedLevel(mask) {
+				stalledOn = q
+				break
+			}
+		}
+		if stalledOn == nil {
+			return
+		}
+		start := p.sp.Time()
+		stalledOn.stallWaiters = append(stalledOn.stallWaiters, p)
+		p.stalled = true
+		p.sp.Block("stalled on validated transaction")
+		p.stalled = false
+		removeStallWaiter(stalledOn, p)
+		p.c.StallCycles += p.sp.Time() - start
+	}
+}
+
 // hasValidatedLevel reports whether any level selected by mask is
 // validated.
 func (p *Proc) hasValidatedLevel(mask uint32) bool {
@@ -495,6 +544,32 @@ func (p *Proc) dispatch(e trace.Event) {
 	if p.m.oracle != nil {
 		p.m.oracle.Event(e)
 	}
+}
+
+// backoffDelay computes the contention-management stall before a retry:
+// randomized exponential backoff, with the "random" draw a deterministic
+// mix of (cpu, attempt) so runs stay bit-identical across processes. The
+// window doubling is what breaks the orbits two contending CPUs fall
+// into (requester-wins mutual kills, or open-nested commits trading
+// kills with the lazy engine): with merely linear escalation both sides'
+// delays grow in lockstep and their relative phase drifts too slowly to
+// ever clear the conflict window, while an exponentially growing window
+// separates them in a handful of rounds. The window is capped so a single
+// stall stays far below any livelock-detection budget.
+func (p *Proc) backoffDelay() int {
+	base := p.m.cfg.BackoffBase
+	if base <= 0 {
+		return 0
+	}
+	shift := p.consecRollbacks - 1
+	if shift > 12 {
+		shift = 12
+	}
+	h := uint64(p.id)<<32 | uint64(uint32(p.consecRollbacks))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return base + int(h%(uint64(base)<<uint(shift)))
 }
 
 // backoffStall advances time without retiring instructions (contention

@@ -318,3 +318,76 @@ func TestOpenFrameAtEnd(t *testing.T) {
 		t.Fatal("dangling transaction frame accepted")
 	}
 }
+
+// TestHistoryRetention: with KeepHistory set the checker retains every
+// consumed event in order, and HistoryDump renders one line per event —
+// the payload failure reports are built from.
+func TestHistoryRetention(t *testing.T) {
+	c := New(Config{Lazy: true, LineSize: 64, KeepHistory: true})
+	events := []trace.Event{
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxStore, x, 2),
+		ev(0, trace.Commit, 0, 0),
+		ev(1, trace.NtLoad, x, 2),
+	}
+	feed(c, events...)
+	h := c.History()
+	if len(h) != len(events) {
+		t.Fatalf("history holds %d events, fed %d", len(h), len(events))
+	}
+	for i := range events {
+		if h[i] != events[i] {
+			t.Fatalf("history[%d] = %+v, fed %+v", i, h[i], events[i])
+		}
+	}
+	dump := c.HistoryDump()
+	if got := strings.Count(dump, "\n"); got != len(events) {
+		t.Fatalf("dump has %d lines, want %d:\n%s", got, len(events), dump)
+	}
+	for _, e := range events {
+		if !strings.Contains(dump, e.String()) {
+			t.Fatalf("dump lacks event %q:\n%s", e.String(), dump)
+		}
+	}
+}
+
+// TestHistoryOffByDefault: without KeepHistory nothing is retained (long
+// runs must not accumulate unbounded state).
+func TestHistoryOffByDefault(t *testing.T) {
+	c := newChecker()
+	feed(c,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxStore, x, 2),
+		ev(0, trace.Commit, 0, 0),
+	)
+	if h := c.History(); h != nil {
+		t.Fatalf("history retained %d events with KeepHistory off", len(h))
+	}
+	if d := c.HistoryDump(); d != "" {
+		t.Fatalf("HistoryDump non-empty with KeepHistory off: %q", d)
+	}
+}
+
+// TestHistorySurvivesFailure: the retained history is still complete and
+// renderable after Finish reports a violation — a failing run is exactly
+// when the dump matters.
+func TestHistorySurvivesFailure(t *testing.T) {
+	c := New(Config{Lazy: false, LineSize: 64, KeepHistory: true})
+	feed(c,
+		ev(0, trace.Begin, 0, 0),
+		ev(0, trace.TxLoad, x, 1),
+		ev(0, trace.TxStore, x, 2),
+		ev(1, trace.NtStore, x, 9),
+		ev(0, trace.Rollback, 0, 0),
+		ev(1, trace.NtLoad, x, 1), // lost update
+	)
+	if err := c.Finish(mapMem{x: 1}); err == nil {
+		t.Fatal("lost update accepted")
+	}
+	if len(c.History()) != 6 {
+		t.Fatalf("history holds %d events after failing Finish, want 6", len(c.History()))
+	}
+	if dump := c.HistoryDump(); strings.Count(dump, "\n") != 6 {
+		t.Fatalf("dump incomplete after failure:\n%s", dump)
+	}
+}

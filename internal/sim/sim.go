@@ -77,7 +77,15 @@ type Engine struct {
 	// MaxCycles, when non-zero, bounds simulated time; exceeding it panics,
 	// which catches livelock bugs in tests. Zero means unlimited.
 	MaxCycles uint64
-	running   bool
+	// TieBreak, when non-nil, chooses which CPU runs when several are tied
+	// at the minimal ready time: it receives the tied CPU ids in ascending
+	// order and returns an index into that slice (out-of-range values fall
+	// back to the default, lowest id). A deterministic TieBreak keeps runs
+	// bit-reproducible while perturbing the interleaving — the fuzzer uses
+	// it to explore schedules the default ordering would never produce.
+	TieBreak func(tied []int) int
+	tied     []int // reusable buffer for TieBreak
+	running  bool
 	// poisoned is set when the engine panics (body panic, deadlock,
 	// MaxCycles): the remaining CPU goroutines are granted one last time
 	// and unwind via a poisonedEngine panic instead of running on.
@@ -253,15 +261,33 @@ func (e *Engine) drain() {
 	}
 }
 
-// pickNext returns the ready CPU with the smallest (time, id), or nil.
+// pickNext returns the ready CPU that runs next, or nil when none is
+// ready. The rule is documented and deterministic: smallest local time
+// first, equal times broken by lowest CPU id. When Engine.TieBreak is
+// installed it picks among the time-tied CPUs instead (still
+// deterministic as long as the hook is).
 func (e *Engine) pickNext() *P {
 	var best *P
 	for _, p := range e.procs {
 		if p.state != Ready || !p.started {
 			continue
 		}
-		if best == nil || p.time < best.time {
+		if best == nil || p.time < best.time || (p.time == best.time && p.ID < best.ID) {
 			best = p
+		}
+	}
+	if best == nil || e.TieBreak == nil {
+		return best
+	}
+	e.tied = e.tied[:0]
+	for _, p := range e.procs {
+		if p.state == Ready && p.started && p.time == best.time {
+			e.tied = append(e.tied, p.ID)
+		}
+	}
+	if len(e.tied) > 1 {
+		if pick := e.TieBreak(e.tied); pick >= 0 && pick < len(e.tied) {
+			best = e.procs[e.tied[pick]]
 		}
 	}
 	return best

@@ -351,6 +351,128 @@ func TestEnginePanicDoesNotLeakGoroutines(t *testing.T) {
 	}
 }
 
+// TestTieBreakHookPicksAmongTied: with a hook installed, a time-tie is
+// resolved by the hook's index instead of the lowest-id default. Three
+// CPUs all start at time 0; a pick-the-last hook must grant them in
+// descending id order.
+func TestTieBreakHookPicksAmongTied(t *testing.T) {
+	e := NewEngine(3)
+	e.TieBreak = func(tied []int) int { return len(tied) - 1 }
+	var order []int
+	body := func(p *P) {
+		p.Yield()
+		order = append(order, p.ID)
+	}
+	e.Run([]func(*P){body, body, body})
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("grant order %v, want [2 1 0]", order)
+	}
+}
+
+// TestTieBreakReceivesAscendingIDs pins the hook's contract: it sees the
+// tied CPU ids in ascending order, and only when more than one CPU is
+// actually tied at the minimal ready time.
+func TestTieBreakReceivesAscendingIDs(t *testing.T) {
+	e := NewEngine(3)
+	var calls [][]int
+	e.TieBreak = func(tied []int) int {
+		if len(tied) < 2 {
+			t.Errorf("hook called with %d tied CPUs", len(tied))
+		}
+		for i := 1; i < len(tied); i++ {
+			if tied[i] <= tied[i-1] {
+				t.Errorf("tied ids not ascending: %v", tied)
+			}
+		}
+		calls = append(calls, append([]int(nil), tied...))
+		return 0
+	}
+	body := func(p *P) {
+		p.Yield()
+		p.Advance(uint64(p.ID + 1)) // desynchronize: no further ties
+		p.Yield()
+	}
+	e.Run([]func(*P){body, body, body})
+	if len(calls) == 0 {
+		t.Fatal("hook never called despite the all-at-zero start")
+	}
+	if got := calls[0]; len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("first tie = %v, want [0 1 2]", got)
+	}
+}
+
+// TestTieBreakOutOfRangeFallsBack: a hook returning an out-of-range index
+// must fall back to the documented default (lowest id), not panic or skew.
+func TestTieBreakOutOfRangeFallsBack(t *testing.T) {
+	for _, ret := range []int{-1, 99} {
+		e := NewEngine(3)
+		e.TieBreak = func(tied []int) int { return ret }
+		var order []int
+		body := func(p *P) {
+			p.Yield()
+			order = append(order, p.ID)
+		}
+		e.Run([]func(*P){body, body, body})
+		for i, id := range order {
+			if id != i {
+				t.Fatalf("hook returning %d: grant order %v, want [0 1 2]", ret, order)
+			}
+		}
+	}
+}
+
+// TestTieBreakNotCalledWithoutTie: a single ready CPU is granted without
+// consulting the hook.
+func TestTieBreakNotCalledWithoutTie(t *testing.T) {
+	e := NewEngine(1)
+	e.TieBreak = func(tied []int) int {
+		t.Error("hook called with no tie possible")
+		return 0
+	}
+	e.Run([]func(*P){func(p *P) {
+		for i := 0; i < 5; i++ {
+			p.Yield()
+			p.Advance(1)
+		}
+	}})
+}
+
+// TestTieBreakDeterministicReplay: a deterministic (seeded) hook keeps
+// whole runs bit-reproducible — the property fuzz replay depends on. Two
+// runs with the same hook seed must produce identical traces; a different
+// seed must be able to produce a different one.
+func TestTieBreakDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) string {
+		e := NewEngine(3)
+		s := seed
+		e.TieBreak = func(tied []int) int {
+			// splitmix64 step: deterministic, stable across Go releases.
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			return int(z % uint64(len(tied)))
+		}
+		var tr []string
+		body := func(p *P) {
+			for k := 0; k < 8; k++ {
+				p.Yield()
+				tr = append(tr, fmt.Sprintf("%d@%d", p.ID, p.Time()))
+				p.Advance(1) // all CPUs stay tied: every grant consults the hook
+			}
+		}
+		e.Run([]func(*P){body, body, body})
+		return strings.Join(tr, ",")
+	}
+	if run(7) != run(7) {
+		t.Fatal("same tie-break seed produced different traces")
+	}
+	if run(7) == run(8) {
+		t.Fatal("different tie-break seeds never diverged (hook not consulted?)")
+	}
+}
+
 // TestDrainSkipsNeverGrantedBody: a CPU goroutine that was spawned but
 // never granted before the engine panicked must not run its body during
 // the drain.

@@ -36,19 +36,23 @@ type Counters struct {
 	Overflow uint64 // transactional lines spilled to the virtualized overflow table
 
 	// Transaction outcome counts.
-	TxBegins       uint64
-	TxCommits      uint64
-	OpenCommits    uint64
-	ClosedCommits  uint64
-	Violations     uint64 // violations received (xvcurrent bits raised)
-	Rollbacks      uint64 // rollbacks actually performed (one per discarded level)
-	OuterRollbacks uint64 // unwinds that reached the outermost level
-	InnerRollbacks uint64 // unwinds contained in a nested level
-	UserAborts     uint64 // explicit xabort
-	WastedCycles   uint64 // cycles discarded by rollbacks
-	TokenWaitCycle uint64 // cycles spent waiting for the commit token
-	StallCycles    uint64 // cycles stalled on a validated conflicting transaction (eager mode)
-	BusCycles      uint64 // bus cycles consumed by this CPU's transfers
+	TxBegins uint64
+	// VirtualizedBegins counts xbegins deeper than the hardware nesting
+	// levels, whose tracking is virtualized onto the deepest level.
+	VirtualizedBegins uint64
+	TxCommits         uint64
+	OpenCommits       uint64
+	ClosedCommits     uint64
+	Violations        uint64 // violations received (xvcurrent bits raised)
+	InjectedFaults    uint64 // synthetic violations raised by the fault plan
+	Rollbacks         uint64 // rollbacks actually performed (one per discarded level)
+	OuterRollbacks    uint64 // unwinds that reached the outermost level
+	InnerRollbacks    uint64 // unwinds contained in a nested level
+	UserAborts        uint64 // explicit xabort
+	WastedCycles      uint64 // cycles discarded by rollbacks
+	TokenWaitCycle    uint64 // cycles spent waiting for the commit token
+	StallCycles       uint64 // cycles stalled on a validated conflicting transaction (eager mode)
+	BusCycles         uint64 // bus cycles consumed by this CPU's transfers
 
 	// Handler activity.
 	CommitHandlers    uint64
@@ -79,10 +83,12 @@ func (c *Counters) Add(other *Counters) {
 	c.Evicts += other.Evicts
 	c.Overflow += other.Overflow
 	c.TxBegins += other.TxBegins
+	c.VirtualizedBegins += other.VirtualizedBegins
 	c.TxCommits += other.TxCommits
 	c.OpenCommits += other.OpenCommits
 	c.ClosedCommits += other.ClosedCommits
 	c.Violations += other.Violations
+	c.InjectedFaults += other.InjectedFaults
 	c.Rollbacks += other.Rollbacks
 	c.OuterRollbacks += other.OuterRollbacks
 	c.InnerRollbacks += other.InnerRollbacks

@@ -300,6 +300,13 @@ const (
 	MossHoskingOpen
 )
 
+func (s OpenSemantics) String() string {
+	if s == PaperOpen {
+		return "paper"
+	}
+	return "moss-hosking"
+}
+
 // ApplyOpenCommitToAncestors updates every ancestor level (all levels
 // below child on the stack) for the open-nested child's commit, per the
 // selected semantics. committedValue returns the value the child made

@@ -1,0 +1,362 @@
+package tmfuzz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+	"tmisa/internal/stats"
+	"tmisa/internal/trace"
+	"tmisa/internal/txrt"
+)
+
+// Failure categories. The shrinker accepts a smaller candidate only if it
+// fails in the same category as the original.
+const (
+	CatOracle    = "oracle"
+	CatInvariant = "invariant"
+	CatPanic     = "panic"
+)
+
+// lineSize is the conflict line size of every fuzz configuration (the
+// generator and the layout both depend on it staying the default).
+const lineSize = 64
+
+// sharedBase is where the shared word pool lands: the executor's first
+// allocation from mem.New's fixed bump-allocator base. The layout is
+// asserted at run time; the generator relies on it to aim fault-plan
+// violations at real shared granules.
+const sharedBase mem.Addr = 0x1_0000
+
+// SharedAddr returns the simulated address of shared pool word w. Words
+// are packed two per cache line, so w and w^1 false-share under
+// line-granularity tracking while staying distinct under word tracking.
+func SharedAddr(w int) mem.Addr {
+	return sharedBase + mem.Addr((w/2)*lineSize+(w%2)*mem.WordSize)
+}
+
+// ignoreBudget is how many times each onviol registration may Ignore a
+// violation before falling back to Rollback (bounded so an Ignore loop
+// can never livelock a case).
+const ignoreBudget = 2
+
+// ioPayload is the byte count each IO commit handler writes.
+const ioPayload = 8
+
+// ExecResult is the verdict of one case execution.
+type ExecResult struct {
+	Report *stats.Report
+	// Category is empty on a clean run, else one of the Cat* constants.
+	Category string
+	Err      error
+}
+
+// Failed reports whether the run ended in any failure category.
+func (r *ExecResult) Failed() bool { return r.Category != "" }
+
+// exec is the per-run interpreter state.
+type exec struct {
+	prog *Program
+	mc   MachineConfig
+	m    *core.Machine
+	io   *txrt.IOSys
+	fd   int
+
+	privBase mem.Addr
+	// txStacks tracks the live Tx handle per CPU (grown on block entry,
+	// shrunk by defer even through unwind panics).
+	txStacks [][]*core.Tx
+
+	// thrWrites is the per-thread set of shared granules the thread's
+	// program can store to. The violation handler refuses to Ignore a
+	// conflict on a granule its own thread writes: under the eager engine
+	// an ignored write-set conflict lets a later rollback restore a stale
+	// undo value over another CPU's committed store.
+	thrWrites []map[mem.Addr]bool
+
+	commitRuns  map[int]int
+	abortRuns   map[int]int
+	violRuns    map[int]int
+	ignoresLeft map[int]int
+	blockRan    map[int]int
+	blockRes    map[int]error
+	ioWrites    int
+}
+
+// Execute runs one program on one machine configuration and returns the
+// verdict: oracle violations, invariant breaks, or engine panics
+// (deadlock, livelock past MaxCycles) all count as failures.
+func Execute(prog *Program, mc MachineConfig) *ExecResult {
+	res := &ExecResult{}
+	x := &exec{
+		prog:        prog,
+		mc:          mc,
+		commitRuns:  make(map[int]int),
+		abortRuns:   make(map[int]int),
+		violRuns:    make(map[int]int),
+		ignoresLeft: make(map[int]int),
+		blockRan:    make(map[int]int),
+		blockRes:    make(map[int]error),
+		txStacks:    make([][]*core.Tx, mc.CPUs),
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Category = CatPanic
+				res.Err = fmt.Errorf("tmfuzz: %v", r)
+			}
+		}()
+		x.setup()
+		bodies := make([]func(*core.Proc), len(prog.Threads))
+		for i := range prog.Threads {
+			ops := prog.Threads[i]
+			bodies[i] = func(p *core.Proc) { x.runOps(p, ops) }
+		}
+		res.Report = x.m.Run(bodies...)
+	}()
+	if res.Failed() {
+		return res
+	}
+	if err := x.m.CheckOracle(); err != nil {
+		res.Category = CatOracle
+		res.Err = err
+		return res
+	}
+	if err := x.checkInvariants(res.Report); err != nil {
+		res.Category = CatInvariant
+		res.Err = err
+	}
+	return res
+}
+
+// debugTrace, when non-nil, receives every trace event of every Execute
+// (test-only diagnostics hook).
+var debugTrace func(trace.Event)
+
+func (x *exec) setup() {
+	x.m = core.NewMachine(x.mc.CoreConfig())
+	if debugTrace != nil {
+		x.m.SetTracer(debugTrace)
+	}
+	lines := (x.prog.Words + 1) / 2
+	base := x.m.AllocAligned(lines*lineSize, lineSize)
+	if base != sharedBase {
+		panic(fmt.Sprintf("tmfuzz: shared pool landed at %#x, layout expects %#x", uint64(base), uint64(sharedBase)))
+	}
+	x.privBase = x.m.AllocAligned(x.mc.CPUs*lineSize, lineSize)
+	x.io = txrt.NewIOSys()
+	x.fd = x.io.Open("fuzz.out")
+
+	x.thrWrites = make([]map[mem.Addr]bool, len(x.prog.Threads))
+	for i, t := range x.prog.Threads {
+		x.thrWrites[i] = make(map[mem.Addr]bool)
+		x.collectWrites(t, x.thrWrites[i])
+	}
+	var initBudgets func(ops []Op)
+	initBudgets = func(ops []Op) {
+		for i := range ops {
+			if ops[i].Kind == OpOnViol {
+				x.ignoresLeft[ops[i].ID] = ignoreBudget
+			}
+			initBudgets(ops[i].Body)
+		}
+	}
+	for _, t := range x.prog.Threads {
+		initBudgets(t)
+	}
+}
+
+// granule maps an address to the run's conflict-detection granule.
+func (x *exec) granule(a mem.Addr) mem.Addr {
+	if x.mc.WordTracking {
+		return mem.WordAlign(a)
+	}
+	return mem.LineAddr(a, lineSize)
+}
+
+func (x *exec) collectWrites(ops []Op, set map[mem.Addr]bool) {
+	for i := range ops {
+		if ops[i].Kind == OpStore {
+			set[x.granule(SharedAddr(ops[i].Word))] = true
+		}
+		x.collectWrites(ops[i].Body, set)
+	}
+}
+
+func (x *exec) privAddr(cpu, slot int) mem.Addr {
+	return x.privBase + mem.Addr(cpu*lineSize+slot*mem.WordSize)
+}
+
+// tx returns the CPU's innermost live Tx handle.
+func (x *exec) tx(p *core.Proc) *core.Tx {
+	st := x.txStacks[p.ID()]
+	if len(st) == 0 {
+		panic(fmt.Sprintf("tmfuzz: cpu %d: tx-only op outside any block", p.ID()))
+	}
+	return st[len(st)-1]
+}
+
+func (x *exec) runOps(p *core.Proc, ops []Op) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpLoad:
+			p.Load(SharedAddr(op.Word))
+		case OpStore:
+			p.Store(SharedAddr(op.Word), op.Val)
+		case OpImst:
+			p.Imst(x.privAddr(p.ID(), op.Word), op.Val)
+		case OpImstid:
+			p.Imstid(x.privAddr(p.ID(), op.Word), op.Val)
+		case OpRelease:
+			p.Release(SharedAddr(op.Word))
+		case OpAbort:
+			x.tx(p).Abort(op.ID)
+		case OpOnCommit:
+			id, doIO := op.ID, op.IO
+			x.tx(p).OnCommit(func(hp *core.Proc) {
+				x.commitRuns[id]++
+				if doIO {
+					x.ioWrites++
+					x.io.SysWrite(hp, x.fd, make([]byte, ioPayload))
+				}
+			})
+		case OpOnAbort:
+			id := op.ID
+			x.tx(p).OnAbort(func(*core.Proc, any) { x.abortRuns[id]++ })
+		case OpOnViol:
+			x.tx(p).OnViolation(x.violHandler(op.ID, p.ID()))
+		case OpBlock:
+			x.runBlock(p, op)
+		default:
+			panic(fmt.Sprintf("tmfuzz: unknown op kind %q", op.Kind))
+		}
+	}
+}
+
+func (x *exec) runBlock(p *core.Proc, op *Op) {
+	cpu := p.ID()
+	body := func(t *core.Tx) {
+		x.txStacks[cpu] = append(x.txStacks[cpu], t)
+		// The pop must survive unwind panics (rollback and abort both
+		// cross this frame), hence the defer.
+		defer func() { x.txStacks[cpu] = x.txStacks[cpu][:len(x.txStacks[cpu])-1] }()
+		x.runOps(p, op.Body)
+	}
+	var err error
+	if op.Open {
+		err = p.AtomicOpen(body)
+	} else {
+		err = p.Atomic(body)
+	}
+	x.blockRan[op.ID]++
+	x.blockRes[op.ID] = err
+}
+
+// violHandler implements the generated Ignore/Rollback policy. Ignore is
+// sound only under a narrow, provable condition — the conflict hit
+// exactly the innermost level, the granule is released first (so the
+// oracle exempts the now-stale reads; generated stores only write
+// constants, so no stale value can propagate), and this thread's program
+// never stores to that granule (so no undo/write-buffer state for it can
+// survive the Ignore) — and each registration has a fixed budget so it
+// cannot livelock. Everything else rolls back.
+func (x *exec) violHandler(id, cpu int) core.ViolationHandler {
+	return func(p *core.Proc, v core.Violation) core.Decision {
+		x.violRuns[id]++
+		topBit := uint32(1) << uint(p.NestingLevel()-1)
+		if x.ignoresLeft[id] > 0 && v.Mask == topBit && v.Addr != 0 &&
+			!x.thrWrites[cpu][x.granule(v.Addr)] {
+			x.ignoresLeft[id]--
+			p.Release(v.Addr)
+			return core.Ignore
+		}
+		return core.Rollback
+	}
+}
+
+// checkInvariants compares the run record against the program's static
+// contract (see expect.go) and the I/O plumbing.
+func (x *exec) checkInvariants(rep *stats.Report) error {
+	ex := Expect(x.prog, x.mc.Flatten)
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	for _, id := range sortedKeys(ex.Commit) {
+		runs := x.commitRuns[id]
+		switch ex.Commit[id] {
+		case NeverRuns:
+			if runs != 0 {
+				fail("oncommit %d: expected never to run, ran %d time(s)", id, runs)
+			}
+		case ExactlyOnce:
+			if runs != 1 {
+				fail("oncommit %d: expected exactly once, ran %d time(s)", id, runs)
+			}
+		case AtLeastOnce:
+			if runs < 1 {
+				fail("oncommit %d: expected at least once, never ran", id)
+			}
+		}
+	}
+	for _, id := range sortedKeys(ex.AbortRuns) {
+		runs := x.abortRuns[id]
+		if ex.AbortRuns[id] && runs < 1 {
+			fail("onabort %d: expected to run, never ran", id)
+		}
+		if !ex.AbortRuns[id] && runs != 0 {
+			fail("onabort %d: expected never to run, ran %d time(s)", id, runs)
+		}
+	}
+	for _, id := range sortedKeys(ex.Blocks) {
+		ran, res := x.blockRan[id], x.blockRes[id]
+		switch ex.Blocks[id] {
+		case NotExecuted:
+			if ran != 0 {
+				fail("block %d: expected not to execute, returned %d time(s)", id, ran)
+			}
+		case Committed:
+			if ran == 0 {
+				fail("block %d: expected to commit, never returned", id)
+			} else if res != nil {
+				fail("block %d: expected to commit, got %v", id, res)
+			}
+		case AbortedBlock:
+			var abortErr *core.AbortError
+			if ran == 0 {
+				fail("block %d: expected to abort, never returned", id)
+			} else if !errors.As(res, &abortErr) {
+				fail("block %d: expected *AbortError, got %v", id, res)
+			}
+		}
+	}
+
+	if got, want := x.io.Size(x.fd), x.ioWrites*ioPayload; got != want {
+		fail("io: file holds %d bytes, commit handlers wrote %d", got, want)
+	}
+	if rep != nil && rep.Machine.Syscalls != uint64(x.ioWrites) {
+		fail("io: %d syscalls counted, %d handler writes performed", rep.Machine.Syscalls, x.ioWrites)
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("tmfuzz: %d invariant violation(s):", len(errs))
+	for _, e := range errs {
+		msg += "\n  " + e.Error()
+	}
+	return errors.New(msg)
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

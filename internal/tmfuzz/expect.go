@@ -1,0 +1,236 @@
+package tmfuzz
+
+// HandlerClass is the statically derived run-count invariant of one
+// commit-handler registration.
+type HandlerClass int
+
+const (
+	// NeverRuns: the registration is always discarded before any publish
+	// point (an abort unwinds it, or control never reaches it).
+	NeverRuns HandlerClass = iota
+	// ExactlyOnce: the registration reaches exactly one publish point on
+	// every execution — a top-level commit (directly or via a chain of
+	// closed-nested merges), or an open block at top level. Rollback
+	// retries discard and re-register, and publication is preceded by
+	// xvalidate, after which the level cannot roll back — so the count is
+	// exact even under fault injection.
+	ExactlyOnce
+	// AtLeastOnce: an open block nested inside another block publishes at
+	// its own commit, but a later rollback of the enclosing block
+	// re-executes it — the handlers run again. Only a lower bound holds.
+	AtLeastOnce
+)
+
+func (c HandlerClass) String() string {
+	switch c {
+	case NeverRuns:
+		return "never"
+	case ExactlyOnce:
+		return "exactly-once"
+	}
+	return "at-least-once"
+}
+
+// BlockOutcome is a block's statically known result. Generated programs
+// are straight-line and aborts are unconditional, so whether each block
+// commits, aborts, or never executes is decidable without running.
+type BlockOutcome int
+
+const (
+	// NotExecuted: control never reaches the block (an earlier abort in
+	// an enclosing scope cuts it off), so the interpreter records nothing.
+	NotExecuted BlockOutcome = iota
+	// Committed: the block's Atomic/AtomicOpen returns nil.
+	Committed
+	// AbortedBlock: the block returns *core.AbortError. Under Flatten
+	// this can only be the outermost block (a nested abort unwinds
+	// through the flattened inner brackets without returning).
+	AbortedBlock
+)
+
+func (o BlockOutcome) String() string {
+	switch o {
+	case NotExecuted:
+		return "not-executed"
+	case Committed:
+		return "committed"
+	}
+	return "aborted"
+}
+
+// Expectation is the full static contract of one program under one
+// nesting mode. Op IDs absent from a map belong to ops of other kinds.
+type Expectation struct {
+	// Commit classifies every oncommit registration.
+	Commit map[int]HandlerClass
+	// AbortRuns maps every onabort registration to whether its handler
+	// must run (at least once — enclosing rollbacks can re-execute the
+	// aborting path) or must never run.
+	AbortRuns map[int]bool
+	// Blocks maps every block to its outcome.
+	Blocks map[int]BlockOutcome
+	// Executed maps oncommit/onabort/abort ids control actually reaches
+	// (used to assert that NeverRuns split into "registered then
+	// discarded" versus "never registered" both count zero).
+	Executed map[int]bool
+}
+
+// Expect derives the static contract. flatten selects the conventional
+// subsumption semantics (Config.Flatten), which changes both abort scope
+// and handler ownership.
+func Expect(pr *Program, flatten bool) *Expectation {
+	ex := &Expectation{
+		Commit:    make(map[int]HandlerClass),
+		AbortRuns: make(map[int]bool),
+		Blocks:    make(map[int]BlockOutcome),
+		Executed:  make(map[int]bool),
+	}
+	// Default every id to its zero expectation so the maps are total over
+	// the relevant op kinds.
+	var collect func(ops []Op)
+	collect = func(ops []Op) {
+		for i := range ops {
+			op := &ops[i]
+			switch op.Kind {
+			case OpOnCommit:
+				ex.Commit[op.ID] = NeverRuns
+			case OpOnAbort:
+				ex.AbortRuns[op.ID] = false
+			case OpBlock:
+				ex.Blocks[op.ID] = NotExecuted
+				collect(op.Body)
+			}
+		}
+	}
+	for _, t := range pr.Threads {
+		collect(t)
+	}
+	for _, t := range pr.Threads {
+		if flatten {
+			ex.walkFlat(t)
+		} else {
+			ex.walk(t, false)
+		}
+	}
+	return ex
+}
+
+// walk evaluates one op list under precise nesting. It returns whether the
+// list aborted (its enclosing block unwinds), the commit registrations
+// still pending publication (they belong to the enclosing level), and the
+// abort registrations live on the enclosing level (direct registrations
+// plus those merged up by closed-nested commits).
+func (ex *Expectation) walk(ops []Op, inTx bool) (aborted bool, pendingCommit, liveAbort []int) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpOnCommit:
+			ex.Executed[op.ID] = true
+			pendingCommit = append(pendingCommit, op.ID)
+		case OpOnAbort:
+			ex.Executed[op.ID] = true
+			liveAbort = append(liveAbort, op.ID)
+		case OpAbort:
+			ex.Executed[op.ID] = true
+			// Tx.Abort runs the level's live abort handlers, then unwinds
+			// this level; pending commit registrations die unrun
+			// (their class stays NeverRuns).
+			for _, id := range liveAbort {
+				ex.AbortRuns[id] = true
+			}
+			return true, nil, nil
+		case OpBlock:
+			childAborted, childPending, childAbort := ex.walk(op.Body, true)
+			if childAborted {
+				// The child unwound at its own level: *AbortError from its
+				// Atomic; the enclosing list continues.
+				ex.Blocks[op.ID] = AbortedBlock
+				continue
+			}
+			ex.Blocks[op.ID] = Committed
+			publishes := op.Open || !inTx
+			switch {
+			case publishes && !inTx:
+				// Top-level commit (open or closed): the one publication
+				// point of everything merged into it.
+				for _, id := range childPending {
+					ex.Commit[id] = ExactlyOnce
+				}
+				// Abort registrations die with the committed level.
+			case publishes:
+				// Open block nested inside another block: publishes now,
+				// but an enclosing rollback re-executes it.
+				for _, id := range childPending {
+					ex.Commit[id] = AtLeastOnce
+				}
+			default:
+				// Closed-nested commit: handler stacks merge into the
+				// parent level.
+				pendingCommit = append(pendingCommit, childPending...)
+				liveAbort = append(liveAbort, childAbort...)
+			}
+		}
+	}
+	return false, pendingCommit, liveAbort
+}
+
+// walkFlat evaluates one thread under Flatten: a top-level block and
+// everything nested in it form one flat transaction owned by the
+// outermost Tx handle. Nested xbegin/xcommit degenerate to brackets, the
+// open flag is ignored, and an abort anywhere unwinds the whole region —
+// inner blocks never observe it (no *AbortError recorded for them).
+func (ex *Expectation) walkFlat(ops []Op) {
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind != OpBlock {
+			continue // non-block top-level ops carry no expectations
+		}
+		var pending []int
+		var live []int
+		aborted := ex.flatRegion(op.Body, &pending, &live)
+		if aborted {
+			ex.Blocks[op.ID] = AbortedBlock
+			// Registrations reached before the abort were discarded with
+			// the region: Commit stays NeverRuns, AbortRuns was set at the
+			// abort site.
+			continue
+		}
+		ex.Blocks[op.ID] = Committed
+		for _, id := range pending {
+			ex.Commit[id] = ExactlyOnce
+		}
+	}
+}
+
+// flatRegion walks the inside of a flattened transaction. It reports
+// whether an abort unwound the region; registration lists accumulate on
+// the single outermost level.
+func (ex *Expectation) flatRegion(ops []Op, pending, live *[]int) bool {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpOnCommit:
+			ex.Executed[op.ID] = true
+			*pending = append(*pending, op.ID)
+		case OpOnAbort:
+			ex.Executed[op.ID] = true
+			*live = append(*live, op.ID)
+		case OpAbort:
+			ex.Executed[op.ID] = true
+			for _, id := range *live {
+				ex.AbortRuns[id] = true
+			}
+			return true
+		case OpBlock:
+			// A flattened inner bracket: its body joins this region. The
+			// block records Committed only if its body completes; if the
+			// abort fires inside it, the unwind passes through and the
+			// interpreter records nothing for it.
+			if ex.flatRegion(op.Body, pending, live) {
+				return true
+			}
+			ex.Blocks[op.ID] = Committed
+		}
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package tmfuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+// prog1 wraps a single thread as a program over 4 shared words.
+func prog1(ops ...Op) *Program {
+	return &Program{Words: 4, Threads: [][]Op{ops}}
+}
+
+// TestExpectTopLevelCommit: a committing top-level block runs its commit
+// handler exactly once and its abort handler never.
+func TestExpectTopLevelCommit(t *testing.T) {
+	p := prog1(Op{Kind: OpBlock, ID: 1, Body: []Op{
+		{Kind: OpOnCommit, ID: 2},
+		{Kind: OpOnAbort, ID: 3},
+		{Kind: OpStore, ID: 4, Word: 0, Val: 7},
+	}})
+	for _, flatten := range []bool{false, true} {
+		ex := Expect(p, flatten)
+		if ex.Blocks[1] != Committed {
+			t.Errorf("flatten=%v: block = %v, want committed", flatten, ex.Blocks[1])
+		}
+		if ex.Commit[2] != ExactlyOnce {
+			t.Errorf("flatten=%v: oncommit = %v, want exactly-once", flatten, ex.Commit[2])
+		}
+		if ex.AbortRuns[3] {
+			t.Errorf("flatten=%v: onabort expected to run on a committing block", flatten)
+		}
+	}
+}
+
+// TestExpectAbortDiscardsCommitHandlers: Tx.Abort runs the live abort
+// handlers, never the pending commit handlers, and the block reports
+// *AbortError.
+func TestExpectAbortDiscardsCommitHandlers(t *testing.T) {
+	p := prog1(Op{Kind: OpBlock, ID: 1, Body: []Op{
+		{Kind: OpOnCommit, ID: 2},
+		{Kind: OpOnAbort, ID: 3},
+		{Kind: OpAbort, ID: 4},
+		{Kind: OpOnCommit, ID: 5}, // dead: after the abort
+	}})
+	ex := Expect(p, false)
+	if ex.Blocks[1] != AbortedBlock {
+		t.Fatalf("block = %v, want aborted", ex.Blocks[1])
+	}
+	if ex.Commit[2] != NeverRuns || ex.Commit[5] != NeverRuns {
+		t.Errorf("commit classes = %v/%v, want never/never", ex.Commit[2], ex.Commit[5])
+	}
+	if !ex.AbortRuns[3] {
+		t.Error("onabort registered before the abort must run")
+	}
+	if ex.Executed[5] {
+		t.Error("op after the abort marked executed")
+	}
+}
+
+// TestExpectClosedNestMergesHandlers: a closed child's commit handler
+// publishes at the top-level commit (exactly once); its abort handler
+// merges into the parent and runs if the PARENT later aborts.
+func TestExpectClosedNestMergesHandlers(t *testing.T) {
+	// Parent commits: child's handler exactly once.
+	commitCase := prog1(Op{Kind: OpBlock, ID: 1, Body: []Op{
+		{Kind: OpBlock, ID: 2, Body: []Op{{Kind: OpOnCommit, ID: 3}}},
+	}})
+	ex := Expect(commitCase, false)
+	if ex.Blocks[2] != Committed || ex.Commit[3] != ExactlyOnce {
+		t.Errorf("merged commit: block=%v class=%v, want committed/exactly-once", ex.Blocks[2], ex.Commit[3])
+	}
+	// Parent aborts after the child merged: the child's abort handler
+	// (now owned by the parent) runs; the commit handler never does.
+	abortCase := prog1(Op{Kind: OpBlock, ID: 1, Body: []Op{
+		{Kind: OpBlock, ID: 2, Body: []Op{
+			{Kind: OpOnCommit, ID: 3},
+			{Kind: OpOnAbort, ID: 4},
+		}},
+		{Kind: OpAbort, ID: 5},
+	}})
+	ex = Expect(abortCase, false)
+	if ex.Commit[3] != NeverRuns {
+		t.Errorf("merged-then-aborted oncommit = %v, want never", ex.Commit[3])
+	}
+	if !ex.AbortRuns[4] {
+		t.Error("merged onabort must run on the parent's abort")
+	}
+}
+
+// TestExpectNestedOpenPublishesAtLeastOnce: an open block inside another
+// block publishes at its own commit, but an enclosing rollback can
+// re-execute it — only a lower bound holds.
+func TestExpectNestedOpenPublishesAtLeastOnce(t *testing.T) {
+	p := prog1(Op{Kind: OpBlock, ID: 1, Body: []Op{
+		{Kind: OpBlock, ID: 2, Open: true, Body: []Op{{Kind: OpOnCommit, ID: 3}}},
+	}})
+	ex := Expect(p, false)
+	if ex.Commit[3] != AtLeastOnce {
+		t.Errorf("nested-open oncommit = %v, want at-least-once", ex.Commit[3])
+	}
+	// Under Flatten the open flag is ignored: the same program becomes one
+	// flat transaction with a single publish point.
+	ex = Expect(p, true)
+	if ex.Commit[3] != ExactlyOnce {
+		t.Errorf("flattened nested-open oncommit = %v, want exactly-once", ex.Commit[3])
+	}
+}
+
+// TestExpectInnerAbortScope: precise nesting confines an inner abort to
+// its own block (the parent continues); Flatten unwinds the whole region.
+func TestExpectInnerAbortScope(t *testing.T) {
+	p := prog1(Op{Kind: OpBlock, ID: 1, Body: []Op{
+		{Kind: OpBlock, ID: 2, Body: []Op{{Kind: OpAbort, ID: 3}}},
+		{Kind: OpOnCommit, ID: 4},
+	}})
+	ex := Expect(p, false)
+	if ex.Blocks[1] != Committed || ex.Blocks[2] != AbortedBlock {
+		t.Errorf("precise: outer=%v inner=%v, want committed/aborted", ex.Blocks[1], ex.Blocks[2])
+	}
+	if ex.Commit[4] != ExactlyOnce {
+		t.Errorf("precise: oncommit after the contained abort = %v, want exactly-once", ex.Commit[4])
+	}
+	ex = Expect(p, true)
+	if ex.Blocks[1] != AbortedBlock {
+		t.Errorf("flatten: outer = %v, want aborted (abort unwinds the region)", ex.Blocks[1])
+	}
+	if ex.Commit[4] != NeverRuns {
+		t.Errorf("flatten: oncommit = %v, want never (region unwound)", ex.Commit[4])
+	}
+	// The inner bracket never observes its own completion under Flatten.
+	if ex.Blocks[2] != NotExecuted {
+		t.Errorf("flatten: inner = %v, want not-executed (unwind passes through)", ex.Blocks[2])
+	}
+}
+
+// TestExpectAbortCutsOffLaterBlocks: a top-level straight line stops at
+// nothing, but inside a block an abort makes later sibling blocks
+// unreachable.
+func TestExpectAbortCutsOffLaterBlocks(t *testing.T) {
+	p := prog1(Op{Kind: OpBlock, ID: 1, Body: []Op{
+		{Kind: OpAbort, ID: 2},
+		{Kind: OpBlock, ID: 3, Body: []Op{{Kind: OpOnCommit, ID: 4}}},
+	}})
+	ex := Expect(p, false)
+	if ex.Blocks[3] != NotExecuted {
+		t.Errorf("block after abort = %v, want not-executed", ex.Blocks[3])
+	}
+	if ex.Commit[4] != NeverRuns {
+		t.Errorf("oncommit in unreachable block = %v, want never", ex.Commit[4])
+	}
+}
+
+// TestValidateRejectsMalformedPrograms covers the structural checks that
+// guard reproducer loading.
+func TestValidateRejectsMalformedPrograms(t *testing.T) {
+	deep := Op{Kind: OpBlock, ID: 1}
+	cur := &deep
+	for id := 2; id <= MaxDepth+1; id++ {
+		cur.Body = []Op{{Kind: OpBlock, ID: id}}
+		cur = &cur.Body[0]
+	}
+	cases := map[string]*Program{
+		"no words":       {Words: 0, Threads: [][]Op{{}}},
+		"no threads":     {Words: 2},
+		"bad shared":     prog1(Op{Kind: OpLoad, ID: 1, Word: 9}),
+		"bad private":    prog1(Op{Kind: OpImst, ID: 1, Word: PrivateWords}),
+		"tx-op outside":  prog1(Op{Kind: OpOnCommit, ID: 1}),
+		"unknown kind":   prog1(Op{Kind: "jmp", ID: 1}),
+		"duplicate ids":  prog1(Op{Kind: OpLoad, ID: 1}, Op{Kind: OpLoad, ID: 1}),
+		"nesting bounds": prog1(deep),
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestRenderGoListsEveryOp: the litmus listing names each op by id, so a
+// reproducer's listing can be read against its JSON.
+func TestRenderGoListsEveryOp(t *testing.T) {
+	p := prog1(
+		Op{Kind: OpStore, ID: 1, Word: 2, Val: 42},
+		Op{Kind: OpBlock, ID: 2, Open: true, Body: []Op{
+			{Kind: OpOnViol, ID: 3},
+			{Kind: OpRelease, ID: 4, Word: 1},
+			{Kind: OpAbort, ID: 5},
+		}},
+	)
+	out := p.RenderGo()
+	for _, want := range []string{
+		"p.Store(shared[2], 42)", "p.AtomicOpen", "tx.OnViolation",
+		"p.Release(shared[1])", "tx.Abort(5)", "// op 1", "// op 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing lacks %q:\n%s", want, out)
+		}
+	}
+}

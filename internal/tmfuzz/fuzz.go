@@ -1,0 +1,128 @@
+package tmfuzz
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Options configures one fuzzing run.
+type Options struct {
+	// Seed is the master seed; every case derives deterministically from
+	// (Seed, case index).
+	Seed uint64
+	// N bounds the number of cases (0 = unbounded; then Duration must be
+	// set).
+	N int
+	// Duration bounds wall-clock time (0 = unbounded). With Duration
+	// unset, a run's output is byte-identical across invocations.
+	Duration time.Duration
+	// CorpusDir, when non-empty, receives one reproducer JSON file per
+	// failure.
+	CorpusDir string
+	// MaxFailures stops the run early after this many failures
+	// (0 = default 5). Each failure costs a shrink, so unbounded
+	// collection of a systematic failure would burn the whole budget.
+	MaxFailures int
+	// Verbose logs every case; otherwise only periodic progress and
+	// failures are logged.
+	Verbose bool
+	// Out receives the log (default os.Stdout).
+	Out io.Writer
+}
+
+// Result summarizes one fuzzing run.
+type Result struct {
+	Cases    int
+	Failures []*Repro
+}
+
+// Run executes the fuzzing loop: derive case, execute, and on failure
+// shrink and package a reproducer. It returns an error only for
+// operational problems (unwritable corpus dir); found failures are
+// reported in the Result.
+func Run(o Options) (*Result, error) {
+	out := o.Out
+	if out == nil {
+		out = os.Stdout
+	}
+	if o.N == 0 && o.Duration == 0 {
+		return nil, fmt.Errorf("tmfuzz: either N or Duration must bound the run")
+	}
+	maxFail := o.MaxFailures
+	if maxFail == 0 {
+		maxFail = 5
+	}
+	var deadline time.Time
+	if o.Duration > 0 {
+		deadline = time.Now().Add(o.Duration)
+	}
+
+	res := &Result{}
+	for i := 0; ; i++ {
+		if o.N > 0 && i >= o.N {
+			break
+		}
+		if o.Duration > 0 && !time.Now().Before(deadline) {
+			break
+		}
+		prog, mc := DeriveCase(o.Seed, i)
+		r := Execute(prog, mc)
+		res.Cases++
+		if o.Verbose {
+			fmt.Fprintf(out, "case %d: %s  ops=%d %s\n", i, mc, prog.NumOps(), statusOf(r))
+		} else if !r.Failed() && (i+1)%100 == 0 {
+			fmt.Fprintf(out, "%d cases ok\n", i+1)
+		}
+		if !r.Failed() {
+			continue
+		}
+
+		fmt.Fprintf(out, "case %d FAILED (%s): %v\n", i, r.Category, r.Err)
+		small, smallMC, spent := Shrink(prog, mc, r.Category)
+		final := Execute(small, smallMC)
+		failure := "(failure did not reproduce after shrink)"
+		if final.Err != nil {
+			failure = final.Err.Error()
+		}
+		repro := &Repro{
+			Seed:     o.Seed,
+			Case:     i,
+			Category: r.Category,
+			Config:   smallMC,
+			Program:  small,
+			Failure:  failure,
+			Litmus:   small.RenderGo(),
+		}
+		fmt.Fprintf(out, "shrunk %d -> %d ops in %d runs; config: %s\n%s",
+			prog.NumOps(), small.NumOps(), spent, smallMC, repro.Litmus)
+		if o.CorpusDir != "" {
+			name := filepath.Join(o.CorpusDir, fmt.Sprintf("repro-seed%d-case%d.json", o.Seed, i))
+			if err := os.WriteFile(name, repro.JSON(), 0o644); err != nil {
+				return res, fmt.Errorf("tmfuzz: writing reproducer: %w", err)
+			}
+			fmt.Fprintf(out, "reproducer: %s\n", name)
+		}
+		res.Failures = append(res.Failures, repro)
+		if len(res.Failures) >= maxFail {
+			fmt.Fprintf(out, "stopping after %d failures\n", len(res.Failures))
+			break
+		}
+	}
+	fmt.Fprintf(out, "tmfuzz: %d cases, %d failure(s) (seed %d)\n", res.Cases, len(res.Failures), o.Seed)
+	return res, nil
+}
+
+func statusOf(r *ExecResult) string {
+	if !r.Failed() {
+		return "ok"
+	}
+	return "FAIL:" + r.Category
+}
+
+// Replay re-executes a reproducer and returns its verdict.
+func Replay(r *Repro) *ExecResult {
+	return Execute(r.Program, r.Config)
+}

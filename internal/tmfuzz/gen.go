@@ -1,0 +1,213 @@
+package tmfuzz
+
+import (
+	"tmisa/internal/core"
+)
+
+// rng is splitmix64: tiny, fast, and — unlike math/rand — guaranteed
+// stable across Go releases, which the replayable-seed contract depends
+// on.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// chance reports true pct% of the time.
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+// mix derives an independent stream for case i of a seed, so adjacent
+// cases share nothing.
+func mix(seed uint64, i int) uint64 {
+	r := rng{s: seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)}
+	return r.next()
+}
+
+// matrixEntry is one point of the configuration matrix every seed sweeps.
+type matrixEntry struct {
+	eager   bool
+	flatten bool
+	word    bool
+}
+
+// matrix is {lazy, eager} × {flat, nested} × {line, word}; case i runs on
+// matrix[i%8].
+var matrix = [8]matrixEntry{
+	{false, false, false},
+	{false, false, true},
+	{false, true, false},
+	{false, true, true},
+	{true, false, false},
+	{true, false, true},
+	{true, true, false},
+	{true, true, true},
+}
+
+// generator carries the per-case random stream and the running op-ID
+// counter.
+type generator struct {
+	r      rng
+	nextID int
+	words  int
+	cpus   int
+}
+
+func (g *generator) id() int {
+	g.nextID++
+	return g.nextID
+}
+
+// DeriveCase deterministically builds case i of a seed: the program and
+// the machine configuration it runs on. The matrix dimensions rotate with
+// the case index; everything else (thread count, op mix, nesting shape,
+// fault plan, tie-break perturbation, cache pressure) comes from the
+// case's own random stream.
+func DeriveCase(seed uint64, i int) (*Program, MachineConfig) {
+	g := &generator{r: rng{s: mix(seed, i)}}
+	m := matrix[i%len(matrix)]
+
+	g.cpus = 2 + g.r.intn(2) // 2 or 3 CPUs
+	g.words = 4 + g.r.intn(5)
+	prog := &Program{Words: g.words}
+	for t := 0; t < g.cpus; t++ {
+		prog.Threads = append(prog.Threads, g.genOps(0, 4+g.r.intn(9)))
+	}
+	// A program with no transactions exercises nothing; force at least one
+	// block into thread 0.
+	if !hasBlock(prog.Threads) {
+		prog.Threads[0] = append(prog.Threads[0], g.genBlock(0))
+	}
+
+	mc := MachineConfig{
+		CPUs:         g.cpus,
+		Engine:       "lazy",
+		Flatten:      m.flatten,
+		WordTracking: m.word,
+		Scheme:       "multitrack",
+		MaxLevels:    2 + g.r.intn(2), // 2 or 3 hardware levels
+		TinyCache:    g.r.chance(30),
+		// Fuzz programs open-nest freely, and TCC's commit-token progress
+		// guarantee does not survive open nesting (two outer transactions
+		// can trade open-commit kills forever), so the lazy engine needs
+		// contention backoff here just like the eager one.
+		BackoffBase: 40,
+		MaxCycles:   2_000_000,
+	}
+	if m.eager {
+		mc.Engine = "eager"
+	}
+	if g.r.chance(50) {
+		mc.Scheme = "associativity"
+	}
+	if g.r.chance(40) {
+		mc.TieBreakSeed = g.r.next() | 1 // non-zero
+	}
+	for n := g.r.intn(4); n > 0; n-- {
+		fv := core.FaultViolation{
+			CPU:    g.r.intn(g.cpus),
+			AtInsn: uint64(g.r.intn(400)),
+			Level:  g.r.intn(5), // 0 = innermost at delivery time
+		}
+		if g.r.chance(30) {
+			// Target a real shared word (the layout is deterministic, see
+			// SharedAddr) so Ignore-with-release paths see a granule that
+			// can actually sit in the victim's sets. Zero Addr means the
+			// core's out-of-band FaultAddr sentinel instead.
+			fv.Addr = SharedAddr(g.r.intn(g.words))
+			fv.Level = 0
+		}
+		mc.Faults = append(mc.Faults, fv)
+	}
+	return prog, mc
+}
+
+func hasBlock(threads [][]Op) bool {
+	for _, t := range threads {
+		for i := range t {
+			if t[i].Kind == OpBlock {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// genOps generates a straight-line op sequence at the given block depth
+// (0 = outside any transaction).
+func (g *generator) genOps(depth, n int) []Op {
+	var ops []Op
+	for len(ops) < n {
+		ops = append(ops, g.genOp(depth))
+	}
+	return ops
+}
+
+func (g *generator) genOp(depth int) Op {
+	roll := g.r.intn(100)
+	if depth == 0 {
+		// Outside a transaction: plain (non-transactional) accesses,
+		// immediate stores, and blocks. tx-only kinds are invalid here.
+		switch {
+		case roll < 40:
+			return g.genBlock(depth)
+		case roll < 60:
+			return Op{Kind: OpStore, ID: g.id(), Word: g.r.intn(g.words), Val: g.val()}
+		case roll < 80:
+			return Op{Kind: OpLoad, ID: g.id(), Word: g.r.intn(g.words)}
+		case roll < 88:
+			return Op{Kind: OpImst, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
+		case roll < 94:
+			return Op{Kind: OpImstid, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
+		default:
+			return Op{Kind: OpRelease, ID: g.id(), Word: g.r.intn(g.words)}
+		}
+	}
+	// Inside a block.
+	switch {
+	case roll < 22:
+		return Op{Kind: OpLoad, ID: g.id(), Word: g.r.intn(g.words)}
+	case roll < 46:
+		return Op{Kind: OpStore, ID: g.id(), Word: g.r.intn(g.words), Val: g.val()}
+	case roll < 62:
+		if depth < MaxDepth {
+			return g.genBlock(depth)
+		}
+		return Op{Kind: OpLoad, ID: g.id(), Word: g.r.intn(g.words)}
+	case roll < 70:
+		return Op{Kind: OpOnCommit, ID: g.id(), IO: g.r.chance(35)}
+	case roll < 76:
+		return Op{Kind: OpOnAbort, ID: g.id()}
+	case roll < 84:
+		return Op{Kind: OpOnViol, ID: g.id()}
+	case roll < 88:
+		return Op{Kind: OpRelease, ID: g.id(), Word: g.r.intn(g.words)}
+	case roll < 93:
+		return Op{Kind: OpImst, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
+	case roll < 96:
+		return Op{Kind: OpImstid, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
+	default:
+		return Op{Kind: OpAbort, ID: g.id()}
+	}
+}
+
+func (g *generator) genBlock(depth int) Op {
+	// Deeper nests get shorter bodies; a run of nested-block rolls can
+	// still reach past the hardware level count (MaxDepth > 3).
+	n := 2 + g.r.intn(6-depth)
+	return Op{
+		Kind: OpBlock,
+		ID:   g.id(),
+		Open: g.r.chance(30),
+		Body: g.genOps(depth+1, n),
+	}
+}
+
+// val returns a small distinctive constant (distinct values make oracle
+// reports and litmus listings readable).
+func (g *generator) val() uint64 { return uint64(1 + g.r.intn(99)) }

@@ -1,0 +1,265 @@
+// Package tmfuzz is a deterministic fuzzer for the transactional-memory
+// ISA: from a single seed it generates random multi-threaded transaction
+// programs (nested and open-nested blocks, handler registrations, explicit
+// aborts, early release, immediate and non-transactional accesses, and
+// commit-handler I/O), executes them across the {lazy, eager} × {flat,
+// nested} × {line, word} configuration matrix with the serializability
+// oracle attached and a fault-injection plan threaded through the run, and
+// checks a set of statically derived invariants (handler run counts and
+// block outcomes) on top of the oracle's verdict.
+//
+// On a failure, a delta-debugging shrinker minimizes the program and fault
+// plan while preserving the failure category, and the result is emitted as
+// a replayable reproducer: the seed, the exact machine configuration, the
+// (shrunk) program as JSON, and a generated Go-style litmus listing.
+//
+// Everything is deterministic: the same seed and case index always produce
+// the same program, configuration, schedule, and verdict, so any failure
+// replays bit-for-bit from its reproducer.
+package tmfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Op kinds. Ops marked "tx-only" are valid only inside a block (they need
+// a live Tx handle); the rest are valid anywhere.
+const (
+	// OpLoad / OpStore access shared word Word (transactional inside a
+	// block, non-transactional outside — the processor decides).
+	OpLoad  = "load"
+	OpStore = "store"
+	// OpImst / OpImstid are immediate stores to the executing CPU's
+	// private word Word. They bypass conflict tracking, so the generator
+	// confines them to thread-private data (imst on shared contended words
+	// breaks isolation by design, which would drown the oracle in
+	// expected noise).
+	OpImst   = "imst"
+	OpImstid = "imstid"
+	// OpRelease is the early-release instruction on shared word Word
+	// (a no-op outside a transaction).
+	OpRelease = "release"
+	// OpBlock runs Body as a transaction: Atomic, or AtomicOpen when Open.
+	OpBlock = "block"
+	// OpAbort calls Tx.Abort on the innermost block (tx-only).
+	OpAbort = "abort"
+	// OpOnCommit registers a commit handler that bumps a per-op run
+	// counter; with IO set it also writes 8 bytes to the simulated file
+	// system (tx-only).
+	OpOnCommit = "oncommit"
+	// OpOnAbort registers an abort handler that bumps a per-op run
+	// counter (tx-only).
+	OpOnAbort = "onabort"
+	// OpOnViol registers a violation handler: it Ignores a conflict (after
+	// releasing the conflicting granule) while the op's ignore budget
+	// lasts and the conflict hit only the innermost level, and Rollback
+	// otherwise (tx-only).
+	OpOnViol = "onviol"
+)
+
+// Op is one instruction of a generated program. Which fields matter
+// depends on Kind; unused fields stay zero so the JSON form is compact.
+type Op struct {
+	Kind string `json:"k"`
+	// ID is unique across the whole program; handlers, aborts, and blocks
+	// are keyed by it in run records and expectations.
+	ID int `json:"id"`
+	// Word indexes the shared pool (load/store/release) or the executing
+	// CPU's private slots (imst/imstid).
+	Word int `json:"w,omitempty"`
+	// Val is the constant stored by store/imst/imstid. Generated programs
+	// only ever store constants: no value ever flows from a load to a
+	// store, so early release and Ignore decisions can never propagate a
+	// stale value.
+	Val uint64 `json:"v,omitempty"`
+	// Open marks an open-nested block.
+	Open bool `json:"open,omitempty"`
+	// IO makes an oncommit handler perform simulated file output.
+	IO bool `json:"io,omitempty"`
+	// Body is the block's contents.
+	Body []Op `json:"body,omitempty"`
+}
+
+// PrivateWords is the number of per-CPU private words available to
+// imst/imstid ops.
+const PrivateWords = 2
+
+// MaxDepth bounds static block nesting in generated programs (deep enough
+// to exceed the 3 hardware levels and exercise depth virtualization).
+const MaxDepth = 5
+
+// Program is one generated test case: a pool of shared words and one
+// straight-line op list per thread (thread i runs on CPU i).
+type Program struct {
+	// Words is the shared pool size. Words are laid out two per cache
+	// line, so adjacent indices false-share under line-granularity
+	// conflict detection.
+	Words   int    `json:"words"`
+	Threads [][]Op `json:"threads"`
+}
+
+// Clone deep-copies the program (the shrinker mutates candidates freely).
+func (pr *Program) Clone() *Program {
+	out := &Program{Words: pr.Words, Threads: make([][]Op, len(pr.Threads))}
+	for i, t := range pr.Threads {
+		out.Threads[i] = cloneOps(t)
+	}
+	return out
+}
+
+func cloneOps(ops []Op) []Op {
+	if ops == nil {
+		return nil
+	}
+	out := make([]Op, len(ops))
+	copy(out, ops)
+	for i := range out {
+		out[i].Body = cloneOps(out[i].Body)
+	}
+	return out
+}
+
+// NumOps counts every op in the program, blocks included.
+func (pr *Program) NumOps() int {
+	n := 0
+	for _, t := range pr.Threads {
+		n += countOps(t)
+	}
+	return n
+}
+
+func countOps(ops []Op) int {
+	n := 0
+	for i := range ops {
+		n += 1 + countOps(ops[i].Body)
+	}
+	return n
+}
+
+// txOnly reports whether the op kind needs a live Tx handle.
+func txOnly(kind string) bool {
+	switch kind {
+	case OpAbort, OpOnCommit, OpOnAbort, OpOnViol:
+		return true
+	}
+	return false
+}
+
+// Validate checks structural well-formedness: known kinds, in-range word
+// indices, tx-only ops inside blocks, nesting within MaxDepth, and unique
+// op IDs. Loaded reproducers are validated before execution.
+func (pr *Program) Validate() error {
+	if pr.Words <= 0 {
+		return fmt.Errorf("tmfuzz: program has no shared words")
+	}
+	if len(pr.Threads) == 0 {
+		return fmt.Errorf("tmfuzz: program has no threads")
+	}
+	seen := make(map[int]bool)
+	for ti, t := range pr.Threads {
+		if err := pr.validateOps(ti, t, 0, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (pr *Program) validateOps(ti int, ops []Op, depth int, seen map[int]bool) error {
+	for i := range ops {
+		op := &ops[i]
+		if seen[op.ID] {
+			return fmt.Errorf("tmfuzz: thread %d: duplicate op id %d", ti, op.ID)
+		}
+		seen[op.ID] = true
+		switch op.Kind {
+		case OpLoad, OpStore, OpRelease:
+			if op.Word < 0 || op.Word >= pr.Words {
+				return fmt.Errorf("tmfuzz: thread %d op %d: shared word %d out of range [0,%d)", ti, op.ID, op.Word, pr.Words)
+			}
+		case OpImst, OpImstid:
+			if op.Word < 0 || op.Word >= PrivateWords {
+				return fmt.Errorf("tmfuzz: thread %d op %d: private word %d out of range [0,%d)", ti, op.ID, op.Word, PrivateWords)
+			}
+		case OpBlock:
+			if depth >= MaxDepth {
+				return fmt.Errorf("tmfuzz: thread %d op %d: block nesting exceeds %d", ti, op.ID, MaxDepth)
+			}
+			if err := pr.validateOps(ti, op.Body, depth+1, seen); err != nil {
+				return err
+			}
+		case OpAbort, OpOnCommit, OpOnAbort, OpOnViol:
+			if depth == 0 {
+				return fmt.Errorf("tmfuzz: thread %d op %d: %s outside any block", ti, op.ID, op.Kind)
+			}
+		default:
+			return fmt.Errorf("tmfuzz: thread %d op %d: unknown kind %q", ti, op.ID, op.Kind)
+		}
+	}
+	return nil
+}
+
+// MarshalIndentJSON renders the program as stable, human-diffable JSON.
+func (pr *Program) MarshalIndentJSON() []byte {
+	b, err := json.MarshalIndent(pr, "", "  ")
+	if err != nil {
+		panic(err) // the model is plain data; marshalling cannot fail
+	}
+	return b
+}
+
+// RenderGo renders the program as a Go-style litmus listing: what the
+// interpreter executes, written as the equivalent hand-coded test body.
+// It is documentation for humans debugging a reproducer, not compiled.
+func (pr *Program) RenderGo() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %d shared words (2 per cache line), %d thread(s)\n", pr.Words, len(pr.Threads))
+	for ti, t := range pr.Threads {
+		fmt.Fprintf(&b, "// CPU %d:\nfunc(p *core.Proc) {\n", ti)
+		renderOps(&b, t, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func renderOps(b *strings.Builder, ops []Op, indent int) {
+	pad := strings.Repeat("\t", indent)
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpLoad:
+			fmt.Fprintf(b, "%sp.Load(shared[%d]) // op %d\n", pad, op.Word, op.ID)
+		case OpStore:
+			fmt.Fprintf(b, "%sp.Store(shared[%d], %d) // op %d\n", pad, op.Word, op.Val, op.ID)
+		case OpImst:
+			fmt.Fprintf(b, "%sp.Imst(private[%d], %d) // op %d\n", pad, op.Word, op.Val, op.ID)
+		case OpImstid:
+			fmt.Fprintf(b, "%sp.Imstid(private[%d], %d) // op %d\n", pad, op.Word, op.Val, op.ID)
+		case OpRelease:
+			fmt.Fprintf(b, "%sp.Release(shared[%d]) // op %d\n", pad, op.Word, op.ID)
+		case OpAbort:
+			fmt.Fprintf(b, "%stx.Abort(%d) // op %d\n", pad, op.ID, op.ID)
+		case OpOnCommit:
+			note := ""
+			if op.IO {
+				note = " + SysWrite(fd, 8 bytes)"
+			}
+			fmt.Fprintf(b, "%stx.OnCommit(count(%d)%s) // op %d\n", pad, op.ID, note, op.ID)
+		case OpOnAbort:
+			fmt.Fprintf(b, "%stx.OnAbort(count(%d)) // op %d\n", pad, op.ID, op.ID)
+		case OpOnViol:
+			fmt.Fprintf(b, "%stx.OnViolation(releaseThenIgnoreOrRollback(%d)) // op %d\n", pad, op.ID, op.ID)
+		case OpBlock:
+			call := "p.Atomic"
+			if op.Open {
+				call = "p.AtomicOpen"
+			}
+			fmt.Fprintf(b, "%s%s(func(tx *core.Tx) { // op %d\n", pad, call, op.ID)
+			renderOps(b, op.Body, indent+1)
+			fmt.Fprintf(b, "%s})\n", pad)
+		default:
+			fmt.Fprintf(b, "%s// unknown op %+v\n", pad, *op)
+		}
+	}
+}

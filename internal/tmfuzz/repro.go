@@ -1,0 +1,129 @@
+package tmfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tmisa/internal/cache"
+	"tmisa/internal/core"
+)
+
+// MachineConfig is the serializable machine description of one fuzz case:
+// everything core.Config needs, in a JSON-stable form, so a reproducer
+// replays on the exact configuration that failed.
+type MachineConfig struct {
+	CPUs         int    `json:"cpus"`
+	Engine       string `json:"engine"` // "lazy" | "eager"
+	Flatten      bool   `json:"flatten,omitempty"`
+	WordTracking bool   `json:"wordTracking,omitempty"`
+	Scheme       string `json:"scheme"` // "multitrack" | "associativity"
+	MaxLevels    int    `json:"maxLevels"`
+	// TinyCache shrinks the hierarchy to a few lines per set (L1 512 B
+	// 2-way, L2 2 KB 4-way) so generated footprints hit capacity limits
+	// and drive overflow virtualization.
+	TinyCache   bool   `json:"tinyCache,omitempty"`
+	BackoffBase int    `json:"backoffBase,omitempty"`
+	MaxCycles   uint64 `json:"maxCycles"`
+	// TieBreakSeed, when non-zero, seeds the scheduler's tie-break
+	// perturbation (zero keeps the default lowest-id order).
+	TieBreakSeed uint64 `json:"tieBreakSeed,omitempty"`
+	// Faults is the deterministic fault-injection plan (may be empty).
+	Faults []core.FaultViolation `json:"faults,omitempty"`
+}
+
+// String is the compact case label used in logs and failure reports.
+func (mc MachineConfig) String() string {
+	nest := "nested"
+	if mc.Flatten {
+		nest = "flat"
+	}
+	gran := "line"
+	if mc.WordTracking {
+		gran = "word"
+	}
+	return fmt.Sprintf("%s/%s/%s cpus=%d levels=%d tiny=%v tiebreak=%d faults=%d",
+		mc.Engine, nest, gran, mc.CPUs, mc.MaxLevels, mc.TinyCache, mc.TieBreakSeed, len(mc.Faults))
+}
+
+// CoreConfig materializes the core.Config for one run, with the oracle
+// attached and history retention on (fuzz runs are short by construction).
+func (mc MachineConfig) CoreConfig() core.Config {
+	cc := cache.DefaultConfig()
+	if mc.Scheme == "associativity" {
+		cc.Scheme = cache.Associativity
+	}
+	if mc.MaxLevels > 0 {
+		cc.MaxLevels = mc.MaxLevels
+	}
+	if mc.TinyCache {
+		cc.L1Bytes, cc.L1Ways = 512, 2
+		cc.L2Bytes, cc.L2Ways = 2048, 4
+	}
+	cfg := core.Config{
+		CPUs:          mc.CPUs,
+		Cache:         cc,
+		Flatten:       mc.Flatten,
+		WordTracking:  mc.WordTracking,
+		BackoffBase:   mc.BackoffBase,
+		MaxCycles:     mc.MaxCycles,
+		Oracle:        true,
+		OracleHistory: true,
+	}
+	if mc.Engine == "eager" {
+		cfg.Engine = core.Eager
+	}
+	if len(mc.Faults) > 0 {
+		cfg.Faults = &core.FaultPlan{Violations: append([]core.FaultViolation(nil), mc.Faults...)}
+	}
+	if mc.TieBreakSeed != 0 {
+		r := rng{s: mc.TieBreakSeed}
+		cfg.SchedTieBreak = func(tied []int) int { return r.intn(len(tied)) }
+	}
+	return cfg
+}
+
+// Repro is a replayable failure: everything needed to regenerate the run
+// without the generator — the (possibly shrunk) program and the exact
+// machine configuration — plus the generator coordinates it came from and
+// the failure text.
+type Repro struct {
+	// Seed and Case locate the original (pre-shrink) case in the
+	// generator's space: DeriveCase(Seed, Case).
+	Seed uint64 `json:"seed"`
+	Case int    `json:"case"`
+	// Category is the failure class ("oracle", "invariant", "panic"); the
+	// shrinker preserved it while minimizing.
+	Category string        `json:"category"`
+	Config   MachineConfig `json:"config"`
+	Program  *Program      `json:"program"`
+	Failure  string        `json:"failure"`
+	// Litmus is the generated Go-style listing of Program, for humans.
+	Litmus string `json:"litmus"`
+}
+
+// JSON renders the reproducer deterministically.
+func (r *Repro) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// LoadRepro parses and validates a reproducer.
+func LoadRepro(data []byte) (*Repro, error) {
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("tmfuzz: bad reproducer: %w", err)
+	}
+	if r.Program == nil {
+		return nil, fmt.Errorf("tmfuzz: reproducer has no program")
+	}
+	if err := r.Program.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Config.CPUs <= 0 || r.Config.CPUs < len(r.Program.Threads) {
+		return nil, fmt.Errorf("tmfuzz: reproducer config has %d CPUs for %d threads", r.Config.CPUs, len(r.Program.Threads))
+	}
+	return &r, nil
+}

@@ -1,0 +1,183 @@
+package tmfuzz
+
+import "tmisa/internal/core"
+
+// The shrinker is a greedy delta-debugger: starting from a failing case it
+// repeatedly tries structurally smaller candidates — whole threads
+// emptied, single ops (with their subtrees) removed, blocks unwrapped into
+// their bodies, fault-plan entries dropped, scheduler and cache
+// perturbations disabled — and keeps any candidate that still fails in
+// the same category. It runs to a fixpoint or until the execution budget
+// is spent, whichever comes first. Everything is deterministic: candidate
+// order is fixed, so the same failure always shrinks to the same
+// reproducer.
+
+// ShrinkBudget bounds how many candidate executions one shrink may spend.
+const ShrinkBudget = 400
+
+// opPath addresses one op: {thread, index, index, ...} descending through
+// Body slices.
+type opPath []int
+
+// Shrink minimizes a failing (program, config) pair while preserving the
+// failure category. It returns the minimized pair and the number of
+// candidate executions spent.
+func Shrink(prog *Program, mc MachineConfig, category string) (*Program, MachineConfig, int) {
+	cur := prog.Clone()
+	curMC := mc
+	curMC.Faults = append([]core.FaultViolation(nil), mc.Faults...)
+
+	runs := 0
+	check := func(cand *Program, candMC MachineConfig) bool {
+		if runs >= ShrinkBudget {
+			return false
+		}
+		runs++
+		if cand.Validate() != nil {
+			return false
+		}
+		return Execute(cand, candMC).Category == category
+	}
+
+	for improved := true; improved && runs < ShrinkBudget; {
+		improved = false
+
+		// Empty whole threads (thread count stays fixed: CPU ids anchor
+		// the fault plan and the schedule).
+		for t := range cur.Threads {
+			if len(cur.Threads[t]) == 0 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Threads[t] = nil
+			if check(cand, curMC) {
+				cur, improved = cand, true
+			}
+		}
+
+		// Drop fault-plan entries.
+		for i := 0; i < len(curMC.Faults); {
+			candMC := curMC
+			candMC.Faults = append(append([]core.FaultViolation(nil), curMC.Faults[:i]...), curMC.Faults[i+1:]...)
+			if check(cur, candMC) {
+				curMC, improved = candMC, true
+			} else {
+				i++
+			}
+		}
+
+		// Remove single ops (with their subtrees). Paths are applied in
+		// reverse pre-order, so a successful removal never invalidates a
+		// path still to be tried.
+		paths := collectPaths(cur, nil)
+		for i := len(paths) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			if !removeAt(cand, paths[i]) {
+				continue
+			}
+			if check(cand, curMC) {
+				cur, improved = cand, true
+			}
+		}
+
+		// Unwrap blocks: replace a block with its body. Direct children
+		// that need a Tx handle are dropped when the block sat at top
+		// level (its body lands outside any transaction).
+		paths = collectPaths(cur, func(op *Op) bool { return op.Kind == OpBlock })
+		for i := len(paths) - 1; i >= 0; i-- {
+			cand := cur.Clone()
+			if !unwrapAt(cand, paths[i]) {
+				continue
+			}
+			if check(cand, curMC) {
+				cur, improved = cand, true
+			}
+		}
+
+		// Disable configuration perturbations that turned out irrelevant.
+		if curMC.TieBreakSeed != 0 {
+			candMC := curMC
+			candMC.TieBreakSeed = 0
+			if check(cur, candMC) {
+				curMC, improved = candMC, true
+			}
+		}
+		if curMC.TinyCache {
+			candMC := curMC
+			candMC.TinyCache = false
+			if check(cur, candMC) {
+				curMC, improved = candMC, true
+			}
+		}
+	}
+	return cur, curMC, runs
+}
+
+// collectPaths lists op paths in pre-order, optionally filtered.
+func collectPaths(pr *Program, keep func(*Op) bool) []opPath {
+	var out []opPath
+	var walk func(ops []Op, prefix opPath)
+	walk = func(ops []Op, prefix opPath) {
+		for i := range ops {
+			path := append(append(opPath(nil), prefix...), i)
+			if keep == nil || keep(&ops[i]) {
+				out = append(out, path)
+			}
+			walk(ops[i].Body, path)
+		}
+	}
+	for t := range pr.Threads {
+		walk(pr.Threads[t], opPath{t})
+	}
+	return out
+}
+
+// locate resolves a path to its containing slice and index, or nil on a
+// stale path.
+func locate(pr *Program, path opPath) (*[]Op, int) {
+	if len(path) < 2 || path[0] < 0 || path[0] >= len(pr.Threads) {
+		return nil, 0
+	}
+	list := &pr.Threads[path[0]]
+	for _, idx := range path[1 : len(path)-1] {
+		if idx < 0 || idx >= len(*list) {
+			return nil, 0
+		}
+		list = &(*list)[idx].Body
+	}
+	last := path[len(path)-1]
+	if last < 0 || last >= len(*list) {
+		return nil, 0
+	}
+	return list, last
+}
+
+func removeAt(pr *Program, path opPath) bool {
+	list, i := locate(pr, path)
+	if list == nil {
+		return false
+	}
+	*list = append((*list)[:i], (*list)[i+1:]...)
+	return true
+}
+
+func unwrapAt(pr *Program, path opPath) bool {
+	list, i := locate(pr, path)
+	if list == nil || (*list)[i].Kind != OpBlock {
+		return false
+	}
+	body := (*list)[i].Body
+	if len(path) == 2 {
+		// The body lands at top level: tx-only direct children lose their
+		// Tx handle and must go (nested blocks keep theirs).
+		kept := body[:0]
+		for j := range body {
+			if !txOnly(body[j].Kind) {
+				kept = append(kept, body[j])
+			}
+		}
+		body = kept
+	}
+	*list = append((*list)[:i], append(body, (*list)[i+1:]...)...)
+	return true
+}

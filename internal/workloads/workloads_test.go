@@ -377,6 +377,31 @@ func TestWorkloadsOnMultitrackScheme(t *testing.T) {
 	}
 }
 
+// TestOracleIsPureObservation: attaching the oracle must not perturb the
+// simulation — cycle counts and every machine counter stay identical with
+// and without it. EXPERIMENTS.md asserts this ("pure observation"); this
+// test enforces it, so oracle-checked runs measure the same machine the
+// figures report.
+func TestOracleIsPureObservation(t *testing.T) {
+	for _, mk := range []func() Workload{
+		func() Workload { return DefaultMP3D() },
+		func() Workload { return DefaultJBB(JBBOpen) },
+	} {
+		plain := Execute(mk(), core.DefaultConfig(), 8)
+		cfg := core.DefaultConfig()
+		cfg.Oracle = true
+		cfg.OracleHistory = true
+		checked := Execute(mk(), cfg, 8)
+		if plain.TotalCycles != checked.TotalCycles {
+			t.Errorf("%s: oracle changed cycles: %d -> %d", mk().Name(), plain.TotalCycles, checked.TotalCycles)
+		}
+		if plain.Machine != checked.Machine {
+			t.Errorf("%s: oracle changed machine counters:\nplain:   %+v\nchecked: %+v",
+				mk().Name(), plain.Machine, checked.Machine)
+		}
+	}
+}
+
 // TestGoldenCycleCounts pins exact simulated cycle counts for the default
 // configurations. The simulator is fully deterministic (including across
 // processes: no Go map iteration order reaches simulated behaviour), so
