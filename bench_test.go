@@ -13,10 +13,12 @@ package tmisa_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"tmisa/internal/cache"
 	"tmisa/internal/core"
+	"tmisa/internal/runner"
 	"tmisa/internal/tm"
 	"tmisa/internal/workloads"
 )
@@ -247,6 +249,55 @@ func BenchmarkNestingDepth(b *testing.B) {
 				cycles = rep.TotalCycles
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkEngineHotPath guards the simulator's per-instruction fast
+// paths (the sim.Yield no-rendezvous path, the cache's speculative-line
+// lists, the memory page cache, and the TCB's lazy map allocation): a
+// transaction-dense kernel whose ns/op and allocs/op regress if any of
+// them is lost. Simulated cycle counts are pinned elsewhere (the runner
+// baseline test); this benchmark watches host-side cost only.
+func BenchmarkEngineHotPath(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.CPUs = 4
+		m := core.NewMachine(cfg)
+		line := m.AllocLine()
+		worker := func(p *core.Proc) {
+			for k := 0; k < 300; k++ {
+				p.Atomic(func(tx *core.Tx) {
+					p.Store(line, p.Load(line)+1)
+					p.Atomic(func(inner *core.Tx) {
+						p.Tick(10)
+						p.Store(line, p.Load(line)+1)
+					})
+				})
+			}
+		}
+		m.Run(worker, worker, worker, worker)
+	}
+}
+
+// BenchmarkParallelHarness measures the worker-pool runner end to end on
+// the depth experiment's 8-cell matrix, at one worker and at the host's
+// CPU count: the tentpole's wall-clock win (on multi-core hosts) and the
+// sharding overhead (on any host) both show up here.
+func BenchmarkParallelHarness(b *testing.B) {
+	exp, ok := runner.Find("depth")
+	if !ok {
+		b.Fatal("depth experiment missing")
+	}
+	ctx := runner.Context{CPUs: 8}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(exp.Cells(ctx), workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -3,316 +3,98 @@
 // reports. See DESIGN.md for the experiment index and EXPERIMENTS.md for
 // paper-vs-measured numbers.
 //
+// The experiment matrices are defined in internal/runner and sharded
+// across worker goroutines (-parallel); each cell simulates on its own
+// isolated machine and tables are assembled in matrix order, so the
+// output is byte-identical at every parallelism level. Alongside the
+// human tables, each experiment writes its metrics as
+// BENCH_<exp>.json (-benchdir; see EXPERIMENTS.md for the schema).
+//
 // Usage:
 //
 //	experiments                 # run everything
 //	experiments -exp figure5    # one experiment: overheads, figure5, io,
 //	                            # condsync, schemes, engines, opensem, depth
+//
+// Exit codes: 0 on success, 1 when a cell fails (workload verification,
+// oracle violation, I/O error), 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
-	"tmisa/internal/cache"
-	"tmisa/internal/core"
-	"tmisa/internal/stats"
-	"tmisa/internal/tm"
-	"tmisa/internal/workloads"
+	"tmisa/internal/runner"
 )
 
-// withOracle mirrors the -oracle flag: attach the serializability and
-// strong-atomicity checker to every workload run. condsync and the
-// opensem litmus are excepted — both are deliberately non-serializable
-// (the scheduler communicates through released reads and ignored
-// violations; the litmus demonstrates an atomicity anomaly).
-var withOracle bool
-
-// baseConfig is the paper's default platform plus the -oracle flag.
-func baseConfig() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Oracle = withOracle
-	return cfg
-}
-
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, overheads, figure5, io, condsync, schemes, engines, opensem, depth, granularity)")
-	cpus := flag.Int("cpus", 8, "CPU count for figure5-style experiments")
-	oracle := flag.Bool("oracle", false, "oracle-check every workload run (panics on a violation; condsync/opensem excepted)")
-	flag.Parse()
-	withOracle = *oracle
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	run := map[string]func(int){
-		"overheads":   overheads,
-		"figure5":     figure5,
-		"io":          ioScaling,
-		"condsync":    condSync,
-		"schemes":     schemes,
-		"engines":     engines,
-		"opensem":     openSemantics,
-		"depth":       depth,
-		"granularity": granularity,
-		"scaling":     scaling,
+// run is the whole command, factored so tests can invoke it in-process
+// and assert on output and exit codes.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run (all, overheads, figure5, io, condsync, schemes, engines, opensem, depth, granularity, scaling)")
+	cpus := fs.Int("cpus", 8, "CPU count for figure5-style experiments")
+	oracle := fs.Bool("oracle", false, "oracle-check every workload run (fails the run on a violation; condsync/opensem excepted)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines to shard each experiment's cell matrix over")
+	benchdir := fs.String("benchdir", ".", "directory for machine-readable BENCH_<exp>.json results (empty disables)")
+	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	var names []string
 	if *exp == "all" {
-		for _, name := range []string{"overheads", "figure5", "io", "condsync", "schemes", "engines", "opensem", "depth", "granularity", "scaling"} {
-			fmt.Printf("==== %s ====\n", name)
-			run[name](*cpus)
-			fmt.Println()
+		names = runner.Order
+	} else {
+		if _, ok := runner.Find(*exp); !ok {
+			fmt.Fprintf(stderr, "experiments: unknown experiment %q\n", *exp)
+			return 2
 		}
-		return
+		names = []string{*exp}
 	}
-	f, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-	f(*cpus)
-}
 
-// scientific returns the Figure 5 workload suite in the paper's order.
-func scientific() []workloads.Workload {
-	return []workloads.Workload{
-		workloads.DefaultBarnes(),
-		workloads.DefaultFMM(),
-		workloads.DefaultMoldyn(),
-		workloads.DefaultMP3D(),
-		workloads.DefaultSwim(),
-		workloads.DefaultTomcatv(),
-		workloads.DefaultWater(),
-		workloads.DefaultJBB(workloads.JBBClosed),
-		workloads.DefaultJBB(workloads.JBBOpen),
-	}
-}
-
-// overheads reproduces the Section 7 instruction-count constants by
-// measuring them on the live machine.
-func overheads(int) {
-	fmt.Println("Section 7 software-convention overheads (instructions):")
-	fmt.Printf("  transaction start (TCB allocation): %d (paper: 6)\n", core.CostXBegin)
-	fmt.Printf("  commit without handlers:            %d (paper: 10)\n", core.CostValidate+core.CostCommit)
-	fmt.Printf("  rollback without handlers:          %d (paper: 6)\n", core.CostRollback)
-	fmt.Printf("  handler registration:               %d (paper: 9)\n", core.CostRegisterHandler)
-
-	// Measure an empty transaction end to end.
-	m := core.NewMachine(core.Config{CPUs: 1})
-	var insns uint64
-	m.Run(func(p *core.Proc) {
-		before := p.Counters().Instructions
-		p.Atomic(func(tx *core.Tx) {})
-		insns = p.Counters().Instructions - before
-	})
-	fmt.Printf("  measured empty transaction:         %d instructions\n", insns)
-}
-
-// figure5 reproduces Figure 5: speedup of full nesting support over
-// flattening at 8 CPUs, annotated with the speedup over sequential.
-func figure5(cpus int) {
-	table := stats.NewTable(
-		fmt.Sprintf("Figure 5: nesting vs flattening, %d CPUs (annotation = nested over sequential)", cpus),
-		"overFlat", "overSeq", "flatOverSeq")
-	for _, w := range scientific() {
-		row := workloads.MeasureFigure5(w, baseConfig(), cpus)
-		table.Set(row.Name, row.SpeedupOverFlat, row.SpeedupOverSeq, row.FlatOverSeq)
-	}
-	fmt.Print(table)
-	fmt.Println("paper anchors: mp3d 4.93x over flattening; SPECjbb2000 flat 1.92x over seq,")
-	fmt.Println("closed +2.05x (3.94x seq), open +2.22x (4.25x seq)")
-}
-
-// ioScaling reproduces the Section 7.2 transactional-I/O scalability
-// series (Figure 6 analogue).
-func ioScaling(int) {
-	tx, serial := workloads.MeasureIOScaling([]int{1, 2, 4, 8, 16}, baseConfig())
-	fmt.Println("Transactional I/O scalability (speedup over 1 CPU) by CPU count:")
-	fmt.Print(tx)
-	fmt.Print(serial)
-}
-
-// condSync reproduces the conditional-scheduling benchmark (Figure 7
-// analogue): watch/retry vs polling on a fixed CPU budget.
-func condSync(int) {
-	const cpuBudget = 5
-	watch, poll := workloads.MeasureCondSyncScaling([]int{2, 4, 8, 16}, cpuBudget, core.DefaultConfig())
-	fmt.Printf("Conditional scheduling throughput (work items/kcycle) on %d CPUs by pair count:\n", cpuBudget)
-	fmt.Print(watch)
-	fmt.Print(poll)
-}
-
-// schemes is ablation A1: the multi-tracking vs associativity nesting
-// schemes of Section 6.3.
-func schemes(cpus int) {
-	table := stats.NewTable("Nesting-scheme ablation (cycles, nested runs)", "associativity", "multitrack", "ratio")
-	for _, mk := range []func() workloads.Workload{
-		func() workloads.Workload { return workloads.DefaultMP3D() },
-		func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBClosed) },
-	} {
-		cfgA := baseConfig()
-		cfgA.Cache.Scheme = cache.Associativity
-		repA := workloads.Execute(mk(), cfgA, cpus)
-
-		cfgM := baseConfig()
-		cfgM.Cache.Scheme = cache.Multitrack
-		repM := workloads.Execute(mk(), cfgM, cpus)
-
-		table.Set(mk().Name(), float64(repA.TotalCycles), float64(repM.TotalCycles),
-			float64(repM.TotalCycles)/float64(repA.TotalCycles))
-	}
-	fmt.Print(table)
-}
-
-// engines is ablation A2: lazy (TCC write-buffer) vs eager (undo-log).
-// The SPECjbb2000 variants are excluded: under the eager engine's
-// requester-wins conflict resolution the warehouse's hot structures
-// thrash pathologically without software contention management — exactly
-// the motivation the paper gives for violation handlers (Section 3).
-func engines(cpus int) {
-	table := stats.NewTable("Engine ablation (cycles, nested runs)", "lazy", "eager", "eager/lazy")
-	for _, w := range scientific()[:7] {
-		lazyCfg := baseConfig()
-		repL := workloads.Execute(cloneWorkload(w), lazyCfg, cpus)
-
-		eagerCfg := baseConfig()
-		eagerCfg.Engine = core.Eager
-		repE := workloads.Execute(cloneWorkload(w), eagerCfg, cpus)
-
-		table.Set(w.Name(), float64(repL.TotalCycles), float64(repE.TotalCycles),
-			float64(repE.TotalCycles)/float64(repL.TotalCycles))
-	}
-	fmt.Print(table)
-}
-
-// cloneWorkload builds a fresh instance with the same defaults (workload
-// state is per-run).
-func cloneWorkload(w workloads.Workload) workloads.Workload {
-	switch w.Name() {
-	case "barnes":
-		return workloads.DefaultBarnes()
-	case "fmm":
-		return workloads.DefaultFMM()
-	case "moldyn":
-		return workloads.DefaultMoldyn()
-	case "mp3d":
-		return workloads.DefaultMP3D()
-	case "swim":
-		return workloads.DefaultSwim()
-	case "tomcatv":
-		return workloads.DefaultTomcatv()
-	case "water":
-		return workloads.DefaultWater()
-	case "SPECjbb2000-closed":
-		return workloads.DefaultJBB(workloads.JBBClosed)
-	case "SPECjbb2000-open":
-		return workloads.DefaultJBB(workloads.JBBOpen)
-	}
-	panic("unknown workload " + w.Name())
-}
-
-// openSemantics is ablation A3: this paper's open-nesting semantics vs
-// Moss-Hosking set trimming, demonstrating the atomicity anomaly.
-func openSemantics(int) {
-	run := func(sem tm.OpenSemantics) (rollbacks uint64) {
-		cfg := core.DefaultConfig()
-		cfg.CPUs = 2
-		cfg.OpenSemantics = sem
-		m := core.NewMachine(cfg)
-		shared := m.AllocLine()
-		m.Run(
-			func(p *core.Proc) {
-				p.Atomic(func(tx *core.Tx) {
-					p.Load(shared)
-					//tmlint:allow nesting -- the experiment measures the Moss/Hosking anomaly itself
-					p.AtomicOpen(func(open *core.Tx) { p.Store(shared, 42) })
-					p.Tick(4000)
-				})
-				rollbacks = p.Counters().Rollbacks
-			},
-			func(p *core.Proc) {
-				p.Tick(1500)
-				p.Atomic(func(tx *core.Tx) { p.Store(shared, 7) })
-			},
-		)
-		return rollbacks
-	}
-	paper := run(tm.PaperOpen)
-	moss := run(tm.MossHoskingOpen)
-	fmt.Println("Open-nesting semantics litmus (parent reads a line its open child writes;")
-	fmt.Println("a third-party transaction then commits a conflicting write):")
-	fmt.Printf("  paper semantics:        parent violated %d time(s)  (conflict detected)\n", paper)
-	fmt.Printf("  Moss-Hosking semantics: parent violated %d time(s)  (read-set trimmed: anomaly)\n", moss)
-}
-
-// depth is ablation A4: nesting-depth sensitivity against the hardware
-// level budget (paper: 2-3 levels are the common case).
-func depth(int) {
-	fmt.Println("Nesting-depth sweep (mp3d-style kernel nested to depth D, cycles):")
-	s := &stats.Series{Name: "depth -> cycles (3 hardware levels, deeper levels virtualized)"}
-	for d := 1; d <= 8; d++ {
-		cfg := baseConfig()
-		cfg.CPUs = 4
-		m := core.NewMachine(cfg)
-		ctr := m.AllocLine()
-		worker := func(p *core.Proc) {
-			for i := 0; i < 20; i++ {
-				var rec func(level int)
-				rec = func(level int) {
-					p.Atomic(func(tx *core.Tx) {
-						p.Tick(40)
-						if level < d {
-							rec(level + 1)
-						} else {
-							p.Store(ctr, p.Load(ctr)+1)
-						}
-					})
-				}
-				rec(1)
+	ctx := runner.Context{CPUs: *cpus, Oracle: *oracle}
+	for _, name := range names {
+		e, _ := runner.Find(name)
+		if *exp == "all" {
+			fmt.Fprintf(stdout, "==== %s ====\n", name)
+		}
+		cells := e.Cells(ctx)
+		var progress func(done, total int)
+		if !*quiet {
+			progress = func(done, total int) {
+				fmt.Fprintf(stderr, "%s: %d/%d cells\n", name, done, total)
 			}
 		}
-		rep := m.Run(worker, worker, worker, worker)
-		s.Add(fmt.Sprintf("%d", d), float64(rep.TotalCycles))
-	}
-	fmt.Print(s)
-}
-
-// granularity is ablation A5: line- vs word-granularity conflict
-// detection (Section 6.3.1's per-word R/W bits) on a false-sharing-prone
-// configuration: mp3d with all collision cells packed into a few lines.
-func granularity(cpus int) {
-	table := stats.NewTable("Conflict-granularity ablation", "line-cycles", "word-cycles", "line-viol", "word-viol")
-	for _, mk := range []func() workloads.Workload{
-		func() workloads.Workload { return workloads.DefaultMP3D() },
-		func() workloads.Workload { return workloads.DefaultMoldyn() },
-	} {
-		lineCfg := baseConfig()
-		repLine := workloads.Execute(mk(), lineCfg, cpus)
-
-		wordCfg := baseConfig()
-		wordCfg.WordTracking = true
-		repWord := workloads.Execute(mk(), wordCfg, cpus)
-
-		table.Set(mk().Name(),
-			float64(repLine.TotalCycles), float64(repWord.TotalCycles),
-			float64(repLine.Machine.Violations), float64(repWord.Machine.Violations))
-	}
-	fmt.Print(table)
-	fmt.Println("word tracking removes line-granularity false sharing; same-word conflicts remain")
-}
-
-// scaling sweeps CPU count (the paper's platform supports up to 16) for
-// the nested versions of the headline workloads, reporting speedup over
-// sequential: the bars' scalability context for Figure 5.
-func scaling(int) {
-	for _, mk := range []func() workloads.Workload{
-		func() workloads.Workload { return workloads.DefaultMP3D() },
-		func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBOpen) },
-	} {
-		seq := workloads.ExecuteSequential(mk(), baseConfig())
-		s := &stats.Series{Name: mk().Name() + ": nested speedup over sequential by CPU count"}
-		for _, cpus := range []int{1, 2, 4, 8, 16} {
-			rep := workloads.Execute(mk(), baseConfig(), cpus)
-			s.Add(fmt.Sprintf("%d", cpus), float64(seq.TotalCycles)/float64(rep.TotalCycles))
+		start := time.Now()
+		res, err := runner.Run(cells, *parallel, progress)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Print(s)
+		e.Render(ctx, res, stdout)
+		if *benchdir != "" {
+			bf := runner.NewBenchFile(name, ctx, *parallel, res, time.Since(start))
+			if _, err := bf.Write(*benchdir); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 1
+			}
+		}
+		if *exp == "all" {
+			fmt.Fprintln(stdout)
+		}
 	}
+	return 0
 }

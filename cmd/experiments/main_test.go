@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tmisa/internal/runner"
+)
+
+// runOnce runs the command in-process and returns its stdout plus the
+// canonicalized BENCH_*.json files it wrote, keyed by file name.
+func runOnce(t *testing.T, exp string, parallel int) (string, map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	args := []string{"-exp", exp, "-parallel", strconv.Itoa(parallel), "-benchdir", dir, "-q"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("run(%v) = %d, want 0; stderr:\n%s", args, code, errb.String())
+	}
+	bench := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "BENCH_") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon, err := runner.Canonicalize(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		bench[e.Name()] = string(canon)
+	}
+	if len(bench) == 0 {
+		t.Fatalf("run(%v) wrote no BENCH_*.json files", args)
+	}
+	return out.String(), bench
+}
+
+// compareRuns fails the test if two runs differ in stdout or in any
+// canonicalized bench file.
+func compareRuns(t *testing.T, what, outA, outB string, benchA, benchB map[string]string) {
+	t.Helper()
+	if outA != outB {
+		t.Errorf("%s: stdout differs\n--- A ---\n%s--- B ---\n%s", what, outA, outB)
+	}
+	if len(benchA) != len(benchB) {
+		t.Fatalf("%s: bench file sets differ: %d vs %d files", what, len(benchA), len(benchB))
+	}
+	for name, a := range benchA {
+		b, ok := benchB[name]
+		if !ok {
+			t.Errorf("%s: %s missing from second run", what, name)
+			continue
+		}
+		if a != b {
+			t.Errorf("%s: %s differs (canonicalized)\n--- A ---\n%s\n--- B ---\n%s", what, name, a, b)
+		}
+	}
+}
+
+// TestParallelismDeterminism checks the tentpole's core property: for
+// every experiment, -parallel 1 and -parallel 8 produce byte-identical
+// tables and byte-identical BENCH_*.json (modulo the wall-clock fields
+// Canonicalize strips).
+func TestParallelismDeterminism(t *testing.T) {
+	for _, name := range runner.Order {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out1, bench1 := runOnce(t, name, 1)
+			out8, bench8 := runOnce(t, name, 8)
+			compareRuns(t, name+": p1 vs p8", out1, out8, bench1, bench8)
+		})
+	}
+}
+
+// TestRepeatDeterminism checks that two runs at the same parallelism are
+// identical too (no hidden global state across runs).
+func TestRepeatDeterminism(t *testing.T) {
+	outA, benchA := runOnce(t, "all", 8)
+	outB, benchB := runOnce(t, "all", 8)
+	compareRuns(t, "all: run A vs run B at p8", outA, outB, benchA, benchB)
+}
+
+// TestExitCodes pins the command's exit-code contract: 2 for usage
+// errors (unknown experiment, bad flags, stray arguments), 1 for
+// failures while running, 0 for success.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown exp", []string{"-exp", "no-such-experiment"}, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"stray args", []string{"-exp", "overheads", "extra"}, 2},
+		{"unwritable benchdir", []string{"-exp", "overheads", "-q", "-benchdir", "/nonexistent-dir/sub"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d; stderr:\n%s", tc.args, got, tc.want, errb.String())
+			}
+		})
+	}
+}
+
+// TestSuccessExitCode runs the cheapest experiment end to end.
+func TestSuccessExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-exp", "overheads", "-q", "-benchdir", t.TempDir()}
+	if got := run(args, &out, &errb); got != 0 {
+		t.Fatalf("run(%v) = %d, want 0; stderr:\n%s", args, got, errb.String())
+	}
+	if !strings.Contains(out.String(), "measured empty transaction") {
+		t.Errorf("overheads output missing measured line:\n%s", out.String())
+	}
+}

@@ -111,6 +111,12 @@ type line struct {
 	// folded into the parent level (lazy merging); the next access pays a
 	// one-cycle read-modify-write fix-up.
 	mergePending bool
+
+	// listed marks a line currently on its level's spec list (see
+	// level.spec). It is intentionally NOT cleared by clearTx: a cleared
+	// line may still sit on the list as a stale entry until the next gang
+	// operation compacts it away.
+	listed bool
 }
 
 func (l *line) speculative() bool {
@@ -130,6 +136,14 @@ type level struct {
 	setShift uint
 	setMask  mem.Addr
 	lruTick  uint64
+
+	// spec lists every line slot that may hold transactional metadata
+	// (superset: stale entries are compacted by the next gang operation).
+	// Commit and rollback gang operations walk this list instead of every
+	// set and way, making their cost proportional to the transaction's
+	// footprint rather than the cache size — the dominant cost of
+	// transaction-dense workloads before this existed.
+	spec []*line
 }
 
 func newLevel(bytes, ways, lineSize int) *level {
@@ -143,10 +157,21 @@ func newLevel(bytes, ways, lineSize int) *level {
 	}
 	l := &level{setShift: log2(lineSize), setMask: mem.Addr(nsets - 1)}
 	l.sets = make([][]line, nsets)
+	backing := make([]line, lines) // one allocation for all ways of all sets
 	for i := range l.sets {
-		l.sets[i] = make([]line, ways)
+		l.sets[i], backing = backing[:ways:ways], backing[ways:]
 	}
 	return l
+}
+
+// noteSpec puts l on the spec list unless it is already there. Every code
+// path that sets transactional metadata on a line must call it; gang
+// operations rely on the invariant that a speculative line is listed.
+func (lv *level) noteSpec(l *line) {
+	if !l.listed {
+		l.listed = true
+		lv.spec = append(lv.spec, l)
+	}
 }
 
 func log2(v int) uint {
@@ -263,10 +288,18 @@ func (h *Hierarchy) Access(a mem.Addr, write bool, nl int) AccessResult {
 		res.Latency += uint64(h.cfg.L2Latency)
 		if l2line := h.l2.lookup(lineAddr); l2line != nil {
 			res.HitL2 = true
-			// Promote into L1, preserving transactional metadata.
+			// Promote into L1, preserving transactional metadata. The spec
+			// listing is a property of the slot, not of the copied
+			// contents: keep the target's own flag, then list it if the
+			// promoted metadata is speculative.
 			l = h.fill(h.l1, lineAddr, &res)
+			wasListed := l.listed
 			*l = *l2line
 			l.tag, l.valid = lineAddr, true
+			l.listed = wasListed
+			if l.speculative() {
+				h.l1.noteSpec(l)
+			}
 		} else {
 			res.Latency += uint64(h.cfg.MemLatency)
 			res.BusBytes = h.cfg.LineSize
@@ -345,6 +378,7 @@ func (h *Hierarchy) mark(lineAddr mem.Addr, l *line, write bool, nl int, res *Ac
 			l.r = true
 		}
 	}
+	h.l1.noteSpec(l) // mark only ever touches L1-resident lines
 }
 
 // CommitResult reports the cost of a commit or rollback gang operation.
@@ -371,17 +405,14 @@ func (h *Hierarchy) CommitLevel(nl int, open bool) CommitResult {
 	var res CommitResult
 	closedMerge := !open && nl > 1
 	for _, lv := range []*level{h.l1, h.l2} {
-		for si := range lv.sets {
-			for wi := range lv.sets[si] {
-				l := &lv.sets[si][wi]
-				if !l.valid {
-					continue
-				}
+		kept := lv.spec[:0]
+		for _, l := range lv.spec {
+			if l.valid {
 				switch h.cfg.Scheme {
 				case Multitrack:
 					bit := uint32(1) << (nl - 1)
 					if l.rmask&bit == 0 && l.wmask&bit == 0 {
-						continue
+						break
 					}
 					if closedMerge {
 						down := uint32(1) << (nl - 2)
@@ -403,7 +434,7 @@ func (h *Hierarchy) CommitLevel(nl int, open bool) CommitResult {
 					}
 				case Associativity:
 					if l.nl != nl {
-						continue
+						break
 					}
 					if closedMerge {
 						// If an NL = nl-1 version exists in the set, merge
@@ -426,7 +457,13 @@ func (h *Hierarchy) CommitLevel(nl int, open bool) CommitResult {
 					}
 				}
 			}
+			if l.valid && l.speculative() {
+				kept = append(kept, l)
+			} else {
+				l.listed = false
+			}
 		}
+		lv.spec = kept
 	}
 	return res
 }
@@ -453,12 +490,9 @@ func (h *Hierarchy) RollbackLevel(nl int) {
 		nl = h.cfg.MaxLevels
 	}
 	for _, lv := range []*level{h.l1, h.l2} {
-		for si := range lv.sets {
-			for wi := range lv.sets[si] {
-				l := &lv.sets[si][wi]
-				if !l.valid {
-					continue
-				}
+		kept := lv.spec[:0]
+		for _, l := range lv.spec {
+			if l.valid {
 				switch h.cfg.Scheme {
 				case Multitrack:
 					bit := uint32(1) << (nl - 1)
@@ -475,19 +509,29 @@ func (h *Hierarchy) RollbackLevel(nl int) {
 					}
 				}
 			}
+			if l.valid && l.speculative() {
+				kept = append(kept, l)
+			} else {
+				l.listed = false
+			}
 		}
+		lv.spec = kept
 	}
 }
 
 // ClearAll drops all transactional metadata (used when a CPU switches
-// software threads).
+// software threads). Unlike the per-level gang operations it sweeps the
+// whole cache: it also clears mergePending on lines that left the spec
+// list at their outermost commit but still owe the lazy-merge fix-up.
 func (h *Hierarchy) ClearAll() {
 	for _, lv := range []*level{h.l1, h.l2} {
 		for si := range lv.sets {
 			for wi := range lv.sets[si] {
 				lv.sets[si][wi].clearTx()
+				lv.sets[si][wi].listed = false
 			}
 		}
+		lv.spec = lv.spec[:0]
 	}
 }
 

@@ -51,6 +51,12 @@ type Memory struct {
 
 	// brk is the bump-allocation frontier used by Alloc.
 	brk Addr
+
+	// lastIdx/lastPage cache the most recently touched page (a one-entry
+	// TLB): simulated accesses are strongly local, so most loads and
+	// stores skip the page-map lookup entirely.
+	lastIdx  Addr
+	lastPage *page
 }
 
 // New returns an empty memory whose allocator starts at a fixed base
@@ -65,10 +71,16 @@ func New() *Memory {
 
 func (m *Memory) pageFor(a Addr, create bool) *page {
 	idx := a >> pageShift
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
 	p := m.pages[idx]
 	if p == nil && create {
 		p = new(page)
 		m.pages[idx] = p
+	}
+	if p != nil {
+		m.lastIdx, m.lastPage = idx, p
 	}
 	return p
 }

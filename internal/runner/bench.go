@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BenchSchema is the version of the BENCH_<exp>.json layout. Bump it when
+// fields change meaning so the baseline test can refuse stale files.
+const BenchSchema = 1
+
+// BenchFile is the machine-readable result of one experiment run: the
+// per-cell metrics plus the provenance needed to compare runs (git SHA,
+// config fingerprint). All fields except the wall-clock ones and
+// Parallel are deterministic for a given source tree.
+type BenchFile struct {
+	Schema     int    `json:"schema"`
+	Experiment string `json:"experiment"`
+	// GitSHA is the commit the binary was built from ("" outside a git
+	// checkout).
+	GitSHA string `json:"git_sha"`
+	// Config fingerprints the platform knobs the cells ran under (see
+	// core.Config.Describe).
+	Config string `json:"config"`
+	CPUs   int    `json:"cpus"`
+	// Parallel is the worker count the matrix was sharded over. It does
+	// not affect any deterministic field — that is what the determinism
+	// tests verify.
+	Parallel int `json:"parallel"`
+	// TotalWallNS is the host time for the whole experiment
+	// (nondeterministic).
+	TotalWallNS int64     `json:"total_wall_ns"`
+	Cells       []Metrics `json:"cells"`
+}
+
+// NewBenchFile assembles the bench record for one experiment run.
+func NewBenchFile(exp string, ctx Context, parallel int, res []Metrics, totalWall time.Duration) BenchFile {
+	return BenchFile{
+		Schema:      BenchSchema,
+		Experiment:  exp,
+		GitSHA:      GitSHA(),
+		Config:      ctx.base().Describe(),
+		CPUs:        ctx.CPUs,
+		Parallel:    parallel,
+		TotalWallNS: totalWall.Nanoseconds(),
+		Cells:       res,
+	}
+}
+
+// Write stores the record as BENCH_<experiment>.json in dir and returns
+// the path.
+func (b BenchFile) Write(dir string) (string, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+b.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Canonicalize strips the nondeterministic fields (wall-clock times,
+// worker count, git SHA) from a serialized BenchFile so two runs can be
+// compared byte-for-byte. It returns re-marshaled canonical JSON.
+func Canonicalize(data []byte) ([]byte, error) {
+	var b BenchFile
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("runner: canonicalize: %w", err)
+	}
+	b.GitSHA = ""
+	b.Parallel = 0
+	b.TotalWallNS = 0
+	for i := range b.Cells {
+		b.Cells[i].WallNS = 0
+	}
+	return json.MarshalIndent(b, "", "  ")
+}
+
+var (
+	gitSHAOnce sync.Once
+	gitSHA     string
+)
+
+// GitSHA returns the HEAD commit of the working tree, or "" when git (or
+// a repository) is unavailable. The lookup runs once per process.
+func GitSHA() string {
+	gitSHAOnce.Do(func() {
+		out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+		if err == nil {
+			gitSHA = strings.TrimSpace(string(out))
+		}
+	})
+	return gitSHA
+}

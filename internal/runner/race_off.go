@@ -1,0 +1,7 @@
+//go:build !race
+
+package runner
+
+// raceEnabled reports whether the binary was built with the race
+// detector, whose 10-20x slowdown would trip wall-clock gates.
+const raceEnabled = false

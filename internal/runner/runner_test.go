@@ -1,0 +1,159 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunMatrixOrder checks that results come back in cell order, not
+// completion order, at several parallelism levels.
+func TestRunMatrixOrder(t *testing.T) {
+	cells := make([]Cell, 20)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{Label: fmt.Sprintf("cell-%d", i), Run: func() Metrics {
+			return Metrics{Cycles: uint64(i)}
+		}}
+	}
+	for _, parallel := range []int{1, 4, 32} {
+		res, err := Run(cells, parallel, nil)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, m := range res {
+			if m.Cycles != uint64(i) || m.Label != fmt.Sprintf("cell-%d", i) {
+				t.Fatalf("parallel=%d: results[%d] = {%s %d}, out of matrix order", parallel, i, m.Label, m.Cycles)
+			}
+		}
+	}
+}
+
+// TestRunPanicBecomesError checks that a panicking cell (a workload
+// verification or oracle failure) surfaces as an error naming the first
+// failing cell in matrix order, after the other cells completed.
+func TestRunPanicBecomesError(t *testing.T) {
+	ran := make([]bool, 4)
+	cells := []Cell{
+		{Label: "ok-0", Run: func() Metrics { ran[0] = true; return Metrics{} }},
+		{Label: "boom", Run: func() Metrics { ran[1] = true; panic("oracle: not serializable") }},
+		{Label: "ok-2", Run: func() Metrics { ran[2] = true; return Metrics{} }},
+		{Label: "boom-late", Run: func() Metrics { ran[3] = true; panic("second failure") }},
+	}
+	_, err := Run(cells, 2, nil)
+	if err == nil {
+		t.Fatal("Run returned nil error for a panicking cell")
+	}
+	if !strings.Contains(err.Error(), "cell 1 (boom)") || !strings.Contains(err.Error(), "not serializable") {
+		t.Errorf("error should name the first failing cell and cause, got: %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("cell %d never ran; one failure must not cancel the pool", i)
+		}
+	}
+}
+
+// TestRunProgress checks the progress callback fires once per cell with
+// monotonically increasing counts.
+func TestRunProgress(t *testing.T) {
+	cells := make([]Cell, 7)
+	for i := range cells {
+		cells[i] = Cell{Label: "c", Run: func() Metrics { return Metrics{} }}
+	}
+	var seen []int
+	_, err := Run(cells, 3, func(done, total int) {
+		if total != len(cells) {
+			t.Errorf("progress total = %d, want %d", total, len(cells))
+		}
+		seen = append(seen, done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("progress fired %d times, want %d", len(seen), len(cells))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress counts %v not monotonic", seen)
+		}
+	}
+}
+
+// TestCanonicalize checks that runs differing only in nondeterministic
+// fields canonicalize to identical bytes, and that deterministic drift
+// survives canonicalization.
+func TestCanonicalize(t *testing.T) {
+	mk := func(wall int64, parallel int, cycles uint64) []byte {
+		bf := NewBenchFile("depth", Context{CPUs: 8}, parallel,
+			[]Metrics{{Label: "depth-1", Cycles: cycles, WallNS: wall}}, time.Duration(wall))
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, err := Canonicalize(mk(12345, 1, 777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(mk(99999, 8, 777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonicalized forms differ despite identical deterministic fields:\n%s\n%s", a, b)
+	}
+	c, err := Canonicalize(mk(12345, 1, 778))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("canonicalization erased a real cycle-count difference")
+	}
+}
+
+// TestExperimentCellLabelsStable pins each experiment's matrix size and
+// first/last labels: the baseline format and render code both index
+// results positionally, so accidental reordering must fail loudly.
+func TestExperimentCellLabelsStable(t *testing.T) {
+	ctx := Context{CPUs: 8}
+	want := map[string]struct {
+		n           int
+		first, last string
+	}{
+		"overheads":   {1, "empty-tx", "empty-tx"},
+		"figure5":     {9, "barnes", "SPECjbb2000-open"},
+		"io":          {10, "io-transactional/1", "io-serialized/16"},
+		"condsync":    {8, "condsync-watch-retry-2pairs", "condsync-polling-16pairs"},
+		"schemes":     {4, "mp3d/associativity", "SPECjbb2000-closed/multitrack"},
+		"engines":     {14, "barnes/lazy", "water/eager"},
+		"opensem":     {2, "paper", "moss-hosking"},
+		"depth":       {8, "depth-1", "depth-8"},
+		"granularity": {4, "mp3d/line", "moldyn/word"},
+		"scaling":     {12, "mp3d/seq", "SPECjbb2000-open/16"},
+	}
+	if len(want) != len(Order) {
+		t.Fatalf("test covers %d experiments, registry has %d", len(want), len(Order))
+	}
+	for _, name := range Order {
+		e, ok := Find(name)
+		if !ok {
+			t.Fatalf("Find(%q) failed", name)
+		}
+		cells := e.Cells(ctx)
+		w := want[name]
+		if len(cells) != w.n {
+			t.Errorf("%s: %d cells, want %d", name, len(cells), w.n)
+			continue
+		}
+		if cells[0].Label != w.first || cells[len(cells)-1].Label != w.last {
+			t.Errorf("%s: labels [%s ... %s], want [%s ... %s]",
+				name, cells[0].Label, cells[len(cells)-1].Label, w.first, w.last)
+		}
+	}
+}

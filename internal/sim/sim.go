@@ -137,15 +137,54 @@ func (p *P) Advance(n uint64) { p.time += n }
 // Yield returns control to the engine and blocks until the CPU is again
 // the earliest ready runner. Call it before every operation that touches
 // shared simulator state.
+//
+// Fast path: when the caller would be re-granted immediately — it is
+// still the unique earliest ready runner under the documented rule — the
+// channel rendezvous (two blocking channel operations plus two goroutine
+// switches per simulated instruction) is skipped entirely. The check
+// reproduces pickNext's decision exactly, so the schedule, and therefore
+// every simulated cycle count, is bit-identical with and without it. The
+// slow path is kept for ties under an installed TieBreak hook and for the
+// MaxCycles/poison exits, which must unwind through the engine.
 func (p *P) Yield() {
 	if p.eng.poisoned {
 		panic(poisonedEngine{})
+	}
+	if p.eng.yieldFast(p) {
+		return
 	}
 	p.eng.step <- stepMsg{id: p.ID}
 	<-p.grant
 	if p.eng.poisoned {
 		panic(poisonedEngine{})
 	}
+}
+
+// yieldFast reports whether p may keep running without an engine
+// round-trip: pickNext would choose p again, and no engine-side exit
+// (MaxCycles) is due. Only the currently granted CPU calls it, so reading
+// the other CPUs' state is race-free (they are parked in Yield/Block).
+func (e *Engine) yieldFast(p *P) bool {
+	if !e.running || (e.MaxCycles != 0 && p.time > e.MaxCycles) {
+		return false
+	}
+	tied := false
+	for _, q := range e.procs {
+		if q == p || q.state != Ready || !q.started {
+			continue
+		}
+		if q.time < p.time || (q.time == p.time && q.ID < p.ID) {
+			return false
+		}
+		if q.time == p.time {
+			tied = true
+		}
+	}
+	if tied && e.TieBreak != nil {
+		return false
+	}
+	e.now = p.time
+	return true
 }
 
 // Block marks the CPU as waiting (with a human-readable reason for

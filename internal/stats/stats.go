@@ -7,9 +7,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Counters accumulates the per-CPU event counts of one simulation run.
@@ -181,12 +183,17 @@ func (s *Series) String() string {
 }
 
 // Table collects named rows of named columns, used to print figure/table
-// reproductions in a stable order.
+// reproductions in a stable order. Methods are safe for concurrent use:
+// the parallel experiment runner may assemble rows from several
+// goroutines (though the canonical pattern — collect metrics first, then
+// build the table in matrix order on one goroutine — never races).
 type Table struct {
 	Name    string
 	Columns []string
-	rows    map[string][]float64
-	order   []string
+
+	mu    sync.Mutex
+	rows  map[string][]float64
+	order []string
 }
 
 // NewTable creates a table with the given column headers.
@@ -196,6 +203,11 @@ func NewTable(name string, columns ...string) *Table {
 
 // Set stores the values for a row, creating it on first use.
 func (t *Table) Set(row string, values ...float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rows == nil {
+		t.rows = make(map[string][]float64)
+	}
 	if _, ok := t.rows[row]; !ok {
 		t.order = append(t.order, row)
 	}
@@ -203,10 +215,18 @@ func (t *Table) Set(row string, values ...float64) {
 }
 
 // Get returns the values of a row.
-func (t *Table) Get(row string) []float64 { return t.rows[row] }
+func (t *Table) Get(row string) []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rows[row]
+}
 
 // Rows returns the row labels in insertion order.
-func (t *Table) Rows() []string { return append([]string(nil), t.order...) }
+func (t *Table) Rows() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
 
 // SortedRows returns the row labels sorted lexicographically.
 func (t *Table) SortedRows() []string {
@@ -217,6 +237,8 @@ func (t *Table) SortedRows() []string {
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", t.Name)
 	w := len("workload")
@@ -238,4 +260,51 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// tableJSON is the wire form of Table: rows as an ordered list, because
+// insertion order is part of the table's meaning (paper order, not
+// lexicographic) and JSON objects would lose it.
+type tableJSON struct {
+	Name    string         `json:"name"`
+	Columns []string       `json:"columns"`
+	Rows    []tableRowJSON `json:"rows"`
+}
+
+type tableRowJSON struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON encodes the table with rows in insertion order.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := tableJSON{Name: t.Name, Columns: t.Columns}
+	for _, r := range t.order {
+		out.Rows = append(out.Rows, tableRowJSON{Label: r, Values: t.rows[r]})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a table produced by MarshalJSON, preserving row
+// order.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Name = in.Name
+	t.Columns = in.Columns
+	t.rows = make(map[string][]float64, len(in.Rows))
+	t.order = nil
+	for _, r := range in.Rows {
+		if _, dup := t.rows[r.Label]; !dup {
+			t.order = append(t.order, r.Label)
+		}
+		t.rows[r.Label] = r.Values
+	}
+	return nil
 }

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTableStringFormatting pins the exact rendered layout: the label
+// column widens to the longest row (minimum "workload" width), values
+// print as %12.3f, and rows stay in insertion order.
+func TestTableStringFormatting(t *testing.T) {
+	tb := NewTable("Title line", "colA", "colB")
+	tb.Set("zz-last-but-first", 1, 2.5)
+	tb.Set("a", 3.14159, 0)
+	want := strings.Join([]string{
+		"Title line",
+		"  " + fmt.Sprintf("%-17s", "") + "  " + fmt.Sprintf("%12s", "colA") + "  " + fmt.Sprintf("%12s", "colB"),
+		"  zz-last-but-first         1.000         2.500",
+		"  a                         3.142         0.000",
+		"",
+	}, "\n")
+	if got := tb.String(); got != want {
+		t.Errorf("String():\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestTableStringShortLabels checks the minimum label width (len
+// "workload") holds when all rows are shorter.
+func TestTableStringShortLabels(t *testing.T) {
+	tb := NewTable("T", "c")
+	tb.Set("x", 1)
+	lines := strings.Split(tb.String(), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few lines: %q", lines)
+	}
+	// "workload" is 8 chars: the row label pads to 2+8, then "  %12.3f".
+	if got, want := lines[2], "  x                1.000"; got != want {
+		t.Errorf("row line %q, want %q", got, want)
+	}
+}
+
+// TestTableJSONRoundTrip checks a marshal/unmarshal cycle preserves
+// name, columns, values, and — critically — insertion order, which a
+// plain map encoding would lose.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("Figure X", "cycles", "speedup")
+	tb.Set("zeta", 100, 1.5)
+	tb.Set("alpha", 200, 2.25)
+	tb.Set("mid", 300, 0.125)
+
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tb.Name || !reflect.DeepEqual(back.Columns, tb.Columns) {
+		t.Errorf("header lost: %q %v", back.Name, back.Columns)
+	}
+	if !reflect.DeepEqual(back.Rows(), []string{"zeta", "alpha", "mid"}) {
+		t.Errorf("row order lost: %v", back.Rows())
+	}
+	for _, r := range tb.Rows() {
+		if !reflect.DeepEqual(back.Get(r), tb.Get(r)) {
+			t.Errorf("row %s: %v != %v", r, back.Get(r), tb.Get(r))
+		}
+	}
+	if back.String() != tb.String() {
+		t.Errorf("round-tripped table renders differently:\n%s\nvs\n%s", back.String(), tb.String())
+	}
+}
+
+// TestSeriesJSONRoundTrip covers the Series wire form used inside bench
+// files.
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := &Series{Name: "speedup by cpus"}
+	s.Add("1", 1)
+	s.Add("8", 5.75)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, s) {
+		t.Errorf("round trip: %+v != %+v", back, *s)
+	}
+}
+
+// TestTableConcurrentSet hammers Set/Get/String from many goroutines;
+// run under -race this verifies the table's locking (the parallel
+// runner's tables may be assembled concurrently).
+func TestTableConcurrentSet(t *testing.T) {
+	tb := NewTable("concurrent", "v")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				row := fmt.Sprintf("row-%d-%d", g, i%10)
+				tb.Set(row, float64(i))
+				_ = tb.Get(row)
+				if i%25 == 0 {
+					_ = tb.String()
+					_ = tb.Rows()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tb.Rows()); got != 80 {
+		t.Errorf("table has %d rows, want 80", got)
+	}
+}
+
+// TestTableZeroValueSet checks a zero-value Table (not built with
+// NewTable, as the JSON decoder produces) accepts Set.
+func TestTableZeroValueSet(t *testing.T) {
+	var tb Table
+	tb.Set("r", 1)
+	if !reflect.DeepEqual(tb.Get("r"), []float64{1}) {
+		t.Errorf("zero-value Set failed: %v", tb.Get("r"))
+	}
+}

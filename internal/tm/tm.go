@@ -60,12 +60,15 @@ type Level struct {
 	Status Status
 
 	// ReadSet and WriteSet hold cache-line addresses, the conflict
-	// granularity of the paper's platform.
+	// granularity of the paper's platform. They are allocated on first
+	// use (nil means empty, which every reader of a Go map handles), so
+	// a level only pays for the sets it actually populates.
 	ReadSet  map[mem.Addr]struct{}
 	WriteSet map[mem.Addr]struct{}
 
 	// WBuf is the lazy engine's write-buffer: word address → speculative
-	// value. Nil in eager mode.
+	// value. Allocated on first buffered write, so eager-engine levels
+	// (and read-only lazy levels) never carry one.
 	WBuf map[mem.Addr]uint64
 
 	// Undo is the eager engine's undo-log for this level, in program
@@ -82,24 +85,29 @@ type Level struct {
 	StartCycle uint64
 }
 
-// NewLevel creates an empty level.
+// NewLevel creates an empty level. The set, buffer, and log maps are
+// allocated lazily by the first recording call: an xbegin costs one
+// struct allocation, not five (transaction-dense workloads execute
+// millions of xbegins per run).
 func NewLevel(nl int, open bool, start uint64) *Level {
-	return &Level{
-		NL:         nl,
-		Open:       open,
-		ReadSet:    make(map[mem.Addr]struct{}),
-		WriteSet:   make(map[mem.Addr]struct{}),
-		WBuf:       make(map[mem.Addr]uint64),
-		undoLogged: make(map[mem.Addr]struct{}),
-		StartCycle: start,
-	}
+	return &Level{NL: nl, Open: open, StartCycle: start}
 }
 
 // RecordRead adds a line to the read-set.
-func (l *Level) RecordRead(line mem.Addr) { l.ReadSet[line] = struct{}{} }
+func (l *Level) RecordRead(line mem.Addr) {
+	if l.ReadSet == nil {
+		l.ReadSet = make(map[mem.Addr]struct{})
+	}
+	l.ReadSet[line] = struct{}{}
+}
 
 // RecordWrite adds a line to the write-set.
-func (l *Level) RecordWrite(line mem.Addr) { l.WriteSet[line] = struct{}{} }
+func (l *Level) RecordWrite(line mem.Addr) {
+	if l.WriteSet == nil {
+		l.WriteSet = make(map[mem.Addr]struct{})
+	}
+	l.WriteSet[line] = struct{}{}
+}
 
 // Release removes a line from the read-set (the release instruction). It
 // reports whether the line was present.
@@ -110,13 +118,21 @@ func (l *Level) Release(line mem.Addr) bool {
 }
 
 // BufferWrite stores a speculative value in the write-buffer (lazy).
-func (l *Level) BufferWrite(word mem.Addr, v uint64) { l.WBuf[word] = v }
+func (l *Level) BufferWrite(word mem.Addr, v uint64) {
+	if l.WBuf == nil {
+		l.WBuf = make(map[mem.Addr]uint64)
+	}
+	l.WBuf[word] = v
+}
 
 // LogUndo records the old value of word if this level has not logged it
 // yet (eager engine and imst). It reports whether a record was pushed.
 func (l *Level) LogUndo(word mem.Addr, old uint64) bool {
 	if _, done := l.undoLogged[word]; done {
 		return false
+	}
+	if l.undoLogged == nil {
+		l.undoLogged = make(map[mem.Addr]struct{})
 	}
 	l.undoLogged[word] = struct{}{}
 	l.Undo = append(l.Undo, UndoRec{Addr: word, Old: old})
@@ -266,15 +282,18 @@ func intersects(a, b map[mem.Addr]struct{}) bool {
 func MergeClosedInto(parent, child *Level) int {
 	merged := len(child.ReadSet) + len(child.WriteSet)
 	for a := range child.ReadSet {
-		parent.ReadSet[a] = struct{}{}
+		parent.RecordRead(a)
 	}
 	for a := range child.WriteSet {
-		parent.WriteSet[a] = struct{}{}
+		parent.RecordWrite(a)
 	}
 	for w, v := range child.WBuf {
-		parent.WBuf[w] = v
+		parent.BufferWrite(w, v)
 	}
 	parent.Undo = append(parent.Undo, child.Undo...)
+	if len(child.undoLogged) > 0 && parent.undoLogged == nil {
+		parent.undoLogged = make(map[mem.Addr]struct{})
+	}
 	for w := range child.undoLogged {
 		// The parent now owns the child's log records; mark the words so
 		// the parent does not log a second (younger, wrong) record after

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mk builds a distinguishable event: Cycle doubles as a sequence number.
+func mk(seq int) Event { return Event{Cycle: uint64(seq), CPU: seq % 4, Kind: Begin} }
+
+// seqs extracts the sequence numbers for compact comparison.
+func seqs(ev []Event) []int {
+	out := make([]int, len(ev))
+	for i, e := range ev {
+		out[i] = int(e.Cycle)
+	}
+	return out
+}
+
+// TestWraparoundBoundary pins the ring's behaviour exactly at the fill
+// boundary: capacity-1 events (no wrap yet), capacity events (full, still
+// unwrapped), and capacity+1 (first eviction).
+func TestWraparoundBoundary(t *testing.T) {
+	const cap = 4
+	l := NewLog(cap)
+	for i := 0; i < cap-1; i++ {
+		l.Record(mk(i))
+	}
+	if got := seqs(l.Events()); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("below capacity: %v", got)
+	}
+	l.Record(mk(3))
+	if got := seqs(l.Events()); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("exactly full: %v", got)
+	}
+	l.Record(mk(4)) // first eviction: 0 leaves
+	if got := seqs(l.Events()); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("one past capacity: %v", got)
+	}
+	if l.Total() != 5 {
+		t.Errorf("Total() = %d, want 5 (evicted events still count)", l.Total())
+	}
+}
+
+// TestWraparoundMultipleLaps records far more events than capacity so the
+// write cursor laps the ring repeatedly; Events must always return the
+// most recent window, oldest first.
+func TestWraparoundMultipleLaps(t *testing.T) {
+	const cap = 8
+	l := NewLog(cap)
+	const n = cap*5 + 3 // ends mid-ring, exercising an interior cursor
+	for i := 0; i < n; i++ {
+		l.Record(mk(i))
+	}
+	want := make([]int, cap)
+	for i := range want {
+		want[i] = n - cap + i
+	}
+	if got := seqs(l.Events()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after %d records: %v, want %v", n, got, want)
+	}
+	if l.Total() != n {
+		t.Errorf("Total() = %d, want %d", l.Total(), n)
+	}
+}
+
+// TestTailAcrossWrapSeam asks for a tail window that spans the physical
+// end of the ring buffer, where naive slicing would split or misorder.
+func TestTailAcrossWrapSeam(t *testing.T) {
+	const cap = 6
+	l := NewLog(cap)
+	for i := 0; i < cap+3; i++ { // cursor at 3: retained = [3..8]
+		l.Record(mk(i))
+	}
+	if got := seqs(l.Tail(4)); !reflect.DeepEqual(got, []int{5, 6, 7, 8}) {
+		t.Fatalf("Tail(4) = %v", got)
+	}
+	if got := seqs(l.Tail(cap + 100)); !reflect.DeepEqual(got, []int{3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("oversized Tail = %v", got)
+	}
+	if got := seqs(l.Tail(0)); len(got) != 0 {
+		t.Fatalf("Tail(0) = %v, want empty", got)
+	}
+}
+
+// TestCapacityOne is the degenerate ring: every record evicts.
+func TestCapacityOne(t *testing.T) {
+	l := NewLog(1)
+	for i := 0; i < 10; i++ {
+		l.Record(mk(i))
+		if got := seqs(l.Events()); !reflect.DeepEqual(got, []int{i}) {
+			t.Fatalf("after record %d: %v", i, got)
+		}
+	}
+	if l.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", l.Total())
+	}
+}
+
+// TestEventsReturnsCopy checks that mutating the returned slice cannot
+// corrupt the ring (both in the unwrapped and wrapped regimes).
+func TestEventsReturnsCopy(t *testing.T) {
+	for _, records := range []int{2, 7} { // below and above capacity 4
+		l := NewLog(4)
+		for i := 0; i < records; i++ {
+			l.Record(mk(i))
+		}
+		ev := l.Events()
+		before := seqs(ev)
+		for i := range ev {
+			ev[i].Cycle = 999
+		}
+		if got := seqs(l.Events()); !reflect.DeepEqual(got, before) {
+			t.Fatalf("records=%d: mutating Events() result changed the log: %v", records, got)
+		}
+	}
+}
+
+// TestWrappedStringAndPerCPU drives the formatting and splitting paths on
+// a wrapped log: the summary counts lifetime events, the lines only the
+// retained window.
+func TestWrappedStringAndPerCPU(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 9; i++ {
+		l.Record(mk(i))
+	}
+	s := l.String()
+	if want := "-- 9 events total begin=9"; !strings.Contains(s, want) {
+		t.Errorf("String() summary missing %q:\n%s", want, s)
+	}
+	per := l.PerCPU()
+	total := 0
+	for cpu, ev := range per {
+		total += len(ev)
+		for _, e := range ev {
+			if e.CPU != cpu {
+				t.Errorf("PerCPU()[%d] contains event from cpu %d", cpu, e.CPU)
+			}
+		}
+	}
+	if total != 4 {
+		t.Errorf("PerCPU retains %d events, want 4 (the window)", total)
+	}
+}
