@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"tmisa/internal/runner"
+	"tmisa/internal/tmprof"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	oracle := fs.Bool("oracle", false, "oracle-check every workload run (fails the run on a violation; condsync/opensem excepted)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines to shard each experiment's cell matrix over")
 	benchdir := fs.String("benchdir", ".", "directory for machine-readable BENCH_<exp>.json results (empty disables)")
+	profile := fs.Bool("profile", false, "collect a tmprof conflict-attribution profile of every cell (see -profile-out)")
+	profileOut := fs.String("profile-out", "tmprof.json", "profile destination: Perfetto-loadable trace-event JSON (render with cmd/tmprof)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -65,7 +68,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		names = []string{*exp}
 	}
 
-	ctx := runner.Context{CPUs: *cpus, Oracle: *oracle}
+	ctx := runner.Context{CPUs: *cpus, Oracle: *oracle, Profile: *profile}
+	var profiles []*tmprof.Profile
 	for _, name := range names {
 		e, _ := runner.Find(name)
 		if *exp == "all" {
@@ -92,9 +96,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				return 1
 			}
 		}
+		if *profile {
+			profiles = append(profiles, runner.MergeProfiles(res))
+		}
 		if *exp == "all" {
 			fmt.Fprintln(stdout)
 		}
+	}
+	// The profile is written once, after all experiments, merged in run
+	// order — and only to -profile-out, never stdout, so a profiled run's
+	// tables stay byte-identical to an unprofiled one's.
+	if *profile {
+		prof := tmprof.Merge(profiles...)
+		if prof == nil {
+			fmt.Fprintf(stderr, "experiments: -profile collected nothing\n")
+			return 1
+		}
+		if err := prof.WriteTraceFile(*profileOut); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "experiments: wrote profile to %s (load in Perfetto, or render with: go run ./cmd/tmprof %s)\n", *profileOut, *profileOut)
 	}
 	return 0
 }

@@ -9,15 +9,17 @@ import (
 	"testing"
 
 	"tmisa/internal/runner"
+	"tmisa/internal/tmprof"
 )
 
 // runOnce runs the command in-process and returns its stdout plus the
 // canonicalized BENCH_*.json files it wrote, keyed by file name.
-func runOnce(t *testing.T, exp string, parallel int) (string, map[string]string) {
+func runOnce(t *testing.T, exp string, parallel int, extraArgs ...string) (string, map[string]string) {
 	t.Helper()
 	dir := t.TempDir()
 	var out, errb bytes.Buffer
 	args := []string{"-exp", exp, "-parallel", strconv.Itoa(parallel), "-benchdir", dir, "-q"}
+	args = append(args, extraArgs...)
 	if code := run(args, &out, &errb); code != 0 {
 		t.Fatalf("run(%v) = %d, want 0; stderr:\n%s", args, code, errb.String())
 	}
@@ -92,6 +94,42 @@ func TestRepeatDeterminism(t *testing.T) {
 	compareRuns(t, "all: run A vs run B at p8", outA, outB, benchA, benchB)
 }
 
+// TestProfileDeterminism checks, for every experiment in the registry,
+// that -profile perturbs nothing: stdout and the canonicalized bench
+// files are byte-identical with and without it, the profile file is
+// valid trace-event JSON, and profiled runs are themselves deterministic
+// across parallelism levels (per-cell collectors merged in matrix
+// order).
+func TestProfileDeterminism(t *testing.T) {
+	for _, name := range runner.Order {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			profA := filepath.Join(t.TempDir(), "prof.json")
+			profB := filepath.Join(t.TempDir(), "prof.json")
+			bare, bareBench := runOnce(t, name, 4)
+			outA, benchA := runOnce(t, name, 1, "-profile", "-profile-out", profA)
+			outB, benchB := runOnce(t, name, 4, "-profile", "-profile-out", profB)
+			compareRuns(t, name+": bare vs profiled", bare, outA, bareBench, benchA)
+			compareRuns(t, name+": profiled p1 vs p4", outA, outB, benchA, benchB)
+			a, err := os.ReadFile(profA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(profB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s: profile bytes differ between -parallel 1 and 4", name)
+			}
+			if err := tmprof.ValidateTraceJSON(a); err != nil {
+				t.Errorf("%s: profile is not valid trace-event JSON: %v", name, err)
+			}
+		})
+	}
+}
+
 // TestExitCodes pins the command's exit-code contract: 2 for usage
 // errors (unknown experiment, bad flags, stray arguments), 1 for
 // failures while running, 0 for success.
@@ -105,6 +143,7 @@ func TestExitCodes(t *testing.T) {
 		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
 		{"stray args", []string{"-exp", "overheads", "extra"}, 2},
 		{"unwritable benchdir", []string{"-exp", "overheads", "-q", "-benchdir", "/nonexistent-dir/sub"}, 1},
+		{"unwritable profile-out", []string{"-exp", "overheads", "-q", "-benchdir", "", "-profile", "-profile-out", "/nonexistent-dir/prof.json"}, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

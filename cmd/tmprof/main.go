@@ -1,0 +1,70 @@
+// Command tmprof renders a saved transactional-memory profile — the
+// trace-event JSON written by `experiments -profile` or `tmsim -profile`
+// — as a text contention report: the top contended granules with their
+// violation-cause breakdown, aggressor->victim CPU edges, and
+// wasted-cycle attribution.
+//
+// Usage:
+//
+//	tmprof prof.json            # render the contention report
+//	tmprof -top 25 prof.json    # show more granules
+//	tmprof -check prof.json     # validate the trace-event JSON only
+//
+// The same file loads directly in Perfetto (ui.perfetto.dev) for the
+// per-transaction timeline view; this command covers the aggregate side.
+//
+// Exit codes: 0 on success, 1 when the file is missing or invalid, 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tmisa/internal/tmprof"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command, factored so tests can invoke it in-process
+// and assert on output and exit codes.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tmprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", tmprof.DefaultTopN, "contended granules to show in the report")
+	check := fs.Bool("check", false, "validate the file as trace-event JSON and exit (no report)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintf(stderr, "usage: tmprof [-top N] [-check] <profile.json>\n")
+		return 2
+	}
+	path := fs.Arg(0)
+
+	if *check {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tmprof: %v\n", err)
+			return 1
+		}
+		if err := tmprof.ValidateTraceJSON(data); err != nil {
+			fmt.Fprintf(stderr, "tmprof: %s: %v\n", path, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: valid trace-event JSON\n", path)
+		return 0
+	}
+
+	prof, err := tmprof.ReadTraceFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tmprof: %v\n", err)
+		return 1
+	}
+	prof.Report(stdout, *top)
+	return 0
+}

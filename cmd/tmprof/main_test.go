@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmisa/internal/core"
+	"tmisa/internal/tmprof"
+)
+
+// writeProfile produces a real profile file from a small contention run.
+func writeProfile(t *testing.T) string {
+	t.Helper()
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 2
+	cfg.MaxCycles = 50_000_000
+	m := core.NewMachine(cfg)
+	m.SetTracer(col.StartRun("test-kernel"))
+	line := m.AllocLine()
+	worker := func(p *core.Proc) {
+		for i := 0; i < 20; i++ {
+			p.Atomic(func(tx *core.Tx) {
+				p.Store(line, p.Load(line)+1)
+				p.Tick(20)
+			})
+		}
+	}
+	m.Run(worker, worker)
+	path := filepath.Join(t.TempDir(), "prof.json")
+	if err := col.Profile().WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportRendering(t *testing.T) {
+	path := writeProfile(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{
+		"tmprof contention report",
+		"test-kernel",
+		"top contended granules",
+		"wasted",
+		"->",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	path := writeProfile(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-check", path}, &out, &errb); code != 0 {
+		t.Fatalf("-check on a valid file = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "valid trace-event JSON") {
+		t.Errorf("-check output missing verdict:\n%s", out.String())
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents": "nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-check", bad}, &out, &errb); code != 1 {
+		t.Errorf("-check on garbage = %d, want 1", code)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args = %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag = %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/prof.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing file = %d, want 1", code)
+	}
+	// A file with no tmprof section (foreign trace JSON) renders no
+	// report.
+	foreign := filepath.Join(t.TempDir(), "foreign.json")
+	if err := os.WriteFile(foreign, []byte(`{"displayTimeUnit":"ns","traceEvents":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{foreign}, &out, &errb); code != 1 {
+		t.Errorf("foreign trace file = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "tmprof") {
+		t.Errorf("error should mention the missing tmprof section: %s", errb.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"tmisa/internal/cache"
 	"tmisa/internal/core"
 	"tmisa/internal/tm"
+	"tmisa/internal/tmprof"
 	"tmisa/internal/trace"
 	"tmisa/internal/workloads"
 )
@@ -49,6 +50,8 @@ func main() {
 		list       = flag.Bool("list", false, "list workloads and exit")
 		traceN     = flag.Int("trace", 0, "print the last N structured trace events")
 		oracleOn   = flag.Bool("oracle", false, "check the run with the serializability/strong-atomicity oracle")
+		profile    = flag.Bool("profile", false, "collect a tmprof conflict-attribution profile (see -profile-out)")
+		profileOut = flag.String("profile-out", "tmprof.json", "profile destination: Perfetto-loadable trace-event JSON (render with cmd/tmprof)")
 	)
 	flag.Parse()
 
@@ -97,21 +100,44 @@ func main() {
 
 	cfg.Oracle = *oracleOn
 
+	var col *tmprof.Collector
+	if *profile {
+		size := cfg.Cache.LineSize
+		if cfg.WordTracking {
+			size = 0
+		}
+		col = tmprof.NewCollector(tmprof.Options{LineSize: size})
+	}
+
 	w := mk()
 	if *sequential {
 		// Execute checks the oracle internally (panics on a violation).
-		r := workloads.ExecuteSequential(w, cfg)
+		r := workloads.ExecuteSequentialTraced(w, cfg, func(m *core.Machine) {
+			if rec := col.StartRun(w.Name() + "/seq"); rec != nil {
+				m.SetTracer(rec)
+			}
+		})
 		fmt.Printf("%s (sequential)\n%s", w.Name(), r)
+		writeProfile(col, *profileOut)
 		return
 	}
 	var log *trace.Log
 	var mach *core.Machine
-	attach := func(m *core.Machine) { mach = m }
 	if *traceN > 0 {
 		log = trace.NewLog(*traceN)
-		attach = func(m *core.Machine) {
-			mach = m
+	}
+	attach := func(m *core.Machine) {
+		mach = m
+		// One tracer slot, up to two sinks: fan the stream out when both
+		// -trace and -profile are on.
+		rec := col.StartRun(w.Name())
+		switch {
+		case log != nil && rec != nil:
+			m.SetTracer(func(e trace.Event) { log.Record(e); rec(e) })
+		case log != nil:
 			m.SetTracer(log.Record)
+		case rec != nil:
+			m.SetTracer(rec)
 		}
 	}
 	r := workloads.ExecuteTraced(w, cfg, *cpus, attach)
@@ -123,4 +149,19 @@ func main() {
 	if log != nil {
 		fmt.Printf("--- last %d trace events ---\n%s", *traceN, log)
 	}
+	writeProfile(col, *profileOut)
+}
+
+// writeProfile saves the collected profile, if any. The note goes to
+// stderr so stdout (the report) is identical with and without -profile.
+func writeProfile(col *tmprof.Collector, path string) {
+	prof := col.Profile()
+	if prof == nil {
+		return
+	}
+	if err := prof.WriteTraceFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tmsim: wrote profile to %s (load in Perfetto, or render with: go run ./cmd/tmprof %s)\n", path, path)
 }

@@ -89,6 +89,6 @@ func (p *Proc) injectFaults() {
 			addr = FaultAddr
 		}
 		p.c.InjectedFaults++
-		p.m.raiseViolation(p, []violRec{{addr: addr, mask: 1 << (nl - 1)}}, p.sp.Time())
+		p.m.raiseViolation(p, []violRec{{addr: addr, mask: 1 << (nl - 1), by: -1, why: causeFault}}, p.sp.Time())
 	}
 }

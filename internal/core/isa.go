@@ -210,6 +210,16 @@ func (p *Proc) xvalidate(tx *Tx) {
 			if DebugRollback != nil {
 				DebugRollback(p.id, 0, p.violMask(), lvl.NL)
 			}
+			// Attribute the rollback to the queued conflict that doomed this
+			// level (the first record carrying its bit; enqueue order is the
+			// arrival order, so this is the record xvaddr would show).
+			p.rbCause = rbCause{by: -1}
+			for _, r := range p.violQ {
+				if r.mask&bit != 0 {
+					p.rbCause = rbCause{addr: r.addr, by: r.by, why: r.why}
+					break
+				}
+			}
 			panic(&unwind{kind: unwindRollback, target: lvl.NL})
 		}
 		break
@@ -278,7 +288,7 @@ func (p *Proc) xcommit(tx *Tx) {
 			p.c.BusCycles += done - p.sp.Time()
 			p.sp.Advance(done - p.sp.Time())
 		}
-		p.violateOthers(sortedLines(lvl.WriteSet), nil)
+		p.violateOthers(sortedLines(lvl.WriteSet), nil, causeLazyCommit)
 	}
 	if lvl.Open {
 		// Memory already holds every value this commit made permanent: the
@@ -360,8 +370,18 @@ func (p *Proc) rollbackLevel(tx *Tx) {
 		}
 	}
 	p.c.Rollbacks++
-	p.c.WastedCycles += p.sp.Time() - lvl.StartCycle
-	p.emit(trace.Rollback, lvl.NL, lvl.Open, 0, "")
+	wasted := p.sp.Time() - lvl.StartCycle
+	p.c.WastedCycles += wasted
+	if (p.m.tracer != nil || p.m.oracle != nil) && !p.untimed {
+		// The cause latched at the unwind's panic site holds for every
+		// level the unwind crosses: one conflict dooms them all.
+		p.dispatch(trace.Event{
+			Cycle: p.sp.Time(), CPU: p.id, Kind: trace.Rollback,
+			Level: lvl.NL, Open: lvl.Open,
+			Addr: p.rbCause.addr, By: p.rbCause.by, Wasted: wasted,
+			Note: p.rbCause.why,
+		})
+	}
 	p.popLevel(tx)
 }
 

@@ -41,6 +41,10 @@ type Proc struct {
 	// consecRollbacks drives the contention-management backoff.
 	consecRollbacks int
 
+	// rbCause is the conflict context of the unwind currently in flight
+	// (set at every unwind panic site, read by rollbackLevel's emission).
+	rbCause rbCause
+
 	// stalled marks the CPU blocked on a validated conflicting transaction
 	// (eager engine); stallWaiters are CPUs blocked on *this* CPU's commit.
 	stalled      bool
@@ -196,7 +200,7 @@ func (p *Proc) Load(a mem.Addr) uint64 {
 			// write. The coherence protocol stalls the load until the
 			// writer commits or aborts (killing the writer from a plain
 			// read would let pollers livelock writers).
-			p.eagerResolve(p.line(a), false, false)
+			p.eagerResolve(p.line(a), false, false, causeNtLoad)
 		}
 		p.access(a, false, 0)
 		v := p.m.mem.Load(word)
@@ -205,7 +209,7 @@ func (p *Proc) Load(a mem.Addr) uint64 {
 	}
 	line := p.line(a)
 	if p.m.cfg.Engine == Eager {
-		p.eagerResolve(line, false, true)
+		p.eagerResolve(line, false, true, causeEagerLoad)
 	}
 	p.access(a, false, lvl.NL)
 	lvl.RecordRead(line)
@@ -238,7 +242,7 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 			// violating after would let a doomed victim's undo-log restore
 			// clobber this committed store (a lost update), and could
 			// never displace a validated victim at all.
-			p.eagerResolve(p.line(a), true, true)
+			p.eagerResolve(p.line(a), true, true, causeNtStore)
 		}
 		if !p.seqMode && p.m.cfg.Engine == Lazy && !BugCompatNonTxStore {
 			// Strong atomicity, lazy engine, commit window: a validated
@@ -256,13 +260,13 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 			// Strong atomicity, lazy engine: speculative writes live in
 			// write-buffers, so memory order is safe either way and
 			// violating active speculators after the store suffices.
-			p.violateOthers([]mem.Addr{p.line(a)}, nil)
+			p.violateOthers([]mem.Addr{p.line(a)}, nil, causeNtStore)
 		}
 		return
 	}
 	line := p.line(a)
 	if p.m.cfg.Engine == Eager {
-		p.eagerResolve(line, true, true)
+		p.eagerResolve(line, true, true, causeEagerStore)
 	}
 	p.access(a, true, lvl.NL)
 	lvl.RecordWrite(line)
@@ -356,9 +360,10 @@ func (p *Proc) Parked() bool { return p.sp.State() == sim.Waiting }
 
 // violateOthers raises violations on every other processor whose
 // read-/write-sets intersect lines. except, when non-nil, is skipped
-// (used for the committer itself). The line slice must be in a
+// (used for the committer itself). why is the cause kind attached to the
+// conflict records for attribution. The line slice must be in a
 // deterministic order; callers sort it.
-func (p *Proc) violateOthers(lines []mem.Addr, except *Proc) {
+func (p *Proc) violateOthers(lines []mem.Addr, except *Proc, why string) {
 	if len(lines) == 0 {
 		return
 	}
@@ -370,7 +375,7 @@ func (p *Proc) violateOthers(lines []mem.Addr, except *Proc) {
 		var recs []violRec
 		for _, l := range lines {
 			if mask := q.stack.ConflictsWithLine(l, false); mask != 0 {
-				recs = append(recs, violRec{addr: l, mask: mask})
+				recs = append(recs, violRec{addr: l, mask: mask, by: p.id, why: why})
 			}
 		}
 		if debugViolate != nil {
@@ -386,9 +391,11 @@ func (p *Proc) violateOthers(lines []mem.Addr, except *Proc) {
 // conflicts with other processors' speculative writers; a store conflicts
 // with their readers and writers. With kill set, active victims are
 // violated (requester wins); without it (non-transactional reads under
-// strong atomicity) the requester only waits. Validated victims can never
-// be violated (Section 6.1), so the requester stalls until they commit.
-func (p *Proc) eagerResolve(line mem.Addr, isWrite, kill bool) {
+// strong atomicity) the requester only waits. why is the cause kind
+// attached to raised conflicts for attribution. Validated victims can
+// never be violated (Section 6.1), so the requester stalls until they
+// commit.
+func (p *Proc) eagerResolve(line mem.Addr, isWrite, kill bool, why string) {
 	for {
 		anyConflict := false
 		stalledOn := (*Proc)(nil)
@@ -406,7 +413,7 @@ func (p *Proc) eagerResolve(line mem.Addr, isWrite, kill bool) {
 				break
 			}
 			if kill {
-				p.m.raiseViolation(q, []violRec{{addr: line, mask: mask}}, p.sp.Time())
+				p.m.raiseViolation(q, []violRec{{addr: line, mask: mask, by: p.id, why: why}}, p.sp.Time())
 			}
 		}
 		if !anyConflict {
@@ -556,6 +563,19 @@ func (p *Proc) dispatch(e trace.Event) {
 // ever clear the conflict window, while an exponentially growing window
 // separates them in a handful of rounds. The window is capped so a single
 // stall stays far below any livelock-detection budget.
+//
+// Mixing audit: the hash deliberately folds in only (cpu id, rollback
+// count) — no per-process, per-machine, or package-level salt. Two
+// machines in one process (parallel runner cells) therefore draw
+// identical backoff sequences, and that is required, not a bug: a
+// Machine is a closed system — cells never share simulated state, so
+// equal sequences in different machines cannot correlate anything
+// observable — while salting from package-level state (a shared seed or
+// counter) would make a cell's delays depend on how many machines ran
+// before it in the process, breaking the byte-identical -parallel and
+// replay guarantees. Within one machine, the id term separates CPUs
+// whose rollback counts escalate in lockstep (the case the mixing
+// exists for); TestBackoffMixing pins both properties.
 func (p *Proc) backoffDelay() int {
 	base := p.m.cfg.BackoffBase
 	if base <= 0 {
@@ -573,10 +593,18 @@ func (p *Proc) backoffDelay() int {
 }
 
 // backoffStall advances time without retiring instructions (contention
-// management between a rollback and its re-execution).
+// management between a rollback and its re-execution). The stall is
+// announced as a Backoff span event first, so profiles show the wait as
+// a distinct region rather than unexplained dead time.
 func (p *Proc) backoffStall(cycles int) {
 	if cycles <= 0 {
 		return
+	}
+	if (p.m.tracer != nil || p.m.oracle != nil) && !p.untimed {
+		p.dispatch(trace.Event{
+			Cycle: p.sp.Time(), CPU: p.id, Kind: trace.Backoff,
+			Level: p.stack.Depth(), By: -1, Dur: uint64(cycles),
+		})
 	}
 	p.sp.Yield()
 	p.sp.Advance(uint64(cycles))

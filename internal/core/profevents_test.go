@@ -1,0 +1,186 @@
+package core
+
+// Tests for the profiler-facing emission contract: rollback events carry
+// the conflict address, aggressor CPU, and wasted cycles; backoff stalls
+// announce themselves as spans; and the backoff hash mixing stays
+// process-state-free (the satellite audit of backoffDelay).
+
+import (
+	"testing"
+
+	"tmisa/internal/trace"
+)
+
+// collect runs a 2-CPU contention kernel with a tracer attached and
+// returns the recorded events.
+func collectContentionEvents(t *testing.T, engine EngineKind) []trace.Event {
+	t.Helper()
+	cfg := testConfig(2, engine)
+	cfg.BackoffBase = 40 // force backoff spans on both engines
+	m := NewMachine(cfg)
+	log := trace.NewLog(4096)
+	m.SetTracer(log.Record)
+	line := m.AllocLine()
+	worker := func(p *Proc) {
+		for i := 0; i < 30; i++ {
+			p.Atomic(func(tx *Tx) {
+				p.Store(line, p.Load(line)+1)
+				p.Tick(25)
+			})
+		}
+	}
+	m.Run(worker, worker)
+	return log.Events()
+}
+
+// TestRollbackEventContext checks every violation-caused rollback names
+// the conflicting granule, the aggressor CPU, and a nonzero wasted-cycle
+// attribution — the fields tmprof's conflict attribution is built from.
+func TestRollbackEventContext(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		ev := collectContentionEvents(t, engine)
+		rollbacks := 0
+		for _, e := range ev {
+			if e.Kind != trace.Rollback {
+				continue
+			}
+			rollbacks++
+			if e.Addr == 0 {
+				t.Errorf("rollback without cause address: %s", e)
+			}
+			if e.By < 0 || e.By > 1 || e.By == e.CPU {
+				t.Errorf("rollback aggressor %d implausible (victim cpu%d): %s", e.By, e.CPU, e)
+			}
+			if e.Wasted == 0 {
+				t.Errorf("rollback with zero wasted cycles: %s", e)
+			}
+			if e.Note == "" {
+				t.Errorf("rollback without cause kind: %s", e)
+			}
+		}
+		if rollbacks == 0 {
+			t.Fatal("contention kernel produced no rollbacks; test is vacuous")
+		}
+	})
+}
+
+// TestViolationEventContext checks delivered violations carry the
+// aggressor CPU and a cause kind alongside xvaddr.
+func TestViolationEventContext(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		ev := collectContentionEvents(t, engine)
+		viols := 0
+		for _, e := range ev {
+			if e.Kind != trace.Violation {
+				continue
+			}
+			viols++
+			if e.By < 0 || e.By == e.CPU {
+				t.Errorf("violation aggressor %d implausible (victim cpu%d): %s", e.By, e.CPU, e)
+			}
+			want := causeLazyCommit
+			if engine == Eager {
+				want = causeEagerStore
+			}
+			if e.Note != want {
+				t.Errorf("violation cause = %q, want %q: %s", e.Note, want, e)
+			}
+		}
+		if viols == 0 {
+			t.Fatal("contention kernel produced no violations; test is vacuous")
+		}
+	})
+}
+
+// TestBackoffSpanEmission checks that contention-management stalls emit
+// Backoff span events whose durations match the delays actually charged.
+func TestBackoffSpanEmission(t *testing.T) {
+	ev := collectContentionEvents(t, Lazy)
+	spans := 0
+	for _, e := range ev {
+		if e.Kind != trace.Backoff {
+			continue
+		}
+		spans++
+		if e.Dur == 0 {
+			t.Errorf("backoff span with zero duration: %s", e)
+		}
+		if e.Level != 0 {
+			t.Errorf("backoff span inside a transaction (level %d): %s", e.Level, e)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("forced-backoff kernel emitted no backoff spans")
+	}
+}
+
+// TestFaultViolationContext checks injected faults report no aggressor
+// (By = -1) and the fault cause kind.
+func TestFaultViolationContext(t *testing.T) {
+	cfg := testConfig(1, Lazy)
+	cfg.Faults = &FaultPlan{Violations: []FaultViolation{{CPU: 0, AtInsn: 1}}}
+	m := NewMachine(cfg)
+	log := trace.NewLog(256)
+	m.SetTracer(log.Record)
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			tx.OnViolation(func(*Proc, Violation) Decision { return Ignore })
+			p.Tick(10)
+		})
+	})
+	seen := false
+	for _, e := range log.Events() {
+		if e.Kind != trace.Violation {
+			continue
+		}
+		seen = true
+		if e.By != -1 || e.Note != causeFault {
+			t.Errorf("fault violation context wrong: by=%d note=%q", e.By, e.Note)
+		}
+	}
+	if !seen {
+		t.Fatal("fault plan delivered no violation")
+	}
+}
+
+// TestBackoffMixing pins the two audited properties of backoffDelay's
+// hash: (a) machine-independence — two machines built in the same
+// process, in any construction order, draw identical per-CPU delay
+// sequences, so parallel runner cells cannot correlate or perturb each
+// other through backoff; (b) CPU separation — within one machine,
+// different CPUs at the same escalation level draw different delays, so
+// symmetric conflictors fall out of lockstep.
+func TestBackoffMixing(t *testing.T) {
+	seq := func(m *Machine, cpu, upto int) []int {
+		p := m.Proc(cpu)
+		out := make([]int, 0, upto)
+		for r := 1; r <= upto; r++ {
+			p.consecRollbacks = r
+			out = append(out, p.backoffDelay())
+		}
+		p.consecRollbacks = 0
+		return out
+	}
+	cfg := testConfig(2, Lazy)
+	cfg.BackoffBase = 40
+	m1 := NewMachine(cfg)
+	m2 := NewMachine(cfg) // second machine in the same process
+	for cpu := 0; cpu < 2; cpu++ {
+		a, b := seq(m1, cpu, 16), seq(m2, cpu, 16)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cpu%d delay %d differs across machines: %d vs %d (process state leaked into the mix)", cpu, i, a[i], b[i])
+			}
+		}
+	}
+	a, b := seq(m1, 0, 16), seq(m1, 1, 16)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("cpu0 and cpu1 draw identical backoff sequences; the id term no longer separates symmetric conflictors")
+	}
+}

@@ -145,5 +145,6 @@ func (tx *Tx) Abort(reason any) {
 	}
 	p.step(CostVRet)
 	p.violReport = saved
+	p.rbCause = rbCause{by: -1, why: causeAbort}
 	panic(&unwind{kind: unwindAbort, target: tx.level.NL, reason: reason})
 }

@@ -17,18 +17,38 @@ var DebugDeliver func(cpu int, addr mem.Addr, mask uint32, depth int)
 // mask, and the rollback's target nesting level. Diagnostics only.
 var DebugRollback func(cpu int, addr mem.Addr, mask uint32, target int)
 
-// violRec is one undelivered conflict: the conflicting line (xvaddr) and
-// the affected nesting levels (the xvcurrent/xvpending bitmask). The
-// queue of violRecs realizes the architected registers: the head entry's
-// mask is what xvcurrent would hold at dispatch; entries accumulated
-// while reporting is disabled play the role of xvpending.
+// Violation-cause kinds, carried through violRec into the Note field of
+// Violation and Rollback trace events so the profiler can break wasted
+// cycles down by mechanism. They are diagnostic context only — delivery
+// semantics never branch on them.
+const (
+	causeEagerLoad  = "eager-load"  // eager engine: transactional load killed a speculative writer
+	causeEagerStore = "eager-store" // eager engine: transactional store killed readers/writers
+	causeNtLoad     = "nt-load"     // strong atomicity: non-transactional load (wait-only, never kills)
+	causeNtStore    = "nt-store"    // strong atomicity: non-transactional store displaced speculators
+	causeLazyCommit = "lazy-commit" // lazy engine: commit broadcast hit the victim's sets
+	causeFault      = "fault"       // injected by a FaultPlan (no aggressor CPU)
+	causeAbort      = "abort"       // rollback context for explicit xabort unwinds
+)
+
+// violRec is one undelivered conflict: the conflicting line (xvaddr),
+// the affected nesting levels (the xvcurrent/xvpending bitmask), and the
+// diagnostic context of who raised it and why. The queue of violRecs
+// realizes the architected registers: the head entry's mask is what
+// xvcurrent would hold at dispatch; entries accumulated while reporting
+// is disabled play the role of xvpending.
 type violRec struct {
 	addr mem.Addr
 	mask uint32
+	// by is the aggressor CPU (-1 for injected faults), why the cause
+	// kind; both flow into trace events for conflict attribution.
+	by  int
+	why string
 }
 
 // enqueueViolation merges a conflict record into the queue (same line →
-// masks OR together).
+// masks OR together; the first record's aggressor/cause context wins,
+// matching hardware that latches xvaddr context once per line).
 func (p *Proc) enqueueViolation(r violRec) {
 	for i := range p.violQ {
 		if p.violQ[i].addr == r.addr {
@@ -118,7 +138,7 @@ func (p *Proc) deliver() {
 		}
 		rec := p.violQ[idx]
 		p.violQ = append(p.violQ[:idx], p.violQ[idx+1:]...)
-		p.emit(trace.Violation, p.stack.Depth(), false, rec.addr, "")
+		p.emitViolation(rec)
 		if DebugDeliver != nil {
 			DebugDeliver(p.id, rec.addr, rec.mask, p.stack.Depth())
 		}
@@ -186,8 +206,30 @@ func (p *Proc) deliver() {
 		if DebugRollback != nil {
 			DebugRollback(p.id, rec.addr, rec.mask, target)
 		}
+		p.rbCause = rbCause{addr: rec.addr, by: rec.by, why: rec.why}
 		panic(&unwind{kind: unwindRollback, target: target})
 	}
+}
+
+// rbCause is the conflict context of the unwind in flight, latched at the
+// panic site so every level's Rollback event can name the address and
+// aggressor that doomed it (the xvaddr the software would have read).
+type rbCause struct {
+	addr mem.Addr
+	by   int
+	why  string
+}
+
+// emitViolation records a Violation event carrying the aggressor CPU and
+// cause kind along with the architected xvaddr.
+func (p *Proc) emitViolation(rec violRec) {
+	if (p.m.tracer == nil && p.m.oracle == nil) || p.untimed {
+		return
+	}
+	p.dispatch(trace.Event{
+		Cycle: p.sp.Time(), CPU: p.id, Kind: trace.Violation,
+		Level: p.stack.Depth(), Addr: rec.addr, By: rec.by, Note: rec.why,
+	})
 }
 
 // validatedFloor returns the deepest validated nesting level (0 if none):

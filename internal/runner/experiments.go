@@ -8,6 +8,7 @@ import (
 	"tmisa/internal/core"
 	"tmisa/internal/stats"
 	"tmisa/internal/tm"
+	"tmisa/internal/tmprof"
 	"tmisa/internal/workloads"
 )
 
@@ -19,6 +20,11 @@ type Context struct {
 	// every workload run (condsync and the opensem litmus excepted — both
 	// are deliberately non-serializable).
 	Oracle bool
+	// Profile attaches a tmprof collector to every cell's machines; each
+	// cell returns its profile in Metrics.Prof for merging in matrix
+	// order. The tracer only observes the event stream, so profiled runs
+	// report bit-identical counters.
+	Profile bool
 }
 
 // base is the paper's default platform plus the oracle flag.
@@ -26,6 +32,30 @@ func (ctx Context) base() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Oracle = ctx.Oracle
 	return cfg
+}
+
+// collector returns a fresh per-cell profiler, or nil when profiling is
+// off. Each cell owns its collector — cells run on parallel workers, and
+// per-cell collection with matrix-order merging is what keeps the merged
+// profile identical at any -parallel.
+func (ctx Context) collector(cfg core.Config) *tmprof.Collector {
+	if !ctx.Profile {
+		return nil
+	}
+	size := cfg.Cache.LineSize
+	if cfg.WordTracking {
+		size = 0 // word granularity: don't fold addresses
+	}
+	return tmprof.NewCollector(tmprof.Options{LineSize: size})
+}
+
+// profAttach adapts a collector run to ExecuteTraced's customize hook;
+// nil when there is nothing to attach.
+func profAttach(col *tmprof.Collector, label string) func(*core.Machine) {
+	if col == nil {
+		return nil
+	}
+	return func(m *core.Machine) { m.SetTracer(col.StartRun(label)) }
 }
 
 // Experiment is one entry of the evaluation: a matrix of independent
@@ -85,16 +115,21 @@ var scientificSuite = []wl{
 
 // overheads reproduces the Section 7 instruction-count constants by
 // measuring them on the live machine.
-func overheadsCells(Context) []Cell {
+func overheadsCells(ctx Context) []Cell {
 	return []Cell{{Label: "empty-tx", Run: func() Metrics {
-		m := core.NewMachine(core.Config{CPUs: 1})
+		cfg := core.Config{CPUs: 1}
+		col := ctx.collector(cfg)
+		m := core.NewMachine(cfg)
+		if hook := profAttach(col, "overheads/empty-tx"); hook != nil {
+			hook(m)
+		}
 		var insns uint64
 		m.Run(func(p *core.Proc) {
 			before := p.Counters().Instructions
 			p.Atomic(func(tx *core.Tx) {})
 			insns = p.Counters().Instructions - before
 		})
-		return Metrics{Instructions: insns}
+		return Metrics{Instructions: insns, Prof: col.Profile()}
 	}}}
 }
 
@@ -114,13 +149,22 @@ func figure5Cells(ctx Context) []Cell {
 	for _, s := range scientificSuite {
 		s := s
 		cells = append(cells, Cell{Label: s.name, Run: func() Metrics {
-			row := workloads.MeasureFigure5(s.mk(), ctx.base(), ctx.CPUs)
+			cfg := ctx.base()
+			col := ctx.collector(cfg)
+			var stages func(string, *core.Machine)
+			if col != nil {
+				stages = func(stage string, m *core.Machine) {
+					m.SetTracer(col.StartRun("figure5/" + s.name + "/" + stage))
+				}
+			}
+			row := workloads.MeasureFigure5Traced(s.mk(), cfg, ctx.CPUs, stages)
 			m := FromReport(row.Nested)
 			m.Values = map[string]float64{
 				"overFlat":    row.SpeedupOverFlat,
 				"overSeq":     row.SpeedupOverSeq,
 				"flatOverSeq": row.FlatOverSeq,
 			}
+			m.Prof = col.Profile()
 			return m
 		}})
 	}
@@ -151,7 +195,12 @@ func ioCells(ctx Context) []Cell {
 			serialize, n := serialize, n
 			label := fmt.Sprintf("%s/%d", workloads.DefaultIOBench(serialize).Name(), n)
 			cells = append(cells, Cell{Label: label, Run: func() Metrics {
-				return FromReport(workloads.Execute(workloads.DefaultIOBench(serialize), ctx.base(), n))
+				cfg := ctx.base()
+				col := ctx.collector(cfg)
+				rep := workloads.ExecuteTraced(workloads.DefaultIOBench(serialize), cfg, n, profAttach(col, "io/"+label))
+				m := FromReport(rep)
+				m.Prof = col.Profile()
+				return m
 			}})
 		}
 	}
@@ -179,7 +228,7 @@ var condPairCounts = []int{2, 4, 8, 16}
 
 const condCPUBudget = 5
 
-func condsyncCells(Context) []Cell {
+func condsyncCells(ctx Context) []Cell {
 	var cells []Cell
 	for _, polling := range []bool{false, true} {
 		for _, pairs := range condPairCounts {
@@ -187,8 +236,11 @@ func condsyncCells(Context) []Cell {
 			label := workloads.DefaultCondSyncBench(pairs, polling).Name()
 			cells = append(cells, Cell{Label: label, Run: func() Metrics {
 				wk := workloads.DefaultCondSyncBench(pairs, polling)
-				rep := workloads.Execute(wk, core.DefaultConfig(), condCPUBudget)
+				cfg := core.DefaultConfig()
+				col := ctx.collector(cfg)
+				rep := workloads.ExecuteTraced(wk, cfg, condCPUBudget, profAttach(col, "condsync/"+label))
 				m := FromReport(rep)
+				m.Prof = col.Profile()
 				m.Values = map[string]float64{
 					"items_per_kcycle": float64(pairs*wk.Items+wk.BackgroundChunks) * 1000 / float64(rep.TotalCycles),
 				}
@@ -221,10 +273,14 @@ func schemesCells(ctx Context) []Cell {
 	for _, s := range schemesWorkloads {
 		for _, scheme := range []cache.Scheme{cache.Associativity, cache.Multitrack} {
 			s, scheme := s, scheme
-			cells = append(cells, Cell{Label: fmt.Sprintf("%s/%s", s.name, scheme), Run: func() Metrics {
+			label := fmt.Sprintf("%s/%s", s.name, scheme)
+			cells = append(cells, Cell{Label: label, Run: func() Metrics {
 				cfg := ctx.base()
 				cfg.Cache.Scheme = scheme
-				return FromReport(workloads.Execute(s.mk(), cfg, ctx.CPUs))
+				col := ctx.collector(cfg)
+				m := FromReport(workloads.ExecuteTraced(s.mk(), cfg, ctx.CPUs, profAttach(col, "schemes/"+label)))
+				m.Prof = col.Profile()
+				return m
 			}})
 		}
 	}
@@ -250,10 +306,14 @@ func enginesCells(ctx Context) []Cell {
 	for _, s := range scientificSuite[:7] {
 		for _, engine := range []core.EngineKind{core.Lazy, core.Eager} {
 			s, engine := s, engine
-			cells = append(cells, Cell{Label: fmt.Sprintf("%s/%s", s.name, engine), Run: func() Metrics {
+			label := fmt.Sprintf("%s/%s", s.name, engine)
+			cells = append(cells, Cell{Label: label, Run: func() Metrics {
 				cfg := ctx.base()
 				cfg.Engine = engine
-				return FromReport(workloads.Execute(s.mk(), cfg, ctx.CPUs))
+				col := ctx.collector(cfg)
+				m := FromReport(workloads.ExecuteTraced(s.mk(), cfg, ctx.CPUs, profAttach(col, "engines/"+label)))
+				m.Prof = col.Profile()
+				return m
 			}})
 		}
 	}
@@ -271,14 +331,18 @@ func enginesRender(_ Context, res []Metrics, w io.Writer) {
 
 // opensem is ablation A3: this paper's open-nesting semantics vs
 // Moss-Hosking set trimming, demonstrating the atomicity anomaly.
-func opensemCells(Context) []Cell {
+func opensemCells(ctx Context) []Cell {
 	mk := func(sem tm.OpenSemantics) Cell {
 		return Cell{Label: sem.String(), Run: func() Metrics {
 			var rollbacks uint64
 			cfg := core.DefaultConfig()
 			cfg.CPUs = 2
 			cfg.OpenSemantics = sem
+			col := ctx.collector(cfg)
 			m := core.NewMachine(cfg)
+			if hook := profAttach(col, "opensem/"+sem.String()); hook != nil {
+				hook(m)
+			}
 			shared := m.AllocLine()
 			m.Run(
 				func(p *core.Proc) {
@@ -295,7 +359,7 @@ func opensemCells(Context) []Cell {
 					p.Atomic(func(tx *core.Tx) { p.Store(shared, 7) })
 				},
 			)
-			return Metrics{Rollbacks: rollbacks}
+			return Metrics{Rollbacks: rollbacks, Prof: col.Profile()}
 		}}
 	}
 	return []Cell{mk(tm.PaperOpen), mk(tm.MossHoskingOpen)}
@@ -317,7 +381,11 @@ func depthCells(ctx Context) []Cell {
 		cells = append(cells, Cell{Label: fmt.Sprintf("depth-%d", d), Run: func() Metrics {
 			cfg := ctx.base()
 			cfg.CPUs = 4
+			col := ctx.collector(cfg)
 			m := core.NewMachine(cfg)
+			if hook := profAttach(col, fmt.Sprintf("depth/depth-%d", d)); hook != nil {
+				hook(m)
+			}
 			ctr := m.AllocLine()
 			worker := func(p *core.Proc) {
 				for i := 0; i < 20; i++ {
@@ -335,7 +403,9 @@ func depthCells(ctx Context) []Cell {
 					rec(1)
 				}
 			}
-			return FromReport(m.Run(worker, worker, worker, worker))
+			met := FromReport(m.Run(worker, worker, worker, worker))
+			met.Prof = col.Profile()
+			return met
 		}})
 	}
 	return cells
@@ -364,10 +434,14 @@ func granularityCells(ctx Context) []Cell {
 			if word {
 				grain = "word"
 			}
-			cells = append(cells, Cell{Label: fmt.Sprintf("%s/%s", s.name, grain), Run: func() Metrics {
+			label := fmt.Sprintf("%s/%s", s.name, grain)
+			cells = append(cells, Cell{Label: label, Run: func() Metrics {
 				cfg := ctx.base()
 				cfg.WordTracking = word
-				return FromReport(workloads.Execute(s.mk(), cfg, ctx.CPUs))
+				col := ctx.collector(cfg)
+				m := FromReport(workloads.ExecuteTraced(s.mk(), cfg, ctx.CPUs, profAttach(col, "granularity/"+label)))
+				m.Prof = col.Profile()
+				return m
 			}})
 		}
 	}
@@ -399,12 +473,21 @@ func scalingCells(ctx Context) []Cell {
 	for _, s := range scalingWorkloads {
 		s := s
 		cells = append(cells, Cell{Label: s.name + "/seq", Run: func() Metrics {
-			return FromReport(workloads.ExecuteSequential(s.mk(), ctx.base()))
+			cfg := ctx.base()
+			col := ctx.collector(cfg)
+			m := FromReport(workloads.ExecuteSequentialTraced(s.mk(), cfg, profAttach(col, "scaling/"+s.name+"/seq")))
+			m.Prof = col.Profile()
+			return m
 		}})
 		for _, n := range scalingCPUCounts {
 			n := n
-			cells = append(cells, Cell{Label: fmt.Sprintf("%s/%d", s.name, n), Run: func() Metrics {
-				return FromReport(workloads.Execute(s.mk(), ctx.base(), n))
+			label := fmt.Sprintf("%s/%d", s.name, n)
+			cells = append(cells, Cell{Label: label, Run: func() Metrics {
+				cfg := ctx.base()
+				col := ctx.collector(cfg)
+				m := FromReport(workloads.ExecuteTraced(s.mk(), cfg, n, profAttach(col, "scaling/"+label)))
+				m.Prof = col.Profile()
+				return m
 			}})
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"tmisa/internal/stats"
+	"tmisa/internal/tmprof"
 )
 
 // Metrics is the machine-readable measurement from one matrix cell. The
@@ -44,6 +45,23 @@ type Metrics struct {
 	// WallNS is the host time the cell took (nondeterministic; zeroed by
 	// Canonicalize before determinism comparisons).
 	WallNS int64 `json:"wall_ns"`
+
+	// Prof is the cell's tmprof profile when Context.Profile is set, nil
+	// otherwise. Excluded from the bench JSON so baselines and
+	// determinism diffs are identical with and without profiling; callers
+	// merge the per-cell profiles in matrix order (MergeProfiles).
+	Prof *tmprof.Profile `json:"-"`
+}
+
+// MergeProfiles merges the per-cell profiles of a result slice in matrix
+// order — the same order at any parallelism, so a merged profile is
+// deterministic. Returns nil when no cell carried a profile.
+func MergeProfiles(res []Metrics) *tmprof.Profile {
+	profiles := make([]*tmprof.Profile, len(res))
+	for i := range res {
+		profiles[i] = res[i].Prof
+	}
+	return tmprof.Merge(profiles...)
 }
 
 // FromReport extracts the standard counters from a run report.

@@ -157,3 +157,48 @@ func TestExperimentCellLabelsStable(t *testing.T) {
 		}
 	}
 }
+
+// TestProfiledCellsDeterministic checks the -profile wiring at the
+// harness layer: profiling changes no deterministic metric, every cell
+// yields a profile, and the matrix-order merge produces byte-identical
+// trace JSON at any parallelism.
+func TestProfiledCellsDeterministic(t *testing.T) {
+	ctx := Context{CPUs: 2}
+	exp, _ := Find("opensem")
+	collect := func(ctx Context, parallel int) ([]Metrics, []byte) {
+		res, err := Run(exp.Cells(ctx), parallel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := MergeProfiles(res)
+		if prof == nil {
+			return res, nil
+		}
+		var buf bytes.Buffer
+		if err := prof.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+
+	bare, bareProf := collect(ctx, 1)
+	if bareProf != nil {
+		t.Fatal("profile produced with Profile off")
+	}
+	profiled, trace1 := collect(Context{CPUs: 2, Profile: true}, 1)
+	for i := range bare {
+		b, p := bare[i], profiled[i]
+		if p.Prof == nil {
+			t.Errorf("cell %s: no profile with Profile on", p.Label)
+		}
+		b.WallNS, p.WallNS = 0, 0
+		b.Prof, p.Prof = nil, nil
+		if fmt.Sprint(b) != fmt.Sprint(p) {
+			t.Errorf("cell %s: profiling changed metrics:\n%+v\n%+v", bare[i].Label, b, p)
+		}
+	}
+	_, trace2 := collect(Context{CPUs: 2, Profile: true}, 2)
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("merged profile differs between -parallel 1 and 2")
+	}
+}

@@ -1,0 +1,195 @@
+package tmprof
+
+// Chrome trace-event export. The produced JSON is the "JSON Object
+// Format" of the trace-event spec — {"traceEvents": [...], ...} — which
+// Perfetto and chrome://tracing load directly. Each collected run is one
+// process (pid = run index, named by its label), each simulated CPU one
+// thread. Timestamps carry simulated cycles verbatim in the ts/dur
+// microsecond fields: the absolute unit is meaningless for a simulator,
+// only the ratios matter, and 1 cycle = 1 us keeps the numbers readable.
+// The full aggregate Profile rides along under the top-level "tmprof"
+// key, so one file serves both the timeline viewer and `tmprof`'s
+// contention report.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceEvent is one entry of the trace-event "traceEvents" array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the exported top-level object.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	Tmprof          *Profile     `json:"tmprof"`
+}
+
+// traceEvents flattens the profile's runs into trace-event entries:
+// metadata names first, then every span/instant in collection order.
+func (p *Profile) traceEvents() []traceEvent {
+	var evs []traceEvent
+	for pid, rp := range p.Runs {
+		evs = append(evs, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": rp.Label},
+		})
+		for tid := 0; tid < rp.CPUs; tid++ {
+			evs = append(evs, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("cpu%d", tid)},
+			})
+		}
+		for _, s := range rp.Spans {
+			ev := traceEvent{Name: s.Name, Pid: pid, Tid: s.CPU, Ts: s.Start}
+			if s.Note != "" {
+				ev.Args = map[string]any{"note": s.Note}
+			}
+			if s.Instant {
+				ev.Ph = "i"
+				ev.S = "t" // thread-scoped instant
+			} else {
+				ev.Ph = "X"
+				dur := s.Dur
+				ev.Dur = &dur
+			}
+			evs = append(evs, ev)
+		}
+	}
+	return evs
+}
+
+// WriteTrace writes the profile as trace-event JSON. Output is
+// deterministic: runs in collection order, spans in emission order, and
+// all JSON maps have sorted keys (encoding/json's map ordering).
+func (p *Profile) WriteTrace(w io.Writer) error {
+	f := traceFile{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     p.traceEvents(),
+		Tmprof:          p,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// WriteTraceFile writes the profile to path, creating or truncating it.
+func (p *Profile) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("tmprof: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadTraceFile loads a profile back from a file WriteTrace produced.
+func ReadTraceFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tmprof: parsing %s: %w", path, err)
+	}
+	if f.Tmprof == nil {
+		return nil, fmt.Errorf("tmprof: %s has no \"tmprof\" aggregate section (not written by this tool?)", path)
+	}
+	return f.Tmprof, nil
+}
+
+// ValidateTraceJSON checks data is structurally valid trace-event JSON
+// as this package emits it: displayTimeUnit present, a traceEvents
+// array whose entries all carry name/ph/pid/tid, duration events ("X")
+// carry dur, and instants carry a scope. Used by `tmprof -check` and the
+// CI smoke job; it validates the interchange shape, not the semantics.
+func ValidateTraceJSON(data []byte) error {
+	var raw struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		Tmprof          json.RawMessage   `json:"tmprof"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if raw.DisplayTimeUnit == "" {
+		return fmt.Errorf("missing displayTimeUnit")
+	}
+	if raw.TraceEvents == nil {
+		return fmt.Errorf("missing traceEvents array")
+	}
+	for i, msg := range raw.TraceEvents {
+		var ev map[string]json.RawMessage
+		if err := json.Unmarshal(msg, &ev); err != nil {
+			return fmt.Errorf("traceEvents[%d]: not an object: %w", i, err)
+		}
+		var name, ph string
+		if err := unmarshalField(ev, "name", &name); err != nil || name == "" {
+			return fmt.Errorf("traceEvents[%d]: missing or invalid name", i)
+		}
+		if err := unmarshalField(ev, "ph", &ph); err != nil || ph == "" {
+			return fmt.Errorf("traceEvents[%d] (%s): missing or invalid ph", i, name)
+		}
+		var pid, tid int
+		if err := unmarshalField(ev, "pid", &pid); err != nil {
+			return fmt.Errorf("traceEvents[%d] (%s): missing or invalid pid", i, name)
+		}
+		if err := unmarshalField(ev, "tid", &tid); err != nil {
+			return fmt.Errorf("traceEvents[%d] (%s): missing or invalid tid", i, name)
+		}
+		switch ph {
+		case "M": // metadata carries no timestamp
+		case "X":
+			var ts, dur uint64
+			if err := unmarshalField(ev, "ts", &ts); err != nil {
+				return fmt.Errorf("traceEvents[%d] (%s): duration event missing ts", i, name)
+			}
+			if err := unmarshalField(ev, "dur", &dur); err != nil {
+				return fmt.Errorf("traceEvents[%d] (%s): duration event missing dur", i, name)
+			}
+		case "i":
+			var ts uint64
+			if err := unmarshalField(ev, "ts", &ts); err != nil {
+				return fmt.Errorf("traceEvents[%d] (%s): instant missing ts", i, name)
+			}
+			var scope string
+			if err := unmarshalField(ev, "s", &scope); err != nil || scope == "" {
+				return fmt.Errorf("traceEvents[%d] (%s): instant missing scope", i, name)
+			}
+		default:
+			return fmt.Errorf("traceEvents[%d] (%s): unexpected phase %q", i, name, ph)
+		}
+	}
+	if raw.Tmprof == nil {
+		return fmt.Errorf("missing tmprof aggregate section")
+	}
+	var p Profile
+	if err := json.Unmarshal(raw.Tmprof, &p); err != nil {
+		return fmt.Errorf("tmprof section does not parse as a profile: %w", err)
+	}
+	return nil
+}
+
+func unmarshalField(ev map[string]json.RawMessage, key string, dst any) error {
+	msg, ok := ev[key]
+	if !ok {
+		return fmt.Errorf("missing %s", key)
+	}
+	return json.Unmarshal(msg, dst)
+}

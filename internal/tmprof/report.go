@@ -1,0 +1,141 @@
+package tmprof
+
+// Text contention report: the terminal-facing rendering of a Profile.
+// The report leads with the cross-run totals, then the top-N contended
+// granules ranked by wasted cycles — each with its violation-cause
+// breakdown and aggressor->victim CPU edges — and closes with the
+// unattributed ledger and any collection caveats.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DefaultTopN is how many contended granules Report shows by default.
+const DefaultTopN = 10
+
+// Report renders the profile as a text contention report. topN bounds
+// the granule table (<= 0 selects DefaultTopN); when the table is
+// clipped, the cut is stated so a short listing is never mistaken for a
+// complete one.
+func (p *Profile) Report(w io.Writer, topN int) {
+	if topN <= 0 {
+		topN = DefaultTopN
+	}
+	fmt.Fprintf(w, "tmprof contention report\n")
+
+	var commits, rollbacks, violations uint64
+	for _, rp := range p.Runs {
+		commits += rp.Counts["commit"] + rp.Counts["closed-commit"]
+		rollbacks += rp.Counts["rollback"]
+		violations += rp.Counts["violation"]
+	}
+	gran := "word"
+	if p.LineSize > 1 {
+		gran = fmt.Sprintf("%d-byte line", p.LineSize)
+	}
+	var wasted uint64
+	for _, g := range p.Granules {
+		wasted += g.Wasted
+	}
+	wasted += p.Unattributed.Wasted
+	fmt.Fprintf(w, "runs: %d  granularity: %s\n", len(p.Runs), gran)
+	fmt.Fprintf(w, "commits: %d  rollbacks: %d  violations: %d  wasted cycles: %d\n",
+		commits, rollbacks, violations, wasted)
+
+	for _, rp := range p.Runs {
+		fmt.Fprintf(w, "  run %-28s cpus=%d cycles=%d commits=%d rollbacks=%d",
+			rp.Label, rp.CPUs, rp.EndCycle,
+			rp.Counts["commit"]+rp.Counts["closed-commit"], rp.Counts["rollback"])
+		if rp.DroppedSpans > 0 {
+			fmt.Fprintf(w, " (timeline clipped: %d spans dropped)", rp.DroppedSpans)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(p.Granules) == 0 {
+		fmt.Fprintf(w, "\nno contended granules: every transaction ran conflict-free\n")
+	} else {
+		ranked := append([]*Granule(nil), p.Granules...)
+		sort.Slice(ranked, func(i, j int) bool {
+			a, b := ranked[i], ranked[j]
+			if a.Wasted != b.Wasted {
+				return a.Wasted > b.Wasted
+			}
+			if a.Violations != b.Violations {
+				return a.Violations > b.Violations
+			}
+			return a.Addr < b.Addr
+		})
+		shown := len(ranked)
+		if shown > topN {
+			shown = topN
+		}
+		fmt.Fprintf(w, "\ntop contended granules (by wasted cycles):\n")
+		fmt.Fprintf(w, "%4s %-14s %6s %6s %10s  %s\n", "#", "addr", "viol", "rbk", "wasted", "causes / aggressor->victim")
+		for i := 0; i < shown; i++ {
+			g := ranked[i]
+			fmt.Fprintf(w, "%4d %-14s %6d %6d %10d  %s\n",
+				i+1, fmt.Sprintf("%#x", uint64(g.Addr)), g.Violations, g.Rollbacks, g.Wasted,
+				countsLine(g.Causes, 0))
+			if pairs := countsLine(g.Pairs, maxPairsShown); pairs != "-" {
+				fmt.Fprintf(w, "%4s %-14s %6s %6s %10s  %s\n", "", "", "", "", "", pairs)
+			}
+		}
+		if shown < len(ranked) {
+			fmt.Fprintf(w, "  ... %d more granules not shown (rerun with -top %d for all)\n",
+				len(ranked)-shown, len(ranked))
+		}
+	}
+
+	if p.Unattributed.Rollbacks > 0 {
+		fmt.Fprintf(w, "\nunattributed rollbacks (aborts, injected faults): %d, wasting %d cycles\n",
+			p.Unattributed.Rollbacks, p.Unattributed.Wasted)
+	}
+	for _, n := range p.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// maxPairsShown caps the aggressor->victim edges rendered per granule;
+// a hot granule on 8 CPUs has up to 56 edges and the tail says little.
+const maxPairsShown = 8
+
+// countsLine renders a counter map as "k1:v1 k2:v2", descending by
+// count then ascending by key, or "-" when empty. max > 0 truncates to
+// the top entries with an explicit "+N more" marker.
+func countsLine(m map[string]uint64, max int) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	type kv struct {
+		k string
+		v uint64
+	}
+	kvs := make([]kv, 0, len(m))
+	for k, v := range m {
+		kvs = append(kvs, kv{k, v})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].v != kvs[j].v {
+			return kvs[i].v > kvs[j].v
+		}
+		return kvs[i].k < kvs[j].k
+	})
+	dropped := 0
+	if max > 0 && len(kvs) > max {
+		dropped = len(kvs) - max
+		kvs = kvs[:max]
+	}
+	parts := make([]string, len(kvs))
+	for i, e := range kvs {
+		parts[i] = fmt.Sprintf("%s:%d", e.k, e.v)
+	}
+	line := strings.Join(parts, " ")
+	if dropped > 0 {
+		line += fmt.Sprintf(" (+%d more edges)", dropped)
+	}
+	return line
+}

@@ -1,0 +1,394 @@
+// Package tmprof aggregates trace.Event streams into conflict-attribution
+// profiles: per-granule contention counters (who violated whom, over which
+// line, how many cycles each rollback threw away) and per-transaction
+// timelines exportable as Chrome trace-event JSON for Perfetto.
+//
+// A Collector attaches to one or more core.Machine runs via
+// Machine.SetTracer(col.StartRun(label)); each run becomes one process row
+// in the exported trace. The collector is a pure consumer — it never
+// touches the machine and never advances simulated time — so a profiled
+// run is cycle-identical to an unprofiled one. All methods are nil-safe on
+// the receiver so call sites can thread an optional *Collector without
+// guarding every touch.
+package tmprof
+
+import (
+	"fmt"
+	"sort"
+
+	"tmisa/internal/mem"
+	"tmisa/internal/trace"
+)
+
+// DefaultMaxSpans bounds the timeline kept per run; aggregate counters
+// keep counting after the bound so attribution stays exact even when the
+// timeline is clipped.
+const DefaultMaxSpans = 50_000
+
+// Options configures a Collector.
+type Options struct {
+	// LineSize is the conflict-granule size used to fold word addresses
+	// into lines (<= 0 keeps word granularity).
+	LineSize int
+	// MaxSpans bounds timeline spans retained per run (0 selects
+	// DefaultMaxSpans, negative disables the timeline entirely).
+	MaxSpans int
+}
+
+// Span is one timeline entry: a transaction attempt (begin to
+// commit/rollback), a backoff stall, or an instant marker (violation,
+// abort, validate, handler dispatch).
+type Span struct {
+	// Name labels the Perfetto slice ("tx nl=1", "backoff", "violation").
+	Name string `json:"name"`
+	// CPU is the hardware thread the span ran on.
+	CPU int `json:"cpu"`
+	// Start is the span's start cycle; Dur its length in cycles.
+	Start uint64 `json:"start"`
+	Dur   uint64 `json:"dur"`
+	// Instant marks zero-width markers rendered as trace instants.
+	Instant bool `json:"instant,omitempty"`
+	// Note carries the outcome ("commit", "rollback") or event detail
+	// (cause kind, abort reason).
+	Note string `json:"note,omitempty"`
+}
+
+// RunProfile is the per-machine-run slice of a Profile: one exported
+// trace process, with its timeline and lifetime event counts.
+type RunProfile struct {
+	// Label names the run ("figure5/flat/p=4").
+	Label string `json:"label"`
+	// CPUs is the highest CPU index seen plus one.
+	CPUs int `json:"cpus"`
+	// EndCycle is the latest cycle any event reached.
+	EndCycle uint64 `json:"endCycle"`
+	// Counts are lifetime event counts by kind name.
+	Counts map[string]uint64 `json:"counts"`
+	// Spans is the retained timeline, in emission order.
+	Spans []Span `json:"spans,omitempty"`
+	// DroppedSpans counts timeline entries clipped by MaxSpans.
+	DroppedSpans int `json:"droppedSpans,omitempty"`
+}
+
+// Granule is the contention record for one conflict granule (a line, or
+// a word under word tracking).
+type Granule struct {
+	// Addr is the granule address.
+	Addr mem.Addr `json:"addr"`
+	// Violations counts conflicts delivered over this granule.
+	Violations uint64 `json:"violations"`
+	// Rollbacks counts rollbacks whose cause address fell in this granule.
+	Rollbacks uint64 `json:"rollbacks"`
+	// Wasted is the total cycles those rollbacks discarded.
+	Wasted uint64 `json:"wasted"`
+	// Causes counts violations by cause kind ("lazy-commit",
+	// "eager-store", "nt-load", ...).
+	Causes map[string]uint64 `json:"causes,omitempty"`
+	// Pairs counts violations by "cpuA->cpuB" aggressor->victim edge.
+	Pairs map[string]uint64 `json:"pairs,omitempty"`
+}
+
+// Unattributed accumulates rollbacks with no cause granule (explicit
+// aborts, injected faults) so the wasted-cycle ledger still balances.
+type Unattributed struct {
+	Rollbacks uint64 `json:"rollbacks"`
+	Wasted    uint64 `json:"wasted"`
+}
+
+// Profile is the serializable aggregation: what the Chrome-trace export
+// embeds under its "tmprof" key and what the report renderer reads.
+type Profile struct {
+	// LineSize is the granule-folding size used during collection.
+	LineSize int `json:"lineSize"`
+	// Runs are the collected machine runs, in collection (matrix) order.
+	Runs []*RunProfile `json:"runs"`
+	// Granules is the cross-run contention table, sorted by address.
+	Granules []*Granule `json:"granules"`
+	// Unattributed holds rollbacks with no cause granule.
+	Unattributed Unattributed `json:"unattributed"`
+	// Notes records collection caveats (ring-window truncation, ...).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// spanKey identifies one open transaction level on one CPU.
+type spanKey struct {
+	cpu, level int
+}
+
+// runState is a run's in-flight collection state.
+type runState struct {
+	rp   *RunProfile
+	open map[spanKey]uint64 // open tx level -> begin cycle
+}
+
+// Collector consumes event streams and aggregates them into a Profile.
+type Collector struct {
+	lineSize int
+	maxSpans int
+	runs     []*runState
+	granules map[mem.Addr]*Granule
+	unattr   Unattributed
+	notes    []string
+}
+
+// NewCollector returns a collector with the given options.
+func NewCollector(opts Options) *Collector {
+	if opts.MaxSpans == 0 {
+		opts.MaxSpans = DefaultMaxSpans
+	}
+	return &Collector{
+		lineSize: opts.LineSize,
+		maxSpans: opts.MaxSpans,
+		granules: make(map[mem.Addr]*Granule),
+	}
+}
+
+// StartRun opens a new run labeled label and returns the tracer to pass
+// to Machine.SetTracer. Returns nil on a nil collector, so call sites
+// thread an optional profiler as
+//
+//	if rec := col.StartRun(label); rec != nil { m.SetTracer(rec) }
+func (c *Collector) StartRun(label string) func(trace.Event) {
+	if c == nil {
+		return nil
+	}
+	rs := &runState{
+		rp: &RunProfile{
+			Label:  label,
+			Counts: make(map[string]uint64),
+		},
+		open: make(map[spanKey]uint64),
+	}
+	c.runs = append(c.runs, rs)
+	return func(e trace.Event) { c.consume(rs, e) }
+}
+
+// Note appends a collection caveat surfaced by the report and export.
+func (c *Collector) Note(format string, args ...any) {
+	if c == nil {
+		return
+	}
+	c.notes = append(c.notes, fmt.Sprintf(format, args...))
+}
+
+// granuleOf folds a word address to its conflict granule.
+func (c *Collector) granuleOf(a mem.Addr) mem.Addr {
+	if c.lineSize > 1 {
+		return mem.LineAddr(a, c.lineSize)
+	}
+	return a
+}
+
+func (c *Collector) granule(a mem.Addr) *Granule {
+	g := c.granules[a]
+	if g == nil {
+		g = &Granule{Addr: a, Causes: make(map[string]uint64), Pairs: make(map[string]uint64)}
+		c.granules[a] = g
+	}
+	return g
+}
+
+// addSpan appends a timeline entry, honoring the per-run bound.
+func (c *Collector) addSpan(rs *runState, s Span) {
+	if c.maxSpans < 0 {
+		return
+	}
+	if len(rs.rp.Spans) >= c.maxSpans {
+		rs.rp.DroppedSpans++
+		return
+	}
+	rs.rp.Spans = append(rs.rp.Spans, s)
+}
+
+// closeTx ends the open transaction span for (cpu, level) with the given
+// outcome, if one is open.
+func (c *Collector) closeTx(rs *runState, e trace.Event, outcome string) {
+	k := spanKey{e.CPU, e.Level}
+	start, ok := rs.open[k]
+	if !ok {
+		return
+	}
+	delete(rs.open, k)
+	c.addSpan(rs, Span{
+		Name:  fmt.Sprintf("tx nl=%d", e.Level),
+		CPU:   e.CPU,
+		Start: start,
+		Dur:   e.Cycle - start,
+		Note:  outcome,
+	})
+}
+
+func (c *Collector) instant(rs *runState, e trace.Event, name, note string) {
+	c.addSpan(rs, Span{Name: name, CPU: e.CPU, Start: e.Cycle, Instant: true, Note: note})
+}
+
+// consume folds one event into the run and cross-run aggregates.
+func (c *Collector) consume(rs *runState, e trace.Event) {
+	rp := rs.rp
+	if end := e.Cycle + e.Dur; end > rp.EndCycle {
+		rp.EndCycle = end
+	}
+	if e.CPU >= rp.CPUs {
+		rp.CPUs = e.CPU + 1
+	}
+	rp.Counts[e.Kind.String()]++
+
+	switch e.Kind {
+	case trace.Begin:
+		rs.open[spanKey{e.CPU, e.Level}] = e.Cycle
+	case trace.Commit:
+		outcome := "commit"
+		if e.Open {
+			outcome = "open-commit"
+		}
+		c.closeTx(rs, e, outcome)
+	case trace.ClosedCommit:
+		c.closeTx(rs, e, "closed-commit")
+	case trace.Rollback:
+		c.closeTx(rs, e, "rollback")
+		if e.Addr != 0 {
+			g := c.granule(c.granuleOf(e.Addr))
+			g.Rollbacks++
+			g.Wasted += e.Wasted
+		} else {
+			c.unattr.Rollbacks++
+			c.unattr.Wasted += e.Wasted
+		}
+	case trace.Violation:
+		g := c.granule(c.granuleOf(e.Addr))
+		g.Violations++
+		if e.Note != "" {
+			g.Causes[e.Note]++
+		}
+		if e.By >= 0 {
+			g.Pairs[fmt.Sprintf("cpu%d->cpu%d", e.By, e.CPU)]++
+		}
+		c.instant(rs, e, "violation", e.Note)
+	case trace.Abort:
+		c.instant(rs, e, "abort", e.Note)
+	case trace.Validate:
+		c.instant(rs, e, "validate", "")
+	case trace.Handler:
+		c.instant(rs, e, "handler", e.Note)
+	case trace.Backoff:
+		c.addSpan(rs, Span{Name: "backoff", CPU: e.CPU, Start: e.Cycle, Dur: e.Dur, Note: "backoff"})
+	}
+}
+
+// Profile snapshots the aggregation: dangling transaction spans are
+// closed at the run's end cycle (outcome "unfinished"), and granules are
+// emitted sorted by address so output is deterministic. Returns nil on a
+// nil collector.
+func (c *Collector) Profile() *Profile {
+	if c == nil {
+		return nil
+	}
+	p := &Profile{
+		LineSize:     c.lineSize,
+		Unattributed: c.unattr,
+		Notes:        append([]string(nil), c.notes...),
+	}
+	for _, rs := range c.runs {
+		// Close still-open levels deterministically: deepest first, so a
+		// nest renders as properly stacked slices.
+		keys := make([]spanKey, 0, len(rs.open))
+		for k := range rs.open {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].cpu != keys[j].cpu {
+				return keys[i].cpu < keys[j].cpu
+			}
+			return keys[i].level > keys[j].level
+		})
+		for _, k := range keys {
+			start := rs.open[k]
+			delete(rs.open, k)
+			c.addSpan(rs, Span{
+				Name:  fmt.Sprintf("tx nl=%d", k.level),
+				CPU:   k.cpu,
+				Start: start,
+				Dur:   rs.rp.EndCycle - start,
+				Note:  "unfinished",
+			})
+		}
+		p.Runs = append(p.Runs, rs.rp)
+	}
+	for _, g := range c.granules {
+		p.Granules = append(p.Granules, g)
+	}
+	sort.Slice(p.Granules, func(i, j int) bool { return p.Granules[i].Addr < p.Granules[j].Addr })
+	return p
+}
+
+// FromLog builds a single-run profile from an already-recorded bounded
+// ring. Spans and granule attribution cover only the retained window;
+// lifetime counts come from the ring's eviction-proof counters, and a
+// note records the truncation when events were evicted.
+func FromLog(log *trace.Log, label string, lineSize int) *Profile {
+	c := NewCollector(Options{LineSize: lineSize})
+	rec := c.StartRun(label)
+	log.Do(rec)
+	if retained := uint64(log.Retained()); log.Total() > retained {
+		c.Note("run %q: ring retained %d of %d events; spans and granule attribution cover only that window (lifetime counts are exact)",
+			label, retained, log.Total())
+	}
+	p := c.Profile()
+	// Overwrite windowed counts with the ring's lifetime counters.
+	rp := p.Runs[0]
+	rp.Counts = make(map[string]uint64)
+	for k := 0; k < trace.NumKinds; k++ {
+		if n := log.Count(trace.Kind(k)); n > 0 {
+			rp.Counts[trace.Kind(k).String()] = n
+		}
+	}
+	return p
+}
+
+// Merge combines profiles in argument order into one: runs concatenate
+// (preserving matrix order, which fixes exported pids), granule tables
+// merge by address, and unattributed/note ledgers accumulate. Nil
+// profiles are skipped; an all-nil merge returns nil.
+func Merge(profiles ...*Profile) *Profile {
+	var out *Profile
+	granules := make(map[mem.Addr]*Granule)
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = &Profile{LineSize: p.LineSize}
+		}
+		out.Runs = append(out.Runs, p.Runs...)
+		out.Unattributed.Rollbacks += p.Unattributed.Rollbacks
+		out.Unattributed.Wasted += p.Unattributed.Wasted
+		out.Notes = append(out.Notes, p.Notes...)
+		if p.LineSize != out.LineSize {
+			out.Notes = append(out.Notes, fmt.Sprintf("merged profiles mix granule sizes (%d and %d); granule table keys are not comparable across them", out.LineSize, p.LineSize))
+		}
+		for _, g := range p.Granules {
+			dst := granules[g.Addr]
+			if dst == nil {
+				dst = &Granule{Addr: g.Addr, Causes: make(map[string]uint64), Pairs: make(map[string]uint64)}
+				granules[g.Addr] = dst
+			}
+			dst.Violations += g.Violations
+			dst.Rollbacks += g.Rollbacks
+			dst.Wasted += g.Wasted
+			for k, v := range g.Causes {
+				dst.Causes[k] += v
+			}
+			for k, v := range g.Pairs {
+				dst.Pairs[k] += v
+			}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	for _, g := range granules {
+		out.Granules = append(out.Granules, g)
+	}
+	sort.Slice(out.Granules, func(i, j int) bool { return out.Granules[i].Addr < out.Granules[j].Addr })
+	return out
+}

@@ -1,0 +1,305 @@
+package tmprof_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmisa/internal/core"
+	"tmisa/internal/tmprof"
+	"tmisa/internal/trace"
+)
+
+// contend runs a 2-CPU counter-increment contention kernel and returns
+// the machine's stats report string (for determinism comparison).
+func contend(t *testing.T, rec func(trace.Event)) string {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 2
+	cfg.MaxCycles = 50_000_000
+	m := core.NewMachine(cfg)
+	if rec != nil {
+		m.SetTracer(rec)
+	}
+	line := m.AllocLine()
+	worker := func(p *core.Proc) {
+		for i := 0; i < 25; i++ {
+			p.Atomic(func(tx *core.Tx) {
+				p.Store(line, p.Load(line)+1)
+				p.Tick(20)
+			})
+		}
+	}
+	return m.Run(worker, worker).String()
+}
+
+func TestCollectorAttribution(t *testing.T) {
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	bare := contend(t, nil)
+	profiled := contend(t, col.StartRun("contend"))
+	if bare != profiled {
+		t.Errorf("attaching the profiler changed the run:\nbare:\n%s\nprofiled:\n%s", bare, profiled)
+	}
+
+	p := col.Profile()
+	if len(p.Runs) != 1 || p.Runs[0].Label != "contend" {
+		t.Fatalf("runs = %+v, want one labeled \"contend\"", p.Runs)
+	}
+	rp := p.Runs[0]
+	if rp.CPUs != 2 {
+		t.Errorf("CPUs = %d, want 2", rp.CPUs)
+	}
+	if rp.Counts["rollback"] == 0 || rp.Counts["commit"] == 0 {
+		t.Fatalf("counts missing rollbacks/commits: %v", rp.Counts)
+	}
+	if len(p.Granules) == 0 {
+		t.Fatal("no granules attributed on a contention run")
+	}
+	var g *tmprof.Granule
+	for _, cand := range p.Granules {
+		if g == nil || cand.Wasted > g.Wasted {
+			g = cand
+		}
+	}
+	if g.Violations == 0 || g.Rollbacks == 0 || g.Wasted == 0 {
+		t.Errorf("hottest granule lacks attribution: %+v", g)
+	}
+	if uint64(g.Addr)%64 != 0 {
+		t.Errorf("granule %#x not folded to the 64-byte line", uint64(g.Addr))
+	}
+	if len(g.Pairs) == 0 {
+		t.Errorf("hottest granule has no aggressor->victim edges")
+	}
+	for pair := range g.Pairs {
+		if pair != "cpu0->cpu1" && pair != "cpu1->cpu0" {
+			t.Errorf("unexpected pair key %q", pair)
+		}
+	}
+	if len(g.Causes) == 0 {
+		t.Errorf("hottest granule has no cause kinds")
+	}
+}
+
+func TestSpanTimeline(t *testing.T) {
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	contend(t, col.StartRun("contend"))
+	p := col.Profile()
+	var commits, rollbacks, instants int
+	for _, s := range p.Runs[0].Spans {
+		if s.Instant {
+			instants++
+			continue
+		}
+		if !strings.HasPrefix(s.Name, "tx nl=") && s.Name != "backoff" {
+			t.Errorf("unexpected span name %q", s.Name)
+		}
+		switch s.Note {
+		case "commit", "closed-commit", "open-commit":
+			commits++
+		case "rollback":
+			rollbacks++
+			if s.Dur == 0 {
+				t.Errorf("rollback span with zero duration: %+v", s)
+			}
+		}
+	}
+	if commits == 0 || rollbacks == 0 || instants == 0 {
+		t.Errorf("timeline incomplete: commits=%d rollbacks=%d instants=%d", commits, rollbacks, instants)
+	}
+	if commits != int(p.Runs[0].Counts["commit"]+p.Runs[0].Counts["closed-commit"]) {
+		t.Errorf("commit spans (%d) disagree with commit counts (%v)", commits, p.Runs[0].Counts)
+	}
+}
+
+func TestMaxSpansBound(t *testing.T) {
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64, MaxSpans: 10})
+	contend(t, col.StartRun("contend"))
+	p := col.Profile()
+	rp := p.Runs[0]
+	if len(rp.Spans) > 10 {
+		t.Errorf("retained %d spans, bound was 10", len(rp.Spans))
+	}
+	if rp.DroppedSpans == 0 {
+		t.Errorf("no spans reported dropped under a 10-span bound on a contention run")
+	}
+	// Aggregates keep counting past the timeline bound.
+	if len(p.Granules) == 0 {
+		t.Errorf("granule attribution stopped when the timeline clipped")
+	}
+}
+
+func TestWriteTraceAndValidate(t *testing.T) {
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	contend(t, col.StartRun("contend"))
+	p := col.Profile()
+
+	var buf bytes.Buffer
+	if err := p.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if err := tmprof.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace fails validation: %v", err)
+	}
+	for _, bad := range []string{
+		`{}`,
+		`{"traceEvents":[]}`,
+		`{"displayTimeUnit":"ns","traceEvents":[{"ph":"X"}]}`,
+		`{"displayTimeUnit":"ns","traceEvents":[{"name":"tx","ph":"X","pid":0,"tid":0,"ts":1}],"tmprof":{}}`,
+		`{"displayTimeUnit":"ns","traceEvents":[],"tmprof":[1]}`,
+	} {
+		if err := tmprof.ValidateTraceJSON([]byte(bad)); err == nil {
+			t.Errorf("ValidateTraceJSON accepted %s", bad)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "prof.json")
+	if err := p.WriteTraceFile(path); err != nil {
+		t.Fatalf("WriteTraceFile: %v", err)
+	}
+	back, err := tmprof.ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("ReadTraceFile: %v", err)
+	}
+	if len(back.Runs) != len(p.Runs) || len(back.Granules) != len(p.Granules) {
+		t.Errorf("round-trip lost shape: %d/%d runs, %d/%d granules",
+			len(back.Runs), len(p.Runs), len(back.Granules), len(p.Granules))
+	}
+
+	// Export is deterministic byte-for-byte across identical runs.
+	col2 := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	contend(t, col2.StartRun("contend"))
+	var buf2 bytes.Buffer
+	if err := col2.Profile().WriteTrace(&buf2); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("identical runs produced different trace bytes")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	mk := func(label string) *tmprof.Profile {
+		col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+		contend(t, col.StartRun(label))
+		return col.Profile()
+	}
+	a, b := mk("cell-a"), mk("cell-b")
+	merged := tmprof.Merge(nil, a, nil, b)
+	if got := len(merged.Runs); got != 2 {
+		t.Fatalf("merged runs = %d, want 2", got)
+	}
+	if merged.Runs[0].Label != "cell-a" || merged.Runs[1].Label != "cell-b" {
+		t.Errorf("merge reordered runs: %q, %q", merged.Runs[0].Label, merged.Runs[1].Label)
+	}
+	var aw, bw, mw uint64
+	for _, g := range a.Granules {
+		aw += g.Wasted
+	}
+	for _, g := range b.Granules {
+		bw += g.Wasted
+	}
+	for _, g := range merged.Granules {
+		mw += g.Wasted
+	}
+	if mw != aw+bw {
+		t.Errorf("merged wasted %d != %d + %d", mw, aw, bw)
+	}
+	if tmprof.Merge(nil, nil) != nil {
+		t.Error("all-nil merge should be nil")
+	}
+}
+
+// TestFromLogTruncation pins the satellite-4 interaction: when a bounded
+// trace ring wraps, FromLog's counts come from the ring's lifetime
+// counters (exact despite eviction) while spans/granules cover only the
+// retained window, and the profile says so.
+func TestFromLogTruncation(t *testing.T) {
+	log := trace.NewLog(64)
+	contend(t, log.Record)
+	if log.Total() <= uint64(log.Retained()) {
+		t.Fatalf("kernel too small to wrap the ring: total=%d retained=%d", log.Total(), log.Retained())
+	}
+	p := tmprof.FromLog(log, "wrapped", 64)
+	rp := p.Runs[0]
+	for k := 0; k < trace.NumKinds; k++ {
+		kind := trace.Kind(k)
+		if got, want := rp.Counts[kind.String()], log.Count(kind); got != want {
+			t.Errorf("count[%s] = %d, want lifetime %d", kind, got, want)
+		}
+	}
+	var total uint64
+	for _, n := range rp.Counts {
+		total += n
+	}
+	if total != log.Total() {
+		t.Errorf("summed counts %d != lifetime total %d", total, log.Total())
+	}
+	if len(rp.Spans) == 0 {
+		t.Error("no spans recovered from the retained window")
+	}
+	found := false
+	for _, n := range p.Notes {
+		if strings.Contains(n, "retained") && strings.Contains(n, fmt.Sprint(log.Total())) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no truncation note naming the window; notes = %q", p.Notes)
+	}
+
+	// An unwrapped log carries no truncation note.
+	small := trace.NewLog(1 << 20)
+	contend(t, small.Record)
+	if p2 := tmprof.FromLog(small, "whole", 64); len(p2.Notes) != 0 {
+		t.Errorf("unexpected notes on an untruncated log: %q", p2.Notes)
+	}
+}
+
+func TestNilCollector(t *testing.T) {
+	var col *tmprof.Collector
+	if rec := col.StartRun("x"); rec != nil {
+		t.Error("nil collector returned a live tracer")
+	}
+	col.Note("ignored")
+	if col.Profile() != nil {
+		t.Error("nil collector returned a profile")
+	}
+}
+
+func TestReport(t *testing.T) {
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	contend(t, col.StartRun("contend"))
+	p := col.Profile()
+	var buf bytes.Buffer
+	p.Report(&buf, 5)
+	out := buf.String()
+	for _, want := range []string{
+		"tmprof contention report",
+		"granularity: 64-byte line",
+		"top contended granules",
+		"cpu",
+		"wasted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// An empty profile still renders, with the conflict-free line.
+	empty := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 1
+	m := core.NewMachine(cfg)
+	m.SetTracer(empty.StartRun("quiet"))
+	addr := m.AllocLine()
+	m.Run(func(pr *core.Proc) {
+		pr.Atomic(func(*core.Tx) { pr.Store(addr, 1) })
+	})
+	buf.Reset()
+	empty.Profile().Report(&buf, 0)
+	if !strings.Contains(buf.String(), "conflict-free") {
+		t.Errorf("quiet report missing conflict-free line:\n%s", buf.String())
+	}
+}

@@ -53,13 +53,19 @@ const (
 	// ReleaseEv is the release instruction: Addr holds the released
 	// conflict granule (a line, or a word under word tracking).
 	ReleaseEv
+	// Backoff is a contention-management stall between a rollback and the
+	// re-execution; Dur carries the stall length in cycles.
+	Backoff
 )
 
 var kindNames = [...]string{
 	"begin", "commit", "closed-commit", "rollback", "abort", "violation",
 	"handler", "validate", "tx-load", "tx-store", "nt-load", "nt-store",
-	"im-load", "im-store", "im-storeid", "release",
+	"im-load", "im-store", "im-storeid", "release", "backoff",
 }
+
+// NumKinds is the number of defined event kinds (for iteration).
+const NumKinds = int(Backoff) + 1
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -80,20 +86,42 @@ type Event struct {
 	Level int
 	// Open marks open-nested begins/commits.
 	Open bool
-	// Addr is the conflicting line for violations, and the word address
-	// for memory events (zero otherwise).
+	// Addr is the conflicting granule for violations and violation-caused
+	// rollbacks, and the word address for memory events (see HasAddr).
 	Addr mem.Addr
 	// Val is the value observed (loads) or stored (stores) by memory
 	// events; zero for lifecycle events.
 	Val uint64
-	// Note carries extra context ("commit-handler", an abort reason, …).
+	// By is the aggressor CPU whose access or commit caused a Violation
+	// or a violation-triggered Rollback; -1 when there is no aggressor
+	// (injected faults, aborts) or the kind carries none.
+	By int
+	// Wasted is the cycles a Rollback discarded: the victim level's local
+	// time from xbegin to the rollback.
+	Wasted uint64
+	// Dur is the span length in cycles for duration events (Backoff).
+	Dur uint64
+	// Note carries extra context ("commit-handler", an abort reason, a
+	// violation's cause kind, …).
 	Note string
 }
 
 // IsMemory reports whether the event is a memory access (a kind that
-// carries a word address and a value).
+// carries a word address and a value moved).
 func (e Event) IsMemory() bool {
 	return e.Kind >= TxLoad && e.Kind <= ImStoreID
+}
+
+// HasAddr reports whether the event's kind defines Addr: memory accesses
+// (word address), releases (the released granule), and violations (the
+// conflicting granule, xvaddr). For these kinds Addr is meaningful even
+// when it is zero — address 0 is a valid simulated word — so renderers
+// must not use a zero test to decide whether to show it. Rollback events
+// may carry a cause address too, but only when the rollback was
+// violation-triggered, so they are excluded here and render their address
+// only when present.
+func (e Event) HasAddr() bool {
+	return (e.Kind >= TxLoad && e.Kind <= ReleaseEv) || e.Kind == Violation
 }
 
 // String renders one event compactly.
@@ -106,11 +134,20 @@ func (e Event) String() string {
 	if e.Open {
 		b.WriteString(" open")
 	}
-	if e.Addr != 0 {
+	if e.HasAddr() || e.Addr != 0 {
 		fmt.Fprintf(&b, " addr=%#x", uint64(e.Addr))
 	}
 	if e.IsMemory() {
 		fmt.Fprintf(&b, " val=%d", e.Val)
+	}
+	if e.By >= 0 && (e.Kind == Violation || e.Kind == Rollback) {
+		fmt.Fprintf(&b, " by=cpu%d", e.By)
+	}
+	if e.Kind == Rollback && e.Wasted > 0 {
+		fmt.Fprintf(&b, " wasted=%d", e.Wasted)
+	}
+	if e.Dur > 0 {
+		fmt.Fprintf(&b, " dur=%d", e.Dur)
 	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, " (%s)", e.Note)
@@ -155,7 +192,29 @@ func (l *Log) Total() uint64 { return l.total }
 // Count returns the lifetime count of one kind.
 func (l *Log) Count(k Kind) uint64 { return l.counts[k] }
 
-// Events returns the retained events, oldest first.
+// Do calls fn for every retained event, oldest first, without copying
+// the ring. It is the accessor for consumers that only stream the window
+// (formatting, profiling aggregation); Events/Tail keep returning copies
+// for callers that retain or mutate the slice (tests).
+func (l *Log) Do(fn func(Event)) {
+	if len(l.events) < l.cap {
+		for _, e := range l.events {
+			fn(e)
+		}
+		return
+	}
+	for _, e := range l.events[l.next:] {
+		fn(e)
+	}
+	for _, e := range l.events[:l.next] {
+		fn(e)
+	}
+}
+
+// Retained returns how many events the ring currently holds.
+func (l *Log) Retained() int { return len(l.events) }
+
+// Events returns a copy of the retained events, oldest first.
 func (l *Log) Events() []Event {
 	if len(l.events) < l.cap {
 		return append([]Event(nil), l.events...)
@@ -166,22 +225,36 @@ func (l *Log) Events() []Event {
 	return out
 }
 
-// Tail returns the most recent n retained events, oldest first.
+// Tail returns a copy of the most recent n retained events, oldest
+// first, assembled directly from the ring (one copy, not two).
 func (l *Log) Tail(n int) []Event {
-	ev := l.Events()
-	if n >= len(ev) {
-		return ev
+	if n <= 0 {
+		return nil
 	}
-	return ev[len(ev)-n:]
+	retained := len(l.events)
+	if n > retained {
+		n = retained
+	}
+	out := make([]Event, 0, n)
+	// start is the logical index (0 = oldest retained) of the first event
+	// in the tail; the physical oldest sits at l.next once wrapped.
+	start := retained - n
+	if retained < l.cap {
+		return append(out, l.events[start:]...)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, l.events[(l.next+start+i)%l.cap])
+	}
+	return out
 }
 
 // String renders the retained events, one per line, with a summary.
 func (l *Log) String() string {
 	var b strings.Builder
-	for _, e := range l.Events() {
+	l.Do(func(e Event) {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
-	}
+	})
 	fmt.Fprintf(&b, "-- %d events total", l.total)
 	for k := Begin; int(k) < len(kindNames); k++ {
 		if c := l.counts[k]; c > 0 {
@@ -195,8 +268,8 @@ func (l *Log) String() string {
 // PerCPU splits the retained events by processor.
 func (l *Log) PerCPU() map[int][]Event {
 	out := make(map[int][]Event)
-	for _, e := range l.Events() {
+	l.Do(func(e Event) {
 		out[e.CPU] = append(out[e.CPU], e)
-	}
+	})
 	return out
 }

@@ -64,6 +64,131 @@ func TestEventString(t *testing.T) {
 	}
 }
 
+// TestEventStringAddrZero pins the addr-0 rendering fix: memory events,
+// releases, and violations at simulated address 0 must still print their
+// address — address 0 is a valid word, and hiding it made traces of
+// low-address conflicts unreadable.
+func TestEventStringAddrZero(t *testing.T) {
+	for _, k := range []Kind{TxLoad, TxStore, NtLoad, NtStore, ImLoad, ImStore, ImStoreID, ReleaseEv, Violation} {
+		e := Event{Cycle: 1, CPU: 0, Kind: k, Addr: 0, By: -1}
+		if s := e.String(); !strings.Contains(s, "addr=0x0") {
+			t.Errorf("%s at address 0 renders without its address: %q", k, s)
+		}
+		if !e.HasAddr() {
+			t.Errorf("HasAddr(%s) = false, want true", k)
+		}
+	}
+	// Lifecycle events without an address must not grow a spurious addr=0x0.
+	for _, k := range []Kind{Begin, Commit, ClosedCommit, Abort, Handler, Validate, Backoff} {
+		e := Event{Cycle: 1, Kind: k, By: -1}
+		if s := e.String(); strings.Contains(s, "addr=") {
+			t.Errorf("%s without an address renders one: %q", k, s)
+		}
+		if e.HasAddr() {
+			t.Errorf("HasAddr(%s) = true, want false", k)
+		}
+	}
+}
+
+// TestEventStringRelease pins the release-rendering fix: ReleaseEv
+// carries the released granule in Addr (it is not a value-moving memory
+// event, so IsMemory excludes it) and must render that granule.
+func TestEventStringRelease(t *testing.T) {
+	e := Event{Cycle: 9, CPU: 1, Kind: ReleaseEv, Level: 1, Addr: 0x2040}
+	s := e.String()
+	if !strings.Contains(s, "addr=0x2040") {
+		t.Fatalf("release renders without its granule: %q", s)
+	}
+	if strings.Contains(s, "val=") {
+		t.Fatalf("release carries no value but renders one: %q", s)
+	}
+	if e.IsMemory() {
+		t.Fatal("IsMemory(release) = true; releases move no value")
+	}
+}
+
+// TestEventStringRollbackContext checks the profiler-facing rollback
+// context renders: cause address, aggressor CPU, and wasted cycles.
+func TestEventStringRollbackContext(t *testing.T) {
+	e := Event{Cycle: 100, CPU: 2, Kind: Rollback, Level: 1, Addr: 0x1100, By: 5, Wasted: 321}
+	s := e.String()
+	for _, want := range []string{"addr=0x1100", "by=cpu5", "wasted=321"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rollback context %q missing from %q", want, s)
+		}
+	}
+	// An abort-caused rollback has no aggressor and no cause address.
+	e = Event{Cycle: 100, CPU: 2, Kind: Rollback, Level: 1, By: -1}
+	if s := e.String(); strings.Contains(s, "by=") || strings.Contains(s, "addr=") {
+		t.Errorf("abort rollback renders spurious context: %q", s)
+	}
+}
+
+// TestEventStringBackoff checks backoff spans render their duration.
+func TestEventStringBackoff(t *testing.T) {
+	e := Event{Cycle: 50, CPU: 0, Kind: Backoff, Dur: 160, By: -1}
+	s := e.String()
+	if !strings.Contains(s, "backoff") || !strings.Contains(s, "dur=160") {
+		t.Fatalf("backoff span renders wrong: %q", s)
+	}
+}
+
+// TestDo checks the allocation-free visitor yields exactly the retained
+// window in order, both before and after wraparound.
+func TestDo(t *testing.T) {
+	for _, records := range []int{3, 11} { // below and above capacity 4
+		l := NewLog(4)
+		for i := 0; i < records; i++ {
+			l.Record(Event{Cycle: uint64(i), Kind: Begin})
+		}
+		var got []int
+		l.Do(func(e Event) { got = append(got, int(e.Cycle)) })
+		want := seqsFromEvents(l.Events())
+		if !equalInts(got, want) {
+			t.Fatalf("records=%d: Do visited %v, Events() holds %v", records, got, want)
+		}
+		if l.Retained() != len(want) {
+			t.Fatalf("records=%d: Retained() = %d, want %d", records, l.Retained(), len(want))
+		}
+	}
+}
+
+// TestDoAllocFree pins the visitor's reason to exist: iterating a full
+// ring must not copy it.
+func TestDoAllocFree(t *testing.T) {
+	l := NewLog(64)
+	for i := 0; i < 200; i++ {
+		l.Record(Event{Cycle: uint64(i), Kind: Begin})
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		l.Do(func(e Event) { n++ })
+	})
+	if allocs != 0 {
+		t.Fatalf("Do allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func seqsFromEvents(ev []Event) []int {
+	out := make([]int, len(ev))
+	for i, e := range ev {
+		out[i] = int(e.Cycle)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestLogStringSummary(t *testing.T) {
 	l := NewLog(4)
 	l.Record(Event{Kind: Begin})

@@ -78,9 +78,15 @@ func ExecuteTraced(w Workload, cfg core.Config, cpus int, customize func(*core.M
 // disabled: the sequential baseline the paper's per-bar annotations are
 // computed against.
 func ExecuteSequential(w Workload, cfg core.Config) *stats.Report {
+	return ExecuteSequentialTraced(w, cfg, nil)
+}
+
+// ExecuteSequentialTraced is ExecuteSequential with the customization
+// hook of ExecuteTraced.
+func ExecuteSequentialTraced(w Workload, cfg core.Config, customize func(*core.Machine)) *stats.Report {
 	cfg.Sequential = true
 	cfg.Flatten = false
-	return Execute(w, cfg, 1)
+	return ExecuteTraced(w, cfg, 1, customize)
 }
 
 // Figure5Row holds one bar of Figure 5.
@@ -102,15 +108,29 @@ type Figure5Row struct {
 // MeasureFigure5 produces one Figure 5 bar: sequential, flattened, and
 // fully nested runs of w.
 func MeasureFigure5(w Workload, cfg core.Config, cpus int) Figure5Row {
-	seq := ExecuteSequential(w, cfg)
+	return MeasureFigure5Traced(w, cfg, cpus, nil)
+}
+
+// MeasureFigure5Traced is MeasureFigure5 with a per-stage machine
+// customization hook; stage is "seq", "flat", or "nested". A profiler
+// attaches here to see all three runs of the bar as separate traces.
+func MeasureFigure5Traced(w Workload, cfg core.Config, cpus int, customize func(stage string, m *core.Machine)) Figure5Row {
+	hook := func(stage string) func(*core.Machine) {
+		if customize == nil {
+			return nil
+		}
+		return func(m *core.Machine) { customize(stage, m) }
+	}
+
+	seq := ExecuteSequentialTraced(w, cfg, hook("seq"))
 
 	flatCfg := cfg
 	flatCfg.Flatten = true
-	flat := Execute(w, flatCfg, cpus)
+	flat := ExecuteTraced(w, flatCfg, cpus, hook("flat"))
 
 	nestCfg := cfg
 	nestCfg.Flatten = false
-	nested := Execute(w, nestCfg, cpus)
+	nested := ExecuteTraced(w, nestCfg, cpus, hook("nested"))
 
 	return Figure5Row{
 		Name:            w.Name(),
