@@ -14,7 +14,8 @@
 //
 //	experiments                 # run everything
 //	experiments -exp figure5    # one experiment: overheads, figure5, io,
-//	                            # condsync, schemes, engines, opensem, depth
+//	                            # condsync, schemes, engines, opensem, depth,
+//	                            # granularity, scaling, hybrid
 //
 // Exit codes: 0 on success, 1 when a cell fails (workload verification,
 // oracle violation, I/O error), 2 on usage errors.
@@ -41,7 +42,7 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run (all, overheads, figure5, io, condsync, schemes, engines, opensem, depth, granularity, scaling)")
+	exp := fs.String("exp", "all", "experiment to run (all, overheads, figure5, io, condsync, schemes, engines, opensem, depth, granularity, scaling, hybrid)")
 	cpus := fs.Int("cpus", 8, "CPU count for figure5-style experiments")
 	oracle := fs.Bool("oracle", false, "oracle-check every workload run (fails the run on a violation; condsync/opensem excepted)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines to shard each experiment's cell matrix over")

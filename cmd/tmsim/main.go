@@ -52,6 +52,10 @@ func main() {
 		oracleOn   = flag.Bool("oracle", false, "check the run with the serializability/strong-atomicity oracle")
 		profile    = flag.Bool("profile", false, "collect a tmprof conflict-attribution profile (see -profile-out)")
 		profileOut = flag.String("profile-out", "tmprof.json", "profile destination: Perfetto-loadable trace-event JSON (render with cmd/tmprof)")
+		fallback   = flag.String("fallback", "none", "hybrid-engine STM fallback: none, serial (global-lock irrevocable), or tl2 (versioned-lock)")
+		budget     = flag.Int("retry-budget", 0, "HTM attempts before a contended transaction falls back (0 = engine default; needs -fallback)")
+		maxWrite   = flag.Int("max-write-lines", 0, "bound speculative write footprint to N lines (capacity aborts past it; 0 = unbounded)")
+		maxRead    = flag.Int("max-read-lines", 0, "bound speculative read footprint to N lines (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -96,6 +100,28 @@ func main() {
 	}
 	if *moss {
 		cfg.OpenSemantics = tm.MossHoskingOpen
+	}
+	switch *fallback {
+	case "none":
+	case "serial":
+		cfg.Fallback = core.SerialFallback
+	case "tl2":
+		cfg.Fallback = core.TL2Fallback
+	default:
+		fmt.Fprintf(os.Stderr, "tmsim: unknown fallback %q (none, serial, tl2)\n", *fallback)
+		os.Exit(2)
+	}
+	cfg.HTMRetryBudget = *budget
+	if *maxWrite > 0 || *maxRead > 0 {
+		// Bounding capacity without a fallback livelocks on any
+		// deterministic over-capacity footprint; require the hybrid engine.
+		if cfg.Fallback == core.NoFallback {
+			fmt.Fprintf(os.Stderr, "tmsim: -max-write-lines/-max-read-lines need -fallback serial|tl2 (bounded HTM without a fallback livelocks on over-capacity footprints)\n")
+			os.Exit(2)
+		}
+		cfg.Cache.BoundedSpec = true
+		cfg.Cache.MaxWriteLines = *maxWrite
+		cfg.Cache.MaxReadLines = *maxRead
 	}
 
 	cfg.Oracle = *oracleOn

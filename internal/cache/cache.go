@@ -72,6 +72,20 @@ type Config struct {
 	// marked line is evicted and must be virtualized into the overflow
 	// table in thread-private virtual memory.
 	OverflowPenalty int
+
+	// BoundedSpec bounds speculative state to what the hardware can hold,
+	// as real HTMs do: instead of virtualizing an evicted transactional
+	// line into the overflow table (OverflowPenalty), the eviction raises
+	// a capacity abort (AccessResult.CapacityAbort), which the core turns
+	// into a violation of every active level.
+	BoundedSpec bool
+
+	// MaxReadLines and MaxWriteLines additionally bound the speculative
+	// read-/write-line footprint per cache level under BoundedSpec,
+	// modelling HTMs whose tracking structures are smaller than the cache
+	// (0 = bounded by physical capacity only). Ignored unless BoundedSpec
+	// is set.
+	MaxReadLines, MaxWriteLines int
 }
 
 // DefaultConfig returns the paper's platform parameters.
@@ -245,6 +259,11 @@ type AccessResult struct {
 	// LazyFix reports that this access paid the one-cycle lazy-merge
 	// fix-up.
 	LazyFix bool
+	// CapacityAbort reports that, under Config.BoundedSpec, this access
+	// evicted a speculative line (or breached a footprint limit) and the
+	// transaction must abort: there is no overflow table to virtualize
+	// into.
+	CapacityAbort bool
 }
 
 // Hierarchy is the private L1+L2 of one CPU.
@@ -300,6 +319,13 @@ func (h *Hierarchy) Access(a mem.Addr, write bool, nl int) AccessResult {
 			if l.speculative() {
 				h.l1.noteSpec(l)
 			}
+			// A logical line's metadata lives in exactly one level: strip it
+			// from the L2 copy, or the commit/rollback gang walks would see
+			// the same line on both spec lists and charge MergedLines and
+			// merge latency once per copy. The L2 copy stays valid for data
+			// residency; its stale spec-list entry compacts at the next gang
+			// operation (see line.listed).
+			l2line.clearTx()
 		} else {
 			res.Latency += uint64(h.cfg.MemLatency)
 			res.BusBytes = h.cfg.LineSize
@@ -331,12 +357,30 @@ func (h *Hierarchy) fill(lv *level, lineAddr mem.Addr, res *AccessResult) *line 
 		res.Evicted++
 	}
 	if overflowed {
-		res.Overflowed++
-		res.Latency += uint64(h.cfg.OverflowPenalty)
+		// Overflow is per logical line, not per copy: if another copy of
+		// the victim still holds live metadata in the other level, the
+		// line's set membership survives in-cache and nothing is
+		// virtualized (or aborted) by this eviction.
+		if o := h.other(lv).lookup(v.tag); o == nil || !o.speculative() {
+			if h.cfg.BoundedSpec {
+				res.CapacityAbort = true
+			} else {
+				res.Overflowed++
+				res.Latency += uint64(h.cfg.OverflowPenalty)
+			}
+		}
 	}
 	v.tag, v.valid = lineAddr, true
 	lv.touch(v)
 	return v
+}
+
+// other returns the level lv is paired with.
+func (h *Hierarchy) other(lv *level) *level {
+	if lv == h.l1 {
+		return h.l2
+	}
+	return h.l1
 }
 
 // mark records read-/write-set membership per the configured scheme.
@@ -360,17 +404,23 @@ func (h *Hierarchy) mark(lineAddr mem.Addr, l *line, write bool, nl int, res *Ac
 		switch {
 		case l.nl == 0:
 			l.nl = hwLevel
-		case l.nl < hwLevel && write && l.w:
-			// A shallower transaction in the nest holds a speculatively
-			// written version: allocate a new way for this level's version
-			// (Figure 4b), pressuring capacity.
+		case l.nl < hwLevel && write:
+			// A shallower transaction in the nest holds a speculative
+			// version and this level writes the line: allocate a new way
+			// for this level's version (Figure 4b), pressuring capacity.
+			// Renumbering instead would hand the ancestor's tracking to
+			// this level, and a rollback here would silently discard it.
 			nl2 := h.fill(h.l1, lineAddr, res)
 			nl2.clearTx()
 			nl2.tag, nl2.valid = lineAddr, true
 			nl2.nl = hwLevel
 			l = nl2
 		case l.nl < hwLevel:
-			l.nl = hwLevel
+			// A deeper READ of a shallower version needs no new version —
+			// it is served from the ancestor's copy. The read rides on the
+			// ancestor's version (conservative attribution, which a closed
+			// commit would merge there anyway); renumbering would discard
+			// the ancestor's membership on a rollback of this level.
 		}
 		if write {
 			l.w = true
@@ -379,6 +429,35 @@ func (h *Hierarchy) mark(lineAddr mem.Addr, l *line, write bool, nl int, res *Ac
 		}
 	}
 	h.l1.noteSpec(l) // mark only ever touches L1-resident lines
+	if h.cfg.BoundedSpec && (h.cfg.MaxReadLines > 0 || h.cfg.MaxWriteLines > 0) {
+		reads, writes := h.specFootprint()
+		if (h.cfg.MaxReadLines > 0 && reads > h.cfg.MaxReadLines) ||
+			(h.cfg.MaxWriteLines > 0 && writes > h.cfg.MaxWriteLines) {
+			res.CapacityAbort = true
+		}
+	}
+}
+
+// specFootprint counts the distinct logical lines currently holding read
+// and write marks (a line both read and written counts in both, as it
+// occupies an entry in each tracking structure). The walk is proportional
+// to the transaction footprint via the spec lists; the bug-2 invariant
+// (metadata in exactly one level) keeps each logical line counted once.
+func (h *Hierarchy) specFootprint() (reads, writes int) {
+	for _, lv := range []*level{h.l1, h.l2} {
+		for _, l := range lv.spec {
+			if !l.valid {
+				continue
+			}
+			if l.rmask != 0 || l.r {
+				reads++
+			}
+			if l.wmask != 0 || l.w {
+				writes++
+			}
+		}
+	}
+	return reads, writes
 }
 
 // CommitResult reports the cost of a commit or rollback gang operation.

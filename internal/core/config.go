@@ -52,6 +52,45 @@ func (k EngineKind) String() string {
 	return "eager"
 }
 
+// FallbackKind selects the hybrid engine's STM fallback path: the
+// software execution mode an outermost transaction switches to after
+// exhausting its HTM retry budget (or immediately on a capacity abort,
+// which retrying cannot cure).
+type FallbackKind int
+
+const (
+	// NoFallback disables the hybrid engine: transactions only ever run
+	// in HTM, and capacity aborts (Config.Cache.BoundedSpec) retry
+	// forever. This is the default and leaves every pre-hybrid
+	// configuration bit-identical.
+	NoFallback FallbackKind = iota
+	// SerialFallback is the serial-irrevocable global-lock path: the
+	// fallback transaction acquires a machine-wide lock word that every
+	// hardware transaction subscribes to (reads transactionally at
+	// xbegin), runs irrevocably with in-place stores, and admits no
+	// concurrent transactions. Cheap per access, maximal concurrency
+	// loss.
+	SerialFallback
+	// TL2Fallback is the TL2-style versioned-lock software path: the
+	// fallback transaction pays per-access and commit-time
+	// instrumentation costs (see the CostStm* constants) but keeps
+	// running concurrently with hardware transactions, with an unbounded
+	// footprint (its accesses are not tracked in the cache, so it cannot
+	// capacity-abort). Heavy instrumentation, minimal concurrency loss.
+	TL2Fallback
+)
+
+func (k FallbackKind) String() string {
+	switch k {
+	case SerialFallback:
+		return "serial"
+	case TL2Fallback:
+		return "tl2"
+	default:
+		return "none"
+	}
+}
+
 // Config parameterizes a Machine.
 type Config struct {
 	// CPUs is the number of simulated processors (the paper models up to 16).
@@ -124,6 +163,20 @@ type Config struct {
 	// Nil injects nothing.
 	Faults *FaultPlan
 
+	// Fallback enables the hybrid engine and selects the machine-wide
+	// default STM fallback path. With a fallback configured, every
+	// outermost transaction — hardware or software — subscribes to the
+	// serial-fallback lock word, so the modes compose safely; individual
+	// transactions can override the mode with Proc.AtomicFallback.
+	Fallback FallbackKind
+
+	// HTMRetryBudget is how many conflict-triggered rollbacks an
+	// outermost transaction tolerates in HTM before switching to the
+	// fallback path (capacity aborts switch immediately: a deterministic
+	// footprint cannot shrink on retry). Zero selects the default of 4
+	// when Fallback is enabled. Ignored without a fallback.
+	HTMRetryBudget int
+
 	// SchedTieBreak, when non-nil, is installed as the simulation engine's
 	// tie-break hook: it chooses which CPU runs first among those ready at
 	// the same minimal cycle (see sim.Engine.TieBreak). The scheduler's
@@ -136,10 +189,16 @@ type Config struct {
 // Describe summarizes the configuration knobs that change transactional
 // semantics or scheduling, for failure reports and reproducers.
 func (c Config) Describe() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"cpus=%d engine=%s flatten=%v open=%v wordtracking=%v scheme=%s maxlevels=%d backoff=%d faults=%d",
 		c.CPUs, c.Engine, c.Flatten, c.OpenSemantics, c.WordTracking,
 		c.Cache.Scheme, c.Cache.MaxLevels, c.BackoffBase, c.faultCount())
+	if c.Fallback != NoFallback || c.Cache.BoundedSpec {
+		s += fmt.Sprintf(" fallback=%s retrybudget=%d bounded=%v maxread=%d maxwrite=%d",
+			c.Fallback, c.HTMRetryBudget, c.Cache.BoundedSpec,
+			c.Cache.MaxReadLines, c.Cache.MaxWriteLines)
+	}
+	return s
 }
 
 func (c Config) faultCount() int {

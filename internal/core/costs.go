@@ -45,3 +45,30 @@ const (
 	// also written by an ancestor (Section 6.3.1).
 	CostOpenUndoSearch = 4
 )
+
+// Instrumentation costs of the hybrid engine's STM fallback paths
+// (Config.Fallback). The per-access constants model the software barriers
+// a compiled STM inserts around every shared load and store; the
+// per-line commit constants model TL2's commit-time validation of the
+// read set and lock acquisition over the write set. The asymmetry —
+// serial-irrevocable is cheap per access but admits no concurrency,
+// TL2 pays heavy instrumentation to keep running concurrently — is the
+// instrumentation-cost/concurrency-loss trade-off of Brown & Ravi and
+// Alistarh et al. that the hybrid experiment measures.
+const (
+	// CostSerialAccess is the global-lock fallback's per-access overhead
+	// (the lock-ownership check a serial-irrevocable barrier compiles to).
+	CostSerialAccess = 1
+	// CostStmLoad is TL2's per-load barrier: version-lock sample, the
+	// load, re-sample, and read-set append.
+	CostStmLoad = 4
+	// CostStmStore is TL2's per-store barrier: write-set append (the
+	// store is buffered until commit).
+	CostStmStore = 2
+	// CostStmValidateLine is TL2's commit-time re-validation per read-set
+	// line.
+	CostStmValidateLine = 2
+	// CostStmLockLine is TL2's commit-time lock acquire/release per
+	// write-set line.
+	CostStmLockLine = 2
+)

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tmisa/internal/cache"
+	"tmisa/internal/mem"
+	"tmisa/internal/stats"
+	"tmisa/internal/tm"
+)
+
+// hybridConfig returns a small hybrid-engine machine: bounded speculative
+// capacity on a tiny cache plus the given fallback mode, with the oracle
+// attached so every test double-checks HTM↔STM serializability.
+func hybridConfig(cpus int, engine EngineKind, fb FallbackKind) Config {
+	cfg := testConfig(cpus, engine)
+	cfg.Fallback = fb
+	cfg.Oracle = true
+	cfg.OracleHistory = true
+	return cfg
+}
+
+func bothFallbacks(t *testing.T, f func(t *testing.T, engine EngineKind, fb FallbackKind)) {
+	t.Helper()
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		for _, fb := range []FallbackKind{SerialFallback, TL2Fallback} {
+			t.Run(fb.String(), func(t *testing.T) { f(t, engine, fb) })
+		}
+	})
+}
+
+func mustOracle(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.CheckOracle(); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+}
+
+// TestCapacityAbortFallsBack pins the tentpole end to end: a transaction
+// whose write footprint exceeds the bounded capacity capacity-aborts in
+// HTM, transitions to the fallback path immediately (no retry budget
+// spent on a deterministic footprint), and commits there.
+func TestCapacityAbortFallsBack(t *testing.T) {
+	bothFallbacks(t, func(t *testing.T, engine EngineKind, fb FallbackKind) {
+		cfg := hybridConfig(1, engine, fb)
+		cfg.Cache.BoundedSpec = true
+		cfg.Cache.MaxWriteLines = 4
+		m := NewMachine(cfg)
+		base := m.Alloc(16 * 8) // 16 lines apart via stride below
+		stride := cfg.Cache.LineSize
+		m.Run(func(p *Proc) {
+			if err := p.Atomic(func(tx *Tx) {
+				for i := 0; i < 8; i++ {
+					p.Store(base+mem.Addr(i*stride), uint64(i+1))
+				}
+			}); err != nil {
+				t.Errorf("hybrid transaction failed: %v", err)
+			}
+		})
+		for i := 0; i < 8; i++ {
+			if got := m.Mem().Load(base + mem.Addr(i*stride)); got != uint64(i+1) {
+				t.Fatalf("word %d = %d, want %d", i, got, i+1)
+			}
+		}
+		c := &m.Report().Machine
+		if c.CapacityAborts == 0 {
+			t.Fatalf("expected capacity aborts, got none")
+		}
+		if c.Fallbacks != 1 {
+			t.Fatalf("Fallbacks = %d, want 1", c.Fallbacks)
+		}
+		if c.StmCommits != 1 {
+			t.Fatalf("StmCommits = %d, want 1", c.StmCommits)
+		}
+		mustOracle(t, m)
+	})
+}
+
+// TestRetryBudgetFallsBack drives two CPUs into a symmetric conflict that
+// keeps killing one side until its HTM retry budget runs out, and checks
+// the loser completes on the fallback path.
+func TestRetryBudgetFallsBack(t *testing.T) {
+	bothFallbacks(t, func(t *testing.T, engine EngineKind, fb FallbackKind) {
+		cfg := hybridConfig(2, engine, fb)
+		cfg.HTMRetryBudget = 2
+		cfg.BackoffBase = 10
+		m := NewMachine(cfg)
+		a := m.AllocLine()
+		const rounds = 40
+		m.Run(
+			func(p *Proc) {
+				for i := 0; i < rounds; i++ {
+					p.Atomic(func(tx *Tx) {
+						p.Store(a, p.Load(a)+1)
+						p.Tick(50) // widen the conflict window
+					})
+				}
+			},
+			func(p *Proc) {
+				for i := 0; i < rounds; i++ {
+					p.Atomic(func(tx *Tx) {
+						p.Store(a, p.Load(a)+1)
+						p.Tick(50)
+					})
+				}
+			},
+		)
+		if got := m.Mem().Load(a); got != 2*rounds {
+			t.Fatalf("counter = %d, want %d", got, 2*rounds)
+		}
+		mustOracle(t, m)
+	})
+}
+
+// TestHybridStrongAtomicity interleaves a fallback transaction with
+// non-transactional readers and writers on other CPUs: nothing may
+// observe the serial section's in-place writes mid-flight, on either
+// engine. The oracle's strong-atomicity checks are the real assertion.
+func TestHybridStrongAtomicity(t *testing.T) {
+	bothFallbacks(t, func(t *testing.T, engine EngineKind, fb FallbackKind) {
+		cfg := hybridConfig(2, engine, fb)
+		cfg.Cache.BoundedSpec = true
+		cfg.Cache.MaxWriteLines = 2
+		m := NewMachine(cfg)
+		stride := cfg.Cache.LineSize
+		base := m.Alloc(8 * 8)
+		other := m.AllocLine()
+		m.Run(
+			func(p *Proc) {
+				// Oversized transaction: falls back, then writes a multi-line
+				// block that must appear atomic.
+				p.Atomic(func(tx *Tx) {
+					for i := 0; i < 6; i++ {
+						p.Store(base+mem.Addr(i*stride), 7)
+					}
+				})
+			},
+			func(p *Proc) {
+				// Concurrent non-transactional traffic over the same lines.
+				for i := 0; i < 6; i++ {
+					p.Load(base + mem.Addr(i*stride))
+					p.Store(other, p.Load(other)+1)
+					p.Tick(30)
+				}
+			},
+		)
+		for i := 0; i < 6; i++ {
+			if got := m.Mem().Load(base + mem.Addr(i*stride)); got != 7 {
+				t.Fatalf("word %d = %d, want 7", i, got)
+			}
+		}
+		mustOracle(t, m)
+	})
+}
+
+// TestSerialFallbackAbort checks Tx.Abort works from a serial fallback
+// body — despite the level being validated from birth — and that the
+// undo log restores its in-place writes.
+func TestSerialFallbackAbort(t *testing.T) {
+	bothEngines(t, func(t *testing.T, engine EngineKind) {
+		cfg := hybridConfig(1, engine, SerialFallback)
+		m := NewMachine(cfg)
+		a := m.Alloc(1)
+		m.Mem().Store(a, 5)
+		var err error
+		m.Run(func(p *Proc) {
+			err = p.AtomicFallback(SerialFallback, func(tx *Tx) {
+				// Force the serial path by aborting only after falling back.
+				if tx.level.Mode == tm.HTM {
+					tx.Abort("retry in fallback")
+					return
+				}
+				p.Store(a, 99)
+				tx.Abort("changed my mind")
+			})
+		})
+		var ae *AbortError
+		if !errors.As(err, &ae) {
+			t.Fatalf("err = %v, want AbortError", err)
+		}
+		if got := m.Mem().Load(a); got != 5 {
+			t.Fatalf("memory = %d, want 5 (abort must restore in-place writes)", got)
+		}
+		mustOracle(t, m)
+	})
+}
+
+// TestAtomicFallbackPerTransaction checks the per-transaction override:
+// on a hybrid machine, one transaction can pin itself to a different
+// fallback mode than the machine default, and the override requires the
+// hybrid engine to be enabled at all.
+func TestAtomicFallbackPerTransaction(t *testing.T) {
+	cfg := hybridConfig(1, Lazy, SerialFallback)
+	cfg.Cache.BoundedSpec = true
+	cfg.Cache.MaxWriteLines = 2
+	m := NewMachine(cfg)
+	stride := cfg.Cache.LineSize
+	base := m.Alloc(8 * 8)
+	m.Run(func(p *Proc) {
+		if err := p.AtomicFallback(TL2Fallback, func(tx *Tx) {
+			for i := 0; i < 5; i++ {
+				p.Store(base+mem.Addr(i*stride), 3)
+			}
+		}); err != nil {
+			t.Errorf("TL2-override transaction failed: %v", err)
+		}
+	})
+	if c := &m.Report().Machine; c.StmCommits != 1 || c.Fallbacks != 1 {
+		t.Fatalf("StmCommits=%d Fallbacks=%d, want 1/1", c.StmCommits, c.Fallbacks)
+	}
+	mustOracle(t, m)
+
+	// Without the hybrid engine, the override must refuse to run.
+	m2 := NewMachine(testConfig(1, Lazy))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AtomicFallback on a non-hybrid machine did not panic")
+		}
+	}()
+	m2.Run(func(p *Proc) {
+		p.AtomicFallback(SerialFallback, func(tx *Tx) {})
+	})
+}
+
+// TestBoundedSpecWithoutFallbackRetries pins the NoFallback contract: a
+// transient capacity abort (footprint within limits once contention-free
+// lines age out — here simply a footprint below the bound) never trips,
+// while commits proceed normally with BoundedSpec on.
+func TestBoundedSpecWithoutFallbackRetries(t *testing.T) {
+	cfg := testConfig(1, Lazy)
+	cfg.Cache.BoundedSpec = true
+	cfg.Cache.MaxWriteLines = 8
+	m := NewMachine(cfg)
+	base := m.Alloc(4 * 8)
+	m.Run(func(p *Proc) {
+		if err := p.Atomic(func(tx *Tx) {
+			for i := 0; i < 4; i++ {
+				p.Store(base+mem.Addr(i*cfg.Cache.LineSize), 1)
+			}
+		}); err != nil {
+			t.Errorf("in-capacity transaction failed: %v", err)
+		}
+	})
+	if c := &m.Report().Machine; c.CapacityAborts != 0 || c.Fallbacks != 0 {
+		t.Fatalf("CapacityAborts=%d Fallbacks=%d, want 0/0", c.CapacityAborts, c.Fallbacks)
+	}
+}
+
+// TestHybridDeterminism runs an identical contended hybrid workload twice
+// and requires bit-identical reports — the property the -parallel
+// byte-diff CI job depends on.
+func TestHybridDeterminism(t *testing.T) {
+	bothFallbacks(t, func(t *testing.T, engine EngineKind, fb FallbackKind) {
+		run := func() *stats.Report {
+			cfg := testConfig(4, engine)
+			cfg.Fallback = fb
+			cfg.HTMRetryBudget = 2
+			cfg.BackoffBase = 10
+			cfg.Cache.BoundedSpec = true
+			cfg.Cache.MaxWriteLines = 3
+			m := NewMachine(cfg)
+			stride := cfg.Cache.LineSize
+			base := m.Alloc(32 * 8)
+			bodies := make([]func(*Proc), 4)
+			for i := range bodies {
+				bodies[i] = func(p *Proc) {
+					for r := 0; r < 10; r++ {
+						p.Atomic(func(tx *Tx) {
+							n := 2 + (p.ID()+r)%5 // some attempts exceed capacity
+							for j := 0; j < n; j++ {
+								p.Store(base+mem.Addr(((p.ID()+j)%8)*stride), uint64(r))
+							}
+						})
+					}
+				}
+			}
+			return m.Run(bodies...)
+		}
+		a, b := run(), run()
+		if a.TotalCycles != b.TotalCycles {
+			t.Fatalf("TotalCycles differ: %d vs %d", a.TotalCycles, b.TotalCycles)
+		}
+		for i := range a.PerCPU {
+			if a.PerCPU[i] != b.PerCPU[i] {
+				t.Fatalf("cpu %d counters differ:\n%+v\nvs\n%+v", i, a.PerCPU[i], b.PerCPU[i])
+			}
+		}
+	})
+}
+
+// TestHybridCacheUntouchedByFallback checks the fallback path's accesses
+// are not tracked in the cache: after a fallback commit no speculative
+// lines remain and no capacity abort can have come from the STM path.
+func TestHybridCacheUntouchedByFallback(t *testing.T) {
+	cfg := hybridConfig(1, Eager, TL2Fallback)
+	cfg.Cache = cache.Config{} // force defaults below
+	cfg.Cache = cache.DefaultConfig()
+	cfg.Cache.BoundedSpec = true
+	cfg.Cache.MaxWriteLines = 2
+	m := NewMachine(cfg)
+	stride := cfg.Cache.LineSize
+	base := m.Alloc(64 * 8)
+	m.Run(func(p *Proc) {
+		p.Atomic(func(tx *Tx) {
+			// Far beyond the HTM bound; only the unbounded STM path can
+			// commit this.
+			for i := 0; i < 32; i++ {
+				p.Store(base+mem.Addr(i*stride), uint64(i))
+			}
+		})
+	})
+	c := &m.Report().Machine
+	if c.StmCommits != 1 {
+		t.Fatalf("StmCommits = %d, want 1", c.StmCommits)
+	}
+	// One capacity abort from the HTM attempt; none from the STM re-run.
+	if c.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", c.Fallbacks)
+	}
+	mustOracle(t, m)
+}

@@ -37,18 +37,30 @@ type unwind struct {
 // scratch: body must be written like transaction code (no externally
 // visible side effects outside simulated memory and handler
 // registrations, which the rollback machinery undoes).
-func (p *Proc) Atomic(body func(*Tx)) error { return p.atomic(false, body) }
+func (p *Proc) Atomic(body func(*Tx)) error { return p.atomic(false, p.m.cfg.Fallback, body) }
 
 // AtomicOpen executes body as an open-nested transaction (xbegin_open):
 // its commit publishes to shared memory immediately and independently of
 // any enclosing transaction (Section 4.5).
-func (p *Proc) AtomicOpen(body func(*Tx)) error { return p.atomic(true, body) }
+func (p *Proc) AtomicOpen(body func(*Tx)) error { return p.atomic(true, p.m.cfg.Fallback, body) }
 
-func (p *Proc) atomic(open bool, body func(*Tx)) error {
+// AtomicFallback is Atomic with an explicit per-transaction fallback
+// mode, overriding Config.Fallback for this outermost transaction
+// (NoFallback pins it to HTM-only retries). The machine must have the
+// hybrid engine enabled: without machine-wide lock subscription a serial
+// section could not exclude the other transactions.
+func (p *Proc) AtomicFallback(fb FallbackKind, body func(*Tx)) error {
+	if p.m.cfg.Fallback == NoFallback && fb != NoFallback && !p.seqMode {
+		panic("core: AtomicFallback requires Config.Fallback to enable the hybrid engine")
+	}
+	return p.atomic(false, fb, body)
+}
+
+func (p *Proc) atomic(open bool, fb FallbackKind, body func(*Tx)) error {
 	if p.seqMode {
 		return p.seqAtomic(body)
 	}
-	if p.m.cfg.Flatten && p.stack.Depth() > 0 {
+	if p.stack.Depth() > 0 && p.m.cfg.Flatten {
 		// Conventional HTM baseline: inner transactions are subsumed into
 		// the outermost one; xbegin/xcommit degenerate to nesting-count
 		// updates (one instruction each).
@@ -57,9 +69,49 @@ func (p *Proc) atomic(open bool, body func(*Tx)) error {
 		p.step(1)
 		return nil
 	}
+	// The hybrid engine operates on outermost transactions only: when a
+	// fallback is configured machine-wide, every one of them subscribes
+	// to the serial-fallback lock, and this one additionally falls back
+	// to fb's STM path when HTM retries stop making sense. A nested
+	// transaction instead inherits its parent's execution mode: the STM
+	// paths keep per-level undo logs / write-buffers just like HTM
+	// levels, so closed nesting composes — an inner Abort unwinds only
+	// the child — and the lock and retry machinery stays with the
+	// outermost level that owns the fallback decision.
+	nested := p.stack.Depth() > 0
+	hybrid := p.m.cfg.Fallback != NoFallback && !nested
+	attempts := 0
+	mode := tm.HTM
+	if nested {
+		mode = p.stack.Top().Mode
+	}
 	for {
-		tx := p.xbegin(open)
-		outcome, reason := p.runLevel(tx, body)
+		if hybrid && mode != tm.Serial {
+			p.fbSpinWait()
+		}
+		if mode == tm.Serial && !nested {
+			p.fbAcquire()
+		}
+		tx := p.xbeginMode(open, mode)
+		run := body
+		if hybrid && mode != tm.Serial {
+			// Lock subscription: read the serial-fallback lock word
+			// transactionally, so a serial acquisition kills this
+			// transaction through ordinary conflict detection. A non-zero
+			// read means a serial section claimed the lock between the
+			// pre-spin and this subscribe — unwind and wait it out.
+			run = func(tx *Tx) {
+				if p.Load(fbLockAddr) != 0 {
+					p.rbCause = rbCause{addr: p.line(fbLockAddr), by: -1, why: causeFallbackLock}
+					panic(&unwind{kind: unwindRollback, target: tx.level.NL})
+				}
+				body(tx)
+			}
+		}
+		outcome, reason := p.runLevel(tx, run)
+		if mode == tm.Serial && !nested {
+			p.fbRelease()
+		}
 		switch outcome {
 		case outcomeCommitted:
 			// Only an outermost commit means the CPU made global progress;
@@ -73,9 +125,52 @@ func (p *Proc) atomic(open bool, body func(*Tx)) error {
 			return &AbortError{Reason: reason}
 		case outcomeRollback:
 			p.consecRollbacks++
+			if hybrid && mode == tm.HTM && fb != NoFallback {
+				switch p.rbCause.why {
+				case causeCapacity:
+					// Deterministic footprint: retrying in HTM cannot
+					// shrink it, so fall back immediately, without backoff.
+					mode = fallbackTmMode(fb)
+					p.emitFallback(mode, causeCapacity)
+					continue
+				case causeFallbackLock:
+					// Not a data conflict — a serial section killed the
+					// subscription. The next iteration's pre-spin waits it
+					// out; don't charge the retry budget.
+				default:
+					attempts++
+					if attempts >= p.m.cfg.HTMRetryBudget {
+						mode = fallbackTmMode(fb)
+						p.emitFallback(mode, p.rbCause.why)
+						continue
+					}
+				}
+			}
 			p.backoffStall(p.backoffDelay())
 		}
 	}
+}
+
+// fallbackTmMode maps the config knob to the level execution mode.
+func fallbackTmMode(fb FallbackKind) tm.Mode {
+	if fb == TL2Fallback {
+		return tm.TL2
+	}
+	return tm.Serial
+}
+
+// emitFallback counts and records an HTM→STM fallback transition; the
+// conflict context of the final HTM abort is still latched in rbCause.
+func (p *Proc) emitFallback(mode tm.Mode, why string) {
+	p.c.Fallbacks++
+	if (p.m.tracer == nil && p.m.oracle == nil) || p.untimed {
+		return
+	}
+	p.dispatch(trace.Event{
+		Cycle: p.sp.Time(), CPU: p.id, Kind: trace.Fallback,
+		Addr: p.rbCause.addr, By: p.rbCause.by,
+		Note: mode.String() + ":" + why,
+	})
 }
 
 // seqAtomic is the sequential-baseline semantics: no speculation, no
@@ -149,10 +244,26 @@ func (p *Proc) runLevel(tx *Tx, body func(*Tx)) (outcome levelOutcome, reason an
 
 // xbegin allocates the TCB frame (6 instructions) and checkpoints the
 // registers (realized by the enclosing re-execution loop).
-func (p *Proc) xbegin(open bool) *Tx {
+func (p *Proc) xbegin(open bool) *Tx { return p.xbeginMode(open, tm.HTM) }
+
+// xbeginMode is xbegin with the level's execution mode: HTM, or one of
+// the hybrid engine's STM fallback paths (outermost levels only). A
+// serial level is born validated — irrevocable from its first
+// instruction, which is what lets it run I/O-free of rollback concerns
+// and postpones every violation against it until commit (the global
+// lock has already excluded all transactional conflict anyway).
+func (p *Proc) xbeginMode(open bool, mode tm.Mode) *Tx {
 	p.step(CostXBegin)
-	p.emit(trace.Begin, p.stack.Depth()+1, open, 0, "")
+	note := ""
+	if mode != tm.HTM {
+		note = mode.String()
+	}
+	p.emit(trace.Begin, p.stack.Depth()+1, open, 0, note)
 	lvl := p.stack.Push(open, p.sp.Time())
+	lvl.Mode = mode
+	if mode == tm.Serial {
+		lvl.Status = tm.Validated
+	}
 	tx := &Tx{p: p, level: lvl}
 	p.txs = append(p.txs, tx)
 	p.c.TxBegins++
@@ -173,10 +284,21 @@ func (p *Proc) xbegin(open bool) *Tx {
 func (p *Proc) xvalidate(tx *Tx) {
 	p.step(CostValidate)
 	lvl := tx.level
+	if lvl.Mode == tm.Serial {
+		// Serial-irrevocable: validated since xbegin; nothing to check and
+		// no token to take (the global lock excludes every other commit).
+		p.emit(trace.Validate, lvl.NL, lvl.Open, 0, "serial")
+		return
+	}
 	if !lvl.Open && lvl.NL > 1 {
 		lvl.Status = tm.Validated // closed nesting: xvalidate is a no-op
 		p.emit(trace.Validate, lvl.NL, lvl.Open, 0, "")
 		return
+	}
+	if lvl.Mode == tm.TL2 {
+		// TL2's commit-time instrumentation: re-validate the read set
+		// against the version clock and lock the write set.
+		p.chargeInsn(len(lvl.ReadSet)*CostStmValidateLine + len(lvl.WriteSet)*CostStmLockLine)
 	}
 	bit := uint32(1) << (lvl.NL - 1)
 	for {
@@ -195,12 +317,16 @@ func (p *Proc) xvalidate(tx *Tx) {
 				p.tokenDepth = 1
 			}
 		}
-		if p.violMask()&bit != 0 {
+		if p.violMask()&bit != 0 || p.pendingFallbackLock() {
 			// A conflict hit this level before validation completed: the
 			// conflict algorithm guarantees a validated transaction is
 			// never violated by an active one, so this level loses. Give
 			// the token back and roll back for re-execution (conflicts
-			// against other levels stay queued for normal delivery).
+			// against other levels stay queued for normal delivery). A
+			// queued fallback-lock kill dooms this level even when it
+			// targets an enclosing one: the serial section's exclusion is
+			// absolute, and an open child publishing first would leak a
+			// commit into the serial window.
 			p.releaseToken()
 			if lvl.NL == 1 {
 				p.c.OuterRollbacks++
@@ -215,7 +341,7 @@ func (p *Proc) xvalidate(tx *Tx) {
 			// arrival order, so this is the record xvaddr would show).
 			p.rbCause = rbCause{by: -1}
 			for _, r := range p.violQ {
-				if r.mask&bit != 0 {
+				if r.mask&bit != 0 || r.why == causeFallbackLock {
 					p.rbCause = rbCause{addr: r.addr, by: r.by, why: r.why}
 					break
 				}
@@ -231,6 +357,7 @@ func (p *Proc) xvalidate(tx *Tx) {
 // runCommitHandlers walks the commit-handler stack in registration order
 // between the two commit phases (Section 4.2).
 func (p *Proc) runCommitHandlers(tx *Tx) {
+	tx.inCommitHs = true
 	for _, h := range tx.commitHs {
 		p.chargeInsn(CostHandlerDispatch)
 		p.c.CommitHandlers++
@@ -270,8 +397,10 @@ func (p *Proc) xcommit(tx *Tx) {
 	}
 
 	// Open-nested or outermost commit: publish to shared memory
-	// (Figure 1, steps 3-4).
-	if p.m.cfg.Engine == Lazy {
+	// (Figure 1, steps 3-4). A serial-fallback level already wrote in
+	// place, access by access, and nothing could observe it mid-flight —
+	// its commit publishes nothing and broadcasts nothing.
+	if p.m.cfg.Engine == Lazy && lvl.Mode != tm.Serial {
 		for _, w := range sortedWords(lvl.WBuf) {
 			p.m.mem.Store(w, lvl.WBuf[w])
 		}
@@ -288,7 +417,11 @@ func (p *Proc) xcommit(tx *Tx) {
 			p.c.BusCycles += done - p.sp.Time()
 			p.sp.Advance(done - p.sp.Time())
 		}
-		p.violateOthers(sortedLines(lvl.WriteSet), nil, causeLazyCommit)
+		why := causeLazyCommit
+		if lvl.Mode == tm.TL2 {
+			why = causeStmCommit
+		}
+		p.violateOthers(sortedLines(lvl.WriteSet), nil, why)
 	}
 	if lvl.Open {
 		// Memory already holds every value this commit made permanent: the
@@ -318,7 +451,12 @@ func (p *Proc) xcommit(tx *Tx) {
 	} else {
 		p.releaseToken()
 	}
-	p.emit(trace.Commit, lvl.NL, lvl.Open, 0, "")
+	note := ""
+	if lvl.Mode != tm.HTM {
+		note = lvl.Mode.String()
+		p.c.StmCommits++
+	}
+	p.emit(trace.Commit, lvl.NL, lvl.Open, 0, note)
 	lvl.Status = tm.Committed
 	p.c.TxCommits++
 	p.popLevel(tx)
@@ -363,6 +501,12 @@ func (p *Proc) rollbackLevel(tx *Tx) {
 	}
 	p.hier.RollbackLevel(lvl.NL)
 	lvl.Status = tm.Aborted
+	// A serial-fallback level is validated from birth, so other CPUs can
+	// already be stalled on it mid-body; its Tx.Abort unwind is the one
+	// way a validated level dies without reaching xcommit's wake. Waking
+	// is always safe: woken waiters re-check their conflict and re-stall
+	// if it still stands.
+	p.wakeStallWaiters()
 	if lvl.NL == 1 {
 		// Release any serialization the doomed transaction held.
 		for p.tokenDepth > 0 {

@@ -12,6 +12,13 @@ import (
 	"tmisa/internal/trace"
 )
 
+// fbLockAddr is the fixed word address of the hybrid engine's serial-
+// fallback lock. It sits below the bump allocator's base (0x1_0000), so
+// enabling the hybrid engine never shifts a workload's memory layout;
+// the sparse memory pages the line on first touch like any other
+// address. It is only ever accessed when Config.Fallback is enabled.
+const fbLockAddr mem.Addr = 0xF000
+
 // Machine is a simulated transactional chip-multiprocessor: CPUs with
 // private cache hierarchies, a shared split-transaction bus with the
 // commit token, shared memory, and the HTM engine configured by Config.
@@ -25,6 +32,13 @@ type Machine struct {
 	bus   *bus.Bus
 	token *bus.Token
 	procs []*Proc
+
+	// fbOwner is the CPU currently holding the serial-fallback lock
+	// (nil when free). Claiming it is a check-and-set inside one engine
+	// grant window — the simulated analogue of the fallback lock's
+	// atomic test-and-set — while the architected lock *word* at
+	// fbLockAddr is what hardware transactions subscribe to.
+	fbOwner *Proc
 
 	report stats.Report
 	ran    bool
@@ -45,6 +59,9 @@ func NewMachine(cfg Config) *Machine {
 		// Requester-wins eager conflict resolution can livelock two
 		// symmetric transactions without backoff.
 		cfg.BackoffBase = 40
+	}
+	if cfg.Fallback != NoFallback && cfg.HTMRetryBudget <= 0 {
+		cfg.HTMRetryBudget = 4
 	}
 	m := &Machine{
 		cfg:   cfg,

@@ -174,6 +174,25 @@ func (p *Proc) access(a mem.Addr, write bool, nl int) {
 	if res.LazyFix {
 		p.c.LazyMergeHits++
 	}
+	if res.CapacityAbort {
+		// Bounded speculative capacity (Config.Cache.BoundedSpec): the
+		// hardware cannot hold this transaction's footprint, so instead of
+		// virtualizing it raises a capacity abort through the ordinary
+		// violation path — a self-inflicted conflict against every active
+		// level, delivered at the next instruction boundary. A validated
+		// level shields it like any other violation (commit handlers run
+		// to completion); otherwise the whole nest unwinds and the retry
+		// policy in atomic decides between re-execution and fallback.
+		p.c.CapacityAborts++
+		if depth := p.stack.Depth(); depth > 0 {
+			p.enqueueViolation(violRec{
+				addr: p.hier.LineAddr(a),
+				mask: (uint32(1) << depth) - 1,
+				by:   -1,
+				why:  causeCapacity,
+			})
+		}
+	}
 }
 
 // line returns the conflict-detection granule of an address: a cache
@@ -202,6 +221,14 @@ func (p *Proc) Load(a mem.Addr) uint64 {
 			// read would let pollers livelock writers).
 			p.eagerResolve(p.line(a), false, false, causeNtLoad)
 		}
+		if !p.seqMode && p.m.cfg.Engine == Lazy && p.m.cfg.Fallback != NoFallback {
+			// With the hybrid engine, a serial-fallback transaction writes
+			// in place even on the lazy machine, so a non-transactional
+			// load must wait out a validated in-place writer rather than
+			// observe its uncommitted stores. Only writers matter: lazy
+			// hardware transactions keep their writes buffered.
+			p.waitValidatedConflictors(p.line(a), true)
+		}
 		p.access(a, false, 0)
 		v := p.m.mem.Load(word)
 		p.emitMem(trace.NtLoad, 0, word, v)
@@ -211,7 +238,20 @@ func (p *Proc) Load(a mem.Addr) uint64 {
 	if p.m.cfg.Engine == Eager {
 		p.eagerResolve(line, false, true, causeEagerLoad)
 	}
-	p.access(a, false, lvl.NL)
+	hwNL := lvl.NL
+	switch lvl.Mode {
+	case tm.Serial:
+		// Fallback accesses are not tracked in the cache (hwNL 0): the
+		// software path has an unbounded footprint and must not trip the
+		// capacity bound it exists to escape. Conflict detection still
+		// sees them through the level's read-/write-sets.
+		hwNL = 0
+		p.chargeInsn(CostSerialAccess)
+	case tm.TL2:
+		hwNL = 0
+		p.chargeInsn(CostStmLoad)
+	}
+	p.access(a, false, hwNL)
 	lvl.RecordRead(line)
 	if p.m.cfg.Engine == Lazy {
 		if v, ok := p.stack.LookupSpec(word); ok {
@@ -251,7 +291,7 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 			// and serialize after it. Storing first would let the commit's
 			// write-buffer drain clobber this store — the same lost update
 			// the eager engine had, through the other engine's window.
-			p.waitValidatedConflictors(p.line(a))
+			p.waitValidatedConflictors(p.line(a), false)
 		}
 		p.access(a, true, 0)
 		p.m.mem.Store(word, v)
@@ -268,12 +308,29 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 	if p.m.cfg.Engine == Eager {
 		p.eagerResolve(line, true, true, causeEagerStore)
 	}
-	p.access(a, true, lvl.NL)
+	hwNL := lvl.NL
+	switch lvl.Mode {
+	case tm.Serial:
+		hwNL = 0
+		p.chargeInsn(CostSerialAccess)
+	case tm.TL2:
+		hwNL = 0
+		p.chargeInsn(CostStmStore)
+	}
+	p.access(a, true, hwNL)
 	lvl.RecordWrite(line)
-	switch p.m.cfg.Engine {
-	case Lazy:
+	switch {
+	case lvl.Mode == tm.Serial:
+		// Serial-irrevocable writes land in place on both engines; the
+		// undo log exists only for an explicit Tx.Abort (no violation can
+		// reach a serial level). No speculator can hold the line: the
+		// lock acquisition killed every subscriber, and new transactions
+		// cannot pass their lock subscription while it is held.
+		lvl.LogUndo(word, p.m.mem.Load(word))
+		p.m.mem.Store(word, v)
+	case p.m.cfg.Engine == Lazy:
 		lvl.BufferWrite(word, v)
-	case Eager:
+	default:
 		lvl.LogUndo(word, p.m.mem.Load(word))
 		p.m.mem.Store(word, v)
 	}
@@ -444,19 +501,56 @@ func (p *Proc) eagerResolve(line mem.Addr, isWrite, kill bool, why string) {
 }
 
 // waitValidatedConflictors blocks until no other processor holds line in
-// a validated level's read- or write-set. Used by non-transactional
-// stores under the lazy engine: a validated transaction owns its commit
-// window, so the store must serialize after it. The caller is outside any
-// transaction, so no violation can redirect the wait.
-func (p *Proc) waitValidatedConflictors(line mem.Addr) {
+// a validated level's read- or write-set (write-set only with
+// writersOnly). Used by non-transactional stores under the lazy engine —
+// a validated transaction owns its commit window, so the store must
+// serialize after it — and by non-transactional loads under the hybrid
+// engine, which must wait out a serial fallback's in-place writes
+// (writersOnly: buffered readers cannot leak anything to a load). The
+// caller is outside any transaction, so no violation can redirect the
+// wait.
+func (p *Proc) waitValidatedConflictors(line mem.Addr, writersOnly bool) {
 	for {
 		var stalledOn *Proc
 		for _, q := range p.m.procs {
 			if q == p {
 				continue
 			}
-			mask := q.stack.ConflictsWithLine(line, false)
+			mask := q.stack.ConflictsWithLine(line, writersOnly)
 			if mask != 0 && q.hasValidatedLevel(mask) {
+				stalledOn = q
+				break
+			}
+		}
+		if stalledOn == nil {
+			return
+		}
+		start := p.sp.Time()
+		stalledOn.stallWaiters = append(stalledOn.stallWaiters, p)
+		p.stalled = true
+		p.sp.Block("stalled on validated transaction")
+		p.stalled = false
+		removeStallWaiter(stalledOn, p)
+		p.c.StallCycles += p.sp.Time() - start
+	}
+}
+
+// fbWaitSubscribers blocks until no processor subscribed to the serial-
+// fallback lock line has a validated level anywhere in its nest. Unlike
+// waitValidatedConflictors it keys the validated check on the whole
+// stack, not the levels holding the line: the subscription lives in the
+// outermost read-set, but the commit window being waited out can belong
+// to an open-nested child. The caller is outside any transaction (the
+// serial claimant), so no violation can redirect the wait; committing
+// levels wake stall waiters.
+func (p *Proc) fbWaitSubscribers(line mem.Addr) {
+	for {
+		var stalledOn *Proc
+		for _, q := range p.m.procs {
+			if q == p {
+				continue
+			}
+			if q.stack.ConflictsWithLine(line, false) != 0 && q.validatedFloor() > 0 {
 				stalledOn = q
 				break
 			}
@@ -590,6 +684,73 @@ func (p *Proc) backoffDelay() int {
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 29
 	return base + int(h%(uint64(base)<<uint(shift)))
+}
+
+// fbPollCycles is the spin-poll interval on the serial-fallback lock,
+// matching the workloads' barrier poll granularity.
+const fbPollCycles = 20
+
+// fbSpinWait spins until the serial-fallback lock word reads free, so a
+// hardware (or TL2) transaction does not burn an xbegin just to be killed
+// by an in-progress serial section. The reads are ordinary
+// non-transactional loads — exactly the spin a real hybrid's begin path
+// performs — so on the eager machine the poll naturally blocks on the
+// serial owner's validated write of the lock word. The check is advisory:
+// the transactional lock subscription after xbegin is what closes the
+// race with a claim that lands between this spin and the subscribe.
+func (p *Proc) fbSpinWait() {
+	for p.Load(fbLockAddr) != 0 {
+		p.Tick(fbPollCycles)
+	}
+}
+
+// fbAcquire claims the serial-fallback lock: machine-level ownership is
+// a check-and-set inside one engine grant window (the lock's atomic
+// test-and-set), and the architected lock word is then set through the
+// non-transactional store machinery — waiting out validated commit
+// windows and killing every active transaction that subscribed to the
+// word — with the distinct fallback-lock cause for attribution.
+func (p *Proc) fbAcquire() {
+	for {
+		p.sp.Yield()
+		if p.m.fbOwner == nil {
+			p.m.fbOwner = p
+			p.sp.Advance(1)
+			break
+		}
+		p.sp.Advance(fbPollCycles)
+	}
+	p.step(1)
+	p.c.Stores++
+	word := mem.WordAlign(fbLockAddr)
+	line := p.line(fbLockAddr)
+	// Wait out subscribers that are inside a commit window anywhere in
+	// their nest: the per-level validated check below would miss a
+	// subscriber whose validated level is an open-nested child that does
+	// not itself hold the lock line, and such a child publishing after
+	// the lock word is set would leak a commit into the serial window.
+	p.fbWaitSubscribers(line)
+	if p.m.cfg.Engine == Eager {
+		p.eagerResolve(line, true, true, causeFallbackLock)
+	} else {
+		p.waitValidatedConflictors(line, false)
+	}
+	p.access(fbLockAddr, true, 0)
+	p.m.mem.Store(word, 1)
+	p.emitMem(trace.NtStore, 0, word, 1)
+	if p.m.cfg.Engine == Lazy {
+		p.violateOthers([]mem.Addr{line}, nil, causeFallbackLock)
+	}
+}
+
+// fbRelease frees the serial-fallback lock after the serial section
+// commits or aborts. The word is cleared first (an ordinary
+// non-transactional store: no speculator can hold the line while the
+// lock is held), then machine-level ownership, so a competing serial
+// claimant cannot observe a free owner before the word reads free.
+func (p *Proc) fbRelease() {
+	p.Store(fbLockAddr, 0)
+	p.m.fbOwner = nil
 }
 
 // backoffStall advances time without retiring instructions (contention

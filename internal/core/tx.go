@@ -67,6 +67,11 @@ type Tx struct {
 	violHs   []ViolationHandler
 	abortHs  []AbortHandler
 
+	// inCommitHs marks the commit-handler phase. A serial-fallback level
+	// is Validated from birth, so Abort cannot use the status alone to
+	// reject commit-handler aborts there.
+	inCommitHs bool
+
 	done bool
 }
 
@@ -78,6 +83,12 @@ func (tx *Tx) NL() int { return tx.level.NL }
 
 // Open reports whether this is an open-nested transaction.
 func (tx *Tx) Open() bool { return tx.level.Open }
+
+// Mode returns this attempt's execution mode: tm.HTM for a hardware
+// attempt, tm.Serial or tm.TL2 after a hybrid-engine fallback
+// transition. Bodies can branch on it to skip HTM-only tuning (for
+// example contention managers) on the already-serialized paths.
+func (tx *Tx) Mode() tm.Mode { return tx.level.Mode }
 
 // Done reports whether the attempt this handle belonged to has ended —
 // committed, aborted, or rolled back. The handle dies with its TCB
@@ -128,7 +139,11 @@ func (tx *Tx) OnAbort(h AbortHandler) {
 // carried to the handlers and the error.
 func (tx *Tx) Abort(reason any) {
 	tx.check()
-	if tx.level.Status == tm.Validated {
+	// A serial-fallback level carries Validated status from xbegin but is
+	// still abortable from its body (the undo log restores its in-place
+	// writes, which nothing can have observed); only the commit-handler
+	// phase is past the point of no return there.
+	if tx.level.Status == tm.Validated && (tx.level.Mode != tm.Serial || tx.inCommitHs) {
 		panic("core: Tx.Abort after xvalidate (commit handlers cannot abort the transaction)")
 	}
 	p := tx.p

@@ -29,6 +29,10 @@ const (
 	causeLazyCommit = "lazy-commit" // lazy engine: commit broadcast hit the victim's sets
 	causeFault      = "fault"       // injected by a FaultPlan (no aggressor CPU)
 	causeAbort      = "abort"       // rollback context for explicit xabort unwinds
+	// Hybrid-engine causes (Config.BoundedSpec / Config.Fallback).
+	causeCapacity     = "capacity"      // bounded speculative state overflowed the cache (no aggressor CPU)
+	causeStmCommit    = "stm-commit"    // TL2 fallback commit broadcast hit the victim's sets
+	causeFallbackLock = "fallback-lock" // serial fallback acquired the global lock, killing subscribers
 )
 
 // violRec is one undelivered conflict: the conflicting line (xvaddr),
@@ -67,6 +71,20 @@ func (p *Proc) violMask() uint32 {
 		m |= r.mask
 	}
 	return m
+}
+
+// pendingFallbackLock reports whether a serial-fallback lock kill is
+// queued against any level of this CPU. The serial section's mutual
+// exclusion is absolute, so a level about to publish (open-nested or
+// outermost) must lose to a queued kill even when the kill's mask only
+// names an enclosing level.
+func (p *Proc) pendingFallbackLock() bool {
+	for _, r := range p.violQ {
+		if r.why == causeFallbackLock {
+			return true
+		}
+	}
+	return false
 }
 
 // stripViolBit removes level nl from every queued conflict (the level's
@@ -150,6 +168,14 @@ func (p *Proc) deliver() {
 			target = p.stack.Depth()
 		}
 
+		// Capacity aborts and the fallback lock's subscription kill are
+		// engine-internal conditions, not data conflicts: software must
+		// not Ignore its way past a full speculative buffer or into the
+		// serial section's mutual exclusion (a real HTM delivers both as
+		// non-maskable aborts). They skip the handler decision; handlers
+		// still run as compensations on the forced rollback below.
+		maskable := rec.why != causeCapacity && rec.why != causeFallbackLock
+
 		// Dispatch: hardware jumps to the innermost transaction's
 		// violation-handler code, but the software convention there walks
 		// the handler stacks of enclosing levels too (Section 4.6 lets
@@ -159,22 +185,24 @@ func (p *Proc) deliver() {
 		p.violReport = false
 		dec := Rollback
 		decision := -1 // index into p.txs of the deciding level
-		for li := len(p.txs) - 1; li >= target-1; li-- {
-			if len(p.txs[li].violHs) == 0 {
-				continue
-			}
-			decision = li
-			hs := p.txs[li].violHs
-			for i := len(hs) - 1; i >= 0; i-- {
-				p.chargeInsn(CostHandlerDispatch)
-				p.c.ViolationHandlers++
-				if hs[i](p, Violation{Addr: rec.addr, Mask: rec.mask}) == Ignore {
-					dec = Ignore
-					break
+		if maskable {
+			for li := len(p.txs) - 1; li >= target-1; li-- {
+				if len(p.txs[li].violHs) == 0 {
+					continue
 				}
+				decision = li
+				hs := p.txs[li].violHs
+				for i := len(hs) - 1; i >= 0; i-- {
+					p.chargeInsn(CostHandlerDispatch)
+					p.c.ViolationHandlers++
+					if hs[i](p, Violation{Addr: rec.addr, Mask: rec.mask}) == Ignore {
+						dec = Ignore
+						break
+					}
+				}
+				p.chargeInsn(CostVRet)
+				break
 			}
-			p.chargeInsn(CostVRet)
-			break
 		}
 		p.violReport = true // xvret re-enables reporting
 

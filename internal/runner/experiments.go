@@ -71,7 +71,7 @@ type Experiment struct {
 // Order lists the experiments in the order "-exp all" runs them.
 var Order = []string{
 	"overheads", "figure5", "io", "condsync", "schemes",
-	"engines", "opensem", "depth", "granularity", "scaling",
+	"engines", "opensem", "depth", "granularity", "scaling", "hybrid",
 }
 
 // Find returns the named experiment.
@@ -91,6 +91,7 @@ var registry = map[string]Experiment{
 	"depth":       {Name: "depth", Cells: depthCells, Render: depthRender},
 	"granularity": {Name: "granularity", Cells: granularityCells, Render: granularityRender},
 	"scaling":     {Name: "scaling", Cells: scalingCells, Render: scalingRender},
+	"hybrid":      {Name: "hybrid", Cells: hybridCells, Render: hybridRender},
 }
 
 // wl pairs a workload name with its constructor; every cell builds a
@@ -505,4 +506,110 @@ func scalingRender(_ Context, res []Metrics, w io.Writer) {
 		}
 		fmt.Fprint(w, ser)
 	}
+}
+
+// hybrid is the bounded-capacity-HTM-with-STM-fallback sweep: capacity ×
+// retry budget × fallback mode over the full workload suite, after the
+// hybrid-NOrec/HyTM capacity studies (Brown & Ravi; Alistarh et al.).
+// Two arms per capacity value:
+//
+//   - htm-virt: an HTM-only machine whose *physical* cache holds exactly
+//     the capacity (direct-mapped L1 = L2 = cap lines) with the paper's
+//     virtualized overflow table. Past the bound every speculative access
+//     pays OverflowPenalty, so throughput collapses with the footprint.
+//     A bounded machine without a fallback is deliberately not an arm:
+//     a deterministic over-capacity footprint capacity-aborts, retries
+//     the identical footprint, and livelocks to the MaxCycles panic.
+//   - serial/tl2: a bounded machine (BoundedSpec, MaxWriteLines = cap,
+//     MaxReadLines = 4*cap) with the hybrid engine, sweeping the HTM
+//     retry budget. Capacity aborts transition to the STM path and
+//     commit there, so cycles degrade gracefully as capacity shrinks.
+var (
+	hybridCaps    = []int{1, 4, 16}
+	hybridBudgets = []int{2, 8}
+	hybridModes   = []core.FallbackKind{core.SerialFallback, core.TL2Fallback}
+)
+
+// hybridGroup is the cells per {workload, capacity} group: the htm-virt
+// arm plus one hybrid arm per {mode, budget}.
+func hybridGroup() int { return 1 + len(hybridModes)*len(hybridBudgets) }
+
+func hybridCells(ctx Context) []Cell {
+	var cells []Cell
+	for _, s := range scientificSuite {
+		for _, capLines := range hybridCaps {
+			s, capLines := s, capLines
+			label := fmt.Sprintf("%s/htm-virt/cap=%d", s.name, capLines)
+			cells = append(cells, Cell{Label: label, Run: func() Metrics {
+				cfg := ctx.base()
+				cfg.Cache.L1Bytes = capLines * cfg.Cache.LineSize
+				cfg.Cache.L1Ways = 1
+				cfg.Cache.L2Bytes = capLines * cfg.Cache.LineSize
+				cfg.Cache.L2Ways = 1
+				col := ctx.collector(cfg)
+				m := FromReport(workloads.ExecuteTraced(s.mk(), cfg, ctx.CPUs, profAttach(col, "hybrid/"+label)))
+				m.Prof = col.Profile()
+				return m
+			}})
+			for _, fb := range hybridModes {
+				for _, budget := range hybridBudgets {
+					fb, budget := fb, budget
+					label := fmt.Sprintf("%s/%s/cap=%d/budget=%d", s.name, fb, capLines, budget)
+					cells = append(cells, Cell{Label: label, Run: func() Metrics {
+						cfg := ctx.base()
+						cfg.Fallback = fb
+						cfg.HTMRetryBudget = budget
+						cfg.Cache.BoundedSpec = true
+						cfg.Cache.MaxWriteLines = capLines
+						cfg.Cache.MaxReadLines = 4 * capLines
+						col := ctx.collector(cfg)
+						rep := workloads.ExecuteTraced(s.mk(), cfg, ctx.CPUs, profAttach(col, "hybrid/"+label))
+						m := FromReport(rep)
+						m.Values = map[string]float64{
+							"capacityAborts": float64(rep.Machine.CapacityAborts),
+							"fallbacks":      float64(rep.Machine.Fallbacks),
+							"stmCommits":     float64(rep.Machine.StmCommits),
+						}
+						m.Prof = col.Profile()
+						return m
+					}})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+func hybridRender(_ Context, res []Metrics, w io.Writer) {
+	group := hybridGroup()
+	per := len(hybridCaps) * group
+	cols := []string{"htm-virt"}
+	for _, fb := range hybridModes {
+		for _, b := range hybridBudgets {
+			cols = append(cols, fmt.Sprintf("%s/b%d", fb, b))
+		}
+	}
+	for ci, capLines := range hybridCaps {
+		table := stats.NewTable(
+			fmt.Sprintf("Hybrid engine at capacity %d write line(s) (cycles)", capLines), cols...)
+		for wi, s := range scientificSuite {
+			base := wi*per + ci*group
+			vals := make([]float64, group)
+			for k := 0; k < group; k++ {
+				vals[k] = float64(res[base+k].Cycles)
+			}
+			table.Set(s.name, vals...)
+		}
+		fmt.Fprint(w, table)
+	}
+	var capAborts, fallbacks, stmCommits float64
+	for _, m := range res {
+		capAborts += m.Values["capacityAborts"]
+		fallbacks += m.Values["fallbacks"]
+		stmCommits += m.Values["stmCommits"]
+	}
+	fmt.Fprintf(w, "hybrid arms: %.0f capacity aborts -> %.0f fallback transitions, %.0f STM commits\n",
+		capAborts, fallbacks, stmCommits)
+	fmt.Fprintln(w, "htm-virt virtualizes overflow (collapses past the bound); bounded HTM without a")
+	fmt.Fprintln(w, "fallback would livelock on any deterministic over-capacity footprint")
 }

@@ -136,6 +136,7 @@ func TestExperimentCellLabelsStable(t *testing.T) {
 		"depth":       {8, "depth-1", "depth-8"},
 		"granularity": {4, "mp3d/line", "moldyn/word"},
 		"scaling":     {12, "mp3d/seq", "SPECjbb2000-open/16"},
+		"hybrid":      {135, "barnes/htm-virt/cap=1", "SPECjbb2000-open/tl2/cap=16/budget=8"},
 	}
 	if len(want) != len(Order) {
 		t.Fatalf("test covers %d experiments, registry has %d", len(want), len(Order))

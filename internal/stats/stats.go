@@ -68,6 +68,11 @@ type Counters struct {
 	// I/O accounting.
 	Syscalls uint64
 	IOBytes  uint64
+
+	// Hybrid-engine accounting (core.Config.BoundedSpec / Fallback).
+	CapacityAborts uint64 // speculative evictions that raised a capacity abort instead of virtualizing
+	Fallbacks      uint64 // outermost transactions that transitioned from HTM to the STM fallback
+	StmCommits     uint64 // commits completed on a fallback path (serial or TL2)
 }
 
 // Add accumulates other into c.
@@ -106,6 +111,9 @@ func (c *Counters) Add(other *Counters) {
 	c.LazyMergeHits += other.LazyMergeHits
 	c.Syscalls += other.Syscalls
 	c.IOBytes += other.IOBytes
+	c.CapacityAborts += other.CapacityAborts
+	c.Fallbacks += other.Fallbacks
+	c.StmCommits += other.StmCommits
 }
 
 // Report is the result of a complete run: the machine-wide aggregate plus
@@ -149,6 +157,12 @@ func (r *Report) String() string {
 		m.L1Hits, m.L2Hits, m.Misses, m.Overflow, m.BusCycles, m.TokenWaitCycle, m.StallCycles)
 	fmt.Fprintf(&b, "handlers: commit=%d violation=%d abort=%d merges=%d lazyFix=%d syscalls=%d iobytes=%d\n",
 		m.CommitHandlers, m.ViolationHandlers, m.AbortHandlers, m.MergedLines, m.LazyMergeHits, m.Syscalls, m.IOBytes)
+	// The hybrid line appears only when the hybrid engine was exercised, so
+	// reports from pre-hybrid configurations render byte-identically.
+	if m.CapacityAborts > 0 || m.Fallbacks > 0 || m.StmCommits > 0 {
+		fmt.Fprintf(&b, "hybrid: capacityAborts=%d fallbacks=%d stmCommits=%d\n",
+			m.CapacityAborts, m.Fallbacks, m.StmCommits)
+	}
 	return b.String()
 }
 

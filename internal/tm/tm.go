@@ -40,6 +40,36 @@ func (s Status) String() string {
 	return fmt.Sprintf("status(%d)", int(s))
 }
 
+// Mode is the execution mode of a level: hardware transaction (the
+// default), or one of the hybrid engine's STM fallback paths. The mode
+// changes how core versions data and charges instrumentation; the
+// conflict-set logic here is mode-blind — STM levels record read- and
+// write-sets exactly like hardware ones, which is what lets hardware
+// conflict detection see them.
+type Mode int
+
+const (
+	// HTM is a hardware transaction.
+	HTM Mode = iota
+	// Serial is the serial-irrevocable global-lock fallback: in-place
+	// stores with an undo log, validated (irrevocable) from birth.
+	Serial
+	// TL2 is the versioned-lock software fallback: untracked in the
+	// cache (unbounded footprint) and paying per-access instrumentation.
+	TL2
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Serial:
+		return "serial"
+	case TL2:
+		return "tl2"
+	default:
+		return "htm"
+	}
+}
+
 // UndoRec is one undo-log entry: the word's value before the first write
 // by a given nesting level (eager engine), or before an immediate store
 // (both engines).
@@ -58,6 +88,10 @@ type Level struct {
 	// Open marks an open-nested transaction (xbegin_open).
 	Open   bool
 	Status Status
+	// Mode is HTM for hardware transactions; the hybrid engine's
+	// fallback paths set Serial or TL2 on outermost levels only (nested
+	// transactions inside a fallback body are subsumed).
+	Mode Mode
 
 	// ReadSet and WriteSet hold cache-line addresses, the conflict
 	// granularity of the paper's platform. They are allocated on first

@@ -124,6 +124,24 @@ func DeriveCase(seed uint64, i int) (*Program, MachineConfig) {
 		}
 		mc.Faults = append(mc.Faults, fv)
 	}
+	// Hybrid-engine rotation (drawn last so enabling it changed no other
+	// case material): a quarter of the cases run with the STM fallback,
+	// and most of those also bound speculative capacity so generated
+	// footprints raise real capacity aborts — the TinyCache pressure plus
+	// BoundedSpec is the capacity-fault plan.
+	if g.r.chance(25) {
+		mc.Fallback = "serial"
+		if g.r.chance(50) {
+			mc.Fallback = "tl2"
+		}
+		mc.RetryBudget = 1 + g.r.intn(5)
+		if g.r.chance(60) {
+			mc.TinyCache = true
+			mc.BoundedSpec = true
+			mc.MaxWriteLines = 1 + g.r.intn(3)
+			mc.MaxReadLines = 2 + g.r.intn(6)
+		}
+	}
 	return prog, mc
 }
 

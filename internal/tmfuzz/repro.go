@@ -27,6 +27,21 @@ type MachineConfig struct {
 	// TieBreakSeed, when non-zero, seeds the scheduler's tie-break
 	// perturbation (zero keeps the default lowest-id order).
 	TieBreakSeed uint64 `json:"tieBreakSeed,omitempty"`
+	// Fallback enables the hybrid engine's STM fallback path: "" or
+	// "none" disables it, "serial" is the global-lock irrevocable path,
+	// "tl2" the versioned-lock path.
+	Fallback string `json:"fallback,omitempty"`
+	// RetryBudget is the HTM attempts before a contended transaction
+	// falls back (0 = the engine default). Meaningful only with Fallback.
+	RetryBudget int `json:"retryBudget,omitempty"`
+	// BoundedSpec caps the speculative footprint (capacity faults): past
+	// MaxWriteLines/MaxReadLines an HTM attempt capacity-aborts and
+	// transitions to the fallback path. Only generated together with
+	// Fallback — a bounded machine without one livelocks on any
+	// deterministic over-capacity footprint.
+	BoundedSpec   bool `json:"boundedSpec,omitempty"`
+	MaxReadLines  int  `json:"maxReadLines,omitempty"`
+	MaxWriteLines int  `json:"maxWriteLines,omitempty"`
 	// Faults is the deterministic fault-injection plan (may be empty).
 	Faults []core.FaultViolation `json:"faults,omitempty"`
 }
@@ -41,8 +56,15 @@ func (mc MachineConfig) String() string {
 	if mc.WordTracking {
 		gran = "word"
 	}
-	return fmt.Sprintf("%s/%s/%s cpus=%d levels=%d tiny=%v tiebreak=%d faults=%d",
+	s := fmt.Sprintf("%s/%s/%s cpus=%d levels=%d tiny=%v tiebreak=%d faults=%d",
 		mc.Engine, nest, gran, mc.CPUs, mc.MaxLevels, mc.TinyCache, mc.TieBreakSeed, len(mc.Faults))
+	if mc.Fallback != "" && mc.Fallback != "none" {
+		s += fmt.Sprintf(" fb=%s/b%d", mc.Fallback, mc.RetryBudget)
+		if mc.BoundedSpec {
+			s += fmt.Sprintf(" cap=r%d/w%d", mc.MaxReadLines, mc.MaxWriteLines)
+		}
+	}
+	return s
 }
 
 // CoreConfig materializes the core.Config for one run, with the oracle
@@ -59,6 +81,11 @@ func (mc MachineConfig) CoreConfig() core.Config {
 		cc.L1Bytes, cc.L1Ways = 512, 2
 		cc.L2Bytes, cc.L2Ways = 2048, 4
 	}
+	if mc.BoundedSpec {
+		cc.BoundedSpec = true
+		cc.MaxReadLines = mc.MaxReadLines
+		cc.MaxWriteLines = mc.MaxWriteLines
+	}
 	cfg := core.Config{
 		CPUs:          mc.CPUs,
 		Cache:         cc,
@@ -72,6 +99,13 @@ func (mc MachineConfig) CoreConfig() core.Config {
 	if mc.Engine == "eager" {
 		cfg.Engine = core.Eager
 	}
+	switch mc.Fallback {
+	case "serial":
+		cfg.Fallback = core.SerialFallback
+	case "tl2":
+		cfg.Fallback = core.TL2Fallback
+	}
+	cfg.HTMRetryBudget = mc.RetryBudget
 	if len(mc.Faults) > 0 {
 		cfg.Faults = &core.FaultPlan{Violations: append([]core.FaultViolation(nil), mc.Faults...)}
 	}

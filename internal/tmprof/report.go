@@ -26,11 +26,13 @@ func (p *Profile) Report(w io.Writer, topN int) {
 	}
 	fmt.Fprintf(w, "tmprof contention report\n")
 
-	var commits, rollbacks, violations uint64
+	var commits, rollbacks, violations, fallbacks, serialized uint64
 	for _, rp := range p.Runs {
 		commits += rp.Counts["commit"] + rp.Counts["closed-commit"]
 		rollbacks += rp.Counts["rollback"]
 		violations += rp.Counts["violation"]
+		fallbacks += rp.Counts["fallback"]
+		serialized += rp.SerializedCycles
 	}
 	gran := "word"
 	if p.LineSize > 1 {
@@ -44,11 +46,17 @@ func (p *Profile) Report(w io.Writer, topN int) {
 	fmt.Fprintf(w, "runs: %d  granularity: %s\n", len(p.Runs), gran)
 	fmt.Fprintf(w, "commits: %d  rollbacks: %d  violations: %d  wasted cycles: %d\n",
 		commits, rollbacks, violations, wasted)
+	if fallbacks > 0 {
+		fmt.Fprintf(w, "hybrid fallbacks: %d  serialized cycles (STM path): %d\n", fallbacks, serialized)
+	}
 
 	for _, rp := range p.Runs {
 		fmt.Fprintf(w, "  run %-28s cpus=%d cycles=%d commits=%d rollbacks=%d",
 			rp.Label, rp.CPUs, rp.EndCycle,
 			rp.Counts["commit"]+rp.Counts["closed-commit"], rp.Counts["rollback"])
+		if rp.Counts["fallback"] > 0 {
+			fmt.Fprintf(w, " fallbacks=%d serialized=%d", rp.Counts["fallback"], rp.SerializedCycles)
+		}
 		if rp.DroppedSpans > 0 {
 			fmt.Fprintf(w, " (timeline clipped: %d spans dropped)", rp.DroppedSpans)
 		}

@@ -68,6 +68,10 @@ type RunProfile struct {
 	Spans []Span `json:"spans,omitempty"`
 	// DroppedSpans counts timeline entries clipped by MaxSpans.
 	DroppedSpans int `json:"droppedSpans,omitempty"`
+	// SerializedCycles is the total cycles CPUs spent between a hybrid
+	// fallback transition and that transaction's outermost commit or
+	// rollback — time executing on the STM path rather than in hardware.
+	SerializedCycles uint64 `json:"serializedCycles,omitempty"`
 }
 
 // Granule is the contention record for one conflict granule (a line, or
@@ -119,6 +123,10 @@ type spanKey struct {
 type runState struct {
 	rp   *RunProfile
 	open map[spanKey]uint64 // open tx level -> begin cycle
+	// fbStart tracks, per CPU, the cycle of the last hybrid fallback
+	// transition whose STM attempt is still running; closed (and folded
+	// into SerializedCycles) by the outermost commit or rollback.
+	fbStart map[int]uint64
 }
 
 // Collector consumes event streams and aggregates them into a Profile.
@@ -157,7 +165,8 @@ func (c *Collector) StartRun(label string) func(trace.Event) {
 			Label:  label,
 			Counts: make(map[string]uint64),
 		},
-		open: make(map[spanKey]uint64),
+		open:    make(map[spanKey]uint64),
+		fbStart: make(map[int]uint64),
 	}
 	c.runs = append(c.runs, rs)
 	return func(e trace.Event) { c.consume(rs, e) }
@@ -222,6 +231,22 @@ func (c *Collector) instant(rs *runState, e trace.Event, name, note string) {
 	c.addSpan(rs, Span{Name: name, CPU: e.CPU, Start: e.Cycle, Instant: true, Note: note})
 }
 
+// closeFallback ends the open STM span on e's CPU at an outermost
+// commit/rollback, attributing the serialized cycles to the run.
+func (c *Collector) closeFallback(rs *runState, e trace.Event) {
+	if e.Level != 1 {
+		return
+	}
+	start, ok := rs.fbStart[e.CPU]
+	if !ok {
+		return
+	}
+	delete(rs.fbStart, e.CPU)
+	dur := e.Cycle - start
+	rs.rp.SerializedCycles += dur
+	c.addSpan(rs, Span{Name: "stm", CPU: e.CPU, Start: start, Dur: dur, Note: "serialized"})
+}
+
 // consume folds one event into the run and cross-run aggregates.
 func (c *Collector) consume(rs *runState, e trace.Event) {
 	rp := rs.rp
@@ -242,10 +267,12 @@ func (c *Collector) consume(rs *runState, e trace.Event) {
 			outcome = "open-commit"
 		}
 		c.closeTx(rs, e, outcome)
+		c.closeFallback(rs, e)
 	case trace.ClosedCommit:
 		c.closeTx(rs, e, "closed-commit")
 	case trace.Rollback:
 		c.closeTx(rs, e, "rollback")
+		c.closeFallback(rs, e)
 		if e.Addr != 0 {
 			g := c.granule(c.granuleOf(e.Addr))
 			g.Rollbacks++
@@ -272,6 +299,16 @@ func (c *Collector) consume(rs *runState, e trace.Event) {
 		c.instant(rs, e, "handler", e.Note)
 	case trace.Backoff:
 		c.addSpan(rs, Span{Name: "backoff", CPU: e.CPU, Start: e.Cycle, Dur: e.Dur, Note: "backoff"})
+	case trace.Fallback:
+		// A hybrid transition: mark the instant (Note is "mode:cause"),
+		// open the serialized-cycles window, and attribute the transition
+		// to the granule that drove it when the cause has an address.
+		c.instant(rs, e, "fallback", e.Note)
+		rs.fbStart[e.CPU] = e.Cycle
+		if e.Addr != 0 {
+			g := c.granule(c.granuleOf(e.Addr))
+			g.Causes["fallback:"+e.Note]++
+		}
 	}
 }
 
@@ -311,6 +348,20 @@ func (c *Collector) Profile() *Profile {
 				Dur:   rs.rp.EndCycle - start,
 				Note:  "unfinished",
 			})
+		}
+		// Close dangling STM windows the same way so the serialized-cycle
+		// ledger balances even on an unfinished run.
+		cpus := make([]int, 0, len(rs.fbStart))
+		for cpu := range rs.fbStart {
+			cpus = append(cpus, cpu)
+		}
+		sort.Ints(cpus)
+		for _, cpu := range cpus {
+			start := rs.fbStart[cpu]
+			delete(rs.fbStart, cpu)
+			dur := rs.rp.EndCycle - start
+			rs.rp.SerializedCycles += dur
+			c.addSpan(rs, Span{Name: "stm", CPU: cpu, Start: start, Dur: dur, Note: "serialized (unfinished)"})
 		}
 		p.Runs = append(p.Runs, rs.rp)
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"tmisa/internal/core"
+	"tmisa/internal/mem"
 	"tmisa/internal/tmprof"
 	"tmisa/internal/trace"
 )
@@ -301,5 +302,72 @@ func TestReport(t *testing.T) {
 	empty.Profile().Report(&buf, 0)
 	if !strings.Contains(buf.String(), "conflict-free") {
 		t.Errorf("quiet report missing conflict-free line:\n%s", buf.String())
+	}
+}
+
+// TestFallbackAttribution runs a hybrid machine whose transaction
+// capacity-aborts and falls back, and checks the profiler surfaces the
+// transition: a "fallback" count, a serialized-cycles window closed by
+// the STM commit, a capacity violation cause, and a fallback cause on
+// the driving granule.
+func TestFallbackAttribution(t *testing.T) {
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 1
+	cfg.MaxCycles = 50_000_000
+	cfg.Fallback = core.SerialFallback
+	cfg.Cache.BoundedSpec = true
+	cfg.Cache.MaxWriteLines = 2
+	m := core.NewMachine(cfg)
+	m.SetTracer(col.StartRun("hybrid"))
+	stride := cfg.Cache.LineSize
+	base := m.Alloc(8 * 8)
+	m.Run(func(p *core.Proc) {
+		p.Atomic(func(tx *core.Tx) {
+			for i := 0; i < 6; i++ {
+				p.Store(base+mem.Addr(i*stride), 1)
+			}
+		})
+	})
+
+	p := col.Profile()
+	rp := p.Runs[0]
+	if rp.Counts["fallback"] != 1 {
+		t.Fatalf("fallback count = %d, want 1 (counts: %v)", rp.Counts["fallback"], rp.Counts)
+	}
+	if rp.SerializedCycles == 0 {
+		t.Fatalf("SerializedCycles = 0, want the STM attempt's span")
+	}
+	var stm, fbInstant bool
+	for _, s := range rp.Spans {
+		if s.Name == "stm" && s.Dur > 0 && s.Note == "serialized" {
+			stm = true
+		}
+		if s.Name == "fallback" && s.Instant {
+			fbInstant = true
+		}
+	}
+	if !stm || !fbInstant {
+		t.Fatalf("timeline missing stm span (%v) or fallback instant (%v)", stm, fbInstant)
+	}
+	var capacity, fallbackCause bool
+	for _, g := range p.Granules {
+		for k := range g.Causes {
+			if k == "capacity" {
+				capacity = true
+			}
+			if strings.HasPrefix(k, "fallback:") {
+				fallbackCause = true
+			}
+		}
+	}
+	if !capacity || !fallbackCause {
+		t.Fatalf("granule causes missing capacity (%v) or fallback (%v)", capacity, fallbackCause)
+	}
+
+	var buf bytes.Buffer
+	p.Report(&buf, 5)
+	if !strings.Contains(buf.String(), "hybrid fallbacks: 1") {
+		t.Fatalf("report missing hybrid line:\n%s", buf.String())
 	}
 }

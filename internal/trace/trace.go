@@ -56,16 +56,24 @@ const (
 	// Backoff is a contention-management stall between a rollback and the
 	// re-execution; Dur carries the stall length in cycles.
 	Backoff
+	// Fallback is a hybrid-engine transition from HTM to the STM fallback
+	// path: the retry budget was exhausted or a capacity abort made
+	// retrying futile. Note carries "mode:cause" (the fallback mode and
+	// the final HTM abort's cause kind); Addr/By carry that abort's
+	// conflict context. The following Begin on the same CPU starts the
+	// fallback execution, whose cycles the profiler attributes as
+	// serialized/instrumented time.
+	Fallback
 )
 
 var kindNames = [...]string{
 	"begin", "commit", "closed-commit", "rollback", "abort", "violation",
 	"handler", "validate", "tx-load", "tx-store", "nt-load", "nt-store",
-	"im-load", "im-store", "im-storeid", "release", "backoff",
+	"im-load", "im-store", "im-storeid", "release", "backoff", "fallback",
 }
 
 // NumKinds is the number of defined event kinds (for iteration).
-const NumKinds = int(Backoff) + 1
+const NumKinds = int(Fallback) + 1
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

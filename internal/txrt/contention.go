@@ -2,6 +2,7 @@ package txrt
 
 import (
 	"tmisa/internal/core"
+	"tmisa/internal/tm"
 )
 
 // Contention management and control-flow constructs built purely from the
@@ -78,6 +79,24 @@ func AtomicWithBackoff(p *core.Proc, base, max int, body func(tx *core.Tx)) erro
 	mgr := NewBackoffManager(base, max)
 	return p.Atomic(func(tx *core.Tx) {
 		mgr.Attach(tx)
+		body(tx)
+	})
+}
+
+// AtomicHybrid is the hybrid-engine convenience wrapper: it runs body as
+// a transaction pinned to the given fallback mode (overriding the
+// machine default, which must have the hybrid engine enabled) with an
+// exponential-backoff contention manager attached to the HTM attempts
+// only. Fallback attempts skip the manager — the serial path holds a
+// global lock and the TL2 path resolves conflicts at commit, so
+// violation-handler backoff would only add latency once the transaction
+// has left hardware.
+func AtomicHybrid(p *core.Proc, fb core.FallbackKind, base, max int, body func(tx *core.Tx)) error {
+	mgr := NewBackoffManager(base, max)
+	return p.AtomicFallback(fb, func(tx *core.Tx) {
+		if tx.Mode() == tm.HTM {
+			mgr.Attach(tx)
+		}
 		body(tx)
 	})
 }

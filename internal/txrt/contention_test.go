@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tmisa/internal/core"
+	"tmisa/internal/mem"
 )
 
 // TestTryAtomicCommitsWhenUncontended.
@@ -189,5 +190,37 @@ func TestAbortExceptionPattern(t *testing.T) {
 	}
 	if got := m.Mem().Load(report); got != 1234 {
 		t.Fatalf("report = %d, want the captured pre-rollback 1234", got)
+	}
+}
+
+// TestAtomicHybridFallsBackUnderCapacity: the wrapper composes the
+// backoff manager with the hybrid engine — an oversized footprint
+// capacity-aborts the HTM attempt and completes on the fallback path,
+// and the manager is only attached to HTM attempts.
+func TestAtomicHybridFallsBackUnderCapacity(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Fallback = core.SerialFallback
+	cfg.Cache.BoundedSpec = true
+	cfg.Cache.MaxWriteLines = 2
+	m := core.NewMachine(cfg)
+	stride := cfg.Cache.LineSize
+	base := m.Alloc(8 * 8)
+	m.Run(func(p *core.Proc) {
+		if err := AtomicHybrid(p, core.SerialFallback, 10, 1000, func(tx *core.Tx) {
+			for i := 0; i < 6; i++ {
+				p.Store(base+mem.Addr(i*stride), uint64(i+1))
+			}
+		}); err != nil {
+			t.Errorf("hybrid transaction failed: %v", err)
+		}
+	})
+	for i := 0; i < 6; i++ {
+		if got := m.Mem().Load(base + mem.Addr(i*stride)); got != uint64(i+1) {
+			t.Fatalf("word %d = %d, want %d", i, got, i+1)
+		}
+	}
+	c := &m.Report().Machine
+	if c.Fallbacks != 1 || c.StmCommits != 1 {
+		t.Fatalf("Fallbacks=%d StmCommits=%d, want 1/1", c.Fallbacks, c.StmCommits)
 	}
 }
