@@ -1,0 +1,60 @@
+// Command tmdiff is the static/dynamic differential checker: it loads
+// the static may-conflict map written by `tmlint -conflicts`, runs the
+// workload suite under each engine with the tmprof collector attached,
+// and verifies the soundness obligation — every granule the profiler
+// attributes a runtime data conflict to must be statically predicted.
+// Precision (predicted granules that ever conflict) is printed but not
+// gated.
+//
+// Usage:
+//
+//	go run ./cmd/tmlint -conflicts ./internal/workloads ./internal/btree > conflicts.json
+//	go run ./cmd/tmdiff -static conflicts.json
+//
+// Exit status: 0 sound, 1 soundness violation, 2 usage/setup error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tmisa/internal/tmdiff"
+)
+
+func main() {
+	var (
+		static  = flag.String("static", "", "path to the -conflicts JSON from cmd/tmlint (required)")
+		cpus    = flag.Int("cpus", 0, "CPUs per run (0 = engine default)")
+		quick   = flag.Bool("quick", false, "lazy engine only (smoke run) instead of lazy/eager/hybrid")
+		verbose = flag.Bool("v", false, "log each matrix cell as it runs")
+	)
+	flag.Parse()
+	if *static == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tmdiff -static conflicts.json [-cpus n] [-quick] [-v]")
+		os.Exit(2)
+	}
+	cm, err := tmdiff.LoadStaticMap(*static)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := tmdiff.Config{CPUs: *cpus, Quick: *quick}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := tmdiff.Run(cm, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var b strings.Builder
+	res.Report(&b)
+	fmt.Print(b.String())
+	if !res.Sound() {
+		os.Exit(1)
+	}
+}

@@ -1,13 +1,21 @@
 // tmlint is the module's static checker for transactional semantics: it
 // runs the internal/analysis/tmlint suite (txescape, reexec, handlers,
-// nesting, syncintx) over the requested packages and exits non-zero on
-// any diagnostic. It is self-contained (stdlib only) and loads packages
-// from source, so it needs no network, GOPATH, or compiled export data.
+// nesting, syncintx, txfootprint) over the requested packages and exits
+// non-zero on any diagnostic. It is self-contained (stdlib only) and
+// loads packages from source, so it needs no network, GOPATH, or
+// compiled export data.
 //
 // Usage:
 //
 //	go run ./cmd/tmlint ./...
 //	go run ./cmd/tmlint -json ./internal/workloads ./examples/...
+//	go run ./cmd/tmlint -conflicts ./internal/workloads > conflicts.json
+//
+// -conflicts switches tmlint from linting to map building: instead of
+// diagnostics it emits the static may-conflict map (atomic blocks, their
+// granule read/write sets and footprint bounds, and every pair sharing a
+// granule with at least one writer) as JSON. cmd/tmdiff validates that
+// map against tmprof's runtime conflict attribution.
 //
 // Suppress an intentional finding with a justified annotation on (or
 // directly above) the reported line:
@@ -28,8 +36,7 @@ import (
 )
 
 // jsonDiagnostic is the machine-readable diagnostic form emitted under
-// -json: one array of these on stdout, so future tooling and benchmark
-// harnesses can consume findings programmatically.
+// -json.
 type jsonDiagnostic struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
@@ -38,14 +45,37 @@ type jsonDiagnostic struct {
 	Message  string `json:"message"`
 }
 
+// jsonAnalyzer is the per-analyzer accounting block: CI logs read the
+// suppressed counts to see what the allow-directives are hiding, and the
+// wall times to spot a check whose cost regressed.
+type jsonAnalyzer struct {
+	Name        string  `json:"name"`
+	Diagnostics int     `json:"diagnostics"`
+	Suppressed  int     `json:"suppressed"`
+	WallMs      float64 `json:"wallMs"`
+}
+
+// jsonReport is the -json payload. Schema 1: prior releases emitted a
+// bare diagnostic array; the object form is versioned so consumers can
+// tell them apart.
+type jsonReport struct {
+	Schema      int              `json:"schema"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Suppressed  int              `json:"suppressed"`
+	Analyzers   []jsonAnalyzer   `json:"analyzers"`
+}
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	jsonOut := flag.Bool("json", false, "emit a schema-1 JSON report (diagnostics, suppressed count, per-analyzer stats) on stdout")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	conflicts := flag.Bool("conflicts", false, "emit the static may-conflict map as JSON instead of linting")
+	maxWrite := flag.Int("max-write-lines", tmlint.FootprintMaxWriteLines, "write-set line cap txfootprint checks against (bounded HTM MaxWriteLines)")
+	maxRead := flag.Int("max-read-lines", tmlint.FootprintMaxReadLines, "read-set line cap txfootprint checks against (bounded HTM MaxReadLines)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tmlint [-json] [packages]\n\npackages are go-style patterns relative to the module root (default ./...)\n\nanalyzers:\n")
+			"usage: tmlint [-json] [-conflicts] [-max-write-lines n] [-max-read-lines n] [packages]\n\npackages are go-style patterns relative to the module root (default ./...)\n\nanalyzers:\n")
 		for _, a := range tmlint.Analyzers() {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -53,44 +83,82 @@ func main() {
 
 	if *list {
 		for _, a := range tmlint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
+	tmlint.FootprintMaxWriteLines = *maxWrite
+	tmlint.FootprintMaxReadLines = *maxRead
 
-	diags, err := run(flag.Args())
+	pkgs, err := load(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *conflicts {
+		cm, err := tmlint.BuildConflictMap(analysis.NewProgram(pkgs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmlint: %v\n", err)
+			os.Exit(2)
+		}
+		emit(cm)
+		return
+	}
+
+	res, err := analysis.RunAll(pkgs, tmlint.Analyzers())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tmlint: %v\n", err)
 		os.Exit(2)
 	}
 	if *jsonOut {
-		out := make([]jsonDiagnostic, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiagnostic{
-				Analyzer: d.Analyzer,
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Column:   d.Pos.Column,
-				Message:  d.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "tmlint: %v\n", err)
-			os.Exit(2)
-		}
+		emit(buildReport(res))
 	} else {
-		for _, d := range diags {
+		for _, d := range res.Diagnostics {
 			fmt.Printf("%s\n", d)
 		}
+		if res.Suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "tmlint: %d diagnostic(s) suppressed by //tmlint:allow\n", res.Suppressed)
+		}
 	}
-	if len(diags) > 0 {
+	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
 	}
 }
 
-func run(patterns []string) ([]analysis.Diagnostic, error) {
+// buildReport shapes a run's result into the versioned -json payload.
+func buildReport(res *analysis.Result) jsonReport {
+	report := jsonReport{Schema: 1, Diagnostics: make([]jsonDiagnostic, 0, len(res.Diagnostics)), Suppressed: res.Suppressed}
+	for _, d := range res.Diagnostics {
+		report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	for _, s := range res.Stats {
+		report.Analyzers = append(report.Analyzers, jsonAnalyzer{
+			Name:        s.Name,
+			Diagnostics: s.Diagnostics,
+			Suppressed:  s.Suppressed,
+			WallMs:      float64(s.Wall.Microseconds()) / 1000,
+		})
+	}
+	return report
+}
+
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "tmlint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func load(patterns []string) ([]*analysis.Package, error) {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return nil, err
@@ -103,9 +171,5 @@ func run(patterns []string) ([]analysis.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := ld.LoadPatterns(patterns...)
-	if err != nil {
-		return nil, err
-	}
-	return analysis.Run(pkgs, tmlint.Analyzers())
+	return ld.LoadPatterns(patterns...)
 }

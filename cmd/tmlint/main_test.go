@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"tmisa/internal/analysis"
+	"tmisa/internal/analysis/tmlint"
+)
+
+// TestJSONReportSchema pins the -json payload: schema version 1, the
+// module-wide suppressed count, and one accounting block per analyzer
+// with its name, counts, and wall time. The reexec golden package is the
+// input — it reports diagnostics on most lines and carries one
+// //tmlint:allow, so every report field is exercised.
+func TestJSONReportSchema(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.LoadDir(filepath.Join(root, "internal/analysis/tmlint/testdata/src/reexec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.RunAll(pkgs, tmlint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := buildReport(res)
+
+	if report.Schema != 1 {
+		t.Errorf("Schema = %d, want 1", report.Schema)
+	}
+	if len(report.Diagnostics) == 0 {
+		t.Fatal("reexec golden produced no diagnostics")
+	}
+	for _, d := range report.Diagnostics {
+		if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+	if report.Suppressed == 0 {
+		t.Error("Suppressed = 0; the reexec golden has a //tmlint:allow line")
+	}
+	if want := len(tmlint.Analyzers()); len(report.Analyzers) != want {
+		t.Errorf("Analyzers has %d entries, want %d", len(report.Analyzers), want)
+	}
+	totalDiags, totalSupp := 0, 0
+	for _, a := range report.Analyzers {
+		if a.Name == "" {
+			t.Error("analyzer stat with empty name")
+		}
+		if a.WallMs < 0 {
+			t.Errorf("analyzer %s: negative wall time %v", a.Name, a.WallMs)
+		}
+		totalDiags += a.Diagnostics
+		totalSupp += a.Suppressed
+	}
+	if totalDiags != len(report.Diagnostics) {
+		t.Errorf("per-analyzer diagnostic counts sum to %d, report has %d", totalDiags, len(report.Diagnostics))
+	}
+	if totalSupp != report.Suppressed {
+		t.Errorf("per-analyzer suppressed counts sum to %d, report says %d", totalSupp, report.Suppressed)
+	}
+
+	// The wire form must round-trip with the documented key names.
+	raw, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "diagnostics", "suppressed", "analyzers"} {
+		if _, ok := wire[key]; !ok {
+			t.Errorf("JSON payload missing key %q", key)
+		}
+	}
+	first := wire["analyzers"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "diagnostics", "suppressed", "wallMs"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("analyzer block missing key %q", key)
+		}
+	}
+}

@@ -37,6 +37,7 @@ type bank struct {
 func (b *bank) adjust(p *core.Proc, account uint64, delta int64) {
 	// The library's own atomic region: closed-nested under the caller's
 	// transaction, independent rollback on tree conflicts.
+	//tmlint:allow txfootprint -- B-tree descent bound is a conservative static estimate; demo trees are shallow
 	p.Atomic(func(tx *core.Tx) {
 		bal, ok := b.tree.Search(p, account)
 		if !ok {

@@ -22,6 +22,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one static check.
@@ -56,11 +57,17 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Prog is the whole-run view: every loaded package, the module-wide
+	// call graph, and the cross-package facts store. Interprocedural
+	// analyzers resolve callees through it; it is shared (and its memo
+	// reused) across all passes of one Run.
+	Prog *Program
 
 	// allows maps filename → line → rule names suppressed on that line.
 	allows map[string]map[int]map[string]bool
 
-	diags []Diagnostic
+	diags      []Diagnostic
+	suppressed int
 }
 
 // Reportf records a diagnostic at pos unless a //tmlint:allow comment for
@@ -69,6 +76,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if lines, ok := p.allows[position.Filename]; ok {
 		if rules, ok := lines[position.Line]; ok && (rules[p.Analyzer.Name] || rules["all"]) {
+			p.suppressed++
 			return
 		}
 	}
@@ -79,30 +87,76 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// AnalyzerStats aggregates one analyzer's work across all packages of a
+// run: how many diagnostics survived, how many //tmlint:allow directives
+// swallowed, and wall-clock time spent.
+type AnalyzerStats struct {
+	Name        string
+	Diagnostics int
+	Suppressed  int
+	Wall        time.Duration
+}
+
+// Result is what RunAll produces: the surviving diagnostics plus the
+// per-analyzer accounting that cmd/tmlint -json surfaces so CI logs show
+// what the allow-directives are hiding.
+type Result struct {
+	Diagnostics []Diagnostic
+	Stats       []AnalyzerStats
+	// Suppressed is the total diagnostic count dropped by //tmlint:allow.
+	Suppressed int
+}
+
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. An analyzer error aborts the run: a
 // broken checker must not pass silently.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
+	res, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunAll is Run plus per-analyzer statistics. It builds the module-wide
+// Program (call graph + facts store) once and shares it with every pass,
+// so per-function summaries computed by the first interprocedural
+// analyzer are reused by the rest.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	prog := NewProgram(pkgs)
+	res := &Result{}
+	stats := make([]*AnalyzerStats, len(analyzers))
+	for i, a := range analyzers {
+		stats[i] = &AnalyzerStats{Name: a.Name}
+	}
 	for _, pkg := range pkgs {
 		allows := pkg.allowIndex()
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				allows:   allows,
 			}
+			start := time.Now()
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
-			out = append(out, pass.diags...)
+			stats[i].Wall += time.Since(start)
+			stats[i].Diagnostics += len(pass.diags)
+			stats[i].Suppressed += pass.suppressed
+			res.Diagnostics = append(res.Diagnostics, pass.diags...)
+			res.Suppressed += pass.suppressed
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	for _, s := range stats {
+		res.Stats = append(res.Stats, *s)
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -114,7 +168,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	return res, nil
 }
 
 // TypeErrors aggregates type-checking failures from loading.

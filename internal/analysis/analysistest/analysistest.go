@@ -7,14 +7,23 @@
 // A `// want` comment holds one or more quoted or backquoted regular
 // expressions; every expectation on a line must be matched by exactly
 // one diagnostic reported on that line, and every diagnostic must match
-// an expectation. Lines suppressed with //tmlint:allow are filtered the
-// same way they are in production, so suppression behaviour is testable
-// by writing a known-bad line with an allow comment and no want.
+// an expectation. A pattern may be prefixed with a count for lines that
+// legitimately produce several diagnostics matching one pattern —
+// common for interprocedural analyzers, where one call site reports a
+// chain per reachable hazard:
+//
+//	p.Atomic(doIO) // want 2 `reaches .* inside an atomic body`
+//
+// means exactly two diagnostics on this line must match the pattern.
+// Lines suppressed with //tmlint:allow are filtered the same way they
+// are in production, so suppression behaviour is testable by writing a
+// known-bad line with an allow comment and no want.
 package analysistest
 
 import (
 	"fmt"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -43,14 +52,16 @@ func loaderFor(root string) (*analysis.Loader, error) {
 	return ld, err
 }
 
-// wantRe extracts the quoted/backquoted expectations of a want comment.
-var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+// wantRe extracts the expectations of a want comment: an optional
+// leading count followed by a quoted or backquoted pattern.
+var wantRe = regexp.MustCompile("(?:([0-9]+)[ \t]+)?(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
 
 type expectation struct {
-	file string
-	line int
-	re   *regexp.Regexp
-	hit  bool
+	file  string
+	line  int
+	re    *regexp.Regexp
+	count int // how many diagnostics must match (default 1)
+	hits  int
 }
 
 // Run loads the package rooted at dir (resolving imports against the
@@ -88,9 +99,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 					}
 					pos := pkg.Fset.Position(c.Pos())
 					for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
-						pat := m[1]
+						pat := m[2]
 						if pat == "" {
-							pat = m[2]
+							pat = m[3]
 						} else {
 							pat = strings.ReplaceAll(pat, `\"`, `"`)
 						}
@@ -98,7 +109,13 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 						if err != nil {
 							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
 						}
-						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+						count := 1
+						if m[1] != "" {
+							if count, err = strconv.Atoi(m[1]); err != nil || count < 1 {
+								t.Fatalf("%s:%d: bad want count %q", pos.Filename, pos.Line, m[1])
+							}
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, count: count})
 					}
 				}
 			}
@@ -108,8 +125,8 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
-			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
-				w.hit = true
+			if w.hits < w.count && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hits++
 				matched = true
 				break
 			}
@@ -119,8 +136,8 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		}
 	}
 	for _, w := range wants {
-		if !w.hit {
-			t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", w.file, w.line), w.re)
+		if w.hits < w.count {
+			t.Errorf("%s: %d diagnostic(s) matching %q, want %d", fmt.Sprintf("%s:%d", w.file, w.line), w.hits, w.re, w.count)
 		}
 	}
 }

@@ -1,0 +1,67 @@
+package analysistest
+
+import "testing"
+
+// TestWantParsing pins the expectation grammar: one or more quoted or
+// backquoted patterns per comment, each optionally prefixed by a count.
+func TestWantParsing(t *testing.T) {
+	cases := []struct {
+		rest string // text after "want "
+		pats []string
+		nums []int
+	}{
+		{"`one`", []string{"one"}, []int{1}},
+		{"2 `dup`", []string{"dup"}, []int{2}},
+		{"`a` `b`", []string{"a", "b"}, []int{1, 1}},
+		{"3 `a` `b`", []string{"a", "b"}, []int{3, 1}},
+		{`"quoted \"x\""`, []string{`quoted "x"`}, []int{1}},
+		{"`back` 2 \"fore\"", []string{"back", "fore"}, []int{1, 2}},
+	}
+	for _, c := range cases {
+		ms := wantRe.FindAllStringSubmatch(c.rest, -1)
+		if len(ms) != len(c.pats) {
+			t.Errorf("%q: %d expectations, want %d", c.rest, len(ms), len(c.pats))
+			continue
+		}
+		for i, m := range ms {
+			pat := m[2]
+			if pat == "" {
+				pat = m[3]
+			} else {
+				pat = unescape(pat)
+			}
+			if pat != c.pats[i] {
+				t.Errorf("%q[%d]: pattern %q, want %q", c.rest, i, pat, c.pats[i])
+			}
+			num := 1
+			if m[1] != "" {
+				num = atoiOr(t, c.rest, m[1])
+			}
+			if num != c.nums[i] {
+				t.Errorf("%q[%d]: count %d, want %d", c.rest, i, num, c.nums[i])
+			}
+		}
+	}
+}
+
+func unescape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && s[i+1] == '"' {
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func atoiOr(t *testing.T, ctx, s string) int {
+	n := 0
+	for _, r := range s {
+		n = n*10 + int(r-'0')
+	}
+	if n < 1 {
+		t.Fatalf("%q: bad count %q", ctx, s)
+	}
+	return n
+}

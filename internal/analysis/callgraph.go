@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncNode is one declared function or method of the loaded packages: a
+// node of the module-wide call graph. Closures are not nodes of their
+// own — a function literal's body belongs to the declaration that
+// lexically contains it, which is how effects inside closures are
+// attributed to the function that builds them.
+type FuncNode struct {
+	// Symbol is the canonical cross-package name, (*types.Func).FullName():
+	// "tmisa/internal/workloads.chunk" for a function,
+	// "(*tmisa/internal/workloads.MP3D).cellAddr" for a method. The import
+	// cache and the analysis units type-check some packages twice (imports
+	// see no _test files), producing distinct types.Func objects for the
+	// same source declaration; the symbol string is identical for both,
+	// which is what lets facts computed from one universe be found from
+	// the other.
+	Symbol string
+	// Pkg is the analysis unit the declaration was loaded from.
+	Pkg *Package
+	// Decl is the declaration, with body (bodyless decls are not nodes).
+	Decl *ast.FuncDecl
+	// Obj is the declared function object in Pkg's type universe.
+	Obj *types.Func
+	// Callees lists the module-internal functions this one calls
+	// (statically resolvable calls only), deduplicated, in source order.
+	Callees []string
+}
+
+// Program is the whole-run view shared by every Pass: all loaded
+// packages, the call graph over them, and a facts store keyed by
+// (namespace, symbol) through which analyzers share per-function
+// results across package boundaries.
+type Program struct {
+	Pkgs  []*Package
+	Funcs map[string]*FuncNode
+
+	sccs  [][]string // bottom-up: callees' components before callers'
+	facts map[string]map[string]any
+	memo  map[string]any
+}
+
+// NewProgram builds the call graph and an empty facts store over pkgs.
+func NewProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:  pkgs,
+		Funcs: make(map[string]*FuncNode),
+		facts: make(map[string]map[string]any),
+		memo:  make(map[string]any),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Symbol: obj.FullName(), Pkg: pkg, Decl: fd, Obj: obj}
+				// An analysis unit and its external-test sibling never
+				// declare the same symbol; if a symbol repeats (the same
+				// directory loaded twice), first wins deterministically.
+				if _, dup := p.Funcs[node.Symbol]; !dup {
+					p.Funcs[node.Symbol] = node
+				}
+			}
+		}
+	}
+	for _, node := range p.Funcs {
+		node.Callees = p.calleesOf(node)
+	}
+	p.sccs = p.computeSCCs()
+	return p
+}
+
+// calleesOf resolves the module-internal static calls inside node's
+// declaration (closures included).
+func (p *Program) calleesOf(node *FuncNode) []string {
+	var out []string
+	seen := make(map[string]bool)
+	ast.Inspect(node.Decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeFunc(node.Pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		sym := fn.FullName()
+		if _, inModule := p.Funcs[sym]; inModule && !seen[sym] {
+			seen[sym] = true
+			out = append(out, sym)
+		}
+		return true
+	})
+	return out
+}
+
+// SCCs returns the call graph's strongly connected components in
+// bottom-up order: every component appears after the components it
+// calls into, so summaries can be computed callees-first.
+func (p *Program) SCCs() [][]string { return p.sccs }
+
+// computeSCCs is Tarjan's algorithm, iterated over sorted symbols so the
+// component order is deterministic. Tarjan emits components in reverse
+// topological order of the condensation — exactly bottom-up.
+func (p *Program) computeSCCs() [][]string {
+	syms := make([]string, 0, len(p.Funcs))
+	for s := range p.Funcs {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+
+	index := make(map[string]int, len(syms))
+	low := make(map[string]int, len(syms))
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range p.Funcs[v].Callees {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			out = append(out, comp)
+		}
+	}
+	for _, s := range syms {
+		if _, seen := index[s]; !seen {
+			strongconnect(s)
+		}
+	}
+	return out
+}
+
+// InSameSCC reports whether a and b belong to one recursive component.
+func (p *Program) InSameSCC(a, b string) bool {
+	for _, comp := range p.sccs {
+		ina, inb := false, false
+		for _, s := range comp {
+			if s == a {
+				ina = true
+			}
+			if s == b {
+				inb = true
+			}
+		}
+		if ina {
+			return ina && inb
+		}
+	}
+	return false
+}
+
+// FuncOf looks a resolved callee up in the call graph. The lookup goes
+// through the symbol string, so a types.Func from the import cache finds
+// the node built from the analysis unit's universe.
+func (p *Program) FuncOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return p.Funcs[fn.FullName()]
+}
+
+// Fact retrieves a per-function fact stored under the given namespace.
+func (p *Program) Fact(ns, symbol string) (any, bool) {
+	m, ok := p.facts[ns]
+	if !ok {
+		return nil, false
+	}
+	v, ok := m[symbol]
+	return v, ok
+}
+
+// SetFact stores a per-function fact. Facts are keyed by symbol string,
+// not object identity, so they flow across package boundaries and
+// across the loader's duplicate type-check universes.
+func (p *Program) SetFact(ns, symbol string, v any) {
+	m, ok := p.facts[ns]
+	if !ok {
+		m = make(map[string]any)
+		p.facts[ns] = m
+	}
+	m[symbol] = v
+}
+
+// Memo caches a program-wide computation under key (single-threaded, as
+// Run applies analyzers sequentially).
+func (p *Program) Memo(key string, build func() any) any {
+	if v, ok := p.memo[key]; ok {
+		return v
+	}
+	v := build()
+	p.memo[key] = v
+	return v
+}
+
+// CalleeFunc resolves a call's callee to a *types.Func (method or
+// function), or nil for builtins, conversions, and indirect calls.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified function
+		}
+	}
+	return nil
+}

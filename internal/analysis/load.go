@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -137,12 +138,17 @@ func (ld *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pa
 
 // parseDir parses the directory's .go files. With tests set, in-package
 // _test.go files are merged into the primary file list and external
-// (_test-suffixed package) files are returned separately.
+// (_test-suffixed package) files are returned separately. Build
+// constraints (//go:build lines and filename suffixes) are honored via
+// go/build's default context, so tag-disjoint file pairs like
+// race_on.go/race_off.go load exactly one variant — the same one the go
+// tool would compile here.
 func (ld *Loader) parseDir(dir string, tests bool) (primary, external []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
+	matchCtx := build.Default
 	var names []string
 	for _, e := range entries {
 		n := e.Name()
@@ -150,6 +156,9 @@ func (ld *Loader) parseDir(dir string, tests bool) (primary, external []*ast.Fil
 			continue
 		}
 		if !tests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, err := matchCtx.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

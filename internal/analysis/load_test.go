@@ -131,3 +131,92 @@ var e = 5
 		t.Error("a directive without a justification must not suppress")
 	}
 }
+
+// TestSuppressionSpansMultiLineStatements checks that a directive
+// covering the first line of a multi-line statement extends over the
+// whole statement — the common case is an allow above an atomic block
+// whose body literal spans many lines — while statements outside the
+// span stay unsuppressed, and a directive attached to an inner statement
+// stays scoped to that statement.
+func TestSuppressionSpansMultiLineStatements(t *testing.T) {
+	ld := testLoader(t)
+	dir := t.TempDir()
+	src := `package spancheck
+
+func helper(f func()) { f() }
+
+func outer() {
+	//tmlint:allow ruleX -- the whole block is exempt
+	helper(func() {
+		a := 1
+		_ = a
+	})
+	b := 2
+	_ = b
+}
+
+func inner() {
+	helper(func() {
+		c := 3 //tmlint:allow ruleY -- this line (and, per the documented
+		d := 4 // over-approximation, the line directly below it)
+		e := 5
+		_, _, _ = c, d, e
+	})
+}
+`
+	if err := writeFile(filepath.Join(dir, "a.go"), src); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pkg := pkgs[0]
+	report := func(name string, pos token.Pos) bool {
+		pass := &Pass{
+			Analyzer: &Analyzer{Name: name},
+			Fset:     pkg.Fset,
+			allows:   pkg.allowIndex(),
+		}
+		pass.Reportf(pos, "x")
+		return len(pass.diags) > 0
+	}
+	// stmtPos finds the statement assigning to the named variable.
+	stmtPos := func(wantName string) token.Pos {
+		var found token.Pos
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == wantName {
+					found = as.Pos()
+				}
+				return true
+			})
+		}
+		if found == token.NoPos {
+			t.Fatalf("assignment to %s not found", wantName)
+		}
+		return found
+	}
+	if report("ruleX", stmtPos("a")) {
+		t.Error("ruleX inside the spanned block literal should be suppressed")
+	}
+	if !report("ruleX", stmtPos("b")) {
+		t.Error("ruleX after the spanned statement must not be suppressed")
+	}
+	if report("ruleY", stmtPos("c")) {
+		t.Error("ruleY on its own line should be suppressed")
+	}
+	if report("ruleY", stmtPos("d")) {
+		t.Error("the line below an end-of-line directive is covered (documented over-approximation)")
+	}
+	if !report("ruleY", stmtPos("e")) {
+		t.Error("an inner-statement directive must not leak two lines down")
+	}
+	if !report("ruleY", stmtPos("a")) {
+		t.Error("ruleY must not apply in the other function")
+	}
+}

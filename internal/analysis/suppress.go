@@ -1,13 +1,18 @@
 package analysis
 
 import (
+	"go/ast"
 	"strings"
 )
 
 // allowIndex scans the package's comments for //tmlint:allow directives
 // and returns filename → line → suppressed rule names. A directive
 // covers its own line (end-of-line form) and the line directly below it
-// (standalone form). The documented form is
+// (standalone form); when the covered line starts a multi-line statement
+// — a call whose arguments span lines, an atomic block whose body is a
+// multi-line function literal — the directive covers every line of that
+// statement, so a diagnostic reported inside the spanned construct is
+// still suppressed. The documented form is
 //
 //	//tmlint:allow <rule> [<rule>...] -- <justification>
 //
@@ -57,6 +62,49 @@ func (pkg *Package) allowIndex() map[string]map[int]map[string]bool {
 				}
 			}
 		}
+		pkg.extendAllowsOverSpans(f, idx)
 	}
 	return idx
+}
+
+// extendAllowsOverSpans widens line-based suppression over multi-line
+// statements: if a statement (or declaration) starts on a line covered
+// by a directive and its text spans further lines, the directive's rules
+// extend to every spanned line. Outermost constructs are preferred —
+// ast.Inspect visits parents before children, so a directive above a
+// multi-line call covers the whole call including nested literals, while
+// a directive attached to an inner statement stays scoped to it.
+func (pkg *Package) extendAllowsOverSpans(f *ast.File, idx map[string]map[int]map[string]bool) {
+	fname := pkg.Fset.Position(f.Pos()).Filename
+	lines := idx[fname]
+	if len(lines) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.ValueSpec:
+		default:
+			return true
+		}
+		start := pkg.Fset.Position(n.Pos()).Line
+		end := pkg.Fset.Position(n.End()).Line
+		if end <= start {
+			return true
+		}
+		rules := lines[start]
+		if len(rules) == 0 {
+			return true
+		}
+		for ln := start + 1; ln <= end; ln++ {
+			set := lines[ln]
+			if set == nil {
+				set = make(map[string]bool)
+				lines[ln] = set
+			}
+			for r := range rules {
+				set[r] = true
+			}
+		}
+		return true
+	})
 }

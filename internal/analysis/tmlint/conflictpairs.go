@@ -1,0 +1,297 @@
+package tmlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tmisa/internal/analysis"
+)
+
+// ConflictPairs computes the static may-conflict map between atomic
+// blocks: two blocks may conflict when they share a granule and at least
+// one of them writes it — the static analogue of what tmprof attributes
+// at runtime. The analyzer form reports each pair at the earlier block's
+// position (golden-testable and suppressible); the ConflictMap form is
+// what cmd/tmlint -conflicts emits as JSON and what the tmdiff
+// differential checker validates against runtime attribution.
+//
+// ConflictPairs is NOT part of the default Analyzers() suite: the
+// paper's workloads conflict by design (that is what Figure 5 measures),
+// so a may-conflict pair is information, not a defect.
+var ConflictPairs = &analysis.Analyzer{
+	Name: "conflictpairs",
+	Doc: "report pairs of atomic blocks that may conflict (shared granule, at least one writer), " +
+		"including a block conflicting with itself across CPUs",
+	Run: runConflictPairs,
+}
+
+// ConflictBlock is one atomic block in the static conflict map.
+type ConflictBlock struct {
+	ID        int    `json:"id"`
+	Pos       string `json:"pos"`
+	Func      string `json:"func"`
+	Construct string `json:"construct"`
+	Open      bool   `json:"open,omitempty"`
+	// Reads/Writes are granule root names ("MP3D.cells", "barrier.cell");
+	// "⊤" marks an access whose base could not be resolved.
+	Reads  []string `json:"reads,omitempty"`
+	Writes []string `json:"writes,omitempty"`
+	// ReadLines/WriteLines are the static footprint bounds; -1 = unbounded.
+	ReadLines  int `json:"readLines"`
+	WriteLines int `json:"writeLines"`
+}
+
+// ConflictPair is one may-conflict edge; A ≤ B, and A == B means the
+// block conflicts with itself when executed by multiple CPUs.
+type ConflictPair struct {
+	A        int      `json:"a"`
+	B        int      `json:"b"`
+	Granules []string `json:"granules"`
+}
+
+// ConflictMap is the -conflicts JSON payload.
+type ConflictMap struct {
+	Schema int             `json:"schema"`
+	Blocks []ConflictBlock `json:"blocks"`
+	Pairs  []ConflictPair  `json:"pairs"`
+	// Granules maps each granule root to the blocks reading/writing it.
+	Granules map[string]*GranuleRole `json:"granules"`
+}
+
+// GranuleRole lists the block IDs touching one granule.
+type GranuleRole struct {
+	Readers []int `json:"readers,omitempty"`
+	Writers []int `json:"writers,omitempty"`
+}
+
+// PredictedGranules returns every granule that appears in at least one
+// may-conflict pair — the set the runtime differential checks observed
+// conflicts against. top marks whether any pair involves unresolvable
+// accesses (the static map then predicts "anything", which the checker
+// reports rather than silently passes).
+func (cm *ConflictMap) PredictedGranules() (granules map[string]bool, top bool) {
+	granules = make(map[string]bool)
+	for _, p := range cm.Pairs {
+		for _, g := range p.Granules {
+			if g == topGranule {
+				top = true
+				continue
+			}
+			granules[g] = true
+		}
+	}
+	return granules, top
+}
+
+// blockRecord pairs a ConflictBlock with its granule sets during
+// assembly.
+type blockRecord struct {
+	body   *atomicBody
+	block  ConflictBlock
+	reads  granSet
+	writes granSet
+}
+
+// BuildConflictMap runs the granule analysis over every loaded package
+// and assembles the static conflict map. Blocks are numbered in
+// position order, so the map is deterministic across runs.
+func BuildConflictMap(prog *analysis.Program) (*ConflictMap, error) {
+	var recs []*blockRecord
+	for _, pkg := range prog.Pkgs {
+		recs = append(recs, blockRecords(passOver(prog, pkg))...)
+	}
+	cm := &ConflictMap{Schema: 1, Granules: make(map[string]*GranuleRole)}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].block.Pos < recs[j].block.Pos })
+	for i, rec := range recs {
+		rec.block.ID = i
+		cm.Blocks = append(cm.Blocks, rec.block)
+	}
+	role := func(g string) *GranuleRole {
+		r := cm.Granules[g]
+		if r == nil {
+			r = &GranuleRole{}
+			cm.Granules[g] = r
+		}
+		return r
+	}
+	for i, rec := range recs {
+		for _, g := range rec.reads.sorted() {
+			role(g).Readers = append(role(g).Readers, i)
+		}
+		for _, g := range rec.writes.sorted() {
+			role(g).Writers = append(role(g).Writers, i)
+		}
+	}
+	for i, a := range recs {
+		for j := i; j < len(recs); j++ {
+			shared := sharedConflictGranules(a, recs[j])
+			if len(shared) == 0 {
+				continue
+			}
+			cm.Pairs = append(cm.Pairs, ConflictPair{A: i, B: j, Granules: shared})
+		}
+	}
+	return cm, nil
+}
+
+// passOver builds the minimal Pass the collector needs (no suppression
+// index: the conflict map reports everything it sees).
+func passOver(prog *analysis.Program, pkg *analysis.Package) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer: ConflictPairs,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		Prog:     prog,
+	}
+}
+
+// blockRecords measures every atomic block of one package.
+func blockRecords(pass *analysis.Pass) []*blockRecord {
+	sums := summariesFor(pass)
+	if sums == nil {
+		return nil
+	}
+	c := collect(pass)
+	var recs []*blockRecord
+	for _, b := range c.bodies {
+		f := sums.blockFactsFor(pass, b)
+		if f == nil {
+			continue
+		}
+		pos := pass.Fset.Position(b.call.Pos())
+		reads, writes := resolveBlockGranules(f.reads), resolveBlockGranules(f.writes)
+		recs = append(recs, &blockRecord{
+			body: b,
+			block: ConflictBlock{
+				Pos:        fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column),
+				Func:       enclosingFuncName(pass, b),
+				Construct:  b.construct,
+				Open:       b.open,
+				Reads:      reads.sorted(),
+				Writes:     writes.sorted(),
+				ReadLines:  boundLines(f.readB),
+				WriteLines: boundLines(f.writeB),
+			},
+			reads:  reads,
+			writes: writes,
+		})
+	}
+	return recs
+}
+
+// resolveBlockGranules folds parameter-relative keys to ⊤: at block
+// level there is no caller left to substitute them against.
+func resolveBlockGranules(g granSet) granSet {
+	var out granSet
+	if g.top {
+		out.add(topGranule)
+	}
+	for k := range g.keys {
+		if isParamGranule(k) {
+			out.add(topGranule)
+		} else {
+			out.add(k)
+		}
+	}
+	return out
+}
+
+func boundLines(b lineBound) int {
+	if b.top {
+		return -1
+	}
+	return b.n
+}
+
+// sharedConflictGranules returns the granules over which a and b can
+// conflict: both touch the granule and at least one writes it. A ⊤
+// write conflicts with everything the other block touches; a ⊤ read
+// conflicts with everything the other block writes.
+func sharedConflictGranules(a, b *blockRecord) []string {
+	set := make(map[string]bool)
+	consider := func(x, y *blockRecord) {
+		for g := range x.writes.keys {
+			if y.writes.keys[g] || y.reads.keys[g] {
+				set[g] = true
+			}
+		}
+		if x.writes.top {
+			for g := range y.writes.keys {
+				set[g] = true
+			}
+			for g := range y.reads.keys {
+				set[g] = true
+			}
+			if y.writes.top || y.reads.top {
+				set[topGranule] = true
+			}
+		}
+		if x.reads.top {
+			for g := range y.writes.keys {
+				set[g] = true
+			}
+			if y.writes.top {
+				set[topGranule] = true
+			}
+		}
+	}
+	consider(a, b)
+	consider(b, a)
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func enclosingFuncName(pass *analysis.Pass, b *atomicBody) string {
+	for _, f := range pass.Files {
+		if f.Pos() > b.call.Pos() || b.call.Pos() > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Pos() <= b.call.Pos() && b.call.Pos() <= fd.End() {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					return shortFunc(obj)
+				}
+				return fd.Name.Name
+			}
+		}
+	}
+	return "?"
+}
+
+// runConflictPairs is the analyzer form: pairs become diagnostics at the
+// earlier block's call position.
+func runConflictPairs(pass *analysis.Pass) error {
+	recs := blockRecords(pass)
+	for i, a := range recs {
+		for j := i; j < len(recs); j++ {
+			shared := sharedConflictGranules(a, recs[j])
+			if len(shared) == 0 {
+				continue
+			}
+			if i == j {
+				pass.Reportf(a.body.call.Pos(),
+					"atomic block may conflict with itself across CPUs over granule(s) %s (shared granule with at least one writer)",
+					strings.Join(shared, ", "))
+				continue
+			}
+			otherPos := pass.Fset.Position(recs[j].body.call.Pos())
+			pass.Reportf(a.body.call.Pos(),
+				"atomic block may conflict with the block at line %d over granule(s) %s (shared granule with at least one writer)",
+				otherPos.Line, strings.Join(shared, ", "))
+		}
+	}
+	return nil
+}

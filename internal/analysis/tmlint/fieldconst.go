@@ -1,0 +1,189 @@
+package tmlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Module-wide constant-field analysis. The workloads bound their
+// transaction footprints with struct fields ("process w.Chunk bodies per
+// atomic block") whose every assignment in the module is a compile-time
+// constant — the chunk sizes live in the Default* constructors and
+// nowhere else. For such a field the maximum assigned constant is a
+// sound upper bound on its value anywhere, which is exactly what a loop
+// trip bound needs. A single non-constant assignment (or an increment,
+// or an aliased write we cannot see, conservatively approximated by any
+// assignment form other than a plain store of a constant) poisons the
+// field.
+
+// fieldConstTable maps "pkgpath.Type.Field" to the largest constant ever
+// assigned to that field across the whole module.
+type fieldConstTable struct {
+	max      map[string]int64
+	poisoned map[string]bool
+}
+
+// bound returns the field's sound upper bound, if it has one.
+func (t *fieldConstTable) bound(key string) (int64, bool) {
+	if t == nil || t.poisoned[key] {
+		return 0, false
+	}
+	v, ok := t.max[key]
+	return v, ok
+}
+
+// fieldKey names a struct field globally: "pkgpath.Type.Field".
+func fieldKey(named *types.Named, field string) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + field
+}
+
+// namedStructOf unwraps t (through pointers and aliases) to a named type
+// whose underlying type is a struct.
+func namedStructOf(t types.Type) (*types.Named, *types.Struct) {
+	for depth := 0; t != nil && depth < 4; depth++ {
+		t = types.Unalias(t)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil, nil
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			return named, st
+		}
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// fieldConsts scans every loaded package once and memoizes the table.
+func (s *summarizer) fieldConsts() *fieldConstTable {
+	if s.fct != nil {
+		return s.fct
+	}
+	t := &fieldConstTable{
+		max:      make(map[string]int64),
+		poisoned: make(map[string]bool),
+	}
+	for _, pkg := range s.prog.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					t.recordLit(info, n)
+				case *ast.AssignStmt:
+					t.recordAssign(info, n)
+				case *ast.IncDecStmt:
+					t.poisonLHS(info, n.X)
+				case *ast.UnaryExpr:
+					// &w.Field escaping lets anyone write the field.
+					if n.Op == token.AND {
+						t.poisonLHS(info, n.X)
+					}
+				}
+				return true
+			})
+		}
+	}
+	s.fct = t
+	return t
+}
+
+func (t *fieldConstTable) recordLit(info *types.Info, lit *ast.CompositeLit) {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return
+	}
+	named, st := namedStructOf(tv.Type)
+	if named == nil {
+		return
+	}
+	for i, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			t.record(fieldKey(named, key.Name), constInt(info, kv.Value))
+		} else if i < st.NumFields() {
+			t.record(fieldKey(named, st.Field(i).Name()), constInt(info, el))
+		}
+	}
+}
+
+func (t *fieldConstTable) recordAssign(info *types.Info, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		key := fieldLHSKey(info, lhs)
+		if key == "" {
+			continue
+		}
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			t.poisoned[key] = true // compound assignment: value is derived
+			continue
+		}
+		if len(as.Rhs) == len(as.Lhs) {
+			t.record(key, constInt(info, as.Rhs[i]))
+		} else {
+			t.poisoned[key] = true // tuple assignment from a call
+		}
+	}
+}
+
+func (t *fieldConstTable) record(key string, v *int64) {
+	if key == "" {
+		return
+	}
+	if v == nil {
+		t.poisoned[key] = true
+		return
+	}
+	if cur, ok := t.max[key]; !ok || *v > cur {
+		t.max[key] = *v
+	}
+}
+
+func (t *fieldConstTable) poisonLHS(info *types.Info, e ast.Expr) {
+	if key := fieldLHSKey(info, e); key != "" {
+		t.poisoned[key] = true
+	}
+}
+
+// fieldLHSKey resolves an assignment target to its field key, or "" when
+// the target is not a struct-field selector.
+func fieldLHSKey(info *types.Info, lhs ast.Expr) string {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	named, _ := namedStructOf(selection.Recv())
+	if named == nil {
+		return ""
+	}
+	return fieldKey(named, sel.Sel.Name)
+}
+
+// constInt evaluates e as a compile-time integer constant.
+func constInt(info *types.Info, e ast.Expr) *int64 {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return nil
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return nil
+	}
+	return &v
+}

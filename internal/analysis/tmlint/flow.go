@@ -1,0 +1,705 @@
+package tmlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"tmisa/internal/analysis"
+)
+
+// funcAnalysis is the flow-insensitive dataflow view of one function
+// declaration (or standalone function literal): the local assignment
+// graph, the loops with their assigned-variable sets and trip counts,
+// and the fixpoint solution mapping each address-typed local to the
+// granule roots it can hold. It is what turns "p.Store(cell+8, v)" into
+// "writes granule MP3D.cells" — cell is a local, assigned from
+// w.cellAddr(idx), whose summary roots its return value in w.cells.
+type funcAnalysis struct {
+	s    *summarizer
+	pkg  *analysis.Package
+	info *types.Info
+	root ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+
+	recv   types.Object
+	params []types.Object
+
+	// assign maps a local variable to every expression assigned to it.
+	assign map[types.Object][]ast.Expr
+	// loops lists every for/range statement in root.
+	loops []*loopInfo
+	// litKind classifies function literals inside root.
+	litKind map[*ast.FuncLit]litClass
+	// objRoots is the fixpoint solution: local → granule roots.
+	objRoots map[types.Object]*granSet
+}
+
+type litClass int
+
+const (
+	litPlain litClass = iota
+	litAtomicBody
+	litHandler
+)
+
+type loopInfo struct {
+	node ast.Node // *ast.ForStmt or *ast.RangeStmt
+	// assigned holds every local object assigned inside the loop's body,
+	// post statement, or range variables — the variables that make an
+	// address expression vary across iterations.
+	assigned map[types.Object]bool
+	// trip is the constant trip count, 0 when statically unknown.
+	trip int
+}
+
+func (s *summarizer) analysisFor(node *analysis.FuncNode) *funcAnalysis {
+	if fa, ok := s.fas[node.Decl]; ok {
+		return fa
+	}
+	fa := newFuncAnalysis(s, node.Pkg, node.Decl)
+	s.fas[node.Decl] = fa
+	return fa
+}
+
+func newFuncAnalysis(s *summarizer, pkg *analysis.Package, root ast.Node) *funcAnalysis {
+	fa := &funcAnalysis{
+		s:       s,
+		pkg:     pkg,
+		info:    pkg.Info,
+		root:    root,
+		assign:  make(map[types.Object][]ast.Expr),
+		litKind: make(map[*ast.FuncLit]litClass),
+	}
+	var ftype *ast.FuncType
+	switch r := root.(type) {
+	case *ast.FuncDecl:
+		fa.body = r.Body
+		ftype = r.Type
+		if r.Recv != nil && len(r.Recv.List) == 1 && len(r.Recv.List[0].Names) == 1 {
+			fa.recv = fa.info.Defs[r.Recv.List[0].Names[0]]
+		}
+	case *ast.FuncLit:
+		fa.body = r.Body
+		ftype = r.Type
+	}
+	if ftype != nil && ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			if len(field.Names) == 0 {
+				fa.params = append(fa.params, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				fa.params = append(fa.params, fa.info.Defs[name])
+			}
+		}
+	}
+	fa.collect()
+	return fa
+}
+
+// collect builds the assignment graph, loop table, and literal
+// classification in one walk over root.
+func (fa *funcAnalysis) collect() {
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := fa.info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		fa.assign[obj] = append(fa.assign[obj], rhs)
+	}
+	ast.Inspect(fa.root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == len(n.Lhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else if len(n.Rhs) == 1 {
+				// Tuple assignment from one call: every name gets the call
+				// expression; root resolution of a call covers its first
+				// result, which over-approximates harmlessly for the rest.
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[0])
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				record(n.Value, n.X) // element roots = container roots
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					fa.assign[fa.info.Defs[name]] = append(fa.assign[fa.info.Defs[name]], n.Values[i])
+				}
+			}
+		case *ast.ForStmt:
+			fa.loops = append(fa.loops, fa.loopInfoFor(n, n.Body, n.Post))
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(fa.info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if spec, ok := constructs[[2]string{fn.Pkg().Path(), fn.Name()}]; ok {
+				for _, ba := range spec.args {
+					if ba.arg < len(n.Args) {
+						if lit, ok := ast.Unparen(n.Args[ba.arg]).(*ast.FuncLit); ok {
+							fa.litKind[lit] = litAtomicBody
+						}
+					}
+				}
+			}
+			if fn.Pkg().Path() == corePkg && isHandlerReg(fn.Name()) && len(n.Args) == 1 {
+				if lit, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit); ok {
+					fa.litKind[lit] = litHandler
+				}
+			}
+		}
+		if r, ok := n.(*ast.RangeStmt); ok {
+			fa.loops = append(fa.loops, fa.loopInfoFor(r, r.Body, nil))
+		}
+		return true
+	})
+}
+
+func (fa *funcAnalysis) loopInfoFor(loop ast.Node, body *ast.BlockStmt, post ast.Stmt) *loopInfo {
+	li := &loopInfo{node: loop, assigned: make(map[types.Object]bool)}
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := fa.info.ObjectOf(id); obj != nil {
+				li.assigned[obj] = true
+			}
+		}
+	}
+	gather := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					mark(lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(n.X)
+			case *ast.RangeStmt:
+				if n.Key != nil {
+					mark(n.Key)
+				}
+				if n.Value != nil {
+					mark(n.Value)
+				}
+			}
+			return true
+		})
+	}
+	gather(body)
+	gather(post)
+	if r, ok := loop.(*ast.RangeStmt); ok {
+		if r.Key != nil {
+			mark(r.Key)
+		}
+		if r.Value != nil {
+			mark(r.Value)
+		}
+		li.trip = fa.rangeTrip(r.X)
+	}
+	if f, ok := loop.(*ast.ForStmt); ok {
+		li.trip = fa.forTrip(f)
+	}
+	return li
+}
+
+// forTrip bounds `for i := lo; i < hi; i++` (and <=, and i += c). Two
+// forms resolve: constant lo and hi, and the chunked-workload idiom
+// where hi is a local defined as `lo + K` with K a constant or a
+// constant-valued struct field (see fieldconst.go) — optionally
+// min-clamped afterwards, which only lowers the trip count. Returns 0
+// when no bound is known.
+func (fa *funcAnalysis) forTrip(f *ast.ForStmt) int {
+	init, ok := f.Init.(*ast.AssignStmt)
+	if !ok || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return 0
+	}
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return 0
+	}
+	step := int64(1)
+	switch post := f.Post.(type) {
+	case *ast.IncDecStmt:
+		if post.Tok != token.INC {
+			return 0
+		}
+	case *ast.AssignStmt:
+		if post.Tok != token.ADD_ASSIGN || len(post.Rhs) != 1 {
+			return 0
+		}
+		if step, ok = fa.konst(post.Rhs[0]); !ok || step <= 0 {
+			return 0
+		}
+	default:
+		return 0
+	}
+	var span int64
+	c0, ok0 := fa.konst(init.Rhs[0])
+	c1, ok1 := fa.konst(cond.Y)
+	if ok0 && ok1 {
+		span = c1 - c0
+	} else if d, ok := fa.boundDelta(init.Rhs[0], cond.Y); ok {
+		span = d
+	} else {
+		return 0
+	}
+	if cond.Op == token.LEQ {
+		span++
+	}
+	if span <= 0 {
+		return 0
+	}
+	return int((span + step - 1) / step)
+}
+
+// konst evaluates e to an integer upper bound: a compile-time constant,
+// or a struct-field read whose field is constant module-wide.
+func (fa *funcAnalysis) konst(e ast.Expr) (int64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	if v := constInt(fa.info, e); v != nil {
+		return *v, true
+	}
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if selection, ok := fa.info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+			named, _ := namedStructOf(selection.Recv())
+			if named != nil {
+				return fa.s.fieldConsts().bound(fieldKey(named, sel.Sel.Name))
+			}
+		}
+	}
+	return 0, false
+}
+
+// boundDelta resolves the chunked-loop idiom: loInit is an identifier
+// `c`, hiExpr an identifier `cEnd`, and the function contains
+//
+//	cEnd := c + K        // K constant or constant-valued field
+//	if cEnd > hi { cEnd = hi }
+//
+// so cEnd-c ≤ K. The defining assignment yields K; a min-clamp (a lone
+// `cEnd = y` inside `if cEnd > y`) only lowers the bound and is
+// tolerated; any other assignment to cEnd invalidates the result.
+func (fa *funcAnalysis) boundDelta(loInit, hiExpr ast.Expr) (int64, bool) {
+	loID, ok := ast.Unparen(loInit).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	hiID, ok := ast.Unparen(hiExpr).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	objLo, objHi := fa.info.ObjectOf(loID), fa.info.ObjectOf(hiID)
+	if objLo == nil || objHi == nil {
+		return 0, false
+	}
+	var (
+		k     int64
+		found = false
+		valid = true
+		stack []ast.Node
+	)
+	ast.Inspect(fa.root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || fa.info.ObjectOf(id) != objHi {
+				continue
+			}
+			if len(as.Rhs) != len(as.Lhs) {
+				valid = false
+				continue
+			}
+			rhs := as.Rhs[i]
+			if d, ok := fa.sumDelta(rhs, objLo); ok {
+				if !found || d > k {
+					k = d
+				}
+				found = true
+				continue
+			}
+			if isMinClamp(stack, fa.info, objHi, rhs) {
+				continue
+			}
+			valid = false
+		}
+		return true
+	})
+	return k, found && valid
+}
+
+// sumDelta matches `c + K` / `K + c` against objLo and resolves K.
+func (fa *funcAnalysis) sumDelta(e ast.Expr, objLo types.Object) (int64, bool) {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return 0, false
+	}
+	if id, ok := ast.Unparen(bin.X).(*ast.Ident); ok && fa.info.ObjectOf(id) == objLo {
+		return fa.konst(bin.Y)
+	}
+	if id, ok := ast.Unparen(bin.Y).(*ast.Ident); ok && fa.info.ObjectOf(id) == objLo {
+		return fa.konst(bin.X)
+	}
+	return 0, false
+}
+
+// isMinClamp reports whether the innermost enclosing if of the current
+// node (top of stack) has condition `hi > y` (or `y < hi`) where y is
+// syntactically the assigned value — the standard clamp, which can only
+// shrink hi.
+func isMinClamp(stack []ast.Node, info *types.Info, objHi types.Object, rhs ast.Expr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		var hiSide, ySide ast.Expr
+		switch cond.Op {
+		case token.GTR:
+			hiSide, ySide = cond.X, cond.Y
+		case token.LSS:
+			hiSide, ySide = cond.Y, cond.X
+		default:
+			return false
+		}
+		id, ok := ast.Unparen(hiSide).(*ast.Ident)
+		if !ok || info.ObjectOf(id) != objHi {
+			return false
+		}
+		return types.ExprString(ySide) == types.ExprString(rhs)
+	}
+	return false
+}
+
+// rangeTrip returns the length of a range over a constant-length array.
+func (fa *funcAnalysis) rangeTrip(x ast.Expr) int {
+	tv, ok := fa.info.Types[x]
+	if !ok || tv.Type == nil {
+		return 0
+	}
+	t := tv.Type.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem().Underlying()
+	}
+	if arr, ok := t.(*types.Array); ok && arr.Len() > 0 {
+		return int(arr.Len())
+	}
+	return 0
+}
+
+// ensureRoots solves the local-root dataflow to a fixpoint. Mutually
+// assigned locals (swim's `src, dst = dst, src` grid swap) converge to
+// the union of everything either can hold.
+func (fa *funcAnalysis) ensureRoots() {
+	if fa.objRoots != nil {
+		return
+	}
+	fa.objRoots = make(map[types.Object]*granSet, len(fa.assign))
+	for obj := range fa.assign {
+		fa.objRoots[obj] = &granSet{}
+	}
+	for iter := 0; iter < 20; iter++ {
+		changed := false
+		for obj, rhss := range fa.assign {
+			for _, rhs := range rhss {
+				if fa.objRoots[obj].addAll(fa.roots(rhs)) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// roots resolves an expression to the granule roots its mem.Addr value
+// can point into. Non-address expressions resolve to the empty set; an
+// unresolvable address resolves to ⊤.
+func (fa *funcAnalysis) roots(e ast.Expr) granSet {
+	var out granSet
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := fa.info.ObjectOf(e)
+		v, ok := obj.(*types.Var)
+		if !ok || !addrish(v.Type()) {
+			return out
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			out.add(v.Pkg().Name() + "." + v.Name())
+			return out
+		}
+		for i, p := range fa.params {
+			if p == obj {
+				out.add(paramKey(i))
+				return out
+			}
+		}
+		if rs, ok := fa.objRoots[obj]; ok && rs != nil {
+			out.addAll(*rs)
+			return out
+		}
+		return out // declared-but-never-assigned local: no roots
+	case *ast.SelectorExpr:
+		if sel, ok := fa.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if !addrish(sel.Obj().Type()) {
+				return out
+			}
+			owner := namedOf(sel.Recv())
+			if owner == "" {
+				owner = "?"
+			}
+			out.add(owner + "." + sel.Obj().Name())
+			return out
+		}
+		if v, ok := fa.info.Uses[e.Sel].(*types.Var); ok && addrish(v.Type()) && v.Pkg() != nil {
+			out.add(v.Pkg().Name() + "." + v.Name()) // pkg-qualified var
+		}
+		return out
+	case *ast.IndexExpr:
+		return fa.roots(e.X)
+	case *ast.BinaryExpr:
+		out.addAll(fa.roots(e.X))
+		out.addAll(fa.roots(e.Y))
+		return out
+	case *ast.StarExpr:
+		return fa.roots(e.X)
+	case *ast.UnaryExpr:
+		return fa.roots(e.X)
+	case *ast.CallExpr:
+		if tv, ok := fa.info.Types[e.Fun]; ok && tv.IsType() {
+			return fa.roots(e.Args[0]) // conversion, e.g. mem.Addr(x)
+		}
+		fn := analysis.CalleeFunc(fa.info, e)
+		if fn != nil && fa.s.prog.FuncOf(fn) != nil {
+			if sum := fa.s.summary(fn); sum != nil {
+				return fa.subst(sum.returns, e)
+			}
+		}
+		if addrishExpr(fa.info, e) {
+			out.add(topGranule) // unknown callee returning an address
+		}
+		return out
+	case *ast.BasicLit:
+		return out
+	default:
+		if addrishExpr(fa.info, e) {
+			out.add(topGranule)
+		}
+		return out
+	}
+}
+
+// subst rewrites a callee's parameter-relative granule keys against the
+// call's actual arguments (and receiver).
+func (fa *funcAnalysis) subst(g granSet, call *ast.CallExpr) granSet {
+	var out granSet
+	if g.top {
+		out.add(topGranule)
+	}
+	for k := range g.keys {
+		i, isParam := paramKeyIndex(k)
+		if !isParam {
+			out.add(k)
+			continue
+		}
+		var arg ast.Expr
+		if i == recvParam {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				arg = sel.X
+			}
+		} else if i < len(call.Args) {
+			arg = call.Args[i]
+		}
+		if arg == nil {
+			out.add(topGranule)
+			continue
+		}
+		out.addAll(fa.roots(arg))
+	}
+	return out
+}
+
+const recvParam = -1
+
+func paramKey(i int) string {
+	if i == recvParam {
+		return "param:recv"
+	}
+	return "param:" + strconv.Itoa(i)
+}
+
+func paramKeyIndex(k string) (int, bool) {
+	rest, ok := strings.CutPrefix(k, "param:")
+	if !ok {
+		return 0, false
+	}
+	if rest == "recv" {
+		return recvParam, true
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// isParamGranule reports whether a granule key is parameter-relative and
+// therefore unresolved outside its own function.
+func isParamGranule(k string) bool {
+	_, ok := paramKeyIndex(k)
+	return ok
+}
+
+// variantIn reports whether expr's value can change across iterations of
+// loop: whether any local it transitively depends on is assigned inside.
+func (fa *funcAnalysis) variantIn(expr ast.Expr, loop *loopInfo) bool {
+	deps := fa.depsOf(expr)
+	for obj := range deps {
+		if loop.assigned[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// depsOf collects the local objects expr transitively depends on through
+// the assignment graph.
+func (fa *funcAnalysis) depsOf(expr ast.Expr) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	var visitExpr func(e ast.Node)
+	var visitObj func(obj types.Object)
+	visitObj = func(obj types.Object) {
+		if obj == nil || out[obj] {
+			return
+		}
+		out[obj] = true
+		for _, rhs := range fa.assign[obj] {
+			visitExpr(rhs)
+		}
+	}
+	visitExpr = func(e ast.Node) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := fa.info.ObjectOf(id).(*types.Var); ok {
+					visitObj(v)
+				}
+			}
+			return true
+		})
+	}
+	visitExpr(expr)
+	return out
+}
+
+// enclosingLoops returns the loops (from the given stack of active loop
+// nodes) whose info is known.
+func (fa *funcAnalysis) loopInfo(node ast.Node) *loopInfo {
+	for _, li := range fa.loops {
+		if li.node == node {
+			return li
+		}
+	}
+	return nil
+}
+
+// addrish reports whether t is mem.Addr or a container of it (pointer,
+// slice, array, map value).
+func addrish(t types.Type) bool {
+	for depth := 0; t != nil && depth < 6; depth++ {
+		t = types.Unalias(t)
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == memPkg && obj.Name() == "Addr" {
+				return true
+			}
+			t = named.Underlying()
+			continue
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func addrishExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	// For multi-result calls, only the first result is tracked.
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		return tuple.Len() > 0 && addrish(tuple.At(0).Type())
+	}
+	return addrish(tv.Type)
+}
+
+// namedOf returns the named type behind t (through one pointer), or "".
+func namedOf(t types.Type) string {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isMethodOf reports whether fn is a method on pkgPath.typeName.
+func isMethodOf(fn *types.Func, pkgPath, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := types.Unalias(sig.Recv().Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}

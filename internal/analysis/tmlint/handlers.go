@@ -2,6 +2,7 @@ package tmlint
 
 import (
 	"go/ast"
+	"strings"
 
 	"tmisa/internal/analysis"
 )
@@ -50,6 +51,7 @@ func checkHandler(c *collection, handler *ast.FuncLit, kind string) {
 		}
 		name, _, ok := txMethod(pass, call)
 		if !ok {
+			reportHandlerCallee(c, call, kind)
 			return true
 		}
 		switch {
@@ -66,4 +68,47 @@ func checkHandler(c *collection, handler *ast.FuncLit, kind string) {
 		}
 		return true
 	})
+}
+
+// reportHandlerCallee applies the handler discipline through calls: a
+// helper that takes the *core.Tx and transitively calls Tx.Abort or
+// registers handlers violates the same rules as doing it inline, and the
+// summary's chain names where.
+func reportHandlerCallee(c *collection, call *ast.CallExpr, kind string) {
+	pass := c.pass
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	sum := c.sums.userSummary(fn)
+	if sum == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || !isCoreTx(tv.Type) {
+			continue
+		}
+		cf := sum.tx[i]
+		if cf == nil {
+			continue
+		}
+		if cf.aborts {
+			switch kind {
+			case "OnCommit":
+				pass.Reportf(call.Pos(),
+					"call to %s reaches Tx.Abort inside a commit handler (path: %s): commit handlers run after xvalidate, where the transaction can no longer abort (the runtime panics)",
+					shortFunc(fn), chainString(fn, cf.abChain))
+			case "OnAbort":
+				pass.Reportf(call.Pos(),
+					"call to %s reaches Tx.Abort inside an abort handler (path: %s), re-entering xabort while the frame is already unwinding",
+					shortFunc(fn), chainString(fn, cf.abChain))
+			}
+		}
+		if len(cf.registers) > 0 {
+			pass.Reportf(call.Pos(),
+				"call to %s registers %s from inside an %s handler (path: %s); handler stacks are per-attempt and must be built by the body itself",
+				shortFunc(fn), strings.Join(cf.registers, "/"), kind, chainString(fn, cf.regChain))
+		}
+	}
 }

@@ -81,9 +81,14 @@ func checkOpenCompensation(c *collection, b *atomicBody) {
 	stores := false
 	c.inspectBody(b, false, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
-				fn.Pkg().Path() == corePkg && (fn.Name() == "Store" || fn.Name() == "StoreF") {
-				stores = true
+			if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil {
+				if fn.Pkg().Path() == corePkg && (fn.Name() == "Store" || fn.Name() == "StoreF") {
+					stores = true
+				} else if sum := c.sums.userSummary(fn); sum != nil && sum.storesMem {
+					// The open body publishes through a helper; the summary
+					// carries the chain down to the actual Store.
+					stores = true
+				}
 			}
 		}
 		return !stores

@@ -88,6 +88,7 @@ func checkReexec(c *collection, b *atomicBody) {
 					"call to %s.%s inside an atomic body: the host effect repeats on every re-execution and survives rollback — move it to a tx.OnCommit handler or txrt's transactional I/O",
 					pkg, name)
 			}
+			reportReachableEffects(c, b, n, fn)
 		case *ast.IncDecStmt:
 			reportCapturedRMW(pass, b, n.X, n.Pos())
 		case *ast.AssignStmt:
@@ -114,6 +115,57 @@ func checkReexec(c *collection, b *atomicBody) {
 		}
 		return true
 	})
+}
+
+// reportReachableEffects consults the callee's interprocedural summary
+// and reports, at the call site, every re-execution hazard the call
+// transitively reaches — with the call chain, so the diagnostic names
+// the path from this atomic body down to the offending statement.
+// Effects that occur inside handler literals along the way are skipped:
+// running host effects exactly once at commit/abort is what handlers are
+// for.
+func reportReachableEffects(c *collection, b *atomicBody, call *ast.CallExpr, fn *types.Func) {
+	sum := c.sums.userSummary(fn)
+	if sum == nil {
+		return
+	}
+	pass := c.pass
+	for _, e := range sum.effects {
+		if e.inHandler {
+			continue
+		}
+		path := chainString(fn, e.chain)
+		switch e.kind {
+		case effIO:
+			pass.Reportf(call.Pos(),
+				"call to %s reaches non-re-execution-safe host call %s inside an atomic body (path: %s); the effect repeats on every re-execution and survives rollback — move it to a tx.OnCommit handler or txrt's transactional I/O",
+				shortFunc(fn), e.detail, path)
+		case effGoroutine:
+			pass.Reportf(call.Pos(),
+				"call to %s starts a goroutine inside an atomic body (path: %s); a violated body re-executes, launching one goroutine per attempt — start it from a tx.OnCommit handler",
+				shortFunc(fn), path)
+		case effGlobalRMW:
+			pass.Reportf(call.Pos(),
+				"call to %s read-modify-writes package-level variable %s inside an atomic body (path: %s); the update repeats on every re-execution — keep accumulators in simulated memory or a tx.OnCommit handler",
+				shortFunc(fn), e.detail, path)
+		case effParamRMW:
+			// The callee mutates state reached through a parameter; that
+			// is a hazard here only when the argument is captured from
+			// outside this atomic body (an attempt-local argument dies
+			// with the attempt, like any local RMW target).
+			arg := argForParam(call, e.param)
+			if arg == nil {
+				continue
+			}
+			obj := baseObj(pass, arg)
+			if obj == nil || declaredIn(obj, b.lit) {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s read-modify-writes %s (reached through captured %q) inside an atomic body (path: %s); the update repeats on every re-execution",
+				shortFunc(fn), e.detail, obj.Name(), path)
+		}
+	}
 }
 
 // reportCapturedRMW flags a read-modify-write whose target is rooted in a

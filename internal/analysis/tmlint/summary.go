@@ -1,0 +1,362 @@
+package tmlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tmisa/internal/analysis"
+)
+
+// This file is the interprocedural layer under the tmlint suite: bottom-up
+// function summaries over the module call graph's SCCs, stored in the
+// Program's facts store so they flow across package boundaries. A summary
+// records what calling the function does to a transaction — host effects
+// that are unsafe under re-execution, host synchronization, what happens
+// to *core.Tx arguments, which memory granules the function reads/writes
+// through the simulated-memory API, how its return value roots into
+// simulated memory, and a static bound on the cache lines it touches.
+// The existing analyzers consult summaries at call sites inside atomic
+// bodies; txfootprint and conflictpairs are built entirely on them.
+
+const (
+	memPkg = "tmisa/internal/mem"
+	// topGranule is the ⊤ element of the granule lattice: an access whose
+	// base address could not be resolved to a named root may touch
+	// anything.
+	topGranule = "⊤"
+)
+
+// summaryFacts is the facts-store namespace for per-function summaries.
+const summaryFacts = "tmlint.summary"
+
+type effectKind int
+
+const (
+	effIO effectKind = iota // non-idempotent host API call
+	effGoroutine
+	effGlobalRMW // read-modify-write of a package-level variable
+	effParamRMW  // read-modify-write through a parameter or receiver
+	effSync      // host synchronization (sync, sync/atomic, channels)
+)
+
+// effect is one transitively-reachable hazard, with the call chain that
+// reaches it ("leaf" is the offending call or statement).
+type effect struct {
+	kind      effectKind
+	detail    string
+	param     int  // for effParamRMW: parameter index (-1 = receiver)
+	inHandler bool // effect occurs inside a handler literal (legal for IO)
+	chain     []string
+}
+
+func (e effect) key() string {
+	return fmt.Sprintf("%d|%s|%d|%v", e.kind, e.detail, e.param, e.inHandler)
+}
+
+// txFact records what a function does with a *core.Tx parameter.
+type txFact struct {
+	escapes   bool
+	aborts    bool
+	registers []string // handler registration method names
+	escChain  []string
+	abChain   []string
+	regChain  []string
+}
+
+// granSet is a set of granule root names with a ⊤ element.
+type granSet struct {
+	top  bool
+	keys map[string]bool
+}
+
+func (g *granSet) add(key string) {
+	if key == topGranule {
+		g.top = true
+		return
+	}
+	if g.keys == nil {
+		g.keys = make(map[string]bool)
+	}
+	g.keys[key] = true
+}
+
+func (g *granSet) addAll(o granSet) bool {
+	changed := false
+	if o.top && !g.top {
+		g.top = true
+		changed = true
+	}
+	for k := range o.keys {
+		if g.keys == nil || !g.keys[k] {
+			g.add(k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (g granSet) sorted() []string {
+	out := make([]string, 0, len(g.keys))
+	for k := range g.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	if g.top {
+		out = append(out, topGranule)
+	}
+	return out
+}
+
+func (g granSet) empty() bool { return !g.top && len(g.keys) == 0 }
+
+// lineBound is a static bound on distinct cache lines: n lines, or ⊤.
+type lineBound struct {
+	n   int
+	top bool
+}
+
+func (b *lineBound) add(o lineBound) {
+	if o.top {
+		b.top = true
+	}
+	b.n += o.n
+}
+
+func (b lineBound) String() string {
+	if b.top {
+		return "unbounded"
+	}
+	return strconv.Itoa(b.n)
+}
+
+// funcSummary is the per-function fact computed bottom-up over SCCs.
+type funcSummary struct {
+	sym     string
+	effects []effect
+	// tx maps explicit-parameter index → what the function does with that
+	// *core.Tx argument.
+	tx map[int]*txFact
+	// reads/writes are the granules touched through the simulated-memory
+	// API outside atomic-body literals; keys may be parameter-relative
+	// ("param:0"), substituted at the call site.
+	reads, writes granSet
+	// returns roots the first result (when it is mem.Addr-typed).
+	returns granSet
+	// readB/writeB bound the cache lines the function touches itself.
+	readB, writeB lineBound
+	// storesMem: the function transitively calls core's Store/StoreF.
+	storesMem   bool
+	storesChain []string
+}
+
+const maxEffects = 12
+
+func (s *funcSummary) addEffect(e effect) bool {
+	if len(s.effects) >= maxEffects {
+		return false
+	}
+	k := e.key()
+	for _, have := range s.effects {
+		if have.key() == k {
+			return false
+		}
+	}
+	s.effects = append(s.effects, e)
+	return true
+}
+
+func (s *funcSummary) txFactFor(i int) *txFact {
+	if s.tx == nil {
+		s.tx = make(map[int]*txFact)
+	}
+	f := s.tx[i]
+	if f == nil {
+		f = &txFact{}
+		s.tx[i] = f
+	}
+	return f
+}
+
+// summarizer computes and caches all function summaries for one Program.
+type summarizer struct {
+	prog     *analysis.Program
+	lineSize int
+	fas      map[*ast.FuncDecl]*funcAnalysis
+	fct      *fieldConstTable
+}
+
+// summariesFor returns the shared summarizer for the pass's Program,
+// computing every function summary on first use (memoized program-wide,
+// so the suite pays the bottom-up pass once per Run).
+func summariesFor(pass *analysis.Pass) *summarizer {
+	if pass.Prog == nil {
+		return nil
+	}
+	return pass.Prog.Memo("tmlint.summarizer", func() any {
+		s := &summarizer{
+			prog:     pass.Prog,
+			lineSize: FootprintLineSize,
+			fas:      make(map[*ast.FuncDecl]*funcAnalysis),
+		}
+		s.buildAll()
+		return s
+	}).(*summarizer)
+}
+
+// summary looks a callee's summary up in the facts store by symbol, so a
+// types.Func from any of the loader's type-check universes resolves.
+func (s *summarizer) summary(fn *types.Func) *funcSummary {
+	if s == nil || fn == nil {
+		return nil
+	}
+	if v, ok := s.prog.Fact(summaryFacts, fn.FullName()); ok {
+		return v.(*funcSummary)
+	}
+	return nil
+}
+
+// machinePkgs are the simulated machine and its runtime: the packages
+// whose functions ARE the architecture the lint checks user code
+// against. Their internal Go-level effects — scheduler channel hops in
+// sim, violation-queue bookkeeping in core, thread parking in txrt —
+// sit below the abstraction boundary and are rollback-aware by
+// construction, so surfacing them at user call sites would flag every
+// p.Load as "reaches host synchronization". Granule and return-root
+// accounting still uses their full summaries; only the hazard-effect
+// view is suppressed.
+var machinePkgs = map[string]bool{
+	"tmisa/internal/core":   true,
+	"tmisa/internal/sim":    true,
+	"tmisa/internal/bus":    true,
+	"tmisa/internal/cache":  true,
+	"tmisa/internal/mem":    true,
+	"tmisa/internal/oracle": true,
+	"tmisa/internal/trace":  true,
+	"tmisa/internal/tmprof": true,
+	"tmisa/internal/txrt":   true,
+}
+
+func machineFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && machinePkgs[fn.Pkg().Path()]
+}
+
+// userSummary is summary restricted to the user side of the abstraction
+// boundary: nil for machine/runtime functions. The hazard-reporting
+// analyzers (and the summary merge that feeds them) consult this form.
+func (s *summarizer) userSummary(fn *types.Func) *funcSummary {
+	if machineFunc(fn) {
+		return nil
+	}
+	return s.summary(fn)
+}
+
+// buildAll walks the SCCs bottom-up. Within a cyclic component members
+// are iterated to a fixpoint (effect sets are deduplicated and capped, so
+// they converge); line bounds and callee merges treat same-SCC callees as
+// ⊤ — recursion means statically unbounded repetition.
+func (s *summarizer) buildAll() {
+	for _, comp := range s.prog.SCCs() {
+		inComp := make(map[string]bool, len(comp))
+		for _, sym := range comp {
+			inComp[sym] = true
+		}
+		rounds := 1
+		if len(comp) > 1 || s.selfRecursive(comp) {
+			rounds = len(comp) + 2
+			if rounds > 6 {
+				rounds = 6
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			changed := false
+			for _, sym := range comp {
+				node := s.prog.Funcs[sym]
+				sum := s.summarize(node, inComp)
+				old, _ := s.prog.Fact(summaryFacts, sym)
+				if old == nil || !sameSummary(old.(*funcSummary), sum) {
+					changed = true
+				}
+				s.prog.SetFact(summaryFacts, sym, sum)
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	// Drop the per-function analyses memoized during the bottom-up pass:
+	// inside a cyclic SCC their resolved roots may reflect partial callee
+	// facts from an earlier fixpoint round. Post-build queries
+	// (blockFactsFor) rebuild against the final facts.
+	s.fas = make(map[*ast.FuncDecl]*funcAnalysis)
+}
+
+func (s *summarizer) selfRecursive(comp []string) bool {
+	if len(comp) != 1 {
+		return false
+	}
+	for _, callee := range s.prog.Funcs[comp[0]].Callees {
+		if callee == comp[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// sameSummary is the fixpoint test; it compares the monotone parts.
+func sameSummary(a, b *funcSummary) bool {
+	if len(a.effects) != len(b.effects) || len(a.tx) != len(b.tx) ||
+		a.storesMem != b.storesMem ||
+		a.readB != b.readB || a.writeB != b.writeB {
+		return false
+	}
+	eq := func(x, y granSet) bool {
+		if x.top != y.top || len(x.keys) != len(y.keys) {
+			return false
+		}
+		for k := range x.keys {
+			if !y.keys[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(a.reads, b.reads) || !eq(a.writes, b.writes) || !eq(a.returns, b.returns) {
+		return false
+	}
+	for i, fa := range a.tx {
+		fb := b.tx[i]
+		if fb == nil || fa.escapes != fb.escapes || fa.aborts != fb.aborts ||
+			len(fa.registers) != len(fb.registers) {
+			return false
+		}
+	}
+	return true
+}
+
+// shortSym renders a symbol for humans: module path prefixes stripped.
+func shortSym(sym string) string {
+	return strings.ReplaceAll(sym, "tmisa/internal/", "")
+}
+
+func shortFunc(fn *types.Func) string { return shortSym(fn.FullName()) }
+
+// chainString renders "f → g → os.WriteFile" for a call-site report: the
+// callee first, then the summarized chain below it.
+func chainString(fn *types.Func, chain []string) string {
+	parts := append([]string{shortFunc(fn)}, chain...)
+	return strings.Join(parts, " → ")
+}
+
+// extendChain prefixes a callee's name onto its recorded chain, bounding
+// depth so recursive chains stay readable.
+func extendChain(callee *types.Func, chain []string) []string {
+	out := append([]string{shortFunc(callee)}, chain...)
+	if len(out) > 6 {
+		out = append(out[:5:5], "…")
+	}
+	return out
+}

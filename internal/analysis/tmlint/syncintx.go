@@ -49,6 +49,20 @@ func checkSync(c *collection, b *atomicBody) {
 						"sync/atomic.%s inside an atomic body: host atomics bypass the transaction's read-/write-sets, so conflicts on them are invisible — use simulated memory (p.Load/p.Store)",
 						fn.Name())
 				}
+				// Synchronization buried in a module-internal helper is
+				// just as invisible to conflict detection. Handler-side
+				// effects count too (handlers run in transaction context,
+				// matching the skipHandlers=false walk above).
+				if sum := c.sums.userSummary(fn); sum != nil {
+					for _, e := range sum.effects {
+						if e.kind != effSync {
+							continue
+						}
+						pass.Reportf(n.Pos(),
+							"call to %s reaches host synchronization (%s) inside an atomic body (path: %s) — use txrt.CondSync or txrt.Barrier",
+							shortFunc(fn), e.detail, chainString(fn, e.chain))
+					}
+				}
 			}
 			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
 				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {

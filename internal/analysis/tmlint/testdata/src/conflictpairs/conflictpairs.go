@@ -1,0 +1,56 @@
+// Package conflictpairs is golden-test input for the tmlint
+// conflictpairs rule: pairs of atomic blocks sharing a granule with at
+// least one writer, reported at the earlier block.
+package conflictpairs
+
+import (
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+type Bank struct {
+	accounts mem.Addr
+	audit    mem.Addr
+	rates    mem.Addr
+}
+
+// deposit read-modify-writes Bank.accounts: it conflicts with itself
+// across CPUs, and with the read-only total block below.
+func (b *Bank) deposit(p *core.Proc, i int) {
+	p.Atomic(func(tx *core.Tx) { // want `may conflict with itself across CPUs over granule\(s\) Bank\.accounts` `may conflict with the block at line \d+ over granule\(s\) Bank\.accounts`
+		a := b.accounts + mem.Addr(i*8)
+		p.Store(a, p.Load(a)+1)
+	})
+}
+
+// total only reads Bank.accounts; its pair with deposit is reported at
+// deposit (the earlier block).
+func (b *Bank) total(p *core.Proc, n int) uint64 {
+	var sum uint64
+	p.Atomic(func(tx *core.Tx) {
+		sum = 0
+		for i := 0; i < n; i++ {
+			sum += p.Load(b.accounts + mem.Addr(i*8))
+		}
+	})
+	return sum
+}
+
+// logAudit's self-conflict on Bank.audit is intentional serialization,
+// so the pair is suppressed with a justification.
+func (b *Bank) logAudit(p *core.Proc) {
+	//tmlint:allow conflictpairs -- audit log is a designated serialization point; contention is intended
+	p.Atomic(func(tx *core.Tx) {
+		p.Store(b.audit, p.Load(b.audit)+1)
+	})
+}
+
+// peek is clean: Bank.rates is only ever read, and a shared granule with
+// no writer cannot conflict.
+func (b *Bank) peek(p *core.Proc) uint64 {
+	var v uint64
+	p.Atomic(func(tx *core.Tx) {
+		v = p.Load(b.rates)
+	})
+	return v
+}

@@ -39,3 +39,23 @@ func suppressed(p *core.Proc) {
 		})
 	})
 }
+
+// --- interprocedural cases: the discipline applies through helpers that
+// take the handle ---
+
+func bail(t *core.Tx) { t.Abort(nil) }
+
+func addCleanup(t *core.Tx) { t.OnAbort(func(*core.Proc, any) {}) }
+
+func viaHelpers(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		bail(tx) // aborting from the body is fine
+		tx.OnCommit(func(*core.Proc) {
+			bail(tx) // want `call to .*bail reaches Tx.Abort inside a commit handler \(path: .*bail → Tx.Abort\)`
+		})
+		tx.OnViolation(func(*core.Proc, core.Violation) core.Decision {
+			addCleanup(tx) // want `call to .*addCleanup registers OnAbort from inside an OnViolation handler`
+			return core.Ignore
+		})
+	})
+}

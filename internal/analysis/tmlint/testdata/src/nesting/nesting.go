@@ -61,3 +61,28 @@ func suppressed(p *core.Proc, a mem.Addr) {
 		})
 	})
 }
+
+// --- interprocedural cases: storesMem in the helper's summary makes the
+// uncompensated open-nest visible one call deep ---
+
+func publish(p *core.Proc, a mem.Addr) { p.Store(a, 1) }
+
+func openViaHelper(p *core.Proc, a mem.Addr) {
+	p.Atomic(func(tx *core.Tx) {
+		_ = p.Load(a)
+		p.AtomicOpen(func(open *core.Tx) { // want `open-nested transaction writes to shared memory inside a closed transaction that registers no`
+			publish(p, a)
+		})
+	})
+}
+
+// compensatedViaHelper registers OnAbort on the enclosing handle, so the
+// same helper store is compensated.
+func compensatedViaHelper(p *core.Proc, a mem.Addr) {
+	p.Atomic(func(tx *core.Tx) {
+		tx.OnAbort(func(*core.Proc, any) {})
+		p.AtomicOpen(func(open *core.Tx) {
+			publish(p, a)
+		})
+	})
+}

@@ -73,3 +73,54 @@ func suppressed(p *core.Proc) {
 	})
 	_ = attempts
 }
+
+// --- interprocedural cases: the hazard sits one call deep and is
+// reported at the call site inside the atomic body, with the chain ---
+
+var hits int
+
+func logStats() { fmt.Println("stats") }
+
+func bumpHits() { hits++ }
+
+func incr(c *int) { *c++ }
+
+func spawn(p *core.Proc) { go leak(p) }
+
+func viaHelpers(p *core.Proc) {
+	total := 0
+	p.Atomic(func(tx *core.Tx) {
+		logStats()   // want `call to .*logStats reaches non-re-execution-safe host call fmt.Println inside an atomic body \(path: .*logStats → fmt.Println\)`
+		bumpHits()   // want `call to .*bumpHits read-modify-writes package-level variable reexec.hits`
+		incr(&total) // want `reached through captured "total"`
+		spawn(p)     // want `call to .*spawn starts a goroutine inside an atomic body`
+	})
+	_ = total
+}
+
+// doubleIO reaches two distinct host calls, so its call site inside an
+// atomic body reports two chains on one line — the golden uses a counted
+// expectation ("want 2 `...`") to pin both.
+func doubleIO() {
+	fmt.Println("stats")
+	_ = time.Now()
+}
+
+func viaDoubleIO(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		doubleIO() // want 2 `call to .*doubleIO reaches non-re-execution-safe host call (?:fmt\.Println|time\.Now) inside an atomic body`
+	})
+}
+
+// registerFlush's host effect happens inside a commit handler the helper
+// registers itself: it runs exactly once, so calling it from a body is
+// clean — the inHandler flag on the summarized effect filters it.
+func registerFlush(t *core.Tx) {
+	t.OnCommit(func(*core.Proc) { fmt.Println("flushed once") })
+}
+
+func commitsViaHelper(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		registerFlush(tx)
+	})
+}

@@ -47,3 +47,16 @@ func suppressed(p *core.Proc, ch chan uint64) {
 		ch <- 1 //tmlint:allow syncintx -- harness plumbing outside the simulated machine
 	})
 }
+
+// --- interprocedural cases ---
+
+func lockIt(mu *sync.Mutex) { mu.Lock() }
+
+func notifyDone(done chan struct{}) { done <- struct{}{} }
+
+func viaHelpers(p *core.Proc, mu *sync.Mutex, done chan struct{}) {
+	p.Atomic(func(tx *core.Tx) {
+		lockIt(mu)       // want `call to .*lockIt reaches host synchronization \(sync.Lock\) inside an atomic body \(path: .*lockIt → sync.Lock\)`
+		notifyDone(done) // want `call to .*notifyDone reaches host synchronization \(channel send\)`
+	})
+}

@@ -87,3 +87,23 @@ func suppressed(p *core.Proc) {
 	})
 	_ = stale
 }
+
+// --- interprocedural cases: the summary marks keep's parameter as
+// escaping, so handing the handle over is reported at the call site ---
+
+var stashed *core.Tx
+
+func keep(t *core.Tx) { stashed = t }
+
+func keepIndirect(t *core.Tx) { keep(t) }
+
+func register(t *core.Tx) { t.OnCommit(func(*core.Proc) {}) }
+
+func viaHelpers(p *core.Proc) {
+	p.Atomic(func(tx *core.Tx) {
+		register(tx)     // registering a handler does not retain the handle: clean
+		keep(tx)         // want `transaction handle tx passed to .*keep, which stores it where it outlives the atomic body`
+		keepIndirect(tx) // want `transaction handle tx passed to .*keepIndirect, which stores it where it outlives the atomic body \(path: .*keepIndirect → .*keep → stored in stashed\)`
+	})
+	_ = stashed
+}

@@ -1,0 +1,160 @@
+// Package txfootprint is golden-test input for the tmlint txfootprint
+// rule: static read/write line-footprint bounds versus the bounded
+// hybrid engine's MaxWriteLines=16 / MaxReadLines=64 defaults.
+package txfootprint
+
+import (
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+type Grid struct {
+	cells mem.Addr
+	n     int
+}
+
+// wideWrite writes 32 distinct lines through a constant-trip loop:
+// statically bounded, but over the 16-line write cap.
+func wideWrite(p *core.Proc, g *Grid) {
+	p.Atomic(func(tx *core.Tx) { // want `atomic block writes up to 32 cache lines, exceeding MaxWriteLines=16`
+		for i := 0; i < 32; i++ {
+			p.Store(g.cells+mem.Addr(i*64), 1)
+		}
+	})
+}
+
+// unboundedWrite's trip count is data-dependent: the footprint is ⊤.
+func unboundedWrite(p *core.Proc, g *Grid) {
+	p.Atomic(func(tx *core.Tx) { // want `atomic block's write footprint is statically unbounded`
+		for i := 0; i < g.n; i++ {
+			p.Store(g.cells+mem.Addr(i*64), 1)
+		}
+	})
+}
+
+// fill is the helper behind helperWrite: its own summary carries the
+// 32-line write bound, rooted in its base parameter.
+func fill(p *core.Proc, base mem.Addr) {
+	for i := 0; i < 32; i++ {
+		p.Store(base+mem.Addr(i*64), 1)
+	}
+}
+
+// helperWrite overflows one call deep: the block's bound comes entirely
+// from fill's summary, substituted against g.cells.
+func helperWrite(p *core.Proc, g *Grid) {
+	p.Atomic(func(tx *core.Tx) { // want `atomic block writes up to 32 cache lines, exceeding MaxWriteLines=16`
+		fill(p, g.cells)
+	})
+}
+
+// wideRead stays within the write cap (it writes nothing) but reads 128
+// lines, over the 64-line read cap.
+func wideRead(p *core.Proc, g *Grid) {
+	var sum uint64
+	p.Atomic(func(tx *core.Tx) { // want `atomic block reads up to 128 cache lines, exceeding MaxReadLines=64`
+		sum = 0
+		for i := 0; i < 128; i++ {
+			sum += p.Load(g.cells + mem.Addr(i*64))
+		}
+	})
+	_ = sum
+}
+
+// overflowAllowed overflows intentionally — the paper's large outer
+// speculation blocks do — and carries the justification the rule demands.
+func overflowAllowed(p *core.Proc, g *Grid) {
+	//tmlint:allow txfootprint -- outer speculation block: BENCH_hybrid measures its capacity fallback on purpose
+	p.Atomic(func(tx *core.Tx) {
+		for i := 0; i < 32; i++ {
+			p.Store(g.cells+mem.Addr(i*64), 1)
+		}
+	})
+}
+
+// Worker models the workloads' chunked idiom: every assignment to Chunk
+// in the module is a compile-time constant, so the field-constant
+// analysis gives the field a sound upper bound and the chunked loop
+// below gets a finite trip count.
+type Worker struct {
+	Chunk int
+	cells mem.Addr
+}
+
+// NewWorker is the only constructor; 24 becomes Chunk's module-wide bound.
+func NewWorker(cells mem.Addr) *Worker {
+	return &Worker{Chunk: 24, cells: cells}
+}
+
+// chunkedWrite uses the chunked-loop idiom — `end := c + w.Chunk` with a
+// tolerated min-clamp — so the trip bound comes from the field-constant
+// table: 24 lines written, over the 16-line cap, but NOT unbounded.
+func chunkedWrite(p *core.Proc, w *Worker, c, total int) {
+	p.Atomic(func(tx *core.Tx) { // want `atomic block writes up to 24 cache lines, exceeding MaxWriteLines=16`
+		end := c + w.Chunk
+		if end > total {
+			end = total
+		}
+		for i := c; i < end; i++ {
+			p.Store(w.cells+mem.Addr(i*64), 1)
+		}
+	})
+}
+
+// chunkedSmall is the same idiom under the cap: Mini's 8-line chunk stays
+// silent, proving the inference yields a finite (not just smaller-than-⊤)
+// bound.
+type Mini struct {
+	Chunk int
+	cells mem.Addr
+}
+
+func NewMini(cells mem.Addr) *Mini { return &Mini{Chunk: 8, cells: cells} }
+
+func chunkedSmall(p *core.Proc, w *Mini, c, total int) {
+	p.Atomic(func(tx *core.Tx) {
+		end := c + w.Chunk
+		if end > total {
+			end = total
+		}
+		for i := c; i < end; i++ {
+			p.Store(w.cells+mem.Addr(i*64), 1)
+		}
+	})
+}
+
+// poisonedChunk's field is assigned a non-constant somewhere in the
+// module (see reconfigure), so the field-constant bound is withdrawn and
+// the footprint is ⊤ again.
+type Tunable struct {
+	Chunk int
+	cells mem.Addr
+}
+
+func reconfigure(w *Tunable, n int) { w.Chunk = n }
+
+func poisonedChunk(p *core.Proc, w *Tunable, c, total int) {
+	p.Atomic(func(tx *core.Tx) { // want `atomic block's write footprint is statically unbounded`
+		end := c + w.Chunk
+		if end > total {
+			end = total
+		}
+		for i := c; i < end; i++ {
+			p.Store(w.cells+mem.Addr(i*64), 1)
+		}
+	})
+}
+
+// small is clean: same-line offsets group (cells+0 and cells+8 share a
+// line), constant offsets land on distinct lines, loop-invariant sites
+// count once.
+func small(p *core.Proc, g *Grid) {
+	p.Atomic(func(tx *core.Tx) {
+		v := p.Load(g.cells)
+		p.Store(g.cells+8, v+1)
+		p.Store(g.cells+128, 2)
+		for i := 0; i < 1000; i++ {
+			p.Store(g.cells+256, uint64(i)) // invariant address: one line
+		}
+	})
+}

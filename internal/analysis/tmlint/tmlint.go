@@ -31,7 +31,7 @@ const (
 
 // Analyzers returns the full tmlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{TxEscape, Reexec, Handlers, Nesting, SyncInTx}
+	return []*analysis.Analyzer{TxEscape, Reexec, Handlers, Nesting, SyncInTx, TxFootprint}
 }
 
 // atomicBody is one closure the runtime executes transactionally: the
@@ -73,6 +73,10 @@ type collection struct {
 	// handlerLits maps a handler closure to the registration method name
 	// ("OnCommit", "OnViolation", "OnAbort").
 	handlerLits map[*ast.FuncLit]string
+	// sums exposes the interprocedural function summaries (nil when the
+	// pass runs without a Program, in which case the analyzers fall back
+	// to their lexical checks only).
+	sums *summarizer
 }
 
 func collect(pass *analysis.Pass) *collection {
@@ -80,6 +84,7 @@ func collect(pass *analysis.Pass) *collection {
 		pass:        pass,
 		bodyLits:    make(map[*ast.FuncLit]*atomicBody),
 		handlerLits: make(map[*ast.FuncLit]string),
+		sums:        summariesFor(pass),
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -234,28 +239,9 @@ func usesObj(pass *analysis.Pass, expr ast.Node, obj types.Object) bool {
 }
 
 // baseObj returns the variable at the base of an lvalue chain
-// (x, x.f, x[i], *x, combinations thereof), or nil.
+// (x, x.f, x[i], *x, &x, combinations thereof), or nil.
 func baseObj(pass *analysis.Pass, expr ast.Expr) types.Object {
-	for {
-		switch e := ast.Unparen(expr).(type) {
-		case *ast.Ident:
-			if v, ok := pass.Info.Uses[e].(*types.Var); ok {
-				return v
-			}
-			if v, ok := pass.Info.Defs[e].(*types.Var); ok {
-				return v
-			}
-			return nil
-		case *ast.SelectorExpr:
-			expr = e.X
-		case *ast.IndexExpr:
-			expr = e.X
-		case *ast.StarExpr:
-			expr = e.X
-		default:
-			return nil
-		}
-	}
+	return baseObjInfo(pass.Info, expr)
 }
 
 // methodOn reports whether call is a method call named name on a value

@@ -14,16 +14,20 @@ func run(t *testing.T, rule string, a *analysis.Analyzer) {
 	analysistest.Run(t, filepath.Join("testdata", "src", rule), a)
 }
 
-func TestTxEscape(t *testing.T) { run(t, "txescape", tmlint.TxEscape) }
-func TestReexec(t *testing.T)   { run(t, "reexec", tmlint.Reexec) }
-func TestHandlers(t *testing.T) { run(t, "handlers", tmlint.Handlers) }
-func TestNesting(t *testing.T)  { run(t, "nesting", tmlint.Nesting) }
-func TestSyncInTx(t *testing.T) { run(t, "syncintx", tmlint.SyncInTx) }
+func TestTxEscape(t *testing.T)      { run(t, "txescape", tmlint.TxEscape) }
+func TestReexec(t *testing.T)        { run(t, "reexec", tmlint.Reexec) }
+func TestHandlers(t *testing.T)      { run(t, "handlers", tmlint.Handlers) }
+func TestNesting(t *testing.T)       { run(t, "nesting", tmlint.Nesting) }
+func TestSyncInTx(t *testing.T)      { run(t, "syncintx", tmlint.SyncInTx) }
+func TestTxFootprint(t *testing.T)   { run(t, "txfootprint", tmlint.TxFootprint) }
+func TestConflictPairs(t *testing.T) { run(t, "conflictpairs", tmlint.ConflictPairs) }
 
 // TestSuiteOrder pins the published analyzer set: cmd/tmlint and CI run
 // exactly these rules, and the allow-comment names must keep matching.
+// conflictpairs is deliberately absent: the workloads conflict by design,
+// so the may-conflict map is cmd/tmlint -conflicts output, not a lint.
 func TestSuiteOrder(t *testing.T) {
-	want := []string{"txescape", "reexec", "handlers", "nesting", "syncintx"}
+	want := []string{"txescape", "reexec", "handlers", "nesting", "syncintx", "txfootprint"}
 	got := tmlint.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

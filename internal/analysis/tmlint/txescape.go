@@ -27,12 +27,13 @@ func runTxEscape(pass *analysis.Pass) error {
 		if b.tx == nil {
 			continue
 		}
-		checkEscape(pass, b)
+		checkEscape(c, b)
 	}
 	return nil
 }
 
-func checkEscape(pass *analysis.Pass, b *atomicBody) {
+func checkEscape(c *collection, b *atomicBody) {
+	pass := c.pass
 	isTx := func(e ast.Expr) bool {
 		id, ok := ast.Unparen(e).(*ast.Ident)
 		return ok && pass.Info.Uses[id] == b.tx
@@ -127,6 +128,31 @@ func checkEscape(pass *analysis.Pass, b *atomicBody) {
 				pass.Reportf(n.Pos(),
 					"transaction handle %s captured by a goroutine; the goroutine races the attempt's commit/rollback",
 					b.tx.Name())
+			}
+		case *ast.CallExpr:
+			// Handing the handle to a helper is fine — unless the helper's
+			// interprocedural summary says it stores the handle somewhere
+			// that outlives the attempt. Reported here, at the call inside
+			// the atomic body, with the chain down to the storing function.
+			fn := calleeFunc(pass, n)
+			if fn == nil {
+				return true
+			}
+			sum := c.sums.userSummary(fn)
+			if sum == nil {
+				return true
+			}
+			for i, arg := range n.Args {
+				if !isTx(arg) {
+					continue
+				}
+				cf := sum.tx[i]
+				if cf == nil || !cf.escapes {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"transaction handle %s passed to %s, which stores it where it outlives the atomic body (path: %s); the handle dies with this attempt (tx.check() panics on later use)",
+					b.tx.Name(), shortFunc(fn), chainString(fn, cf.escChain))
 			}
 		}
 		return true

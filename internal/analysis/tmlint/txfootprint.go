@@ -1,0 +1,96 @@
+package tmlint
+
+import (
+	"tmisa/internal/analysis"
+)
+
+// Footprint caps the txfootprint analyzer checks against. They default
+// to the bounded hybrid engine's largest evaluated configuration (PR 6's
+// BENCH_hybrid: write cap 16 lines, read cap 4×): an atomic block whose
+// static bound exceeds them cannot commit in HTM at that capacity and
+// will serialize through the STM fallback. cmd/tmlint exposes them as
+// -max-write-lines / -max-read-lines; FootprintLineSize is the line
+// granularity the bound is counted in (cache.DefaultConfig().LineSize).
+var (
+	FootprintMaxWriteLines = 16
+	FootprintMaxReadLines  = 64
+	FootprintLineSize      = 64
+)
+
+// TxFootprint statically bounds each atomic block's speculative line
+// footprint. The bounded-capacity hybrid engine (Config.Cache.
+// BoundedSpec) aborts a transaction whose read- or write-set outgrows
+// MaxReadLines/MaxWriteLines and retries it in the STM fallback, so a
+// block whose static bound exceeds the cap is a predicted
+// capacity-abort: it will never commit in HTM and serializes (or pays
+// TL2 overheads) on every execution. Loops whose trip count is not a
+// compile-time constant make the bound ⊤ (unbounded) — the block's
+// footprint grows with data size, the classic fallback workload.
+// Blocks that overflow intentionally (the paper's large outer
+// speculation blocks) carry a //tmlint:allow txfootprint directive
+// citing the measured fallback behaviour.
+var TxFootprint = &analysis.Analyzer{
+	Name: "txfootprint",
+	Doc: "report atomic blocks whose static read/write line footprint exceeds the bounded " +
+		"HTM capacity (MaxReadLines/MaxWriteLines): predicted capacity abort and STM fallback serialization",
+	Run: runTxFootprint,
+}
+
+func runTxFootprint(pass *analysis.Pass) error {
+	sums := summariesFor(pass)
+	if sums == nil {
+		return nil // no Program: interprocedural analyzers need RunAll
+	}
+	c := collect(pass)
+	for _, b := range c.bodies {
+		// Only outermost blocks are gated: the capacity decision (and the
+		// fallback retry) happens at the outermost xbegin; a nested
+		// block's lines are part of its parent's footprint.
+		if b.parent != nil {
+			continue
+		}
+		f := sums.blockFactsFor(pass, b)
+		if f == nil {
+			continue
+		}
+		checkFootprint(pass, b, f)
+	}
+	return nil
+}
+
+func checkFootprint(pass *analysis.Pass, b *atomicBody, f *blockFacts) {
+	switch {
+	case f.writeB.top:
+		pass.Reportf(b.call.Pos(),
+			"atomic block's write footprint is statically unbounded (loop-variant addresses with no constant trip count); it cannot commit within MaxWriteLines=%d under the bounded hybrid engine — every execution at small caps takes the STM fallback (granules: %s)",
+			FootprintMaxWriteLines, granuleList(f.writes))
+	case f.writeB.n > FootprintMaxWriteLines:
+		pass.Reportf(b.call.Pos(),
+			"atomic block writes up to %d cache lines, exceeding MaxWriteLines=%d: predicted capacity abort and STM fallback serialization under the bounded hybrid engine (granules: %s)",
+			f.writeB.n, FootprintMaxWriteLines, granuleList(f.writes))
+	case f.readB.top:
+		pass.Reportf(b.call.Pos(),
+			"atomic block's read footprint is statically unbounded (loop-variant addresses with no constant trip count); it cannot commit within MaxReadLines=%d under the bounded hybrid engine (granules: %s)",
+			FootprintMaxReadLines, granuleList(f.reads))
+	case f.readB.n > FootprintMaxReadLines:
+		pass.Reportf(b.call.Pos(),
+			"atomic block reads up to %d cache lines, exceeding MaxReadLines=%d: predicted capacity abort and STM fallback serialization under the bounded hybrid engine (granules: %s)",
+			f.readB.n, FootprintMaxReadLines, granuleList(f.reads))
+	}
+}
+
+func granuleList(g granSet) string {
+	keys := g.sorted()
+	if len(keys) == 0 {
+		return "none"
+	}
+	const max = 6
+	if len(keys) > max {
+		keys = append(keys[:max:max], "…")
+	}
+	out := keys[0]
+	for _, k := range keys[1:] {
+		out += ", " + k
+	}
+	return out
+}

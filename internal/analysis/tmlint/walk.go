@@ -1,0 +1,699 @@
+package tmlint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tmisa/internal/analysis"
+)
+
+// summarize computes one function's summary given the (possibly partial,
+// inside a cyclic SCC) summaries of its callees. inComp marks same-SCC
+// callees: their line bounds are treated as ⊤, because a recursive call
+// repeats its footprint a statically unknown number of times.
+func (s *summarizer) summarize(node *analysis.FuncNode, inComp map[string]bool) *funcSummary {
+	fa := s.analysisFor(node)
+	sum := &funcSummary{sym: node.Symbol}
+
+	// Map this function's own *core.Tx parameters to their indices.
+	txIdx := make(map[types.Object]int)
+	for i, p := range fa.params {
+		if p != nil && isCoreTx(p.Type()) {
+			txIdx[p] = i
+		}
+	}
+
+	s.effectsWalk(fa, sum, txIdx, inComp)
+
+	gc := s.granuleWalk(fa, fa.body, inComp)
+	sum.reads, sum.writes = gc.reads, gc.writes
+	sum.readB, sum.writeB = gc.readBound(), gc.writeBound()
+
+	s.returnRoots(fa, sum)
+	return sum
+}
+
+func isCoreTx(t types.Type) bool {
+	t = types.Unalias(t)
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == corePkg && obj.Name() == "Tx"
+}
+
+// returnRoots resolves the function's own return statements (not those
+// of closures inside it) when the first result is mem.Addr-typed.
+func (s *summarizer) returnRoots(fa *funcAnalysis, sum *funcSummary) {
+	fa.ensureRoots()
+	ast.Inspect(fa.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // literal returns are the literal's, not ours
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 && addrishExpr(fa.info, n.Results[0]) {
+				sum.returns.addAll(fa.roots(n.Results[0]))
+			}
+		}
+		return true
+	})
+}
+
+// effectsWalk collects re-execution hazards, synchronization, Tx-param
+// facts, and transitive simulated-memory stores over the function body.
+// Atomic-body literals are skipped — their contents are analyzed at
+// their own construct site; handler literals are walked with the
+// inHandler flag, which downstream consumers use to decide relevance
+// (host effects are legal in handlers, synchronization is not).
+func (s *summarizer) effectsWalk(fa *funcAnalysis, sum *funcSummary, txIdx map[types.Object]int, inComp map[string]bool) {
+	fa.ensureRoots()
+	info := fa.info
+	handlerDepth := 0
+	var stack []ast.Node
+
+	txParamOf := func(e ast.Expr) (int, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		i, ok := txIdx[info.ObjectOf(id)]
+		return i, ok
+	}
+	inHandler := func() bool { return handlerDepth > 0 }
+
+	// classifyBase maps an lvalue's base to the hazard class its mutation
+	// implies for callers: a package-level variable, a parameter/receiver
+	// (index returned), or function-local (no hazard).
+	classifyBase := func(e ast.Expr) (kind effectKind, param int, detail string, ok bool) {
+		obj := baseObjInfo(info, e)
+		if obj == nil {
+			return 0, 0, "", false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return effGlobalRMW, 0, obj.Pkg().Name() + "." + obj.Name(), true
+		}
+		if obj == fa.recv {
+			return effParamRMW, recvParam, types.ExprString(e), true
+		}
+		for i, p := range fa.params {
+			if p != nil && p == obj {
+				return effParamRMW, i, types.ExprString(e), true
+			}
+		}
+		return 0, 0, "", false
+	}
+	reportRMW := func(e ast.Expr) {
+		if kind, param, detail, ok := classifyBase(e); ok {
+			sum.addEffect(effect{kind: kind, param: param, detail: detail, inHandler: inHandler(), chain: []string{"read-modify-write of " + detail}})
+		}
+	}
+
+	ast.Inspect(fa.body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if lit, ok := top.(*ast.FuncLit); ok && fa.litKind[lit] == litHandler {
+				handlerDepth--
+			}
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok {
+			switch fa.litKind[lit] {
+			case litAtomicBody:
+				return false // analyzed at its own construct site
+			case litHandler:
+				handlerDepth++
+			}
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			sum.addEffect(effect{kind: effGoroutine, detail: "goroutine", inHandler: inHandler(), chain: []string{"go statement"}})
+			for _, arg := range n.Call.Args {
+				if i, ok := txParamOf(arg); ok {
+					f := sum.txFactFor(i)
+					f.escapes = true
+					f.escChain = []string{"handed to a goroutine"}
+				}
+			}
+		case *ast.SendStmt:
+			sum.addEffect(effect{kind: effSync, detail: "channel send", inHandler: inHandler(), chain: []string{"channel send"}})
+			if i, ok := txParamOf(n.Value); ok {
+				f := sum.txFactFor(i)
+				f.escapes = true
+				f.escChain = []string{"sent on a channel"}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				sum.addEffect(effect{kind: effSync, detail: "channel receive", inHandler: inHandler(), chain: []string{"channel receive"}})
+			}
+		case *ast.SelectStmt:
+			sum.addEffect(effect{kind: effSync, detail: "select", inHandler: inHandler(), chain: []string{"select"}})
+		case *ast.RangeStmt:
+			if t := info.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					sum.addEffect(effect{kind: effSync, detail: "range over channel", inHandler: inHandler(), chain: []string{"range over channel"}})
+				}
+			}
+		case *ast.IncDecStmt:
+			reportRMW(n.X)
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.DEFINE:
+				// New locals are callee-local state; nothing to record.
+			case token.ASSIGN:
+				for i, lhs := range n.Lhs {
+					// Tx escape: the handle stored somewhere that outlives
+					// the call. Reassigning the parameter itself is local;
+					// anything reached through a selector/index chain whose
+					// base is a parameter, receiver, or global is not.
+					if i < len(n.Rhs) {
+						if ti, ok := txParamOf(n.Rhs[i]); ok && txLhsEscapes(fa, lhs) {
+							f := sum.txFactFor(ti)
+							f.escapes = true
+							f.escChain = []string{"stored in " + types.ExprString(lhs)}
+						}
+						if obj := baseObjInfo(info, lhs); obj != nil && usesObjInfo(info, n.Rhs[i], obj) {
+							reportRMW(lhs)
+						}
+					}
+				}
+			default: // op= forms
+				for _, lhs := range n.Lhs {
+					reportRMW(lhs)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if i, ok := txParamOf(v); ok {
+					f := sum.txFactFor(i)
+					f.escapes = true
+					f.escChain = []string{"stored in a composite literal"}
+				}
+			}
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(info, n)
+			if fn == nil {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						sum.addEffect(effect{kind: effSync, detail: "close(chan)", inHandler: inHandler(), chain: []string{"close(chan)"}})
+					}
+				}
+				return true
+			}
+			if fn.Pkg() == nil {
+				return true
+			}
+			pkg, name := fn.Pkg().Path(), fn.Name()
+			switch {
+			case forbiddenPkgs[pkg] || (forbiddenFuncs[pkg] != nil && forbiddenFuncs[pkg][name]):
+				sum.addEffect(effect{kind: effIO, detail: pkg + "." + name, inHandler: inHandler(), chain: []string{pkg + "." + name}})
+			case pkg == "sync":
+				sum.addEffect(effect{kind: effSync, detail: "sync." + name, inHandler: inHandler(), chain: []string{"sync." + name}})
+			case pkg == "sync/atomic":
+				sum.addEffect(effect{kind: effSync, detail: "sync/atomic." + name, inHandler: inHandler(), chain: []string{"sync/atomic." + name}})
+			}
+			if pkg == corePkg && (name == "Store" || name == "StoreF") {
+				sum.storesMem = true
+				sum.storesChain = []string{"Proc." + name}
+			}
+			// Tx-method facts on our own parameters.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && isMethodOf(fn, corePkg, "Tx") {
+				if i, ok := txParamOf(sel.X); ok {
+					f := sum.txFactFor(i)
+					switch {
+					case name == "Abort":
+						f.aborts = true
+						f.abChain = []string{"Tx.Abort"}
+					case isHandlerReg(name):
+						if !contains(f.registers, name) {
+							f.registers = append(f.registers, name)
+						}
+						f.regChain = []string{"Tx." + name}
+					}
+				}
+			}
+			// Module-internal callee: merge its summary. Machine/runtime
+			// callees are trusted — their host-level effects are the
+			// implementation of the architecture, not user hazards — so
+			// only user-side summaries propagate here. (Granule and line
+			// accounting in granuleWalk still folds machine callees.)
+			if s.prog.FuncOf(fn) == nil {
+				return true
+			}
+			csum := s.userSummary(fn)
+			if csum == nil {
+				return true
+			}
+			for _, e := range csum.effects {
+				merged := e
+				merged.inHandler = e.inHandler || inHandler()
+				merged.chain = extendChain(fn, e.chain)
+				if e.kind == effParamRMW {
+					// Translate the callee's param-relative mutation onto
+					// our own frame: through our param/receiver it stays a
+					// param hazard, through a global it becomes a global
+					// one, through one of our locals it is contained here.
+					arg := argForParam(n, e.param)
+					if arg == nil {
+						continue
+					}
+					kind, param, _, ok := classifyBase(arg)
+					if !ok {
+						continue
+					}
+					merged.kind = kind
+					merged.param = param
+				}
+				sum.addEffect(merged)
+			}
+			if csum.storesMem && !sum.storesMem {
+				sum.storesMem = true
+				sum.storesChain = extendChain(fn, csum.storesChain)
+			}
+			for i, arg := range n.Args {
+				ti, ok := txParamOf(arg)
+				if !ok {
+					continue
+				}
+				cf := csum.tx[i]
+				if cf == nil {
+					continue
+				}
+				f := sum.txFactFor(ti)
+				if cf.escapes && !f.escapes {
+					f.escapes = true
+					f.escChain = extendChain(fn, cf.escChain)
+				}
+				if cf.aborts && !f.aborts {
+					f.aborts = true
+					f.abChain = extendChain(fn, cf.abChain)
+				}
+				for _, reg := range cf.registers {
+					if !contains(f.registers, reg) {
+						f.registers = append(f.registers, reg)
+						f.regChain = extendChain(fn, cf.regChain)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// txLhsEscapes decides whether assigning a Tx handle to lhs lets it
+// outlive the call: true unless lhs is a plain local identifier.
+func txLhsEscapes(fa *funcAnalysis, lhs ast.Expr) bool {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := fa.info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level variable
+		}
+		return false // local (including parameter reassignment)
+	}
+	// Selector/index/star chain: escapes when the base is a parameter,
+	// receiver, or global; stays local when rooted in a function-local.
+	obj := baseObjInfo(fa.info, lhs)
+	if obj == nil {
+		return true
+	}
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return true
+	}
+	if obj == fa.recv {
+		return true
+	}
+	for _, p := range fa.params {
+		if p != nil && p == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func argForParam(call *ast.CallExpr, param int) ast.Expr {
+	if param == recvParam {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	if param >= 0 && param < len(call.Args) {
+		return call.Args[param]
+	}
+	return nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// baseObjInfo resolves the variable at the base of an lvalue (or
+// address-of) chain over a bare types.Info: summaries run outside any
+// Pass. &x unwraps to x so passing &local to a mutating callee resolves
+// to the local itself.
+func baseObjInfo(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Defs[e].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return nil
+			}
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func usesObjInfo(info *types.Info, expr ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// granuleCounter accumulates the granule sets and line-footprint bound
+// of one scope (a function body or one atomic-block literal).
+type granuleCounter struct {
+	reads, writes     granSet
+	readTop, writeTop bool
+	readG, writeG     map[lineKey]int // distinct line → max loop multiplier
+	readCalls         int             // synthetic line contributions from callees
+	writeCalls        int
+}
+
+type lineKey struct {
+	base string
+	line int64
+}
+
+func newGranuleCounter() *granuleCounter {
+	return &granuleCounter{readG: make(map[lineKey]int), writeG: make(map[lineKey]int)}
+}
+
+func (gc *granuleCounter) bound(groups map[lineKey]int, calls int, top bool) lineBound {
+	n := calls
+	for _, mult := range groups {
+		n += mult
+	}
+	return lineBound{n: n, top: top}
+}
+
+func (gc *granuleCounter) readBound() lineBound { return gc.bound(gc.readG, gc.readCalls, gc.readTop) }
+func (gc *granuleCounter) writeBound() lineBound {
+	return gc.bound(gc.writeG, gc.writeCalls, gc.writeTop)
+}
+
+// granuleWalk analyzes one scope's simulated-memory accesses: which
+// granule roots are read/written and how many distinct cache lines the
+// accesses can touch. Atomic-body literals inside the scope are skipped
+// (each block is measured at its own site; a closed-nested block's lines
+// do merge into its parent on commit, but the parent is then already
+// unbounded or counts them via its own accesses in every case this suite
+// measures). Handler literals are skipped too: handlers run at commit/
+// abort, outside the speculative footprint.
+func (s *summarizer) granuleWalk(fa *funcAnalysis, scope ast.Node, inComp map[string]bool) *granuleCounter {
+	fa.ensureRoots()
+	info := fa.info
+	gc := newGranuleCounter()
+	var stack []ast.Node
+	var loopStack []*loopInfo
+
+	// multiplier computes how many distinct address values expr can take
+	// across the active loops: 1 when invariant, the product of constant
+	// trip counts when variant, -1 (⊤) when a variant loop's trip count
+	// is unknown.
+	multiplier := func(exprs ...ast.Expr) int {
+		mult := 1
+		for _, li := range loopStack {
+			variant := false
+			for _, e := range exprs {
+				if e != nil && fa.variantIn(e, li) {
+					variant = true
+					break
+				}
+			}
+			if !variant {
+				continue
+			}
+			if li.trip == 0 {
+				return -1
+			}
+			mult *= li.trip
+			if mult > 1<<20 {
+				return -1
+			}
+		}
+		return mult
+	}
+
+	site := func(addr ast.Expr, write bool) {
+		roots := fa.roots(addr)
+		if roots.empty() {
+			roots.add(topGranule) // an address with no resolvable root
+		}
+		grans, top, groups := &gc.reads, &gc.readTop, gc.readG
+		if write {
+			grans, top, groups = &gc.writes, &gc.writeTop, gc.writeG
+		}
+		grans.addAll(roots)
+		base, off := splitAddr(info, addr)
+		mult := multiplier(addr)
+		if mult < 0 {
+			*top = true
+			return
+		}
+		key := lineKey{base: base, line: floorDiv(off, int64(s.lineSize))}
+		if groups[key] < mult {
+			groups[key] = mult
+		}
+	}
+
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if li := fa.loopInfo(top); li != nil {
+				loopStack = loopStack[:len(loopStack)-1]
+			}
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && n != scope {
+			if k := fa.litKind[lit]; k == litAtomicBody || k == litHandler {
+				return false
+			}
+		}
+		stack = append(stack, n)
+		if li := fa.loopInfo(n); li != nil {
+			loopStack = append(loopStack, li)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if isMethodOf(fn, corePkg, "Proc") && len(call.Args) >= 1 {
+			switch fn.Name() {
+			case "Load", "LoadF", "Imld":
+				site(call.Args[0], false)
+			case "Store", "StoreF", "Imst", "Imstid":
+				site(call.Args[0], true)
+			}
+			return true
+		}
+		// Module-internal callee: fold its granules and line bounds in,
+		// rewriting parameter-relative keys against our arguments.
+		if s.prog.FuncOf(fn) == nil {
+			return true
+		}
+		csum := s.summary(fn)
+		if csum == nil || inComp[fn.FullName()] {
+			// Missing (being computed) or recursive: if it touches memory
+			// at all, the repetition is unbounded.
+			if csum != nil && (!csum.reads.empty() || !csum.writes.empty()) {
+				gc.readTop, gc.writeTop = true, true
+				gc.reads.addAll(csum.reads)
+				gc.writes.addAll(csum.writes)
+			}
+			return true
+		}
+		if csum.reads.empty() && csum.writes.empty() {
+			return true
+		}
+		gc.reads.addAll(fa.substAll(csum.reads, call))
+		gc.writes.addAll(fa.substAll(csum.writes, call))
+		mult := multiplier(call.Args...)
+		switch {
+		case mult < 0 || csum.readB.top || csum.writeB.top:
+			if csum.readB.top || csum.readB.n > 0 {
+				gc.readTop = gc.readTop || mult < 0 || csum.readB.top
+			}
+			if csum.writeB.top || csum.writeB.n > 0 {
+				gc.writeTop = gc.writeTop || mult < 0 || csum.writeB.top
+			}
+			if mult >= 0 {
+				gc.readCalls += csum.readB.n * mult
+				gc.writeCalls += csum.writeB.n * mult
+			}
+		default:
+			gc.readCalls += csum.readB.n * mult
+			gc.writeCalls += csum.writeB.n * mult
+		}
+		return true
+	})
+	return gc
+}
+
+// substAll is subst for whole granule sets (call-site rewriting of a
+// callee's reads/writes).
+func (fa *funcAnalysis) substAll(g granSet, call *ast.CallExpr) granSet {
+	return fa.subst(g, call)
+}
+
+// splitAddr decomposes an address expression into a canonical base
+// string and a folded constant byte offset, so cell, cell+8, cell+16
+// land in the same per-line group.
+func splitAddr(info *types.Info, e ast.Expr) (string, int64) {
+	var parts []string
+	var off int64
+	var walk func(e ast.Expr, sign int64)
+	walk = func(e ast.Expr, sign int64) {
+		e = ast.Unparen(e)
+		if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if v, ok := constant.Int64Val(tv.Value); ok {
+				off += sign * v
+				return
+			}
+		}
+		if b, ok := e.(*ast.BinaryExpr); ok && (b.Op == token.ADD || b.Op == token.SUB) {
+			walk(b.X, sign)
+			if b.Op == token.ADD {
+				walk(b.Y, sign)
+			} else {
+				walk(b.Y, -sign)
+			}
+			return
+		}
+		if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				walk(call.Args[0], sign) // conversion: descend
+				return
+			}
+		}
+		parts = append(parts, types.ExprString(e))
+	}
+	walk(e, 1)
+	sort.Strings(parts)
+	return strings.Join(parts, "+"), off
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// blockFacts is the per-atomic-block result the txfootprint and
+// conflictpairs analyzers consume.
+type blockFacts struct {
+	reads, writes granSet
+	readB, writeB lineBound
+}
+
+// blockFactsFor measures one atomic block in the context of its
+// enclosing declaration (locals assigned outside the literal resolve
+// through the enclosing function's assignment graph).
+func (s *summarizer) blockFactsFor(pass *analysis.Pass, b *atomicBody) *blockFacts {
+	pkg := s.packageOf(pass)
+	if pkg == nil {
+		return nil
+	}
+	var fa *funcAnalysis
+	for _, f := range pkg.Files {
+		if f.Pos() <= b.lit.Pos() && b.lit.End() <= f.End() {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || b.lit.Pos() < fd.Pos() || fd.End() < b.lit.End() {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					if node := s.prog.Funcs[obj.FullName()]; node != nil {
+						fa = s.analysisFor(node)
+					}
+				}
+				if fa == nil {
+					fa = newFuncAnalysis(s, pkg, fd)
+				}
+				break
+			}
+		}
+	}
+	if fa == nil {
+		fa = newFuncAnalysis(s, pkg, b.lit)
+	}
+	gc := s.granuleWalk(fa, b.lit.Body, nil)
+	return &blockFacts{
+		reads:  gc.reads,
+		writes: gc.writes,
+		readB:  gc.readBound(),
+		writeB: gc.writeBound(),
+	}
+}
+
+// packageOf finds the Program package the pass is running over.
+func (s *summarizer) packageOf(pass *analysis.Pass) *analysis.Package {
+	for _, pkg := range s.prog.Pkgs {
+		if pkg.Info == pass.Info {
+			return pkg
+		}
+	}
+	return nil
+}

@@ -55,12 +55,15 @@ type Tree struct {
 // New allocates an empty tree (a single empty leaf) during setup.
 func New(m *core.Machine) *Tree {
 	t := &Tree{m: m, rootCell: m.AllocLine(), brkCell: m.AllocLine()}
+	m.LabelRegion("Tree.rootCell", t.rootCell, 8)
+	m.LabelRegion("Tree.brkCell", t.brkCell, 8)
 	root := t.allocNodeSetup()
 	m.Mem().Store(root+metaOff*8, leafBit) // empty leaf
 	m.Mem().Store(t.rootCell, uint64(root))
 	// Reserve a generous node arena: the bump allocator only reserves
 	// address space; sparse pages materialize on first touch.
 	arena := m.AllocAligned(t.nodeStride()*(1<<20), m.Config().Cache.LineSize)
+	m.LabelRegion("Tree.arena", arena, t.nodeStride()*(1<<20))
 	m.Mem().Store(t.brkCell, uint64(arena))
 	return t
 }

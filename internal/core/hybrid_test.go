@@ -266,6 +266,7 @@ func TestHybridDeterminism(t *testing.T) {
 			for i := range bodies {
 				bodies[i] = func(p *Proc) {
 					for r := 0; r < 10; r++ {
+						//tmlint:allow txfootprint -- exercises capacity overflow and the STM fallback on purpose
 						p.Atomic(func(tx *Tx) {
 							n := 2 + (p.ID()+r)%5 // some attempts exceed capacity
 							for j := 0; j < n; j++ {
@@ -302,6 +303,7 @@ func TestHybridCacheUntouchedByFallback(t *testing.T) {
 	stride := cfg.Cache.LineSize
 	base := m.Alloc(64 * 8)
 	m.Run(func(p *Proc) {
+		//tmlint:allow txfootprint -- deliberately far beyond the HTM bound; only the STM path can commit it
 		p.Atomic(func(tx *Tx) {
 			// Far beyond the HTM bound; only the unbounded STM path can
 			// commit this.

@@ -43,6 +43,9 @@ type Machine struct {
 	report stats.Report
 	ran    bool
 
+	// regions are the labeled allocations (see LabelRegion).
+	regions []mem.Region
+
 	tracer func(trace.Event)
 	oracle *oracle.Checker
 }
@@ -83,6 +86,13 @@ func NewMachine(cfg Config) *Machine {
 	for i := 0; i < cfg.CPUs; i++ {
 		m.procs = append(m.procs, newProc(m, i))
 	}
+	if cfg.Fallback != NoFallback {
+		// The serial-fallback lock is runtime-internal state: label it so
+		// conflict attribution can tell lock-word traffic (below the
+		// abstraction boundary, like machine code in the static view) from
+		// conflicts on user data.
+		m.LabelRegion("runtime.fallbackLock", fbLockAddr, mem.WordSize)
+	}
 	return m
 }
 
@@ -106,6 +116,25 @@ func (m *Machine) AllocAligned(nbytes, align int) mem.Addr { return m.mem.Alloc(
 // for shared words that must not false-share.
 func (m *Machine) AllocLine() mem.Addr {
 	return m.mem.Alloc(m.cfg.Cache.LineSize, m.cfg.Cache.LineSize)
+}
+
+// LabelRegion records that [base, base+nbytes) holds the named
+// program-level structure. Setup code labels its allocations so tools
+// (the tmprof/tmlint differential) can map runtime conflict addresses
+// back to the granule names static analysis reports. Labels round up to
+// whole cache lines — conflicts are detected per line, so a line partly
+// covered by a structure is attributed to it.
+func (m *Machine) LabelRegion(name string, base mem.Addr, nbytes int) {
+	ls := m.cfg.Cache.LineSize
+	lo := mem.LineAddr(base, ls)
+	end := int(base-lo) + nbytes
+	end = (end + ls - 1) / ls * ls
+	m.regions = append(m.regions, mem.Region{Name: name, Base: lo, Size: end})
+}
+
+// Regions returns the labeled allocations in label order.
+func (m *Machine) Regions() []mem.Region {
+	return append([]mem.Region(nil), m.regions...)
 }
 
 // Proc returns CPU i's processor handle.

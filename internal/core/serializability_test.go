@@ -96,6 +96,7 @@ func runSerializabilityCfg(t *testing.T, cfg Config, cpus, txnsPer, cells int) {
 		bodies[c] = func(p *Proc) {
 			for _, txn := range allTxns[c] {
 				txn := txn
+				//tmlint:allow txfootprint -- randomized stress transactions; capacity fallback is part of the tested space
 				p.Atomic(func(tx *Tx) {
 					vals := make([]uint64, 0, len(txn.reads))
 					for _, cell := range txn.reads {
@@ -217,6 +218,7 @@ func TestSerializabilityWithNesting(t *testing.T) {
 		bodies[c] = func(p *Proc) {
 			for _, txn := range allTxns[c] {
 				txn := txn
+				//tmlint:allow txfootprint -- randomized stress transactions; capacity fallback is part of the tested space
 				p.Atomic(func(tx *Tx) {
 					vals := make([]uint64, 0, len(txn.reads))
 					for _, cell := range txn.reads {

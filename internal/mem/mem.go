@@ -35,6 +35,33 @@ func IsWordAligned(a Addr) bool { return a&(WordSize-1) == 0 }
 // given line size (which must be a power of two).
 func LineAddr(a Addr, lineSize int) Addr { return a &^ Addr(lineSize-1) }
 
+// Region is a labeled span of simulated memory: workload setup code
+// names its allocations ("Barnes.bodies", "Tree.rootCell") so runtime
+// conflict addresses can be resolved back to the program-level granule
+// the static analysis predicts conflicts on. Labels are metadata only —
+// the memory system never consults them.
+type Region struct {
+	Name string `json:"name"`
+	Base Addr   `json:"base"`
+	Size int    `json:"size"`
+}
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool {
+	return a >= r.Base && a < r.Base+Addr(r.Size)
+}
+
+// RegionName resolves a to the name of the first region containing it,
+// or "" when no labeled region does.
+func RegionName(regions []Region, a Addr) string {
+	for _, r := range regions {
+		if r.Contains(a) {
+			return r.Name
+		}
+	}
+	return ""
+}
+
 // page is one fixed-size chunk of backing store.
 type page struct {
 	words [pageWords]uint64

@@ -101,18 +101,17 @@ type wl struct {
 	mk   func() workloads.Workload
 }
 
-// scientificSuite is the Figure 5 workload suite in the paper's order.
-var scientificSuite = []wl{
-	{"barnes", func() workloads.Workload { return workloads.DefaultBarnes() }},
-	{"fmm", func() workloads.Workload { return workloads.DefaultFMM() }},
-	{"moldyn", func() workloads.Workload { return workloads.DefaultMoldyn() }},
-	{"mp3d", func() workloads.Workload { return workloads.DefaultMP3D() }},
-	{"swim", func() workloads.Workload { return workloads.DefaultSwim() }},
-	{"tomcatv", func() workloads.Workload { return workloads.DefaultTomcatv() }},
-	{"water", func() workloads.Workload { return workloads.DefaultWater() }},
-	{"SPECjbb2000-closed", func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBClosed) }},
-	{"SPECjbb2000-open", func() workloads.Workload { return workloads.DefaultJBB(workloads.JBBOpen) }},
-}
+// scientificSuite is the Figure 5 workload suite in the paper's order,
+// derived from the canonical workloads.Suite so the experiment grid and
+// the differential checker agree on the matrix.
+var scientificSuite = func() []wl {
+	entries := workloads.Suite()
+	out := make([]wl, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, wl{e.Name, e.New})
+	}
+	return out
+}()
 
 // overheads reproduces the Section 7 instruction-count constants by
 // measuring them on the live machine.

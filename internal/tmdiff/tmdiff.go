@@ -1,0 +1,303 @@
+// Package tmdiff cross-validates the static conflict map produced by
+// tmlint's conflictpairs analyzer against tmprof's runtime conflict
+// attribution. It runs the full workload suite under each engine, maps
+// every granule the profiler attributes a data conflict to back to its
+// labeled memory region (core.Machine.LabelRegion), and checks the
+// soundness obligation: every runtime conflict granule must appear in
+// the static may-conflict prediction (directly by name, or covered by
+// the ⊤ element for accesses the analysis could not resolve). Precision
+// — how many predicted granules ever conflict in practice — is measured
+// and reported but not gated: a may-analysis is allowed to over-predict,
+// never to under-predict.
+package tmdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"tmisa/internal/analysis/tmlint"
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+	"tmisa/internal/tmprof"
+	"tmisa/internal/workloads"
+)
+
+// dataConflictCauses are the tmprof violation causes that denote a true
+// data conflict between concurrent accesses — as opposed to
+// "fallback:*" causes, which record capacity/contention fallback
+// transitions, not conflicting granule traffic.
+var dataConflictCauses = map[string]bool{
+	"lazy-commit": true,
+	"eager-load":  true,
+	"eager-store": true,
+	"nt-load":     true,
+	"nt-store":    true,
+}
+
+// runtimePrefix marks region labels owned by the machine/runtime itself
+// (the hybrid engine's fallback lock). Conflicts there are the
+// implementation of the architecture, mirroring the machine-package
+// trust boundary on the static side, and are exempt from the soundness
+// obligation.
+const runtimePrefix = "runtime."
+
+// Observation is one runtime conflict granule from one run of the
+// matrix, resolved to its labeled region.
+type Observation struct {
+	Workload   string   `json:"workload"`
+	Engine     string   `json:"engine"`
+	Granule    string   `json:"granule"` // region label; "" when unlabeled
+	Addr       mem.Addr `json:"addr"`
+	Violations uint64   `json:"violations"`
+	Causes     []string `json:"causes"`
+}
+
+func (o Observation) String() string {
+	name := o.Granule
+	if name == "" {
+		name = fmt.Sprintf("<unlabeled %#x>", uint64(o.Addr))
+	}
+	return fmt.Sprintf("%s/%s: %s (%d violations: %s)",
+		o.Workload, o.Engine, name, o.Violations, strings.Join(o.Causes, ","))
+}
+
+// Result is the differential verdict.
+type Result struct {
+	// Predicted is the static may-conflict granule set (names only).
+	Predicted []string `json:"predicted"`
+	// PredictedTop records whether ⊤ appears in any static pair.
+	PredictedTop bool `json:"predictedTop"`
+	// Observed is every distinct labeled granule with a runtime data
+	// conflict anywhere in the matrix.
+	Observed []string `json:"observed"`
+	// Missing are runtime conflicts the static map does not cover — any
+	// entry here is a soundness violation.
+	Missing []Observation `json:"missing,omitempty"`
+	// Unobserved are predicted granules that never conflicted at
+	// runtime: the imprecision of the may-analysis.
+	Unobserved []string `json:"unobserved,omitempty"`
+	// Precision is |Predicted ∩ Observed| / |Predicted|.
+	Precision float64 `json:"precision"`
+	// Runs is the number of machine runs in the matrix.
+	Runs int `json:"runs"`
+}
+
+// Sound reports whether every runtime conflict was statically predicted.
+func (r *Result) Sound() bool { return len(r.Missing) == 0 }
+
+// Config shapes the dynamic matrix.
+type Config struct {
+	// CPUs per run; 0 means the core default (8).
+	CPUs int
+	// Quick restricts the matrix to the lazy engine (CI smoke vs the
+	// full lazy/eager/hybrid sweep).
+	Quick bool
+	// Logf, when set, receives one line per run for progress reporting.
+	Logf func(format string, args ...any)
+}
+
+// engineArm is one column of the dynamic matrix.
+type engineArm struct {
+	name string
+	cfg  func() core.Config
+}
+
+// arms returns the engine columns. The hybrid arm reproduces the
+// bounded-capacity configuration of the hybrid experiment (cap 16 write
+// lines, TL2 fallback), so the workloads that fall back on capacity
+// there exercise their STM paths here too.
+func arms(quick bool) []engineArm {
+	lazy := func() core.Config { return core.DefaultConfig() }
+	if quick {
+		return []engineArm{{"lazy", lazy}}
+	}
+	eager := func() core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Engine = core.Eager
+		return cfg
+	}
+	hybrid := func() core.Config {
+		cfg := core.DefaultConfig()
+		cfg.Fallback = core.TL2Fallback
+		cfg.HTMRetryBudget = 4
+		cfg.Cache.BoundedSpec = true
+		cfg.Cache.MaxWriteLines = 16
+		cfg.Cache.MaxReadLines = 64
+		return cfg
+	}
+	return []engineArm{{"lazy", lazy}, {"eager", eager}, {"hybrid-cap16-tl2", hybrid}}
+}
+
+// LoadStaticMap reads a -conflicts JSON file written by cmd/tmlint.
+func LoadStaticMap(path string) (*tmlint.ConflictMap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cm tmlint.ConflictMap
+	if err := json.Unmarshal(data, &cm); err != nil {
+		return nil, fmt.Errorf("tmdiff: parsing %s: %w", path, err)
+	}
+	if cm.Schema != 1 {
+		return nil, fmt.Errorf("tmdiff: %s: unsupported conflict-map schema %d", path, cm.Schema)
+	}
+	if len(cm.Blocks) == 0 {
+		return nil, fmt.Errorf("tmdiff: %s: empty conflict map (wrong lint scope?)", path)
+	}
+	return &cm, nil
+}
+
+// Run executes the dynamic matrix and checks it against the static map.
+func Run(cm *tmlint.ConflictMap, cfg Config) (*Result, error) {
+	predicted, top := cm.PredictedGranules()
+	res := &Result{PredictedTop: top}
+	for g := range predicted {
+		res.Predicted = append(res.Predicted, g)
+	}
+	sort.Strings(res.Predicted)
+
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// known are the granule names the static analysis resolved anywhere
+	// (pairs or not): for these, ⊤ is no excuse — a named granule the
+	// analysis saw but failed to pair is a genuine soundness miss.
+	known := make(map[string]bool, len(cm.Granules))
+	for g := range cm.Granules {
+		known[g] = true
+	}
+	observed := make(map[string]bool)
+	for _, e := range workloads.Suite() {
+		for _, arm := range arms(cfg.Quick) {
+			obs, err := runOne(e, arm, cfg.CPUs)
+			if err != nil {
+				return nil, err
+			}
+			res.Runs++
+			conflicts := 0
+			for _, o := range obs {
+				conflicts++
+				if o.Granule != "" {
+					observed[o.Granule] = true
+				}
+				if covered(o, predicted, known, top) {
+					continue
+				}
+				res.Missing = append(res.Missing, o)
+			}
+			logf("tmdiff: %s/%s: %d conflict granule(s)", e.Name, arm.name, conflicts)
+		}
+	}
+
+	for g := range observed {
+		res.Observed = append(res.Observed, g)
+	}
+	sort.Strings(res.Observed)
+	hits := 0
+	for _, g := range res.Predicted {
+		if observed[g] {
+			hits++
+		} else {
+			res.Unobserved = append(res.Unobserved, g)
+		}
+	}
+	if len(res.Predicted) > 0 {
+		res.Precision = float64(hits) / float64(len(res.Predicted))
+	}
+	return res, nil
+}
+
+// covered applies the soundness rule to one observation. Runtime-
+// internal granules are exempt (the machine-trust boundary, mirrored
+// from the static side). A granule whose label the static analysis
+// resolved must be predicted by name — falling back to ⊤ there would
+// let the analysis silently drop known granules from pairs. Only
+// unlabeled addresses and labels the analysis never resolved (the
+// B-tree node arena, reached through loaded pointers) may lean on ⊤.
+func covered(o Observation, predicted, known map[string]bool, top bool) bool {
+	if strings.HasPrefix(o.Granule, runtimePrefix) {
+		return true
+	}
+	if o.Granule != "" && known[o.Granule] {
+		return predicted[o.Granule]
+	}
+	return top
+}
+
+// runOne executes one {workload, engine} cell and returns its runtime
+// conflict observations.
+func runOne(e workloads.SuiteEntry, arm engineArm, cpus int) (obs []Observation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("tmdiff: %s/%s: %v", e.Name, arm.name, r)
+		}
+	}()
+	cfg := arm.cfg()
+	if cpus <= 0 {
+		cpus = cfg.CPUs
+	}
+	col := tmprof.NewCollector(tmprof.Options{LineSize: cfg.Cache.LineSize})
+	var mach *core.Machine
+	workloads.ExecuteTraced(e.New(), cfg, cpus, func(m *core.Machine) {
+		mach = m
+		m.SetTracer(col.StartRun(e.Name + "/" + arm.name))
+	})
+	regions := mach.Regions()
+	prof := col.Profile()
+	for label, granules := range prof.GranuleMap(regions) {
+		for _, g := range granules {
+			causes := dataCauses(g)
+			if len(causes) == 0 {
+				continue // fallback-only or cause-free granule: no data conflict
+			}
+			obs = append(obs, Observation{
+				Workload:   e.Name,
+				Engine:     arm.name,
+				Granule:    label,
+				Addr:       g.Addr,
+				Violations: g.Violations,
+				Causes:     causes,
+			})
+		}
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].Addr < obs[j].Addr })
+	return obs, nil
+}
+
+// dataCauses returns the granule's data-conflict causes, sorted.
+func dataCauses(g *tmprof.Granule) []string {
+	var out []string
+	for c := range g.Causes {
+		if dataConflictCauses[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report renders the verdict for humans (the CI job's log).
+func (r *Result) Report(w *strings.Builder) {
+	fmt.Fprintf(w, "tmdiff: %d runs; %d predicted granule(s)", r.Runs, len(r.Predicted))
+	if r.PredictedTop {
+		w.WriteString(" (+⊤)")
+	}
+	fmt.Fprintf(w, "; %d observed conflicting at runtime\n", len(r.Observed))
+	if r.Sound() {
+		w.WriteString("soundness: PASS — every runtime conflict granule is statically predicted\n")
+	} else {
+		fmt.Fprintf(w, "soundness: FAIL — %d runtime conflict(s) not statically predicted:\n", len(r.Missing))
+		for _, o := range r.Missing {
+			fmt.Fprintf(w, "  MISSING %s\n", o)
+		}
+	}
+	fmt.Fprintf(w, "precision: %.2f (%d/%d predicted granules observed)\n",
+		r.Precision, len(r.Predicted)-len(r.Unobserved), len(r.Predicted))
+	if len(r.Unobserved) > 0 {
+		fmt.Fprintf(w, "predicted but never observed: %s\n", strings.Join(r.Unobserved, ", "))
+	}
+}

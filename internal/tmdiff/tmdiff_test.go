@@ -1,0 +1,124 @@
+package tmdiff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmisa/internal/analysis"
+	"tmisa/internal/analysis/tmlint"
+)
+
+// buildMap runs the conflictpairs analysis in-process over the packages
+// the differential is defined on (the workload suite plus the B-tree it
+// links against — linting the workloads alone would leave btree bodies
+// out of the call graph and silently weaken the map).
+func buildMap(t *testing.T) *tmlint.ConflictMap {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ld.LoadPatterns("./internal/workloads", "./internal/btree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := tmlint.BuildConflictMap(analysis.NewProgram(pkgs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// TestDifferentialSuite is the end-to-end check CI gates on: the static
+// may-conflict map must cover every granule the profiler attributes a
+// runtime data conflict to, across the full workload × engine matrix.
+func TestDifferentialSuite(t *testing.T) {
+	cm := buildMap(t)
+	res, err := Run(cm, Config{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 9 * 3; res.Runs != want {
+		t.Errorf("Runs = %d, want %d (9 workloads × 3 engines)", res.Runs, want)
+	}
+	if !res.Sound() {
+		for _, o := range res.Missing {
+			t.Errorf("soundness violation: %s", o)
+		}
+	}
+	if len(res.Observed) == 0 {
+		t.Fatal("no runtime conflicts observed anywhere in the matrix; the tracer or attribution is broken")
+	}
+	// High-contention granules that must show up in any healthy run: the
+	// JBB order counter is incremented by every CPU, and mp3d's cell
+	// updates are the paper's canonical conflict workload.
+	for _, want := range []string{"JBB.counter", "MP3D.cells"} {
+		found := false
+		for _, g := range res.Observed {
+			if g == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected %s among observed conflict granules; got %v", want, res.Observed)
+		}
+	}
+	if res.Precision <= 0 || res.Precision > 1 {
+		t.Errorf("precision = %v, want (0, 1]", res.Precision)
+	}
+}
+
+func TestCoveredRules(t *testing.T) {
+	predicted := map[string]bool{"JBB.counter": true}
+	known := map[string]bool{"JBB.counter": true, "Swim.gridA": true}
+	cases := []struct {
+		name    string
+		granule string
+		top     bool
+		want    bool
+	}{
+		{"predicted by name", "JBB.counter", false, true},
+		{"known but unpaired, top is no excuse", "Swim.gridA", true, false},
+		{"unknown label needs top", "Tree.arena", true, true},
+		{"unknown label without top", "Tree.arena", false, false},
+		{"unlabeled needs top", "", true, true},
+		{"unlabeled without top", "", false, false},
+		{"runtime-internal always exempt", "runtime.fallbackLock", false, true},
+	}
+	for _, c := range cases {
+		o := Observation{Granule: c.granule}
+		if got := covered(o, predicted, known, c.top); got != c.want {
+			t.Errorf("%s: covered = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLoadStaticMapRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := LoadStaticMap(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	if _, err := LoadStaticMap(write("garbage.json", "{nope")); err == nil {
+		t.Error("malformed JSON: want error")
+	}
+	if _, err := LoadStaticMap(write("schema.json", `{"schema":2,"blocks":[{}]}`)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema: got %v, want schema error", err)
+	}
+	if _, err := LoadStaticMap(write("empty.json", `{"schema":1,"blocks":[]}`)); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty map: got %v, want empty-map error", err)
+	}
+}

@@ -114,6 +114,20 @@ type Profile struct {
 	Notes []string `json:"notes,omitempty"`
 }
 
+// GranuleMap groups the profile's granules by the labeled memory region
+// containing them (see core.Machine.LabelRegion); granules falling
+// outside every labeled region collect under the empty-string key. The
+// tmlint/tmprof differential uses this to compare runtime conflict
+// attribution against the static conflict map's granule names.
+func (p *Profile) GranuleMap(regions []mem.Region) map[string][]*Granule {
+	out := make(map[string][]*Granule)
+	for _, g := range p.Granules {
+		name := mem.RegionName(regions, g.Addr)
+		out[name] = append(out[name], g)
+	}
+	return out
+}
+
 // spanKey identifies one open transaction level on one CPU.
 type spanKey struct {
 	cpu, level int

@@ -40,6 +40,9 @@ func (w *Barnes) Setup(m *core.Machine, cpus int) {
 	w.bodies = m.AllocAligned(w.Bodies*4*mem.WordSize, w.lineSize)
 	w.tree = m.AllocAligned(w.TreeSize*mem.WordSize, w.lineSize)
 	w.moments = m.AllocAligned(w.Regions*w.lineSize, w.lineSize)
+	m.LabelRegion("Barnes.bodies", w.bodies, w.Bodies*4*mem.WordSize)
+	m.LabelRegion("Barnes.tree", w.tree, w.TreeSize*mem.WordSize)
+	m.LabelRegion("Barnes.moments", w.moments, w.Regions*w.lineSize)
 	raw := m.Mem()
 	for i := 0; i < w.Bodies; i++ {
 		base := w.bodies + mem.Addr(i*4*mem.WordSize)

@@ -68,6 +68,8 @@ func (w *CondSyncBench) Setup(m *core.Machine, cpus int) {
 	for i := 0; i < w.Pairs; i++ {
 		w.flags = append(w.flags, m.AllocLine())
 		w.vals = append(w.vals, m.AllocLine())
+		m.LabelRegion("CondSyncBench.flags", w.flags[i], 8)
+		m.LabelRegion("CondSyncBench.vals", w.vals[i], 8)
 	}
 	if w.Polling {
 		return

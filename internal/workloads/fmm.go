@@ -38,6 +38,9 @@ func (w *FMM) Setup(m *core.Machine, cpus int) {
 	w.src = m.AllocAligned(w.Cells*mem.WordSize, w.lineSize)
 	w.dst = m.AllocAligned(w.Cells*mem.WordSize, w.lineSize)
 	w.quadrants = m.AllocAligned(w.Quadrants*w.lineSize, w.lineSize)
+	m.LabelRegion("FMM.src", w.src, w.Cells*mem.WordSize)
+	m.LabelRegion("FMM.dst", w.dst, w.Cells*mem.WordSize)
+	m.LabelRegion("FMM.quadrants", w.quadrants, w.Quadrants*w.lineSize)
 	raw := m.Mem()
 	for i := 0; i < w.Cells; i++ {
 		raw.Store(w.src+mem.Addr(i*mem.WordSize), uint64(i)*13+5)

@@ -178,7 +178,9 @@ type barrier struct {
 }
 
 func newBarrier(m *core.Machine, n int) *barrier {
-	return &barrier{cell: m.AllocLine(), n: n}
+	b := &barrier{cell: m.AllocLine(), n: n}
+	m.LabelRegion("barrier.cell", b.cell, 8)
+	return b
 }
 
 // wait blocks CPU p until all n CPUs have arrived at the given phase

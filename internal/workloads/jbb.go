@@ -91,6 +91,8 @@ func (w *JBB) Setup(m *core.Machine, cpus int) {
 	w.orders = btree.New(m)
 	w.counter = m.AllocLine()
 	w.districts = m.AllocAligned(w.Districts*w.lineSize, w.lineSize)
+	m.LabelRegion("JBB.counter", w.counter, w.lineSize)
+	m.LabelRegion("JBB.districts", w.districts, w.Districts*w.lineSize)
 
 	// Populate the tables through the untimed setup processor so the tree
 	// code itself lays out the initial image.
@@ -168,6 +170,7 @@ func (w *JBB) Run(p *core.Proc, cpus int) {
 	lo, hi := chunk(w.TotalOps, cpus, p.ID())
 	for op := lo; op < hi; op++ {
 		kind, customer, district, amount, items, think := w.opParams(op)
+		//tmlint:allow txfootprint -- order transactions span B-tree splits; BENCH_hybrid shows the cap-16 capacity fallback is intended
 		p.Atomic(func(tx *core.Tx) {
 			switch kind {
 			case opNewOrder:

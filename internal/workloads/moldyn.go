@@ -39,6 +39,10 @@ func (w *Moldyn) Setup(m *core.Machine, cpus int) {
 	w.virial = m.AllocLine()
 	w.ekin = m.AllocLine()
 	w.hist = m.AllocAligned(w.Bins*w.lineSize, w.lineSize)
+	m.LabelRegion("Moldyn.parts", w.parts, w.Particles*4*mem.WordSize)
+	m.LabelRegion("Moldyn.virial", w.virial, w.lineSize)
+	m.LabelRegion("Moldyn.ekin", w.ekin, w.lineSize)
+	m.LabelRegion("Moldyn.hist", w.hist, w.Bins*w.lineSize)
 	raw := m.Mem()
 	for i := 0; i < w.Particles; i++ {
 		base := w.parts + mem.Addr(i*4*mem.WordSize)

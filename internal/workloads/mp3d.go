@@ -58,6 +58,8 @@ func (w *MP3D) Setup(m *core.Machine, cpus int) {
 	w.lineSize = m.Config().Cache.LineSize
 	w.particles = m.AllocAligned(w.Particles*4*mem.WordSize, w.lineSize)
 	w.cells = m.AllocAligned(w.Cells*w.lineSize, w.lineSize)
+	m.LabelRegion("MP3D.particles", w.particles, w.Particles*4*mem.WordSize)
+	m.LabelRegion("MP3D.cells", w.cells, w.Cells*w.lineSize)
 	raw := m.Mem()
 	for i := 0; i < w.Particles; i++ {
 		base := w.particles + mem.Addr(i*4*mem.WordSize)

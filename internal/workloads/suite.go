@@ -1,0 +1,29 @@
+package workloads
+
+// SuiteEntry pairs a canonical workload name with a constructor that
+// builds a fresh instance at the evaluation's default size. Every
+// consumer constructs its own instance, so concurrent runs share no
+// workload state.
+type SuiteEntry struct {
+	Name string
+	New  func() Workload
+}
+
+// Suite returns the paper's Figure 5 workload matrix in presentation
+// order. The runner's experiment grid and the tmlint/tmprof differential
+// checker both iterate this list, so the set of workloads the static
+// conflict map is validated against is exactly the set the performance
+// experiments run.
+func Suite() []SuiteEntry {
+	return []SuiteEntry{
+		{"barnes", func() Workload { return DefaultBarnes() }},
+		{"fmm", func() Workload { return DefaultFMM() }},
+		{"moldyn", func() Workload { return DefaultMoldyn() }},
+		{"mp3d", func() Workload { return DefaultMP3D() }},
+		{"swim", func() Workload { return DefaultSwim() }},
+		{"tomcatv", func() Workload { return DefaultTomcatv() }},
+		{"water", func() Workload { return DefaultWater() }},
+		{"SPECjbb2000-closed", func() Workload { return DefaultJBB(JBBClosed) }},
+		{"SPECjbb2000-open", func() Workload { return DefaultJBB(JBBOpen) }},
+	}
+}

@@ -46,6 +46,11 @@ func (w *Swim) Setup(m *core.Machine, cpus int) {
 	w.redU = m.AllocLine()
 	w.redV = m.AllocLine()
 	w.redCnt = m.AllocLine()
+	m.LabelRegion("Swim.gridA", w.gridA, w.N*w.N*mem.WordSize)
+	m.LabelRegion("Swim.gridB", w.gridB, w.N*w.N*mem.WordSize)
+	m.LabelRegion("Swim.redU", w.redU, w.lineSize)
+	m.LabelRegion("Swim.redV", w.redV, w.lineSize)
+	m.LabelRegion("Swim.redCnt", w.redCnt, w.lineSize)
 	raw := m.Mem()
 	for i := 0; i < w.N*w.N; i++ {
 		raw.Store(w.gridA+mem.Addr(i*mem.WordSize), mem.F2B(float64(i%17)*0.25))
@@ -67,6 +72,7 @@ func (w *Swim) Run(p *core.Proc, cpus int) {
 	for step := 0; step < w.Steps; step++ {
 		lo, hi := chunk(w.N-2, cpus, p.ID())
 		lo, hi = lo+1, hi+1 // interior rows only
+		//tmlint:allow txfootprint -- band-sized stencil transaction; BENCH_hybrid measures its capacity fallback on purpose
 		p.Atomic(func(outer *core.Tx) {
 			localU, localV, cells := 0.0, 0.0, uint64(0)
 			for r := lo; r < hi; r++ {

@@ -48,6 +48,12 @@ func (w *Tomcatv) Setup(m *core.Machine, cpus int) {
 	w.yB = m.AllocAligned(n, ls)
 	w.resSum = m.AllocLine()
 	w.resMax = m.AllocLine()
+	m.LabelRegion("Tomcatv.xA", w.xA, n)
+	m.LabelRegion("Tomcatv.xB", w.xB, n)
+	m.LabelRegion("Tomcatv.yA", w.yA, n)
+	m.LabelRegion("Tomcatv.yB", w.yB, n)
+	m.LabelRegion("Tomcatv.resSum", w.resSum, ls)
+	m.LabelRegion("Tomcatv.resMax", w.resMax, ls)
 	raw := m.Mem()
 	for i := 0; i < w.N*w.N; i++ {
 		raw.Store(w.xA+mem.Addr(i*mem.WordSize), mem.F2B(float64(i%13)*0.5))
@@ -71,6 +77,7 @@ func (w *Tomcatv) Run(p *core.Proc, cpus int) {
 	for step := 0; step < w.Steps; step++ {
 		lo, hi := chunk(w.N-2, cpus, p.ID())
 		lo, hi = lo+1, hi+1
+		//tmlint:allow txfootprint -- band-sized stencil transaction; BENCH_hybrid measures its capacity fallback on purpose
 		p.Atomic(func(outer *core.Tx) {
 			localSum := uint64(0)
 			localMax := uint64(0)

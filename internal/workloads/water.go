@@ -35,6 +35,9 @@ func (w *Water) Setup(m *core.Machine, cpus int) {
 	w.mols = m.AllocAligned(w.Molecules*4*mem.WordSize, ls)
 	w.potA = m.AllocLine()
 	w.potR = m.AllocLine()
+	m.LabelRegion("Water.mols", w.mols, w.Molecules*4*mem.WordSize)
+	m.LabelRegion("Water.potA", w.potA, ls)
+	m.LabelRegion("Water.potR", w.potR, ls)
 	raw := m.Mem()
 	for i := 0; i < w.Molecules; i++ {
 		base := w.mols + mem.Addr(i*4*mem.WordSize)
