@@ -1,0 +1,155 @@
+// Command litmus exhaustively checks memory-model litmus tests on the
+// simulated machine: for every .litmus file it enumerates every
+// schedule (scheduler ties, store-buffer drain points, fence drain
+// orders) under each requested memory model and TM engine, and compares
+// the reachable outcome set against the conditions the test declares.
+//
+// Usage:
+//
+//	litmus internal/litmus/testdata             # whole corpus, all models/engines
+//	litmus -models sc,tso -engines lazy sb.litmus
+//	litmus -v -maxruns 50000 testdata/*.litmus  # show outcome sets and witnesses
+//
+// Exit status: 0 = every condition held, 1 = a condition was violated
+// (the witness schedule is printed), 2 = usage or operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tmisa/internal/core"
+	"tmisa/internal/litmus"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		modelsFlag  = flag.String("models", "sc,tso,relaxed", "comma-separated memory models to check")
+		enginesFlag = flag.String("engines", "lazy,eager,hybrid", "comma-separated TM engines to check")
+		maxRuns     = flag.Int("maxruns", 0, "per-point schedule cap (0 = default); exceeding it is an error")
+		verbose     = flag.Bool("v", false, "print the reachable outcome set of every point")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "litmus: no .litmus files or directories given\n")
+		flag.Usage()
+		return 2
+	}
+
+	var models []core.MemModelKind
+	for _, s := range strings.Split(*modelsFlag, ",") {
+		m, err := core.ParseMemModel(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+			return 2
+		}
+		models = append(models, m)
+	}
+	var engines []string
+	for _, e := range strings.Split(*enginesFlag, ",") {
+		e = strings.TrimSpace(e)
+		switch e {
+		case litmus.EngineLazy, litmus.EngineEager, litmus.EngineHybrid:
+			engines = append(engines, e)
+		default:
+			fmt.Fprintf(os.Stderr, "litmus: unknown engine %q\n", e)
+			return 2
+		}
+	}
+
+	files, err := collect(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+		return 2
+	}
+
+	failed := false
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+			return 2
+		}
+		t, err := litmus.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litmus: %s: %v\n", f, err)
+			return 2
+		}
+		for _, model := range models {
+			for _, engine := range engines {
+				res, err := litmus.Check(t, model, engine, litmus.ExploreOpts{MaxRuns: *maxRuns})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "litmus: %v\n", err)
+					return 2
+				}
+				status := "ok"
+				if !res.OK() {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Printf("%-8s %-8s %-7s %-7s %4d runs %4d states  %s\n",
+					t.Name, model, engine, status, res.Explore.Runs, res.Explore.States,
+					summarize(res.Explore.Outcomes, *verbose))
+				for _, msg := range res.Failures {
+					fmt.Printf("  FAIL: %s\n", msg)
+				}
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// collect expands the argument list: directories become their *.litmus
+// entries, files pass through. The result is sorted and deduplicated.
+func collect(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var files []string
+	add := func(f string) {
+		if !seen[f] {
+			seen[f] = true
+			files = append(files, f)
+		}
+	}
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.litmus"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no .litmus files in %s", a)
+		}
+		for _, m := range matches {
+			add(m)
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// summarize renders a point's outcome set: the count always, the
+// outcomes themselves only in verbose mode.
+func summarize(outcomes map[string]string, verbose bool) string {
+	if !verbose {
+		return fmt.Sprintf("%d outcomes", len(outcomes))
+	}
+	return strings.Join(litmus.SortedOutcomes(outcomes), " | ")
+}

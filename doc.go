@@ -23,11 +23,13 @@
 //	internal/oracle     serializability / strong-atomicity run checker
 //	internal/analysis   tmlint static analyzers
 //	internal/tmfuzz     deterministic transaction-program fuzzer
+//	internal/litmus     weak-memory litmus tests + exhaustive explorer
 //	cmd/experiments     regenerate every table and figure
 //	cmd/tmsim           run one workload
 //	cmd/isatable        print Tables 1 and 2
 //	cmd/tmlint          static transactional-semantics lint
 //	cmd/tmfuzz          fuzz / replay CLI (seeds, corpus, shrinking)
+//	cmd/litmus          check the litmus corpus under each model/engine
 //	examples/           runnable API walkthroughs
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's

@@ -77,6 +77,19 @@ func (t *Token) Holder() *sim.P { return t.holder }
 // QueueLen returns the number of waiting CPUs.
 func (t *Token) QueueLen() int { return len(t.queue) }
 
+// QueueIDs returns the waiting CPUs' ids in FIFO order (the litmus
+// explorer's state fingerprint hashes them; nil when nobody waits).
+func (t *Token) QueueIDs() []int {
+	if len(t.queue) == 0 {
+		return nil
+	}
+	out := make([]int, len(t.queue))
+	for i, q := range t.queue {
+		out[i] = q.ID
+	}
+	return out
+}
+
 // Acquire blocks p until it holds the token. It returns the number of
 // cycles spent waiting. The caller must be the currently running CPU.
 //

@@ -614,6 +614,76 @@ func (h *Hierarchy) ClearAll() {
 	}
 }
 
+// Fingerprint folds the hierarchy's behavioral state into fn, an
+// FNV-style word accumulator (the litmus explorer's state hash). Two
+// hierarchies that fingerprint equal behave identically from here on:
+// per set, every valid line's tag and metadata plus the within-set LRU
+// *ranking* (replacement order — raw lruTick values are monotone
+// counters that differ between equivalent histories), and each level's
+// spec-list contents in order (gang-walk cost and stale-entry compaction
+// depend on the list itself, including its length).
+func (h *Hierarchy) Fingerprint(fn func(uint64)) {
+	for li, lv := range []*level{h.l1, h.l2} {
+		fn(uint64(li))
+		order := make([]int, len(lv.sets[0])) // one slot per way
+		for si, set := range lv.sets {
+			nvalid := 0
+			for wi := range set {
+				if set[wi].valid {
+					nvalid++
+				}
+			}
+			if nvalid == 0 {
+				continue
+			}
+			fn(uint64(si))
+			// Replacement ranking: way indices of the valid lines, oldest
+			// LRU first. Insertion sort over <= ways entries.
+			n := 0
+			for wi := range set {
+				if set[wi].valid {
+					order[n] = wi
+					n++
+				}
+			}
+			for i := 1; i < n; i++ {
+				for j := i; j > 0 && set[order[j]].lru < set[order[j-1]].lru; j-- {
+					order[j], order[j-1] = order[j-1], order[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				l := &set[order[i]]
+				fn(uint64(order[i]))
+				fn(uint64(l.tag))
+				fn(uint64(l.rmask)<<32 | uint64(l.wmask))
+				bits := uint64(l.nl) << 8
+				if l.r {
+					bits |= 1
+				}
+				if l.w {
+					bits |= 2
+				}
+				if l.mergePending {
+					bits |= 4
+				}
+				if l.listed {
+					bits |= 8
+				}
+				fn(bits)
+			}
+		}
+		fn(uint64(len(lv.spec)))
+		for _, l := range lv.spec {
+			fn(uint64(l.tag))
+			v := uint64(0)
+			if l.valid {
+				v = 1
+			}
+			fn(v)
+		}
+	}
+}
+
 // SpeculativeLines counts lines currently holding transactional marks, for
 // tests and capacity diagnostics.
 func (h *Hierarchy) SpeculativeLines() int {

@@ -184,6 +184,36 @@ type Config struct {
 	// lowest CPU id; the fuzzer perturbs ties from its case seed to explore
 	// more interleavings while staying perfectly replayable.
 	SchedTieBreak func(tied []int) int
+
+	// MemModel selects the non-transactional memory model (weakmem.go).
+	// The default MemSC keeps every configuration bit-identical to the
+	// pre-weak-memory machine; MemTSO and MemRelaxed route
+	// non-transactional stores through per-CPU store buffers with load
+	// forwarding, fenced at every transactional entry point.
+	MemModel MemModelKind
+
+	// StoreBufDepth is the per-CPU store-buffer capacity under a weak
+	// model (0 selects the default of 8). A full buffer retires its
+	// oldest entry before accepting a new store.
+	StoreBufDepth int
+
+	// SBMaxAge is the default drain policy's age bound in cycles (0
+	// selects 64): a buffered store older than this retires at the next
+	// instruction boundary. Liveness for spin-based synchronization, not
+	// semantics — any drain order the model allows remains reachable
+	// through DrainChoose.
+	SBMaxAge uint64
+
+	// DrainChoose, when non-nil, decides store-buffer retirement instead
+	// of the age policy, exposing every drain decision to the litmus
+	// explorer. Voluntary calls (forced=false, each instruction boundary
+	// while the buffer is non-empty): return 0 to keep buffering or k in
+	// [1, eligible] to retire eligible candidate k-1 and be consulted
+	// again. Forced calls (forced=true, only at fences under MemRelaxed
+	// with more than one eligible candidate): return k in [1, eligible]
+	// to pick which candidate retires next; 0 or out-of-range selects the
+	// oldest. Candidates are ordered oldest-first (see Proc.sbEligible).
+	DrainChoose func(cpu, eligible int, forced bool) int
 }
 
 // Describe summarizes the configuration knobs that change transactional
@@ -198,7 +228,27 @@ func (c Config) Describe() string {
 			c.Fallback, c.HTMRetryBudget, c.Cache.BoundedSpec,
 			c.Cache.MaxReadLines, c.Cache.MaxWriteLines)
 	}
+	if c.MemModel != MemSC {
+		// Appended only for weak models so every pre-existing reproducer
+		// and BENCH baseline string stays byte-identical.
+		s += fmt.Sprintf(" memmodel=%s sbdepth=%d sbmaxage=%d",
+			c.MemModel, c.storeBufDepthOrDefault(), c.sbMaxAgeOrDefault())
+	}
 	return s
+}
+
+func (c Config) storeBufDepthOrDefault() int {
+	if c.StoreBufDepth > 0 {
+		return c.StoreBufDepth
+	}
+	return defaultStoreBufDepth
+}
+
+func (c Config) sbMaxAgeOrDefault() uint64 {
+	if c.SBMaxAge > 0 {
+		return c.SBMaxAge
+	}
+	return defaultSBMaxAge
 }
 
 func (c Config) faultCount() int {

@@ -79,6 +79,15 @@ func (p *Proc) atomic(open bool, fb FallbackKind, body func(*Tx)) error {
 	// the child — and the lock and retry machinery stays with the
 	// outermost level that owns the fallback decision.
 	nested := p.stack.Depth() > 0
+	if !nested {
+		// xbegin is a fence (weakmem.go): the transaction must not begin
+		// with this CPU's earlier stores still pending, so the paper's
+		// single-global-order semantics hold inside transactions under every
+		// memory model. Nested begins run with the buffer already empty (it
+		// stays empty for the whole nest), and retries after a rollback
+		// re-enter through this same fence with nothing buffered.
+		p.sbFence()
+	}
 	hybrid := p.m.cfg.Fallback != NoFallback && !nested
 	attempts := 0
 	mode := tm.HTM
@@ -253,6 +262,12 @@ func (p *Proc) xbegin(open bool) *Tx { return p.xbeginMode(open, tm.HTM) }
 // and postpones every violation against it until commit (the global
 // lock has already excluded all transactional conflict anyway).
 func (p *Proc) xbeginMode(open bool, mode tm.Mode) *Tx {
+	if len(p.sb) != 0 {
+		// Guards the weak-memory invariant every fence site maintains: a
+		// transaction never begins (and so never runs) with buffered
+		// non-transactional stores pending on its CPU.
+		panic(fmt.Sprintf("core: CPU %d xbegin with %d buffered stores (missing fence)", p.id, len(p.sb)))
+	}
 	p.step(CostXBegin)
 	note := ""
 	if mode != tm.HTM {

@@ -81,6 +81,7 @@ func NewMachine(cfg Config) *Machine {
 			LineSize:     cfg.Cache.LineSize,
 			WordTracking: cfg.WordTracking,
 			KeepHistory:  cfg.OracleHistory,
+			Model:        oracleModel(cfg.MemModel),
 		})
 	}
 	for i := 0; i < cfg.CPUs; i++ {
@@ -94,6 +95,19 @@ func NewMachine(cfg Config) *Machine {
 		m.LabelRegion("runtime.fallbackLock", fbLockAddr, mem.WordSize)
 	}
 	return m
+}
+
+// oracleModel maps the machine's memory model to the oracle's axiom set,
+// so every oracle-checked run is judged under the model it executed.
+func oracleModel(k MemModelKind) oracle.Model {
+	switch k {
+	case MemTSO:
+		return oracle.ModelTSO
+	case MemRelaxed:
+		return oracle.ModelRelaxed
+	default:
+		return oracle.ModelSC
+	}
 }
 
 // Config returns the machine's configuration.
@@ -177,6 +191,9 @@ func (m *Machine) Run(programs ...func(*Proc)) *stats.Report {
 		p, program := m.procs[i], programs[i]
 		bodies[i] = func(sp *sim.P) {
 			program(p)
+			// A halting CPU publishes its pending stores: program exit is a
+			// fence, so the final memory image never hides buffered writes.
+			p.sbFence()
 			if d := p.stack.Depth(); d != 0 {
 				panic(fmt.Sprintf("core: CPU %d program returned inside a transaction (depth %d)", p.id, d))
 			}

@@ -55,6 +55,12 @@ type Proc struct {
 	faults   []FaultViolation
 	faultIdx int
 
+	// sb is the store buffer of pending non-transactional stores under a
+	// weak memory model (Config.MemModel; see weakmem.go), oldest first;
+	// weak counts its activity. Both stay empty under the default SC model.
+	sb   []sbEntry
+	weak WeakCounters
+
 	// seqMode suppresses all transactional bookkeeping; the sequential
 	// baselines use it so they pay memory-system costs only.
 	seqMode bool
@@ -113,6 +119,12 @@ func (p *Proc) NestingLevel() int { return p.stack.Depth() }
 func (p *Proc) step(n int) {
 	if p.untimed {
 		return
+	}
+	if len(p.sb) > 0 {
+		// Store-buffer drain decisions happen between instructions: each
+		// boundary is a point where pending stores may become globally
+		// visible (weakmem.go).
+		p.sbPoll()
 	}
 	p.sp.Yield()
 	if p.faultIdx < len(p.faults) {
@@ -213,6 +225,16 @@ func (p *Proc) Load(a mem.Addr) uint64 {
 	word := mem.WordAlign(a)
 	lvl := p.stack.Top()
 	if p.seqMode || lvl == nil {
+		if p.weakEnabled() {
+			if v, ok := p.sbForward(word); ok {
+				// Store-to-load forwarding: the newest pending same-word
+				// store satisfies the load locally — no global access, no
+				// memory-system latency beyond the issue slot.
+				p.weak.Forwards++
+				p.emitMem(trace.NtLoadFwd, 0, word, v)
+				return v
+			}
+		}
 		if !p.seqMode && p.m.cfg.Engine == Eager {
 			// Strong atomicity: with in-place speculative data, a
 			// non-transactional load must not observe an uncommitted
@@ -274,6 +296,13 @@ func (p *Proc) Store(a mem.Addr, v uint64) {
 	word := mem.WordAlign(a)
 	lvl := p.stack.Top()
 	if p.seqMode || lvl == nil {
+		if p.weakEnabled() {
+			// Weak model: the store enters this CPU's buffer and performs
+			// globally only when it drains (sbDrain runs the strong-atomicity
+			// machinery below at that point).
+			p.sbInsert(word, v)
+			return
+		}
 		if !p.seqMode && p.m.cfg.Engine == Eager && !BugCompatNonTxStore {
 			// Strong atomicity, eager engine: with in-place speculative
 			// data the store must win the line like any other eager write
@@ -346,6 +375,7 @@ func (p *Proc) StoreF(a mem.Addr, f float64) { p.Store(a, mem.F2B(f)) }
 // Use it only for data the software can prove thread-private or read-only.
 func (p *Proc) Imld(a mem.Addr) uint64 {
 	p.step(1)
+	p.sbFence() // immediate instructions are strongly ordered (weakmem.go)
 	p.c.ImmediateOps++
 	p.access(a, false, 0)
 	word := mem.WordAlign(a)
@@ -359,6 +389,7 @@ func (p *Proc) Imld(a mem.Addr) uint64 {
 // rolled back with the transaction.
 func (p *Proc) Imst(a mem.Addr, v uint64) {
 	p.step(1)
+	p.sbFence() // immediate instructions are strongly ordered (weakmem.go)
 	p.c.ImmediateOps++
 	p.access(a, true, 0)
 	word := mem.WordAlign(a)
@@ -373,6 +404,7 @@ func (p *Proc) Imst(a mem.Addr, v uint64) {
 // undo information; the store survives rollback.
 func (p *Proc) Imstid(a mem.Addr, v uint64) {
 	p.step(1)
+	p.sbFence() // immediate instructions are strongly ordered (weakmem.go)
 	p.c.ImmediateOps++
 	p.access(a, true, 0)
 	word := mem.WordAlign(a)
@@ -397,6 +429,11 @@ func (p *Proc) Park(reason string) {
 	if p.InTx() {
 		panic(fmt.Sprintf("core: CPU %d parked inside a transaction", p.id))
 	}
+	// A parking CPU publishes its pending stores first: threads park after
+	// producing work other CPUs will consume, so holding buffered stores
+	// across the block would deadlock the consumer against a sleeping
+	// producer.
+	p.sbFence()
 	p.sp.Block(reason)
 	p.deliver()
 }
@@ -721,6 +758,10 @@ func (p *Proc) fbAcquire() {
 		p.sp.Advance(fbPollCycles)
 	}
 	p.step(1)
+	// The lock claim is an atomic RMW and therefore a full fence (x86
+	// lock-prefix semantics): pending stores drain before the lock word
+	// publishes.
+	p.sbFence()
 	p.c.Stores++
 	word := mem.WordAlign(fbLockAddr)
 	line := p.line(fbLockAddr)
@@ -750,6 +791,11 @@ func (p *Proc) fbAcquire() {
 // claimant cannot observe a free owner before the word reads free.
 func (p *Proc) fbRelease() {
 	p.Store(fbLockAddr, 0)
+	// Lock hand-off is a release fence: under a weak model the free store
+	// must be globally performed before machine ownership clears, or the
+	// next claimant's word-set could be clobbered by this CPU's buffered 0
+	// draining later (the lock would read free while held).
+	p.sbFence()
 	p.m.fbOwner = nil
 }
 

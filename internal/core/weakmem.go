@@ -1,0 +1,296 @@
+// Weak non-transactional memory semantics (Config.MemModel): per-CPU
+// store buffers layered between the ISA's non-transactional stores and
+// the globally ordered memory system.
+//
+// The paper defines its TM semantics against a single architected memory
+// order; real deployments compose transactions with relaxed
+// non-transactional accesses (Chong, Sorensen & Wickerson, PAPERS.md).
+// This file adds that composition as an opt-in machine knob:
+//
+//   - MemTSO: a FIFO store buffer with same-word load forwarding, the
+//     x86-TSO design. Non-transactional stores retire in program order
+//     but later than they issue, so a store can pass a younger load to a
+//     different word (the SB litmus outcome).
+//   - MemRelaxed: the same buffer with out-of-order retirement inside the
+//     buffer window (Power/ARM-flavoured W→W reordering). Same-word
+//     entries still retire in program order and forwarding still reads
+//     the newest same-word entry, so single-CPU data flow stays sane;
+//     different-word stores may drain in any order.
+//
+// Transactional accesses stay strongly ordered: the buffer is drained
+// (fenced) at xbegin, at the immediate instructions, at Park, at the
+// serial-fallback lock operations, at Proc.Fence, and when a program
+// body halts. Inside a transaction the buffer is empty by invariant —
+// the paper's commit/violation machinery therefore never interleaves
+// with a half-performed non-transactional store.
+//
+// A drain replays the exact strong-atomicity machinery an SC
+// non-transactional store runs (eagerResolve / waitValidatedConflictors
+// / violateOthers), so conflict detection sees buffered stores when —
+// and only when — they become globally visible.
+package core
+
+import (
+	"fmt"
+
+	"tmisa/internal/mem"
+	"tmisa/internal/trace"
+)
+
+// MemModelKind selects the non-transactional memory model of the machine
+// (Config.MemModel). The zero value MemSC is the pre-existing
+// sequentially consistent behaviour; non-default models change cycle
+// timing and visible interleavings, never the committed-state semantics
+// of transactions themselves.
+type MemModelKind int
+
+const (
+	// MemSC is sequential consistency: every store performs in place at
+	// its instruction boundary. The default; all machinery in this file
+	// is bypassed and behaviour is bit-identical to pre-weak-memory
+	// configurations.
+	MemSC MemModelKind = iota
+	// MemTSO buffers non-transactional stores in a per-CPU FIFO with
+	// same-word load forwarding (x86-TSO).
+	MemTSO
+	// MemRelaxed additionally retires buffered stores out of order within
+	// the buffer window (bounded Power/ARM-style W→W reordering).
+	MemRelaxed
+)
+
+func (k MemModelKind) String() string {
+	switch k {
+	case MemTSO:
+		return "tso"
+	case MemRelaxed:
+		return "relaxed"
+	default:
+		return "sc"
+	}
+}
+
+// ParseMemModel maps the textual knob ("sc", "tso", "relaxed"; "" = sc)
+// used by reproducers and command lines back to the kind.
+func ParseMemModel(s string) (MemModelKind, error) {
+	switch s {
+	case "", "sc":
+		return MemSC, nil
+	case "tso":
+		return MemTSO, nil
+	case "relaxed":
+		return MemRelaxed, nil
+	}
+	return MemSC, fmt.Errorf("core: unknown memory model %q (want sc, tso, or relaxed)", s)
+}
+
+// defaultStoreBufDepth is the per-CPU store-buffer capacity when
+// Config.StoreBufDepth is zero, matching small real-world buffers.
+const defaultStoreBufDepth = 8
+
+// defaultSBMaxAge bounds how long the default drain policy lets an entry
+// sit buffered (cycles of the owning CPU's local time). The bound is a
+// liveness device, not semantics: spin-synchronization code (barriers,
+// flags) publishes its stores within one poll interval instead of
+// holding them until the next fence.
+const defaultSBMaxAge = 64
+
+// sbEntry is one pending non-transactional store.
+type sbEntry struct {
+	word mem.Addr
+	val  uint64
+	born uint64 // owning CPU's local time at insertion (age-based drain)
+}
+
+// SBEntry is the exported snapshot form of a pending store, oldest first
+// in Proc.StoreBuffer.
+type SBEntry struct {
+	Word mem.Addr
+	Val  uint64
+}
+
+// WeakCounters counts store-buffer activity per CPU. It lives outside
+// stats.Counters so reports and BENCH baselines of default (SC)
+// configurations stay byte-identical.
+type WeakCounters struct {
+	// BufferedStores counts non-transactional stores that entered the
+	// buffer instead of performing in place.
+	BufferedStores uint64
+	// Forwards counts non-transactional loads satisfied from the buffer.
+	Forwards uint64
+	// Drains counts voluntary retirements (policy or hook decided).
+	Drains uint64
+	// FenceDrains counts retirements forced by a fence point.
+	FenceDrains uint64
+	// CapacityDrains counts retirements forced by a full buffer.
+	CapacityDrains uint64
+}
+
+// WeakCounters returns this CPU's store-buffer counters (zero under SC).
+func (p *Proc) WeakCounters() WeakCounters { return p.weak }
+
+// StoreBuffer snapshots the pending stores, oldest first (tests and the
+// litmus explorer's state fingerprint read it).
+func (p *Proc) StoreBuffer() []SBEntry {
+	out := make([]SBEntry, len(p.sb))
+	for i, e := range p.sb {
+		out[i] = SBEntry{Word: e.word, Val: e.val}
+	}
+	return out
+}
+
+// Fence is the explicit memory-barrier instruction (mfence/sync): it
+// drains this CPU's store buffer before returning. One instruction is
+// charged; under SC it is timing-only.
+func (p *Proc) Fence() {
+	p.step(1)
+	p.sbFence()
+}
+
+// weakEnabled reports whether this Proc routes non-transactional stores
+// through the buffer. Sequential baselines and untimed setup procs never
+// do, so their memory effects stay immediate.
+func (p *Proc) weakEnabled() bool {
+	return p.m.cfg.MemModel != MemSC && !p.seqMode && !p.untimed
+}
+
+func (p *Proc) sbDepth() int {
+	if d := p.m.cfg.StoreBufDepth; d > 0 {
+		return d
+	}
+	return defaultStoreBufDepth
+}
+
+func (p *Proc) sbMaxAge() uint64 {
+	if a := p.m.cfg.SBMaxAge; a > 0 {
+		return a
+	}
+	return defaultSBMaxAge
+}
+
+// sbForward returns the newest pending value for word, realizing the
+// store buffer's load-forwarding path.
+func (p *Proc) sbForward(word mem.Addr) (uint64, bool) {
+	for i := len(p.sb) - 1; i >= 0; i-- {
+		if p.sb[i].word == word {
+			return p.sb[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// sbEligible appends to buf the indices of entries that may retire next:
+// under TSO only the head (FIFO); under the relaxed model the oldest
+// entry per distinct word (same-word program order is preserved,
+// different words may drain in any order).
+func (p *Proc) sbEligible(buf []int) []int {
+	if len(p.sb) == 0 {
+		return buf
+	}
+	if p.m.cfg.MemModel == MemTSO {
+		return append(buf, 0)
+	}
+	for i := range p.sb {
+		first := true
+		for j := 0; j < i; j++ {
+			if p.sb[j].word == p.sb[i].word {
+				first = false
+				break
+			}
+		}
+		if first {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// sbInsert buffers a non-transactional store. A full buffer first
+// retires its oldest entry (every model drains oldest-first under
+// capacity pressure — the head is always eligible).
+func (p *Proc) sbInsert(word mem.Addr, v uint64) {
+	if len(p.sb) >= p.sbDepth() {
+		p.weak.CapacityDrains++
+		p.sbDrain(0)
+	}
+	p.sb = append(p.sb, sbEntry{word: word, val: v, born: p.sp.Time()})
+	p.weak.BufferedStores++
+	p.emitMem(trace.NtStoreBuf, 0, word, v)
+}
+
+// sbPoll runs the voluntary drain decisions at an instruction boundary.
+// With Config.DrainChoose installed (the litmus explorer), the hook
+// picks: 0 keeps buffering, k in [1, eligible] retires candidate k-1 and
+// the hook is consulted again. The default policy retires entries whose
+// age exceeds SBMaxAge, oldest first — lazy enough to expose reordering
+// windows to conflict detection, eager enough that spin loops publish.
+func (p *Proc) sbPoll() {
+	for len(p.sb) > 0 {
+		if choose := p.m.cfg.DrainChoose; choose != nil {
+			el := p.sbEligible(nil)
+			k := choose(p.id, len(el), false)
+			if k <= 0 || k > len(el) {
+				return
+			}
+			p.weak.Drains++
+			p.sbDrain(el[k-1])
+			continue
+		}
+		if p.sp.Time()-p.sb[0].born < p.sbMaxAge() {
+			return
+		}
+		p.weak.Drains++
+		p.sbDrain(0)
+	}
+}
+
+// sbFence drains the whole buffer: the fence discipline of transactional
+// entry points, immediate instructions, Park, halt, and the fallback
+// lock. Under the relaxed model the retirement *order* across different
+// words is still architecturally unordered, so the drain hook (forced
+// mode: a choice in [1, eligible] of which candidate retires next, 0 or
+// out-of-range meaning the oldest) is consulted when there is a real
+// choice; under TSO the fence drains FIFO with no decision point.
+func (p *Proc) sbFence() {
+	if len(p.sb) == 0 || !p.weakEnabled() {
+		return
+	}
+	for len(p.sb) > 0 {
+		idx := 0
+		if p.m.cfg.MemModel == MemRelaxed {
+			if choose := p.m.cfg.DrainChoose; choose != nil {
+				el := p.sbEligible(nil)
+				if len(el) > 1 {
+					if k := choose(p.id, len(el), true); k >= 1 && k <= len(el) {
+						idx = el[k-1]
+					}
+				}
+			}
+		}
+		p.weak.FenceDrains++
+		p.sbDrain(idx)
+	}
+}
+
+// sbDrain retires entry i: the store becomes globally visible through
+// the exact strong-atomicity machinery an SC non-transactional store
+// uses (proc.go Store), so transactions are violated or waited out at
+// drain time — the point the store enters the architected memory order —
+// not at the instruction that issued it.
+func (p *Proc) sbDrain(i int) {
+	e := p.sb[i]
+	p.sb = append(p.sb[:i], p.sb[i+1:]...)
+	p.sp.Yield()
+	line := p.line(e.word)
+	if p.m.cfg.Engine == Eager && !BugCompatNonTxStore {
+		p.eagerResolve(line, true, true, causeNtStore)
+	}
+	if p.m.cfg.Engine == Lazy && !BugCompatNonTxStore {
+		p.waitValidatedConflictors(line, false)
+	}
+	p.access(e.word, true, 0)
+	p.m.mem.Store(e.word, e.val)
+	p.emitMem(trace.NtStore, 0, e.word, e.val)
+	if p.m.cfg.Engine == Lazy || BugCompatNonTxStore {
+		p.violateOthers([]mem.Addr{line}, nil, causeNtStore)
+	}
+}

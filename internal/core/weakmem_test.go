@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"tmisa/internal/trace"
+)
+
+// weakConfig is testConfig with a non-default memory model attached.
+func weakConfig(cpus int, engine EngineKind, model MemModelKind) Config {
+	cfg := testConfig(cpus, engine)
+	cfg.MemModel = model
+	return cfg
+}
+
+// TestTSOStoreBufferingAndForwarding: under TSO a non-transactional
+// store sits in the buffer (globally invisible) while a same-word load
+// on the issuing CPU forwards its value.
+func TestTSOStoreBufferingAndForwarding(t *testing.T) {
+	m := NewMachine(weakConfig(1, Lazy, MemTSO))
+	a := m.Alloc(1)
+	var globalDuring, forwarded uint64
+	m.Run(func(p *Proc) {
+		p.Store(a, 7)
+		globalDuring = m.Mem().Load(a) // still buffered: not yet performed
+		forwarded = p.Load(a)          // same-word load reads the buffer
+		wc := p.WeakCounters()
+		if wc.BufferedStores != 1 {
+			t.Errorf("BufferedStores = %d, want 1", wc.BufferedStores)
+		}
+		if wc.Forwards != 1 {
+			t.Errorf("Forwards = %d, want 1", wc.Forwards)
+		}
+	})
+	if globalDuring != 0 {
+		t.Errorf("buffered store already globally visible: mem = %d", globalDuring)
+	}
+	if forwarded != 7 {
+		t.Errorf("forwarded load = %d, want 7", forwarded)
+	}
+	// The end-of-program fence drained the buffer.
+	if got := m.Mem().Load(a); got != 7 {
+		t.Errorf("final memory = %d, want 7", got)
+	}
+	if wc := m.Proc(0).WeakCounters(); wc.FenceDrains != 1 {
+		t.Errorf("FenceDrains = %d, want 1", wc.FenceDrains)
+	}
+}
+
+// TestStoreBufferCapacityDrain: a full buffer retires its oldest entry
+// to make room, so the store that overflowed the window is the one that
+// becomes globally visible first.
+func TestStoreBufferCapacityDrain(t *testing.T) {
+	cfg := weakConfig(1, Lazy, MemTSO)
+	cfg.StoreBufDepth = 2
+	m := NewMachine(cfg)
+	a := m.Alloc(3)
+	var oldestDuring uint64
+	m.Run(func(p *Proc) {
+		p.Store(a, 1)
+		p.Store(a+8, 2)
+		p.Store(a+16, 3) // overflows the 2-entry window: entry for a drains
+		oldestDuring = m.Mem().Load(a)
+		if wc := p.WeakCounters(); wc.CapacityDrains != 1 {
+			t.Errorf("CapacityDrains = %d, want 1", wc.CapacityDrains)
+		}
+	})
+	if oldestDuring != 1 {
+		t.Errorf("oldest entry not drained on overflow: mem = %d, want 1", oldestDuring)
+	}
+}
+
+// TestStoreBufferAgeDrain: the default drain policy retires an entry
+// once it has sat buffered past SBMaxAge cycles, without any fence.
+func TestStoreBufferAgeDrain(t *testing.T) {
+	cfg := weakConfig(1, Lazy, MemTSO)
+	cfg.SBMaxAge = 16
+	m := NewMachine(cfg)
+	a := m.Alloc(1)
+	var during uint64
+	m.Run(func(p *Proc) {
+		p.Store(a, 9)
+		for i := 0; i < 32; i++ { // boundaries only poll: tick past the age bound
+			p.Tick(1)
+		}
+		during = m.Mem().Load(a)
+		if wc := p.WeakCounters(); wc.Drains != 1 {
+			t.Errorf("Drains = %d, want 1", wc.Drains)
+		}
+	})
+	if during != 9 {
+		t.Errorf("aged entry not drained: mem = %d, want 9", during)
+	}
+}
+
+// TestFenceDrainsBuffer: Proc.Fence makes every buffered store globally
+// visible before the next instruction.
+func TestFenceDrainsBuffer(t *testing.T) {
+	m := NewMachine(weakConfig(1, Lazy, MemTSO))
+	a := m.Alloc(2)
+	var w0, w1 uint64
+	m.Run(func(p *Proc) {
+		p.Store(a, 4)
+		p.Store(a+8, 5)
+		p.Fence()
+		w0, w1 = m.Mem().Load(a), m.Mem().Load(a+8)
+		if wc := p.WeakCounters(); wc.FenceDrains != 2 {
+			t.Errorf("FenceDrains = %d, want 2", wc.FenceDrains)
+		}
+	})
+	if w0 != 4 || w1 != 5 {
+		t.Errorf("after fence mem = %d,%d, want 4,5", w0, w1)
+	}
+}
+
+// TestRelaxedFenceDrainOrder: under the relaxed model a fence with
+// several different-word entries consults the drain hook for the
+// retirement order; under TSO the fence drains FIFO and never consults.
+// The globally visible NtStore sequence is the observable order.
+func TestRelaxedFenceDrainOrder(t *testing.T) {
+	drainOrder := func(model MemModelKind, choose func(cpu, eligible int, forced bool) int) []uint64 {
+		cfg := weakConfig(1, Lazy, model)
+		cfg.DrainChoose = choose
+		m := NewMachine(cfg)
+		a := m.Alloc(2)
+		var order []uint64
+		m.SetTracer(func(e trace.Event) {
+			if e.Kind == trace.NtStore {
+				order = append(order, e.Val)
+			}
+		})
+		m.Run(func(p *Proc) {
+			p.Store(a, 1)
+			p.Store(a+8, 2)
+			p.Fence()
+		})
+		return order
+	}
+	keep := func(cpu, eligible int, forced bool) int {
+		if forced {
+			return eligible // always retire the youngest eligible candidate
+		}
+		return 0 // never drain voluntarily
+	}
+	if got := drainOrder(MemRelaxed, keep); len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("relaxed fence drain order = %v, want [2 1] (youngest first per hook)", got)
+	}
+	tsoHook := func(cpu, eligible int, forced bool) int {
+		if forced {
+			t.Error("TSO fence consulted the drain hook in forced mode (FIFO has no choice)")
+		}
+		return 0
+	}
+	if got := drainOrder(MemTSO, tsoHook); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("TSO fence drain order = %v, want [1 2] (FIFO)", got)
+	}
+}
+
+// TestSCNeverBuffers: the default model bypasses the weak-memory layer
+// entirely — no buffering, no forwarding, no hook consultation — so SC
+// configurations stay bit-identical to pre-weak-memory behaviour.
+func TestSCNeverBuffers(t *testing.T) {
+	cfg := testConfig(1, Lazy)
+	cfg.DrainChoose = func(cpu, eligible int, forced bool) int {
+		t.Error("SC machine consulted the drain hook")
+		return 0
+	}
+	m := NewMachine(cfg)
+	a := m.Alloc(1)
+	var during uint64
+	m.Run(func(p *Proc) {
+		p.Store(a, 3)
+		during = m.Mem().Load(a)
+	})
+	if during != 3 {
+		t.Errorf("SC store not immediately visible: mem = %d", during)
+	}
+	if wc := m.Proc(0).WeakCounters(); wc != (WeakCounters{}) {
+		t.Errorf("SC machine counted weak-memory activity: %+v", wc)
+	}
+}
+
+// TestDrainViolatesAtVisibilityPoint pins *when* a buffered
+// non-transactional store conflicts with a transaction: at drain time —
+// the point the store enters the architected memory order — not at the
+// instruction that issued it. A lazy transaction reads a word; the other
+// CPU buffers a conflicting store and holds it; the transaction must
+// stay unviolated until the fence drains the buffer.
+func TestDrainViolatesAtVisibilityPoint(t *testing.T) {
+	cfg := weakConfig(2, Lazy, MemTSO)
+	cfg.SBMaxAge = 1 << 20 // age never forces the drain; only the fence does
+	m := NewMachine(cfg)
+	a := m.Alloc(1)
+	var issued, drained, violated uint64 // event cycles
+	m.SetTracer(func(e trace.Event) {
+		switch e.Kind {
+		case trace.NtStoreBuf:
+			issued = e.Cycle
+		case trace.NtStore:
+			drained = e.Cycle
+		case trace.Violation:
+			violated = e.Cycle
+		}
+	})
+	m.Run(
+		func(p *Proc) {
+			p.Atomic(func(*Tx) {
+				p.Load(a)
+				p.Tick(3000) // hold the read set open across the store+fence
+			})
+		},
+		func(p *Proc) {
+			p.Tick(200) // let the reader enter its transaction first
+			p.Store(a, 1)
+			p.Tick(800) // the store stays buffered across this window
+			p.Fence()
+		},
+	)
+	if violated == 0 {
+		t.Fatal("conflicting drain raised no violation")
+	}
+	if violated < drained {
+		t.Errorf("violation at cycle %d precedes the drain at %d", violated, drained)
+	}
+	if drained < issued+800 {
+		t.Errorf("store drained at cycle %d, before the fence (issued %d + 800 hold)", drained, issued)
+	}
+	if got := m.Proc(0).Counters().Violations; got != 1 {
+		t.Errorf("reader Violations = %d, want 1", got)
+	}
+}

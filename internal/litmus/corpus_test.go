@@ -1,0 +1,292 @@
+package litmus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"tmisa/internal/core"
+	"tmisa/internal/tmfuzz"
+)
+
+// models is the corpus sweep's model axis.
+var models = []core.MemModelKind{core.MemSC, core.MemTSO, core.MemRelaxed}
+
+// loadCorpus parses every testdata/*.litmus file, sorted by name.
+func loadCorpus(t *testing.T) []*Test {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "*.litmus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no litmus files in testdata")
+	}
+	sort.Strings(files)
+	var tests []*Test
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		tests = append(tests, tt)
+	}
+	return tests
+}
+
+// TestLitmusCorpus explores every corpus test under every model and
+// engine, checks the declared allow/forbid conditions, and pins the
+// complete reachable outcome set of every (test, model, engine) point
+// against testdata/golden.txt. Regenerate with UPDATE_LITMUS_GOLDEN=1.
+func TestLitmusCorpus(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	var lines []string
+	for _, tt := range loadCorpus(t) {
+		for _, model := range models {
+			for _, engine := range Engines() {
+				res, err := Check(tt, model, engine, ExploreOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, f := range res.Failures {
+					t.Errorf("condition violated: %s", f)
+				}
+				lines = append(lines, fmt.Sprintf("%s %s %s :: %s",
+					tt.Name, model, engine,
+					strings.Join(SortedOutcomes(res.Explore.Outcomes), " | ")))
+			}
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	if os.Getenv("UPDATE_LITMUS_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d points)", goldenPath, len(lines))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_LITMUS_GOLDEN=1 to generate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("reachable outcome sets diverged from %s; run with UPDATE_LITMUS_GOLDEN=1 and inspect the diff", goldenPath)
+		for _, d := range diffLines(string(want), got) {
+			t.Log(d)
+		}
+	}
+}
+
+func diffLines(want, got string) []string {
+	w := strings.Split(strings.TrimSuffix(want, "\n"), "\n")
+	g := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	inW := make(map[string]bool, len(w))
+	for _, l := range w {
+		inW[l] = true
+	}
+	inG := make(map[string]bool, len(g))
+	for _, l := range g {
+		inG[l] = true
+	}
+	var out []string
+	for _, l := range w {
+		if !inG[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range g {
+		if !inW[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	return out
+}
+
+// TestScheduleReplayPin pins the reproducer contract: the witness
+// schedule the explorer reports for an outcome replays to exactly that
+// outcome, deterministically, run after run. The points chosen cover a
+// relaxed reordering witness, a TSO store-buffering witness, and a
+// transactional serialization witness on the hybrid engine.
+func TestScheduleReplayPin(t *testing.T) {
+	byName := make(map[string]*Test)
+	for _, tt := range loadCorpus(t) {
+		byName[tt.Name] = tt
+	}
+	points := []struct {
+		test   string
+		model  core.MemModelKind
+		engine string
+	}{
+		{"SB", core.MemTSO, EngineLazy},
+		{"2+2W", core.MemRelaxed, EngineEager},
+		{"SB+txs", core.MemSC, EngineHybrid},
+		{"MP", core.MemRelaxed, EngineLazy},
+	}
+	for _, pt := range points {
+		tt, ok := byName[pt.test]
+		if !ok {
+			t.Fatalf("corpus has no test %q", pt.test)
+		}
+		r := &Runner{Test: tt, Model: pt.model, Engine: pt.engine}
+		ex, err := Explore(r.Run, ExploreOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, outcome := range SortedOutcomes(ex.Outcomes) {
+			sched := ex.Outcomes[outcome]
+			for rep := 0; rep < 2; rep++ {
+				choose, err := Replay(sched)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := r.Run(choose)
+				if err != nil {
+					t.Fatalf("%s %s/%s replay %q: %v", pt.test, pt.model, pt.engine, sched, err)
+				}
+				if got != outcome {
+					t.Errorf("%s %s/%s: schedule %q replayed to %q, explorer observed %q",
+						pt.test, pt.model, pt.engine, sched, got, outcome)
+				}
+			}
+		}
+	}
+}
+
+// exploreFuzzProgram exhaustively explores a tmfuzz program's schedule
+// space through the hooked executor, maintaining the interpreter
+// position vector the machine fingerprint cannot see.
+func exploreFuzzProgram(prog *tmfuzz.Program, mc tmfuzz.MachineConfig) (*ExploreResult, error) {
+	run := func(choose Choose) (string, error) {
+		var m *core.Machine
+		pos := make([]uint64, mc.CPUs)
+		fp := func() uint64 { return m.Fingerprint(pos...) }
+		hooks := &tmfuzz.ExecHooks{
+			Configure: func(cfg *core.Config) {
+				cfg.SchedTieBreak = func(tied []int) int { return choose('t', -1, len(tied), fp) }
+				cfg.DrainChoose = func(cpu, eligible int, forced bool) int {
+					if forced {
+						return choose('f', cpu, eligible, fp)
+					}
+					return choose('d', cpu, eligible+1, fp)
+				}
+			},
+			OnMachine: func(mm *core.Machine) { m = mm },
+			OnOp:      func(cpu, opID int) { pos[cpu] = uint64(opID) },
+		}
+		r := tmfuzz.ExecuteHooked(prog, mc, hooks)
+		if r.Failed() {
+			return "", fmt.Errorf("%s: %w", r.Category, r.Err)
+		}
+		return r.Outcome, nil
+	}
+	return Explore(run, ExploreOpts{})
+}
+
+// TestExplorerSoundVsFuzz is the explorer's soundness check: every
+// outcome a randomly seeded fuzzer run can observe must already be in
+// the explorer's exhaustively computed reachable set. It sweeps small
+// store/load/transaction programs over both engines and both weak
+// models, fuzzing each point with many (tie-break, drain) seed pairs.
+func TestExplorerSoundVsFuzz(t *testing.T) {
+	op := func(kind string, id, word int, val uint64) tmfuzz.Op {
+		return tmfuzz.Op{Kind: kind, ID: id, Word: word, Val: val}
+	}
+	progs := []*tmfuzz.Program{
+		{ // 2+2W shape: opposite-order racing stores — the final memory
+			// image depends on drain order, so weak models multiply outcomes.
+			Words: 2,
+			Threads: [][]tmfuzz.Op{
+				{op(tmfuzz.OpStore, 1, 0, 1), op(tmfuzz.OpStore, 2, 1, 2)},
+				{op(tmfuzz.OpStore, 3, 1, 1), op(tmfuzz.OpStore, 4, 0, 2)},
+			},
+		},
+		{ // transactional publisher racing a plain writer over both words:
+			// outcomes depend on commit-vs-drain order and strong atomicity.
+			Words: 2,
+			Threads: [][]tmfuzz.Op{
+				{{Kind: tmfuzz.OpBlock, ID: 1, Body: []tmfuzz.Op{
+					op(tmfuzz.OpStore, 2, 0, 7), op(tmfuzz.OpStore, 3, 1, 7),
+				}}},
+				{op(tmfuzz.OpStore, 4, 1, 9), op(tmfuzz.OpStore, 5, 0, 9)},
+			},
+		},
+		{ // dueling transactions racing a plain store, plus a private
+			// immediate store (covered by the outcome's private words).
+			Words: 2,
+			Threads: [][]tmfuzz.Op{
+				{{Kind: tmfuzz.OpBlock, ID: 1, Body: []tmfuzz.Op{
+					op(tmfuzz.OpLoad, 2, 0, 0), op(tmfuzz.OpStore, 3, 1, 5),
+				}}},
+				{op(tmfuzz.OpImst, 4, 0, 3), op(tmfuzz.OpStore, 5, 1, 3), {Kind: tmfuzz.OpBlock, ID: 6, Body: []tmfuzz.Op{
+					op(tmfuzz.OpLoad, 7, 1, 0), op(tmfuzz.OpStore, 8, 0, 5),
+				}}},
+			},
+		},
+	}
+	for pi, prog := range progs {
+		if err := prog.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, engine := range []string{"lazy", "eager"} {
+			for _, memModel := range []string{"tso", "relaxed"} {
+				mc := tmfuzz.MachineConfig{
+					CPUs:        2,
+					Engine:      engine,
+					Scheme:      "multitrack",
+					MaxLevels:   2,
+					BackoffBase: 40,
+					MaxCycles:   500000,
+					MemModel:    memModel,
+					// The litmus runner's bounded weak-memory window: keeps
+					// the explored space small, and the fuzz side must use
+					// the identical window or its outcomes would not be a
+					// subset of the explored set.
+					StoreBufDepth: 4,
+					SBMaxAge:      16,
+				}
+				ex, err := exploreFuzzProgram(prog, mc)
+				if err != nil {
+					t.Fatalf("prog %d %s/%s: %v", pi, engine, memModel, err)
+				}
+				fuzzSeen := make(map[string]bool)
+				r := rngForTest(0xabcd ^ uint64(pi))
+				for trial := 0; trial < 60; trial++ {
+					fmc := mc
+					fmc.TieBreakSeed = r.next() | 1
+					fmc.DrainSeed = r.next() | 1
+					res := tmfuzz.Execute(prog, fmc)
+					if res.Failed() {
+						t.Fatalf("prog %d %s/%s trial %d: %s: %v", pi, engine, memModel, trial, res.Category, res.Err)
+					}
+					fuzzSeen[res.Outcome] = true
+					if _, ok := ex.Outcomes[res.Outcome]; !ok {
+						t.Errorf("prog %d %s/%s: fuzzer observed %q, explorer's reachable set (%d outcomes, %d runs) misses it",
+							pi, engine, memModel, res.Outcome, len(ex.Outcomes), ex.Runs)
+					}
+				}
+				t.Logf("prog %d %s/%s: explorer %d outcomes in %d runs; fuzz hit %d of them",
+					pi, engine, memModel, len(ex.Outcomes), ex.Runs, len(fuzzSeen))
+			}
+		}
+	}
+}
+
+// rngForTest is a tiny splitmix64 for seed generation in tests.
+type testRng struct{ s uint64 }
+
+func rngForTest(seed uint64) *testRng { return &testRng{s: seed} }
+
+func (r *testRng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

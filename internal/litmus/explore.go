@@ -1,0 +1,241 @@
+// The exhaustive schedule explorer: replay-based stateless DFS over the
+// machine's nondeterministic decision points, with state-fingerprint
+// pruning.
+//
+// The simulated machine is deterministic except at three kinds of
+// decision, all exposed as config hooks:
+//
+//	't' — a scheduler tie (core.Config.SchedTieBreak): several CPUs are
+//	      runnable at the same cycle; the choice picks which one runs.
+//	'd' — a voluntary store-buffer drain (core.Config.DrainChoose with
+//	      forced=false): at an instruction boundary with n eligible
+//	      buffered stores the choice is 0 (keep buffering) or k in
+//	      [1,n] (retire the k-th eligible entry now).
+//	'f' — a fence drain order (DrainChoose with forced=true): under the
+//	      relaxed model a fence with n>1 eligible entries drains them in
+//	      a chosen order; the choice is k in [1,n].
+//
+// A schedule is the sequence of decisions of one run. The explorer
+// re-executes the program from scratch for every schedule (the machine
+// has no snapshot/restore), replaying a decision prefix and then
+// extending it with default choices while recording the decision points
+// it discovers; every alternative choice at a newly discovered point
+// becomes a prefix on the DFS stack.
+//
+// Pruning: at each discovered decision point the runner's state
+// fingerprint (machine state + interpreter continuation) is consulted.
+// A state that has been expanded before contributes nothing new — every
+// continuation from it, default and alternative, is already on record —
+// so the rest of the run takes default choices without pushing
+// alternatives. This is what makes exploration terminate: independent
+// reorderings converge to identical states and are expanded once.
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Choose is the decision callback a hooked runner invokes at every
+// nondeterministic point: kind is 't', 'd', or 'f'; cpu is the CPU the
+// decision belongs to (-1 for 't': a scheduler tie is global); arity is
+// the number of valid choices; fp lazily computes the state fingerprint
+// at the decision point. The return value is the chosen decision — in
+// [0,arity) for 't' and 'd', in [1,arity] for 'f' (fence drains pick a
+// 1-based entry; there is no "decline" choice).
+//
+// cpu is part of the decision point's identity, not just diagnostics:
+// two drain consults can see an identical global machine state — CPU A
+// declines to drain, the scheduler switches, CPU B is asked next, and
+// nothing changed in between — yet choosing "drain" means draining a
+// different CPU's buffer at each. The explorer folds (kind, cpu, arity)
+// into the state key so such points are never identified.
+type Choose func(kind byte, cpu, arity int, fp func() uint64) int
+
+// firstChoice is the default decision per kind (see Choose's ranges).
+func firstChoice(kind byte) int {
+	if kind == 'f' {
+		return 1
+	}
+	return 0
+}
+
+// dec is one recorded decision. cpu is -1 for 't' decisions.
+type dec struct {
+	kind   byte
+	cpu    int
+	arity  int
+	choice int
+}
+
+// FormatSchedule renders a decision list as a replayable string:
+// space-separated "kCHOICE:ARITY" tokens with an "@CPU" suffix on
+// per-CPU decisions, e.g. "t1:2 d0:3@0 f2:2@1".
+func formatSchedule(ds []dec) string {
+	var b strings.Builder
+	for i, d := range ds {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%c%d:%d", d.kind, d.choice, d.arity)
+		if d.cpu >= 0 {
+			fmt.Fprintf(&b, "@%d", d.cpu)
+		}
+	}
+	return b.String()
+}
+
+// ParseSchedule parses a schedule string produced by the explorer.
+func parseSchedule(s string) ([]dec, error) {
+	var out []dec
+	for _, tok := range strings.Fields(s) {
+		if len(tok) < 4 {
+			return nil, fmt.Errorf("litmus: bad schedule token %q", tok)
+		}
+		kind := tok[0]
+		if kind != 't' && kind != 'd' && kind != 'f' {
+			return nil, fmt.Errorf("litmus: bad schedule kind in %q", tok)
+		}
+		cpu := -1
+		rest := tok[1:]
+		if at := strings.IndexByte(rest, '@'); at >= 0 {
+			n, err := strconv.Atoi(rest[at+1:])
+			if err != nil {
+				return nil, fmt.Errorf("litmus: bad schedule token %q", tok)
+			}
+			cpu, rest = n, rest[:at]
+		}
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("litmus: bad schedule token %q", tok)
+		}
+		choice, err1 := strconv.Atoi(rest[:colon])
+		arity, err2 := strconv.Atoi(rest[colon+1:])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("litmus: bad schedule token %q", tok)
+		}
+		out = append(out, dec{kind: kind, cpu: cpu, arity: arity, choice: choice})
+	}
+	return out, nil
+}
+
+// Replay returns a Choose that plays back a recorded schedule and then
+// continues with default choices. It validates that the execution's
+// decision points match the recording (same kind, same arity, in
+// order) — a mismatch means the schedule came from a different program
+// or configuration, and Replay panics rather than silently diverging.
+func Replay(schedule string) (Choose, error) {
+	ds, err := parseSchedule(schedule)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	return func(kind byte, cpu, arity int, fp func() uint64) int {
+		if i >= len(ds) {
+			return firstChoice(kind)
+		}
+		d := ds[i]
+		i++
+		if d.kind != kind || d.cpu != cpu || d.arity != arity {
+			panic(fmt.Sprintf("litmus: replay diverged at decision %d: schedule has %c:%d@%d, execution offers %c:%d@%d",
+				i, d.kind, d.arity, d.cpu, kind, arity, cpu))
+		}
+		return d.choice
+	}, nil
+}
+
+// ExploreOpts bounds one exploration.
+type ExploreOpts struct {
+	// MaxRuns caps the number of executed schedules (0 = 200000). Hitting
+	// the cap is an error: the reachable set would be incomplete, and an
+	// incomplete set must never be compared against forbid conditions.
+	MaxRuns int
+}
+
+// ExploreResult is the reachable-behavior summary of one exploration.
+type ExploreResult struct {
+	// Outcomes maps each reachable outcome string to the schedule of the
+	// first run that produced it (a replayable witness).
+	Outcomes map[string]string
+	// Runs is the number of schedules executed; States the number of
+	// distinct decision-point states expanded; Pruned the number of runs
+	// cut short by the seen-state check.
+	Runs, States, Pruned int
+}
+
+// Explore exhaustively enumerates the reachable outcomes of run, a
+// hooked single-execution function that consults choose at every
+// nondeterministic decision and returns the run's outcome string. run
+// must be deterministic given its decisions and must call fp-capable
+// hooks as described on Choose.
+func Explore(run func(choose Choose) (string, error), opts ExploreOpts) (*ExploreResult, error) {
+	maxRuns := opts.MaxRuns
+	if maxRuns == 0 {
+		maxRuns = 200000
+	}
+	res := &ExploreResult{Outcomes: make(map[string]string)}
+	expanded := make(map[uint64]bool)
+	stack := [][]dec{nil} // DFS worklist of decision prefixes
+
+	for len(stack) > 0 {
+		if res.Runs >= maxRuns {
+			return res, fmt.Errorf("litmus: exploration exceeded %d runs (%d prefixes pending, %d outcomes so far)",
+				maxRuns, len(stack), len(res.Outcomes))
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		var trace []dec
+		pruned := false
+		choose := func(kind byte, cpu, arity int, fp func() uint64) int {
+			i := len(trace)
+			if i < len(prefix) {
+				d := prefix[i]
+				if d.kind != kind || d.cpu != cpu || d.arity != arity {
+					panic(fmt.Sprintf("litmus: nondeterministic replay: prefix decision %d is %c:%d@%d, execution offers %c:%d@%d",
+						i, d.kind, d.arity, d.cpu, kind, arity, cpu))
+				}
+				trace = append(trace, d)
+				return d.choice
+			}
+			first := firstChoice(kind)
+			if !pruned {
+				// The dedup key is the machine fingerprint mixed with the
+				// decision point's identity (kind, cpu, arity). The machine
+				// state alone is not enough: when CPU A declines a drain and
+				// the scheduler hands the next consult to CPU B, the global
+				// state is unchanged but the two points govern different
+				// buffers and have different continuations.
+				h := fp()
+				const fnvPrime = 1099511628211
+				h = (h ^ uint64(kind)) * fnvPrime
+				h = (h ^ uint64(uint32(cpu))) * fnvPrime
+				h = (h ^ uint64(arity)) * fnvPrime
+				if expanded[h] {
+					pruned = true
+					res.Pruned++
+				} else {
+					expanded[h] = true
+					res.States++
+					for c := first + 1; c < first+arity; c++ {
+						alt := append(append([]dec(nil), trace...), dec{kind: kind, cpu: cpu, arity: arity, choice: c})
+						stack = append(stack, alt)
+					}
+				}
+			}
+			trace = append(trace, dec{kind: kind, cpu: cpu, arity: arity, choice: first})
+			return first
+		}
+
+		outcome, err := run(choose)
+		if err != nil {
+			return res, fmt.Errorf("litmus: run failed under schedule %q: %w", formatSchedule(trace), err)
+		}
+		res.Runs++
+		if _, seen := res.Outcomes[outcome]; !seen {
+			res.Outcomes[outcome] = formatSchedule(trace)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,304 @@
+// Package litmus runs weak-memory litmus tests against the simulated
+// transactional machine and exhaustively explores their schedule space.
+//
+// A litmus test is a tiny multi-threaded program plus, per memory model,
+// a set of allowed or forbidden final observations — the classic
+// store-buffering (SB), message-passing (MP), and load-buffering (LB)
+// shapes and their transactional variants (Chong et al., "The Semantics
+// of Transactions and Weak Memory in x86, Power, ARM, and C++"). The
+// simulated machine, not an axiomatic model, is the semantics under
+// test: the explorer (explore.go) drives every scheduler tie, every
+// voluntary store-buffer drain, and every fence drain-order decision
+// through exhaustive DFS with state-hash pruning, so the set of
+// reachable observations it returns is the machine's complete behavior
+// for the test — and the verdict layer (verdict.go) compares that set
+// against the test's declared expectations.
+//
+// The file format is line-based:
+//
+//	# store buffering
+//	test SB
+//	vars x y
+//	thread st x 1 ; ld r0 y
+//	thread st y 1 ; ld r1 x
+//	observe r0 r1
+//	sc forbid 0 0
+//	tso allow 0 0
+//	relaxed allow 0 0
+//	end
+//
+// Ops are: "st VAR VAL" (plain store of a constant), "ld REG VAR"
+// (plain load into a register), "mb" (full memory fence), and
+// "atomic { ... }" (the enclosed ops run as one transaction; accesses
+// inside are transactional, and transaction entry and commit are
+// fences). Tokens must be whitespace-separated — including ";", "{",
+// and "}". Registers are test-global and single-assignment by
+// convention. "observe" lists what the final state reports: register
+// names and/or variable names (a variable observes its final memory
+// value). Each condition line names a model ("sc", "tso", "relaxed"),
+// a polarity ("allow": the observation must be reachable; "forbid": it
+// must not be), and one value per observed name.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tmisa/internal/core"
+)
+
+// Op kinds.
+const (
+	OpStore  = "st"
+	OpLoad   = "ld"
+	OpFence  = "mb"
+	OpAtomic = "atomic"
+)
+
+// Op is one instruction of a litmus thread.
+type Op struct {
+	Kind string
+	Var  string // st, ld
+	Reg  string // ld
+	Val  uint64 // st
+	Body []Op   // atomic
+}
+
+// Cond is one expected-observation clause.
+type Cond struct {
+	Model core.MemModelKind
+	Allow bool
+	Vals  []uint64 // one per Observe entry
+}
+
+// Test is one parsed litmus test.
+type Test struct {
+	Name    string
+	Vars    []string
+	Threads [][]Op
+	Observe []string // register or variable names, in report order
+	Conds   []Cond
+
+	regs []string // registers in order of first definition
+}
+
+// Regs returns the test's registers in definition order.
+func (t *Test) Regs() []string { return t.regs }
+
+// Outcome renders one observation vector in the canonical form the
+// runner and the conditions share: "r0=0 r1=1".
+func (t *Test) Outcome(vals []uint64) string {
+	var b strings.Builder
+	for i, name := range t.Observe {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, vals[i])
+	}
+	return b.String()
+}
+
+// Parse parses one litmus test from its textual form.
+func Parse(src string) (*Test, error) {
+	t := &Test{}
+	sawEnd := false
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if sawEnd {
+			return nil, fmt.Errorf("litmus: line %d: content after end", ln+1)
+		}
+		if err := t.parseLine(fields); err != nil {
+			return nil, fmt.Errorf("litmus: line %d: %w", ln+1, err)
+		}
+		if fields[0] == "end" {
+			sawEnd = true
+		}
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("litmus: missing end")
+	}
+	return t, t.validate()
+}
+
+func (t *Test) parseLine(fields []string) error {
+	switch fields[0] {
+	case "test":
+		if len(fields) != 2 {
+			return fmt.Errorf("want: test NAME")
+		}
+		t.Name = fields[1]
+	case "vars":
+		if len(fields) < 2 {
+			return fmt.Errorf("want: vars NAME...")
+		}
+		t.Vars = append(t.Vars, fields[1:]...)
+	case "thread":
+		ops, rest, err := t.parseOps(fields[1:], false)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("trailing tokens %v", rest)
+		}
+		t.Threads = append(t.Threads, ops)
+	case "observe":
+		if len(fields) < 2 {
+			return fmt.Errorf("want: observe NAME...")
+		}
+		t.Observe = append(t.Observe, fields[1:]...)
+	case "end":
+		if len(fields) != 1 {
+			return fmt.Errorf("want: end")
+		}
+	default:
+		// A condition line: MODEL allow|forbid VAL...
+		model, err := core.ParseMemModel(fields[0])
+		if err != nil {
+			return fmt.Errorf("unknown directive %q", fields[0])
+		}
+		if len(fields) < 3 || (fields[1] != "allow" && fields[1] != "forbid") {
+			return fmt.Errorf("want: %s allow|forbid VAL...", fields[0])
+		}
+		c := Cond{Model: model, Allow: fields[1] == "allow"}
+		for _, f := range fields[2:] {
+			v, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad value %q", f)
+			}
+			c.Vals = append(c.Vals, v)
+		}
+		t.Conds = append(t.Conds, c)
+	}
+	return nil
+}
+
+// parseOps consumes ops from the token stream until it runs out or, when
+// inBlock, hits the closing "}". ";" tokens are separators and skipped.
+func (t *Test) parseOps(tok []string, inBlock bool) (ops []Op, rest []string, err error) {
+	for len(tok) > 0 {
+		switch tok[0] {
+		case ";":
+			tok = tok[1:]
+		case "}":
+			if !inBlock {
+				return nil, nil, fmt.Errorf("unmatched }")
+			}
+			return ops, tok[1:], nil
+		case OpStore:
+			if len(tok) < 3 {
+				return nil, nil, fmt.Errorf("want: st VAR VAL")
+			}
+			v, err := strconv.ParseUint(tok[2], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("st %s: bad value %q", tok[1], tok[2])
+			}
+			ops = append(ops, Op{Kind: OpStore, Var: tok[1], Val: v})
+			tok = tok[3:]
+		case OpLoad:
+			if len(tok) < 3 {
+				return nil, nil, fmt.Errorf("want: ld REG VAR")
+			}
+			ops = append(ops, Op{Kind: OpLoad, Reg: tok[1], Var: tok[2]})
+			if !contains(t.regs, tok[1]) {
+				t.regs = append(t.regs, tok[1])
+			}
+			tok = tok[3:]
+		case OpFence:
+			ops = append(ops, Op{Kind: OpFence})
+			tok = tok[1:]
+		case OpAtomic:
+			if len(tok) < 2 || tok[1] != "{" {
+				return nil, nil, fmt.Errorf("want: atomic { ... }")
+			}
+			body, after, err := t.parseOps(tok[2:], true)
+			if err != nil {
+				return nil, nil, err
+			}
+			ops = append(ops, Op{Kind: OpAtomic, Body: body})
+			tok = after
+		default:
+			return nil, nil, fmt.Errorf("unknown op %q", tok[0])
+		}
+	}
+	if inBlock {
+		return nil, nil, fmt.Errorf("missing }")
+	}
+	return ops, nil, nil
+}
+
+func (t *Test) validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("litmus: missing test NAME")
+	}
+	if len(t.Threads) == 0 {
+		return fmt.Errorf("litmus: %s: no threads", t.Name)
+	}
+	if len(t.Observe) == 0 {
+		return fmt.Errorf("litmus: %s: no observe line", t.Name)
+	}
+	vars := make(map[string]bool)
+	for _, v := range t.Vars {
+		if vars[v] {
+			return fmt.Errorf("litmus: %s: duplicate var %q", t.Name, v)
+		}
+		vars[v] = true
+	}
+	var checkOps func(ops []Op) error
+	checkOps = func(ops []Op) error {
+		for i := range ops {
+			op := &ops[i]
+			if (op.Kind == OpStore || op.Kind == OpLoad) && !vars[op.Var] {
+				return fmt.Errorf("litmus: %s: undeclared var %q", t.Name, op.Var)
+			}
+			if err := checkOps(op.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, th := range t.Threads {
+		if err := checkOps(th); err != nil {
+			return err
+		}
+	}
+	for _, name := range t.Observe {
+		if !vars[name] && !contains(t.regs, name) {
+			return fmt.Errorf("litmus: %s: observe %q is neither a var nor a register", t.Name, name)
+		}
+	}
+	for _, c := range t.Conds {
+		if len(c.Vals) != len(t.Observe) {
+			return fmt.Errorf("litmus: %s: condition has %d values for %d observed names", t.Name, len(c.Vals), len(t.Observe))
+		}
+	}
+	return nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedOutcomes returns the keys of an outcome set in stable order,
+// for golden files and reports.
+func SortedOutcomes(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

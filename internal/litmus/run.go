@@ -1,0 +1,224 @@
+// The litmus runner: executes one parsed test on a fresh simulated
+// machine, wiring every nondeterministic machine decision to a Choose
+// callback so the same function serves single runs (default or replayed
+// schedules) and exhaustive exploration.
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"tmisa/internal/core"
+	"tmisa/internal/mem"
+)
+
+// Engine names accepted by Runner.
+const (
+	EngineLazy   = "lazy"
+	EngineEager  = "eager"
+	EngineHybrid = "hybrid" // lazy HTM + serial-irrevocable STM fallback
+)
+
+// Engines lists the engine design points a litmus test is checked on.
+func Engines() []string { return []string{EngineLazy, EngineEager, EngineHybrid} }
+
+// LivelockOutcome is the outcome string of a run that exceeded its cycle
+// budget. It is never a data observation, so conditions cannot name it;
+// the verdict layer reports it separately.
+const LivelockOutcome = "livelock"
+
+// Runner executes one test under one (model, engine) point.
+type Runner struct {
+	Test   *Test
+	Model  core.MemModelKind
+	Engine string
+
+	// MaxCycles bounds one run (0 = 300000); exceeding it yields
+	// LivelockOutcome rather than an error.
+	MaxCycles uint64
+	// StoreBufDepth/SBMaxAge bound the weak-memory window (0 = 4 entries
+	// / 16 cycles). Litmus runs keep these small: every cycle a store
+	// stays buffered is a voluntary-drain decision point, so the window
+	// directly scales the exploration's state space while a handful of
+	// cycles already exposes every reordering these tests probe.
+	StoreBufDepth int
+	SBMaxAge      uint64
+}
+
+// flatten assigns each op of each thread a distinct position index (the
+// interpreter's program counter, folded into state fingerprints) and
+// returns the total count.
+func flatten(threads [][]Op) int {
+	n := 0
+	var walk func(ops []Op)
+	walk = func(ops []Op) {
+		for i := range ops {
+			n++
+			walk(ops[i].Body)
+		}
+	}
+	for _, th := range threads {
+		walk(th)
+	}
+	return n
+}
+
+// Run executes the test once, consulting choose at every decision
+// point, and returns the canonical outcome string. The serializability
+// oracle is attached; an oracle failure is an error (litmus programs
+// must stay serializable under every schedule).
+func (r *Runner) Run(choose Choose) (outcome string, err error) {
+	t := r.Test
+	maxCycles := r.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 300000
+	}
+	sbDepth := r.StoreBufDepth
+	if sbDepth == 0 {
+		sbDepth = 4
+	}
+	sbAge := r.SBMaxAge
+	if sbAge == 0 {
+		sbAge = 16
+	}
+
+	cfg := core.Config{
+		CPUs:      len(t.Threads),
+		MaxCycles: maxCycles,
+		Oracle:    true,
+		// Dueling eager transactions need backoff to converge within the
+		// cycle budget (same setting the fuzzer uses).
+		BackoffBase:   40,
+		MemModel:      r.Model,
+		StoreBufDepth: sbDepth,
+		SBMaxAge:      sbAge,
+	}
+	switch r.Engine {
+	case EngineLazy, "":
+	case EngineEager:
+		cfg.Engine = core.Eager
+	case EngineHybrid:
+		cfg.Fallback = core.SerialFallback
+		cfg.HTMRetryBudget = 2
+	default:
+		return "", fmt.Errorf("litmus: unknown engine %q", r.Engine)
+	}
+
+	// Interpreter state, folded into decision-point fingerprints: the
+	// machine cannot see which op each thread will execute next or what
+	// the registers hold.
+	var m *core.Machine
+	pos := make([]uint64, len(t.Threads))
+	regVals := make([]uint64, len(t.regs))
+	regIdx := make(map[string]int, len(t.regs))
+	for i, name := range t.regs {
+		regIdx[name] = i
+	}
+	fp := func() uint64 {
+		extras := make([]uint64, 0, len(pos)+len(regVals))
+		extras = append(extras, pos...)
+		extras = append(extras, regVals...)
+		return m.Fingerprint(extras...)
+	}
+	cfg.SchedTieBreak = func(tied []int) int {
+		return choose('t', -1, len(tied), fp)
+	}
+	cfg.DrainChoose = func(cpu, eligible int, forced bool) int {
+		if forced {
+			return choose('f', cpu, eligible, fp)
+		}
+		return choose('d', cpu, eligible+1, fp)
+	}
+
+	m = core.NewMachine(cfg)
+	addrs := make(map[string]mem.Addr, len(t.Vars))
+	for _, v := range t.Vars {
+		addrs[v] = m.AllocLine() // one line per var: no false sharing
+	}
+
+	nextPos := uint64(0)
+	bodies := make([]func(*core.Proc), len(t.Threads))
+	for ti := range t.Threads {
+		ops := t.Threads[ti]
+		run := r.compile(ti, ops, &nextPos, addrs, regVals, regIdx, pos)
+		endPos := nextPos
+		nextPos++ // sentinel: thread finished
+		bodies[ti] = func(p *core.Proc) {
+			run(p)
+			pos[ti] = endPos
+		}
+	}
+
+	livelock := false
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if s, ok := rec.(string); ok && strings.Contains(s, "exceeded MaxCycles") {
+					livelock = true
+					return
+				}
+				panic(rec)
+			}
+		}()
+		m.Run(bodies...)
+	}()
+	if livelock {
+		return LivelockOutcome, nil
+	}
+	if err := m.CheckOracle(); err != nil {
+		return "", err
+	}
+
+	vals := make([]uint64, len(t.Observe))
+	for i, name := range t.Observe {
+		if ri, ok := regIdx[name]; ok {
+			vals[i] = regVals[ri]
+		} else {
+			vals[i] = m.Mem().Load(addrs[name])
+		}
+	}
+	return t.Outcome(vals), nil
+}
+
+// compile builds the interpreter for one op list, assigning position
+// indices in execution order as it recurses.
+func (r *Runner) compile(ti int, ops []Op, nextPos *uint64, addrs map[string]mem.Addr,
+	regVals []uint64, regIdx map[string]int, pos []uint64) func(*core.Proc) {
+	type step struct {
+		at  uint64
+		run func(*core.Proc)
+	}
+	steps := make([]step, 0, len(ops))
+	for i := range ops {
+		op := ops[i]
+		at := *nextPos
+		*nextPos++
+		var run func(*core.Proc)
+		switch op.Kind {
+		case OpStore:
+			a, v := addrs[op.Var], op.Val
+			run = func(p *core.Proc) { p.Store(a, v) }
+		case OpLoad:
+			a, ri := addrs[op.Var], regIdx[op.Reg]
+			run = func(p *core.Proc) { regVals[ri] = p.Load(a) }
+		case OpFence:
+			run = func(p *core.Proc) { p.Fence() }
+		case OpAtomic:
+			body := r.compile(ti, op.Body, nextPos, addrs, regVals, regIdx, pos)
+			run = func(p *core.Proc) {
+				if err := p.Atomic(func(*core.Tx) { body(p) }); err != nil {
+					panic(fmt.Sprintf("litmus: thread %d: atomic block failed: %v", ti, err))
+				}
+			}
+		default:
+			panic(fmt.Sprintf("litmus: unknown op kind %q", op.Kind))
+		}
+		steps = append(steps, step{at: at, run: run})
+	}
+	return func(p *core.Proc) {
+		for _, s := range steps {
+			pos[ti] = s.at
+			s.run(p)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// The verdict layer: exhaustively explore one test under one (model,
+// engine) point and compare the reachable outcome set against the
+// test's declared conditions for that model.
+package litmus
+
+import (
+	"fmt"
+
+	"tmisa/internal/core"
+)
+
+// CheckResult is the verdict of one (test, model, engine) point.
+type CheckResult struct {
+	Test    *Test
+	Model   core.MemModelKind
+	Engine  string
+	Explore *ExploreResult
+	// Failures holds one message per violated condition (empty = pass).
+	// An "allow" condition fails when its observation is unreachable; a
+	// "forbid" condition fails when it is reachable, and the message
+	// carries the witness schedule that reaches it.
+	Failures []string
+	// Livelocks is the count of explored schedules that exceeded the
+	// cycle budget (informational; livelock is not a data observation).
+	Livelocks int
+}
+
+// OK reports whether every condition held.
+func (c *CheckResult) OK() bool { return len(c.Failures) == 0 }
+
+// Check explores the test exhaustively under one (model, engine) point
+// and evaluates the conditions declared for that model. An error means
+// the exploration itself failed (run error, oracle violation, run cap);
+// condition violations are reported in the result, not as errors.
+func Check(t *Test, model core.MemModelKind, engine string, opts ExploreOpts) (*CheckResult, error) {
+	r := &Runner{Test: t, Model: model, Engine: engine}
+	ex, err := Explore(r.Run, opts)
+	if err != nil {
+		return nil, fmt.Errorf("litmus: %s under %s/%s: %w", t.Name, model, engine, err)
+	}
+	res := &CheckResult{Test: t, Model: model, Engine: engine, Explore: ex}
+	if _, ok := ex.Outcomes[LivelockOutcome]; ok {
+		res.Livelocks++
+	}
+	for _, c := range t.Conds {
+		if c.Model != model {
+			continue
+		}
+		want := t.Outcome(c.Vals)
+		sched, reachable := ex.Outcomes[want]
+		switch {
+		case c.Allow && !reachable:
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("%s under %s/%s: %q must be reachable but was not (%d outcomes in %d runs)",
+					t.Name, model, engine, want, len(ex.Outcomes), ex.Runs))
+		case !c.Allow && reachable:
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("%s under %s/%s: forbidden %q is reachable; witness schedule: %s",
+					t.Name, model, engine, want, sched))
+		}
+	}
+	return res, nil
+}

@@ -155,6 +155,31 @@ func (m *Memory) Brk() Addr { return m.brk }
 // Footprint returns the number of resident simulated pages.
 func (m *Memory) Footprint() int { return len(m.pages) }
 
+// Fingerprint folds the entire memory content — every nonzero word with
+// its address, in address order — into fn, an FNV-style word accumulator.
+// The litmus explorer's state hash uses it; untouched and zero words hash
+// identically, matching Load's untouched-reads-as-zero semantics.
+func (m *Memory) Fingerprint(fn func(uint64)) {
+	idxs := make([]Addr, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	for _, idx := range idxs {
+		p := m.pages[idx]
+		for w, v := range p.words {
+			if v != 0 {
+				fn(uint64(idx)<<pageShift | uint64(w*WordSize))
+				fn(v)
+			}
+		}
+	}
+}
+
 // F2B converts a float64 to its word representation for storage in
 // simulated memory.
 func F2B(f float64) uint64 { return math.Float64bits(f) }

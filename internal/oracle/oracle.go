@@ -60,6 +60,48 @@ type Config struct {
 	// include the exact interleaving that produced it. Unbounded — enable
 	// it only for bounded runs (tests, the fuzzer), not long simulations.
 	KeepHistory bool
+	// Model selects the non-transactional memory model the run claims to
+	// execute under; the checker validates the store-buffer events against
+	// that model's axioms (see Model).
+	Model Model
+}
+
+// Model is the axiom set for non-transactional accesses (the Chong,
+// Sorensen & Wickerson per-architecture models, PAPERS.md). Transactional
+// accesses are fully fenced under every model, so the serializability
+// machinery is model-independent: a buffered store joins the committed
+// state only when it drains (its NtStore event), which is exactly when it
+// enters the architected memory order.
+type Model int
+
+const (
+	// ModelSC admits no store-buffer events at all: every store performs
+	// in place at its instruction.
+	ModelSC Model = iota
+	// ModelTSO requires FIFO drain order and same-word forwarding from
+	// the newest pending store (x86-TSO).
+	ModelTSO
+	// ModelRelaxed allows out-of-order drains across different words but
+	// still requires same-word program order and newest-entry forwarding.
+	ModelRelaxed
+)
+
+func (m Model) String() string {
+	switch m {
+	case ModelTSO:
+		return "tso"
+	case ModelRelaxed:
+		return "relaxed"
+	default:
+		return "sc"
+	}
+}
+
+// sbPend is one store the model says is pending in a CPU's buffer:
+// announced by NtStoreBuf, consumed by the matching NtStore drain.
+type sbPend struct {
+	word mem.Addr
+	val  uint64
 }
 
 // entity identifies one committed unit in the history: the initial memory
@@ -127,6 +169,7 @@ type Checker struct {
 	cfg    Config
 	seq    int
 	stacks [][]*frame // per CPU, outermost first; grown on demand
+	sbs    [][]sbPend // per CPU pending stores (weak models), oldest first
 
 	versions map[mem.Addr][]pub
 	commits  []*committed
@@ -181,6 +224,13 @@ func (c *Checker) stack(cpu int) []*frame {
 		c.txnSeq = append(c.txnSeq, 0)
 	}
 	return c.stacks[cpu]
+}
+
+func (c *Checker) sbuf(cpu int) []sbPend {
+	for len(c.sbs) <= cpu {
+		c.sbs = append(c.sbs, nil)
+	}
+	return c.sbs[cpu]
 }
 
 func (c *Checker) top(cpu int) *frame {
@@ -239,6 +289,10 @@ func (c *Checker) Event(e trace.Event) {
 	}
 	switch e.Kind {
 	case trace.Begin:
+		if buf := c.sbuf(e.CPU); len(buf) != 0 {
+			c.fail("cpu%d @%d: transaction begin with %d store(s) still buffered (xbegin must fence)",
+				e.CPU, c.seq, len(buf))
+		}
 		c.stacks[e.CPU] = append(c.stack(e.CPU), &frame{
 			nl: e.Level, open: e.Open, beginSeq: c.seq,
 			writes: make(map[mem.Addr]uint64),
@@ -257,7 +311,12 @@ func (c *Checker) Event(e trace.Event) {
 		}
 	case trace.NtLoad:
 		c.ntLoad(e)
+	case trace.NtStoreBuf:
+		c.ntStoreBuf(e)
+	case trace.NtLoadFwd:
+		c.ntLoadFwd(e)
 	case trace.NtStore:
+		c.drainMatch(e)
 		id := c.newEntity()
 		c.record(&committed{
 			id: id, cpu: e.CPU, beginSeq: c.seq, endSeq: c.seq,
@@ -325,12 +384,83 @@ func (c *Checker) txLoad(e trace.Event) {
 // ordering constraints are already implied by the word's write→write
 // chain.
 func (c *Checker) ntLoad(e trace.Event) {
+	for _, pnd := range c.sbuf(e.CPU) {
+		if pnd.word == e.Addr {
+			c.fail("cpu%d @%d: non-transactional read of %#x went to memory with a same-word store pending in this CPU's buffer (forwarding bypassed)",
+				e.CPU, c.seq, uint64(e.Addr))
+			break
+		}
+	}
 	ver := c.curVersion(e.Addr, e.Val, true)
 	p := c.versions[e.Addr][ver]
 	if p.val != e.Val {
 		c.fail("cpu%d @%d: non-transactional read of %#x observed %d, but the committed value is %d (strong-atomicity violation: dirty or lost-update read)",
 			e.CPU, c.seq, uint64(e.Addr), e.Val, p.val)
 	}
+}
+
+// ntStoreBuf records a store entering a CPU's buffer. The value stays
+// private to the CPU (forwarding) until the matching NtStore drain
+// publishes it; only then does the committed-state model see it.
+func (c *Checker) ntStoreBuf(e trace.Event) {
+	if c.cfg.Model == ModelSC {
+		c.fail("cpu%d @%d: store-buffer insertion of %#x under the SC model (stores must perform in place)",
+			e.CPU, c.seq, uint64(e.Addr))
+		return
+	}
+	c.sbs[e.CPU] = append(c.sbuf(e.CPU), sbPend{word: e.Addr, val: e.Val})
+}
+
+// ntLoadFwd checks a forwarded load: every model that buffers at all
+// forwards from the newest pending same-word store, and forwarding with
+// nothing pending (in particular under SC) is impossible.
+func (c *Checker) ntLoadFwd(e trace.Event) {
+	buf := c.sbuf(e.CPU)
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].word == e.Addr {
+			if buf[i].val != e.Val {
+				c.fail("cpu%d @%d: forwarded read of %#x observed %d, but the newest pending store holds %d",
+					e.CPU, c.seq, uint64(e.Addr), e.Val, buf[i].val)
+			}
+			return
+		}
+	}
+	c.fail("cpu%d @%d: forwarded read of %#x with no pending same-word store in this CPU's buffer",
+		e.CPU, c.seq, uint64(e.Addr))
+}
+
+// drainMatch validates a performing non-transactional store against the
+// CPU's pending-store buffer. An empty buffer means a fenced direct
+// store (legal under every model — e.g. the fallback-lock word after its
+// fence); a non-empty buffer means this store must be a drain: it has to
+// match a pending entry — the oldest one under TSO's FIFO axiom, the
+// oldest same-word entry under the relaxed model — which it consumes.
+func (c *Checker) drainMatch(e trace.Event) {
+	buf := c.sbuf(e.CPU)
+	if len(buf) == 0 {
+		return
+	}
+	idx := -1
+	for i, pnd := range buf {
+		if pnd.word == e.Addr {
+			idx = i // first match = oldest same-word entry
+			break
+		}
+	}
+	if idx < 0 {
+		c.fail("cpu%d @%d: non-transactional store of %#x performed while %d unrelated store(s) sit buffered (a direct store requires an empty buffer)",
+			e.CPU, c.seq, uint64(e.Addr), len(buf))
+		return
+	}
+	if buf[idx].val != e.Val {
+		c.fail("cpu%d @%d: drain of %#x stored %d, but the buffered value is %d",
+			e.CPU, c.seq, uint64(e.Addr), e.Val, buf[idx].val)
+	}
+	if c.cfg.Model == ModelTSO && idx != 0 {
+		c.fail("cpu%d @%d: TSO drain of %#x skipped %d older buffered store(s) (FIFO order violated)",
+			e.CPU, c.seq, uint64(e.Addr), idx)
+	}
+	c.sbs[e.CPU] = append(buf[:idx], buf[idx+1:]...)
 }
 
 // imStore models imst: an instant publication that a rollback of the
@@ -569,6 +699,11 @@ func (c *Checker) Finish(final MemReader) error {
 		for cpu, s := range c.stacks {
 			if len(s) != 0 {
 				c.fail("cpu%d: run ended with %d transaction frame(s) still open", cpu, len(s))
+			}
+		}
+		for cpu, buf := range c.sbs {
+			if len(buf) != 0 {
+				c.fail("cpu%d: run ended with %d store(s) still buffered (halt must fence)", cpu, len(buf))
 			}
 		}
 		order, cycle := c.topoOrder()

@@ -391,3 +391,121 @@ func TestHistorySurvivesFailure(t *testing.T) {
 		t.Fatalf("dump incomplete after failure:\n%s", dump)
 	}
 }
+
+// --- Weak-model axiom checks (Config.Model) ---
+
+// tsoChecker is a checker whose run claims TSO non-transactional
+// semantics; relaxedChecker the bounded-reordering model.
+func tsoChecker() *Checker     { return New(Config{Lazy: true, LineSize: 64, Model: ModelTSO}) }
+func relaxedChecker() *Checker { return New(Config{Lazy: true, LineSize: 64, Model: ModelRelaxed}) }
+
+// expectFail runs Finish and asserts the report mentions want.
+func expectFail(t *testing.T, c *Checker, final mapMem, want string) {
+	t.Helper()
+	err := c.Finish(final)
+	if err == nil {
+		t.Fatalf("history accepted; expected a failure mentioning %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("expected a failure mentioning %q, got: %v", want, err)
+	}
+}
+
+// TestSCRejectsBufferedStore: under the SC model a store-buffer
+// insertion is impossible — every store performs in place.
+func TestSCRejectsBufferedStore(t *testing.T) {
+	c := newChecker() // Model zero value = ModelSC
+	feed(c, ev(0, trace.NtStoreBuf, x, 1))
+	expectFail(t, c, mapMem{x: 1}, "under the SC model")
+}
+
+// TestTSOAcceptsBufferedRoundTrip: insert, forward, drain — the legal
+// TSO lifecycle of one store passes every axiom.
+func TestTSOAcceptsBufferedRoundTrip(t *testing.T) {
+	c := tsoChecker()
+	feed(c,
+		ev(0, trace.NtStoreBuf, x, 1),
+		ev(0, trace.NtLoadFwd, x, 1),
+		ev(0, trace.NtStore, x, 1),
+	)
+	if err := c.Finish(mapMem{x: 1}); err != nil {
+		t.Fatalf("legal TSO round trip rejected: %v", err)
+	}
+}
+
+// TestTSOFIFODrainOrderEnforced: draining the younger of two buffered
+// stores first violates TSO's FIFO axiom.
+func TestTSOFIFODrainOrderEnforced(t *testing.T) {
+	c := tsoChecker()
+	feed(c,
+		ev(0, trace.NtStoreBuf, x, 1),
+		ev(0, trace.NtStoreBuf, y, 2),
+		ev(0, trace.NtStore, y, 2), // skips the older x entry
+	)
+	expectFail(t, c, mapMem{x: 1, y: 2}, "FIFO order violated")
+}
+
+// TestRelaxedAllowsOutOfOrderDrain: the same skipped drain is legal
+// under the relaxed model's cross-word reordering.
+func TestRelaxedAllowsOutOfOrderDrain(t *testing.T) {
+	c := relaxedChecker()
+	feed(c,
+		ev(0, trace.NtStoreBuf, x, 1),
+		ev(0, trace.NtStoreBuf, y, 2),
+		ev(0, trace.NtStore, y, 2),
+		ev(0, trace.NtStore, x, 1),
+	)
+	if err := c.Finish(mapMem{x: 1, y: 2}); err != nil {
+		t.Fatalf("legal relaxed out-of-order drain rejected: %v", err)
+	}
+}
+
+// TestForwardingMandatory: a memory read with a same-word store pending
+// in the CPU's own buffer must have forwarded instead.
+func TestForwardingMandatory(t *testing.T) {
+	c := tsoChecker()
+	feed(c,
+		ev(0, trace.NtStoreBuf, x, 1),
+		ev(0, trace.NtLoad, x, 0),
+	)
+	expectFail(t, c, mapMem{x: 1}, "forwarding bypassed")
+}
+
+// TestForwardedValueChecked: a forwarded load must observe the newest
+// pending same-word value.
+func TestForwardedValueChecked(t *testing.T) {
+	c := tsoChecker()
+	feed(c,
+		ev(0, trace.NtStoreBuf, x, 1),
+		ev(0, trace.NtStoreBuf, x, 2),
+		ev(0, trace.NtLoadFwd, x, 1), // stale: newest pending is 2
+	)
+	expectFail(t, c, mapMem{x: 2}, "newest pending store holds")
+}
+
+// TestForwardWithoutPendingRejected: forwarding with nothing buffered
+// for the word is impossible on any model.
+func TestForwardWithoutPendingRejected(t *testing.T) {
+	c := tsoChecker()
+	feed(c, ev(0, trace.NtLoadFwd, x, 1))
+	expectFail(t, c, mapMem{}, "no pending same-word store")
+}
+
+// TestBeginRequiresDrainedBuffer: transactional entry is a fence; a
+// begin with stores still buffered breaks the fence discipline.
+func TestBeginRequiresDrainedBuffer(t *testing.T) {
+	c := tsoChecker()
+	feed(c,
+		ev(0, trace.NtStoreBuf, x, 1),
+		ev(0, trace.Begin, 0, 0),
+	)
+	expectFail(t, c, mapMem{x: 1}, "xbegin must fence")
+}
+
+// TestFinishRequiresDrainedBuffer: a run may not end with stores still
+// buffered — program halt is a fence point.
+func TestFinishRequiresDrainedBuffer(t *testing.T) {
+	c := tsoChecker()
+	feed(c, ev(0, trace.NtStoreBuf, x, 1))
+	expectFail(t, c, mapMem{}, "halt must fence")
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"tmisa/internal/core"
 	"tmisa/internal/mem"
@@ -51,18 +52,42 @@ type ExecResult struct {
 	// Category is empty on a clean run, else one of the Cat* constants.
 	Category string
 	Err      error
+	// Outcome is the canonical final memory image ("s0=3 s1=0 … c0p1=7"):
+	// every shared pool word in index order, then every CPU's private
+	// words. Empty when the run panicked (the machine died mid-flight).
+	// The litmus explorer compares fuzzer-observed outcomes against its
+	// exhaustively reachable set through this exact string.
+	Outcome string
 }
 
 // Failed reports whether the run ended in any failure category.
 func (r *ExecResult) Failed() bool { return r.Category != "" }
 
+// ExecHooks lets a caller steer one execution: the litmus explorer
+// installs its SchedTieBreak/DrainChoose decision hooks via Configure and
+// grabs the machine via OnMachine so those hooks can fingerprint it.
+type ExecHooks struct {
+	// Configure mutates the materialized core.Config before the machine
+	// is built.
+	Configure func(cfg *core.Config)
+	// OnMachine receives the machine right after construction, before any
+	// thread runs.
+	OnMachine func(m *core.Machine)
+	// OnOp fires just before each op executes, with the executing CPU and
+	// the op's program-unique ID. The explorer maintains per-CPU program
+	// positions from it, which it folds into the state fingerprint (the
+	// machine cannot see the interpreter's continuation).
+	OnOp func(cpu, opID int)
+}
+
 // exec is the per-run interpreter state.
 type exec struct {
-	prog *Program
-	mc   MachineConfig
-	m    *core.Machine
-	io   *txrt.IOSys
-	fd   int
+	prog  *Program
+	mc    MachineConfig
+	m     *core.Machine
+	hooks *ExecHooks
+	io    *txrt.IOSys
+	fd    int
 
 	privBase mem.Addr
 	// txStacks tracks the live Tx handle per CPU (grown on block entry,
@@ -89,10 +114,16 @@ type exec struct {
 // verdict: oracle violations, invariant breaks, or engine panics
 // (deadlock, livelock past MaxCycles) all count as failures.
 func Execute(prog *Program, mc MachineConfig) *ExecResult {
+	return ExecuteHooked(prog, mc, nil)
+}
+
+// ExecuteHooked is Execute with caller-installed hooks (see ExecHooks).
+func ExecuteHooked(prog *Program, mc MachineConfig, hooks *ExecHooks) *ExecResult {
 	res := &ExecResult{}
 	x := &exec{
 		prog:        prog,
 		mc:          mc,
+		hooks:       hooks,
 		commitRuns:  make(map[int]int),
 		abortRuns:   make(map[int]int),
 		violRuns:    make(map[int]int),
@@ -115,6 +146,7 @@ func Execute(prog *Program, mc MachineConfig) *ExecResult {
 			bodies[i] = func(p *core.Proc) { x.runOps(p, ops) }
 		}
 		res.Report = x.m.Run(bodies...)
+		res.Outcome = x.outcome()
 	}()
 	if res.Failed() {
 		return res
@@ -136,7 +168,14 @@ func Execute(prog *Program, mc MachineConfig) *ExecResult {
 var debugTrace func(trace.Event)
 
 func (x *exec) setup() {
-	x.m = core.NewMachine(x.mc.CoreConfig())
+	cfg := x.mc.CoreConfig()
+	if x.hooks != nil && x.hooks.Configure != nil {
+		x.hooks.Configure(&cfg)
+	}
+	x.m = core.NewMachine(cfg)
+	if x.hooks != nil && x.hooks.OnMachine != nil {
+		x.hooks.OnMachine(x.m)
+	}
 	if debugTrace != nil {
 		x.m.SetTracer(debugTrace)
 	}
@@ -166,6 +205,25 @@ func (x *exec) setup() {
 	for _, t := range x.prog.Threads {
 		initBudgets(t)
 	}
+}
+
+// outcome renders the final memory image canonically: shared pool words
+// in index order, then each CPU's private words. Two runs that end in
+// the same architecturally visible state render identically.
+func (x *exec) outcome() string {
+	var b strings.Builder
+	for w := 0; w < x.prog.Words; w++ {
+		if w > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "s%d=%d", w, x.m.Mem().Load(SharedAddr(w)))
+	}
+	for cpu := 0; cpu < x.mc.CPUs; cpu++ {
+		for slot := 0; slot < PrivateWords; slot++ {
+			fmt.Fprintf(&b, " c%dp%d=%d", cpu, slot, x.m.Mem().Load(x.privAddr(cpu, slot)))
+		}
+	}
+	return b.String()
 }
 
 // granule maps an address to the run's conflict-detection granule.
@@ -201,6 +259,9 @@ func (x *exec) tx(p *core.Proc) *core.Tx {
 func (x *exec) runOps(p *core.Proc, ops []Op) {
 	for i := range ops {
 		op := &ops[i]
+		if x.hooks != nil && x.hooks.OnOp != nil {
+			x.hooks.OnOp(p.ID(), op.ID)
+		}
 		switch op.Kind {
 		case OpLoad:
 			p.Load(SharedAddr(op.Word))

@@ -142,6 +142,20 @@ func DeriveCase(seed uint64, i int) (*Program, MachineConfig) {
 			mc.MaxReadLines = 2 + g.r.intn(6)
 		}
 	}
+	// Weak-memory rotation (drawn after the hybrid block, same reasoning:
+	// enabling it changed no pre-existing case material): a fifth of the
+	// cases run their non-transactional accesses under TSO or relaxed
+	// ordering, most with a seeded drain policy so buffered stores retire
+	// at arbitrary points rather than only by age.
+	if g.r.chance(20) {
+		mc.MemModel = "tso"
+		if g.r.chance(50) {
+			mc.MemModel = "relaxed"
+		}
+		if g.r.chance(70) {
+			mc.DrainSeed = g.r.next() | 1 // non-zero
+		}
+	}
 	return prog, mc
 }
 

@@ -44,6 +44,16 @@ type MachineConfig struct {
 	MaxWriteLines int  `json:"maxWriteLines,omitempty"`
 	// Faults is the deterministic fault-injection plan (may be empty).
 	Faults []core.FaultViolation `json:"faults,omitempty"`
+	// MemModel selects the non-transactional memory consistency model:
+	// "" or "sc" (default), "tso", or "relaxed".
+	MemModel string `json:"memModel,omitempty"`
+	// DrainSeed, when non-zero, seeds the deterministic store-buffer drain
+	// policy under a weak MemModel (zero keeps the age-based default).
+	DrainSeed uint64 `json:"drainSeed,omitempty"`
+	// StoreBufDepth / SBMaxAge bound the weak-memory window (0 = the
+	// core defaults).
+	StoreBufDepth int    `json:"storeBufDepth,omitempty"`
+	SBMaxAge      uint64 `json:"sbMaxAge,omitempty"`
 }
 
 // String is the compact case label used in logs and failure reports.
@@ -63,6 +73,9 @@ func (mc MachineConfig) String() string {
 		if mc.BoundedSpec {
 			s += fmt.Sprintf(" cap=r%d/w%d", mc.MaxReadLines, mc.MaxWriteLines)
 		}
+	}
+	if mc.MemModel != "" && mc.MemModel != "sc" {
+		s += fmt.Sprintf(" mem=%s/d%d", mc.MemModel, mc.DrainSeed)
 	}
 	return s
 }
@@ -112,6 +125,26 @@ func (mc MachineConfig) CoreConfig() core.Config {
 	if mc.TieBreakSeed != 0 {
 		r := rng{s: mc.TieBreakSeed}
 		cfg.SchedTieBreak = func(tied []int) int { return r.intn(len(tied)) }
+	}
+	if mm, err := core.ParseMemModel(mc.MemModel); err != nil {
+		panic(fmt.Sprintf("tmfuzz: %v", err)) // generator only emits valid names
+	} else {
+		cfg.MemModel = mm
+	}
+	cfg.StoreBufDepth = mc.StoreBufDepth
+	cfg.SBMaxAge = mc.SBMaxAge
+	if mc.DrainSeed != 0 {
+		// A seeded drain policy makes buffered stores retire at random
+		// instruction boundaries (and, under relaxed, in random eligible
+		// order at fences) instead of only by age — the weak-memory analog
+		// of TieBreakSeed, and just as deterministic per seed.
+		r := rng{s: mc.DrainSeed}
+		cfg.DrainChoose = func(cpu, eligible int, forced bool) int {
+			if forced {
+				return 1 + r.intn(eligible)
+			}
+			return r.intn(eligible + 1)
+		}
 	}
 	return cfg
 }

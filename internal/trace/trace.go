@@ -64,16 +64,27 @@ const (
 	// fallback execution, whose cycles the profiler attributes as
 	// serialized/instrumented time.
 	Fallback
+	// NtStoreBuf is a non-transactional store entering the CPU's store
+	// buffer under a relaxed memory model (core.Config.MemModel): the
+	// value is locally visible (load forwarding) but not yet globally
+	// performed. The matching NtStore event is emitted when the entry
+	// drains to memory.
+	NtStoreBuf
+	// NtLoadFwd is a non-transactional load satisfied by forwarding from
+	// the CPU's own store buffer (newest pending same-word entry); no
+	// globally visible access happens.
+	NtLoadFwd
 )
 
 var kindNames = [...]string{
 	"begin", "commit", "closed-commit", "rollback", "abort", "violation",
 	"handler", "validate", "tx-load", "tx-store", "nt-load", "nt-store",
 	"im-load", "im-store", "im-storeid", "release", "backoff", "fallback",
+	"nt-store-buf", "nt-load-fwd",
 }
 
 // NumKinds is the number of defined event kinds (for iteration).
-const NumKinds = int(Fallback) + 1
+const NumKinds = int(NtLoadFwd) + 1
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -117,7 +128,7 @@ type Event struct {
 // IsMemory reports whether the event is a memory access (a kind that
 // carries a word address and a value moved).
 func (e Event) IsMemory() bool {
-	return e.Kind >= TxLoad && e.Kind <= ImStoreID
+	return (e.Kind >= TxLoad && e.Kind <= ImStoreID) || e.Kind == NtStoreBuf || e.Kind == NtLoadFwd
 }
 
 // HasAddr reports whether the event's kind defines Addr: memory accesses
@@ -129,7 +140,8 @@ func (e Event) IsMemory() bool {
 // violation-triggered, so they are excluded here and render their address
 // only when present.
 func (e Event) HasAddr() bool {
-	return (e.Kind >= TxLoad && e.Kind <= ReleaseEv) || e.Kind == Violation
+	return (e.Kind >= TxLoad && e.Kind <= ReleaseEv) || e.Kind == Violation ||
+		e.Kind == NtStoreBuf || e.Kind == NtLoadFwd
 }
 
 // String renders one event compactly.

@@ -382,22 +382,30 @@ func TestWorkloadsOnMultitrackScheme(t *testing.T) {
 // and without it. EXPERIMENTS.md asserts this ("pure observation"); this
 // test enforces it, so oracle-checked runs measure the same machine the
 // figures report.
+// The sweep covers every memory model: under TSO and the relaxed
+// reordering window the oracle additionally validates store-buffer
+// axioms, and that extra checking must be just as invisible.
 func TestOracleIsPureObservation(t *testing.T) {
-	for _, mk := range []func() Workload{
-		func() Workload { return DefaultMP3D() },
-		func() Workload { return DefaultJBB(JBBOpen) },
-	} {
-		plain := Execute(mk(), core.DefaultConfig(), 8)
-		cfg := core.DefaultConfig()
-		cfg.Oracle = true
-		cfg.OracleHistory = true
-		checked := Execute(mk(), cfg, 8)
-		if plain.TotalCycles != checked.TotalCycles {
-			t.Errorf("%s: oracle changed cycles: %d -> %d", mk().Name(), plain.TotalCycles, checked.TotalCycles)
-		}
-		if plain.Machine != checked.Machine {
-			t.Errorf("%s: oracle changed machine counters:\nplain:   %+v\nchecked: %+v",
-				mk().Name(), plain.Machine, checked.Machine)
+	for _, model := range []core.MemModelKind{core.MemSC, core.MemTSO, core.MemRelaxed} {
+		for _, mk := range []func() Workload{
+			func() Workload { return DefaultMP3D() },
+			func() Workload { return DefaultJBB(JBBOpen) },
+		} {
+			base := core.DefaultConfig()
+			base.MemModel = model
+			plain := Execute(mk(), base, 8)
+			cfg := base
+			cfg.Oracle = true
+			cfg.OracleHistory = true
+			checked := Execute(mk(), cfg, 8)
+			if plain.TotalCycles != checked.TotalCycles {
+				t.Errorf("%s under %s: oracle changed cycles: %d -> %d",
+					mk().Name(), model, plain.TotalCycles, checked.TotalCycles)
+			}
+			if plain.Machine != checked.Machine {
+				t.Errorf("%s under %s: oracle changed machine counters:\nplain:   %+v\nchecked: %+v",
+					mk().Name(), model, plain.Machine, checked.Machine)
+			}
 		}
 	}
 }
