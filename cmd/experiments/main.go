@@ -15,7 +15,7 @@
 //	experiments                 # run everything
 //	experiments -exp figure5    # one experiment: overheads, figure5, io,
 //	                            # condsync, schemes, engines, opensem, depth,
-//	                            # granularity, scaling, hybrid
+//	                            # granularity, scaling, hybrid, scale
 //
 // Exit codes: 0 on success, 1 when a cell fails (workload verification,
 // oracle violation, I/O error), 2 on usage errors.
@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"tmisa/internal/runner"
+	"tmisa/internal/sim"
 	"tmisa/internal/tmprof"
 )
 
@@ -42,7 +43,7 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run (all, overheads, figure5, io, condsync, schemes, engines, opensem, depth, granularity, scaling, hybrid)")
+	exp := fs.String("exp", "all", "experiment to run (all, overheads, figure5, io, condsync, schemes, engines, opensem, depth, granularity, scaling, hybrid, scale)")
 	cpus := fs.Int("cpus", 8, "CPU count for figure5-style experiments")
 	oracle := fs.Bool("oracle", false, "oracle-check every workload run (fails the run on a violation; condsync/opensem excepted)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker goroutines to shard each experiment's cell matrix over")
@@ -50,11 +51,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	profile := fs.Bool("profile", false, "collect a tmprof conflict-attribution profile of every cell (see -profile-out)")
 	profileOut := fs.String("profile-out", "tmprof.json", "profile destination: Perfetto-loadable trace-event JSON (render with cmd/tmprof)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
+	schedName := fs.String("sched", "", "simulation scheduler: eventloop (default) or goroutine (the legacy engine, kept one release as the differential oracle)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "experiments: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	sched, err := sim.ParseSched(*schedName)
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
 		return 2
 	}
 
@@ -69,7 +76,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		names = []string{*exp}
 	}
 
-	ctx := runner.Context{CPUs: *cpus, Oracle: *oracle, Profile: *profile}
+	ctx := runner.Context{CPUs: *cpus, Oracle: *oracle, Profile: *profile, Sched: sched}
 	var profiles []*tmprof.Profile
 	for _, name := range names {
 		e, _ := runner.Find(name)

@@ -141,6 +141,7 @@ func TestExitCodes(t *testing.T) {
 	}{
 		{"unknown exp", []string{"-exp", "no-such-experiment"}, 2},
 		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"unknown sched", []string{"-exp", "overheads", "-sched", "fibers"}, 2},
 		{"stray args", []string{"-exp", "overheads", "extra"}, 2},
 		{"unwritable benchdir", []string{"-exp", "overheads", "-q", "-benchdir", "/nonexistent-dir/sub"}, 1},
 		{"unwritable profile-out", []string{"-exp", "overheads", "-q", "-benchdir", "", "-profile", "-profile-out", "/nonexistent-dir/prof.json"}, 1},

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"tmisa/internal/cache"
+	"tmisa/internal/sim"
 	"tmisa/internal/tm"
 )
 
@@ -177,6 +178,14 @@ type Config struct {
 	// when Fallback is enabled. Ignored without a fallback.
 	HTMRetryBudget int
 
+	// Sched selects the simulation scheduler implementation. The zero
+	// value is sim.SchedEventLoop (the calendar-queue event loop);
+	// sim.SchedGoroutine keeps the legacy one-goroutine-per-grant engine,
+	// retained for one release as the differential-testing oracle. Both
+	// produce byte-identical simulations (the sched-equiv suite enforces
+	// it).
+	Sched sim.Sched
+
 	// SchedTieBreak, when non-nil, is installed as the simulation engine's
 	// tie-break hook: it chooses which CPU runs first among those ready at
 	// the same minimal cycle (see sim.Engine.TieBreak). The scheduler's
@@ -233,6 +242,12 @@ func (c Config) Describe() string {
 		// and BENCH baseline string stays byte-identical.
 		s += fmt.Sprintf(" memmodel=%s sbdepth=%d sbmaxage=%d",
 			c.MemModel, c.storeBufDepthOrDefault(), c.sbMaxAgeOrDefault())
+	}
+	if c.Sched != sim.SchedEventLoop {
+		// Appended only for the non-default scheduler: the schedulers are
+		// byte-equivalent, so default-sched describe strings (and with them
+		// every BENCH config fingerprint) stay stable across the migration.
+		s += fmt.Sprintf(" sched=%s", c.Sched)
 	}
 	return s
 }

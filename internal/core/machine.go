@@ -68,7 +68,7 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m := &Machine{
 		cfg:   cfg,
-		eng:   sim.NewEngine(cfg.CPUs),
+		eng:   sim.NewEngineSched(cfg.CPUs, cfg.Sched),
 		mem:   mem.New(),
 		bus:   bus.New(),
 		token: bus.NewToken(),

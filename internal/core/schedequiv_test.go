@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tmisa/internal/mem"
+	"tmisa/internal/sim"
+	"tmisa/internal/stats"
+)
+
+// TestParkHaltFallbackLockSchedEquiv drives the edge the event-loop
+// migration is most likely to get wrong: Park/unpark and CPU halt
+// interleaved with a pending serial-fallback-lock grant. CPU 0 and
+// CPU 1 both capacity-abort into the serial path, so while CPU 0 holds
+// the fallback lock, CPU 1 sits in fbAcquire's poll loop (a pending
+// grant), CPU 2 is parked waiting on wakes from both serial sections,
+// and CPU 3 halts almost immediately. The whole interaction must play
+// out identically — same wake count, same final memory, same per-CPU
+// counters — under the event-loop and legacy goroutine schedulers.
+func TestParkHaltFallbackLockSchedEquiv(t *testing.T) {
+	type snap struct {
+		wakes   int
+		counter uint64
+		total   uint64
+		percpu  []stats.Counters
+	}
+
+	run := func(t *testing.T, s sim.Sched) snap {
+		cfg := testConfig(4, Lazy)
+		cfg.Sched = s
+		cfg.Oracle = true
+		cfg.Fallback = SerialFallback
+		cfg.HTMRetryBudget = 2
+		cfg.Cache.BoundedSpec = true
+		cfg.Cache.MaxWriteLines = 2
+		cfg.Cache.MaxReadLines = 8
+		m := NewMachine(cfg)
+
+		// Four distinct lines: storing all of them overflows the 2-line
+		// write-set bound, so the transaction deterministically
+		// capacity-aborts into the serial fallback on its first attempt.
+		addrs := make([]mem.Addr, 4)
+		for i := range addrs {
+			addrs[i] = m.AllocLine()
+		}
+		counter := m.AllocLine()
+
+		done := false
+		wakes := 0
+		overCap := func(p *Proc, val uint64) {
+			if err := p.Atomic(func(tx *Tx) {
+				for _, a := range addrs {
+					p.Store(a, val)
+				}
+				p.Store(counter, p.Load(counter)+1)
+			}); err != nil {
+				t.Errorf("CPU %d: over-capacity transaction failed: %v", p.id, err)
+			}
+		}
+		m.Run(
+			func(p *Proc) {
+				overCap(p, 1)
+				// Wake the parker while CPU 1's lock grant is still pending.
+				p.UnparkProc(m.Proc(2))
+			},
+			func(p *Proc) {
+				// Enter the serial path only once CPU 0 owns the lock, so
+				// this CPU's fbAcquire demonstrably polls a held lock.
+				for m.fbOwner == nil {
+					p.Tick(5)
+				}
+				overCap(p, 2)
+				done = true
+				p.UnparkProc(m.Proc(2))
+			},
+			func(p *Proc) {
+				for !done {
+					p.Park("sched-equiv wait")
+					wakes++
+				}
+			},
+			func(p *Proc) {
+				// Halt early: a frozen clock among live waiters/spinners.
+				p.Atomic(func(tx *Tx) { p.Tick(3) })
+			},
+		)
+		if err := m.CheckOracle(); err != nil {
+			t.Fatalf("sched=%s: oracle: %v", s, err)
+		}
+		rep := m.Report()
+		if rep.Machine.Fallbacks < 2 {
+			t.Fatalf("sched=%s: %d fallback transitions, want both serial CPUs (2)", s, rep.Machine.Fallbacks)
+		}
+		return snap{
+			wakes:   wakes,
+			counter: m.Mem().Load(counter),
+			total:   rep.TotalCycles,
+			percpu:  append([]stats.Counters(nil), rep.PerCPU...),
+		}
+	}
+
+	var snaps []snap
+	for _, s := range sim.Scheds() {
+		s := s
+		t.Run(fmt.Sprintf("sched=%s", s), func(t *testing.T) {
+			sn := run(t, s)
+			if sn.counter != 2 {
+				t.Errorf("counter = %d, want 2 (both serial sections must commit)", sn.counter)
+			}
+			if sn.wakes == 0 {
+				t.Error("parker never woke")
+			}
+			snaps = append(snaps, sn)
+		})
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("collected %d snapshots, want 2", len(snaps))
+	}
+	a, b := snaps[0], snaps[1]
+	if a.wakes != b.wakes || a.counter != b.counter || a.total != b.total {
+		t.Errorf("schedulers diverged: eventloop {wakes=%d counter=%d cycles=%d}, goroutine {wakes=%d counter=%d cycles=%d}",
+			a.wakes, a.counter, a.total, b.wakes, b.counter, b.total)
+	}
+	for i := range a.percpu {
+		if a.percpu[i] != b.percpu[i] {
+			t.Errorf("CPU %d counters diverged:\neventloop: %+v\ngoroutine: %+v", i, a.percpu[i], b.percpu[i])
+		}
+	}
+}

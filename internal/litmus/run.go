@@ -10,6 +10,7 @@ import (
 
 	"tmisa/internal/core"
 	"tmisa/internal/mem"
+	"tmisa/internal/sim"
 )
 
 // Engine names accepted by Runner.
@@ -32,6 +33,11 @@ type Runner struct {
 	Test   *Test
 	Model  core.MemModelKind
 	Engine string
+
+	// Sched selects the simulation scheduler (zero = event loop). The
+	// corpus differential suite re-checks the golden reachable-outcome
+	// sets under the legacy scheduler through this knob.
+	Sched sim.Sched
 
 	// MaxCycles bounds one run (0 = 300000); exceeding it yields
 	// LivelockOutcome rather than an error.
@@ -92,6 +98,7 @@ func (r *Runner) Run(choose Choose) (outcome string, err error) {
 		MemModel:      r.Model,
 		StoreBufDepth: sbDepth,
 		SBMaxAge:      sbAge,
+		Sched:         r.Sched,
 	}
 	switch r.Engine {
 	case EngineLazy, "":

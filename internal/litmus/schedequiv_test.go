@@ -1,0 +1,47 @@
+package litmus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmisa/internal/sim"
+)
+
+// TestCorpusSchedEquivalence re-explores every corpus (test, model,
+// engine) point under the legacy goroutine scheduler and pins the
+// reachable outcome sets against the same testdata/golden.txt the
+// default event-loop run is checked on (TestLitmusCorpus). The explorer
+// enumerates complete schedule trees, so identical outcome sets across
+// all points means the two schedulers expose identical decision points
+// in identical order over the whole 108-point corpus.
+func TestCorpusSchedEquivalence(t *testing.T) {
+	var lines []string
+	for _, tt := range loadCorpus(t) {
+		for _, model := range models {
+			for _, engine := range Engines() {
+				r := &Runner{Test: tt, Model: model, Engine: engine, Sched: sim.SchedGoroutine}
+				ex, err := Explore(r.Run, ExploreOpts{})
+				if err != nil {
+					t.Fatalf("%s %s/%s under sched=goroutine: %v", tt.Name, model, engine, err)
+				}
+				lines = append(lines, fmt.Sprintf("%s %s %s :: %s",
+					tt.Name, model, engine,
+					strings.Join(SortedOutcomes(ex.Outcomes), " | ")))
+			}
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Error("goroutine-scheduler reachable outcome sets diverged from the golden corpus")
+		for _, d := range diffLines(string(want), got) {
+			t.Log(d)
+		}
+	}
+}

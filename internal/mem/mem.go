@@ -25,6 +25,18 @@ const (
 	pageMask  = pageBytes - 1
 )
 
+// shardShift groups pages into shards of 512 (2 MiB spans) for the
+// two-level page table: a small map of shards, each a dense array of
+// page pointers. Large heaps (the ≥64-CPU sweep configurations) then
+// cost one map lookup per 2 MiB instead of per 4 KiB page, and the
+// common case — a page in the same shard as the last access — indexes
+// an array instead of hashing.
+const (
+	shardShift = 9
+	shardPages = 1 << shardShift
+	shardMask  = shardPages - 1
+)
+
 // WordAlign rounds a down to a word boundary.
 func WordAlign(a Addr) Addr { return a &^ (WordSize - 1) }
 
@@ -67,23 +79,35 @@ type page struct {
 	words [pageWords]uint64
 }
 
+// shard is one span of shardPages consecutive pages, resident or not.
+type shard struct {
+	pages [shardPages]*page
+}
+
 // Memory is the simulated physical memory. It is sparse: pages are
-// allocated on first touch. The zero value is not usable; call New.
+// allocated on first touch, behind a two-level (shard directory → dense
+// page array) table. The zero value is not usable; call New.
 //
 // Memory performs no synchronization of its own. The simulation engine
 // guarantees that exactly one simulated CPU executes at a time, so all
 // accesses are serialized by construction.
 type Memory struct {
-	pages map[Addr]*page
+	shards map[Addr]*shard
+
+	// resident counts allocated pages, for Footprint.
+	resident int
 
 	// brk is the bump-allocation frontier used by Alloc.
 	brk Addr
 
-	// lastIdx/lastPage cache the most recently touched page (a one-entry
-	// TLB): simulated accesses are strongly local, so most loads and
-	// stores skip the page-map lookup entirely.
-	lastIdx  Addr
-	lastPage *page
+	// lastIdx/lastPage cache the most recently touched page and
+	// lastSIdx/lastShard its shard (two one-entry TLB levels): simulated
+	// accesses are strongly local, so most loads and stores skip the
+	// table walk entirely, and most of the rest stay inside one shard.
+	lastIdx   Addr
+	lastPage  *page
+	lastSIdx  Addr
+	lastShard *shard
 }
 
 // New returns an empty memory whose allocator starts at a fixed base
@@ -91,8 +115,8 @@ type Memory struct {
 // sentinel "null" in simulated data structures.
 func New() *Memory {
 	return &Memory{
-		pages: make(map[Addr]*page),
-		brk:   0x1_0000,
+		shards: make(map[Addr]*shard),
+		brk:    0x1_0000,
 	}
 }
 
@@ -101,10 +125,24 @@ func (m *Memory) pageFor(a Addr, create bool) *page {
 	if m.lastPage != nil && m.lastIdx == idx {
 		return m.lastPage
 	}
-	p := m.pages[idx]
+	sidx := idx >> shardShift
+	s := m.lastShard
+	if s == nil || m.lastSIdx != sidx {
+		s = m.shards[sidx]
+		if s == nil {
+			if !create {
+				return nil
+			}
+			s = new(shard)
+			m.shards[sidx] = s
+		}
+		m.lastSIdx, m.lastShard = sidx, s
+	}
+	p := s.pages[idx&shardMask]
 	if p == nil && create {
 		p = new(page)
-		m.pages[idx] = p
+		s.pages[idx&shardMask] = p
+		m.resident++
 	}
 	if p != nil {
 		m.lastIdx, m.lastPage = idx, p
@@ -153,28 +191,36 @@ func (m *Memory) AllocWords(n int) Addr { return m.Alloc(n*WordSize, WordSize) }
 func (m *Memory) Brk() Addr { return m.brk }
 
 // Footprint returns the number of resident simulated pages.
-func (m *Memory) Footprint() int { return len(m.pages) }
+func (m *Memory) Footprint() int { return m.resident }
 
 // Fingerprint folds the entire memory content — every nonzero word with
 // its address, in address order — into fn, an FNV-style word accumulator.
 // The litmus explorer's state hash uses it; untouched and zero words hash
-// identically, matching Load's untouched-reads-as-zero semantics.
+// identically, matching Load's untouched-reads-as-zero semantics. Pages
+// inside a shard are already in address order, so only the shard
+// directory needs sorting.
 func (m *Memory) Fingerprint(fn func(uint64)) {
-	idxs := make([]Addr, 0, len(m.pages))
-	for idx := range m.pages {
-		idxs = append(idxs, idx)
+	sidxs := make([]Addr, 0, len(m.shards))
+	for sidx := range m.shards {
+		sidxs = append(sidxs, sidx)
 	}
-	for i := 1; i < len(idxs); i++ {
-		for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
-			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+	for i := 1; i < len(sidxs); i++ {
+		for j := i; j > 0 && sidxs[j] < sidxs[j-1]; j-- {
+			sidxs[j], sidxs[j-1] = sidxs[j-1], sidxs[j]
 		}
 	}
-	for _, idx := range idxs {
-		p := m.pages[idx]
-		for w, v := range p.words {
-			if v != 0 {
-				fn(uint64(idx)<<pageShift | uint64(w*WordSize))
-				fn(v)
+	for _, sidx := range sidxs {
+		s := m.shards[sidx]
+		for pi, p := range s.pages {
+			if p == nil {
+				continue
+			}
+			idx := sidx<<shardShift | Addr(pi)
+			for w, v := range p.words {
+				if v != 0 {
+					fn(uint64(idx)<<pageShift | uint64(w*WordSize))
+					fn(v)
+				}
 			}
 		}
 	}

@@ -155,3 +155,92 @@ func TestQuickLineAddrIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCrossShardAccesses exercises the two-level page table: writes
+// spread across many shards (2 MiB spans) read back correctly, including
+// ping-pong patterns that defeat both one-entry caches.
+func TestCrossShardAccesses(t *testing.T) {
+	m := New()
+	const shardSpan = Addr(1) << (12 + 9) // pageBytes << shardShift
+	addrs := []Addr{
+		0x1_0000,
+		0x1_0000 + shardSpan,
+		0x1_0000 + 7*shardSpan,
+		0x1_0000 + 300*shardSpan,
+	}
+	for i, a := range addrs {
+		m.Store(a, uint64(i)+1)
+	}
+	// Ping-pong between distant shards: every access misses the caches.
+	for pass := 0; pass < 3; pass++ {
+		for i, a := range addrs {
+			if got := m.Load(a); got != uint64(i)+1 {
+				t.Fatalf("pass %d: Load(%#x) = %d, want %d", pass, a, got, i+1)
+			}
+		}
+	}
+}
+
+// TestFootprintCountsResidentPages pins Footprint to allocated pages, not
+// shards: two pages in one shard and one in a distant shard are three.
+func TestFootprintCountsResidentPages(t *testing.T) {
+	m := New()
+	if m.Footprint() != 0 {
+		t.Fatalf("fresh footprint = %d, want 0", m.Footprint())
+	}
+	m.Store(0x1_0000, 1)             // page A
+	m.Store(0x1_0000, 2)             // same page
+	m.Store(0x2_0000, 3)             // page B, same shard
+	m.Store(0x1_0000+(1<<25), 4)     // distant shard
+	if got := m.Footprint(); got != 3 {
+		t.Fatalf("footprint = %d, want 3", got)
+	}
+	if m.Load(0x9_999_000) != 0 { // miss path must not allocate
+		t.Fatal("untouched read nonzero")
+	}
+	if got := m.Footprint(); got != 3 {
+		t.Fatalf("footprint after read miss = %d, want 3", got)
+	}
+}
+
+// TestFingerprintAddressOrderAcrossShards: the fingerprint stream must
+// visit nonzero words in global address order regardless of shard-map
+// iteration order, and be insensitive to write order.
+func TestFingerprintAddressOrderAcrossShards(t *testing.T) {
+	const shardSpan = Addr(1) << (12 + 9)
+	write := func(m *Memory, order []int, addrs []Addr) {
+		for _, i := range order {
+			m.Store(addrs[i], uint64(i)+100)
+		}
+	}
+	collect := func(m *Memory) []uint64 {
+		var ws []uint64
+		m.Fingerprint(func(w uint64) { ws = append(ws, w) })
+		return ws
+	}
+	addrs := []Addr{
+		0x1_0000 + 99*shardSpan,
+		0x1_0000,
+		0x1_0000 + 5*shardSpan + 4096,
+		0x1_0000 + 5*shardSpan,
+	}
+	a := New()
+	write(a, []int{0, 1, 2, 3}, addrs)
+	b := New()
+	write(b, []int{3, 2, 1, 0}, addrs)
+	wa, wb := collect(a), collect(b)
+	if len(wa) != 2*len(addrs) {
+		t.Fatalf("fingerprint emitted %d words, want %d", len(wa), 2*len(addrs))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("fingerprint differs at word %d: %#x vs %#x (write-order sensitivity)", i, wa[i], wb[i])
+		}
+	}
+	// Address stream (even positions) strictly increasing.
+	for i := 2; i < len(wa); i += 2 {
+		if wa[i] <= wa[i-2] {
+			t.Fatalf("fingerprint addresses not increasing: %#x after %#x", wa[i], wa[i-2])
+		}
+	}
+}

@@ -15,8 +15,9 @@ const baselinePath = "testdata/BENCH_baseline.json"
 // baselineExperiments is the fast subset the regression gate re-runs on
 // every test invocation (the full suite runs in cmd/experiments' own
 // determinism tests). opensem and depth are pure-kernel sweeps; schemes
-// covers both nesting schemes on the two headline workloads.
-var baselineExperiments = []string{"opensem", "depth", "schemes"}
+// covers both nesting schemes on the two headline workloads; scale pins
+// the 64/128/256-CPU cells the event-loop scheduler unlocked.
+var baselineExperiments = []string{"opensem", "depth", "schemes", "scale"}
 
 // wallTolerance is how many times slower than the recorded wall-clock a
 // re-run may be before the gate fails. Deliberately generous: it exists

@@ -6,6 +6,7 @@ import (
 
 	"tmisa/internal/cache"
 	"tmisa/internal/core"
+	"tmisa/internal/sim"
 	"tmisa/internal/stats"
 	"tmisa/internal/tm"
 	"tmisa/internal/tmprof"
@@ -25,12 +26,18 @@ type Context struct {
 	// order. The tracer only observes the event stream, so profiled runs
 	// report bit-identical counters.
 	Profile bool
+	// Sched selects the simulation scheduler for every cell (the zero
+	// value is the event loop). The legacy goroutine scheduler is retained
+	// for the sched-equiv differential suite, which runs the whole
+	// registry under both and requires byte-identical output.
+	Sched sim.Sched
 }
 
 // base is the paper's default platform plus the oracle flag.
 func (ctx Context) base() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Oracle = ctx.Oracle
+	cfg.Sched = ctx.Sched
 	return cfg
 }
 
@@ -72,6 +79,7 @@ type Experiment struct {
 var Order = []string{
 	"overheads", "figure5", "io", "condsync", "schemes",
 	"engines", "opensem", "depth", "granularity", "scaling", "hybrid",
+	"scale",
 }
 
 // Find returns the named experiment.
@@ -92,6 +100,7 @@ var registry = map[string]Experiment{
 	"granularity": {Name: "granularity", Cells: granularityCells, Render: granularityRender},
 	"scaling":     {Name: "scaling", Cells: scalingCells, Render: scalingRender},
 	"hybrid":      {Name: "hybrid", Cells: hybridCells, Render: hybridRender},
+	"scale":       {Name: "scale", Cells: scaleCells, Render: scaleRender},
 }
 
 // wl pairs a workload name with its constructor; every cell builds a
@@ -117,7 +126,7 @@ var scientificSuite = func() []wl {
 // measuring them on the live machine.
 func overheadsCells(ctx Context) []Cell {
 	return []Cell{{Label: "empty-tx", Run: func() Metrics {
-		cfg := core.Config{CPUs: 1}
+		cfg := core.Config{CPUs: 1, Sched: ctx.Sched}
 		col := ctx.collector(cfg)
 		m := core.NewMachine(cfg)
 		if hook := profAttach(col, "overheads/empty-tx"); hook != nil {
@@ -237,6 +246,7 @@ func condsyncCells(ctx Context) []Cell {
 			cells = append(cells, Cell{Label: label, Run: func() Metrics {
 				wk := workloads.DefaultCondSyncBench(pairs, polling)
 				cfg := core.DefaultConfig()
+				cfg.Sched = ctx.Sched
 				col := ctx.collector(cfg)
 				rep := workloads.ExecuteTraced(wk, cfg, condCPUBudget, profAttach(col, "condsync/"+label))
 				m := FromReport(rep)
@@ -338,6 +348,7 @@ func opensemCells(ctx Context) []Cell {
 			cfg := core.DefaultConfig()
 			cfg.CPUs = 2
 			cfg.OpenSemantics = sem
+			cfg.Sched = ctx.Sched
 			col := ctx.collector(cfg)
 			m := core.NewMachine(cfg)
 			if hook := profAttach(col, "opensem/"+sem.String()); hook != nil {
@@ -505,6 +516,49 @@ func scalingRender(_ Context, res []Metrics, w io.Writer) {
 		}
 		fmt.Fprint(w, ser)
 	}
+}
+
+// scale is the large-CMP sweep the event-loop scheduler unlocks: the
+// headline workloads at 64/128/256 CPUs (with 16 as the link back to the
+// paper's platform ceiling), reporting cycles and speedup over the
+// 16-CPU cell. The paper's own sweep stops at 16 because that is where
+// its evaluation platform tops out; past it, the hybrid-TM
+// concurrency-loss literature (Brown & Ravi) predicts the interesting
+// effects, and this grid is where they become measurable.
+var (
+	scaleWorkloads = []wl{scientificSuite[3], scientificSuite[8]} // mp3d, SPECjbb2000-open
+	scaleCPUCounts = []int{16, 64, 128, 256}
+)
+
+func scaleCells(ctx Context) []Cell {
+	var cells []Cell
+	for _, s := range scaleWorkloads {
+		for _, n := range scaleCPUCounts {
+			s, n := s, n
+			label := fmt.Sprintf("%s/%d", s.name, n)
+			cells = append(cells, Cell{Label: label, Run: func() Metrics {
+				cfg := ctx.base()
+				col := ctx.collector(cfg)
+				m := FromReport(workloads.ExecuteTraced(s.mk(), cfg, n, profAttach(col, "scale/"+label)))
+				m.Prof = col.Profile()
+				return m
+			}})
+		}
+	}
+	return cells
+}
+
+func scaleRender(_ Context, res []Metrics, w io.Writer) {
+	stride := len(scaleCPUCounts)
+	for wi, s := range scaleWorkloads {
+		base := wi * stride
+		ser := &stats.Series{Name: s.name + ": speedup over 16 CPUs by CPU count (fixed total work)"}
+		for i, n := range scaleCPUCounts {
+			ser.Add(fmt.Sprintf("%d", n), float64(res[base].Cycles)/float64(res[base+i].Cycles))
+		}
+		fmt.Fprint(w, ser)
+	}
+	fmt.Fprintln(w, "64-256 CPU cells are beyond the paper's 16-CPU platform; see EXPERIMENTS.md")
 }
 
 // hybrid is the bounded-capacity-HTM-with-STM-fallback sweep: capacity ×

@@ -137,6 +137,7 @@ func TestExperimentCellLabelsStable(t *testing.T) {
 		"granularity": {4, "mp3d/line", "moldyn/word"},
 		"scaling":     {12, "mp3d/seq", "SPECjbb2000-open/16"},
 		"hybrid":      {135, "barnes/htm-virt/cap=1", "SPECjbb2000-open/tl2/cap=16/budget=8"},
+		"scale":       {8, "mp3d/16", "SPECjbb2000-open/256"},
 	}
 	if len(want) != len(Order) {
 		t.Fatalf("test covers %d experiments, registry has %d", len(want), len(Order))

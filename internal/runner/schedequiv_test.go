@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tmisa/internal/sim"
+)
+
+// schedEquivShortSubset is what -short runs: the two pure-kernel sweeps,
+// one real-workload experiment, and the large-CMP sweep (which is the
+// configuration the event loop exists for). The full registry runs in
+// normal mode and in CI's sched-equiv job.
+var schedEquivShortSubset = map[string]bool{
+	"overheads": true, "opensem": true, "depth": true, "scale": true,
+}
+
+// runExperimentUnder executes one experiment under one scheduler and
+// returns the rendered stdout and the canonicalized BENCH JSON, with the
+// goroutine scheduler's "sched=goroutine" config-fingerprint marker
+// normalized away (it is the one intentional difference between the two
+// runs — everything else must match to the byte).
+func runExperimentUnder(t *testing.T, e Experiment, s sim.Sched) (stdout, bench []byte) {
+	t.Helper()
+	ctx := Context{CPUs: 8, Sched: s}
+	res, err := Run(e.Cells(ctx), 0, nil)
+	if err != nil {
+		t.Fatalf("%s under sched=%s: %v", e.Name, s, err)
+	}
+	var out bytes.Buffer
+	e.Render(ctx, res, &out)
+
+	bf := NewBenchFile(e.Name, ctx, 0, res, 0)
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := Canonicalize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon = bytes.Replace(canon, []byte(" sched=goroutine"), nil, 1)
+	return out.Bytes(), canon
+}
+
+// TestSchedEquivalenceExperiments is the migration gate for the
+// calendar-queue event loop: every registry experiment, run under the
+// legacy goroutine scheduler and the event-loop scheduler, must produce
+// byte-identical rendered output and byte-identical canonicalized BENCH
+// JSON. The renderers print every simulated counter the experiments
+// report, and the BENCH files carry the raw per-cell counters, so byte
+// equality here is cycle-level equivalence of the two engines across the
+// whole evaluation.
+// TestEventLoopFasterAtScale is the migration's performance receipt:
+// the calendar-queue event loop must not be slower than the goroutine
+// engine on the large-CMP sweep it was built for (it measures ~1.6x
+// faster serially; the 1.1 slack absorbs machine noise without letting
+// a real regression through). Skipped under the race detector — its
+// per-channel-op slowdown distorts exactly what is being compared —
+// and under -short.
+func TestEventLoopFasterAtScale(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock comparison is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("wall-clock comparison skipped with -short")
+	}
+	e, _ := Find("scale")
+	wall := func(s sim.Sched) time.Duration {
+		start := time.Now()
+		if _, err := Run(e.Cells(Context{CPUs: 8, Sched: s}), 1, nil); err != nil {
+			t.Fatalf("sched=%s: %v", s, err)
+		}
+		return time.Since(start)
+	}
+	gr := wall(sim.SchedGoroutine)
+	ev := wall(sim.SchedEventLoop)
+	t.Logf("scale sweep serial wall: eventloop %v, goroutine %v", ev, gr)
+	if float64(ev) > 1.1*float64(gr) {
+		t.Errorf("event loop (%v) is slower than the goroutine engine (%v) on the scale sweep", ev, gr)
+	}
+}
+
+func TestSchedEquivalenceExperiments(t *testing.T) {
+	for _, name := range Order {
+		e, ok := Find(name)
+		if !ok {
+			t.Fatalf("Find(%q) failed", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && !schedEquivShortSubset[name] {
+				t.Skip("full registry differential runs without -short")
+			}
+			t.Parallel()
+			evOut, evBench := runExperimentUnder(t, e, sim.SchedEventLoop)
+			goOut, goBench := runExperimentUnder(t, e, sim.SchedGoroutine)
+			if !bytes.Equal(evOut, goOut) {
+				t.Errorf("rendered output diverges between schedulers\n--- eventloop:\n%s--- goroutine:\n%s", evOut, goOut)
+			}
+			if !bytes.Equal(evBench, goBench) {
+				t.Errorf("canonical BENCH JSON diverges between schedulers\n--- eventloop:\n%s--- goroutine:\n%s", evBench, goBench)
+			}
+		})
+	}
+}

@@ -1,0 +1,302 @@
+// The calendar-queue event-loop scheduler (the default).
+//
+// There is no central scheduler goroutine. CPUs remain goroutines — a
+// body must be able to suspend mid-call-stack, which Go only offers via
+// goroutines — but they are driven as resumable execution contexts:
+// exactly one is ever runnable, and all scheduling decisions run inline
+// on whichever CPU is giving up control. Releasing control picks the
+// next runner from the calendar queue and hands off directly
+// (next.grant <- {}; <-p.grant): one send plus one receive per context
+// switch, versus the legacy engine's two of each through the scheduler
+// goroutine. The happens-before edges of those channel operations order
+// every CPU's memory accesses, so the engine remains race-detector-clean
+// without locks.
+//
+// State transitions (all on the running CPU, mirroring the legacy
+// engine's decision points exactly):
+//
+//	Yield fast: queue minimum would lose to the caller → keep running.
+//	Yield slow: insert self, pop next, hand off; park until re-granted.
+//	Block:      mark Waiting (not queued), pop next, hand off; an empty
+//	            queue here is a deadlock.
+//	Unblock:    mark Ready at the wake time and insert into the queue.
+//	Halt:       body returned; pop next and hand off, or finish the run
+//	            when this was the last live CPU.
+//
+// Fatal conditions (deadlock, MaxCycles, body panic, a panicking
+// TieBreak hook) poison the engine: the detecting CPU drains every other
+// context — each is granted once and unwinds via poisonedEngine,
+// acknowledging on e.ack — then delivers the verdict to Run over e.done
+// and unwinds itself. The drain protocol guarantees a recovered Run
+// never leaks a parked CPU goroutine, including when the fatal fires
+// between a grant and the next scheduling step.
+package sim
+
+import "fmt"
+
+// runEvent is Run for the event-loop scheduler.
+func (e *Engine) runEvent(bodies []func(*P)) {
+	e.cal.init(len(e.procs))
+	defer func() {
+		if r := recover(); r != nil {
+			if !e.poisoned {
+				// A panic that bypassed the fatal paths (e.g. the TieBreak
+				// hook during the initial pick): unwind the contexts before
+				// re-raising.
+				e.drainExcept(nil)
+			}
+			panic(r)
+		}
+	}()
+
+	var fresh []*P
+	for i, p := range e.procs {
+		var body func(*P)
+		if i < len(bodies) {
+			body = bodies[i]
+		}
+		if body == nil || p.started {
+			p.state = Halted
+			continue
+		}
+		p.started = true
+		fresh = append(fresh, p)
+		go e.context(p, body)
+	}
+	e.live = len(fresh)
+	if e.live == 0 {
+		return
+	}
+	for _, p := range fresh {
+		e.cal.insert(p)
+	}
+
+	next := e.popNext()
+	e.now = next.time
+	if e.MaxCycles != 0 && e.now > e.MaxCycles {
+		e.drainExcept(nil)
+		panic(fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
+	}
+	next.grant <- struct{}{}
+	if v := <-e.done; v != nil {
+		panic(v)
+	}
+}
+
+// context hosts one CPU: park until first granted, run the body, then
+// resolve the halt (or the unwind) inline.
+func (e *Engine) context(p *P, body func(*P)) {
+	<-p.grant
+	defer func() {
+		p.state = Halted
+		r := recover()
+		if e.poisoned {
+			// Unwinding (or returning) during a poisoned run. The reporter
+			// delivers the stashed verdict — only now, with its body fully
+			// unwound, so Run's caller can never observe a still-running
+			// context — and every other context just acknowledges the drain.
+			if e.reporter == p {
+				e.done <- e.verdict
+			} else {
+				e.ack <- struct{}{}
+			}
+			return
+		}
+		if r != nil {
+			e.fatal(p, fmt.Errorf("sim: CPU %d panicked at cycle %d: %v", p.ID, p.time, r))
+			return
+		}
+		// Normal halt: schedule the next runner. A panic inside (a
+		// TieBreak hook, with no body left to unwind through) becomes the
+		// run's fatal verdict directly.
+		if r2 := e.tryHaltNext(p); r2 != nil {
+			e.fatal(p, r2)
+		}
+	}()
+	if e.poisoned {
+		// Granted for the first time during drain: unwind without ever
+		// running the body.
+		panic(poisonedEngine{})
+	}
+	body(p)
+}
+
+// yieldEvent is Yield for the event loop; p is the running CPU.
+func (e *Engine) yieldEvent(p *P) {
+	if e.poisoned {
+		panic(poisonedEngine{})
+	}
+	if !e.running {
+		panic(fmt.Sprintf("sim: Yield by CPU %d outside Run", p.ID))
+	}
+	// Fast path: reproduce the legacy yieldFast decision from the queue
+	// minimum alone. The queue holds exactly the ready non-running CPUs,
+	// so min q loses to p iff no ready CPU beats p under (time, id) —
+	// unless they are tied and a TieBreak hook must be consulted.
+	if e.MaxCycles == 0 || p.time <= e.MaxCycles {
+		q := e.cal.peek()
+		if q == nil || q.time > p.time || (q.time == p.time && e.TieBreak == nil && q.ID > p.ID) {
+			e.now = p.time
+			return
+		}
+	}
+	e.cal.insert(p)
+	next := e.popNextRunning(p) // non-nil: p itself is queued
+	e.now = next.time
+	if e.MaxCycles != 0 && e.now > e.MaxCycles {
+		e.failRunning(p, fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
+	}
+	if next == p {
+		return
+	}
+	next.grant <- struct{}{}
+	<-p.grant
+	if e.poisoned {
+		panic(poisonedEngine{})
+	}
+}
+
+// blockEvent is Block for the event loop; p is the running CPU.
+func (e *Engine) blockEvent(p *P, reason string) {
+	if e.poisoned {
+		panic(poisonedEngine{})
+	}
+	if !e.running {
+		panic(fmt.Sprintf("sim: Block by CPU %d outside Run", p.ID))
+	}
+	p.state = Waiting
+	p.waitReason = reason
+	next := e.popNextRunning(p)
+	if next == nil {
+		e.failRunning(p, "sim: deadlock: "+e.describeWaiters())
+	}
+	e.now = next.time
+	if e.MaxCycles != 0 && e.now > e.MaxCycles {
+		e.failRunning(p, fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
+	}
+	next.grant <- struct{}{}
+	<-p.grant
+	if e.poisoned {
+		panic(poisonedEngine{})
+	}
+}
+
+// popNext removes and returns the next CPU to run under the documented
+// rule — earliest time, lowest id, TieBreak hook among ties — or nil
+// when the queue is empty.
+func (e *Engine) popNext() *P {
+	best := e.cal.peek()
+	if best == nil {
+		return nil
+	}
+	if e.TieBreak != nil {
+		// Every time-tied entry shares best's bucket; collect their ids in
+		// ascending order, matching the legacy scheduler's hook contract.
+		e.tied = e.tied[:0]
+		d := best.time >> calShift
+		for _, q := range e.cal.buckets[d&e.cal.mask] {
+			if q.time == best.time {
+				e.tied = append(e.tied, q.ID)
+			}
+		}
+		if len(e.tied) > 1 {
+			sortIDs(e.tied)
+			if pick := e.TieBreak(e.tied); pick >= 0 && pick < len(e.tied) {
+				// A tied non-minimum pick leaves the cached minimum queued
+				// and still minimal; remove below only invalidates the cache
+				// when the minimum itself is taken.
+				best = e.procs[e.tied[pick]]
+			}
+		}
+	}
+	e.cal.remove(best)
+	return best
+}
+
+// popNextRunning is popNext for use on a running CPU's stack: a panic
+// escaping the TieBreak hook becomes the run's fatal verdict (drain,
+// deliver, unwind) instead of killing the process with no recover above.
+func (e *Engine) popNextRunning(p *P) (next *P) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.failRunning(p, r)
+		}
+	}()
+	return e.popNext()
+}
+
+// tryHaltNext runs the halt-path scheduling step, converting a panic
+// (TieBreak hook) into a returned verdict for the context's defer.
+func (e *Engine) tryHaltNext(p *P) (rec any) {
+	defer func() { rec = recover() }()
+	e.haltNext(p)
+	return nil
+}
+
+// haltNext resolves CPU p's halt: hand off to the next runner, report
+// deadlock/MaxCycles, or — when p was the last live CPU — finish the
+// run. Called from p's context with p already marked Halted.
+func (e *Engine) haltNext(p *P) {
+	e.live--
+	if e.live == 0 {
+		e.done <- nil
+		return
+	}
+	next := e.popNext()
+	if next == nil {
+		e.fatal(p, "sim: deadlock: "+e.describeWaiters())
+		return
+	}
+	e.now = next.time
+	if e.MaxCycles != 0 && e.now > e.MaxCycles {
+		e.fatal(p, fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
+		return
+	}
+	next.grant <- struct{}{}
+}
+
+// fatal poisons the engine from a context whose body has already
+// finished (halt path or the wrapper's panic branch): drain the other
+// contexts, then deliver the verdict to Run.
+func (e *Engine) fatal(p *P, v any) {
+	e.drainExcept(p)
+	e.done <- v
+}
+
+// failRunning reports a fatal condition detected inside Yield/Block on
+// the running CPU: drain the others, stash the verdict, and unwind this
+// CPU's own body via the poison panic — its context wrapper delivers
+// the verdict to Run once the unwind completes.
+func (e *Engine) failRunning(p *P, v any) {
+	e.drainExcept(p)
+	e.reporter = p
+	e.verdict = v
+	panic(poisonedEngine{})
+}
+
+// drainExcept grants every started, non-halted context except self once,
+// in CPU-id order, letting each unwind via poisonedEngine and waiting
+// for its acknowledgment. self (the reporting context, or nil when
+// draining from Run itself) unwinds separately.
+func (e *Engine) drainExcept(self *P) {
+	e.poisoned = true
+	for _, q := range e.procs {
+		if q == self {
+			continue
+		}
+		for q.started && q.state != Halted {
+			q.grant <- struct{}{}
+			<-e.ack
+		}
+	}
+}
+
+// sortIDs sorts a small id slice ascending (insertion sort: tied sets
+// are tiny and this avoids sort.Ints in the scheduling hot path).
+func sortIDs(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

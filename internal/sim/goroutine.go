@@ -1,0 +1,154 @@
+// The legacy goroutine/channel scheduler: a central scheduler loop that
+// grants one CPU goroutine per channel rendezvous. Superseded by the
+// calendar-queue event loop (eventloop.go) as the default; kept for one
+// release behind Sched=goroutine as the oracle for the differential
+// equivalence suites, then scheduled for removal.
+package sim
+
+import "fmt"
+
+// yieldFast reports whether p may keep running without an engine
+// round-trip: pickNext would choose p again, and no engine-side exit
+// (MaxCycles) is due. Only the currently granted CPU calls it, so reading
+// the other CPUs' state is race-free (they are parked in Yield/Block).
+func (e *Engine) yieldFast(p *P) bool {
+	if !e.running || (e.MaxCycles != 0 && p.time > e.MaxCycles) {
+		return false
+	}
+	tied := false
+	for _, q := range e.procs {
+		if q == p || q.state != Ready || !q.started {
+			continue
+		}
+		if q.time < p.time || (q.time == p.time && q.ID < p.ID) {
+			return false
+		}
+		if q.time == p.time {
+			tied = true
+		}
+	}
+	if tied && e.TieBreak != nil {
+		return false
+	}
+	e.now = p.time
+	return true
+}
+
+// runGoroutine is Run for the legacy scheduler: spawn one goroutine per
+// body and loop granting the earliest ready CPU until all halt.
+func (e *Engine) runGoroutine(bodies []func(*P)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !e.poisoned {
+				// A panic that bypassed the normal fatal paths — e.g. a
+				// TieBreak hook panicking inside pickNext — must still unwind
+				// the parked CPU goroutines before re-raising, or they leak,
+				// parked forever on grants that will never come.
+				e.drain()
+			}
+			panic(r)
+		}
+	}()
+
+	live := 0
+	for i, p := range e.procs {
+		var body func(*P)
+		if i < len(bodies) {
+			body = bodies[i]
+		}
+		if body == nil || p.started {
+			p.state = Halted
+			continue
+		}
+		p.started = true
+		live++
+		go func(p *P, body func(*P)) {
+			<-p.grant
+			defer func() {
+				p.state = Halted
+				msg := stepMsg{id: p.ID}
+				if r := recover(); r != nil {
+					msg.panic = fmt.Errorf("sim: CPU %d panicked at cycle %d: %v", p.ID, p.time, r)
+				}
+				e.step <- msg
+			}()
+			if e.poisoned {
+				// Granted for the first time during drain: unwind without
+				// ever running the body.
+				panic(poisonedEngine{})
+			}
+			body(p)
+		}(p, body)
+	}
+
+	for live > 0 {
+		next := e.pickNext()
+		if next == nil {
+			// Describe the waiters before drain unwinds (and halts) them.
+			desc := e.describeWaiters()
+			e.drain()
+			panic("sim: deadlock: " + desc)
+		}
+		e.now = next.time
+		if e.MaxCycles != 0 && e.now > e.MaxCycles {
+			e.drain()
+			panic(fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
+		}
+		next.grant <- struct{}{}
+		msg := <-e.step
+		if msg.panic != nil {
+			e.drain()
+			panic(msg.panic)
+		}
+		if e.procs[msg.id].state == Halted {
+			live--
+		}
+	}
+}
+
+// drain releases every surviving CPU goroutine before the engine
+// re-raises a fatal panic (body panic, deadlock, MaxCycles). Each grant
+// makes the goroutine's next Yield/Block — or its initial dispatch —
+// panic with poisonedEngine, so it unwinds and halts instead of blocking
+// forever on a grant that would never come (a goroutine leak).
+func (e *Engine) drain() {
+	e.poisoned = true
+	for _, p := range e.procs {
+		for p.started && p.state != Halted {
+			p.grant <- struct{}{}
+			<-e.step
+		}
+	}
+}
+
+// pickNext returns the ready CPU that runs next, or nil when none is
+// ready. The rule is documented and deterministic: smallest local time
+// first, equal times broken by lowest CPU id. When Engine.TieBreak is
+// installed it picks among the time-tied CPUs instead (still
+// deterministic as long as the hook is).
+func (e *Engine) pickNext() *P {
+	var best *P
+	for _, p := range e.procs {
+		if p.state != Ready || !p.started {
+			continue
+		}
+		if best == nil || p.time < best.time || (p.time == best.time && p.ID < best.ID) {
+			best = p
+		}
+	}
+	if best == nil || e.TieBreak == nil {
+		return best
+	}
+	e.tied = e.tied[:0]
+	for _, p := range e.procs {
+		if p.state == Ready && p.started && p.time == best.time {
+			e.tied = append(e.tied, p.ID)
+		}
+	}
+	if len(e.tied) > 1 {
+		if pick := e.TieBreak(e.tied); pick >= 0 && pick < len(e.tied) {
+			best = e.procs[e.tied[pick]]
+		}
+	}
+	return best
+}

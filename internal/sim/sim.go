@@ -1,24 +1,46 @@
 // Package sim implements the deterministic execution-driven simulation
 // engine underneath the HTM chip-multiprocessor model.
 //
-// Each simulated CPU is a goroutine that executes real Go code (the
-// workload) against the simulated machine. The engine runs exactly one CPU
-// goroutine at a time, always the one with the smallest local time (ties
-// broken by CPU id), so every run is bit-reproducible and all simulator
-// state is mutated race-free without locks.
+// Each simulated CPU executes real Go code (the workload) against the
+// simulated machine. The engine runs exactly one CPU at a time, always
+// the one with the smallest local time (ties broken by CPU id), so every
+// run is bit-reproducible and all simulator state is mutated race-free
+// without locks.
 //
-// Protocol: a CPU goroutine calls Yield before every operation that touches
-// shared simulator state (memory, caches, the bus, other CPUs' violation
-// masks). Yield hands control back to the engine, which re-grants the CPU
-// when it is again the earliest runner. After Yield returns, the CPU
+// Protocol: a CPU calls Yield before every operation that touches shared
+// simulator state (memory, caches, the bus, other CPUs' violation
+// masks). Yield hands control back to the scheduler, which re-grants the
+// CPU when it is again the earliest runner. After Yield returns, the CPU
 // performs the operation's effects at its current local time and charges
 // the operation's latency with Advance. Pure compute is charged with
 // Advance alone (CPI = 1 in the paper's model, so one instruction = one
 // cycle).
 //
 // Blocking (waiting for the commit token, a parked software thread, a
-// stalled conflicting access) uses Block/Unblock: a blocked CPU is skipped
-// by the scheduler until another CPU unblocks it at a given wake time.
+// stalled conflicting access) uses Block/Unblock: a blocked CPU is
+// skipped by the scheduler until another CPU unblocks it at a given wake
+// time.
+//
+// Two scheduler implementations share this contract and are selected by
+// NewEngineSched:
+//
+//   - SchedEventLoop (the default): a calendar-queue event loop. CPUs
+//     are still goroutines (they must suspend mid-body), but scheduling
+//     runs inline on whichever CPU is giving up control and the next
+//     runner comes from an O(1)-amortized bucketed time wheel
+//     (calendar.go) instead of an O(n) scan, with control passed by
+//     direct handoff — no central scheduler goroutine, one channel send
+//     plus one receive per context switch. See eventloop.go.
+//
+//   - SchedGoroutine: the legacy engine — a central scheduler goroutine
+//     granting one CPU per rendezvous. Kept for one release as a
+//     differential oracle; the equivalence suites assert both schedulers
+//     produce byte-identical output. See goroutine.go.
+//
+// Both engines implement the same documented scheduling rule, consult
+// TieBreak at the same decision points with the same tied sets, and
+// raise identical panic values for deadlock, MaxCycles, and body
+// panics, so simulated cycle counts are bit-identical between them.
 package sim
 
 import (
@@ -51,6 +73,42 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
+// Sched selects the scheduler implementation backing an Engine.
+type Sched int
+
+const (
+	// SchedEventLoop is the calendar-queue event loop (the default).
+	SchedEventLoop Sched = iota
+	// SchedGoroutine is the legacy central-scheduler-goroutine engine,
+	// kept for one release as the differential-testing oracle.
+	SchedGoroutine
+)
+
+func (s Sched) String() string {
+	switch s {
+	case SchedEventLoop:
+		return "eventloop"
+	case SchedGoroutine:
+		return "goroutine"
+	}
+	return fmt.Sprintf("sched(%d)", int(s))
+}
+
+// ParseSched maps a scheduler name to its Sched value. The empty string
+// selects the default (event loop).
+func ParseSched(name string) (Sched, error) {
+	switch name {
+	case "", "event", "eventloop":
+		return SchedEventLoop, nil
+	case "goroutine":
+		return SchedGoroutine, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (want eventloop or goroutine)", name)
+}
+
+// Scheds lists both scheduler implementations, for differential tests.
+func Scheds() []Sched { return []Sched{SchedEventLoop, SchedGoroutine} }
+
 // P is one simulated CPU as seen by the engine: an id, a local clock, and
 // the rendezvous channel used to grant it execution.
 type P struct {
@@ -69,11 +127,11 @@ type P struct {
 
 // Engine is the deterministic scheduler for a fixed set of CPUs.
 type Engine struct {
+	sched Sched
 	procs []*P
 	// now is the local time of the currently granted CPU; between grants it
 	// is the time of the last grant.
-	now  uint64
-	step chan stepMsg
+	now uint64
 	// MaxCycles, when non-zero, bounds simulated time; exceeding it panics,
 	// which catches livelock bugs in tests. Zero means unlimited.
 	MaxCycles uint64
@@ -86,33 +144,67 @@ type Engine struct {
 	TieBreak func(tied []int) int
 	tied     []int // reusable buffer for TieBreak
 	running  bool
-	// poisoned is set when the engine panics (body panic, deadlock,
-	// MaxCycles): the remaining CPU goroutines are granted one last time
-	// and unwind via a poisonedEngine panic instead of running on.
+	// poisoned is set when the engine hits a fatal condition (body panic,
+	// deadlock, MaxCycles): the remaining CPU goroutines are granted one
+	// last time and unwind via a poisonedEngine panic instead of running
+	// on.
 	poisoned bool
+
+	// Legacy goroutine engine (goroutine.go).
+	step chan stepMsg
+
+	// Event-loop engine (eventloop.go, calendar.go).
+	cal  calendar
+	live int
+	// done carries the run's verdict from the CPU that ends it to Run:
+	// nil for a clean halt of the last CPU, otherwise the fatal value Run
+	// must re-raise.
+	done chan any
+	// ack serializes the poison drain: each drained context acknowledges
+	// its unwind so the drainer can grant the next one.
+	ack chan struct{}
+	// reporter marks the context that detected a fatal condition inside
+	// Yield/Block; verdict is what it delivers to Run once its own body
+	// has finished unwinding.
+	reporter *P
+	verdict  any
 }
 
 // poisonedEngine is the panic value that unwinds surviving CPU goroutines
-// after the engine itself panicked; drain discards it. Application code
-// must re-raise it like any foreign panic value.
+// after the engine itself hit a fatal condition; the drain discards it.
+// Application code must re-raise it like any foreign panic value.
 type poisonedEngine struct{}
 
 func (poisonedEngine) String() string { return "sim: engine poisoned" }
 
-// stepMsg is sent by a CPU goroutine each time it returns control.
+// stepMsg is sent by a CPU goroutine each time it returns control to the
+// legacy scheduler goroutine.
 type stepMsg struct {
 	id    int
 	panic any // non-nil if the body panicked; re-raised by the engine
 }
 
-// NewEngine creates an engine with n CPUs, all at time zero.
-func NewEngine(n int) *Engine {
-	e := &Engine{step: make(chan stepMsg)}
+// NewEngine creates an engine with n CPUs, all at time zero, using the
+// default (event-loop) scheduler.
+func NewEngine(n int) *Engine { return NewEngineSched(n, SchedEventLoop) }
+
+// NewEngineSched creates an engine with n CPUs using the given scheduler
+// implementation.
+func NewEngineSched(n int, sched Sched) *Engine {
+	e := &Engine{
+		sched: sched,
+		step:  make(chan stepMsg),
+		done:  make(chan any),
+		ack:   make(chan struct{}),
+	}
 	for i := 0; i < n; i++ {
 		e.procs = append(e.procs, &P{ID: i, eng: e, grant: make(chan struct{})})
 	}
 	return e
 }
+
+// Sched reports which scheduler implementation backs the engine.
+func (e *Engine) Sched() Sched { return e.sched }
 
 // NumProcs returns the number of CPUs.
 func (e *Engine) NumProcs() int { return len(e.procs) }
@@ -138,15 +230,19 @@ func (p *P) Advance(n uint64) { p.time += n }
 // the earliest ready runner. Call it before every operation that touches
 // shared simulator state.
 //
-// Fast path: when the caller would be re-granted immediately — it is
-// still the unique earliest ready runner under the documented rule — the
-// channel rendezvous (two blocking channel operations plus two goroutine
-// switches per simulated instruction) is skipped entirely. The check
-// reproduces pickNext's decision exactly, so the schedule, and therefore
-// every simulated cycle count, is bit-identical with and without it. The
-// slow path is kept for ties under an installed TieBreak hook and for the
-// MaxCycles/poison exits, which must unwind through the engine.
+// Fast path (both schedulers): when the caller would be re-granted
+// immediately — it is still the unique earliest ready runner under the
+// documented rule — the context switch is skipped entirely. The check
+// reproduces the slow path's decision exactly, so the schedule, and
+// therefore every simulated cycle count, is bit-identical with and
+// without it. The slow path is kept for ties under an installed TieBreak
+// hook and for the MaxCycles/poison exits, which must unwind through the
+// engine.
 func (p *P) Yield() {
+	if p.eng.sched == SchedEventLoop {
+		p.eng.yieldEvent(p)
+		return
+	}
 	if p.eng.poisoned {
 		panic(poisonedEngine{})
 	}
@@ -160,38 +256,15 @@ func (p *P) Yield() {
 	}
 }
 
-// yieldFast reports whether p may keep running without an engine
-// round-trip: pickNext would choose p again, and no engine-side exit
-// (MaxCycles) is due. Only the currently granted CPU calls it, so reading
-// the other CPUs' state is race-free (they are parked in Yield/Block).
-func (e *Engine) yieldFast(p *P) bool {
-	if !e.running || (e.MaxCycles != 0 && p.time > e.MaxCycles) {
-		return false
-	}
-	tied := false
-	for _, q := range e.procs {
-		if q == p || q.state != Ready || !q.started {
-			continue
-		}
-		if q.time < p.time || (q.time == p.time && q.ID < p.ID) {
-			return false
-		}
-		if q.time == p.time {
-			tied = true
-		}
-	}
-	if tied && e.TieBreak != nil {
-		return false
-	}
-	e.now = p.time
-	return true
-}
-
 // Block marks the CPU as waiting (with a human-readable reason for
 // deadlock reports) and yields. It returns only after another CPU calls
 // Unblock on it. Callers must re-check their wait condition on return:
 // wakeups follow the unblocker's protocol, not the engine's.
 func (p *P) Block(reason string) {
+	if p.eng.sched == SchedEventLoop {
+		p.eng.blockEvent(p, reason)
+		return
+	}
 	if p.eng.poisoned {
 		panic(poisonedEngine{})
 	}
@@ -215,121 +288,29 @@ func (p *P) Unblock(at uint64) {
 	if p.time < at {
 		p.time = at
 	}
+	if p.eng.sched == SchedEventLoop && p.eng.running && !p.eng.poisoned {
+		p.eng.cal.insert(p)
+	}
 }
 
 // Run executes one body per CPU until every CPU halts. bodies may be
 // shorter than the number of CPUs; the extras halt immediately. Run panics
 // if the CPUs deadlock (all non-halted CPUs are waiting) or if a body
 // panics (the panic is re-raised with CPU context), or if MaxCycles is
-// exceeded.
+// exceeded. Whatever the fatal condition — including a panic raised by a
+// TieBreak hook — every CPU goroutine is unwound before Run re-raises, so
+// a recovered Run never leaks parked goroutines.
 func (e *Engine) Run(bodies []func(*P)) {
 	if e.running {
 		panic("sim: Run re-entered")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-
-	live := 0
-	for i, p := range e.procs {
-		var body func(*P)
-		if i < len(bodies) {
-			body = bodies[i]
-		}
-		if body == nil || p.started {
-			p.state = Halted
-			continue
-		}
-		p.started = true
-		live++
-		go func(p *P, body func(*P)) {
-			<-p.grant
-			defer func() {
-				p.state = Halted
-				msg := stepMsg{id: p.ID}
-				if r := recover(); r != nil {
-					msg.panic = fmt.Errorf("sim: CPU %d panicked at cycle %d: %v", p.ID, p.time, r)
-				}
-				e.step <- msg
-			}()
-			if e.poisoned {
-				// Granted for the first time during drain: unwind without
-				// ever running the body.
-				panic(poisonedEngine{})
-			}
-			body(p)
-		}(p, body)
+	if e.sched == SchedEventLoop {
+		e.runEvent(bodies)
+	} else {
+		e.runGoroutine(bodies)
 	}
-
-	for live > 0 {
-		next := e.pickNext()
-		if next == nil {
-			// Describe the waiters before drain unwinds (and halts) them.
-			desc := e.describeWaiters()
-			e.drain()
-			panic("sim: deadlock: " + desc)
-		}
-		e.now = next.time
-		if e.MaxCycles != 0 && e.now > e.MaxCycles {
-			e.drain()
-			panic(fmt.Sprintf("sim: exceeded MaxCycles=%d (livelock?)", e.MaxCycles))
-		}
-		next.grant <- struct{}{}
-		msg := <-e.step
-		if msg.panic != nil {
-			e.drain()
-			panic(msg.panic)
-		}
-		if e.procs[msg.id].state == Halted {
-			live--
-		}
-	}
-}
-
-// drain releases every surviving CPU goroutine before the engine
-// re-raises a fatal panic (body panic, deadlock, MaxCycles). Each grant
-// makes the goroutine's next Yield/Block — or its initial dispatch —
-// panic with poisonedEngine, so it unwinds and halts instead of blocking
-// forever on a grant that would never come (a goroutine leak).
-func (e *Engine) drain() {
-	e.poisoned = true
-	for _, p := range e.procs {
-		for p.started && p.state != Halted {
-			p.grant <- struct{}{}
-			<-e.step
-		}
-	}
-}
-
-// pickNext returns the ready CPU that runs next, or nil when none is
-// ready. The rule is documented and deterministic: smallest local time
-// first, equal times broken by lowest CPU id. When Engine.TieBreak is
-// installed it picks among the time-tied CPUs instead (still
-// deterministic as long as the hook is).
-func (e *Engine) pickNext() *P {
-	var best *P
-	for _, p := range e.procs {
-		if p.state != Ready || !p.started {
-			continue
-		}
-		if best == nil || p.time < best.time || (p.time == best.time && p.ID < best.ID) {
-			best = p
-		}
-	}
-	if best == nil || e.TieBreak == nil {
-		return best
-	}
-	e.tied = e.tied[:0]
-	for _, p := range e.procs {
-		if p.state == Ready && p.started && p.time == best.time {
-			e.tied = append(e.tied, p.ID)
-		}
-	}
-	if len(e.tied) > 1 {
-		if pick := e.TieBreak(e.tied); pick >= 0 && pick < len(e.tied) {
-			best = e.procs[e.tied[pick]]
-		}
-	}
-	return best
 }
 
 // describeWaiters formats the blocked CPUs for the deadlock panic.
