@@ -10,6 +10,7 @@ import (
 
 	"tmisa/internal/runner"
 	"tmisa/internal/tmprof"
+	"tmisa/internal/tracebin"
 )
 
 // runOnce runs the command in-process and returns its stdout plus the
@@ -153,6 +154,124 @@ func TestExitCodes(t *testing.T) {
 				t.Errorf("run(%v) = %d, want %d; stderr:\n%s", tc.args, got, tc.want, errb.String())
 			}
 		})
+	}
+}
+
+// TestTraceOut checks the streaming flag end to end: -trace-out writes
+// a valid .tmtrace stream, perturbs neither stdout nor the bench files,
+// and the stream is byte-identical across parallelism levels.
+func TestTraceOut(t *testing.T) {
+	traceA := filepath.Join(t.TempDir(), "run.tmtrace")
+	traceB := filepath.Join(t.TempDir(), "run.tmtrace")
+	bare, bareBench := runOnce(t, "depth", 4)
+	outA, benchA := runOnce(t, "depth", 1, "-trace-out", traceA)
+	outB, benchB := runOnce(t, "depth", 4, "-trace-out", traceB)
+	compareRuns(t, "depth: bare vs traced", bare, outA, bareBench, benchA)
+	compareRuns(t, "depth: traced p1 vs p4", outA, outB, benchA, benchB)
+	a, err := os.ReadFile(traceA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(traceB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("trace stream differs between -parallel 1 and 4")
+	}
+	f, err := os.Open(traceA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runs, events, err := tracebin.Validate(f)
+	if err != nil {
+		t.Fatalf("stream fails validation: %v", err)
+	}
+	if runs == 0 || events == 0 {
+		t.Fatalf("empty stream: %d runs, %d events", runs, events)
+	}
+}
+
+// TestTrendFlow drives the perf-trend lifecycle in-process: append a
+// record, gate cleanly against it, fail the gate on a doctored
+// regression, and render the history report.
+func TestTrendFlow(t *testing.T) {
+	trend := filepath.Join(t.TempDir(), "TREND.jsonl")
+	bench := t.TempDir()
+
+	// First run appends the baseline record.
+	var out, errb bytes.Buffer
+	args := []string{"-exp", "depth", "-q", "-benchdir", bench, "-trend", trend}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("append run = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "appended 1 record(s)") {
+		t.Fatalf("no append confirmation:\n%s", errb.String())
+	}
+	recs, err := runner.ReadTrend(trend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Experiment != "depth" || recs[0].Cycles == 0 {
+		t.Fatalf("unexpected history after append: %+v", recs)
+	}
+
+	// An identical re-run gates clean (simulated cycles are
+	// deterministic, and allocs sit far inside the generous threshold).
+	errb.Reset()
+	args = []string{"-exp", "depth", "-q", "-benchdir", bench, "-trend", trend, "-trend-check"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("clean gate = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "within thresholds") {
+		t.Fatalf("no pass confirmation:\n%s", errb.String())
+	}
+
+	// Doctor the history so the baseline looks much faster: the same
+	// re-run must now trip the cycle gate and exit 1.
+	recs[0].Cycles /= 2
+	for i := range recs[0].Cells {
+		recs[0].Cells[i].Cycles /= 2
+	}
+	doctored := filepath.Join(t.TempDir(), "TREND.jsonl")
+	if err := runner.AppendTrend(doctored, recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	args = []string{"-exp", "depth", "-q", "-benchdir", bench, "-trend", doctored, "-trend-check"}
+	if code := run(args, &out, &errb); code != 1 {
+		t.Fatalf("regression gate = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "regressed") {
+		t.Fatalf("gate failure does not explain itself:\n%s", errb.String())
+	}
+
+	// Gating against an empty history passes with a note, not a failure.
+	errb.Reset()
+	empty := filepath.Join(t.TempDir(), "TREND.jsonl")
+	args = []string{"-exp", "depth", "-q", "-benchdir", bench, "-trend", empty, "-trend-check"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("gate with no history = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "no history") {
+		t.Fatalf("missing-history note absent:\n%s", errb.String())
+	}
+
+	// -trend-report renders the history without running anything.
+	out.Reset()
+	errb.Reset()
+	args = []string{"-trend", trend, "-trend-report"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("report = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "== depth") {
+		t.Fatalf("report missing experiment section:\n%s", out.String())
+	}
+
+	// The trend flags demand a history file.
+	if code := run([]string{"-trend-check"}, &out, &errb); code != 2 {
+		t.Errorf("-trend-check without -trend = %d, want 2", code)
 	}
 }
 

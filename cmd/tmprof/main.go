@@ -1,29 +1,36 @@
-// Command tmprof renders a saved transactional-memory profile — the
-// trace-event JSON written by `experiments -profile` or `tmsim -profile`
-// — as a text contention report: the top contended granules with their
+// Command tmprof renders a saved transactional-memory profile as a text
+// contention report: the top contended granules with their
 // violation-cause breakdown, aggressor->victim CPU edges, and
-// wasted-cycle attribution.
+// wasted-cycle attribution. It reads both profile forms:
+//
+//   - trace-event JSON written by `experiments -profile` / `tmsim
+//     -profile` (also loads directly in Perfetto for the timeline view);
+//   - binary .tmtrace event streams written by `-trace-out`, rebuilt
+//     into a profile on the fly — exact attribution at any run length.
+//
+// The format is sniffed from the file's magic bytes, not its name.
 //
 // Usage:
 //
-//	tmprof prof.json            # render the contention report
-//	tmprof -top 25 prof.json    # show more granules
-//	tmprof -check prof.json     # validate the trace-event JSON only
-//
-// The same file loads directly in Perfetto (ui.perfetto.dev) for the
-// per-transaction timeline view; this command covers the aggregate side.
+//	tmprof prof.json              # render the contention report
+//	tmprof run.tmtrace            # same report, from the event stream
+//	tmprof -top 25 prof.json      # show more granules
+//	tmprof -check <file>          # validate either format, no report
+//	tmprof -export out.json run.tmtrace   # stream -> Perfetto JSON
 //
 // Exit codes: 0 on success, 1 when the file is missing or invalid, 2 on
 // usage errors.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"tmisa/internal/tmprof"
+	"tmisa/internal/tracebin"
 )
 
 func main() {
@@ -36,18 +43,38 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tmprof", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	top := fs.Int("top", tmprof.DefaultTopN, "contended granules to show in the report")
-	check := fs.Bool("check", false, "validate the file as trace-event JSON and exit (no report)")
+	check := fs.Bool("check", false, "validate the file (trace-event JSON or .tmtrace stream) and exit, no report")
+	export := fs.String("export", "", "with a .tmtrace input: write the rebuilt profile as Perfetto-loadable trace-event JSON to this path")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintf(stderr, "usage: tmprof [-top N] [-check] <profile.json>\n")
+		fmt.Fprintf(stderr, "usage: tmprof [-top N] [-check] [-export out.json] <profile.json|run.tmtrace>\n")
 		return 2
 	}
 	path := fs.Arg(0)
 
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "tmprof: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(len(tracebin.Magic))
+	isStream := err == nil && string(magic) == tracebin.Magic
+
 	if *check {
-		data, err := os.ReadFile(path)
+		if isStream {
+			runs, events, err := tracebin.Validate(br)
+			if err != nil {
+				fmt.Fprintf(stderr, "tmprof: %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s: valid tmtrace stream (%d runs, %d events)\n", path, runs, events)
+			return 0
+		}
+		data, err := io.ReadAll(br)
 		if err != nil {
 			fmt.Fprintf(stderr, "tmprof: %v\n", err)
 			return 1
@@ -60,10 +87,36 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	prof, err := tmprof.ReadTraceFile(path)
-	if err != nil {
-		fmt.Fprintf(stderr, "tmprof: %v\n", err)
-		return 1
+	var prof *tmprof.Profile
+	if isStream {
+		r, err := tracebin.NewReader(br)
+		if err != nil {
+			fmt.Fprintf(stderr, "tmprof: %s: %v\n", path, err)
+			return 1
+		}
+		prof, err = tmprof.FromStream(r)
+		if err != nil {
+			fmt.Fprintf(stderr, "tmprof: %s: %v\n", path, err)
+			return 1
+		}
+	} else {
+		prof, err = tmprof.ReadTraceFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "tmprof: %v\n", err)
+			return 1
+		}
+	}
+	if *export != "" {
+		if !isStream {
+			fmt.Fprintf(stderr, "tmprof: -export expects a .tmtrace input; %s is already trace-event JSON\n", path)
+			return 2
+		}
+		if err := prof.WriteTraceFile(*export); err != nil {
+			fmt.Fprintf(stderr, "tmprof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "tmprof: wrote %s (load in Perfetto)\n", *export)
+		return 0
 	}
 	prof.Report(stdout, *top)
 	return 0

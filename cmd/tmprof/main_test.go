@@ -9,15 +9,17 @@ import (
 
 	"tmisa/internal/core"
 	"tmisa/internal/tmprof"
+	"tmisa/internal/tracebin"
 )
 
-// writeProfile produces a real profile file from a small contention run.
-func writeProfile(t *testing.T) string {
+// writeBoth produces a real profile file AND the equivalent binary
+// event stream from one small contention run.
+func writeBoth(t *testing.T) (jsonPath, streamPath string) {
 	t.Helper()
-	col := tmprof.NewCollector(tmprof.Options{LineSize: 64})
 	cfg := core.DefaultConfig()
 	cfg.CPUs = 2
 	cfg.MaxCycles = 50_000_000
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64, Config: cfg.Describe(), CaptureTrace: true})
 	m := core.NewMachine(cfg)
 	m.SetTracer(col.StartRun("test-kernel"))
 	line := m.AllocLine()
@@ -30,10 +32,28 @@ func writeProfile(t *testing.T) string {
 		}
 	}
 	m.Run(worker, worker)
-	path := filepath.Join(t.TempDir(), "prof.json")
-	if err := col.Profile().WriteTraceFile(path); err != nil {
+	prof := col.Profile()
+	dir := t.TempDir()
+	jsonPath = filepath.Join(dir, "prof.json")
+	if err := prof.WriteTraceFile(jsonPath); err != nil {
 		t.Fatal(err)
 	}
+	streamPath = filepath.Join(dir, "run.tmtrace")
+	var stream bytes.Buffer
+	if err := tracebin.WriteHeader(&stream, "test"); err != nil {
+		t.Fatal(err)
+	}
+	stream.Write(prof.TraceBin)
+	if err := os.WriteFile(streamPath, stream.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return jsonPath, streamPath
+}
+
+// writeProfile produces a real profile file from a small contention run.
+func writeProfile(t *testing.T) string {
+	t.Helper()
+	path, _ := writeBoth(t)
 	return path
 }
 
@@ -74,6 +94,74 @@ func TestCheckMode(t *testing.T) {
 	errb.Reset()
 	if code := run([]string{"-check", bad}, &out, &errb); code != 1 {
 		t.Errorf("-check on garbage = %d, want 1", code)
+	}
+}
+
+// TestStreamReportMatchesJSON renders the same run from its JSON
+// profile and its binary event stream: the reports must be
+// byte-identical (the stream path is exact, not approximate).
+func TestStreamReportMatchesJSON(t *testing.T) {
+	jsonPath, streamPath := writeBoth(t)
+	var fromJSON, fromStream, errb bytes.Buffer
+	if code := run([]string{jsonPath}, &fromJSON, &errb); code != 0 {
+		t.Fatalf("json report = %d; stderr:\n%s", code, errb.String())
+	}
+	if code := run([]string{streamPath}, &fromStream, &errb); code != 0 {
+		t.Fatalf("stream report = %d; stderr:\n%s", code, errb.String())
+	}
+	if !bytes.Equal(fromJSON.Bytes(), fromStream.Bytes()) {
+		t.Errorf("reports differ:\n--- json\n%s\n--- stream\n%s", fromJSON.Bytes(), fromStream.Bytes())
+	}
+}
+
+func TestCheckStream(t *testing.T) {
+	_, streamPath := writeBoth(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-check", streamPath}, &out, &errb); code != 0 {
+		t.Fatalf("-check on a valid stream = %d; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "valid tmtrace stream") {
+		t.Errorf("-check output missing stream verdict:\n%s", out.String())
+	}
+
+	// Truncating the stream mid-record must fail validation.
+	data, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.tmtrace")
+	if err := os.WriteFile(trunc, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-check", trunc}, &out, &errb); code != 1 {
+		t.Errorf("-check on a truncated stream = %d, want 1", code)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	_, streamPath := writeBoth(t)
+	exported := filepath.Join(t.TempDir(), "out.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-export", exported, streamPath}, &out, &errb); code != 0 {
+		t.Fatalf("-export = %d; stderr:\n%s", code, errb.String())
+	}
+	var fromStream, fromExport bytes.Buffer
+	if code := run([]string{streamPath}, &fromStream, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if code := run([]string{exported}, &fromExport, &errb); code != 0 {
+		t.Fatal(errb.String())
+	}
+	if !bytes.Equal(fromStream.Bytes(), fromExport.Bytes()) {
+		t.Error("exported JSON renders a different report than the stream it came from")
+	}
+
+	// -export on an input that is already JSON is a usage error.
+	errb.Reset()
+	if code := run([]string{"-export", exported, exported}, &out, &errb); code != 2 {
+		t.Errorf("-export on JSON input = %d, want 2", code)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"tmisa/internal/tm"
 	"tmisa/internal/tmprof"
 	"tmisa/internal/trace"
+	"tmisa/internal/tracebin"
 	"tmisa/internal/workloads"
 )
 
@@ -52,6 +53,7 @@ func main() {
 		oracleOn   = flag.Bool("oracle", false, "check the run with the serializability/strong-atomicity oracle")
 		profile    = flag.Bool("profile", false, "collect a tmprof conflict-attribution profile (see -profile-out)")
 		profileOut = flag.String("profile-out", "tmprof.json", "profile destination: Perfetto-loadable trace-event JSON (render with cmd/tmprof)")
+		traceOut   = flag.String("trace-out", "", "stream the run's complete event stream to this .tmtrace binary file (exact attribution at any run length; read with cmd/tmprof)")
 		fallback   = flag.String("fallback", "none", "hybrid-engine STM fallback: none, serial (global-lock irrevocable), or tl2 (versioned-lock)")
 		budget     = flag.Int("retry-budget", 0, "HTM attempts before a contended transaction falls back (0 = engine default; needs -fallback)")
 		maxWrite   = flag.Int("max-write-lines", 0, "bound speculative write footprint to N lines (capacity aborts past it; 0 = unbounded)")
@@ -126,25 +128,46 @@ func main() {
 
 	cfg.Oracle = *oracleOn
 
+	granule := cfg.Cache.LineSize
+	if cfg.WordTracking {
+		granule = 0
+	}
 	var col *tmprof.Collector
 	if *profile {
-		size := cfg.Cache.LineSize
-		if cfg.WordTracking {
-			size = 0
+		col = tmprof.NewCollector(tmprof.Options{LineSize: granule, Config: cfg.Describe()})
+	}
+	var tw *tracebin.Writer
+	var tf *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmsim: %v\n", err)
+			os.Exit(1)
 		}
-		col = tmprof.NewCollector(tmprof.Options{LineSize: size})
+		tf = f
+		tw = tracebin.NewWriter(f, "tmsim")
+	}
+	// streamRun opens a run section on the binary stream, nil without
+	// -trace-out (so it slots into the fan-out like the other sinks).
+	streamRun := func(label string) func(trace.Event) {
+		if tw == nil {
+			return nil
+		}
+		return tw.StartRun(label, cfg.Describe(), granule)
 	}
 
 	w := mk()
 	if *sequential {
 		// Execute checks the oracle internally (panics on a violation).
 		r := workloads.ExecuteSequentialTraced(w, cfg, func(m *core.Machine) {
-			if rec := col.StartRun(w.Name() + "/seq"); rec != nil {
-				m.SetTracer(rec)
+			label := w.Name() + "/seq"
+			if t := fanout(col.StartRun(label), streamRun(label)); t != nil {
+				m.SetTracer(t)
 			}
 		})
 		fmt.Printf("%s (sequential)\n%s", w.Name(), r)
 		writeProfile(col, *profileOut)
+		closeTrace(tw, tf, *traceOut)
 		return
 	}
 	var log *trace.Log
@@ -154,16 +177,14 @@ func main() {
 	}
 	attach := func(m *core.Machine) {
 		mach = m
-		// One tracer slot, up to two sinks: fan the stream out when both
-		// -trace and -profile are on.
-		rec := col.StartRun(w.Name())
-		switch {
-		case log != nil && rec != nil:
-			m.SetTracer(func(e trace.Event) { log.Record(e); rec(e) })
-		case log != nil:
-			m.SetTracer(log.Record)
-		case rec != nil:
-			m.SetTracer(rec)
+		// One tracer slot, up to three sinks: the bounded ring (-trace),
+		// the profiler (-profile), and the binary stream (-trace-out).
+		var ring func(trace.Event)
+		if log != nil {
+			ring = log.Record
+		}
+		if t := fanout(ring, col.StartRun(w.Name()), streamRun(w.Name())); t != nil {
+			m.SetTracer(t)
 		}
 	}
 	r := workloads.ExecuteTraced(w, cfg, *cpus, attach)
@@ -176,6 +197,47 @@ func main() {
 		fmt.Printf("--- last %d trace events ---\n%s", *traceN, log)
 	}
 	writeProfile(col, *profileOut)
+	closeTrace(tw, tf, *traceOut)
+}
+
+// fanout combines the non-nil sinks into one tracer (nil when none).
+func fanout(sinks ...func(trace.Event)) func(trace.Event) {
+	live := sinks[:0]
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return func(e trace.Event) {
+			for _, s := range live {
+				s(e)
+			}
+		}
+	}
+}
+
+// closeTrace flushes and closes the binary event stream, if any. Notes
+// go to stderr so stdout (the report) is identical with and without
+// -trace-out.
+func closeTrace(tw *tracebin.Writer, f *os.File, path string) {
+	if tw == nil {
+		return
+	}
+	err := tw.Flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmsim: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tmsim: streamed events to %s (render with: go run ./cmd/tmprof %s)\n", path, path)
 }
 
 // writeProfile saves the collected profile, if any. The note goes to

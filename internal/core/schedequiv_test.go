@@ -49,6 +49,7 @@ func TestParkHaltFallbackLockSchedEquiv(t *testing.T) {
 		done := false
 		wakes := 0
 		overCap := func(p *Proc, val uint64) {
+			//tmlint:allow txfootprint -- over-capacity on purpose: the test forces the serial-fallback path to compare scheds
 			if err := p.Atomic(func(tx *Tx) {
 				for _, a := range addrs {
 					p.Store(a, val)

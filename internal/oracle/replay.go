@@ -1,0 +1,52 @@
+package oracle
+
+import (
+	"fmt"
+	"io"
+
+	"tmisa/internal/tracebin"
+)
+
+// Replay feeds one streamed run's events through a fresh checker and
+// returns its verdict: the offline form of attaching the oracle live.
+// A .tmtrace file holds the complete event stream in the engine's
+// global serialization order — exactly the contract Checker.Event
+// requires — so a run streamed to disk can be history-checked after
+// the fact, on another machine, or under a different oracle
+// configuration (e.g. with KeepHistory for a violation post-mortem),
+// none of which the live attachment allows.
+//
+// cfg must match the run's semantics (engine family, granule size,
+// memory model); the stream's recorded Config fingerprint is returned
+// for the caller to cross-check. The final-memory sweep is skipped —
+// the stream carries the history, not the memory image.
+//
+// The stream must hold exactly one run section: multi-run experiment
+// streams interleave independent machines, whose histories must be
+// checked one at a time.
+func Replay(cfg Config, r *tracebin.Reader) (verdict error, runConfig string, err error) {
+	c := New(cfg)
+	runs := 0
+	for {
+		rec, e := r.Next()
+		if e == io.EOF {
+			break
+		}
+		if e != nil {
+			return nil, runConfig, e
+		}
+		if rec.Start {
+			runs++
+			if runs > 1 {
+				return nil, runConfig, fmt.Errorf("oracle: stream holds %d+ runs; replay one run section at a time", runs)
+			}
+			runConfig = rec.Config
+			continue
+		}
+		c.Event(rec.Event)
+	}
+	if runs == 0 {
+		return nil, "", fmt.Errorf("oracle: stream from %q holds no runs", r.Source())
+	}
+	return c.Finish(nil), runConfig, nil
+}

@@ -26,6 +26,11 @@ type Context struct {
 	// order. The tracer only observes the event stream, so profiled runs
 	// report bit-identical counters.
 	Profile bool
+	// Trace additionally captures every cell's complete event stream as
+	// binary run sections (Profile.TraceBin), concatenated in matrix
+	// order by MergeProfiles — the -trace-out path. Implies attaching a
+	// collector even when Profile is off.
+	Trace bool
 	// Sched selects the simulation scheduler for every cell (the zero
 	// value is the event loop). The legacy goroutine scheduler is retained
 	// for the sched-equiv differential suite, which runs the whole
@@ -46,14 +51,18 @@ func (ctx Context) base() core.Config {
 // per-cell collection with matrix-order merging is what keeps the merged
 // profile identical at any -parallel.
 func (ctx Context) collector(cfg core.Config) *tmprof.Collector {
-	if !ctx.Profile {
+	if !ctx.Profile && !ctx.Trace {
 		return nil
 	}
 	size := cfg.Cache.LineSize
 	if cfg.WordTracking {
 		size = 0 // word granularity: don't fold addresses
 	}
-	return tmprof.NewCollector(tmprof.Options{LineSize: size})
+	return tmprof.NewCollector(tmprof.Options{
+		LineSize:     size,
+		Config:       cfg.Describe(),
+		CaptureTrace: ctx.Trace,
+	})
 }
 
 // profAttach adapts a collector run to ExecuteTraced's customize hook;

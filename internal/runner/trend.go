@@ -1,0 +1,214 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// TrendSchema versions the trend-history record layout.
+const TrendSchema = 1
+
+// TrendCell is one matrix cell's deterministic cycle count inside a
+// trend record, in matrix order.
+type TrendCell struct {
+	Label  string `json:"label"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// TrendRecord is one per-commit perf measurement of one experiment: the
+// BENCH baseline's deterministic counters, reduced to what the trend
+// gate compares, appended to a JSONL history file commit after commit.
+type TrendRecord struct {
+	Schema     int    `json:"schema"`
+	SHA        string `json:"sha"`
+	Experiment string `json:"experiment"`
+	// Config fingerprints the platform the cells ran under; records with
+	// different configs are not comparable and the gate says so instead
+	// of diffing their cycles.
+	Config string `json:"config"`
+	// Cycles is the sum of all cells' simulated cycles (deterministic
+	// for a given source tree).
+	Cycles uint64 `json:"cycles"`
+	// Allocs is the host heap allocation count (runtime mallocs) the
+	// experiment cost, 0 when not recorded. Host-dependent and noisy —
+	// the gate only compares it under a generous threshold.
+	Allocs uint64 `json:"allocs,omitempty"`
+	// Cells breaks Cycles down per matrix cell for finer-grained gating.
+	Cells []TrendCell `json:"cells,omitempty"`
+}
+
+// NewTrendRecord reduces one experiment run to its trend measurement.
+// allocs is the caller-measured host allocation delta (0 = unrecorded).
+func NewTrendRecord(exp string, ctx Context, res []Metrics, allocs uint64) TrendRecord {
+	rec := TrendRecord{
+		Schema:     TrendSchema,
+		SHA:        GitSHA(),
+		Experiment: exp,
+		Config:     ctx.base().Describe(),
+		Allocs:     allocs,
+	}
+	for _, m := range res {
+		rec.Cycles += m.Cycles
+		rec.Cells = append(rec.Cells, TrendCell{Label: m.Label, Cycles: m.Cycles})
+	}
+	return rec
+}
+
+// AppendTrend appends one record to the JSONL history file, creating it
+// if needed.
+func AppendTrend(path string, rec TrendRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrend loads a JSONL history file in append order. Records with an
+// unknown schema are an error — refuse to gate against measurements
+// whose meaning changed.
+func ReadTrend(path string) ([]TrendRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []TrendRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec TrendRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("runner: trend %s:%d: %w", path, line, err)
+		}
+		if rec.Schema != TrendSchema {
+			return nil, fmt.Errorf("runner: trend %s:%d: schema %d, this build speaks %d", path, line, rec.Schema, TrendSchema)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// LastTrend returns the most recent record for one experiment, or nil.
+func LastTrend(recs []TrendRecord, exp string) *TrendRecord {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Experiment == exp {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+// pctOver returns by how many percent cur exceeds prev (0 when it
+// doesn't).
+func pctOver(prev, cur uint64) float64 {
+	if prev == 0 || cur <= prev {
+		return 0
+	}
+	return (float64(cur) - float64(prev)) / float64(prev) * 100
+}
+
+// CheckTrend compares a new measurement against the previous one and
+// returns the regression findings, empty when the gate passes. Total and
+// per-cell simulated cycles gate at cyclePct; host allocations gate at
+// allocPct, and only when both records carry a count — alloc counts are
+// host- and toolchain-dependent, so the threshold should stay generous.
+func CheckTrend(prev, cur TrendRecord, cyclePct, allocPct float64) []string {
+	var out []string
+	if prev.Config != cur.Config {
+		return []string{fmt.Sprintf(
+			"config changed since the last record (%q -> %q): cycles are not comparable; refresh the history by appending a record for the new config",
+			prev.Config, cur.Config)}
+	}
+	if over := pctOver(prev.Cycles, cur.Cycles); over > cyclePct {
+		out = append(out, fmt.Sprintf("total cycles regressed %.1f%% (%d -> %d, threshold %.0f%%)",
+			over, prev.Cycles, cur.Cycles, cyclePct))
+	}
+	prevCells := make(map[string]uint64, len(prev.Cells))
+	for _, c := range prev.Cells {
+		prevCells[c.Label] = c.Cycles
+	}
+	for _, c := range cur.Cells {
+		if p, ok := prevCells[c.Label]; ok {
+			if over := pctOver(p, c.Cycles); over > cyclePct {
+				out = append(out, fmt.Sprintf("cell %s regressed %.1f%% (%d -> %d cycles, threshold %.0f%%)",
+					c.Label, over, p, c.Cycles, cyclePct))
+			}
+		}
+	}
+	if prev.Allocs > 0 && cur.Allocs > 0 {
+		if over := pctOver(prev.Allocs, cur.Allocs); over > allocPct {
+			out = append(out, fmt.Sprintf("host allocations regressed %.1f%% (%d -> %d, threshold %.0f%%)",
+				over, prev.Allocs, cur.Allocs, allocPct))
+		}
+	}
+	return out
+}
+
+// RenderTrend writes the perf-over-time report: per experiment, the
+// appended history in order with commit, cycle total, delta against the
+// preceding comparable record, and allocations when recorded.
+func RenderTrend(w io.Writer, recs []TrendRecord) {
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "trend history is empty")
+		return
+	}
+	byExp := make(map[string][]TrendRecord)
+	var exps []string
+	for _, rec := range recs {
+		if _, seen := byExp[rec.Experiment]; !seen {
+			exps = append(exps, rec.Experiment)
+		}
+		byExp[rec.Experiment] = append(byExp[rec.Experiment], rec)
+	}
+	sort.Strings(exps)
+	for _, exp := range exps {
+		history := byExp[exp]
+		fmt.Fprintf(w, "== %s (%d records)\n", exp, len(history))
+		fmt.Fprintf(w, "%-12s %14s %8s %12s\n", "commit", "cycles", "delta", "allocs")
+		for i, rec := range history {
+			sha := rec.SHA
+			if len(sha) > 12 {
+				sha = sha[:12]
+			}
+			if sha == "" {
+				sha = "(none)"
+			}
+			delta := "-"
+			if i > 0 && history[i-1].Config == rec.Config && history[i-1].Cycles > 0 {
+				d := (float64(rec.Cycles) - float64(history[i-1].Cycles)) / float64(history[i-1].Cycles) * 100
+				delta = fmt.Sprintf("%+.1f%%", d)
+			} else if i > 0 {
+				delta = "(config)"
+			}
+			allocs := "-"
+			if rec.Allocs > 0 {
+				allocs = fmt.Sprintf("%d", rec.Allocs)
+			}
+			fmt.Fprintf(w, "%-12s %14d %8s %12s\n", sha, rec.Cycles, delta, allocs)
+		}
+		fmt.Fprintln(w)
+	}
+}

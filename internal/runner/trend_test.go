@@ -1,0 +1,173 @@
+package runner
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tmisa/internal/tmprof"
+	"tmisa/internal/tracebin"
+)
+
+func trendRec(exp, config string, cycles uint64, cells ...TrendCell) TrendRecord {
+	return TrendRecord{Schema: TrendSchema, SHA: "abc123", Experiment: exp,
+		Config: config, Cycles: cycles, Cells: cells}
+}
+
+func TestTrendAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TREND.jsonl")
+	recs := []TrendRecord{
+		trendRec("figure5", "cfg", 1000, TrendCell{"mp3d", 400}, TrendCell{"barnes", 600}),
+		trendRec("figure5", "cfg", 1100),
+		trendRec("depth", "cfg", 50),
+	}
+	for _, rec := range recs {
+		if err := AppendTrend(path, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadTrend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Cells[1].Label != "barnes" || got[2].Experiment != "depth" {
+		t.Fatalf("round trip wrong: %+v", got)
+	}
+	if last := LastTrend(got, "figure5"); last == nil || last.Cycles != 1100 {
+		t.Fatalf("LastTrend(figure5) = %+v, want the 1100-cycle record", last)
+	}
+	if LastTrend(got, "nope") != nil {
+		t.Fatal("LastTrend of an unknown experiment is non-nil")
+	}
+}
+
+func TestTrendSchemaRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TREND.jsonl")
+	rec := trendRec("x", "cfg", 1)
+	rec.Schema = 99
+	if err := AppendTrend(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrend(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("unknown schema accepted (err=%v)", err)
+	}
+}
+
+func TestCheckTrendGates(t *testing.T) {
+	prev := trendRec("figure5", "cfg", 1000,
+		TrendCell{"mp3d", 400}, TrendCell{"barnes", 600})
+	prev.Allocs = 10_000
+
+	// Within threshold: clean.
+	cur := trendRec("figure5", "cfg", 1040, TrendCell{"mp3d", 410}, TrendCell{"barnes", 630})
+	cur.Allocs = 11_000
+	if msgs := CheckTrend(prev, cur, 5, 25); len(msgs) != 0 {
+		t.Fatalf("in-threshold record flagged: %v", msgs)
+	}
+
+	// Total cycle regression beyond threshold.
+	cur = trendRec("figure5", "cfg", 1100, TrendCell{"mp3d", 500}, TrendCell{"barnes", 600})
+	msgs := CheckTrend(prev, cur, 5, 25)
+	if len(msgs) != 2 { // total + the mp3d cell
+		t.Fatalf("cycle regression flags = %v, want total+cell", msgs)
+	}
+	if !strings.Contains(msgs[0], "total cycles regressed 10.0%") || !strings.Contains(msgs[1], "cell mp3d") {
+		t.Fatalf("unexpected messages: %v", msgs)
+	}
+
+	// Improvement never flags.
+	cur = trendRec("figure5", "cfg", 800, TrendCell{"mp3d", 300}, TrendCell{"barnes", 500})
+	if msgs := CheckTrend(prev, cur, 5, 25); len(msgs) != 0 {
+		t.Fatalf("improvement flagged: %v", msgs)
+	}
+
+	// Alloc regression beyond its (generous) threshold.
+	cur = trendRec("figure5", "cfg", 1000, prev.Cells...)
+	cur.Allocs = 20_000
+	if msgs := CheckTrend(prev, cur, 5, 25); len(msgs) != 1 || !strings.Contains(msgs[0], "allocations") {
+		t.Fatalf("alloc regression flags = %v", msgs)
+	}
+	// ...but an unrecorded alloc count (0) on either side skips the gate.
+	cur.Allocs = 0
+	if msgs := CheckTrend(prev, cur, 5, 25); len(msgs) != 0 {
+		t.Fatalf("unrecorded allocs flagged: %v", msgs)
+	}
+
+	// A config change makes cycles incomparable: one refresh-required
+	// message, no cycle diffing.
+	cur = trendRec("figure5", "other-cfg", 9999)
+	msgs = CheckTrend(prev, cur, 5, 25)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "config changed") {
+		t.Fatalf("config change flags = %v", msgs)
+	}
+}
+
+func TestRenderTrend(t *testing.T) {
+	recs := []TrendRecord{
+		trendRec("figure5", "cfg", 1000),
+		trendRec("figure5", "cfg", 1100),
+		trendRec("depth", "cfg", 50),
+	}
+	recs[1].Allocs = 42
+	var buf bytes.Buffer
+	RenderTrend(&buf, recs)
+	out := buf.String()
+	for _, want := range []string{"== figure5 (2 records)", "== depth (1 records)", "+10.0%", "abc123", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	RenderTrend(&buf, nil)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("empty history report: %q", buf.String())
+	}
+}
+
+// TestTracedCellsDeterministic is the -trace-out analogue of
+// TestProfiledCellsDeterministic: with Context.Trace on, every cell
+// captures its binary event stream, the matrix-order concatenation is
+// byte-identical at any parallelism, and the profile rebuilt from that
+// stream matches the in-memory collectors' merge exactly.
+func TestTracedCellsDeterministic(t *testing.T) {
+	ctx := Context{CPUs: 2, Profile: true, Trace: true}
+	exp, _ := Find("opensem")
+	collect := func(parallel int) ([]byte, *tmprof.Profile) {
+		res, err := Run(exp.Cells(ctx), parallel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := MergeProfiles(res)
+		if prof == nil || len(prof.TraceBin) == 0 {
+			t.Fatal("Trace on but no captured stream")
+		}
+		return prof.TraceBin, prof
+	}
+
+	bin1, prof := collect(1)
+	bin2, _ := collect(4)
+	if !bytes.Equal(bin1, bin2) {
+		t.Fatal("captured stream differs between -parallel 1 and 4")
+	}
+
+	var file bytes.Buffer
+	if err := tracebin.WriteHeader(&file, "test"); err != nil {
+		t.Fatal(err)
+	}
+	file.Write(bin1)
+	r, err := tracebin.NewReader(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := tmprof.FromStream(r)
+	if err != nil {
+		t.Fatalf("FromStream: %v", err)
+	}
+	var a, b bytes.Buffer
+	prof.Report(&a, 10)
+	streamed.Report(&b, 10)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("streamed rebuild differs from in-memory merge:\n--- collector\n%s\n--- stream\n%s", a.Bytes(), b.Bytes())
+	}
+}

@@ -271,6 +271,8 @@ func (x *exec) runOps(p *core.Proc, ops []Op) {
 			p.Imst(x.privAddr(p.ID(), op.Word), op.Val)
 		case OpImstid:
 			p.Imstid(x.privAddr(p.ID(), op.Word), op.Val)
+		case OpImld:
+			p.Imld(x.privAddr(p.ID(), op.Word))
 		case OpRelease:
 			p.Release(SharedAddr(op.Word))
 		case OpAbort:

@@ -75,7 +75,7 @@ func TestBugCompatFindsAndShrinksLostUpdate(t *testing.T) {
 
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	res, err := Run(Options{Seed: 1, N: 16, CorpusDir: dir, MaxFailures: 1, Out: &buf})
+	res, err := Run(Options{Seed: 1, N: 32, CorpusDir: dir, MaxFailures: 1, Out: &buf})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}

@@ -192,10 +192,12 @@ func (g *generator) genOp(depth int) Op {
 			return Op{Kind: OpStore, ID: g.id(), Word: g.r.intn(g.words), Val: g.val()}
 		case roll < 80:
 			return Op{Kind: OpLoad, ID: g.id(), Word: g.r.intn(g.words)}
-		case roll < 88:
+		case roll < 86:
 			return Op{Kind: OpImst, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
-		case roll < 94:
+		case roll < 91:
 			return Op{Kind: OpImstid, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
+		case roll < 95:
+			return Op{Kind: OpImld, ID: g.id(), Word: g.r.intn(PrivateWords)}
 		default:
 			return Op{Kind: OpRelease, ID: g.id(), Word: g.r.intn(g.words)}
 		}
@@ -219,10 +221,12 @@ func (g *generator) genOp(depth int) Op {
 		return Op{Kind: OpOnViol, ID: g.id()}
 	case roll < 88:
 		return Op{Kind: OpRelease, ID: g.id(), Word: g.r.intn(g.words)}
-	case roll < 93:
+	case roll < 92:
 		return Op{Kind: OpImst, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
-	case roll < 96:
+	case roll < 95:
 		return Op{Kind: OpImstid, ID: g.id(), Word: g.r.intn(PrivateWords), Val: g.val()}
+	case roll < 97:
+		return Op{Kind: OpImld, ID: g.id(), Word: g.r.intn(PrivateWords)}
 	default:
 		return Op{Kind: OpAbort, ID: g.id()}
 	}

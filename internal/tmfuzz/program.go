@@ -31,13 +31,14 @@ const (
 	// block, non-transactional outside — the processor decides).
 	OpLoad  = "load"
 	OpStore = "store"
-	// OpImst / OpImstid are immediate stores to the executing CPU's
-	// private word Word. They bypass conflict tracking, so the generator
-	// confines them to thread-private data (imst on shared contended words
-	// breaks isolation by design, which would drown the oracle in
-	// expected noise).
+	// OpImst / OpImstid are immediate stores, and OpImld an immediate
+	// load, on the executing CPU's private word Word. They bypass
+	// conflict tracking, so the generator confines them to thread-private
+	// data (imst on shared contended words breaks isolation by design,
+	// which would drown the oracle in expected noise).
 	OpImst   = "imst"
 	OpImstid = "imstid"
+	OpImld   = "imld"
 	// OpRelease is the early-release instruction on shared word Word
 	// (a no-op outside a transaction).
 	OpRelease = "release"
@@ -178,7 +179,7 @@ func (pr *Program) validateOps(ti int, ops []Op, depth int, seen map[int]bool) e
 			if op.Word < 0 || op.Word >= pr.Words {
 				return fmt.Errorf("tmfuzz: thread %d op %d: shared word %d out of range [0,%d)", ti, op.ID, op.Word, pr.Words)
 			}
-		case OpImst, OpImstid:
+		case OpImst, OpImstid, OpImld:
 			if op.Word < 0 || op.Word >= PrivateWords {
 				return fmt.Errorf("tmfuzz: thread %d op %d: private word %d out of range [0,%d)", ti, op.ID, op.Word, PrivateWords)
 			}
@@ -236,6 +237,8 @@ func renderOps(b *strings.Builder, ops []Op, indent int) {
 			fmt.Fprintf(b, "%sp.Imst(private[%d], %d) // op %d\n", pad, op.Word, op.Val, op.ID)
 		case OpImstid:
 			fmt.Fprintf(b, "%sp.Imstid(private[%d], %d) // op %d\n", pad, op.Word, op.Val, op.ID)
+		case OpImld:
+			fmt.Fprintf(b, "%sp.Imld(private[%d]) // op %d\n", pad, op.Word, op.ID)
 		case OpRelease:
 			fmt.Fprintf(b, "%sp.Release(shared[%d]) // op %d\n", pad, op.Word, op.ID)
 		case OpAbort:

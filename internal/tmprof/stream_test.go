@@ -1,0 +1,187 @@
+package tmprof_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tmisa/internal/core"
+	"tmisa/internal/tmprof"
+	"tmisa/internal/tracebin"
+)
+
+// profileBytes renders the two consumer-facing serializations — the
+// text contention report and the Perfetto trace-event JSON — whose
+// byte equality is the "profiles identical" gate.
+func profileBytes(t *testing.T, p *tmprof.Profile) ([]byte, []byte) {
+	t.Helper()
+	var report, export bytes.Buffer
+	p.Report(&report, 10)
+	if err := p.WriteTrace(&export); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	return report.Bytes(), export.Bytes()
+}
+
+// TestFromStreamMatchesCollector is the exactness gate at package level:
+// a profile rebuilt from the captured binary stream must serialize
+// byte-identically to the one the attached in-memory collector produced
+// — same runs, counts, spans, granule attribution — with no truncation
+// notes, because the stream holds every event.
+func TestFromStreamMatchesCollector(t *testing.T) {
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64, Config: "test-cfg", CaptureTrace: true})
+	contend(t, col.StartRun("contend/a"))
+	contend(t, col.StartRun("contend/b"))
+	attached := col.Profile()
+	if len(attached.TraceBin) == 0 {
+		t.Fatal("CaptureTrace left TraceBin empty")
+	}
+
+	var file bytes.Buffer
+	if err := tracebin.WriteHeader(&file, "test"); err != nil {
+		t.Fatal(err)
+	}
+	file.Write(attached.TraceBin)
+	r, err := tracebin.NewReader(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := tmprof.FromStream(r)
+	if err != nil {
+		t.Fatalf("FromStream: %v", err)
+	}
+	if len(streamed.Notes) != 0 {
+		t.Fatalf("streamed profile carries notes %q; stream attribution is exact", streamed.Notes)
+	}
+
+	aRep, aExp := profileBytes(t, attached)
+	sRep, sExp := profileBytes(t, streamed)
+	if !bytes.Equal(aRep, sRep) {
+		t.Errorf("reports differ:\n--- attached\n%s\n--- streamed\n%s", aRep, sRep)
+	}
+	if !bytes.Equal(aExp, sExp) {
+		t.Error("Perfetto exports differ between attached and streamed profiles")
+	}
+}
+
+// TestFromStreamExternalWriter covers the tmsim path: events streamed
+// straight to an external file writer (Options.Trace), not captured
+// in-memory, rebuild to the same profile.
+func TestFromStreamExternalWriter(t *testing.T) {
+	var file bytes.Buffer
+	w := tracebin.NewWriter(&file, "tmsim-test")
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64, Config: "cfg", Trace: w})
+	contend(t, col.StartRun("run"))
+	attached := col.Profile()
+	if err := w.Flush(); err != nil {
+		t.Fatalf("stream writer: %v", err)
+	}
+
+	r, err := tracebin.NewReader(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := tmprof.FromStream(r)
+	if err != nil {
+		t.Fatalf("FromStream: %v", err)
+	}
+	aRep, _ := profileBytes(t, attached)
+	sRep, _ := profileBytes(t, streamed)
+	if !bytes.Equal(aRep, sRep) {
+		t.Errorf("reports differ:\n--- attached\n%s\n--- streamed\n%s", aRep, sRep)
+	}
+}
+
+// TestMergeConcatenatesTraceBin pins the parallel-runner contract:
+// merging per-cell profiles concatenates their captured run sections in
+// argument (matrix) order, and the assembled stream still rebuilds the
+// merged profile exactly.
+func TestMergeConcatenatesTraceBin(t *testing.T) {
+	var cells []*tmprof.Profile
+	for _, label := range []string{"cell0", "cell1", "cell2"} {
+		col := tmprof.NewCollector(tmprof.Options{LineSize: 64, CaptureTrace: true})
+		contend(t, col.StartRun(label))
+		cells = append(cells, col.Profile())
+	}
+	merged := tmprof.Merge(cells...)
+	want := append(append(append([]byte(nil), cells[0].TraceBin...), cells[1].TraceBin...), cells[2].TraceBin...)
+	if !bytes.Equal(merged.TraceBin, want) {
+		t.Fatal("merged TraceBin is not the matrix-order concatenation of the cells'")
+	}
+
+	var file bytes.Buffer
+	if err := tracebin.WriteHeader(&file, "merge"); err != nil {
+		t.Fatal(err)
+	}
+	file.Write(merged.TraceBin)
+	r, err := tracebin.NewReader(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := tmprof.FromStream(r)
+	if err != nil {
+		t.Fatalf("FromStream: %v", err)
+	}
+	mRep, _ := profileBytes(t, merged)
+	sRep, _ := profileBytes(t, streamed)
+	if !bytes.Equal(mRep, sRep) {
+		t.Errorf("merged report differs from streamed rebuild:\n--- merged\n%s\n--- streamed\n%s", mRep, sRep)
+	}
+}
+
+// TestStreamCaptureDoesNotPerturb pins zero observer effect: a run with
+// trace capture on is cycle-identical to an unprofiled run.
+func TestStreamCaptureDoesNotPerturb(t *testing.T) {
+	bare := contend(t, nil)
+	col := tmprof.NewCollector(tmprof.Options{LineSize: 64, CaptureTrace: true})
+	captured := contend(t, col.StartRun("x"))
+	if bare != captured {
+		t.Fatalf("trace capture changed the run:\n--- bare\n%s\n--- captured\n%s", bare, captured)
+	}
+}
+
+// TestFallbackStreamRoundTrip runs the hybrid engine (Fallback events,
+// serialized-cycle spans) through the capture+rebuild path.
+func TestFallbackStreamRoundTrip(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CPUs = 2
+	cfg.Cache.BoundedSpec = true
+	cfg.Cache.MaxWriteLines = 1
+	cfg.Fallback = core.SerialFallback
+	cfg.MaxCycles = 50_000_000
+	col := tmprof.NewCollector(tmprof.Options{LineSize: cfg.Cache.LineSize, CaptureTrace: true})
+	m := core.NewMachine(cfg)
+	m.SetTracer(col.StartRun("hybrid"))
+	l0, l1 := m.AllocLine(), m.AllocLine()
+	worker := func(p *core.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Atomic(func(tx *core.Tx) {
+				p.Store(l0, p.Load(l0)+1)
+				p.Store(l1, p.Load(l1)+1) // second line overflows MaxWriteLines
+			})
+		}
+	}
+	m.Run(worker, worker)
+	attached := col.Profile()
+	if attached.Runs[0].Counts["fallback"] == 0 {
+		t.Fatal("hybrid kernel produced no fallback events; test is vacuous")
+	}
+
+	var file bytes.Buffer
+	if err := tracebin.WriteHeader(&file, "hybrid"); err != nil {
+		t.Fatal(err)
+	}
+	file.Write(attached.TraceBin)
+	r, err := tracebin.NewReader(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := tmprof.FromStream(r)
+	if err != nil {
+		t.Fatalf("FromStream: %v", err)
+	}
+	aRep, _ := profileBytes(t, attached)
+	sRep, _ := profileBytes(t, streamed)
+	if !bytes.Equal(aRep, sRep) {
+		t.Errorf("hybrid reports differ:\n--- attached\n%s\n--- streamed\n%s", aRep, sRep)
+	}
+}

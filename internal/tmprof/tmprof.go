@@ -13,11 +13,14 @@
 package tmprof
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sort"
 
 	"tmisa/internal/mem"
 	"tmisa/internal/trace"
+	"tmisa/internal/tracebin"
 )
 
 // DefaultMaxSpans bounds the timeline kept per run; aggregate counters
@@ -33,6 +36,18 @@ type Options struct {
 	// MaxSpans bounds timeline spans retained per run (0 selects
 	// DefaultMaxSpans, negative disables the timeline entirely).
 	MaxSpans int
+	// Config is the core.Config.Describe fingerprint written to each
+	// streamed run section (ignored unless events are streamed).
+	Config string
+	// Trace, when set, tees every consumed event into the binary stream
+	// writer: each StartRun opens a run section there, so the stream and
+	// the profile stay run-for-run aligned.
+	Trace *tracebin.Writer
+	// CaptureTrace tees events into an internal in-memory run-section
+	// buffer instead, surfaced as Profile.TraceBin — the form the
+	// parallel experiment runner can carry across cells and concatenate
+	// in matrix order. Overrides Trace.
+	CaptureTrace bool
 }
 
 // Span is one timeline entry: a transaction attempt (begin to
@@ -112,6 +127,12 @@ type Profile struct {
 	Unattributed Unattributed `json:"unattributed"`
 	// Notes records collection caveats (ring-window truncation, ...).
 	Notes []string `json:"notes,omitempty"`
+	// TraceBin holds the captured binary run sections (Options.
+	// CaptureTrace): headerless tracebin bytes that concatenate across
+	// Merge in run order, ready to assemble behind one
+	// tracebin.WriteHeader. It rides between goroutines on the in-memory
+	// Profile but never serializes into the JSON export.
+	TraceBin []byte `json:"-"`
 }
 
 // GranuleMap groups the profile's granules by the labeled memory region
@@ -147,6 +168,9 @@ type runState struct {
 type Collector struct {
 	lineSize int
 	maxSpans int
+	config   string
+	tw       *tracebin.Writer
+	capture  *bytes.Buffer
 	runs     []*runState
 	granules map[mem.Addr]*Granule
 	unattr   Unattributed
@@ -158,11 +182,18 @@ func NewCollector(opts Options) *Collector {
 	if opts.MaxSpans == 0 {
 		opts.MaxSpans = DefaultMaxSpans
 	}
-	return &Collector{
+	c := &Collector{
 		lineSize: opts.LineSize,
 		maxSpans: opts.MaxSpans,
+		config:   opts.Config,
+		tw:       opts.Trace,
 		granules: make(map[mem.Addr]*Granule),
 	}
+	if opts.CaptureTrace {
+		c.capture = &bytes.Buffer{}
+		c.tw = tracebin.NewSectionWriter(c.capture)
+	}
+	return c
 }
 
 // StartRun opens a new run labeled label and returns the tracer to pass
@@ -183,6 +214,13 @@ func (c *Collector) StartRun(label string) func(trace.Event) {
 		fbStart: make(map[int]uint64),
 	}
 	c.runs = append(c.runs, rs)
+	if c.tw != nil {
+		stream := c.tw.StartRun(label, c.config, c.lineSize)
+		return func(e trace.Event) {
+			stream(e)
+			c.consume(rs, e)
+		}
+	}
 	return func(e trace.Event) { c.consume(rs, e) }
 }
 
@@ -383,13 +421,63 @@ func (c *Collector) Profile() *Profile {
 		p.Granules = append(p.Granules, g)
 	}
 	sort.Slice(p.Granules, func(i, j int) bool { return p.Granules[i].Addr < p.Granules[j].Addr })
+	if c.capture != nil {
+		// A bytes.Buffer sink cannot fail, so Flush here only drains the
+		// section writer's bufio layer.
+		if err := c.tw.Flush(); err != nil {
+			panic(fmt.Sprintf("tmprof: in-memory trace capture failed: %v", err))
+		}
+		p.TraceBin = append([]byte(nil), c.capture.Bytes()...)
+	}
 	return p
+}
+
+// FromStream rebuilds a profile from a binary event stream: one
+// collector per run section (granule folding at the section's recorded
+// lineSize), merged in stream order. Unlike FromLog's ring window, the
+// stream holds every event of every run, so spans and granule
+// attribution are exact at any run length — a profile built here from a
+// streamed run is identical to the one the attached in-memory collector
+// produced, including across the parallel runner's matrix-order merge.
+func FromStream(r *tracebin.Reader) (*Profile, error) {
+	var profiles []*Profile
+	var cur *Collector
+	var sink func(trace.Event)
+	snap := func() {
+		if cur != nil {
+			profiles = append(profiles, cur.Profile())
+		}
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.Start {
+			snap()
+			cur = NewCollector(Options{LineSize: rec.LineSize, Config: rec.Config})
+			sink = cur.StartRun(rec.Label)
+			continue
+		}
+		sink(rec.Event)
+	}
+	snap()
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("tmprof: stream from %q holds no runs", r.Source())
+	}
+	return Merge(profiles...), nil
 }
 
 // FromLog builds a single-run profile from an already-recorded bounded
 // ring. Spans and granule attribution cover only the retained window;
 // lifetime counts come from the ring's eviction-proof counters, and a
-// note records the truncation when events were evicted.
+// note records the truncation when events were evicted. For exact
+// attribution at any run length, stream the run to a .tmtrace file and
+// use FromStream instead — the ring remains for interactive tail
+// inspection, where bounded memory matters more than completeness.
 func FromLog(log *trace.Log, label string, lineSize int) *Profile {
 	c := NewCollector(Options{LineSize: lineSize})
 	rec := c.StartRun(label)
@@ -425,6 +513,7 @@ func Merge(profiles ...*Profile) *Profile {
 			out = &Profile{LineSize: p.LineSize}
 		}
 		out.Runs = append(out.Runs, p.Runs...)
+		out.TraceBin = append(out.TraceBin, p.TraceBin...)
 		out.Unattributed.Rollbacks += p.Unattributed.Rollbacks
 		out.Unattributed.Wasted += p.Unattributed.Wasted
 		out.Notes = append(out.Notes, p.Notes...)

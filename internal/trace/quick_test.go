@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestRingAccessorsAgree is a property test over the ring's three
+// accessors: for arbitrary capacity / record-count / tail-length
+// combinations — including every wrap-boundary alignment the fuzzer
+// finds — Do, Events, and Tail(n) must present the same window.
+// Events' cycles are the record sequence number, so the expected window
+// is computable in closed form: the last min(records, capacity) numbers.
+func TestRingAccessorsAgree(t *testing.T) {
+	prop := func(capRaw uint8, recordsRaw uint16, nRaw uint8) bool {
+		capacity := int(capRaw)%37 + 1 // 1..37 — small rings wrap often
+		records := int(recordsRaw) % (4 * capacity)
+		n := int(nRaw) % (capacity + 3) // include n > retained
+
+		l := NewLog(capacity)
+		for i := 0; i < records; i++ {
+			l.Record(Event{Cycle: uint64(i), CPU: i % 3, Kind: Kind(i % NumKinds)})
+		}
+
+		retained := records
+		if retained > capacity {
+			retained = capacity
+		}
+		oldest := records - retained
+
+		if l.Retained() != retained || l.Total() != uint64(records) {
+			t.Logf("cap=%d records=%d: Retained=%d Total=%d", capacity, records, l.Retained(), l.Total())
+			return false
+		}
+
+		events := l.Events()
+		if len(events) != retained {
+			t.Logf("cap=%d records=%d: Events len=%d want %d", capacity, records, len(events), retained)
+			return false
+		}
+		for i, e := range events {
+			if e.Cycle != uint64(oldest+i) {
+				t.Logf("cap=%d records=%d: Events[%d].Cycle=%d want %d", capacity, records, i, e.Cycle, oldest+i)
+				return false
+			}
+		}
+
+		i := 0
+		ok := true
+		l.Do(func(e Event) {
+			if i >= len(events) || e != events[i] {
+				ok = false
+			}
+			i++
+		})
+		if !ok || i != len(events) {
+			t.Logf("cap=%d records=%d: Do visited %d events or diverged from Events", capacity, records, i)
+			return false
+		}
+
+		tail := l.Tail(n)
+		wantTail := n
+		if wantTail > retained {
+			wantTail = retained
+		}
+		if len(tail) != wantTail {
+			t.Logf("cap=%d records=%d n=%d: Tail len=%d want %d", capacity, records, n, len(tail), wantTail)
+			return false
+		}
+		for i, e := range tail {
+			if e != events[retained-wantTail+i] {
+				t.Logf("cap=%d records=%d n=%d: Tail[%d]=%v want %v", capacity, records, n, i, e, events[retained-wantTail+i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

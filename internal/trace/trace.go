@@ -86,6 +86,11 @@ var kindNames = [...]string{
 // NumKinds is the number of defined event kinds (for iteration).
 const NumKinds = int(NtLoadFwd) + 1
 
+// Adding a Kind without naming it would otherwise degrade String() to
+// kind(%d) and silently drop the kind from Log.String's summary loop;
+// make the drift a compile error instead.
+var _ [NumKinds]struct{} = [len(kindNames)]struct{}{}
+
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]
@@ -154,7 +159,11 @@ func (e Event) String() string {
 	if e.Open {
 		b.WriteString(" open")
 	}
-	if e.HasAddr() || e.Addr != 0 {
+	// Addr renders for kinds that define it, plus violation-triggered
+	// rollbacks — the one kind that carries a cause address only
+	// sometimes. Other kinds never show Addr: a nonzero value there is a
+	// stale or misencoded field, and rendering it would mislead.
+	if e.HasAddr() || (e.Kind == Rollback && e.Addr != 0) {
 		fmt.Fprintf(&b, " addr=%#x", uint64(e.Addr))
 	}
 	if e.IsMemory() {

@@ -124,6 +124,48 @@ func TestEventStringRollbackContext(t *testing.T) {
 	}
 }
 
+// TestEventStringStaleAddr pins the stale-address fix: kinds that don't
+// define Addr (Backoff, Handler, lifecycle events) must not render one
+// even if the field is somehow populated — before the fix, any nonzero
+// Addr printed `addr=` and a stale address from a reused struct read as
+// a real conflict granule. Rollback remains the one kind that renders a
+// sometimes-present address (violation-triggered only).
+func TestEventStringStaleAddr(t *testing.T) {
+	for _, k := range []Kind{Begin, Commit, ClosedCommit, Abort, Handler, Validate, Backoff, Fallback} {
+		e := Event{Cycle: 7, CPU: 1, Kind: k, Addr: 0xdead, By: -1}
+		if s := e.String(); strings.Contains(s, "addr=") {
+			t.Errorf("%s with a stale nonzero Addr renders it: %q", k, s)
+		}
+	}
+	// The legitimate exception: a violation-triggered rollback carries its
+	// cause granule and must keep rendering it.
+	e := Event{Cycle: 7, CPU: 1, Kind: Rollback, Level: 1, Addr: 0xdead, By: 2}
+	if s := e.String(); !strings.Contains(s, "addr=0xdead") {
+		t.Errorf("violation-triggered rollback lost its cause address: %q", s)
+	}
+}
+
+// TestKindNamesExhaustive locks kindNames to the kind list: every kind in
+// [0, NumKinds) must have a distinct, non-placeholder name. The
+// compile-time assertion in trace.go pins the lengths; this pins the
+// content.
+func TestKindNamesExhaustive(t *testing.T) {
+	seen := make(map[string]Kind, NumKinds)
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "kind(") {
+			t.Errorf("kind %d has no name (got %q)", int(k), name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", int(prev), int(k), name)
+		}
+		seen[name] = k
+	}
+	if out := Kind(NumKinds).String(); !strings.HasPrefix(out, "kind(") {
+		t.Errorf("out-of-range kind renders %q, want kind(N) placeholder", out)
+	}
+}
+
 // TestEventStringBackoff checks backoff spans render their duration.
 func TestEventStringBackoff(t *testing.T) {
 	e := Event{Cycle: 50, CPU: 0, Kind: Backoff, Dur: 160, By: -1}

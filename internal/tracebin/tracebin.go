@@ -1,0 +1,486 @@
+// Package tracebin is the compact binary on-disk encoding of trace.Event
+// streams — the exact-attribution alternative to the bounded in-memory
+// ring (trace.Log). A Writer attaches to a core.Machine as a tracer sink
+// and streams every event to disk in constant memory; a Reader decodes
+// the stream back as a pull iterator. tmprof.FromStream and
+// oracle.Replay consume the iterator, so conflict attribution and
+// offline history checks are exact on runs of any length, where the ring
+// windows them past its capacity.
+//
+// The format borrows the compact-packet discipline of hardware trace
+// decoders (OpenCSD-style): a self-describing header, per-kind payload
+// layouts that carry only the fields each event kind defines, varint
+// integers with the event cycle delta-encoded against the previous
+// event, and an interned string table for Note payloads. Layout:
+//
+//	file        = magic "TMTRACE\x00" | schema uvarint | source string
+//	              | run-section*
+//	run-section = 0xFE | label string | config string | lineSize uvarint
+//	              | event*
+//	event       = kind byte (bit 6 = Open) | cycle delta varint
+//	              | cpu uvarint | per-kind fields (layouts table)
+//	string      = length uvarint | bytes
+//	note ref    = 0 none | 1 literal string follows (interned)
+//	              | n>=2 intern table entry n-2
+//
+// Every run section resets the cycle-delta and interning state, so run
+// sections are self-contained: bodies produced by independent writers
+// (e.g. parallel experiment cells) concatenate into one valid stream in
+// matrix order, which is how the runner keeps streamed traces
+// byte-identical at any -parallel level.
+//
+// The encoder is deliberately loud about schema drift: an event kind
+// outside [0, trace.NumKinds) or a populated field that the kind's
+// layout does not define panics rather than silently dropping data —
+// adding a trace.Kind (or widening one's emission contract) without
+// updating the layouts table must fail the first encode, not corrupt
+// attribution downstream.
+package tracebin
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tmisa/internal/mem"
+	"tmisa/internal/trace"
+)
+
+// Magic identifies a tracebin file; sniff the first 8 bytes to tell a
+// .tmtrace stream from the trace-event JSON tmprof also reads.
+const Magic = "TMTRACE\x00"
+
+// Schema is the encoding version written to (and required from) the
+// header. Bump it when the record layout changes meaning.
+const Schema = 1
+
+const (
+	tagRun   = 0xFE // run-section boundary
+	openBit  = 0x40 // Open flag folded into the kind byte
+	kindMask = 0x3F
+)
+
+// fieldMask selects which Event fields a kind's payload carries, in the
+// fixed field order level, addr, val, by, wasted, dur, note (Open rides
+// in the kind byte; Cycle and CPU are unconditional).
+type fieldMask uint8
+
+const (
+	fLevel fieldMask = 1 << iota
+	fOpen
+	fAddr
+	fVal
+	fBy
+	fWasted
+	fDur
+	fNote
+)
+
+// layouts is the per-kind payload contract, derived from the engine's
+// emission sites (core's emit/emitMem and the violation, rollback,
+// backoff, and fallback dispatch paths). TestLayoutsCoverEmissions pins
+// it against real machine streams; the length assertion below pins it
+// against kind-list drift.
+var layouts = [trace.NumKinds]fieldMask{
+	trace.Begin:        fLevel | fOpen | fNote,
+	trace.Commit:       fLevel | fOpen | fNote,
+	trace.ClosedCommit: fLevel | fOpen | fNote,
+	trace.Rollback:     fLevel | fOpen | fAddr | fBy | fWasted | fNote,
+	trace.Abort:        fLevel | fOpen | fNote,
+	trace.Violation:    fLevel | fAddr | fBy | fNote,
+	trace.Handler:      fLevel | fOpen | fNote,
+	trace.Validate:     fLevel | fOpen | fNote,
+	trace.TxLoad:       fLevel | fAddr | fVal,
+	trace.TxStore:      fLevel | fAddr | fVal,
+	trace.NtLoad:       fLevel | fAddr | fVal,
+	trace.NtStore:      fLevel | fAddr | fVal,
+	trace.ImLoad:       fLevel | fAddr | fVal,
+	trace.ImStore:      fLevel | fAddr | fVal,
+	trace.ImStoreID:    fLevel | fAddr | fVal,
+	trace.ReleaseEv:    fLevel | fAddr | fVal,
+	trace.Backoff:      fLevel | fBy | fDur,
+	trace.Fallback:     fAddr | fBy | fNote,
+	trace.NtStoreBuf:   fLevel | fAddr | fVal,
+	trace.NtLoadFwd:    fLevel | fAddr | fVal,
+}
+
+// Writer streams events as binary run sections through an internal
+// buffer. It is single-goroutine, like every tracer sink: the simulation
+// engine serializes all event emission.
+//
+// I/O errors latch into Err and make every later call a no-op, so the
+// hot sink path stays a plain function call; callers must check Err (or
+// Flush's result) when the run ends. Encoding contract violations —
+// unknown kind, field outside the kind's layout — panic instead: they
+// mean the schema drifted from the engine and the stream would be wrong.
+type Writer struct {
+	bw        *bufio.Writer
+	err       error
+	inRun     bool
+	prevCycle uint64
+	interned  map[string]uint64
+	scratch   []byte
+}
+
+// NewWriter returns a writer that emits the file header (magic, schema,
+// source provenance string) followed by the run sections. source is
+// free-form — typically the producing tool's name or a config
+// fingerprint.
+func NewWriter(w io.Writer, source string) *Writer {
+	tw := NewSectionWriter(w)
+	buf := make([]byte, 0, 16+len(source))
+	buf = append(buf, Magic...)
+	buf = binary.AppendUvarint(buf, Schema)
+	buf = appendString(buf, source)
+	_, tw.err = tw.bw.Write(buf)
+	return tw
+}
+
+// NewSectionWriter returns a writer that emits headerless run sections,
+// for producers whose bodies are later assembled behind one header (the
+// parallel runner's per-cell capture buffers; see WriteHeader).
+func NewSectionWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// WriteHeader emits a standalone file header, for assembling a file from
+// independently produced run-section bodies.
+func WriteHeader(w io.Writer, source string) error {
+	buf := make([]byte, 0, 16+len(source))
+	buf = append(buf, Magic...)
+	buf = binary.AppendUvarint(buf, Schema)
+	buf = appendString(buf, source)
+	_, err := w.Write(buf)
+	return err
+}
+
+// StartRun opens a new run section and returns the event sink to pass to
+// core.Machine.SetTracer. label names the run (as in
+// tmprof.Collector.StartRun), config is the core.Config.Describe
+// fingerprint the run executes under, and lineSize is the
+// conflict-granule size profilers should fold addresses with (0 = word
+// granularity).
+func (tw *Writer) StartRun(label, config string, lineSize int) func(trace.Event) {
+	if tw.err == nil {
+		buf := tw.scratch[:0]
+		buf = append(buf, tagRun)
+		buf = appendString(buf, label)
+		buf = appendString(buf, config)
+		buf = binary.AppendUvarint(buf, uint64(lineSize))
+		tw.scratch = buf
+		_, tw.err = tw.bw.Write(buf)
+	}
+	tw.inRun = true
+	tw.prevCycle = 0
+	tw.interned = make(map[string]uint64)
+	return tw.Write
+}
+
+// Write encodes one event into the current run section. It panics on an
+// unknown kind or a field populated outside the kind's layout (schema
+// drift; see the package comment) and on events before any StartRun.
+func (tw *Writer) Write(e trace.Event) {
+	if !tw.inRun {
+		panic("tracebin: Write before StartRun")
+	}
+	k := int(e.Kind)
+	if k < 0 || k >= trace.NumKinds {
+		panic(fmt.Sprintf("tracebin: unknown event kind %d (trace.Kind added without a tracebin layout?)", k))
+	}
+	lay := layouts[k]
+	if err := layoutViolation(e, lay); err != "" {
+		panic(fmt.Sprintf("tracebin: %s event %s: %s outside the kind's layout (emission contract drifted?)", e.Kind, e, err))
+	}
+	if tw.err != nil {
+		return
+	}
+	kb := byte(k)
+	if e.Open {
+		kb |= openBit
+	}
+	buf := tw.scratch[:0]
+	buf = append(buf, kb)
+	buf = binary.AppendVarint(buf, int64(e.Cycle-tw.prevCycle))
+	tw.prevCycle = e.Cycle
+	buf = binary.AppendUvarint(buf, uint64(e.CPU))
+	if lay&fLevel != 0 {
+		buf = binary.AppendUvarint(buf, uint64(e.Level))
+	}
+	if lay&fAddr != 0 {
+		buf = binary.AppendUvarint(buf, uint64(e.Addr))
+	}
+	if lay&fVal != 0 {
+		buf = binary.AppendUvarint(buf, e.Val)
+	}
+	if lay&fBy != 0 {
+		buf = binary.AppendUvarint(buf, uint64(e.By+1))
+	}
+	if lay&fWasted != 0 {
+		buf = binary.AppendUvarint(buf, e.Wasted)
+	}
+	if lay&fDur != 0 {
+		buf = binary.AppendUvarint(buf, e.Dur)
+	}
+	if lay&fNote != 0 {
+		buf = tw.appendNote(buf, e.Note)
+	}
+	tw.scratch = buf
+	_, tw.err = tw.bw.Write(buf)
+}
+
+// layoutViolation reports the first populated field the layout does not
+// define ("" when the event fits). By's resting value is 0 (emitters
+// leave it unset for kinds without an aggressor; -1 means "no aggressor"
+// on kinds that do carry one).
+func layoutViolation(e trace.Event, lay fieldMask) string {
+	switch {
+	case e.Level != 0 && lay&fLevel == 0:
+		return fmt.Sprintf("Level=%d", e.Level)
+	case e.Open && lay&fOpen == 0:
+		return "Open=true"
+	case e.Addr != 0 && lay&fAddr == 0:
+		return fmt.Sprintf("Addr=%#x", uint64(e.Addr))
+	case e.Val != 0 && lay&fVal == 0:
+		return fmt.Sprintf("Val=%d", e.Val)
+	case e.By != 0 && lay&fBy == 0:
+		return fmt.Sprintf("By=%d", e.By)
+	case e.By < -1:
+		return fmt.Sprintf("By=%d", e.By)
+	case e.Wasted != 0 && lay&fWasted == 0:
+		return fmt.Sprintf("Wasted=%d", e.Wasted)
+	case e.Dur != 0 && lay&fDur == 0:
+		return fmt.Sprintf("Dur=%d", e.Dur)
+	case e.Note != "" && lay&fNote == 0:
+		return fmt.Sprintf("Note=%q", e.Note)
+	}
+	return ""
+}
+
+// appendNote encodes a Note: 0 for none, 1 + literal for a first
+// occurrence (interned), index+2 for a repeat.
+func (tw *Writer) appendNote(buf []byte, note string) []byte {
+	if note == "" {
+		return binary.AppendUvarint(buf, 0)
+	}
+	if ref, ok := tw.interned[note]; ok {
+		return binary.AppendUvarint(buf, ref+2)
+	}
+	tw.interned[note] = uint64(len(tw.interned))
+	buf = binary.AppendUvarint(buf, 1)
+	return appendString(buf, note)
+}
+
+// Flush drains the internal buffer and returns the first error the
+// writer hit, if any.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.err = tw.bw.Flush()
+	return tw.err
+}
+
+// Err returns the first error the writer hit (nil while healthy). It
+// does not flush; call Flush when the stream is complete.
+func (tw *Writer) Err() error { return tw.err }
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Rec is one decoded record: either a run-section boundary (Start true,
+// with the section's label/config/granule size) or an event of the
+// current run.
+type Rec struct {
+	Start    bool
+	Label    string
+	Config   string
+	LineSize int
+	Event    trace.Event
+}
+
+// Reader is the pull-based decoding iterator over one stream.
+type Reader struct {
+	br        *bufio.Reader
+	source    string
+	inRun     bool
+	label     string
+	config    string
+	prevCycle uint64
+	interned  []string
+	events    uint64
+	runs      int
+}
+
+// NewReader parses the header and returns the iterator. It rejects a bad
+// magic or an unknown schema version before any record is decoded.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tracebin: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("tracebin: bad magic %q (not a tracebin stream)", magic)
+	}
+	schema, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracebin: reading schema: %w", err)
+	}
+	if schema != Schema {
+		return nil, fmt.Errorf("tracebin: schema %d, this decoder speaks %d", schema, Schema)
+	}
+	source, err := readString(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracebin: reading source: %w", err)
+	}
+	return &Reader{br: br, source: source}, nil
+}
+
+// Source returns the header's provenance string.
+func (d *Reader) Source() string { return d.source }
+
+// Events returns how many events Next has decoded so far.
+func (d *Reader) Events() uint64 { return d.events }
+
+// Runs returns how many run sections Next has entered so far.
+func (d *Reader) Runs() int { return d.runs }
+
+// Next returns the next record, or io.EOF at a clean end of stream. A
+// truncated or corrupt stream returns a descriptive non-EOF error.
+func (d *Reader) Next() (Rec, error) {
+	tag, err := d.br.ReadByte()
+	if err == io.EOF {
+		return Rec{}, io.EOF
+	}
+	if err != nil {
+		return Rec{}, fmt.Errorf("tracebin: reading record tag: %w", err)
+	}
+	if tag == tagRun {
+		if d.label, err = readString(d.br); err != nil {
+			return Rec{}, fmt.Errorf("tracebin: run label: %w", noEOF(err))
+		}
+		if d.config, err = readString(d.br); err != nil {
+			return Rec{}, fmt.Errorf("tracebin: run %q config: %w", d.label, noEOF(err))
+		}
+		lineSize, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return Rec{}, fmt.Errorf("tracebin: run %q granule size: %w", d.label, noEOF(err))
+		}
+		d.inRun = true
+		d.prevCycle = 0
+		d.interned = d.interned[:0]
+		d.runs++
+		return Rec{Start: true, Label: d.label, Config: d.config, LineSize: int(lineSize)}, nil
+	}
+	k := int(tag & kindMask)
+	if k >= trace.NumKinds || tag&^(openBit|kindMask) != 0 {
+		return Rec{}, fmt.Errorf("tracebin: record %d: unknown event kind byte %#x (stream from a newer schema?)", d.events, tag)
+	}
+	if !d.inRun {
+		return Rec{}, fmt.Errorf("tracebin: event before any run section")
+	}
+	e := trace.Event{Kind: trace.Kind(k), Open: tag&openBit != 0}
+	lay := layouts[k]
+	delta, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return Rec{}, d.corrupt(e.Kind, "cycle", err)
+	}
+	d.prevCycle += uint64(delta)
+	e.Cycle = d.prevCycle
+	fields := []struct {
+		f   fieldMask
+		set func(uint64)
+	}{
+		{0, func(v uint64) { e.CPU = int(v) }}, // unconditional
+		{fLevel, func(v uint64) { e.Level = int(v) }},
+		{fAddr, func(v uint64) { e.Addr = mem.Addr(v) }},
+		{fVal, func(v uint64) { e.Val = v }},
+		{fBy, func(v uint64) { e.By = int(v) - 1 }},
+		{fWasted, func(v uint64) { e.Wasted = v }},
+		{fDur, func(v uint64) { e.Dur = v }},
+	}
+	for _, fd := range fields {
+		if fd.f != 0 && lay&fd.f == 0 {
+			continue
+		}
+		v, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return Rec{}, d.corrupt(e.Kind, "field", err)
+		}
+		fd.set(v)
+	}
+	if lay&fNote != 0 {
+		ref, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return Rec{}, d.corrupt(e.Kind, "note ref", err)
+		}
+		switch {
+		case ref == 0:
+		case ref == 1:
+			s, err := readString(d.br)
+			if err != nil {
+				return Rec{}, d.corrupt(e.Kind, "note literal", err)
+			}
+			d.interned = append(d.interned, s)
+			e.Note = s
+		case int(ref-2) < len(d.interned):
+			e.Note = d.interned[ref-2]
+		default:
+			return Rec{}, fmt.Errorf("tracebin: event %d (%s): note ref %d beyond intern table (%d entries)",
+				d.events, e.Kind, ref, len(d.interned))
+		}
+	}
+	d.events++
+	return Rec{Event: e}, nil
+}
+
+func (d *Reader) corrupt(k trace.Kind, what string, err error) error {
+	return fmt.Errorf("tracebin: event %d (%s): truncated %s: %w", d.events, k, what, noEOF(err))
+}
+
+// noEOF converts a bare EOF inside a record into ErrUnexpectedEOF so a
+// truncated stream is never mistaken for a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	const maxString = 1 << 20 // corrupt-length guard, far above any Note
+	if n > maxString {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", noEOF(err)
+	}
+	return string(buf), nil
+}
+
+// Validate decodes the entire stream, returning its run and event counts
+// or the first structural error — the .tmtrace analogue of
+// tmprof.ValidateTraceJSON, used by `tmprof -check` and the CI smoke job.
+func Validate(r io.Reader) (runs int, events uint64, err error) {
+	d, err := NewReader(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	for {
+		_, err := d.Next()
+		if err == io.EOF {
+			return d.Runs(), d.Events(), nil
+		}
+		if err != nil {
+			return d.Runs(), d.Events(), err
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package tracebin_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"tmisa/internal/core"
+	"tmisa/internal/tmfuzz"
+	"tmisa/internal/trace"
+	"tmisa/internal/tracebin"
+)
+
+// synthetic returns one representative event per kind, fields populated
+// to the kind's layout (the values mirror what the engine's emission
+// sites produce, including the zero-By resting state of memory events).
+func synthetic() []trace.Event {
+	return []trace.Event{
+		{Cycle: 10, CPU: 0, Kind: trace.Begin, Level: 1, Note: ""},
+		{Cycle: 11, CPU: 1, Kind: trace.Begin, Level: 2, Open: true},
+		{Cycle: 12, CPU: 0, Kind: trace.TxLoad, Level: 1, Addr: 0x1000, Val: 7},
+		{Cycle: 12, CPU: 2, Kind: trace.TxStore, Level: 1, Addr: 0, Val: 9},
+		{Cycle: 13, CPU: 0, Kind: trace.NtLoad, Addr: 0x2000, Val: 1},
+		{Cycle: 14, CPU: 0, Kind: trace.NtStore, Addr: 0x2008, Val: 2},
+		{Cycle: 15, CPU: 1, Kind: trace.ImLoad, Level: 2, Addr: 0x3000, Val: 3},
+		{Cycle: 16, CPU: 1, Kind: trace.ImStore, Level: 2, Addr: 0x3008, Val: 4},
+		{Cycle: 17, CPU: 1, Kind: trace.ImStoreID, Level: 2, Addr: 0x3010, Val: 5},
+		{Cycle: 18, CPU: 1, Kind: trace.ReleaseEv, Level: 1, Addr: 0x1040},
+		{Cycle: 19, CPU: 2, Kind: trace.Violation, Level: 1, Addr: 0x1000, By: 0, Note: "tx-store"},
+		{Cycle: 20, CPU: 2, Kind: trace.Rollback, Level: 1, Addr: 0x1000, By: 0, Wasted: 8, Note: "violation"},
+		{Cycle: 21, CPU: 2, Kind: trace.Backoff, Level: 1, By: -1, Dur: 16},
+		{Cycle: 22, CPU: 2, Kind: trace.Violation, Level: 1, Addr: 0x1000, By: -1, Note: "fault"},
+		{Cycle: 23, CPU: 2, Kind: trace.Rollback, Level: 1, By: -1, Note: "xabort"},
+		{Cycle: 24, CPU: 2, Kind: trace.Abort, Level: 1, Note: "user"},
+		{Cycle: 25, CPU: 2, Kind: trace.Handler, Level: 1, Note: "commit"},
+		{Cycle: 26, CPU: 0, Kind: trace.Validate, Level: 1, Note: "serial"},
+		{Cycle: 27, CPU: 0, Kind: trace.ClosedCommit, Level: 2},
+		{Cycle: 28, CPU: 0, Kind: trace.Commit, Level: 1, Note: "commit"},
+		{Cycle: 29, CPU: 3, Kind: trace.Fallback, Addr: 0x1000, By: 1, Note: "serial:capacity"},
+		{Cycle: 30, CPU: 3, Kind: trace.NtStoreBuf, Addr: 0x4000, Val: 6},
+		{Cycle: 31, CPU: 3, Kind: trace.NtLoadFwd, Addr: 0x4000, Val: 6},
+		// Cycles are per-CPU local time: a later event in stream order can
+		// carry a smaller cycle. The signed delta must survive this.
+		{Cycle: 5, CPU: 4, Kind: trace.Begin, Level: 1},
+		{Cycle: 6, CPU: 4, Kind: trace.Commit, Level: 1, Note: "commit"},
+	}
+}
+
+// encode writes events as a single-run file and returns the bytes.
+func encode(t *testing.T, source, label, config string, lineSize int, events []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := tracebin.NewWriter(&buf, source)
+	sink := w.StartRun(label, config, lineSize)
+	for _, e := range events {
+		sink(e)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// decode reads a whole stream back as records.
+func decode(t *testing.T, data []byte) (source string, recs []tracebin.Rec) {
+	t.Helper()
+	d, err := tracebin.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return d.Source(), recs
+		}
+		if err != nil {
+			t.Fatalf("Next after %d recs: %v", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	events := synthetic()
+	covered := make(map[trace.Kind]bool)
+	for _, e := range events {
+		covered[e.Kind] = true
+	}
+	for k := 0; k < trace.NumKinds; k++ {
+		if !covered[trace.Kind(k)] {
+			t.Fatalf("synthetic corpus misses kind %s", trace.Kind(k))
+		}
+	}
+
+	data := encode(t, "test", "run0", "cpus=4 engine=lazy", 64, events)
+	source, recs := decode(t, data)
+	if source != "test" {
+		t.Fatalf("source = %q, want test", source)
+	}
+	if len(recs) != len(events)+1 {
+		t.Fatalf("decoded %d records, want %d events + 1 run boundary", len(recs), len(events))
+	}
+	start := recs[0]
+	if !start.Start || start.Label != "run0" || start.Config != "cpus=4 engine=lazy" || start.LineSize != 64 {
+		t.Fatalf("run boundary decoded wrong: %+v", start)
+	}
+	for i, rec := range recs[1:] {
+		if rec.Start {
+			t.Fatalf("record %d is a spurious run boundary", i+1)
+		}
+		if rec.Event != events[i] {
+			t.Fatalf("event %d round-tripped wrong:\n got %+v\nwant %+v", i, rec.Event, events[i])
+		}
+	}
+
+	// encode ∘ decode is the identity on the byte stream too: re-encoding
+	// the decoded events reproduces the input bit for bit (delta and
+	// interning state are functions of the event sequence alone).
+	again := encode(t, "test", "run0", "cpus=4 engine=lazy", 64, events)
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoding the decoded events changed the bytes")
+	}
+}
+
+func TestNoteInterning(t *testing.T) {
+	note := strings.Repeat("violation-caused-by-a-long-cause-chain", 4)
+	run := make([]trace.Event, 64)
+	for i := range run {
+		run[i] = trace.Event{Cycle: uint64(i), CPU: 0, Kind: trace.Begin, Level: 1, Note: note}
+	}
+	data := encode(t, "t", "r", "", 0, run)
+	// One literal plus 63 refs: well under two literals' worth.
+	if max := len(note) + 64*8 + len(note)/2; len(data) > max {
+		t.Fatalf("interning ineffective: %d bytes for 64 repeats of a %d-byte note", len(data), len(note))
+	}
+	_, recs := decode(t, data)
+	for i, rec := range recs[1:] {
+		if rec.Event.Note != note {
+			t.Fatalf("event %d lost its interned note: %q", i, rec.Event.Note)
+		}
+	}
+}
+
+func TestRunSectionsReset(t *testing.T) {
+	// Two runs with identical bodies must produce identical section bytes
+	// (per-run delta/interning reset) and decode with per-run state.
+	events := synthetic()
+	var buf bytes.Buffer
+	w := tracebin.NewWriter(&buf, "multi")
+	for _, label := range []string{"a", "b"} {
+		sink := w.StartRun(label, "cfg", 4)
+		for _, e := range events {
+			sink(e)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := decode(t, buf.Bytes())
+	if len(recs) != 2*(len(events)+1) {
+		t.Fatalf("decoded %d records, want %d", len(recs), 2*(len(events)+1))
+	}
+	for i, e := range events {
+		if recs[1+i].Event != e || recs[2+len(events)+i].Event != e {
+			t.Fatalf("event %d differs between runs after state reset", i)
+		}
+	}
+}
+
+func TestSectionAssembly(t *testing.T) {
+	// The parallel runner's merge path: bodies produced by independent
+	// SectionWriters, concatenated behind one WriteHeader, must equal the
+	// stream a single writer produces.
+	events := synthetic()
+	var whole bytes.Buffer
+	w := tracebin.NewWriter(&whole, "asm")
+	for _, label := range []string{"cell0", "cell1"} {
+		sink := w.StartRun(label, "cfg", 64)
+		for _, e := range events {
+			sink(e)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var assembled bytes.Buffer
+	if err := tracebin.WriteHeader(&assembled, "asm"); err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"cell0", "cell1"} {
+		var body bytes.Buffer
+		sw := tracebin.NewSectionWriter(&body)
+		sink := sw.StartRun(label, "cfg", 64)
+		for _, e := range events {
+			sink(e)
+		}
+		if err := sw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		assembled.Write(body.Bytes())
+	}
+	if !bytes.Equal(whole.Bytes(), assembled.Bytes()) {
+		t.Fatal("assembled per-cell sections differ from the single-writer stream")
+	}
+}
+
+func TestEncoderPanicsOnUnknownKind(t *testing.T) {
+	w := tracebin.NewWriter(io.Discard, "t")
+	sink := w.StartRun("r", "", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding an out-of-range kind did not panic")
+		}
+	}()
+	sink(trace.Event{Kind: trace.Kind(trace.NumKinds)})
+}
+
+func TestEncoderPanicsOnLayoutViolation(t *testing.T) {
+	cases := []trace.Event{
+		{Kind: trace.Backoff, Addr: 0x100, By: -1},   // Backoff defines no Addr
+		{Kind: trace.Begin, Level: 1, Val: 3},        // Begin moves no value
+		{Kind: trace.TxLoad, Addr: 1, Val: 1, By: 2}, // memory events carry no aggressor
+		{Kind: trace.Commit, Level: 1, Wasted: 9},    // commits waste nothing
+		{Kind: trace.TxStore, Addr: 1, Note: "x"},    // memory events carry no note
+	}
+	for _, e := range cases {
+		func() {
+			w := tracebin.NewWriter(io.Discard, "t")
+			sink := w.StartRun("r", "", 0)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("event %+v violates its kind's layout but encoded silently", e)
+				}
+			}()
+			sink(e)
+		}()
+	}
+}
+
+func TestWriteBeforeStartRunPanics(t *testing.T) {
+	w := tracebin.NewWriter(io.Discard, "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write before StartRun did not panic")
+		}
+	}()
+	w.Write(trace.Event{Kind: trace.Begin, Level: 1})
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := tracebin.NewReader(strings.NewReader("{\"traceEvents\"")); err == nil {
+		t.Fatal("JSON accepted as a tracebin stream")
+	}
+	// Wrong schema version.
+	var buf bytes.Buffer
+	buf.WriteString(tracebin.Magic)
+	buf.WriteByte(99) // schema uvarint
+	buf.WriteByte(0)  // empty source
+	if _, err := tracebin.NewReader(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema 99 accepted (err=%v)", err)
+	}
+}
+
+func TestValidateCatchesTruncation(t *testing.T) {
+	data := encode(t, "t", "r", "cfg", 64, synthetic())
+	runs, events, err := tracebin.Validate(bytes.NewReader(data))
+	if err != nil || runs != 1 || events != uint64(len(synthetic())) {
+		t.Fatalf("clean stream: runs=%d events=%d err=%v", runs, events, err)
+	}
+	for _, cut := range []int{len(data) - 1, len(data) - 3, len(tracebin.Magic) + 4} {
+		if _, _, err := tracebin.Validate(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("stream truncated at %d/%d validated clean", cut, len(data))
+		}
+	}
+	// An event before any run section is structural corruption.
+	var buf bytes.Buffer
+	if err := tracebin.WriteHeader(&buf, "t"); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(byte(trace.Begin))
+	if _, _, err := tracebin.Validate(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "run section") {
+		t.Fatalf("headerless event validated clean (err=%v)", err)
+	}
+}
+
+// TestCorpusRoundTrip is the acceptance gate: events captured from real
+// tmfuzz executions — whose matrix rotation covers the hybrid fallback
+// and relaxed store-buffer kinds — must round-trip through the binary
+// encoding exactly, and re-encoding the decoded stream must be
+// byte-identical. The sweep runs until every trace.Kind has been
+// observed, so the corpus provably exercises every layout.
+func TestCorpusRoundTrip(t *testing.T) {
+	const seed = 7
+	const maxCases = 400
+	covered := make(map[trace.Kind]bool, trace.NumKinds)
+	cases := 0
+	for i := 0; i < maxCases && len(covered) < trace.NumKinds; i++ {
+		prog, mc := tmfuzz.DeriveCase(seed, i)
+		var captured []trace.Event
+		hooks := &tmfuzz.ExecHooks{OnMachine: func(m *core.Machine) {
+			m.SetTracer(func(e trace.Event) { captured = append(captured, e) })
+		}}
+		tmfuzz.ExecuteHooked(prog, mc, hooks)
+		if len(captured) == 0 {
+			continue
+		}
+		cases++
+		for _, e := range captured {
+			covered[e.Kind] = true
+		}
+
+		label := fmt.Sprintf("case%d", i)
+		data := encode(t, "tmfuzz", label, "fuzz-cfg", 4, captured)
+		_, recs := decode(t, data)
+		if len(recs) != len(captured)+1 {
+			t.Fatalf("case %d: %d records decoded, want %d", i, len(recs), len(captured)+1)
+		}
+		for j, rec := range recs[1:] {
+			if rec.Event != captured[j] {
+				t.Fatalf("case %d event %d round-tripped wrong:\n got %+v\nwant %+v", i, j, rec.Event, captured[j])
+			}
+		}
+		if again := encode(t, "tmfuzz", label, "fuzz-cfg", 4, captured); !bytes.Equal(data, again) {
+			t.Fatalf("case %d: re-encoding the decoded stream changed the bytes", i)
+		}
+	}
+	if len(covered) < trace.NumKinds {
+		var missing []string
+		for k := 0; k < trace.NumKinds; k++ {
+			if !covered[trace.Kind(k)] {
+				missing = append(missing, trace.Kind(k).String())
+			}
+		}
+		t.Fatalf("after %d cases the corpus never produced kinds: %s (raise maxCases or adjust the seed)",
+			maxCases, strings.Join(missing, ", "))
+	}
+	t.Logf("full kind coverage from %d traced cases", cases)
+}
